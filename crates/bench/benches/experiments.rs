@@ -1,0 +1,62 @@
+//! Criterion benches mirroring the paper's tables and figures at reduced
+//! scale — one group per artifact, so `cargo bench` exercises every
+//! experiment end-to-end. The full-size outputs come from the binaries
+//! (`table4`, `fig9`, `fig10`, ...).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_isa::ConsistencyModel;
+use sa_litmus::{explore, suite, ForwardPolicy};
+use sa_sim::{Multicore, SimConfig};
+use sa_workloads::Suite;
+
+const SCALE: usize = 1_500;
+
+fn run(name: &str, model: ConsistencyModel) -> u64 {
+    let w = sa_workloads::by_name(name).expect("known benchmark");
+    let n = if w.suite == Suite::Parallel { 8 } else { 1 };
+    let cfg = SimConfig::default().with_model(model).with_cores(n);
+    let mut sim = Multicore::new(cfg, w.generate(n, SCALE, 42));
+    sim.run(u64::MAX).expect("completes").cycles
+}
+
+/// Table II / Figures 1,2,3,5: exhaustive litmus exploration.
+fn bench_litmus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_litmus");
+    for ct in [suite::n6(), suite::fig5(), suite::iriw()] {
+        g.bench_with_input(BenchmarkId::new("x86", ct.test.name), &ct, |b, ct| {
+            b.iter(|| explore(&ct.test, ForwardPolicy::X86).len())
+        });
+        g.bench_with_input(BenchmarkId::new("370", ct.test.name), &ct, |b, ct| {
+            b.iter(|| explore(&ct.test, ForwardPolicy::StoreAtomic370).len())
+        });
+    }
+    g.finish();
+}
+
+/// Table IV: the characterization run (SLFSoS-key on a forwarding-heavy
+/// and an eviction-heavy benchmark).
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_characterization");
+    g.sample_size(10);
+    for name in ["barnes", "505.mcf"] {
+        g.bench_function(name, |b| {
+            b.iter(|| run(name, ConsistencyModel::Ibm370SlfSosKey))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9 / Figure 10: the five-configuration comparison on one
+/// benchmark (stall attribution and execution time come from the same
+/// runs).
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_fig10_models");
+    g.sample_size(10);
+    for model in ConsistencyModel::ALL {
+        g.bench_function(model.label(), |b| b.iter(|| run("water_spatial", model)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_litmus, bench_table4, bench_fig9_fig10);
+criterion_main!(benches);

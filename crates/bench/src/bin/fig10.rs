@@ -1,0 +1,68 @@
+//! Regenerates Figure 10: execution time of the four store-atomic
+//! configurations normalized to x86, per benchmark, with geometric means.
+//!
+//! Usage: `fig10 [--suite parallel|spec|all] [--scale N] [--seed N]
+//! [--only NAME]`
+
+use sa_bench::{geomean_rows, normalized_times, run_all_models, Opts};
+use sa_isa::ConsistencyModel;
+use sa_workloads::{Suite, WorkloadSpec};
+
+fn print_suite(title: &str, ws: &[WorkloadSpec], opts: &Opts) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "Benchmark", "x86", "370-NoSpec", "370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"
+    );
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let all_reports =
+        sa_bench::parallel_map(ws, opts.jobs, |w| run_all_models(w, opts.scale, opts.seed));
+    for (w, reports) in ws.iter().zip(&all_reports) {
+        let norm = normalized_times(reports);
+        println!(
+            "{:<18} {:>10.3} {:>12.3} {:>12.3} {:>12.3} {:>14.3}",
+            w.name, 1.0, norm[0], norm[1], norm[2], norm[3]
+        );
+        rows.push(norm);
+    }
+    let g = geomean_rows(&rows);
+    if !g.is_empty() {
+        println!(
+            "{:<18} {:>10.3} {:>12.3} {:>12.3} {:>12.3} {:>14.3}",
+            "Geomean", 1.0, g[0], g[1], g[2], g[3]
+        );
+    }
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    if opts.csv {
+        println!("benchmark,nospec,slfspec,slfsos,slfsos_key");
+        for w in opts.workloads() {
+            let reports = run_all_models(&w, opts.scale, opts.seed);
+            let n = normalized_times(&reports);
+            println!("{},{:.4},{:.4},{:.4},{:.4}", w.name, n[0], n[1], n[2], n[3]);
+        }
+        return;
+    }
+    println!(
+        "Figure 10: execution time normalized to x86 (scale {} instrs/core, seed {})",
+        opts.scale, opts.seed
+    );
+    assert_eq!(ConsistencyModel::ALL[0], ConsistencyModel::X86);
+    let all = opts.workloads();
+    let parallel: Vec<WorkloadSpec> =
+        all.iter().filter(|w| w.suite == Suite::Parallel).cloned().collect();
+    let spec: Vec<WorkloadSpec> = all.iter().filter(|w| w.suite == Suite::Spec).cloned().collect();
+    if !parallel.is_empty() {
+        print_suite("Parallel applications", &parallel, &opts);
+    }
+    if !spec.is_empty() {
+        print_suite("Sequential applications", &spec, &opts);
+    }
+    println!(
+        "\nPaper reference (geomean): parallel 1.27 / 1.07 / 1.05 / 1.025;\n\
+         sequential 1.23 / 1.14 / 1.12 / 1.027 (NoSpec / SLFSpec / SLFSoS /\n\
+         SLFSoS-key). Expected shape: NoSpec >> SLFSpec >= SLFSoS >= SLFSoS-key ~ 1."
+    );
+}

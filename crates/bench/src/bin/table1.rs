@@ -1,0 +1,24 @@
+//! Regenerates Table I: atomicity of store operations.
+
+fn main() {
+    print!("{}", sa_litmus::taxonomy::render_table1());
+    println!();
+    println!("Simulator mapping:");
+    for m in sa_isa::ConsistencyModel::ALL {
+        println!(
+            "  {:<16} store-atomic: {:<5} forwarding: {:<5} retire gate: {}",
+            m.label(),
+            m.is_store_atomic(),
+            m.allows_forwarding(),
+            if m.uses_retire_gate() {
+                if m.uses_key() {
+                    "key-unlocked"
+                } else {
+                    "SB-drain-unlocked"
+                }
+            } else {
+                "none"
+            }
+        );
+    }
+}

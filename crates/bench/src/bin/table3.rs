@@ -1,0 +1,11 @@
+//! Regenerates Table III: the simulated system configuration.
+
+fn main() {
+    let cfg = sa_sim::SimConfig::default();
+    print!("{}", cfg.render_table3());
+    println!(
+        "\nSA-speculation storage overhead (Section IV-D): {} bits ({} bytes)",
+        cfg.core.sa_storage_bits(),
+        cfg.core.sa_storage_bits() / 8
+    );
+}

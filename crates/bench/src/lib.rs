@@ -1,0 +1,280 @@
+//! Experiment runner shared by the table/figure binaries and the
+//! criterion benches.
+//!
+//! Every binary regenerates one artifact of the paper:
+//!
+//! | binary        | artifact |
+//! |---------------|----------|
+//! | `table1`      | Table I (atomicity taxonomy) |
+//! | `table2`      | Table II (fig5 outcomes under x86 vs 370) |
+//! | `table3`      | Table III (system configuration) |
+//! | `table4`      | Table IV (per-benchmark characterization under 370-SLFSoS-key) |
+//! | `fig9`        | Figure 9 (stall breakdown, 5 configs) |
+//! | `fig10`       | Figure 10 (execution time normalized to x86) |
+//! | `litmus_figs` | Figures 1/2/3/5 (allowed/forbidden classifications) |
+//! | `ablation`    | design-choice ablations beyond the paper |
+//!
+//! Run with `--scale N` to control instructions per core (default 30000;
+//! the paper simulates ~1 B instructions per benchmark — scale up as your
+//! patience allows; shapes stabilize well before 100k).
+
+use sa_isa::ConsistencyModel;
+use sa_sim::report::geomean;
+use sa_sim::{Multicore, Report, SimConfig};
+use sa_workloads::{Suite, WorkloadSpec};
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Instructions per core per run.
+    pub scale: usize,
+    /// RNG seed for trace generation.
+    pub seed: u64,
+    /// Which suite(s) to run.
+    pub suite: SuiteSel,
+    /// Restrict to one benchmark by name.
+    pub only: Option<String>,
+    /// Worker threads for independent simulations.
+    pub jobs: usize,
+    /// Emit machine-readable CSV instead of aligned tables.
+    pub csv: bool,
+}
+
+/// Suite selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteSel {
+    /// SPLASH-3/PARSEC only.
+    Parallel,
+    /// SPEC CPU2017 only.
+    Spec,
+    /// Both suites.
+    All,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            scale: 30_000,
+            seed: 42,
+            suite: SuiteSel::All,
+            only: None,
+            jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            csv: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `--scale N --seed N --suite parallel|spec|all --only NAME`
+    /// from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    pub fn from_args() -> Opts {
+        let mut o = Opts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need = |i: usize| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value after {}", args[i]))
+                    .clone()
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    o.scale = need(i).parse().expect("--scale takes a number");
+                    i += 2;
+                }
+                "--seed" => {
+                    o.seed = need(i).parse().expect("--seed takes a number");
+                    i += 2;
+                }
+                "--suite" => {
+                    o.suite = match need(i).as_str() {
+                        "parallel" => SuiteSel::Parallel,
+                        "spec" => SuiteSel::Spec,
+                        "all" => SuiteSel::All,
+                        other => panic!("unknown suite {other}"),
+                    };
+                    i += 2;
+                }
+                "--only" => {
+                    o.only = Some(need(i));
+                    i += 2;
+                }
+                "--jobs" => {
+                    o.jobs = need(i).parse().expect("--jobs takes a number");
+                    i += 2;
+                }
+                "--csv" => {
+                    o.csv = true;
+                    i += 1;
+                }
+                other => {
+                    panic!("unknown option {other} (try --scale/--seed/--suite/--only/--jobs/--csv)")
+                }
+            }
+        }
+        o
+    }
+
+    /// The selected workloads.
+    pub fn workloads(&self) -> Vec<WorkloadSpec> {
+        let mut ws = match self.suite {
+            SuiteSel::Parallel => sa_workloads::parallel_suite(),
+            SuiteSel::Spec => sa_workloads::spec_suite(),
+            SuiteSel::All => {
+                let mut v = sa_workloads::parallel_suite();
+                v.extend(sa_workloads::spec_suite());
+                v
+            }
+        };
+        if let Some(only) = &self.only {
+            ws.retain(|w| w.name == only.as_str());
+            assert!(!ws.is_empty(), "no workload named {only}");
+        }
+        ws
+    }
+}
+
+/// Runs one workload under one consistency model to completion.
+///
+/// # Panics
+///
+/// Panics if the simulation wedges or exceeds its (very generous) cycle
+/// budget — both indicate a simulator bug.
+pub fn run_workload(
+    w: &WorkloadSpec,
+    model: ConsistencyModel,
+    scale: usize,
+    seed: u64,
+) -> Report {
+    let n_cores = match w.suite {
+        Suite::Parallel => 8,
+        Suite::Spec => 1,
+    };
+    let cfg = SimConfig::default().with_model(model).with_cores(n_cores);
+    let traces = w.generate(n_cores, scale, seed);
+    let mut sim = Multicore::new(cfg, traces);
+    let budget = (scale as u64).saturating_mul(2_000).max(10_000_000);
+    sim.run(budget)
+        .unwrap_or_else(|e| panic!("{} under {model}: {e}", w.name))
+}
+
+/// Runs one workload under every model, returning reports in
+/// [`ConsistencyModel::ALL`] order.
+pub fn run_all_models(w: &WorkloadSpec, scale: usize, seed: u64) -> Vec<Report> {
+    ConsistencyModel::ALL
+        .iter()
+        .map(|m| run_workload(w, *m, scale, seed))
+        .collect()
+}
+
+/// One Figure-10 row: execution time of the four store-atomic configs
+/// normalized to x86.
+pub fn normalized_times(reports: &[Report]) -> Vec<f64> {
+    let x86 = &reports[0];
+    reports[1..].iter().map(|r| r.normalized_time(x86)).collect()
+}
+
+/// Geomean over rows of per-model normalized times.
+pub fn geomean_rows(rows: &[Vec<f64>]) -> Vec<f64> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    (0..rows[0].len())
+        .map(|i| geomean(&rows.iter().map(|r| r[i]).collect::<Vec<f64>>()))
+        .collect()
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, preserving
+/// order. Simulations are independent and deterministic, so this is a
+/// pure throughput win for the sweep binaries.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let jobs = jobs.max(1).min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    out.into_iter().map(|r| r.expect("worker filled slot")).collect()
+}
+
+/// Convenience: a tiny deterministic smoke workload for criterion.
+pub fn smoke_sim(model: ConsistencyModel, instrs: usize) -> Report {
+    let w = sa_workloads::by_name("barnes").expect("barnes exists");
+    let cfg = SimConfig::default().with_model(model).with_cores(2);
+    let traces = w.generate(2, instrs, 7);
+    let mut sim = Multicore::new(cfg, traces);
+    sim.run(100_000_000).expect("smoke run completes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_workload_completes_quickly_at_tiny_scale() {
+        let w = sa_workloads::by_name("blackscholes").unwrap();
+        let r = run_workload(&w, ConsistencyModel::X86, 300, 1);
+        assert_eq!(r.total().retired_instrs as usize >= 8 * 300, true);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn sequential_workload_uses_one_core() {
+        let w = sa_workloads::by_name("557.xz_2").unwrap();
+        let r = run_workload(&w, ConsistencyModel::Ibm370SlfSosKey, 300, 1);
+        assert_eq!(r.per_core.len(), 1);
+    }
+
+    #[test]
+    fn normalized_times_shape() {
+        let w = sa_workloads::by_name("557.xz_2").unwrap();
+        let reports = run_all_models(&w, 300, 1);
+        assert_eq!(reports.len(), 5);
+        let norm = normalized_times(&reports);
+        assert_eq!(norm.len(), 4);
+        for n in &norm {
+            assert!(*n > 0.2 && *n < 10.0, "normalized time sane: {n}");
+        }
+    }
+
+    #[test]
+    fn geomean_rows_aggregates_per_column() {
+        let rows = vec![vec![1.0, 2.0], vec![4.0, 8.0]];
+        let g = geomean_rows(&rows);
+        assert!((g[0] - 2.0).abs() < 1e-12);
+        assert!((g[1] - 4.0).abs() < 1e-12);
+        assert!(geomean_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn opts_workload_selection() {
+        let o = Opts { suite: SuiteSel::Parallel, ..Opts::default() };
+        assert_eq!(o.workloads().len(), 25);
+        let o = Opts { suite: SuiteSel::Spec, ..Opts::default() };
+        assert_eq!(o.workloads().len(), 36);
+        let o = Opts { suite: SuiteSel::All, only: Some("radix".into()), ..Opts::default() };
+        assert_eq!(o.workloads().len(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Memory-system configuration (the memory half of the paper's Table III).
+
+use crate::network::Topology;
+
+/// Geometry and timing of the simulated memory hierarchy.
+///
+/// Defaults reproduce Table III of the paper. All latencies are in core
+/// cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Number of cores (and private cache pairs).
+    pub n_cores: usize,
+    /// Private L1 data cache capacity in bytes (32 KB).
+    pub l1_bytes: usize,
+    /// L1 associativity (8).
+    pub l1_assoc: usize,
+    /// L1 hit latency (4).
+    pub l1_latency: u64,
+    /// Private L2 capacity in bytes (128 KB).
+    pub l2_bytes: usize,
+    /// L2 associativity (8).
+    pub l2_assoc: usize,
+    /// L2 hit latency (12).
+    pub l2_latency: u64,
+    /// Number of shared L3 banks (8); each bank hosts a directory slice.
+    pub l3_banks: usize,
+    /// L3 capacity per bank in bytes (1 MB).
+    pub l3_bytes_per_bank: usize,
+    /// L3 associativity (8).
+    pub l3_assoc: usize,
+    /// L3 hit latency (35).
+    pub l3_latency: u64,
+    /// Main-memory access time (160).
+    pub mem_latency: u64,
+    /// Switch-to-switch time of the fully-connected network (6).
+    pub hop_latency: u64,
+    /// Serialization flits of a data message (5).
+    pub data_flits: u64,
+    /// Serialization flits of a control message (1).
+    pub ctrl_flits: u64,
+    /// Interconnect topology (Table III: fully connected).
+    pub topology: Topology,
+    /// Outstanding misses per private controller.
+    pub mshrs: usize,
+    /// Enable the stride L1 prefetcher (Table III includes one).
+    pub prefetch: bool,
+    /// Prefetch distance in lines once a stride locks.
+    pub prefetch_degree: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            n_cores: 8,
+            l1_bytes: 32 * 1024,
+            l1_assoc: 8,
+            l1_latency: 4,
+            l2_bytes: 128 * 1024,
+            l2_assoc: 8,
+            l2_latency: 12,
+            l3_banks: 8,
+            l3_bytes_per_bank: 1024 * 1024,
+            l3_assoc: 8,
+            l3_latency: 35,
+            mem_latency: 160,
+            hop_latency: 6,
+            data_flits: 5,
+            ctrl_flits: 1,
+            topology: Topology::FullyConnected,
+            mshrs: 16,
+            prefetch: true,
+            prefetch_degree: 1,
+        }
+    }
+}
+
+impl MemConfig {
+    /// A configuration with `n` cores and Table III parameters otherwise.
+    pub fn with_cores(n: usize) -> MemConfig {
+        MemConfig { n_cores: n, ..MemConfig::default() }
+    }
+
+    /// Validates invariants the controllers rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a capacity is not divisible into sets or a count is
+    /// zero.
+    pub fn validate(&self) {
+        assert!(self.n_cores > 0 && self.n_cores <= 64, "1..=64 cores supported");
+        assert!(self.l3_banks > 0, "need at least one L3 bank");
+        assert!(self.mshrs > 0, "need at least one MSHR");
+        for (bytes, assoc, what) in [
+            (self.l1_bytes, self.l1_assoc, "L1"),
+            (self.l2_bytes, self.l2_assoc, "L2"),
+            (self.l3_bytes_per_bank, self.l3_assoc, "L3 bank"),
+        ] {
+            let lines = bytes / sa_isa::LINE_BYTES as usize;
+            assert!(assoc > 0 && lines >= assoc, "{what} too small for its associativity");
+            assert!(
+                (lines / assoc).is_power_of_two(),
+                "{what} set count must be a power of two"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iii() {
+        let c = MemConfig::default();
+        assert_eq!(c.n_cores, 8);
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.l1_latency, 4);
+        assert_eq!(c.l2_bytes, 128 * 1024);
+        assert_eq!(c.l2_latency, 12);
+        assert_eq!(c.l3_banks, 8);
+        assert_eq!(c.l3_bytes_per_bank, 1024 * 1024);
+        assert_eq!(c.l3_latency, 35);
+        assert_eq!(c.mem_latency, 160);
+        assert_eq!(c.hop_latency, 6);
+        assert_eq!(c.data_flits, 5);
+        assert_eq!(c.ctrl_flits, 1);
+        c.validate();
+    }
+
+    #[test]
+    fn with_cores_overrides_count() {
+        let c = MemConfig::with_cores(2);
+        assert_eq!(c.n_cores, 2);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cores supported")]
+    fn zero_cores_rejected() {
+        MemConfig::with_cores(0).validate();
+    }
+}

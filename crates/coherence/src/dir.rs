@@ -1,0 +1,440 @@
+//! L3 bank + MESI directory slice.
+//!
+//! The directory is *blocking*: at most one transaction is in flight per
+//! line; requests that arrive for a busy line are deferred in arrival
+//! order. Together with per-channel FIFO delivery this keeps the protocol
+//! race surface small without sacrificing the property the paper needs —
+//! **write atomicity**: `GrantM` is sent only after every sharer
+//! acknowledged its invalidation (or the previous owner returned its copy).
+
+use std::collections::{HashMap, VecDeque};
+
+use sa_isa::{CoreId, Cycle, Line};
+
+use crate::cache::CacheArray;
+use crate::memsys::Action;
+use crate::msg::{Msg, NodeId};
+
+/// Stable (non-transient) directory state for a line. Absent = Uncached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirState {
+    /// Read-only copies at the cores set in the bit mask.
+    Shared(u64),
+    /// Exclusive/modified copy at one core.
+    Owned(CoreId),
+}
+
+/// An in-flight transaction occupying a line.
+#[derive(Debug)]
+enum Txn {
+    /// `GetS` waiting for the owner's `AckData`.
+    FetchForS { req: CoreId },
+    /// `GetM` waiting for the owner's `AckData`.
+    FetchForM { req: CoreId },
+    /// `GetM` waiting for `pending` sharer invalidation acks.
+    CollectAcks { req: CoreId, pending: u32, need_data: bool },
+}
+
+/// Counters exported by each bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// `GetS` requests processed.
+    pub gets: u64,
+    /// `GetM` requests processed.
+    pub getm: u64,
+    /// Invalidations sent to sharers.
+    pub invs_sent: u64,
+    /// Requests that found the line busy and were deferred.
+    pub deferred: u64,
+    /// Accesses that missed the L3 data array (paid memory latency).
+    pub l3_misses: u64,
+    /// Writebacks accepted.
+    pub writebacks: u64,
+}
+
+/// One shared-L3 bank with its directory slice.
+#[derive(Debug)]
+pub struct DirBank {
+    node: NodeId,
+    l3: CacheArray<()>,
+    state: HashMap<Line, DirState>,
+    busy: HashMap<Line, Txn>,
+    deferred: HashMap<Line, VecDeque<Msg>>,
+    l3_latency: u64,
+    mem_latency: u64,
+    /// Public counters.
+    pub stats: BankStats,
+}
+
+impl DirBank {
+    /// Creates bank `id` with an L3 data array of `l3_bytes`/`l3_assoc`.
+    pub fn new(
+        id: u8,
+        l3_bytes: usize,
+        l3_assoc: usize,
+        l3_latency: u64,
+        mem_latency: u64,
+    ) -> DirBank {
+        DirBank {
+            node: NodeId::Bank(id),
+            l3: CacheArray::new(l3_bytes, l3_assoc),
+            state: HashMap::new(),
+            busy: HashMap::new(),
+            deferred: HashMap::new(),
+            l3_latency,
+            mem_latency,
+            stats: BankStats::default(),
+        }
+    }
+
+    /// Latency of producing data for `line` from this bank (L3 hit or
+    /// L3 + memory), filling the L3 array as a side effect.
+    fn data_latency(&mut self, line: Line) -> u64 {
+        if self.l3.contains(line) {
+            self.l3.touch(line);
+            self.l3_latency
+        } else {
+            self.stats.l3_misses += 1;
+            // Fill; victims are silent (the directory keeps full state).
+            let _ = self.l3.insert(line, ());
+            self.l3_latency + self.mem_latency
+        }
+    }
+
+    fn send(&self, to: NodeId, msg: Msg, at: Cycle, out: &mut Vec<Action>) {
+        out.push(Action::Send { from: self.node, to, msg, at });
+    }
+
+    /// Handles an incoming message, returning protocol actions.
+    pub fn handle(&mut self, msg: Msg, now: Cycle) -> Vec<Action> {
+        let mut out = Vec::new();
+        match msg {
+            Msg::GetS { line, .. } | Msg::GetM { line, .. } | Msg::PutM { line, .. } => {
+                if self.busy.contains_key(&line) {
+                    self.stats.deferred += 1;
+                    self.deferred.entry(line).or_default().push_back(msg);
+                } else {
+                    self.process_request(msg, now, &mut out);
+                }
+            }
+            Msg::InvAck { line, .. } => self.on_inv_ack(line, now, &mut out),
+            Msg::AckData { line, dirty, retained, .. } => {
+                self.on_ack_data(line, dirty, retained, now, &mut out)
+            }
+            other => unreachable!("directory received {other:?}"),
+        }
+        out
+    }
+
+    fn process_request(&mut self, msg: Msg, now: Cycle, out: &mut Vec<Action>) {
+        match msg {
+            Msg::GetS { line, req } => self.process_gets(line, req, now, out),
+            Msg::GetM { line, req } => self.process_getm(line, req, now, out),
+            Msg::PutM { line, from } => self.process_putm(line, from, now, out),
+            other => unreachable!("not a directory request: {other:?}"),
+        }
+    }
+
+    fn process_gets(&mut self, line: Line, req: CoreId, now: Cycle, out: &mut Vec<Action>) {
+        self.stats.gets += 1;
+        match self.state.get(&line).copied() {
+            None => {
+                let lat = self.data_latency(line);
+                self.state.insert(line, DirState::Owned(req));
+                self.send(NodeId::Core(req), Msg::DataE { line }, now + lat, out);
+            }
+            Some(DirState::Shared(mask)) => {
+                let lat = self.data_latency(line);
+                self.state.insert(line, DirState::Shared(mask | (1 << req.0)));
+                self.send(NodeId::Core(req), Msg::DataS { line }, now + lat, out);
+            }
+            Some(DirState::Owned(owner)) => {
+                debug_assert_ne!(owner, req, "owner re-requesting S");
+                self.busy.insert(line, Txn::FetchForS { req });
+                self.send(NodeId::Core(owner), Msg::FetchS { line }, now, out);
+            }
+        }
+    }
+
+    fn process_getm(&mut self, line: Line, req: CoreId, now: Cycle, out: &mut Vec<Action>) {
+        self.stats.getm += 1;
+        match self.state.get(&line).copied() {
+            None => {
+                let lat = self.data_latency(line);
+                self.state.insert(line, DirState::Owned(req));
+                self.send(NodeId::Core(req), Msg::GrantM { line }, now + lat, out);
+            }
+            Some(DirState::Shared(mask)) => {
+                let others = mask & !(1u64 << req.0);
+                let need_data = mask & (1u64 << req.0) == 0;
+                if others == 0 {
+                    // Upgrade with no other sharers (or sole cold GetM).
+                    let lat = if need_data { self.data_latency(line) } else { 0 };
+                    self.state.insert(line, DirState::Owned(req));
+                    self.send(NodeId::Core(req), Msg::GrantM { line }, now + lat, out);
+                } else {
+                    let mut pending = 0;
+                    for c in 0..64u8 {
+                        if others & (1 << c) != 0 {
+                            pending += 1;
+                            self.stats.invs_sent += 1;
+                            self.send(NodeId::Core(CoreId(c)), Msg::Inv { line }, now, out);
+                        }
+                    }
+                    self.busy.insert(line, Txn::CollectAcks { req, pending, need_data });
+                }
+            }
+            Some(DirState::Owned(owner)) => {
+                debug_assert_ne!(owner, req, "owner re-requesting M");
+                self.busy.insert(line, Txn::FetchForM { req });
+                self.send(NodeId::Core(owner), Msg::FetchInv { line }, now, out);
+            }
+        }
+    }
+
+    fn process_putm(&mut self, line: Line, from: CoreId, now: Cycle, out: &mut Vec<Action>) {
+        let stale = self.state.get(&line).copied() != Some(DirState::Owned(from));
+        if !stale {
+            self.stats.writebacks += 1;
+            self.state.remove(&line);
+            let _ = self.l3.insert(line, ());
+        }
+        self.send(NodeId::Core(from), Msg::PutMAck { line, stale }, now, out);
+    }
+
+    fn on_inv_ack(&mut self, line: Line, now: Cycle, out: &mut Vec<Action>) {
+        let finish = match self.busy.get_mut(&line) {
+            Some(Txn::CollectAcks { pending, .. }) => {
+                *pending -= 1;
+                *pending == 0
+            }
+            other => unreachable!("InvAck for line in txn {other:?}"),
+        };
+        if finish {
+            let Some(Txn::CollectAcks { req, need_data, .. }) = self.busy.remove(&line) else {
+                unreachable!("checked above");
+            };
+            let lat = if need_data { self.data_latency(line) } else { 0 };
+            self.state.insert(line, DirState::Owned(req));
+            self.send(NodeId::Core(req), Msg::GrantM { line }, now + lat, out);
+            self.drain_deferred(line, now, out);
+        }
+    }
+
+    fn on_ack_data(
+        &mut self,
+        line: Line,
+        dirty: bool,
+        retained: bool,
+        now: Cycle,
+        out: &mut Vec<Action>,
+    ) {
+        if dirty {
+            let _ = self.l3.insert(line, ());
+        }
+        match self.busy.remove(&line) {
+            Some(Txn::FetchForS { req }) => {
+                let old_owner = match self.state.get(&line) {
+                    Some(DirState::Owned(o)) => *o,
+                    other => unreachable!("FetchForS on {other:?}"),
+                };
+                let mut mask = 1u64 << req.0;
+                if retained {
+                    mask |= 1u64 << old_owner.0;
+                }
+                self.state.insert(line, DirState::Shared(mask));
+                self.send(NodeId::Core(req), Msg::DataS { line }, now, out);
+            }
+            Some(Txn::FetchForM { req }) => {
+                self.state.insert(line, DirState::Owned(req));
+                self.send(NodeId::Core(req), Msg::GrantM { line }, now, out);
+            }
+            other => unreachable!("AckData for line in txn {other:?}"),
+        }
+        self.drain_deferred(line, now, out);
+    }
+
+    /// After a transaction completes, process deferred requests until one
+    /// of them makes the line busy again (or none remain).
+    fn drain_deferred(&mut self, line: Line, now: Cycle, out: &mut Vec<Action>) {
+        while !self.busy.contains_key(&line) {
+            let Some(next) = self.deferred.get_mut(&line).and_then(VecDeque::pop_front) else {
+                self.deferred.remove(&line);
+                return;
+            };
+            self.process_request(next, now, out);
+        }
+    }
+
+    /// Directory's view of the owner of `line`, for tests.
+    pub fn owner_of(&self, line: Line) -> Option<CoreId> {
+        match self.state.get(&line) {
+            Some(DirState::Owned(o)) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Directory's sharer mask for `line`, for tests.
+    pub fn sharers_of(&self, line: Line) -> u64 {
+        match self.state.get(&line) {
+            Some(DirState::Shared(m)) => *m,
+            Some(DirState::Owned(o)) => 1u64 << o.0,
+            None => 0,
+        }
+    }
+
+    /// `true` while a transaction is in flight for `line`.
+    pub fn is_busy(&self, line: Line) -> bool {
+        self.busy.contains_key(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> DirBank {
+        DirBank::new(0, 64 * 64, 8, 35, 160)
+    }
+
+    fn ln(i: u64) -> Line {
+        Line::from_raw(i)
+    }
+
+    fn sends(actions: &[Action]) -> Vec<(NodeId, Msg, Cycle)> {
+        actions
+            .iter()
+            .map(|a| match a {
+                Action::Send { to, msg, at, .. } => (*to, *msg, *at),
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cold_gets_returns_exclusive_with_memory_latency() {
+        let mut b = bank();
+        let a = b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 100);
+        let s = sends(&a);
+        assert_eq!(s, vec![(NodeId::Core(CoreId(0)), Msg::DataE { line: ln(1) }, 100 + 35 + 160)]);
+        assert_eq!(b.owner_of(ln(1)), Some(CoreId(0)));
+        assert_eq!(b.stats.l3_misses, 1);
+    }
+
+    #[test]
+    fn second_gets_downgrades_owner() {
+        let mut b = bank();
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
+        let a = b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 50);
+        let s = sends(&a);
+        assert_eq!(s, vec![(NodeId::Core(CoreId(0)), Msg::FetchS { line: ln(1) }, 50)]);
+        assert!(b.is_busy(ln(1)));
+        let a = b.handle(
+            Msg::AckData { line: ln(1), from: CoreId(0), dirty: false, retained: true },
+            80,
+        );
+        let s = sends(&a);
+        assert_eq!(s, vec![(NodeId::Core(CoreId(1)), Msg::DataS { line: ln(1) }, 80)]);
+        assert_eq!(b.sharers_of(ln(1)), 0b11);
+        assert!(!b.is_busy(ln(1)));
+    }
+
+    #[test]
+    fn getm_collects_all_acks_before_grant() {
+        let mut b = bank();
+        // Make cores 0 and 1 sharers.
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 0);
+        b.handle(Msg::AckData { line: ln(1), from: CoreId(0), dirty: false, retained: true }, 10);
+        // Core 2 wants M: invalidations to 0 and 1 first.
+        let a = b.handle(Msg::GetM { line: ln(1), req: CoreId(2) }, 20);
+        let s = sends(&a);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|(_, m, _)| matches!(m, Msg::Inv { .. })));
+        // First ack: no grant yet (write atomicity).
+        let a = b.handle(Msg::InvAck { line: ln(1), from: CoreId(0) }, 30);
+        assert!(a.is_empty());
+        // Second ack: grant.
+        let a = b.handle(Msg::InvAck { line: ln(1), from: CoreId(1) }, 40);
+        let s = sends(&a);
+        assert_eq!(s.len(), 1);
+        let (to, msg, at) = s[0];
+        assert_eq!(to, NodeId::Core(CoreId(2)));
+        assert!(matches!(msg, Msg::GrantM { .. }));
+        assert_eq!(at, 40 + 35, "data from L3 after acks");
+        assert_eq!(b.owner_of(ln(1)), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn upgrade_by_sole_sharer_is_immediate() {
+        let mut b = bank();
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 0);
+        b.handle(Msg::AckData { line: ln(1), from: CoreId(0), dirty: false, retained: false }, 10);
+        // Only core 1 shares now; it upgrades without data or invs.
+        let a = b.handle(Msg::GetM { line: ln(1), req: CoreId(1) }, 20);
+        let s = sends(&a);
+        assert_eq!(s, vec![(NodeId::Core(CoreId(1)), Msg::GrantM { line: ln(1) }, 20)]);
+    }
+
+    #[test]
+    fn requests_defer_while_busy() {
+        let mut b = bank();
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 10); // busy: FetchForS
+        let a = b.handle(Msg::GetM { line: ln(1), req: CoreId(2) }, 12);
+        assert!(a.is_empty(), "deferred while busy");
+        assert_eq!(b.stats.deferred, 1);
+        // Owner responds; deferred GetM should start immediately.
+        let a = b.handle(
+            Msg::AckData { line: ln(1), from: CoreId(0), dirty: true, retained: true },
+            30,
+        );
+        let s = sends(&a);
+        // DataS to core1, then invalidations to cores 0 and 1 for the GetM.
+        assert!(matches!(s[0].1, Msg::DataS { .. }));
+        assert_eq!(
+            s.iter().filter(|(_, m, _)| matches!(m, Msg::Inv { .. })).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn putm_from_owner_accepted_from_other_stale() {
+        let mut b = bank();
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
+        let a = b.handle(Msg::PutM { line: ln(1), from: CoreId(0) }, 10);
+        let s = sends(&a);
+        assert_eq!(s, vec![(NodeId::Core(CoreId(0)), Msg::PutMAck { line: ln(1), stale: false }, 10)]);
+        assert_eq!(b.owner_of(ln(1)), None);
+        assert_eq!(b.stats.writebacks, 1);
+        let a = b.handle(Msg::PutM { line: ln(1), from: CoreId(3) }, 20);
+        let s = sends(&a);
+        assert_eq!(s, vec![(NodeId::Core(CoreId(3)), Msg::PutMAck { line: ln(1), stale: true }, 20)]);
+    }
+
+    #[test]
+    fn fetch_for_m_grants_after_owner_ack() {
+        let mut b = bank();
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
+        let a = b.handle(Msg::GetM { line: ln(1), req: CoreId(1) }, 10);
+        assert!(matches!(sends(&a)[0].1, Msg::FetchInv { .. }));
+        let a = b.handle(
+            Msg::AckData { line: ln(1), from: CoreId(0), dirty: true, retained: false },
+            40,
+        );
+        let s = sends(&a);
+        assert!(matches!(s[0].1, Msg::GrantM { .. }));
+        assert_eq!(b.owner_of(ln(1)), Some(CoreId(1)));
+    }
+
+    #[test]
+    fn l3_hit_after_writeback_avoids_memory() {
+        let mut b = bank();
+        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
+        b.handle(Msg::PutM { line: ln(1), from: CoreId(0) }, 10);
+        let a = b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 20);
+        let s = sends(&a);
+        assert_eq!(s[0].2, 20 + 35, "L3 hit, no memory latency");
+    }
+}

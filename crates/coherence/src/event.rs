@@ -1,0 +1,135 @@
+//! Deterministic discrete-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sa_isa::Cycle;
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking for
+/// events scheduled at the same cycle.
+///
+/// ```
+/// use sa_coherence::event::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.schedule(5, "b");
+/// q.schedule(3, "a");
+/// q.schedule(5, "c");
+/// assert_eq!(q.pop_until(10), Some((3, "a")));
+/// assert_eq!(q.pop_until(10), Some((5, "b")));
+/// assert_eq!(q.pop_until(4), None); // "c" is at cycle 5
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    cycle: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue::default()
+    }
+
+    /// Schedules `payload` at `cycle`. Events at equal cycles pop in
+    /// schedule order.
+    pub fn schedule(&mut self, cycle: Cycle, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { cycle, seq, payload }));
+    }
+
+    /// Pops the earliest event whose cycle is `<= until`, if any.
+    pub fn pop_until(&mut self, until: Cycle) -> Option<(Cycle, E)> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.cycle <= until) {
+            let Reverse(e) = self.heap.pop().expect("peeked entry");
+            Some((e.cycle, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// The cycle of the earliest pending event.
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.cycle)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_cycle_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        q.schedule(10, 2);
+        q.schedule(2, 3);
+        q.schedule(10, 4);
+        let mut out = Vec::new();
+        while let Some((_, p)) = q.pop_until(u64::MAX) {
+            out.push(p);
+        }
+        assert_eq!(out, vec![3, 1, 2, 4]);
+    }
+
+    #[test]
+    fn pop_until_respects_bound() {
+        let mut q = EventQueue::new();
+        q.schedule(7, "x");
+        assert!(q.pop_until(6).is_none());
+        assert_eq!(q.next_cycle(), Some(7));
+        assert_eq!(q.pop_until(7), Some((7, "x")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        let _ = q.pop_until(5);
+        assert_eq!(q.len(), 1);
+    }
+}

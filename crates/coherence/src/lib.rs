@@ -1,0 +1,57 @@
+//! Event-driven timing model of the paper's memory system (Table III):
+//! private L1 + L2 caches per core, a shared banked L3 with a blocking
+//! MESI directory, and a fully-connected interconnect — the role GEMS and
+//! GARNET play in the paper's infrastructure.
+//!
+//! # Write atomicity
+//!
+//! The protocol is *write atomic* (the paper's §II-E baseline assumption):
+//! a `GetM` is granted only after the directory has collected invalidation
+//! acknowledgements from every sharer (or the data/ack from the previous
+//! owner). Consequently a store's value becomes visible to all *other*
+//! cores at a single instant — its L1 commit — and the only way any core
+//! can see a store "early" is its own store buffer, which is exactly the
+//! store-atomicity loophole the paper studies.
+//!
+//! # Core-facing interface
+//!
+//! The out-of-order core interacts with [`MemorySystem`] through four
+//! operations and a notice stream:
+//!
+//! * [`MemorySystem::issue_load`] — a demand load of a line; completes with
+//!   [`NoticeKind::LoadDone`].
+//! * [`MemorySystem::issue_ownership`] — acquire M/E ownership of a line
+//!   (the RFO a draining store performs); completes with
+//!   [`NoticeKind::OwnershipDone`].
+//! * [`MemorySystem::has_ownership`] / [`MemorySystem::mark_dirty`] — the
+//!   store-commit fast path: once the private hierarchy owns the line, the
+//!   L1 write itself is a local action of the core.
+//! * [`NoticeKind::Invalidated`] and [`NoticeKind::Evicted`] notices, which
+//!   the core's load queue snoops — these open the paper's *window of
+//!   vulnerability* (§IV).
+//!
+//! # Simplifications (documented per DESIGN.md)
+//!
+//! * Shared (S) lines are evicted silently; the directory may later send a
+//!   spurious invalidation, which the private controller simply
+//!   acknowledges. This is conservative for the paper's mechanisms.
+//! * The directory has full coverage (the paper provisions 200% L2
+//!   coverage, making directory evictions negligible).
+//! * The L3 is a latency filter backed by infinite-capacity memory state;
+//!   its finite data array decides hit/miss latency only.
+
+pub mod cache;
+pub mod config;
+pub mod dir;
+pub mod event;
+pub mod memsys;
+pub mod msg;
+pub mod network;
+pub mod prefetch;
+pub mod private;
+pub mod stats;
+
+pub use config::MemConfig;
+pub use network::Topology;
+pub use memsys::{MemReqId, MemorySystem, Notice, NoticeKind};
+pub use stats::MemStats;

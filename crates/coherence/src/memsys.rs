@@ -1,0 +1,414 @@
+//! The assembled memory system: private controllers, directory banks, the
+//! network, and the event queue behind one core-facing facade.
+
+use sa_isa::{Addr, CoreId, Cycle, Line};
+
+use crate::config::MemConfig;
+use crate::dir::DirBank;
+use crate::event::EventQueue;
+use crate::msg::{Msg, NodeId};
+use crate::network::Network;
+use crate::private::PrivateCtrl;
+use crate::stats::MemStats;
+
+/// Identifies an outstanding load or ownership request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemReqId(pub u64);
+
+/// What the memory system tells a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoticeKind {
+    /// A demand load completed (the load *performs* now).
+    LoadDone {
+        /// The request this completes.
+        id: MemReqId,
+    },
+    /// An ownership (RFO/upgrade) request completed; the line is writable.
+    OwnershipDone {
+        /// The request this completes.
+        id: MemReqId,
+    },
+    /// A remote store invalidated `line`; the load queue must snoop this.
+    Invalidated {
+        /// The invalidated line.
+        line: Line,
+    },
+    /// `line` left the private hierarchy for capacity reasons. The paper
+    /// treats evictions like invalidations for speculative loads because
+    /// an eviction would filter out a future invalidation.
+    Evicted {
+        /// The evicted line.
+        line: Line,
+    },
+}
+
+/// A timestamped [`NoticeKind`] delivered to a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notice {
+    /// Cycle at which the notice takes effect.
+    pub at: Cycle,
+    /// The payload.
+    pub kind: NoticeKind,
+}
+
+/// An action emitted by a controller, applied by the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Inject `msg` into the network at cycle `at`.
+    Send {
+        /// Sending node (network channel source).
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: Msg,
+        /// Injection cycle (may be later than "now" to model lookup
+        /// latency before the miss is discovered).
+        at: Cycle,
+    },
+    /// Deliver a notice to `core` at cycle `at`.
+    Notice {
+        /// Destination core.
+        core: CoreId,
+        /// Delivery cycle.
+        at: Cycle,
+        /// The payload.
+        kind: NoticeKind,
+    },
+}
+
+#[derive(Debug)]
+enum Ev {
+    Deliver { to: NodeId, msg: Msg },
+    Notice { core: CoreId, kind: NoticeKind },
+}
+
+/// The full memory system below the cores.
+///
+/// Drive it with [`MemorySystem::advance`] once per core cycle, then drain
+/// each core's notices with [`MemorySystem::drain_notices`].
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    q: EventQueue<Ev>,
+    net: Network,
+    ctrls: Vec<PrivateCtrl>,
+    banks: Vec<DirBank>,
+    notices: Vec<Vec<Notice>>,
+    next_req: u64,
+}
+
+impl MemorySystem {
+    /// Builds the memory system described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MemConfig::validate`].
+    pub fn new(cfg: MemConfig) -> MemorySystem {
+        cfg.validate();
+        let ctrls = (0..cfg.n_cores)
+            .map(|i| PrivateCtrl::new(CoreId(i as u8), &cfg))
+            .collect();
+        let banks = (0..cfg.l3_banks)
+            .map(|i| {
+                DirBank::new(
+                    i as u8,
+                    cfg.l3_bytes_per_bank,
+                    cfg.l3_assoc,
+                    cfg.l3_latency,
+                    cfg.mem_latency,
+                )
+            })
+            .collect();
+        MemorySystem {
+            net: Network::with_topology(
+                cfg.hop_latency,
+                cfg.data_flits,
+                cfg.ctrl_flits,
+                cfg.topology,
+                cfg.n_cores,
+            ),
+            q: EventQueue::new(),
+            ctrls,
+            banks,
+            notices: vec![Vec::new(); cfg.n_cores],
+            next_req: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// L1 hit latency, for the core's store-commit fast path.
+    pub fn l1_latency(&self) -> u64 {
+        self.cfg.l1_latency
+    }
+
+    fn fresh_req(&mut self) -> MemReqId {
+        let id = MemReqId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    /// Issues a demand load for `core`. Returns `None` when the
+    /// controller's MSHRs are exhausted (retry next cycle).
+    pub fn issue_load(
+        &mut self,
+        core: CoreId,
+        line: Line,
+        pc: u64,
+        addr: Addr,
+        now: Cycle,
+    ) -> Option<MemReqId> {
+        let id = self.fresh_req();
+        let actions = self.ctrls[core.index()].load(id, line, pc, addr, now)?;
+        self.apply(actions);
+        Some(id)
+    }
+
+    /// Issues an ownership request (store RFO/upgrade) for `core`.
+    /// Returns `None` when the controller's MSHRs are exhausted.
+    pub fn issue_ownership(&mut self, core: CoreId, line: Line, now: Cycle) -> Option<MemReqId> {
+        let id = self.fresh_req();
+        let actions = self.ctrls[core.index()].ownership(id, line, now)?;
+        self.apply(actions);
+        Some(id)
+    }
+
+    /// `true` when `core`'s private hierarchy owns `line` (M/E).
+    pub fn has_ownership(&self, core: CoreId, line: Line) -> bool {
+        self.ctrls[core.index()].has_ownership(line)
+    }
+
+    /// Records the store-commit L1 write into an owned line.
+    pub fn mark_dirty(&mut self, core: CoreId, line: Line) {
+        self.ctrls[core.index()].mark_dirty(line);
+    }
+
+    fn apply(&mut self, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { from, to, msg, at } => {
+                    let deliver = self.net.send(from, to, at, msg.carries_data());
+                    self.q.schedule(deliver, Ev::Deliver { to, msg });
+                }
+                Action::Notice { core, at, kind } => {
+                    self.q.schedule(at, Ev::Notice { core, kind });
+                }
+            }
+        }
+    }
+
+    /// Processes all protocol events up to and including cycle `to`,
+    /// accumulating notices for the cores.
+    pub fn advance(&mut self, to: Cycle) {
+        while let Some((cycle, ev)) = self.q.pop_until(to) {
+            match ev {
+                Ev::Deliver { to: node, msg } => {
+                    let actions = match node {
+                        NodeId::Bank(b) => self.banks[b as usize].handle(msg, cycle),
+                        NodeId::Core(c) => self.ctrls[c.index()].handle(msg, cycle),
+                    };
+                    self.apply(actions);
+                }
+                Ev::Notice { core, kind } => {
+                    self.notices[core.index()].push(Notice { at: cycle, kind });
+                }
+            }
+        }
+    }
+
+    /// Takes the notices accumulated for `core` since the last drain.
+    pub fn drain_notices(&mut self, core: CoreId) -> Vec<Notice> {
+        std::mem::take(&mut self.notices[core.index()])
+    }
+
+    /// `true` when no protocol events are pending anywhere.
+    pub fn quiescent(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Cycle of the next pending protocol event, if any.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        self.q.next_cycle()
+    }
+
+    /// Aggregated statistics snapshot.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            per_core: self.ctrls.iter().map(|c| c.stats).collect(),
+            per_bank: self.banks.iter().map(|b| b.stats).collect(),
+            flits_sent: self.net.flits_sent(),
+            msgs_sent: self.net.msgs_sent(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(n: usize) -> MemorySystem {
+        MemorySystem::new(MemConfig { prefetch: false, ..MemConfig::with_cores(n) })
+    }
+
+    fn line(i: u64) -> Line {
+        Line::from_raw(i)
+    }
+
+    fn run_until_load_done(m: &mut MemorySystem, core: CoreId, id: MemReqId, limit: Cycle) -> Cycle {
+        for t in 0..limit {
+            m.advance(t);
+            for n in m.drain_notices(core) {
+                if n.kind == (NoticeKind::LoadDone { id }) {
+                    return n.at;
+                }
+            }
+        }
+        panic!("load never completed");
+    }
+
+    fn run_until_own_done(m: &mut MemorySystem, core: CoreId, id: MemReqId, limit: Cycle) -> Cycle {
+        for t in 0..limit {
+            m.advance(t);
+            for n in m.drain_notices(core) {
+                if n.kind == (NoticeKind::OwnershipDone { id }) {
+                    return n.at;
+                }
+            }
+        }
+        panic!("ownership never completed");
+    }
+
+    #[test]
+    fn cold_load_latency_includes_memory() {
+        let mut m = sys(2);
+        let id = m.issue_load(CoreId(0), line(1), 0, 64, 0).unwrap();
+        let done = run_until_load_done(&mut m, CoreId(0), id, 2000);
+        // l2 lookup 12 + net 7 + l3 35 + mem 160 + net 11 = 225
+        assert_eq!(done, 225);
+    }
+
+    #[test]
+    fn warm_load_is_l1_hit() {
+        let mut m = sys(2);
+        let id = m.issue_load(CoreId(0), line(1), 0, 64, 0).unwrap();
+        let t0 = run_until_load_done(&mut m, CoreId(0), id, 2000);
+        let id2 = m.issue_load(CoreId(0), line(1), 0, 64, t0 + 1).unwrap();
+        let t1 = run_until_load_done(&mut m, CoreId(0), id2, t0 + 100);
+        assert_eq!(t1, t0 + 1 + 4, "L1 hit at +4");
+    }
+
+    #[test]
+    fn remote_store_invalidates_sharer() {
+        let mut m = sys(2);
+        // Core 0 reads the line.
+        let id = m.issue_load(CoreId(0), line(1), 0, 64, 0).unwrap();
+        let t0 = run_until_load_done(&mut m, CoreId(0), id, 2000);
+        // Core 1 wants ownership: core 0 must observe an invalidation
+        // strictly before the grant (write atomicity).
+        let own = m.issue_ownership(CoreId(1), line(1), t0 + 1).unwrap();
+        let granted = run_until_own_done(&mut m, CoreId(1), own, t0 + 2000);
+        m.advance(granted + 200);
+        let inv_notices: Vec<Notice> = m
+            .drain_notices(CoreId(0))
+            .into_iter()
+            .filter(|n| matches!(n.kind, NoticeKind::Invalidated { .. }))
+            .collect();
+        // Core0 got E then was FetchInv'd (owner), so it sees exactly one
+        // invalidation, before the grant.
+        assert_eq!(inv_notices.len(), 1);
+        assert!(inv_notices[0].at < granted, "invalidation precedes grant");
+        assert!(m.has_ownership(CoreId(1), line(1)));
+        assert!(!m.has_ownership(CoreId(0), line(1)));
+    }
+
+    #[test]
+    fn two_sharers_both_invalidated_before_grant() {
+        let mut m = sys(4);
+        let a = m.issue_load(CoreId(0), line(9), 0, 9 * 64, 0).unwrap();
+        let t0 = run_until_load_done(&mut m, CoreId(0), a, 2000);
+        let b = m.issue_load(CoreId(1), line(9), 0, 9 * 64, t0 + 1).unwrap();
+        let t1 = run_until_load_done(&mut m, CoreId(1), b, t0 + 2000);
+        // Third core stores.
+        let own = m.issue_ownership(CoreId(2), line(9), t1 + 1).unwrap();
+        let granted = run_until_own_done(&mut m, CoreId(2), own, t1 + 2000);
+        m.advance(granted + 100);
+        for c in [CoreId(0), CoreId(1)] {
+            let invs: Vec<Notice> = m
+                .drain_notices(c)
+                .into_iter()
+                .filter(|n| matches!(n.kind, NoticeKind::Invalidated { .. }))
+                .collect();
+            assert_eq!(invs.len(), 1, "{c} must be invalidated exactly once");
+            assert!(invs[0].at <= granted);
+        }
+    }
+
+    #[test]
+    fn store_commit_fast_path() {
+        let mut m = sys(2);
+        let own = m.issue_ownership(CoreId(0), line(3), 0).unwrap();
+        let granted = run_until_own_done(&mut m, CoreId(0), own, 2000);
+        assert!(m.has_ownership(CoreId(0), line(3)));
+        m.mark_dirty(CoreId(0), line(3));
+        // A second ownership request on the same line is the fast path.
+        let own2 = m.issue_ownership(CoreId(0), line(3), granted + 1).unwrap();
+        let t = run_until_own_done(&mut m, CoreId(0), own2, granted + 50);
+        assert_eq!(t, granted + 2);
+    }
+
+    #[test]
+    fn read_after_remote_dirty_write_downgrades() {
+        let mut m = sys(2);
+        let own = m.issue_ownership(CoreId(0), line(3), 0).unwrap();
+        let granted = run_until_own_done(&mut m, CoreId(0), own, 2000);
+        m.mark_dirty(CoreId(0), line(3));
+        let id = m.issue_load(CoreId(1), line(3), 0, 3 * 64, granted + 1).unwrap();
+        let done = run_until_load_done(&mut m, CoreId(1), id, granted + 2000);
+        assert!(done > granted);
+        // Owner keeps a shared copy; no invalidation notice for a FetchS.
+        let invs = m
+            .drain_notices(CoreId(0))
+            .into_iter()
+            .filter(|n| matches!(n.kind, NoticeKind::Invalidated { .. }))
+            .count();
+        assert_eq!(invs, 0);
+        assert!(!m.has_ownership(CoreId(0), line(3)));
+        assert!(m.stats().per_bank.iter().map(|b| b.gets).sum::<u64>() >= 1);
+    }
+
+    #[test]
+    fn quiescent_after_all_events_drain() {
+        let mut m = sys(2);
+        let _ = m.issue_load(CoreId(0), line(1), 0, 64, 0).unwrap();
+        assert!(!m.quiescent());
+        m.advance(10_000);
+        assert!(m.quiescent());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut m = sys(4);
+            let mut events = Vec::new();
+            for t in 0..400u64 {
+                m.advance(t);
+                for c in 0..4u8 {
+                    for n in m.drain_notices(CoreId(c)) {
+                        events.push((c, n.at, format!("{:?}", n.kind)));
+                    }
+                    if t % 7 == u64::from(c) {
+                        let ln = line(u64::from(c) % 3 + 1);
+                        let _ = m.issue_load(CoreId(c), ln, t, ln.base(), t);
+                    }
+                }
+            }
+            events
+        };
+        assert_eq!(run(), run());
+    }
+}

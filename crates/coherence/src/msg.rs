@@ -1,0 +1,127 @@
+//! Coherence-protocol messages and node addressing.
+
+use sa_isa::{CoreId, Line};
+
+/// A network endpoint: a core's private cache controller or an L3
+/// bank/directory slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeId {
+    /// Private controller of a core.
+    Core(CoreId),
+    /// Shared L3 bank + directory slice.
+    Bank(u8),
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeId::Core(c) => write!(f, "{c}"),
+            NodeId::Bank(b) => write!(f, "bank{b}"),
+        }
+    }
+}
+
+/// A protocol message. Data-carrying messages serialize as 5 flits,
+/// control messages as 1 flit (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    // ---- requests: core -> directory ----
+    /// Read request (load miss).
+    GetS { line: Line, req: CoreId },
+    /// Ownership request (store RFO / upgrade).
+    GetM { line: Line, req: CoreId },
+    /// Dirty-line writeback from the owner.
+    PutM { line: Line, from: CoreId },
+
+    // ---- responses: directory -> core ----
+    /// Shared data response.
+    DataS { line: Line },
+    /// Exclusive data response (no other sharers existed).
+    DataE { line: Line },
+    /// Ownership grant (sent only after all invalidation acks collected —
+    /// this is what makes the protocol write-atomic).
+    GrantM { line: Line },
+    /// Acknowledgement of a `PutM`. `stale` means the sender was no longer
+    /// the registered owner (the line was concurrently fetched away) and
+    /// its writeback data was superseded.
+    PutMAck { line: Line, stale: bool },
+
+    // ---- directory-initiated: directory -> core ----
+    /// Invalidate a shared copy.
+    Inv { line: Line },
+    /// Downgrade the owned copy to shared and return data.
+    FetchS { line: Line },
+    /// Invalidate the owned copy and return data.
+    FetchInv { line: Line },
+
+    // ---- acks: core -> directory ----
+    /// Invalidation acknowledgement from a sharer.
+    InvAck { line: Line, from: CoreId },
+    /// Data/ack response of an owner to `FetchS`/`FetchInv`. `retained`
+    /// reports whether the responder kept a shared copy; `dirty` whether
+    /// the data had been written.
+    AckData { line: Line, from: CoreId, dirty: bool, retained: bool },
+}
+
+impl Msg {
+    /// The line this message concerns.
+    pub fn line(&self) -> Line {
+        match *self {
+            Msg::GetS { line, .. }
+            | Msg::GetM { line, .. }
+            | Msg::PutM { line, .. }
+            | Msg::DataS { line }
+            | Msg::DataE { line }
+            | Msg::GrantM { line }
+            | Msg::PutMAck { line, .. }
+            | Msg::Inv { line }
+            | Msg::FetchS { line }
+            | Msg::FetchInv { line }
+            | Msg::InvAck { line, .. }
+            | Msg::AckData { line, .. } => line,
+        }
+    }
+
+    /// `true` when the message carries a data payload (5-flit
+    /// serialization instead of 1).
+    pub fn carries_data(&self) -> bool {
+        matches!(
+            self,
+            Msg::PutM { .. }
+                | Msg::DataS { .. }
+                | Msg::DataE { .. }
+                | Msg::GrantM { .. }
+                | Msg::AckData { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_extraction() {
+        let l = Line::from_raw(42);
+        let m = Msg::GetS { line: l, req: CoreId(1) };
+        assert_eq!(m.line(), l);
+        assert_eq!(Msg::Inv { line: l }.line(), l);
+    }
+
+    #[test]
+    fn data_classification() {
+        let l = Line::from_raw(1);
+        assert!(Msg::DataS { line: l }.carries_data());
+        assert!(Msg::GrantM { line: l }.carries_data());
+        assert!(Msg::PutM { line: l, from: CoreId(0) }.carries_data());
+        assert!(!Msg::GetS { line: l, req: CoreId(0) }.carries_data());
+        assert!(!Msg::Inv { line: l }.carries_data());
+        assert!(!Msg::InvAck { line: l, from: CoreId(0) }.carries_data());
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId::Core(CoreId(2)).to_string(), "core2");
+        assert_eq!(NodeId::Bank(5).to_string(), "bank5");
+    }
+}

@@ -1,0 +1,192 @@
+//! Interconnect model (GARNET substitute).
+//!
+//! The paper's Table III uses a fully-connected topology: every pair of
+//! nodes has a dedicated channel; a message occupies its source-side
+//! channel for one cycle per flit (1 flit control / 5 flits data) and
+//! then travels one switch-to-switch hop (6 cycles). Channel occupancy
+//! serializes messages and guarantees per-channel FIFO delivery, which
+//! the blocking directory relies on.
+//!
+//! A 2D-mesh topology with XY dimension-ordered hop counts is also
+//! provided (the common GARNET configuration) for sensitivity studies —
+//! only the hop count changes; per-channel FIFO is preserved because a
+//! source-destination pair always takes the same path.
+
+use std::collections::HashMap;
+
+use sa_isa::Cycle;
+
+use crate::msg::NodeId;
+
+/// Interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every node pair one switch-to-switch hop apart (Table III).
+    FullyConnected,
+    /// Nodes placed row-major on a `width`-column grid; hops = Manhattan
+    /// distance (minimum 1), XY-routed.
+    Mesh2D {
+        /// Grid columns.
+        width: usize,
+    },
+}
+
+impl Topology {
+    /// Linear index of a node: cores first, then banks.
+    fn index(node: NodeId, n_cores: usize) -> usize {
+        match node {
+            NodeId::Core(c) => c.index(),
+            NodeId::Bank(b) => n_cores + b as usize,
+        }
+    }
+
+    /// Switch-to-switch hops between two nodes.
+    pub fn hops(self, src: NodeId, dst: NodeId, n_cores: usize) -> u64 {
+        match self {
+            Topology::FullyConnected => 1,
+            Topology::Mesh2D { width } => {
+                let w = width.max(1);
+                let a = Self::index(src, n_cores);
+                let b = Self::index(dst, n_cores);
+                let (ax, ay) = (a % w, a / w);
+                let (bx, by) = (b % w, b / w);
+                ((ax.abs_diff(bx) + ay.abs_diff(by)) as u64).max(1)
+            }
+        }
+    }
+}
+
+/// Computes message delivery times over the fabric.
+#[derive(Debug)]
+pub struct Network {
+    hop_latency: u64,
+    data_flits: u64,
+    ctrl_flits: u64,
+    topology: Topology,
+    n_cores: usize,
+    channel_busy_until: HashMap<(NodeId, NodeId), Cycle>,
+    flits_sent: u64,
+    msgs_sent: u64,
+}
+
+impl Network {
+    /// Creates a fully-connected network (Table III) with the given hop
+    /// latency and message sizes.
+    pub fn new(hop_latency: u64, data_flits: u64, ctrl_flits: u64) -> Network {
+        Network::with_topology(hop_latency, data_flits, ctrl_flits, Topology::FullyConnected, 0)
+    }
+
+    /// Creates a network with an explicit topology; `n_cores` anchors the
+    /// node placement for mesh hop counts.
+    pub fn with_topology(
+        hop_latency: u64,
+        data_flits: u64,
+        ctrl_flits: u64,
+        topology: Topology,
+        n_cores: usize,
+    ) -> Network {
+        Network {
+            hop_latency,
+            data_flits,
+            ctrl_flits,
+            topology,
+            n_cores,
+            channel_busy_until: HashMap::new(),
+            flits_sent: 0,
+            msgs_sent: 0,
+        }
+    }
+
+    /// Accounts for a message injected at `now` from `src` to `dst` and
+    /// returns its delivery cycle.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, now: Cycle, data: bool) -> Cycle {
+        let flits = if data { self.data_flits } else { self.ctrl_flits };
+        let hops = self.topology.hops(src, dst, self.n_cores);
+        let chan = self.channel_busy_until.entry((src, dst)).or_insert(0);
+        let start = now.max(*chan);
+        *chan = start + flits;
+        self.flits_sent += flits;
+        self.msgs_sent += 1;
+        start + flits + hops * self.hop_latency
+    }
+
+    /// Total flits injected so far.
+    pub fn flits_sent(&self) -> u64 {
+        self.flits_sent
+    }
+
+    /// Total messages injected so far.
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_isa::CoreId;
+
+    fn core(i: u8) -> NodeId {
+        NodeId::Core(CoreId(i))
+    }
+
+    #[test]
+    fn control_and_data_latency() {
+        let mut n = Network::new(6, 5, 1);
+        // control: 1 flit + 6 hop
+        assert_eq!(n.send(core(0), NodeId::Bank(0), 100, false), 107);
+        // data on an idle channel: 5 flits + 6 hop
+        assert_eq!(n.send(core(1), NodeId::Bank(0), 100, true), 111);
+    }
+
+    #[test]
+    fn channel_serialization_is_fifo() {
+        let mut n = Network::new(6, 5, 1);
+        let a = n.send(core(0), core(1), 10, true); // starts 10, done 15, arrives 21
+        let b = n.send(core(0), core(1), 10, false); // starts 15, done 16, arrives 22
+        assert_eq!(a, 21);
+        assert_eq!(b, 22);
+        assert!(b > a, "per-channel FIFO preserved");
+    }
+
+    #[test]
+    fn distinct_channels_do_not_interfere() {
+        let mut n = Network::new(6, 5, 1);
+        let a = n.send(core(0), core(1), 0, true);
+        let b = n.send(core(1), core(0), 0, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mesh_hops_are_manhattan() {
+        // 4 cores + 4 banks on a 3-wide grid:
+        //   c0 c1 c2
+        //   c3 b0 b1
+        //   b2 b3
+        let t = Topology::Mesh2D { width: 3 };
+        assert_eq!(t.hops(core(0), core(1), 4), 1);
+        assert_eq!(t.hops(core(0), core(2), 4), 2);
+        assert_eq!(t.hops(core(0), NodeId::Bank(3), 4), 3); // (0,0)->(1,2)
+        assert_eq!(t.hops(core(1), core(1), 4), 1, "self traffic still one hop");
+        assert_eq!(Topology::FullyConnected.hops(core(0), NodeId::Bank(7), 4), 1);
+    }
+
+    #[test]
+    fn mesh_network_delivers_later_than_fully_connected() {
+        let mut fc = Network::new(6, 5, 1);
+        let mut mesh = Network::with_topology(6, 5, 1, Topology::Mesh2D { width: 3 }, 4);
+        let a = fc.send(core(0), NodeId::Bank(3), 0, true);
+        let b = mesh.send(core(0), NodeId::Bank(3), 0, true);
+        assert_eq!(a, 11);
+        assert_eq!(b, 5 + 3 * 6);
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let mut n = Network::new(6, 5, 1);
+        n.send(core(0), core(1), 0, true);
+        n.send(core(0), core(1), 0, false);
+        assert_eq!(n.flits_sent(), 6);
+        assert_eq!(n.msgs_sent(), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! PC-indexed stride prefetcher for the L1 (Table III lists one, after
+//! Baer's classic design).
+
+use sa_isa::{Addr, Line};
+
+const TABLE_SIZE: usize = 256;
+const CONFIDENCE_MAX: u8 = 3;
+const CONFIDENCE_THRESHOLD: u8 = 2;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    tag: u64,
+    last_addr: Addr,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// Detects per-PC strided access patterns and proposes prefetch lines.
+#[derive(Debug)]
+pub struct StridePrefetcher {
+    table: Vec<StrideEntry>,
+    degree: usize,
+    enabled: bool,
+    issued: u64,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher proposing `degree` lines ahead when a stride
+    /// locks; `enabled = false` makes [`StridePrefetcher::train`] a no-op.
+    pub fn new(enabled: bool, degree: usize) -> StridePrefetcher {
+        StridePrefetcher {
+            table: vec![StrideEntry::default(); TABLE_SIZE],
+            degree,
+            enabled,
+            issued: 0,
+        }
+    }
+
+    /// Trains on a demand access `(pc, addr)` and returns lines to
+    /// prefetch (empty until the stride is confident).
+    pub fn train(&mut self, pc: u64, addr: Addr) -> Vec<Line> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let idx = (pc >> 2) as usize % TABLE_SIZE;
+        let e = &mut self.table[idx];
+        let tag = pc;
+        if !e.valid || e.tag != tag {
+            *e = StrideEntry { tag, last_addr: addr, stride: 0, confidence: 0, valid: true };
+            return Vec::new();
+        }
+        let new_stride = addr as i64 - e.last_addr as i64;
+        if new_stride == e.stride && new_stride != 0 {
+            e.confidence = (e.confidence + 1).min(CONFIDENCE_MAX);
+        } else {
+            e.stride = new_stride;
+            e.confidence = 0;
+        }
+        e.last_addr = addr;
+        if e.confidence < CONFIDENCE_THRESHOLD {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.degree);
+        let mut a = addr as i64;
+        let cur = Line::containing(addr);
+        for _ in 0..self.degree {
+            a += e.stride;
+            if a < 0 {
+                break;
+            }
+            let l = Line::containing(a as u64);
+            if l != cur && !out.contains(&l) {
+                out.push(l);
+            }
+        }
+        self.issued += out.len() as u64;
+        out
+    }
+
+    /// Total prefetch lines proposed.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_isa::LINE_BYTES;
+
+    #[test]
+    fn locks_onto_unit_line_stride() {
+        let mut p = StridePrefetcher::new(true, 1);
+        let stride = LINE_BYTES;
+        let mut got = Vec::new();
+        for i in 0..6u64 {
+            got.extend(p.train(0x400, 0x1_0000 + i * stride));
+        }
+        assert!(!got.is_empty(), "stride should lock after a few accesses");
+        // Each proposal is exactly one line ahead.
+        assert!(got.contains(&Line::containing(0x1_0000 + 4 * stride)));
+    }
+
+    #[test]
+    fn no_proposals_for_random_pattern() {
+        let mut p = StridePrefetcher::new(true, 2);
+        let addrs = [0x10u64, 0x5000, 0x20, 0x9000, 0x30];
+        let mut got = Vec::new();
+        for a in addrs {
+            got.extend(p.train(0x400, a));
+        }
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn small_strides_within_line_not_prefetched() {
+        let mut p = StridePrefetcher::new(true, 1);
+        let mut got = Vec::new();
+        for i in 0..10u64 {
+            got.extend(p.train(0x400, 0x1_0000 + i * 8));
+        }
+        // stride 8 stays within the current line most of the time; only
+        // line-crossing proposals appear and they differ from current.
+        for l in got {
+            assert_ne!(l, Line::containing(0x1_0000));
+        }
+    }
+
+    #[test]
+    fn disabled_is_noop() {
+        let mut p = StridePrefetcher::new(false, 4);
+        for i in 0..10u64 {
+            assert!(p.train(0x400, i * 64).is_empty());
+        }
+        assert_eq!(p.issued(), 0);
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_entries() {
+        let mut p = StridePrefetcher::new(true, 1);
+        for i in 0..6u64 {
+            p.train(0x400, 0x1_0000 + i * 64);
+            // Interleaved other-PC traffic must not disturb the stream
+            // (different table index).
+            p.train(0x404, 0x9_0000);
+        }
+        let out = p.train(0x400, 0x1_0000 + 6 * 64);
+        assert!(!out.is_empty());
+    }
+}

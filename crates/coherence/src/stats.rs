@@ -1,0 +1,74 @@
+//! Aggregated memory-system statistics.
+
+use crate::dir::BankStats;
+use crate::private::PrivStats;
+
+/// A snapshot of every counter in the memory system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// One entry per core's private controller.
+    pub per_core: Vec<PrivStats>,
+    /// One entry per L3 bank/directory slice.
+    pub per_bank: Vec<BankStats>,
+    /// Total flits injected into the network.
+    pub flits_sent: u64,
+    /// Total messages injected into the network.
+    pub msgs_sent: u64,
+}
+
+impl MemStats {
+    /// Total demand loads across cores.
+    pub fn demand_loads(&self) -> u64 {
+        self.per_core.iter().map(|c| c.demand_loads).sum()
+    }
+
+    /// Total L1 hits across cores.
+    pub fn l1_hits(&self) -> u64 {
+        self.per_core.iter().map(|c| c.l1_hits).sum()
+    }
+
+    /// Total private-hierarchy misses across cores.
+    pub fn misses(&self) -> u64 {
+        self.per_core.iter().map(|c| c.misses).sum()
+    }
+
+    /// Total invalidations received across cores.
+    pub fn invalidations(&self) -> u64 {
+        self.per_core.iter().map(|c| c.invs_received).sum()
+    }
+
+    /// Total L2 evictions across cores.
+    pub fn evictions(&self) -> u64 {
+        self.per_core.iter().map(|c| c.evictions).sum()
+    }
+
+    /// L1 hit rate over demand loads, in [0, 1]; 0 when no loads ran.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let loads = self.demand_loads();
+        if loads == 0 {
+            0.0
+        } else {
+            self.l1_hits() as f64 / loads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_across_cores() {
+        let mut s = MemStats::default();
+        s.per_core.push(PrivStats { demand_loads: 10, l1_hits: 6, ..Default::default() });
+        s.per_core.push(PrivStats { demand_loads: 30, l1_hits: 24, ..Default::default() });
+        assert_eq!(s.demand_loads(), 40);
+        assert_eq!(s.l1_hits(), 30);
+        assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_hit_rate_zero() {
+        assert_eq!(MemStats::default().l1_hit_rate(), 0.0);
+    }
+}

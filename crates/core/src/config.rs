@@ -1,0 +1,151 @@
+//! Full-system configuration — the paper's Table III.
+
+use sa_coherence::MemConfig;
+use sa_isa::ConsistencyModel;
+use sa_ooo::CoreConfig;
+
+/// Complete configuration of the simulated multicore.
+///
+/// Defaults reproduce Table III: 8 Skylake-like cores (5-wide, 224-entry
+/// ROB, 72-entry LQ, 56-entry SQ/SB, StoreSet, TAGE-style branch
+/// prediction), private 32 KB L1 + 128 KB L2, shared 8×1 MB L3 with
+/// directory, fully-connected network, 160-cycle memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Per-core microarchitecture.
+    pub core: CoreConfig,
+    /// Memory hierarchy and interconnect.
+    pub mem: MemConfig,
+    /// Which of the five consistency implementations to run.
+    pub model: ConsistencyModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            core: CoreConfig::default(),
+            mem: MemConfig::default(),
+            model: ConsistencyModel::X86,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the consistency model.
+    pub fn with_model(mut self, model: ConsistencyModel) -> SimConfig {
+        self.model = model;
+        self
+    }
+
+    /// Sets the number of cores.
+    pub fn with_cores(mut self, n: usize) -> SimConfig {
+        self.mem.n_cores = n;
+        self
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.mem.n_cores
+    }
+
+    /// Validates both halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either the core or memory configuration is invalid.
+    pub fn validate(&self) {
+        self.core.validate();
+        self.mem.validate();
+    }
+
+    /// Renders the configuration as the paper's Table III.
+    pub fn render_table3(&self) -> String {
+        let c = &self.core;
+        let m = &self.mem;
+        let mut s = String::new();
+        s.push_str("System configuration (Table III)\n");
+        s.push_str("Processor (Skylake-like)\n");
+        s.push_str(&format!("  Issue / Retire width        {} instructions\n", c.width));
+        s.push_str(&format!("  Reorder buffer              {} entries\n", c.rob_entries));
+        s.push_str(&format!("  Load queue                  {} entries\n", c.lq_entries));
+        s.push_str(&format!("  Store queue + store buffer  {} entries\n", c.sq_sb_entries));
+        s.push_str("  Memory dep. predictor       StoreSet\n");
+        s.push_str("  Branch predictor            TAGE (L-TAGE class)\n");
+        s.push_str("Memory\n");
+        s.push_str(&format!(
+            "  Private L1 D cache          {}KB, {} ways, {} hit cycles, stride prefetcher: {}\n",
+            m.l1_bytes / 1024,
+            m.l1_assoc,
+            m.l1_latency,
+            if m.prefetch { "on" } else { "off" }
+        ));
+        s.push_str(&format!(
+            "  Private L2 cache            {}KB, {} ways, {} hit cycles\n",
+            m.l2_bytes / 1024,
+            m.l2_assoc,
+            m.l2_latency
+        ));
+        s.push_str(&format!(
+            "  Shared L3 cache ({} banks)   {}MB per bank, {} ways, {} hit cycles\n",
+            m.l3_banks,
+            m.l3_bytes_per_bank / (1024 * 1024),
+            m.l3_assoc,
+            m.l3_latency
+        ));
+        s.push_str(&format!("  Memory access time          {} cycles\n", m.mem_latency));
+        s.push_str("Network\n");
+        s.push_str("  Topology                    Fully connected\n");
+        s.push_str(&format!(
+            "  Data / Control msg size     {} / {} flits\n",
+            m.data_flits, m.ctrl_flits
+        ));
+        s.push_str(&format!("  Switch-to-switch time       {} cycles\n", m.hop_latency));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_paper() {
+        let cfg = SimConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.n_cores(), 8);
+        assert_eq!(cfg.core.rob_entries, 224);
+        assert_eq!(cfg.mem.mem_latency, 160);
+        assert_eq!(cfg.model, ConsistencyModel::X86);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = SimConfig::default()
+            .with_model(ConsistencyModel::Ibm370SlfSosKey)
+            .with_cores(2);
+        assert_eq!(cfg.model, ConsistencyModel::Ibm370SlfSosKey);
+        assert_eq!(cfg.n_cores(), 2);
+        cfg.validate();
+    }
+
+    #[test]
+    fn table3_rendering_mentions_key_parameters() {
+        let s = SimConfig::default().render_table3();
+        for needle in [
+            "5 instructions",
+            "224 entries",
+            "72 entries",
+            "56 entries",
+            "32KB, 8 ways, 4 hit cycles",
+            "128KB, 8 ways, 12 hit cycles",
+            "1MB per bank, 8 ways, 35 hit cycles",
+            "160 cycles",
+            "Fully connected",
+            "5 / 1 flits",
+            "6 cycles",
+            "StoreSet",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # Speculative enforcement of store atomicity — full-system simulator
+//!
+//! This crate assembles the out-of-order cores (`sa-ooo`) and the MESI
+//! directory memory system (`sa-coherence`) into the 8-core Skylake-like
+//! multicore of the paper's Table III, and exposes the experiment API the
+//! benchmark harness (`sa-bench`) drives.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sa_sim::{Multicore, SimConfig};
+//! use sa_isa::{ConsistencyModel, Reg, TraceBuilder};
+//!
+//! // One core stores then loads through the store buffer.
+//! let mut b = TraceBuilder::new();
+//! b.store_imm(0x1000, 7);
+//! b.load(Reg::new(0), 0x1000);
+//!
+//! let cfg = SimConfig::default()
+//!     .with_model(ConsistencyModel::Ibm370SlfSosKey)
+//!     .with_cores(1);
+//! let mut sim = Multicore::new(cfg, vec![b.build()]);
+//! let report = sim.run(1_000_000).expect("run completes");
+//! assert_eq!(sim.core(sa_isa::CoreId(0)).arch_reg(Reg::new(0)), 7);
+//! assert_eq!(report.total().forwarded_loads, 1);
+//! ```
+//!
+//! ## The five configurations
+//!
+//! [`SimConfig::with_model`] selects among `x86`, `370-NoSpec`,
+//! `370-SLFSpec`, `370-SLFSoS` and `370-SLFSoS-key`
+//! (see [`sa_isa::ConsistencyModel`]). Everything else — window sizes,
+//! cache geometry, network timing — stays identical, which is exactly the
+//! comparison the paper makes.
+
+pub mod config;
+pub mod multicore;
+pub mod report;
+
+pub use config::SimConfig;
+pub use multicore::{Multicore, RunError};
+pub use report::{Report, StallBreakdown};
+
+// Re-export the component crates so downstream users need one dependency.
+pub use sa_coherence as coherence;
+pub use sa_isa as isa;
+pub use sa_ooo as ooo;

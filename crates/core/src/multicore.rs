@@ -1,0 +1,333 @@
+//! The assembled multicore: N out-of-order cores over one coherent memory
+//! system and one global value image.
+
+use sa_coherence::{MemReqId, MemorySystem, Notice};
+use sa_isa::{Addr, CoreId, Cycle, Line, Trace, Value, ValueMemory};
+use sa_ooo::{Core, LoadStorePort};
+
+use crate::config::SimConfig;
+use crate::report::Report;
+
+/// One core's view of the shared memory system.
+struct PortView<'a> {
+    mem: &'a mut MemorySystem,
+    core: CoreId,
+}
+
+impl LoadStorePort for PortView<'_> {
+    fn issue_load(&mut self, line: Line, pc: u64, addr: Addr, now: Cycle) -> Option<MemReqId> {
+        self.mem.issue_load(self.core, line, pc, addr, now)
+    }
+
+    fn issue_ownership(&mut self, line: Line, now: Cycle) -> Option<MemReqId> {
+        self.mem.issue_ownership(self.core, line, now)
+    }
+
+    fn has_ownership(&self, line: Line) -> bool {
+        self.mem.has_ownership(self.core, line)
+    }
+
+    fn mark_dirty(&mut self, line: Line) {
+        self.mem.mark_dirty(self.core, line);
+    }
+
+    fn l1_latency(&self) -> u64 {
+        self.mem.l1_latency()
+    }
+}
+
+/// Why a run did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle budget elapsed before every core finished.
+    CycleLimit {
+        /// The budget that was exhausted.
+        limit: Cycle,
+    },
+    /// No core retired an instruction for a long time — a deadlock in
+    /// the model (this is a simulator bug, surfaced loudly).
+    NoProgress {
+        /// Cycle at which progress stopped being observed.
+        since: Cycle,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::CycleLimit { limit } => {
+                write!(f, "cycle budget of {limit} exhausted before completion")
+            }
+            RunError::NoProgress { since } => {
+                write!(f, "no instruction retired since cycle {since} (model deadlock)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Multicore {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    mem: MemorySystem,
+    valmem: ValueMemory,
+    cycle: Cycle,
+}
+
+impl Multicore {
+    /// Builds a machine running `traces[i]` on core `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the configured core count or
+    /// the configuration is invalid.
+    pub fn new(cfg: SimConfig, traces: Vec<Trace>) -> Multicore {
+        cfg.validate();
+        assert_eq!(
+            traces.len(),
+            cfg.n_cores(),
+            "need exactly one trace per core"
+        );
+        let cores = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Core::new(CoreId(i as u8), cfg.core.clone(), cfg.model, t))
+            .collect();
+        Multicore {
+            mem: MemorySystem::new(cfg.mem.clone()),
+            valmem: ValueMemory::new(),
+            cores,
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Immutable view of one core (registers, stats, gate).
+    pub fn core(&self, id: CoreId) -> &Core {
+        &self.cores[id.index()]
+    }
+
+    /// The global value image (final memory state for litmus outcomes).
+    pub fn memory(&self) -> &ValueMemory {
+        &self.valmem
+    }
+
+    /// Pre-initializes a memory word before the run starts.
+    pub fn poke(&mut self, addr: Addr, size: u8, value: Value) {
+        self.valmem.write(addr, size, value);
+    }
+
+    /// `true` once every core finished its trace.
+    pub fn finished(&self) -> bool {
+        self.cores.iter().all(Core::finished)
+    }
+
+    /// Simulates one global cycle.
+    pub fn step(&mut self) {
+        self.mem.advance(self.cycle);
+        for i in 0..self.cores.len() {
+            let id = CoreId(i as u8);
+            let notices: Vec<Notice> = self.mem.drain_notices(id);
+            if self.cores[i].finished() && notices.is_empty() {
+                continue;
+            }
+            let mut port = PortView { mem: &mut self.mem, core: id };
+            self.cores[i].tick(self.cycle, &mut port, &mut self.valmem, &notices);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs until every core finishes or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::CycleLimit`] when the budget runs out;
+    /// [`RunError::NoProgress`] when the machine wedges (a model bug).
+    pub fn run(&mut self, max_cycles: Cycle) -> Result<Report, RunError> {
+        let mut last_retired = self.total_retired();
+        let mut last_progress = self.cycle;
+        const WATCHDOG: Cycle = 1_000_000;
+        while !self.finished() {
+            if self.cycle >= max_cycles {
+                return Err(RunError::CycleLimit { limit: max_cycles });
+            }
+            self.step();
+            let retired = self.total_retired();
+            if retired != last_retired {
+                last_retired = retired;
+                last_progress = self.cycle;
+            } else if self.cycle - last_progress > WATCHDOG {
+                return Err(RunError::NoProgress { since: last_progress });
+            }
+        }
+        Ok(self.report())
+    }
+
+    fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().retired_instrs).sum()
+    }
+
+    /// Snapshot of all statistics.
+    pub fn report(&self) -> Report {
+        Report {
+            model: self.cfg.model,
+            cycles: self.cycle,
+            per_core: self.cores.iter().map(|c| *c.stats()).collect(),
+            mem: self.mem.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_isa::{ConsistencyModel, Reg, TraceBuilder};
+
+    fn two_core_cfg(model: ConsistencyModel) -> SimConfig {
+        SimConfig::default().with_model(model).with_cores(2)
+    }
+
+    #[test]
+    fn single_core_store_load_roundtrip() {
+        let mut b = TraceBuilder::new();
+        b.store_imm(0x1000, 42);
+        b.load(Reg::new(0), 0x1000);
+        let cfg = SimConfig::default().with_cores(1);
+        let mut sim = Multicore::new(cfg, vec![b.build()]);
+        let report = sim.run(1_000_000).unwrap();
+        assert_eq!(sim.core(CoreId(0)).arch_reg(Reg::new(0)), 42);
+        assert_eq!(sim.memory().read(0x1000, 8), 42);
+        assert_eq!(report.total().retired_instrs, 2);
+    }
+
+    #[test]
+    fn producer_consumer_communicates_through_coherence() {
+        // Core 0 stores a flag+data; core 1 spins... traces are static,
+        // so instead core 1 simply loads late (after enough padding).
+        let mut p = TraceBuilder::new();
+        p.store_imm(0x4000, 123);
+        let mut c = TraceBuilder::new();
+        for _ in 0..400 {
+            c.nop();
+        }
+        c.load(Reg::new(1), 0x4000);
+        let cfg = two_core_cfg(ConsistencyModel::X86);
+        let mut sim = Multicore::new(cfg, vec![p.build(), c.build()]);
+        sim.run(1_000_000).unwrap();
+        assert_eq!(sim.core(CoreId(1)).arch_reg(Reg::new(1)), 123);
+    }
+
+    #[test]
+    fn poke_preinitializes_memory() {
+        let mut b = TraceBuilder::new();
+        b.load(Reg::new(0), 0x8000);
+        let cfg = SimConfig::default().with_cores(1);
+        let mut sim = Multicore::new(cfg, vec![b.build()]);
+        sim.poke(0x8000, 8, 77);
+        sim.run(1_000_000).unwrap();
+        assert_eq!(sim.core(CoreId(0)).arch_reg(Reg::new(0)), 77);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut b = TraceBuilder::new();
+        for i in 0..50 {
+            b.load(Reg::new(0), 0x1000 + i * 0x40);
+        }
+        let cfg = SimConfig::default().with_cores(1);
+        let mut sim = Multicore::new(cfg, vec![b.build()]);
+        assert_eq!(sim.run(3), Err(RunError::CycleLimit { limit: 3 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per core")]
+    fn trace_count_mismatch_panics() {
+        let cfg = SimConfig::default().with_cores(2);
+        let _ = Multicore::new(cfg, vec![Trace::empty()]);
+    }
+
+    #[test]
+    fn contended_line_ping_pong_invalidates() {
+        // Both cores repeatedly store to the same line: heavy
+        // invalidation traffic, and both finish.
+        let build = |val: u64| {
+            let mut b = TraceBuilder::new();
+            for i in 0..50 {
+                b.store_imm(0x9000, val + i);
+                b.load(Reg::new(0), 0x9040); // a second shared line
+            }
+            b.build()
+        };
+        let cfg = two_core_cfg(ConsistencyModel::Ibm370SlfSosKey);
+        let mut sim = Multicore::new(cfg, vec![build(100), build(200)]);
+        let report = sim.run(5_000_000).unwrap();
+        assert!(report.mem.invalidations() > 10, "line must ping-pong");
+        let final_val = sim.memory().read(0x9000, 8);
+        assert!(final_val == 149 || final_val == 249, "last store wins: {final_val}");
+    }
+
+    /// Cycle-level single-core execution matches the architectural
+    /// reference interpreter exactly, for every configuration.
+    #[test]
+    fn single_core_matches_reference_interpreter() {
+        let mut b = TraceBuilder::new();
+        b.mov_imm(Reg::new(1), 11);
+        b.store_reg(0x1000, Reg::new(1));
+        b.load(Reg::new(2), 0x1000);
+        b.add(Reg::new(3), Reg::new(2), Reg::new(2));
+        b.store_reg(0x1040, Reg::new(3));
+        b.load(Reg::new(4), 0x1040);
+        let trace = b.build();
+        let reference = sa_isa::interpret(&trace, sa_isa::ValueMemory::new());
+        for model in ConsistencyModel::ALL {
+            let cfg = SimConfig::default().with_model(model).with_cores(1);
+            let mut sim = Multicore::new(cfg, vec![trace.clone()]);
+            sim.run(1_000_000).unwrap();
+            for r in 0..8u8 {
+                assert_eq!(
+                    sim.core(CoreId(0)).arch_reg(Reg::new(r)),
+                    reference.reg(Reg::new(r)),
+                    "{model} r{r}"
+                );
+            }
+            assert_eq!(sim.memory().read(0x1040, 8), reference.memory.read(0x1040, 8));
+        }
+    }
+
+    #[test]
+    fn all_models_complete_same_parallel_workload() {
+        for model in ConsistencyModel::ALL {
+            let build = |seed: u64| {
+                let mut b = TraceBuilder::new();
+                for i in 0..120u64 {
+                    let a = 0xA000 + ((seed + i * 7) % 16) * 64;
+                    if i % 3 == 0 {
+                        b.store_imm(a, i);
+                    } else {
+                        b.load(Reg::new((i % 8) as u8), a);
+                    }
+                }
+                b.build()
+            };
+            let cfg = two_core_cfg(model);
+            let mut sim = Multicore::new(cfg, vec![build(1), build(5)]);
+            let report = sim.run(10_000_000).unwrap_or_else(|e| {
+                panic!("{model} wedged: {e:?}");
+            });
+            assert_eq!(report.total().retired_instrs, 240, "{model}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Byte addresses and cache-line addresses.
+
+/// A byte address in the simulated physical address space.
+pub type Addr = u64;
+
+/// log2 of the cache-line size.
+pub const LINE_SHIFT: u32 = 6;
+
+/// Cache-line size in bytes (64 B, as in the paper's Table III memory
+/// hierarchy).
+pub const LINE_BYTES: u64 = 1 << LINE_SHIFT;
+
+/// A cache-line address (byte address with the low [`LINE_SHIFT`] bits
+/// dropped).
+///
+/// All coherence-protocol traffic, invalidation snoops of the load queue,
+/// and eviction notifications operate at line granularity, exactly as in
+/// hardware.
+///
+/// ```
+/// use sa_isa::Line;
+/// let l = Line::containing(0x1042);
+/// assert_eq!(l, Line::containing(0x107f));
+/// assert_ne!(l, Line::containing(0x1080));
+/// assert_eq!(l.base(), 0x1040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Line(u64);
+
+impl Line {
+    /// The line containing byte address `addr`.
+    #[inline]
+    pub fn containing(addr: Addr) -> Line {
+        Line(addr >> LINE_SHIFT)
+    }
+
+    /// Construct from an already-shifted line number.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Line {
+        Line(raw)
+    }
+
+    /// The shifted line number.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte in the line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        self.0 << LINE_SHIFT
+    }
+
+    /// Deterministic home-bank hash for `n_banks` banks.
+    #[inline]
+    pub fn bank(self, n_banks: usize) -> usize {
+        (self.0 as usize) % n_banks.max(1)
+    }
+}
+
+impl std::fmt::Display for Line {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{:#x}", self.base())
+    }
+}
+
+/// Returns `true` when the access `[addr, addr+size)` lies within one line.
+///
+/// The trace generators only emit line-contained accesses; this is asserted
+/// at trace-build time.
+pub fn within_line(addr: Addr, size: u8) -> bool {
+    size > 0 && Line::containing(addr) == Line::containing(addr + u64::from(size) - 1)
+}
+
+/// Returns `true` when the store `[sa, sa+ss)` fully covers the load
+/// `[la, la+ls)` — the condition for store-to-load forwarding.
+pub fn covers(sa: Addr, ss: u8, la: Addr, ls: u8) -> bool {
+    sa <= la && sa + u64::from(ss) >= la + u64::from(ls)
+}
+
+/// Returns `true` when the two accesses overlap in at least one byte.
+pub fn overlaps(a: Addr, asz: u8, b: Addr, bsz: u8) -> bool {
+    a < b + u64::from(bsz) && b < a + u64::from(asz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_addr() {
+        assert_eq!(Line::containing(0).raw(), 0);
+        assert_eq!(Line::containing(63).raw(), 0);
+        assert_eq!(Line::containing(64).raw(), 1);
+        assert_eq!(Line::containing(0x1042).base(), 0x1040);
+    }
+
+    #[test]
+    fn bank_hash_in_range() {
+        for a in [0u64, 64, 4096, 1 << 30] {
+            assert!(Line::containing(a).bank(8) < 8);
+        }
+    }
+
+    #[test]
+    fn within_line_boundaries() {
+        assert!(within_line(0x1000, 8));
+        assert!(within_line(0x1038, 8));
+        assert!(!within_line(0x103c, 8));
+        assert!(!within_line(0x1000, 0));
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        assert!(covers(0x100, 8, 0x100, 8));
+        assert!(covers(0x100, 8, 0x104, 4));
+        assert!(!covers(0x104, 4, 0x100, 8));
+        assert!(overlaps(0x100, 8, 0x104, 8));
+        assert!(!overlaps(0x100, 4, 0x104, 4));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Line::containing(0x1040).to_string(), "L0x1040");
+    }
+}

@@ -1,0 +1,255 @@
+//! Instructions (micro-ops) executed by the out-of-order core model.
+
+use crate::{Addr, Reg, Value};
+use crate::trace::Pc;
+
+/// Execution-unit class; determines which issue port class an ALU op
+/// competes for and its default latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecUnit {
+    /// Simple integer op (1 cycle).
+    Int,
+    /// Integer multiply (3 cycles).
+    IntMul,
+    /// Integer divide (20 cycles, unpipelined in spirit but modeled
+    /// pipelined).
+    IntDiv,
+    /// FP add/sub/convert (4 cycles).
+    FpAdd,
+    /// FP multiply (4 cycles).
+    FpMul,
+    /// FP divide (14 cycles).
+    FpDiv,
+}
+
+impl ExecUnit {
+    /// Default execution latency in cycles.
+    pub fn latency(self) -> u8 {
+        match self {
+            ExecUnit::Int => 1,
+            ExecUnit::IntMul => 3,
+            ExecUnit::IntDiv => 20,
+            ExecUnit::FpAdd | ExecUnit::FpMul => 4,
+            ExecUnit::FpDiv => 14,
+        }
+    }
+}
+
+/// The value function of an ALU micro-op.
+///
+/// Synthetic workloads mostly use [`AluEval::Opaque`] (the value is
+/// irrelevant to timing); litmus tests use the value-carrying forms so that
+/// register contents flow exactly as the program dictates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluEval {
+    /// `dst = imm`.
+    Imm(Value),
+    /// `dst = src0`.
+    Move,
+    /// `dst = src0 + src1` (wrapping).
+    Add,
+    /// `dst = src0 ^ src1`.
+    Xor,
+    /// `dst = some function of srcs` — value produced is 0. Used by
+    /// synthetic traces where only the dependence shape matters.
+    Opaque,
+}
+
+impl AluEval {
+    /// Applies the value function to the source operand values.
+    pub fn eval(self, srcs: &[Value]) -> Value {
+        match self {
+            AluEval::Imm(v) => v,
+            AluEval::Move => srcs.first().copied().unwrap_or(0),
+            AluEval::Add => srcs
+                .iter()
+                .copied()
+                .fold(0u64, |a, b| a.wrapping_add(b)),
+            AluEval::Xor => srcs.iter().copied().fold(0u64, |a, b| a ^ b),
+            AluEval::Opaque => 0,
+        }
+    }
+}
+
+/// The data operand of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOperand {
+    /// Store an immediate value.
+    Imm(Value),
+    /// Store the value of a register.
+    Reg(Reg),
+}
+
+/// A micro-operation.
+///
+/// Memory operations carry concrete addresses (the trace generator resolved
+/// them), plus an optional `addr_src` register whose readiness gates address
+/// *computation* — this is what exercises the memory-dependence predictor:
+/// a store whose address resolves late forces younger loads to either wait
+/// or speculate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// An arithmetic/logic micro-op.
+    Alu {
+        /// Execution unit class (decides latency).
+        unit: ExecUnit,
+        /// Destination register, if any.
+        dst: Option<Reg>,
+        /// Source registers (up to two).
+        srcs: [Option<Reg>; 2],
+        /// Value function.
+        eval: AluEval,
+    },
+    /// A load of `size` bytes at `addr` into `dst`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Concrete byte address.
+        addr: Addr,
+        /// Access size in bytes (1, 2, 4 or 8).
+        size: u8,
+        /// Register whose readiness gates address generation.
+        addr_src: Option<Reg>,
+    },
+    /// A store of `size` bytes of `src` at `addr`.
+    Store {
+        /// Data operand.
+        src: StoreOperand,
+        /// Concrete byte address.
+        addr: Addr,
+        /// Access size in bytes (1, 2, 4 or 8).
+        size: u8,
+        /// Register whose readiness gates address generation.
+        addr_src: Option<Reg>,
+    },
+    /// A conditional branch with its architectural outcome. The core's
+    /// branch predictor races against `taken`; a mispredict redirects fetch.
+    Branch {
+        /// Architectural outcome recorded in the trace.
+        taken: bool,
+        /// Source register the branch condition depends on, if any.
+        src: Option<Reg>,
+    },
+    /// A full memory fence (x86 `MFENCE` semantics): retires only once the
+    /// store buffer has drained; younger loads do not issue past it.
+    Fence,
+    /// No-operation (pipeline filler).
+    Nop,
+}
+
+impl Op {
+    /// `true` for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Op::Load { .. })
+    }
+
+    /// `true` for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Op::Store { .. })
+    }
+
+    /// `true` for either kind of memory access.
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// `true` for branches.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Op::Branch { .. })
+    }
+
+    /// Destination register written by this op, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            Op::Alu { dst, .. } => *dst,
+            Op::Load { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// All source registers read by this op (data and address sources).
+    pub fn srcs(&self) -> impl Iterator<Item = Reg> + '_ {
+        let arr: [Option<Reg>; 3] = match self {
+            Op::Alu { srcs, .. } => [srcs[0], srcs[1], None],
+            Op::Load { addr_src, .. } => [*addr_src, None, None],
+            Op::Store { src, addr_src, .. } => {
+                let data = match src {
+                    StoreOperand::Reg(r) => Some(*r),
+                    StoreOperand::Imm(_) => None,
+                };
+                [data, *addr_src, None]
+            }
+            Op::Branch { src, .. } => [*src, None, None],
+            Op::Fence | Op::Nop => [None, None, None],
+        };
+        arr.into_iter().flatten()
+    }
+}
+
+/// One trace entry: a program counter plus the micro-op at that PC.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// Program counter. PCs index the branch predictor and the StoreSet
+    /// memory-dependence predictor, so the trace generators give static
+    /// instructions stable PCs.
+    pub pc: Pc,
+    /// The micro-op.
+    pub op: Op,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_functions() {
+        assert_eq!(AluEval::Imm(7).eval(&[]), 7);
+        assert_eq!(AluEval::Move.eval(&[42]), 42);
+        assert_eq!(AluEval::Add.eval(&[2, 3]), 5);
+        assert_eq!(AluEval::Xor.eval(&[0b1100, 0b1010]), 0b0110);
+        assert_eq!(AluEval::Opaque.eval(&[99, 98]), 0);
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(AluEval::Add.eval(&[u64::MAX, 1]), 0);
+    }
+
+    #[test]
+    fn op_classification() {
+        let ld = Op::Load { dst: Reg::new(1), addr: 0x10, size: 8, addr_src: None };
+        let st = Op::Store { src: StoreOperand::Imm(0), addr: 0x10, size: 8, addr_src: None };
+        assert!(ld.is_load() && ld.is_mem() && !ld.is_store());
+        assert!(st.is_store() && st.is_mem() && !st.is_load());
+        assert!(Op::Fence.is_mem() == false);
+        assert!(Op::Branch { taken: true, src: None }.is_branch());
+    }
+
+    #[test]
+    fn src_enumeration() {
+        let st = Op::Store {
+            src: StoreOperand::Reg(Reg::new(2)),
+            addr: 0,
+            size: 8,
+            addr_src: Some(Reg::new(3)),
+        };
+        let srcs: Vec<Reg> = st.srcs().collect();
+        assert_eq!(srcs, vec![Reg::new(2), Reg::new(3)]);
+
+        let alu = Op::Alu {
+            unit: ExecUnit::Int,
+            dst: Some(Reg::new(0)),
+            srcs: [Some(Reg::new(1)), None],
+            eval: AluEval::Move,
+        };
+        assert_eq!(alu.srcs().collect::<Vec<_>>(), vec![Reg::new(1)]);
+        assert_eq!(alu.dst(), Some(Reg::new(0)));
+    }
+
+    #[test]
+    fn unit_latencies_ordered() {
+        assert!(ExecUnit::Int.latency() < ExecUnit::IntMul.latency());
+        assert!(ExecUnit::IntMul.latency() < ExecUnit::IntDiv.latency());
+        assert!(ExecUnit::FpAdd.latency() < ExecUnit::FpDiv.latency());
+    }
+}

@@ -1,0 +1,83 @@
+//! Instruction-set, trace, and memory-model types shared by every crate in
+//! the store-atomicity simulator workspace.
+//!
+//! The simulator is *trace driven*: a [`Trace`] is a per-core sequence of
+//! [`Instr`] values with concrete data addresses and architectural branch
+//! outcomes. The out-of-order core model (`sa-ooo`) executes traces with full
+//! value semantics — loads observe the value that the memory system makes
+//! globally visible at the instant the load performs, and stores publish
+//! their value at the instant they commit to the L1 — so the same machinery
+//! runs both synthetic performance workloads and value-sensitive litmus
+//! tests.
+//!
+//! # Example
+//!
+//! ```
+//! use sa_isa::{ConsistencyModel, Reg, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new();
+//! b.store_imm(0x1000, 1); // st [0x1000] <- 1
+//! b.load(Reg::new(0), 0x1000); // ld r0 <- [0x1000] (store-to-load forwarding)
+//! b.load(Reg::new(1), 0x2000); // ld r1 <- [0x2000]
+//! let trace = b.build();
+//! assert_eq!(trace.len(), 3);
+//! assert_eq!(ConsistencyModel::X86.is_store_atomic(), false);
+//! ```
+
+pub mod addr;
+pub mod instr;
+pub mod interp;
+pub mod mem;
+pub mod model;
+pub mod reg;
+pub mod trace;
+
+pub use addr::{Addr, Line, LINE_BYTES, LINE_SHIFT};
+pub use instr::{AluEval, ExecUnit, Instr, Op, StoreOperand};
+pub use interp::{interpret, ArchState};
+pub use mem::ValueMemory;
+pub use model::ConsistencyModel;
+pub use reg::{Reg, NUM_REGS};
+pub use trace::{Pc, Trace, TraceBuilder};
+
+/// Simulation time, in core clock cycles.
+pub type Cycle = u64;
+
+/// A 64-bit architectural value.
+pub type Value = u64;
+
+/// Identifies one core of the simulated multicore (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// Index form, for direct use with `Vec` storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_roundtrip() {
+        let c = CoreId(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(c.to_string(), "core3");
+    }
+
+    #[test]
+    fn core_id_ordering() {
+        assert!(CoreId(1) < CoreId(2));
+        assert_eq!(CoreId::default(), CoreId(0));
+    }
+}

@@ -1,0 +1,137 @@
+//! The functional (value) image of memory.
+//!
+//! In an invalidation-based MESI protocol that acknowledges a write only
+//! after all invalidations are collected (the paper's §II-E assumption —
+//! write atomicity), every store has a single *commit instant*: the cycle
+//! its value is written into the owning L1. Stale shared copies of the
+//! line are destroyed strictly before that instant, so at any cycle `t`
+//! every cache hit in the system observes exactly the value produced by the
+//! last store committed at or before `t`.
+//!
+//! That equivalence lets the simulator keep one global value image updated
+//! at store-commit time instead of threading data bytes through protocol
+//! messages: a load that *performs* (receives its data) at cycle `t` reads
+//! the image as of `t`. Store-to-load forwarding never consults the image —
+//! the value comes straight from the SQ/SB entry, which is precisely the
+//! store-atomicity loophole the paper studies.
+
+use std::collections::HashMap;
+
+use crate::{Addr, Value};
+
+/// The global functional memory image (8-byte granularity with sub-word
+/// masking), updated at store-commit instants.
+#[derive(Debug, Clone, Default)]
+pub struct ValueMemory {
+    words: HashMap<Addr, Value>,
+}
+
+impl ValueMemory {
+    /// An all-zeros memory.
+    pub fn new() -> ValueMemory {
+        ValueMemory::default()
+    }
+
+    fn word_addr(addr: Addr) -> Addr {
+        addr & !7
+    }
+
+    /// Reads `size` bytes at `addr` (zero-extended). Unwritten memory
+    /// reads as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is misaligned for its size.
+    pub fn read(&self, addr: Addr, size: u8) -> Value {
+        assert_eq!(addr % u64::from(size), 0, "misaligned read at {addr:#x}");
+        let word = self.words.get(&Self::word_addr(addr)).copied().unwrap_or(0);
+        if size == 8 {
+            return word;
+        }
+        let shift = (addr & 7) * 8;
+        let mask = (1u64 << (u64::from(size) * 8)) - 1;
+        (word >> shift) & mask
+    }
+
+    /// Writes `size` bytes of `value` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is misaligned for its size.
+    pub fn write(&mut self, addr: Addr, size: u8, value: Value) {
+        assert_eq!(addr % u64::from(size), 0, "misaligned write at {addr:#x}");
+        let slot = self.words.entry(Self::word_addr(addr)).or_insert(0);
+        if size == 8 {
+            *slot = value;
+            return;
+        }
+        let shift = (addr & 7) * 8;
+        let mask = ((1u64 << (u64::from(size) * 8)) - 1) << shift;
+        *slot = (*slot & !mask) | ((value << shift) & mask);
+    }
+
+    /// Number of distinct 8-byte words ever written.
+    pub fn words_written(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let m = ValueMemory::new();
+        assert_eq!(m.read(0x1000, 8), 0);
+        assert_eq!(m.words_written(), 0);
+    }
+
+    #[test]
+    fn full_word_roundtrip() {
+        let mut m = ValueMemory::new();
+        m.write(0x1000, 8, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read(0x1000, 8), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read(0x1008, 8), 0);
+    }
+
+    #[test]
+    fn subword_write_preserves_neighbours() {
+        let mut m = ValueMemory::new();
+        m.write(0x1000, 8, 0x1111_1111_1111_1111);
+        m.write(0x1004, 4, 0xabcd_ef01);
+        assert_eq!(m.read(0x1000, 4), 0x1111_1111);
+        assert_eq!(m.read(0x1004, 4), 0xabcd_ef01);
+        assert_eq!(m.read(0x1000, 8), 0xabcd_ef01_1111_1111);
+    }
+
+    #[test]
+    fn byte_granularity() {
+        let mut m = ValueMemory::new();
+        m.write(0x1003, 1, 0xff);
+        assert_eq!(m.read(0x1000, 8), 0xff00_0000);
+        m.write(0x1003, 1, 0x01);
+        assert_eq!(m.read(0x1003, 1), 0x01);
+    }
+
+    #[test]
+    fn subword_value_truncated() {
+        let mut m = ValueMemory::new();
+        m.write(0x1000, 2, 0x1_2345);
+        assert_eq!(m.read(0x1000, 2), 0x2345);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_read_panics() {
+        let m = ValueMemory::new();
+        let _ = m.read(0x1001, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_write_panics() {
+        let mut m = ValueMemory::new();
+        m.write(0x1002, 4, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! The five consistency-model configurations evaluated by the paper.
+
+/// A consistency-model implementation for the out-of-order core
+/// (Section V of the paper).
+///
+/// All five run the same TSO out-of-order baseline with in-window
+/// load-load speculation; they differ only in how store-to-load forwarding
+/// interacts with store atomicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConsistencyModel {
+    /// Non-store-atomic x86-TSO: free store-to-load forwarding, no
+    /// enforcement of store atomicity.
+    X86,
+    /// Blanket (non-speculative) store atomicity as in the IBM 370: a load
+    /// that matches a store in the SQ/SB may not perform until that store
+    /// has written to the L1.
+    Ibm370NoSpec,
+    /// SC-like in-window speculation adapted to the 370 model: SLF loads
+    /// are themselves *speculative* and cannot retire until the store
+    /// buffer empties.
+    Ibm370SlfSpec,
+    /// SLF loads are sources of speculation: they retire, closing the
+    /// retire gate; the gate reopens when the store buffer drains empty.
+    Ibm370SlfSos,
+    /// The paper's proposal (370-SLFSoS-key): the retiring SLF load locks
+    /// the gate with the key of its forwarding store; the gate reopens as
+    /// soon as that store writes to the L1.
+    Ibm370SlfSosKey,
+}
+
+impl ConsistencyModel {
+    /// All models, in the order the paper's figures present them.
+    pub const ALL: [ConsistencyModel; 5] = [
+        ConsistencyModel::X86,
+        ConsistencyModel::Ibm370NoSpec,
+        ConsistencyModel::Ibm370SlfSpec,
+        ConsistencyModel::Ibm370SlfSos,
+        ConsistencyModel::Ibm370SlfSosKey,
+    ];
+
+    /// The store-atomic configurations (everything except x86).
+    pub const STORE_ATOMIC: [ConsistencyModel; 4] = [
+        ConsistencyModel::Ibm370NoSpec,
+        ConsistencyModel::Ibm370SlfSpec,
+        ConsistencyModel::Ibm370SlfSos,
+        ConsistencyModel::Ibm370SlfSosKey,
+    ];
+
+    /// `true` when this implementation guarantees store atomicity
+    /// (all cores see every store inserted in global memory order at the
+    /// same time — a core never observably sees its own stores early).
+    pub fn is_store_atomic(self) -> bool {
+        !matches!(self, ConsistencyModel::X86)
+    }
+
+    /// `true` when a load may take its value from an in-limbo store in the
+    /// SQ/SB (store-to-load forwarding before the store is globally
+    /// ordered).
+    pub fn allows_forwarding(self) -> bool {
+        !matches!(self, ConsistencyModel::Ibm370NoSpec)
+    }
+
+    /// `true` when the configuration uses the retire gate.
+    pub fn uses_retire_gate(self) -> bool {
+        matches!(
+            self,
+            ConsistencyModel::Ibm370SlfSos | ConsistencyModel::Ibm370SlfSosKey
+        )
+    }
+
+    /// `true` when the gate is unlocked by the forwarding store's key
+    /// (rather than by the store buffer draining empty).
+    pub fn uses_key(self) -> bool {
+        matches!(self, ConsistencyModel::Ibm370SlfSosKey)
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConsistencyModel::X86 => "x86",
+            ConsistencyModel::Ibm370NoSpec => "370-NoSpec",
+            ConsistencyModel::Ibm370SlfSpec => "370-SLFSpec",
+            ConsistencyModel::Ibm370SlfSos => "370-SLFSoS",
+            ConsistencyModel::Ibm370SlfSosKey => "370-SLFSoS-key",
+        }
+    }
+}
+
+impl std::fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomicity_classification() {
+        assert!(!ConsistencyModel::X86.is_store_atomic());
+        for m in ConsistencyModel::STORE_ATOMIC {
+            assert!(m.is_store_atomic(), "{m} must be store-atomic");
+        }
+    }
+
+    #[test]
+    fn forwarding_classification() {
+        assert!(ConsistencyModel::X86.allows_forwarding());
+        assert!(!ConsistencyModel::Ibm370NoSpec.allows_forwarding());
+        assert!(ConsistencyModel::Ibm370SlfSpec.allows_forwarding());
+        assert!(ConsistencyModel::Ibm370SlfSos.allows_forwarding());
+        assert!(ConsistencyModel::Ibm370SlfSosKey.allows_forwarding());
+    }
+
+    #[test]
+    fn gate_usage() {
+        assert!(!ConsistencyModel::X86.uses_retire_gate());
+        assert!(!ConsistencyModel::Ibm370SlfSpec.uses_retire_gate());
+        assert!(ConsistencyModel::Ibm370SlfSos.uses_retire_gate());
+        assert!(ConsistencyModel::Ibm370SlfSosKey.uses_retire_gate());
+        assert!(ConsistencyModel::Ibm370SlfSosKey.uses_key());
+        assert!(!ConsistencyModel::Ibm370SlfSos.uses_key());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = ConsistencyModel::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["x86", "370-NoSpec", "370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"]
+        );
+    }
+}

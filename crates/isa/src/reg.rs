@@ -1,0 +1,60 @@
+//! Architectural register names.
+
+/// Number of architectural registers visible to traces.
+pub const NUM_REGS: usize = 64;
+
+/// An architectural register identifier (`r0` .. `r63`).
+///
+/// ```
+/// use sa_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_REGS`.
+    #[inline]
+    pub fn new(idx: u8) -> Reg {
+        assert!(
+            (idx as usize) < NUM_REGS,
+            "register index {idx} out of range"
+        );
+        Reg(idx)
+    }
+
+    /// Index form, for direct use with array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_index() {
+        assert_eq!(Reg::new(0).index(), 0);
+        assert_eq!(Reg::new(63).index(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(64);
+    }
+}

@@ -1,0 +1,313 @@
+//! Traces (per-core instruction sequences) and the trace builder.
+
+use crate::addr::within_line;
+use crate::instr::{AluEval, ExecUnit, Instr, Op, StoreOperand};
+use crate::{Addr, Reg, Value};
+
+/// A program counter.
+///
+/// PCs identify *static* instructions for the branch predictor and the
+/// StoreSet memory-dependence predictor. The [`TraceBuilder`] assigns
+/// sequential PCs by default but generators can pin PCs to model loops
+/// (the same static instruction appearing many times dynamically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub u64);
+
+impl std::fmt::Display for Pc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A finite, per-core dynamic instruction stream.
+///
+/// Traces are immutable once built; the core replays them from arbitrary
+/// positions after squashes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    instrs: Vec<Instr>,
+}
+
+impl Trace {
+    /// An empty trace (a core that does nothing).
+    pub fn empty() -> Trace {
+        Trace::default()
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when the trace has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at dynamic position `idx`.
+    pub fn get(&self, idx: usize) -> Option<&Instr> {
+        self.instrs.get(idx)
+    }
+
+    /// Iterates over the instructions in dynamic order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
+        self.instrs.iter()
+    }
+
+    /// Counts dynamic instructions matching `pred`.
+    pub fn count_matching(&self, pred: impl Fn(&Op) -> bool) -> usize {
+        self.instrs.iter().filter(|i| pred(&i.op)).count()
+    }
+}
+
+impl FromIterator<Instr> for Trace {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Trace {
+        Trace { instrs: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Instr;
+    type IntoIter = std::slice::Iter<'a, Instr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Incrementally builds a [`Trace`].
+///
+/// ```
+/// use sa_isa::{Reg, TraceBuilder};
+/// let mut b = TraceBuilder::new();
+/// b.mov_imm(Reg::new(0), 7);
+/// b.store_reg(0x40, Reg::new(0));
+/// b.load(Reg::new(1), 0x40);
+/// b.branch(true, None);
+/// let t = b.build();
+/// assert_eq!(t.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    instrs: Vec<Instr>,
+    next_pc: u64,
+    pinned_pc: Option<Pc>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder with PCs starting at 0x1000.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder { instrs: Vec::new(), next_pc: 0x1000, pinned_pc: None }
+    }
+
+    /// Pins the PC of subsequently pushed instructions (to model a loop
+    /// body whose static instructions repeat). Call [`TraceBuilder::unpin_pc`]
+    /// to resume sequential PCs.
+    pub fn pin_pc(&mut self, pc: Pc) -> &mut Self {
+        self.pinned_pc = Some(pc);
+        self
+    }
+
+    /// Resumes automatic sequential PC assignment.
+    pub fn unpin_pc(&mut self) -> &mut Self {
+        self.pinned_pc = None;
+        self
+    }
+
+    fn alloc_pc(&mut self) -> Pc {
+        if let Some(pc) = self.pinned_pc {
+            pc
+        } else {
+            let pc = Pc(self.next_pc);
+            self.next_pc += 4;
+            pc
+        }
+    }
+
+    /// Pushes an arbitrary op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a memory access crosses a cache line or has a size other
+    /// than 1, 2, 4 or 8.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        if let Op::Load { addr, size, .. } | Op::Store { addr, size, .. } = &op {
+            assert!(
+                matches!(size, 1 | 2 | 4 | 8),
+                "unsupported access size {size}"
+            );
+            assert!(
+                within_line(*addr, *size),
+                "access at {addr:#x} size {size} crosses a cache line"
+            );
+        }
+        let pc = self.alloc_pc();
+        self.instrs.push(Instr { pc, op });
+        self
+    }
+
+    /// Pushes an op with an explicit PC (does not advance the sequential
+    /// counter).
+    pub fn push_at(&mut self, pc: Pc, op: Op) -> &mut Self {
+        let saved = self.pinned_pc;
+        self.pinned_pc = Some(pc);
+        self.push(op);
+        self.pinned_pc = saved;
+        self
+    }
+
+    /// `ld dst <- [addr]` (8 bytes).
+    pub fn load(&mut self, dst: Reg, addr: Addr) -> &mut Self {
+        self.push(Op::Load { dst, addr, size: 8, addr_src: None })
+    }
+
+    /// `ld dst <- [addr]` whose address generation waits on `addr_src`.
+    pub fn load_dep(&mut self, dst: Reg, addr: Addr, addr_src: Reg) -> &mut Self {
+        self.push(Op::Load { dst, addr, size: 8, addr_src: Some(addr_src) })
+    }
+
+    /// `st [addr] <- imm` (8 bytes).
+    pub fn store_imm(&mut self, addr: Addr, value: Value) -> &mut Self {
+        self.push(Op::Store { src: StoreOperand::Imm(value), addr, size: 8, addr_src: None })
+    }
+
+    /// `st [addr] <- src` (8 bytes).
+    pub fn store_reg(&mut self, addr: Addr, src: Reg) -> &mut Self {
+        self.push(Op::Store { src: StoreOperand::Reg(src), addr, size: 8, addr_src: None })
+    }
+
+    /// A store whose *address* resolves only after `addr_src` is produced.
+    pub fn store_imm_dep(&mut self, addr: Addr, value: Value, addr_src: Reg) -> &mut Self {
+        self.push(Op::Store {
+            src: StoreOperand::Imm(value),
+            addr,
+            size: 8,
+            addr_src: Some(addr_src),
+        })
+    }
+
+    /// `dst = imm`, 1-cycle integer op.
+    pub fn mov_imm(&mut self, dst: Reg, value: Value) -> &mut Self {
+        self.push(Op::Alu {
+            unit: ExecUnit::Int,
+            dst: Some(dst),
+            srcs: [None, None],
+            eval: AluEval::Imm(value),
+        })
+    }
+
+    /// `dst = src`, 1-cycle integer op.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Op::Alu {
+            unit: ExecUnit::Int,
+            dst: Some(dst),
+            srcs: [Some(src), None],
+            eval: AluEval::Move,
+        })
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Op::Alu {
+            unit: ExecUnit::Int,
+            dst: Some(dst),
+            srcs: [Some(a), Some(b)],
+            eval: AluEval::Add,
+        })
+    }
+
+    /// A dependence-only ALU op on `unit` reading `srcs` and producing an
+    /// opaque value in `dst`.
+    pub fn alu(&mut self, unit: ExecUnit, dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> &mut Self {
+        self.push(Op::Alu { unit, dst, srcs, eval: AluEval::Opaque })
+    }
+
+    /// A conditional branch with outcome `taken`, optionally reading `src`.
+    pub fn branch(&mut self, taken: bool, src: Option<Reg>) -> &mut Self {
+        self.push(Op::Branch { taken, src })
+    }
+
+    /// A full fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Op::Fence)
+    }
+
+    /// A no-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Op::Nop)
+    }
+
+    /// Number of instructions pushed so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Finishes the trace.
+    pub fn build(self) -> Trace {
+        Trace { instrs: self.instrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_pcs() {
+        let mut b = TraceBuilder::new();
+        b.nop().nop().nop();
+        let t = b.build();
+        let pcs: Vec<u64> = t.iter().map(|i| i.pc.0).collect();
+        assert_eq!(pcs, vec![0x1000, 0x1004, 0x1008]);
+    }
+
+    #[test]
+    fn pinned_pc_repeats() {
+        let mut b = TraceBuilder::new();
+        b.pin_pc(Pc(0x42));
+        b.nop().nop();
+        b.unpin_pc();
+        b.nop();
+        let t = b.build();
+        assert_eq!(t.get(0).unwrap().pc, Pc(0x42));
+        assert_eq!(t.get(1).unwrap().pc, Pc(0x42));
+        assert_eq!(t.get(2).unwrap().pc, Pc(0x1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a cache line")]
+    fn line_crossing_rejected() {
+        let mut b = TraceBuilder::new();
+        b.load(Reg::new(0), 0x103c);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access size")]
+    fn bad_size_rejected() {
+        let mut b = TraceBuilder::new();
+        b.push(Op::Load { dst: Reg::new(0), addr: 0, size: 3, addr_src: None });
+    }
+
+    #[test]
+    fn count_matching_ops() {
+        let mut b = TraceBuilder::new();
+        b.load(Reg::new(0), 0x100).store_imm(0x100, 1).nop();
+        let t = b.build();
+        assert_eq!(t.count_matching(Op::is_load), 1);
+        assert_eq!(t.count_matching(Op::is_store), 1);
+        assert_eq!(t.count_matching(Op::is_mem), 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn trace_from_iterator() {
+        let t: Trace = vec![Instr { pc: Pc(0), op: Op::Nop }].into_iter().collect();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(Trace::empty().is_empty());
+    }
+}

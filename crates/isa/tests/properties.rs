@@ -1,0 +1,91 @@
+//! Property-based tests of the ISA layer invariants.
+
+use proptest::prelude::*;
+use sa_isa::{addr, Line, ValueMemory, LINE_BYTES};
+
+fn access() -> impl Strategy<Value = (u64, u8)> {
+    // Aligned accesses of size 1/2/4/8 within a 1 MB space.
+    (0u64..(1 << 20), prop::sample::select(vec![1u8, 2, 4, 8]))
+        .prop_map(|(a, s)| (a - a % u64::from(s), s))
+}
+
+proptest! {
+    /// What you write is what you read back.
+    #[test]
+    fn valmem_roundtrip((a, s) in access(), v in any::<u64>()) {
+        let mut m = ValueMemory::new();
+        m.write(a, s, v);
+        let mask = if s == 8 { u64::MAX } else { (1u64 << (u64::from(s) * 8)) - 1 };
+        prop_assert_eq!(m.read(a, s), v & mask);
+    }
+
+    /// Writes to disjoint words never interfere.
+    #[test]
+    fn valmem_disjoint_words(a in 0u64..(1 << 16), v1 in any::<u64>(), v2 in any::<u64>()) {
+        let a = a & !7;
+        let b = a + 8;
+        let mut m = ValueMemory::new();
+        m.write(a, 8, v1);
+        m.write(b, 8, v2);
+        prop_assert_eq!(m.read(a, 8), v1);
+        prop_assert_eq!(m.read(b, 8), v2);
+    }
+
+    /// A sub-word write only changes the bytes it covers.
+    #[test]
+    fn valmem_subword_isolation((a, s) in access(), base in any::<u64>(), v in any::<u64>()) {
+        let word = a & !7;
+        let mut m = ValueMemory::new();
+        m.write(word, 8, base);
+        m.write(a, s, v);
+        let got = m.read(word, 8);
+        for byte in 0..8u64 {
+            let addr_b = word + byte;
+            let expected = if addr_b >= a && addr_b < a + u64::from(s) {
+                (v >> ((addr_b - a) * 8)) & 0xff
+            } else {
+                (base >> (byte * 8)) & 0xff
+            };
+            prop_assert_eq!((got >> (byte * 8)) & 0xff, expected, "byte {}", byte);
+        }
+    }
+
+    /// `covers` implies `overlaps`, and both are consistent with the
+    /// interval arithmetic.
+    #[test]
+    fn covers_implies_overlaps((sa, ss) in access(), (la, ls) in access()) {
+        if addr::covers(sa, ss, la, ls) {
+            prop_assert!(addr::overlaps(sa, ss, la, ls));
+            prop_assert!(sa <= la && la + u64::from(ls) <= sa + u64::from(ss));
+        }
+        let o = addr::overlaps(sa, ss, la, ls);
+        let manual = sa < la + u64::from(ls) && la < sa + u64::from(ss);
+        prop_assert_eq!(o, manual);
+    }
+
+    /// Every byte of an access that stays within a line maps to the same
+    /// line.
+    #[test]
+    fn within_line_consistent((a, s) in access()) {
+        if addr::within_line(a, s) {
+            for off in 0..u64::from(s) {
+                prop_assert_eq!(Line::containing(a + off), Line::containing(a));
+            }
+        } else {
+            prop_assert_ne!(
+                Line::containing(a),
+                Line::containing(a + u64::from(s) - 1)
+            );
+        }
+    }
+
+    /// Line base/containing are inverse-ish and bank hashing is stable.
+    #[test]
+    fn line_roundtrip(a in any::<u64>() , banks in 1usize..16) {
+        let l = Line::containing(a);
+        prop_assert!(l.base() <= a);
+        prop_assert!(a - l.base() < LINE_BYTES);
+        prop_assert_eq!(Line::containing(l.base()), l);
+        prop_assert!(l.bank(banks) < banks);
+    }
+}

@@ -1,0 +1,211 @@
+//! Litmus-test programs: a handful of loads, stores and fences per
+//! thread over a few shared variables.
+
+use sa_isa::{Reg, Trace, TraceBuilder};
+
+/// A shared variable. The explorer treats variables symbolically; the
+/// cycle-level conversion maps them to distinct cache lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u8);
+
+/// Conventional first variable (`x`).
+pub const X: Var = Var(0);
+/// Conventional second variable (`y`).
+pub const Y: Var = Var(1);
+/// Conventional third variable (`z`).
+pub const Z: Var = Var(2);
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            0 => write!(f, "x"),
+            1 => write!(f, "y"),
+            2 => write!(f, "z"),
+            n => write!(f, "v{n}"),
+        }
+    }
+}
+
+/// One litmus operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LOp {
+    /// `st var, val`.
+    St(Var, u64),
+    /// `ld var` into the thread's next load slot.
+    Ld(Var),
+    /// A full fence (drains the store buffer).
+    Fence,
+}
+
+/// A litmus-test program: one op sequence per thread. All variables start
+/// at 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitmusTest {
+    /// Test name (litmus7 conventions: `mp`, `n6`, `iriw`, ...).
+    pub name: &'static str,
+    /// Per-thread operation sequences.
+    pub threads: Vec<Vec<LOp>>,
+}
+
+impl LitmusTest {
+    /// Creates a test.
+    pub fn new(name: &'static str, threads: Vec<Vec<LOp>>) -> LitmusTest {
+        LitmusTest { name, threads }
+    }
+
+    /// Number of loads in thread `t` (its register-slot count).
+    pub fn loads_in(&self, t: usize) -> usize {
+        self.threads[t].iter().filter(|o| matches!(o, LOp::Ld(_))).count()
+    }
+
+    /// All variables mentioned, ascending.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut vs: Vec<Var> = self
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|o| match o {
+                LOp::St(v, _) | LOp::Ld(v) => Some(*v),
+                LOp::Fence => None,
+            })
+            .collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    /// Byte address a variable maps to in the cycle-level simulator
+    /// (distinct cache lines, away from address 0).
+    pub fn var_addr(v: Var) -> u64 {
+        0x10_000 + u64::from(v.0) * 0x40
+    }
+
+    /// Lowers the test to one trace per core for the cycle-level
+    /// simulator. Load `i` of thread `t` targets register `r(i)`; loads
+    /// and stores become 8-byte accesses to [`LitmusTest::var_addr`].
+    pub fn to_traces(&self) -> Vec<Trace> {
+        self.to_traces_padded(&vec![0; self.threads.len()])
+    }
+
+    /// Like [`LitmusTest::to_traces`], but prepends `pads[t]` no-ops to
+    /// thread `t` — the knob a litmus harness turns to skew the cores
+    /// against each other and expose rare interleavings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pads.len()` differs from the thread count.
+    pub fn to_traces_padded(&self, pads: &[usize]) -> Vec<Trace> {
+        assert_eq!(pads.len(), self.threads.len(), "one pad per thread");
+        self.threads
+            .iter()
+            .zip(pads)
+            .map(|(ops, &pad)| {
+                let mut b = TraceBuilder::new();
+                for _ in 0..pad {
+                    b.nop();
+                }
+                let mut slot = 0u8;
+                for op in ops {
+                    match op {
+                        LOp::St(v, val) => {
+                            b.store_imm(Self::var_addr(*v), *val);
+                        }
+                        LOp::Ld(v) => {
+                            b.load(Reg::new(slot), Self::var_addr(*v));
+                            slot += 1;
+                        }
+                        LOp::Fence => {
+                            b.fence();
+                        }
+                    }
+                }
+                b.build()
+            })
+            .collect()
+    }
+}
+
+/// A litmus condition: a conjunction of register and final-memory
+/// equalities, e.g. `0:r0=1 /\ 0:r1=0 /\ [x]=1`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cond {
+    /// `(thread, load_slot, value)` constraints.
+    pub regs: Vec<(usize, usize, u64)>,
+    /// `(variable, value)` final-memory constraints.
+    pub mem: Vec<(Var, u64)>,
+}
+
+impl Cond {
+    /// Empty condition (matches everything).
+    pub fn new() -> Cond {
+        Cond::default()
+    }
+
+    /// Adds a register constraint `thread:r{slot} == value`.
+    pub fn reg(mut self, thread: usize, slot: usize, value: u64) -> Cond {
+        self.regs.push((thread, slot, value));
+        self
+    }
+
+    /// Adds a final-memory constraint `[var] == value`.
+    pub fn mem(mut self, var: Var, value: u64) -> Cond {
+        self.mem.push((var, value));
+        self
+    }
+}
+
+/// A named test together with the condition the paper discusses and its
+/// expected classification under each model.
+#[derive(Debug, Clone)]
+pub struct ClassifiedTest {
+    /// The program.
+    pub test: LitmusTest,
+    /// The interesting outcome.
+    pub condition: Cond,
+    /// Observable under x86-TSO.
+    pub allowed_x86: bool,
+    /// Observable under the store-atomic 370 model.
+    pub allowed_370: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_display_and_addressing() {
+        assert_eq!(X.to_string(), "x");
+        assert_eq!(Y.to_string(), "y");
+        assert_eq!(Var(7).to_string(), "v7");
+        assert_ne!(LitmusTest::var_addr(X), LitmusTest::var_addr(Y));
+        assert_eq!(LitmusTest::var_addr(X) % 64, 0);
+    }
+
+    #[test]
+    fn loads_counted_per_thread() {
+        let t = LitmusTest::new(
+            "t",
+            vec![vec![LOp::Ld(X), LOp::St(Y, 1), LOp::Ld(Y)], vec![LOp::Fence]],
+        );
+        assert_eq!(t.loads_in(0), 2);
+        assert_eq!(t.loads_in(1), 0);
+        assert_eq!(t.vars(), vec![X, Y]);
+    }
+
+    #[test]
+    fn lowering_to_traces() {
+        let t = LitmusTest::new("t", vec![vec![LOp::St(X, 1), LOp::Ld(X), LOp::Fence]]);
+        let traces = t.to_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].len(), 3);
+        assert_eq!(traces[0].count_matching(sa_isa::Op::is_store), 1);
+        assert_eq!(traces[0].count_matching(sa_isa::Op::is_load), 1);
+    }
+
+    #[test]
+    fn cond_builder() {
+        let c = Cond::new().reg(0, 1, 0).mem(X, 1);
+        assert_eq!(c.regs, vec![(0, 1, 0)]);
+        assert_eq!(c.mem, vec![(X, 1)]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Model comparison — the role of the authors' released
+//! `ConsistencyChecker` tool: report the behaviors a program exhibits
+//! under x86 that a store-atomic 370 machine can never produce.
+
+use crate::ast::LitmusTest;
+use crate::machine::{explore, ForwardPolicy};
+use crate::outcome::{Outcome, OutcomeSet};
+
+/// Result of comparing one program under both models.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The program's name.
+    pub name: &'static str,
+    /// All outcomes under x86-TSO.
+    pub x86: OutcomeSet,
+    /// All outcomes under the store-atomic 370 model.
+    pub ibm370: OutcomeSet,
+    /// Outcomes observable on x86 but impossible under 370 — the
+    /// *non-store-atomic behaviors*.
+    pub non_store_atomic: Vec<Outcome>,
+}
+
+impl Comparison {
+    /// `true` when the program exhibits non-store-atomic behavior.
+    pub fn has_violations(&self) -> bool {
+        !self.non_store_atomic.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{}: {} outcomes under x86, {} under 370\n",
+            self.name,
+            self.x86.len(),
+            self.ibm370.len()
+        );
+        if self.non_store_atomic.is_empty() {
+            s.push_str("  no non-store-atomic behavior\n");
+        } else {
+            s.push_str("  non-store-atomic outcomes (x86 only):\n");
+            for o in &self.non_store_atomic {
+                s.push_str(&format!("    {o}\n"));
+            }
+        }
+        s
+    }
+}
+
+/// Exhaustively compares `test` under both models.
+pub fn compare(test: &LitmusTest) -> Comparison {
+    let x86 = explore(test, ForwardPolicy::X86);
+    let ibm370 = explore(test, ForwardPolicy::StoreAtomic370);
+    let non_store_atomic = x86.difference(&ibm370).into_iter().cloned().collect();
+    Comparison { name: test.name, x86, ibm370, non_store_atomic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn n6_shows_violations() {
+        let c = compare(&suite::n6().test);
+        assert!(c.has_violations());
+        assert!(c.render().contains("non-store-atomic outcomes"));
+    }
+
+    #[test]
+    fn mp_shows_none() {
+        // mp has no store-to-load forwarding: identical outcome sets.
+        let c = compare(&suite::mp().test);
+        assert!(!c.has_violations());
+        assert_eq!(c.x86.len(), c.ibm370.len());
+        assert!(c.render().contains("no non-store-atomic behavior"));
+    }
+
+    #[test]
+    fn fig5_difference_is_exactly_the_disagreement() {
+        let c = compare(&suite::fig5().test);
+        assert!(c.has_violations());
+        for o in &c.non_store_atomic {
+            // Every extra outcome has both cross loads reading old values.
+            assert_eq!(o.regs[0][1], 0);
+            assert_eq!(o.regs[1][1], 0);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Exhaustive operational litmus-test exploration for the two memory
+//! models the paper contrasts:
+//!
+//! * **x86-TSO** (Sewell et al.): a load *must* read the youngest matching
+//!   store in its own store buffer (store-to-load forwarding), otherwise
+//!   memory. The model is *not* store-atomic: a core sees its own stores
+//!   early.
+//! * **370** (store-atomic TSO, IBM 370 / z-Architecture): identical
+//!   machine except a load whose address matches a store in its own store
+//!   buffer blocks until that store drains to memory (§II-C).
+//!
+//! [`explore`] enumerates every interleaving of thread steps and
+//! store-buffer drains and returns the complete set of final outcomes —
+//! this regenerates the paper's Table II and the allowed/forbidden
+//! classifications of Figures 1, 2, 3 and 5. [`checker`] diffs the two
+//! models on any program, which is what the authors' released
+//! `ConsistencyChecker` tool does.
+//!
+//! ```
+//! use sa_litmus::{explore, suite, ForwardPolicy};
+//! let n6 = suite::n6();
+//! let x86 = explore(&n6.test, ForwardPolicy::X86);
+//! let ibm = explore(&n6.test, ForwardPolicy::StoreAtomic370);
+//! assert!(x86.contains_matching(&n6.condition));   // observable on x86
+//! assert!(!ibm.contains_matching(&n6.condition));  // forbidden under 370
+//! ```
+
+pub mod ast;
+pub mod checker;
+pub mod machine;
+pub mod outcome;
+pub mod pc;
+pub mod suite;
+pub mod taxonomy;
+
+pub use ast::{Cond, LOp, LitmusTest, Var};
+pub use checker::{compare, Comparison};
+pub use machine::{explore, ForwardPolicy};
+pub use outcome::{Outcome, OutcomeSet};
+pub use pc::explore_pc;

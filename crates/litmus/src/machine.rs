@@ -1,0 +1,205 @@
+//! The operational TSO machine and the exhaustive interleaving explorer.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use crate::ast::{LOp, LitmusTest, Var};
+use crate::outcome::{Outcome, OutcomeSet};
+
+/// How a load interacts with the thread's own store buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardPolicy {
+    /// x86-TSO: the load must read the youngest matching store in the
+    /// local store buffer (store-to-load forwarding) — the
+    /// non-store-atomic behavior.
+    X86,
+    /// IBM 370: the load blocks while any matching store is in the local
+    /// store buffer; it reads memory only after the store drained
+    /// (store-atomic TSO).
+    StoreAtomic370,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    pcs: Vec<usize>,
+    regs: Vec<Vec<u64>>,
+    sbs: Vec<VecDeque<(Var, u64)>>,
+    mem: BTreeMap<Var, u64>,
+}
+
+impl State {
+    fn initial(test: &LitmusTest) -> State {
+        State {
+            pcs: vec![0; test.threads.len()],
+            regs: test.threads.iter().map(|_| Vec::new()).collect(),
+            sbs: test.threads.iter().map(|_| VecDeque::new()).collect(),
+            mem: test.vars().into_iter().map(|v| (v, 0)).collect(),
+        }
+    }
+
+    fn is_final(&self, test: &LitmusTest) -> bool {
+        self.pcs
+            .iter()
+            .enumerate()
+            .all(|(t, &pc)| pc == test.threads[t].len() && self.sbs[t].is_empty())
+    }
+}
+
+/// Enumerates every final outcome of `test` under `policy` by exhaustive
+/// depth-first search over all interleavings of thread steps and
+/// store-buffer drains (with state memoization).
+pub fn explore(test: &LitmusTest, policy: ForwardPolicy) -> OutcomeSet {
+    let mut outcomes = OutcomeSet::new();
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut stack = vec![State::initial(test)];
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s.clone()) {
+            continue;
+        }
+        if s.is_final(test) {
+            outcomes.insert(Outcome { regs: s.regs.clone(), mem: s.mem.clone() });
+            continue;
+        }
+        for t in 0..test.threads.len() {
+            // Transition 1: thread t executes its next instruction.
+            if s.pcs[t] < test.threads[t].len() {
+                match test.threads[t][s.pcs[t]] {
+                    LOp::St(v, val) => {
+                        let mut n = s.clone();
+                        n.sbs[t].push_back((v, val));
+                        n.pcs[t] += 1;
+                        stack.push(n);
+                    }
+                    LOp::Ld(v) => {
+                        let local = s.sbs[t].iter().rev().find(|(sv, _)| *sv == v);
+                        match (policy, local) {
+                            (ForwardPolicy::X86, Some(&(_, val))) => {
+                                // Mandatory store-to-load forwarding.
+                                let mut n = s.clone();
+                                n.regs[t].push(val);
+                                n.pcs[t] += 1;
+                                stack.push(n);
+                            }
+                            (ForwardPolicy::StoreAtomic370, Some(_)) => {
+                                // Blocked until the matching store drains
+                                // (the drain transition will unblock it).
+                            }
+                            (_, None) => {
+                                let mut n = s.clone();
+                                let val = *s.mem.get(&v).unwrap_or(&0);
+                                n.regs[t].push(val);
+                                n.pcs[t] += 1;
+                                stack.push(n);
+                            }
+                        }
+                    }
+                    LOp::Fence => {
+                        if s.sbs[t].is_empty() {
+                            let mut n = s.clone();
+                            n.pcs[t] += 1;
+                            stack.push(n);
+                        }
+                    }
+                }
+            }
+            // Transition 2: thread t's store buffer drains one entry
+            // (this is the store's single global commit instant —
+            // write-atomic by construction).
+            if !s.sbs[t].is_empty() {
+                let mut n = s.clone();
+                let (v, val) = n.sbs[t].pop_front().expect("non-empty SB");
+                n.mem.insert(v, val);
+                stack.push(n);
+            }
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{X, Y};
+
+    fn single_thread_store_load() -> LitmusTest {
+        LitmusTest::new("local", vec![vec![LOp::St(X, 1), LOp::Ld(X)]])
+    }
+
+    #[test]
+    fn x86_forwards_own_store() {
+        let t = single_thread_store_load();
+        let set = explore(&t, ForwardPolicy::X86);
+        // Only outcome: r0 = 1 (forwarding is mandatory), [x] = 1.
+        assert_eq!(set.len(), 1);
+        let o = set.iter().next().unwrap();
+        assert_eq!(o.regs[0], vec![1]);
+        assert_eq!(o.mem[&X], 1);
+    }
+
+    #[test]
+    fn ibm370_also_reads_own_store_but_later() {
+        // Sequential semantics are preserved either way — the difference
+        // is only *when* the load may perform.
+        let t = single_thread_store_load();
+        let set = explore(&t, ForwardPolicy::StoreAtomic370);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().next().unwrap().regs[0], vec![1]);
+    }
+
+    #[test]
+    fn store_buffering_visible_in_both() {
+        // Dekker/sb: both threads may read 0 under TSO.
+        let t = LitmusTest::new(
+            "sb",
+            vec![vec![LOp::St(X, 1), LOp::Ld(Y)], vec![LOp::St(Y, 1), LOp::Ld(X)]],
+        );
+        for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
+            let set = explore(&t, policy);
+            assert!(
+                set.iter().any(|o| o.regs[0] == vec![0] && o.regs[1] == vec![0]),
+                "{policy:?} must allow the (0,0) outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn fence_forbids_store_buffering() {
+        let t = LitmusTest::new(
+            "sb+fences",
+            vec![
+                vec![LOp::St(X, 1), LOp::Fence, LOp::Ld(Y)],
+                vec![LOp::St(Y, 1), LOp::Fence, LOp::Ld(X)],
+            ],
+        );
+        for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
+            let set = explore(&t, policy);
+            assert!(
+                !set.iter().any(|o| o.regs[0] == vec![0] && o.regs[1] == vec![0]),
+                "{policy:?} must forbid (0,0) with fences"
+            );
+        }
+    }
+
+    #[test]
+    fn final_memory_is_last_drain() {
+        let t = LitmusTest::new("ww", vec![vec![LOp::St(X, 1)], vec![LOp::St(X, 2)]]);
+        let set = explore(&t, ForwardPolicy::X86);
+        let finals: Vec<u64> = set.iter().map(|o| o.mem[&X]).collect();
+        assert!(finals.contains(&1) && finals.contains(&2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn exploration_terminates_on_larger_tests() {
+        // 3 threads x 3 ops: still milliseconds thanks to memoization.
+        let t = LitmusTest::new(
+            "big",
+            vec![
+                vec![LOp::St(X, 1), LOp::Ld(Y), LOp::St(Y, 3)],
+                vec![LOp::St(Y, 1), LOp::Ld(X), LOp::St(X, 3)],
+                vec![LOp::Ld(X), LOp::Ld(Y), LOp::Fence],
+            ],
+        );
+        let set = explore(&t, ForwardPolicy::X86);
+        assert!(set.len() > 4);
+    }
+}

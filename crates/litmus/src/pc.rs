@@ -1,0 +1,227 @@
+//! An operational model of Processor Consistency (Goodman) — the third
+//! row of the paper's Table I.
+//!
+//! PC keeps TSO's program-order rules (only store→load is relaxed) but is
+//! **non-write-atomic**: different remote cores may see a store at
+//! different times (the DASH-style coherence the paper contrasts with its
+//! write-atomic MESI baseline in §II-E). The paper *excludes* PC from its
+//! evaluation because its protocol acknowledges writes only after all
+//! invalidations; this model exists to demonstrate the taxonomy — e.g.
+//! `iriw`'s disagreement outcome, forbidden in both x86 and 370, is
+//! observable under PC.
+//!
+//! Operationally: every thread has its own copy of memory. A store
+//! drains from its thread's store buffer into a per-(writer, observer)
+//! FIFO channel; each observer applies updates from each writer's channel
+//! in order, but channels progress independently — so two observers can
+//! apply two independent stores in opposite orders.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use crate::ast::{LOp, LitmusTest, Var};
+use crate::outcome::{Outcome, OutcomeSet};
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PcState {
+    pcs: Vec<usize>,
+    regs: Vec<Vec<u64>>,
+    /// Per-thread store buffer (not yet visible to anyone else).
+    sbs: Vec<VecDeque<(Var, u64)>>,
+    /// `channels[w][o]`: updates by writer `w` not yet applied at
+    /// observer `o` (FIFO per writer).
+    channels: Vec<Vec<VecDeque<(Var, u64)>>>,
+    /// Per-thread view of memory.
+    views: Vec<BTreeMap<Var, u64>>,
+}
+
+impl PcState {
+    fn initial(test: &LitmusTest) -> PcState {
+        let n = test.threads.len();
+        let zero: BTreeMap<Var, u64> = test.vars().into_iter().map(|v| (v, 0)).collect();
+        PcState {
+            pcs: vec![0; n],
+            regs: vec![Vec::new(); n],
+            sbs: vec![VecDeque::new(); n],
+            channels: vec![vec![VecDeque::new(); n]; n],
+            views: vec![zero; n],
+        }
+    }
+
+    fn is_final(&self, test: &LitmusTest) -> bool {
+        self.pcs.iter().enumerate().all(|(t, &pc)| pc == test.threads[t].len())
+            && self.sbs.iter().all(VecDeque::is_empty)
+            && self.channels.iter().flatten().all(VecDeque::is_empty)
+    }
+}
+
+/// Enumerates all outcomes of `test` under Processor Consistency.
+///
+/// Final memory is taken as thread 0's view (all views converge per
+/// variable to the last update in each writer's channel order; for the
+/// final-state comparison we require all channels drained, and report
+/// each thread's own view only through its registers). Because PC has no
+/// single memory order, the `mem` component of the outcome is the view
+/// of observer 0.
+pub fn explore_pc(test: &LitmusTest) -> OutcomeSet {
+    let mut outcomes = OutcomeSet::new();
+    let mut seen: HashSet<PcState> = HashSet::new();
+    let mut stack = vec![PcState::initial(test)];
+    let n = test.threads.len();
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s.clone()) {
+            continue;
+        }
+        if s.is_final(test) {
+            outcomes.insert(Outcome { regs: s.regs.clone(), mem: s.views[0].clone() });
+            continue;
+        }
+        for t in 0..n {
+            // Execute next instruction of thread t.
+            if s.pcs[t] < test.threads[t].len() {
+                match test.threads[t][s.pcs[t]] {
+                    LOp::St(v, val) => {
+                        let mut x = s.clone();
+                        x.sbs[t].push_back((v, val));
+                        x.pcs[t] += 1;
+                        stack.push(x);
+                    }
+                    LOp::Ld(v) => {
+                        // Forward from own SB (youngest match), else own
+                        // view.
+                        let mut x = s.clone();
+                        let val = s.sbs[t]
+                            .iter()
+                            .rev()
+                            .find(|(sv, _)| *sv == v)
+                            .map(|&(_, val)| val)
+                            .unwrap_or_else(|| *s.views[t].get(&v).unwrap_or(&0));
+                        x.regs[t].push(val);
+                        x.pcs[t] += 1;
+                        stack.push(x);
+                    }
+                    LOp::Fence => {
+                        // A full fence under PC: SB drained and all own
+                        // updates delivered everywhere.
+                        let drained = s.sbs[t].is_empty()
+                            && s.channels[t].iter().all(VecDeque::is_empty);
+                        if drained {
+                            let mut x = s.clone();
+                            x.pcs[t] += 1;
+                            stack.push(x);
+                        }
+                    }
+                }
+            }
+            // Drain one SB entry of thread t into all its channels (and
+            // its own view — a core sees its own writes in order).
+            if !s.sbs[t].is_empty() {
+                let mut x = s.clone();
+                let (v, val) = x.sbs[t].pop_front().expect("non-empty SB");
+                x.views[t].insert(v, val);
+                for o in 0..n {
+                    if o != t {
+                        x.channels[t][o].push_back((v, val));
+                    }
+                }
+                stack.push(x);
+            }
+            // Deliver one pending update from writer t to some observer.
+            for o in 0..n {
+                if o != t && !s.channels[t][o].is_empty() {
+                    let mut x = s.clone();
+                    let (v, val) = x.channels[t][o].pop_front().expect("non-empty channel");
+                    x.views[o].insert(v, val);
+                    stack.push(x);
+                }
+            }
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{LOp::*, X, Y};
+    use crate::machine::{explore, ForwardPolicy};
+    use crate::suite;
+
+    /// Table I row 3: PC relaxes read-others'-write-early — the iriw
+    /// disagreement outcome is observable under PC but not under x86 or
+    /// 370.
+    #[test]
+    fn pc_allows_iriw_disagreement() {
+        let ct = suite::iriw();
+        let pc = explore_pc(&ct.test);
+        assert!(pc.contains_matching(&ct.condition), "PC must allow iriw");
+        let x86 = explore(&ct.test, ForwardPolicy::X86);
+        assert!(!x86.contains_matching(&ct.condition));
+    }
+
+    /// PC is weaker than (or equal to) x86 on every suite program: the
+    /// x86 outcomes are a subset of PC's.
+    #[test]
+    fn x86_outcomes_subset_of_pc() {
+        for ct in suite::all() {
+            // The PC explorer's state space explodes with fences on 4
+            // threads; the suite is small enough.
+            let pc = explore_pc(&ct.test);
+            let x86 = explore(&ct.test, ForwardPolicy::X86);
+            for o in x86.iter() {
+                assert!(
+                    pc.iter().any(|p| p.regs == o.regs),
+                    "{}: x86 outcome {o} missing under PC",
+                    ct.test.name
+                );
+            }
+        }
+    }
+
+    /// PC still forbids load→load reordering observations within one
+    /// writer's updates (per-writer FIFO): mp stays forbidden.
+    #[test]
+    fn pc_preserves_per_writer_order() {
+        let ct = suite::mp();
+        let pc = explore_pc(&ct.test);
+        assert!(
+            !pc.contains_matching(&ct.condition),
+            "mp must stay forbidden under PC (per-writer FIFO channels)"
+        );
+    }
+
+    /// Single-threaded semantics unaffected.
+    #[test]
+    fn pc_single_thread() {
+        let t = LitmusTest::new("seq", vec![vec![St(X, 1), Ld(X), St(Y, 2), Ld(Y)]]);
+        let pc = explore_pc(&t);
+        assert_eq!(pc.len(), 1);
+        let o = pc.iter().next().unwrap();
+        assert_eq!(o.regs[0], vec![1, 2]);
+    }
+
+    /// Under PC, even fencing the writers does *not* forbid the iriw
+    /// disagreement: the readers disagree about the order of two
+    /// independent stores, and a non-cumulative fence on a thread with
+    /// no stores is a no-op. This is exactly why non-write-atomic models
+    /// are considered too weak (§II-E) and why the paper's baseline
+    /// coherence collects all invalidation acks before acknowledging a
+    /// write.
+    #[test]
+    fn fences_cannot_fix_iriw_under_pc() {
+        let t = LitmusTest::new(
+            "iriw+fences",
+            vec![
+                vec![St(X, 1), Fence],
+                vec![St(Y, 1), Fence],
+                vec![Ld(X), Fence, Ld(Y)],
+                vec![Ld(Y), Fence, Ld(X)],
+            ],
+        );
+        let pc = explore_pc(&t);
+        let cond = crate::ast::Cond::new().reg(2, 0, 1).reg(2, 1, 0).reg(3, 0, 1).reg(3, 1, 0);
+        assert!(
+            pc.contains_matching(&cond),
+            "non-cumulative fences cannot restore write atomicity"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Table I — the atomicity taxonomy of store operations.
+
+/// A consistency model's store-atomicity class, in the three vocabularies
+/// Table I aligns (Adve & Gharachorloo, Trippel et al., Ros & Kaxiras).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicityClass {
+    /// Model name ("370", "x86", "PC").
+    pub model: &'static str,
+    /// Adve & Gharachorloo's relaxation name.
+    pub adve_gharachorloo: &'static str,
+    /// Trippel et al.'s MCA classification.
+    pub trippel: &'static str,
+    /// This paper's terminology.
+    pub ros_kaxiras: &'static str,
+    /// Whether a core may see its *own* stores early.
+    pub read_own_write_early: bool,
+    /// Whether a core may see *another* core's store early.
+    pub read_others_write_early: bool,
+}
+
+/// The rows of Table I.
+pub const TABLE_I: [AtomicityClass; 3] = [
+    AtomicityClass {
+        model: "370",
+        adve_gharachorloo: "-",
+        trippel: "MCA",
+        ros_kaxiras: "Store atomicity",
+        read_own_write_early: false,
+        read_others_write_early: false,
+    },
+    AtomicityClass {
+        model: "x86",
+        adve_gharachorloo: "Read own write early",
+        trippel: "rMCA",
+        ros_kaxiras: "Write atomicity",
+        read_own_write_early: true,
+        read_others_write_early: false,
+    },
+    AtomicityClass {
+        model: "PC",
+        adve_gharachorloo: "Read others' write early",
+        trippel: "non-MCA",
+        ros_kaxiras: "Non write-atomic",
+        read_own_write_early: true,
+        read_others_write_early: true,
+    },
+];
+
+/// Renders Table I.
+pub fn render_table1() -> String {
+    let mut s = String::from(
+        "Table I: Atomicity of store operations\n\
+         Model  Adve & Gharachorloo       Trippel et al.  Ros & Kaxiras\n",
+    );
+    for row in TABLE_I {
+        s.push_str(&format!(
+            "{:<6} {:<25} {:<15} {}\n",
+            row.model, row.adve_gharachorloo, row.trippel, row.ros_kaxiras
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_monotone_in_relaxation() {
+        // 370 relaxes nothing; x86 relaxes own-write-early; PC relaxes
+        // both.
+        assert!(!TABLE_I[0].read_own_write_early);
+        assert!(TABLE_I[1].read_own_write_early && !TABLE_I[1].read_others_write_early);
+        assert!(TABLE_I[2].read_own_write_early && TABLE_I[2].read_others_write_early);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render_table1();
+        for m in ["370", "x86", "PC", "MCA", "rMCA", "non-MCA", "Store atomicity"] {
+            assert!(s.contains(m), "missing {m}");
+        }
+    }
+
+    #[test]
+    fn classification_matches_model_enum() {
+        // The simulator's ConsistencyModel enum agrees with Table I: the
+        // 370 configurations are store-atomic, x86 is not.
+        use sa_isa::ConsistencyModel;
+        assert!(!ConsistencyModel::X86.is_store_atomic());
+        assert!(ConsistencyModel::Ibm370SlfSosKey.is_store_atomic());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the operational models over random programs.
+
+use proptest::prelude::*;
+use sa_litmus::ast::{LOp, LitmusTest, Var};
+use sa_litmus::{explore, ForwardPolicy};
+
+fn op_strategy() -> impl Strategy<Value = LOp> {
+    prop_oneof![
+        (0u8..2, 1u64..4).prop_map(|(v, val)| LOp::St(Var(v), val)),
+        (0u8..2).prop_map(|v| LOp::Ld(Var(v))),
+        Just(LOp::Fence),
+    ]
+}
+
+fn program() -> impl Strategy<Value = LitmusTest> {
+    prop::collection::vec(prop::collection::vec(op_strategy(), 1..4), 1..3)
+        .prop_map(|threads| LitmusTest::new("random", threads))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store-atomic 370 model is strictly stronger: its outcome set
+    /// is a subset of x86's on every program.
+    #[test]
+    fn ibm370_subset_of_x86(t in program()) {
+        let x86 = explore(&t, ForwardPolicy::X86);
+        let ibm = explore(&t, ForwardPolicy::StoreAtomic370);
+        prop_assert!(!ibm.is_empty(), "every program terminates");
+        prop_assert!(ibm.is_subset(&x86));
+    }
+
+    /// Per-variable coherence: the final value of each variable is the
+    /// value of some store to it (or its initial 0), in every outcome,
+    /// under both models.
+    #[test]
+    fn final_memory_comes_from_some_store(t in program()) {
+        for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
+            for o in explore(&t, policy).iter() {
+                for (var, val) in &o.mem {
+                    let legal = *val == 0
+                        || t.threads.iter().flatten().any(|op| {
+                            matches!(op, LOp::St(v, x) if v == var && x == val)
+                        });
+                    prop_assert!(legal, "{policy:?}: [{var}]={val} from nowhere");
+                }
+            }
+        }
+    }
+
+    /// Reads-from: every loaded value was written by some store to that
+    /// variable or is the initial 0.
+    #[test]
+    fn loads_read_written_values(t in program()) {
+        // Map each load slot back to its variable.
+        let load_vars: Vec<Vec<Var>> = t
+            .threads
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .filter_map(|op| match op {
+                        LOp::Ld(v) => Some(*v),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
+            for o in explore(&t, policy).iter() {
+                for (th, regs) in o.regs.iter().enumerate() {
+                    for (slot, val) in regs.iter().enumerate() {
+                        let var = load_vars[th][slot];
+                        let legal = *val == 0
+                            || t.threads.iter().flatten().any(|op| {
+                                matches!(op, LOp::St(v, x) if *v == var && x == val)
+                            });
+                        prop_assert!(legal, "{policy:?}: {th}:r{slot}={val}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fencing every instruction boundary collapses both models to the
+    /// same (SC) outcome set.
+    #[test]
+    fn fully_fenced_programs_agree(t in program()) {
+        let fenced = LitmusTest::new(
+            "fenced",
+            t.threads
+                .iter()
+                .map(|ops| {
+                    let mut out = Vec::new();
+                    for op in ops {
+                        out.push(*op);
+                        out.push(LOp::Fence);
+                    }
+                    out
+                })
+                .collect(),
+        );
+        let x86 = explore(&fenced, ForwardPolicy::X86);
+        let ibm = explore(&fenced, ForwardPolicy::StoreAtomic370);
+        prop_assert_eq!(x86, ibm);
+    }
+}

@@ -1,0 +1,128 @@
+//! Core configuration (the processor half of the paper's Table III).
+
+/// Out-of-order core parameters. Defaults are the paper's Skylake-like
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Dispatch/issue/retire width (5).
+    pub width: usize,
+    /// Reorder-buffer entries (224).
+    pub rob_entries: usize,
+    /// Load-queue entries (72).
+    pub lq_entries: usize,
+    /// Combined store-queue + store-buffer entries (56).
+    pub sq_sb_entries: usize,
+    /// Oldest non-completed instructions eligible for issue each cycle
+    /// (reservation-station window).
+    pub sched_window: usize,
+    /// Loads that can begin execution per cycle (load AGU ports).
+    pub load_ports: usize,
+    /// Store addresses that can resolve per cycle (store AGU port).
+    pub store_ports: usize,
+    /// Fetch-redirect penalty after a branch mispredict, in cycles.
+    pub redirect_penalty: u64,
+    /// Pipeline-refill penalty after a memory-order/store-atomicity
+    /// squash, in cycles.
+    pub squash_penalty: u64,
+    /// How many retired stores beyond the SB head prefetch ownership
+    /// (RFO) concurrently (counted from the SQ/SB head; addresses known
+    /// pre-retirement prefetch too).
+    pub rfo_depth: usize,
+    /// Enable the StoreSet memory-dependence predictor (Table III).
+    pub storeset: bool,
+    /// Pipeline SB commits at one store per cycle instead of
+    /// serializing them at the L1 write latency (an ablation; the
+    /// baseline drain is serialized).
+    pub commit_pipelined: bool,
+    /// Cycles one SB-head store occupies the L1 write path when it
+    /// commits (the GEMS-style L1 store access cost; the paper's drain
+    /// behavior implies a serialized, non-trivial commit cost).
+    pub sb_commit_cycles: u64,
+    /// Key registers in the retire gate. 1 is the paper's design; more
+    /// lets further SLF loads retire through a closed gate (the
+    /// multi-key extension, see the `ablation` harness).
+    pub gate_keys: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig {
+            width: 5,
+            rob_entries: 224,
+            lq_entries: 72,
+            sq_sb_entries: 56,
+            sched_window: 97,
+            load_ports: 2,
+            store_ports: 1,
+            redirect_penalty: 12,
+            squash_penalty: 12,
+            rfo_depth: 32,
+            storeset: true,
+            commit_pipelined: false,
+            sb_commit_cycles: 8,
+            gate_keys: 1,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Validates invariants the pipeline relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized structures or widths.
+    pub fn validate(&self) {
+        assert!(self.width > 0, "width must be positive");
+        assert!(self.rob_entries > 0, "ROB must be non-empty");
+        assert!(self.lq_entries > 0, "LQ must be non-empty");
+        assert!(self.sq_sb_entries > 1, "SQ/SB needs at least two entries");
+        assert!(self.sched_window > 0, "scheduler window must be positive");
+        assert!(self.load_ports > 0 && self.store_ports > 0, "need AGU ports");
+        assert!(
+            self.sq_sb_entries <= u16::MAX as usize,
+            "key position bits limited to 16"
+        );
+        assert!(self.gate_keys > 0, "gate needs at least one key register");
+    }
+
+    /// Extra storage (bits) the paper's mechanism adds for this geometry
+    /// (§IV-D): per-LQ-entry SLF bit + key, the gate register, and one
+    /// sorting bit per SQ/SB entry.
+    pub fn sa_storage_bits(&self) -> usize {
+        let pos_bits = usize::BITS as usize - (self.sq_sb_entries - 1).leading_zeros() as usize;
+        let key_bits = pos_bits + 1; // position + sorting bit
+        let per_lq = 1 + key_bits; // SLF bit + key copy
+        let gate = 1 + key_bits; // open/closed bit + key register
+        self.lq_entries * per_lq + gate + self.sq_sb_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iii() {
+        let c = CoreConfig::default();
+        assert_eq!(c.width, 5);
+        assert_eq!(c.rob_entries, 224);
+        assert_eq!(c.lq_entries, 72);
+        assert_eq!(c.sq_sb_entries, 56);
+        c.validate();
+    }
+
+    #[test]
+    fn storage_overhead_matches_section_iv_d() {
+        // 72-entry LQ, 56-entry SQ/SB: 8 bits/LQ entry + 8-bit gate
+        // (1 + 7) + 56 sorting bits = 576 + 8 + 56 = 640 bits (80 bytes).
+        let c = CoreConfig::default();
+        assert_eq!(c.sa_storage_bits(), 640);
+        assert_eq!(c.sa_storage_bits() / 8, 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        CoreConfig { width: 0, ..CoreConfig::default() }.validate();
+    }
+}

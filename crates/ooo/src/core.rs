@@ -1,0 +1,975 @@
+//! The out-of-order core pipeline.
+//!
+//! One [`Core`] executes one trace. Each call to [`Core::tick`] simulates
+//! one cycle in six phases:
+//!
+//! 1. **Memory notices** — load completions perform loads (reading the
+//!    global value image at the perform instant), ownership grants wake
+//!    draining stores, and invalidations/evictions snoop the load queue
+//!    (possibly squashing speculative loads — the paper's §IV mechanism).
+//! 2. **Store-buffer drain** — the SB head commits to the L1 once owned;
+//!    commits publish values, free SQ/SB entries and reopen the retire
+//!    gate (by key under `370-SLFSoS-key`, on SB-empty under
+//!    `370-SLFSoS`). Younger retired stores prefetch ownership (RFO).
+//! 3. **Completions** — executing micro-ops whose latency elapsed become
+//!    retirable; mispredicted branches redirect fetch.
+//! 4. **Retire** — in-order, up to `width`; loads additionally subject to
+//!    the per-model store-atomicity rules.
+//! 5. **Schedule/execute** — ready micro-ops issue; loads run the
+//!    forwarding search / memory issue state machine; store addresses
+//!    resolve and trigger memory-order violation checks.
+//! 6. **Dispatch** — up to `width` trace instructions enter the window;
+//!    stall cycles are attributed to the first full resource
+//!    (ROB/LQ/SQ-SB — Figure 9's metric).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeSet, HashMap};
+
+use sa_coherence::{MemReqId, Notice, NoticeKind};
+use sa_isa::{
+    ConsistencyModel, CoreId, Cycle, Line, Op, Reg, StoreOperand, Trace, Value, ValueMemory,
+    NUM_REGS,
+};
+
+use crate::branch::Tage;
+use crate::config::CoreConfig;
+use crate::gate::RetireGate;
+use crate::lq::{BlockReason, LoadQueue, LoadState};
+use crate::port::LoadStorePort;
+use crate::rob::{Rob, RobEntry, RobId, RobKind, RobState};
+use crate::sq::{extract_forwarded, SearchHit, SqId, StoreQueue};
+use crate::stats::{CoreStats, SquashCause};
+use crate::storeset::StoreSet;
+
+/// One simulated out-of-order core.
+#[derive(Debug)]
+pub struct Core {
+    id: CoreId,
+    cfg: CoreConfig,
+    model: ConsistencyModel,
+    trace: Trace,
+    fetch_idx: usize,
+    fetch_resume: Cycle,
+    fetch_blocked_on: Option<RobId>,
+    rob: Rob,
+    lq: LoadQueue,
+    sq: StoreQueue,
+    gate: RetireGate,
+    bp: Tage,
+    ss: StoreSet,
+    arch_regs: [Value; NUM_REGS],
+    reg_producer: [Option<RobId>; NUM_REGS],
+    pending_loads: HashMap<MemReqId, RobId>,
+    pending_owns: HashMap<MemReqId, SqId>,
+    completion_q: BinaryHeap<Reverse<(Cycle, RobId)>>,
+    fences: BTreeSet<RobId>,
+    gate_stall_cur: Option<RobId>,
+    /// Loads currently in a Blocked state (gates the retry pass).
+    blocked_loads: usize,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core executing `trace` under `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CoreConfig::validate`].
+    pub fn new(id: CoreId, cfg: CoreConfig, model: ConsistencyModel, trace: Trace) -> Core {
+        cfg.validate();
+        Core {
+            id,
+            rob: Rob::new(cfg.rob_entries),
+            lq: LoadQueue::new(cfg.lq_entries),
+            sq: StoreQueue::new(cfg.sq_sb_entries),
+            gate: RetireGate::with_capacity(cfg.gate_keys),
+            bp: Tage::new(),
+            ss: StoreSet::new(cfg.storeset),
+            arch_regs: [0; NUM_REGS],
+            reg_producer: [None; NUM_REGS],
+            pending_loads: HashMap::new(),
+            pending_owns: HashMap::new(),
+            completion_q: BinaryHeap::new(),
+            fences: BTreeSet::new(),
+            gate_stall_cur: None,
+            blocked_loads: 0,
+            stats: CoreStats::default(),
+            fetch_idx: 0,
+            fetch_resume: 0,
+            fetch_blocked_on: None,
+            cfg,
+            model,
+            trace,
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The consistency model this core enforces.
+    pub fn model(&self) -> ConsistencyModel {
+        self.model
+    }
+
+    /// `true` once the whole trace has retired and all stores committed.
+    pub fn finished(&self) -> bool {
+        self.fetch_idx >= self.trace.len() && self.rob.is_empty() && self.sq.is_empty()
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Architectural value of `r` (final state for litmus outcomes).
+    pub fn arch_reg(&self, r: Reg) -> Value {
+        self.arch_regs[r.index()]
+    }
+
+    /// Branch predictor accuracy observer.
+    pub fn branch_mispredict_rate(&self) -> f64 {
+        self.bp.mispredict_rate()
+    }
+
+    /// Simulates one cycle.
+    pub fn tick<M: LoadStorePort>(
+        &mut self,
+        now: Cycle,
+        mem: &mut M,
+        valmem: &mut ValueMemory,
+        notices: &[Notice],
+    ) {
+        self.stats.cycles += 1;
+        self.process_notices(now, valmem, notices);
+        self.drain_stores(now, mem, valmem);
+        self.process_completions(now);
+        self.retire(now);
+        self.schedule(now, mem);
+        self.dispatch(now);
+        if self.gate.is_closed() {
+            self.stats.gate_closed_cycles += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: memory notices
+    // ------------------------------------------------------------------
+
+    fn process_notices(&mut self, now: Cycle, valmem: &ValueMemory, notices: &[Notice]) {
+        for n in notices {
+            match n.kind {
+                NoticeKind::LoadDone { id } => {
+                    let Some(rob_id) = self.pending_loads.remove(&id) else {
+                        continue; // stale response for a squashed load
+                    };
+                    self.perform_from_memory(rob_id, now, valmem);
+                }
+                NoticeKind::OwnershipDone { id } => {
+                    if let Some(sq_id) = self.pending_owns.remove(&id) {
+                        if let Some(e) = self.sq.get_mut(sq_id) {
+                            e.own_req = None; // drain re-checks has_ownership
+                        }
+                    }
+                }
+                NoticeKind::Invalidated { line } | NoticeKind::Evicted { line } => {
+                    self.snoop_lq(line, now);
+                }
+            }
+        }
+    }
+
+    fn perform_from_memory(&mut self, rob_id: RobId, now: Cycle, valmem: &ValueMemory) {
+        let m_spec = self.lq.any_older_unperformed(rob_id);
+        let Some(e) = self.lq.get_mut(rob_id) else {
+            debug_assert!(false, "completion for a load not in the LQ");
+            return;
+        };
+        debug_assert!(matches!(e.state, LoadState::Issued(_)));
+        e.state = LoadState::Performed;
+        e.performed_at = now;
+        e.value = valmem.read(e.addr, e.size);
+        e.m_spec = m_spec;
+        let value = e.value;
+        let r = self.rob.get_mut(rob_id).expect("load still in ROB");
+        r.state = RobState::Done;
+        r.done_at = now;
+        r.result = value;
+    }
+
+    /// Invalidation/eviction snoop of the load queue — the detection
+    /// mechanism of §IV. Finds the oldest *speculative* performed load on
+    /// `line` and squashes from it.
+    fn snoop_lq(&mut self, line: Line, now: Cycle) {
+        let mut victim: Option<(RobId, SquashCause)> = None;
+        for e in self.lq.iter() {
+            if e.line != line || e.state != LoadState::Performed {
+                continue;
+            }
+            // Classic in-window speculation (present in all five
+            // configurations, including x86): the load is squashable iff
+            // *right now* an older load is still unperformed (M-spec) or
+            // an older store address is still unresolved (D-spec). Once
+            // every older access is bound, the load's early perform is
+            // no longer observable and a snoop cannot catch it.
+            let classic = self.lq.any_older_unperformed(e.rob_id)
+                || self.sq.any_older_unresolved(e.rob_id);
+            let sa = match self.model {
+                ConsistencyModel::X86 | ConsistencyModel::Ibm370NoSpec => false,
+                ConsistencyModel::Ibm370SlfSpec => {
+                    // SC-like: the SLF load itself is speculative while
+                    // older stores linger, and so is anything younger
+                    // than a speculative SLF load.
+                    let self_spec = e.fwd_from.is_some() && self.sq.any_older(e.rob_id);
+                    self_spec
+                        || self
+                            .lq
+                            .iter()
+                            .take_while(|o| o.rob_id < e.rob_id)
+                            .any(|o| o.fwd_from.is_some() && self.sq.any_older(o.rob_id))
+                }
+                ConsistencyModel::Ibm370SlfSos | ConsistencyModel::Ibm370SlfSosKey => {
+                    // SoS: SLF loads are *sources* of speculation; a load
+                    // is SA-speculative iff an older SLF load's
+                    // forwarding store is still in the SQ/SB — whether
+                    // that SLF load is still in the window or already
+                    // retired (then the closed gate remembers it).
+                    self.gate.is_closed()
+                        || self.lq.older_slf_pending(e.rob_id, |k| self.sq.contains_key(k))
+                }
+            };
+            if classic || sa {
+                let cause = if classic {
+                    SquashCause::LoadLoad
+                } else {
+                    SquashCause::StoreAtomicity
+                };
+                victim = Some((e.rob_id, cause));
+                break;
+            }
+        }
+        if let Some((rob_id, cause)) = victim {
+            self.squash_from(rob_id, cause, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: store-buffer drain
+    // ------------------------------------------------------------------
+
+    fn drain_stores<M: LoadStorePort>(
+        &mut self,
+        now: Cycle,
+        mem: &mut M,
+        valmem: &mut ValueMemory,
+    ) {
+        if self.sq.is_empty() {
+            return;
+        }
+        // Finish completed commits, strictly in program order (commits
+        // start in order with a uniform latency, so done-times are
+        // monotonic — TSO's store order to memory).
+        while let Some(h) = self.sq.head() {
+            if !h.committing_done.is_some_and(|t| t <= now) {
+                break;
+            }
+            let h = self.sq.pop_head().expect("head exists");
+            valmem.write(h.addr, h.size, h.value.expect("committed store has data"));
+            self.stats.sb_commits += 1;
+            match self.model {
+                ConsistencyModel::Ibm370SlfSosKey => {
+                    let _ = self.gate.try_unlock(h.key);
+                }
+                ConsistencyModel::Ibm370SlfSos => {
+                    if !self.sq.sb_nonempty() {
+                        self.gate.force_open();
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Start the next commit. With `commit_pipelined` the L1 write
+        // port starts one store per cycle (commits still complete in
+        // order); otherwise commits serialize at the L1 write latency —
+        // the conservative baseline matching the paper's drain behavior.
+        let l1 = mem.l1_latency().max(self.cfg.sb_commit_cycles);
+        let mut start: Option<(SqId, Line, bool)> = None;
+        let mut prev_done: Cycle = 0;
+        for e in self.sq.iter() {
+            if !e.retired {
+                break;
+            }
+            match e.committing_done {
+                Some(t) => {
+                    if !self.cfg.commit_pipelined {
+                        break; // one commit in flight at a time
+                    }
+                    prev_done = t;
+                }
+                None => {
+                    debug_assert!(e.executed(), "retired store missing address or data");
+                    start = Some((e.id, e.line, e.own_req.is_none()));
+                    break;
+                }
+            }
+        }
+        if let Some((id, line, no_req)) = start {
+            if mem.has_ownership(line) {
+                mem.mark_dirty(line);
+                let done = (now + l1).max(prev_done + 1);
+                let e = self.sq.get_mut(id).expect("store present");
+                e.committing_done = Some(done);
+                e.own_req = None;
+            } else if no_req {
+                if let Some(req) = mem.issue_ownership(line, now) {
+                    self.sq.get_mut(id).expect("store present").own_req = Some(req);
+                    self.pending_owns.insert(req, id);
+                }
+            }
+        }
+        // RFO prefetch: as soon as a store's address is known — even
+        // before it retires — acquire ownership of its line so the
+        // eventual in-order L1 commit is a hit (stores prefetch
+        // ownership from the SQ in real cores; this is what hides store
+        // miss latency behind the window).
+        let candidates: Vec<(SqId, Line)> = self
+            .sq
+            .iter()
+            .take(self.cfg.rfo_depth)
+            .filter(|e| e.addr_resolved && e.own_req.is_none() && e.committing_done.is_none())
+            .map(|e| (e.id, e.line))
+            .collect();
+        let mut rfos = 0;
+        for (id, line) in candidates {
+            if rfos >= 2 {
+                break; // RFO issue bandwidth per cycle
+            }
+            if mem.has_ownership(line) {
+                continue;
+            }
+            if let Some(req) = mem.issue_ownership(line, now) {
+                if let Some(e) = self.sq.get_mut(id) {
+                    e.own_req = Some(req);
+                }
+                self.pending_owns.insert(req, id);
+                rfos += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: completions
+    // ------------------------------------------------------------------
+
+    fn process_completions(&mut self, now: Cycle) {
+        while let Some(&Reverse((t, id))) = self.completion_q.peek() {
+            if t > now {
+                break;
+            }
+            self.completion_q.pop();
+            let Some(e) = self.rob.get_mut(id) else {
+                continue; // squashed while executing
+            };
+            if e.state != RobState::Executing {
+                continue;
+            }
+            e.state = RobState::Done;
+            e.done_at = t;
+            if let RobKind::Branch { mispredicted: true, .. } = e.kind {
+                self.fetch_resume = now + self.cfg.redirect_penalty;
+                if self.fetch_blocked_on == Some(id) {
+                    self.fetch_blocked_on = None;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: retire
+    // ------------------------------------------------------------------
+
+    fn retire(&mut self, now: Cycle) {
+        for _ in 0..self.cfg.width {
+            let Some(head) = self.rob.front() else {
+                break;
+            };
+            if head.state != RobState::Done || head.done_at > now {
+                break;
+            }
+            let id = head.id;
+            match head.kind {
+                RobKind::Load => {
+                    if !self.try_retire_load(id, now) {
+                        break;
+                    }
+                }
+                RobKind::Store { sq } => {
+                    let e = self.sq.get_mut(sq).expect("retiring store in SQ");
+                    e.retired = true;
+                    self.stats.retired_stores += 1;
+                    self.pop_retired(now);
+                }
+                RobKind::Fence => {
+                    if self.sq.sb_nonempty() {
+                        break; // MFENCE waits for the SB to drain
+                    }
+                    self.fences.remove(&id);
+                    self.stats.retired_fences += 1;
+                    self.pop_retired(now);
+                }
+                RobKind::Branch { .. } => {
+                    self.stats.retired_branches += 1;
+                    self.pop_retired(now);
+                }
+                RobKind::Alu { .. } | RobKind::Nop => {
+                    self.pop_retired(now);
+                }
+            }
+        }
+    }
+
+    /// Returns `false` when the load must stall at the head.
+    fn try_retire_load(&mut self, id: RobId, _now: Cycle) -> bool {
+        // Retire gate (370-SLFSoS / 370-SLFSoS-key).
+        if self.model.uses_retire_gate() && self.gate.is_closed() {
+            // Multi-key extension: an SLF load (not speculative itself)
+            // may pass a closed gate by depositing its own key, if a key
+            // register is free. With the paper's capacity of 1 a closed
+            // gate never has space, so this reduces to a plain stall.
+            let can_pass = self.model.uses_key() && self.gate.has_space() && {
+                let e = self.lq.get(id).expect("load in LQ");
+                e.slf_key.is_some_and(|k| self.sq.contains_key(k))
+            };
+            if !can_pass {
+                if self.gate_stall_cur != Some(id) {
+                    self.gate_stall_cur = Some(id);
+                    self.stats.gate_stall_events += 1;
+                }
+                self.stats.gate_stall_cycles += 1;
+                return false;
+            }
+        }
+        // 370-SLFSpec: an SLF load is speculative and may not retire
+        // until the store buffer empties.
+        if self.model == ConsistencyModel::Ibm370SlfSpec {
+            let fwd = self.lq.get(id).expect("load in LQ").fwd_from.is_some();
+            if fwd && self.sq.sb_nonempty() {
+                self.stats.slfspec_stall_cycles += 1;
+                return false;
+            }
+        }
+        self.gate_stall_cur = None;
+        let entry = self.lq.retire_head(id);
+        if entry.fwd_from.is_some() {
+            self.stats.forwarded_loads += 1;
+        }
+        // SoS configurations: a retiring SLF load whose forwarding store
+        // is still in the SQ/SB closes the gate behind itself, locked
+        // with the store's key (§IV-B2). If the store already left, the
+        // window of vulnerability is over and the gate stays open.
+        if self.model.uses_retire_gate() {
+            if let Some(k) = entry.slf_key {
+                if self.sq.contains_key(k) {
+                    self.gate.close(k);
+                    self.stats.gate_closures += 1;
+                }
+            }
+        }
+        self.stats.retired_loads += 1;
+        self.pop_retired(_now);
+        true
+    }
+
+    fn pop_retired(&mut self, _now: Cycle) {
+        let e = self.rob.pop_front().expect("retiring head");
+        if let Some(dst) = e.dst {
+            self.arch_regs[dst.index()] = e.result;
+            if self.reg_producer[dst.index()] == Some(e.id) {
+                self.reg_producer[dst.index()] = None;
+            }
+        }
+        self.stats.retired_instrs += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 5: schedule / execute
+    // ------------------------------------------------------------------
+
+    fn read_src(&self, e: &RobEntry, i: usize) -> Value {
+        let Some(r) = e.src_regs[i] else { return 0 };
+        match e.deps[i] {
+            Some(pid) => match self.rob.get(pid) {
+                Some(p) => p.result,
+                None => self.arch_regs[r.index()], // producer retired
+            },
+            None => self.arch_regs[r.index()],
+        }
+    }
+
+    fn deps_ready(&self, e: &RobEntry) -> [bool; 2] {
+        [
+            e.deps[0].is_none_or(|d| self.rob.dep_satisfied(d)),
+            e.deps[1].is_none_or(|d| self.rob.dep_satisfied(d)),
+        ]
+    }
+
+    fn schedule<M: LoadStorePort>(&mut self, now: Cycle, mem: &mut M) {
+        let mut issued = 0usize;
+        let mut load_ports = self.cfg.load_ports;
+        let mut store_ports = self.cfg.store_ports;
+        let mut rs_seen = 0usize;
+
+        // Pass 1: wake waiting ROB entries, oldest first. Index-based
+        // iteration is safe: the only in-pass mutation is a squash from a
+        // store-address resolution, which removes a *suffix strictly
+        // younger* than the position being processed.
+        let mut pos = 0usize;
+        while pos < self.rob.len() {
+            if issued >= self.cfg.width || rs_seen >= self.cfg.sched_window {
+                break;
+            }
+            let e = self.rob.at(pos).expect("in-bounds position");
+            let id = e.id;
+            pos += 1;
+            if e.state == RobState::Done {
+                continue;
+            }
+            rs_seen += 1;
+            if e.state != RobState::Waiting {
+                continue;
+            }
+            let ready = self.deps_ready(e);
+            match e.kind {
+                RobKind::Alu { unit, eval } => {
+                    if ready[0] && ready[1] {
+                        let vals = [self.read_src(e, 0), self.read_src(e, 1)];
+                        let n_srcs = e.src_regs.iter().flatten().count();
+                        let result = eval.eval(&vals[..n_srcs]);
+                        let entry = self.rob.get_mut(id).expect("live");
+                        entry.state = RobState::Executing;
+                        entry.result = result;
+                        self.completion_q.push(Reverse((now + u64::from(unit.latency()), id)));
+                        issued += 1;
+                    }
+                }
+                RobKind::Branch { .. } => {
+                    if ready[0] {
+                        let entry = self.rob.get_mut(id).expect("live");
+                        entry.state = RobState::Executing;
+                        self.completion_q.push(Reverse((now + 1, id)));
+                        issued += 1;
+                    }
+                }
+                RobKind::Load => {
+                    // Address operand gates execution.
+                    if ready[0] && load_ports > 0 {
+                        let entry = self.rob.get_mut(id).expect("live");
+                        entry.state = RobState::Executing;
+                        if self.try_execute_load(id, now, mem) {
+                            load_ports -= 1;
+                            issued += 1;
+                        }
+                    }
+                }
+                RobKind::Store { sq } => {
+                    let s = self.sq.get(sq).expect("store in SQ");
+                    let mut progressed = false;
+                    // Address resolution (store AGU port).
+                    if !s.addr_resolved && ready[1] && store_ports > 0 {
+                        store_ports -= 1;
+                        progressed = true;
+                        self.resolve_store_addr(sq, now);
+                    }
+                    // Data capture (register read, no port).
+                    let e = self.rob.get(id).expect("live");
+                    let s = self.sq.get(sq).expect("store in SQ");
+                    if s.value.is_none() && ready[0] {
+                        let v = self.read_src(e, 0);
+                        self.sq.get_mut(sq).expect("store in SQ").value = Some(v);
+                        progressed = true;
+                    }
+                    let s = self.sq.get(sq).expect("store in SQ");
+                    if s.executed() {
+                        let entry = self.rob.get_mut(id).expect("live");
+                        entry.state = RobState::Done;
+                        entry.done_at = now + 1;
+                    }
+                    if progressed {
+                        issued += 1;
+                    }
+                }
+                RobKind::Fence | RobKind::Nop => {
+                    // Completed at dispatch; unreachable in Waiting.
+                }
+            }
+        }
+
+        // Pass 2: retry blocked loads (their wake conditions are events
+        // in the SQ/SB or the memory system). Gated on a counter so the
+        // common no-blocked-loads case costs nothing.
+        if self.blocked_loads > 0 {
+            let blocked: Vec<RobId> = self
+                .lq
+                .iter()
+                .filter(|e| matches!(e.state, LoadState::Blocked(_)))
+                .map(|e| e.rob_id)
+                .collect();
+            for id in blocked {
+                if load_ports == 0 {
+                    break;
+                }
+                if self.try_execute_load(id, now, mem) {
+                    load_ports -= 1;
+                }
+            }
+        }
+    }
+
+    fn resolve_store_addr(&mut self, sq_id: SqId, now: Cycle) {
+        let (store_rob, store_pc, addr, size) = {
+            let s = self.sq.get_mut(sq_id).expect("resolving store");
+            s.addr_resolved = true;
+            (s.rob_id, s.pc, s.addr, s.size)
+        };
+        self.ss.store_resolved(store_pc);
+        // Memory-order violation check: a younger load that already read
+        // (or is reading) this location must be squashed and replayed.
+        let mut victim: Option<(RobId, u64)> = None;
+        for e in self.lq.iter() {
+            if e.rob_id <= store_rob {
+                continue;
+            }
+            let performed_or_issued =
+                matches!(e.state, LoadState::Performed | LoadState::Issued(_));
+            if !performed_or_issued {
+                continue;
+            }
+            if !sa_isa::addr::overlaps(addr, size, e.addr, e.size) {
+                continue;
+            }
+            // A load correctly forwarded from this store or a younger one
+            // is fine; anything else read stale data.
+            let ok = e.fwd_from.is_some_and(|f| f >= sq_id);
+            if !ok {
+                victim = Some((e.rob_id, e.pc));
+                break;
+            }
+        }
+        if let Some((rob_id, load_pc)) = victim {
+            self.ss.train_violation(store_pc, load_pc);
+            self.squash_from(rob_id, SquashCause::MemOrder, now);
+        }
+    }
+
+    /// Runs the load state machine; returns `true` when a port was
+    /// consumed (a forward happened or a request was issued).
+    fn try_execute_load<M: LoadStorePort>(&mut self, id: RobId, now: Cycle, mem: &mut M) -> bool {
+        let (pc, addr, size, line, prev_state) = {
+            let e = self.lq.get(id).expect("load in LQ");
+            (e.pc, e.addr, e.size, e.line, e.state)
+        };
+        let was_blocked = matches!(prev_state, LoadState::Blocked(_));
+        let set_blocked = move |core: &mut Core, reason: BlockReason| {
+            if !was_blocked {
+                core.blocked_loads += 1;
+            }
+            core.lq.get_mut(id).expect("load in LQ").state = LoadState::Blocked(reason);
+        };
+
+        // An older fence blocks load issue.
+        if self.fences.iter().next().is_some_and(|&f| f < id) {
+            set_blocked(self, BlockReason::Fence);
+            return false;
+        }
+        // StoreSet: wait when an older same-set store's address is
+        // unresolved.
+        if self.cfg.storeset {
+            if let Some(set) = self.ss.set_of(pc) {
+                let conflict = self
+                    .sq
+                    .iter()
+                    .take_while(|s| s.rob_id < id)
+                    .any(|s| !s.addr_resolved && self.ss.set_of(s.pc) == Some(set));
+                if conflict {
+                    set_blocked(self, BlockReason::StoreSet);
+                    return false;
+                }
+            }
+        }
+
+        match self.sq.search(id, addr, size) {
+            SearchHit::Forward { store, passed_unresolved } => {
+                if self.model == ConsistencyModel::Ibm370NoSpec {
+                    // Blanket store atomicity: no forwarding from
+                    // in-limbo stores; wait for the L1 write.
+                    if prev_state != LoadState::Blocked(BlockReason::StoreCommit(store)) {
+                        self.stats.nospec_block_events += 1;
+                    }
+                    set_blocked(self, BlockReason::StoreCommit(store));
+                    return false;
+                }
+                let s = self.sq.get(store).expect("matched store");
+                let Some(sval) = s.value else {
+                    set_blocked(self, BlockReason::ForwardData(store));
+                    return false;
+                };
+                let value = extract_forwarded(s.addr, s.size, sval, addr, size);
+                let key = s.key;
+                if was_blocked {
+                    self.blocked_loads -= 1;
+                }
+                let m_spec = self.lq.any_older_unperformed(id);
+                let e = self.lq.get_mut(id).expect("load in LQ");
+                e.state = LoadState::Performed;
+                e.performed_at = now + 1;
+                e.value = value;
+                e.fwd_from = Some(store);
+                e.slf_key = Some(key);
+                e.d_spec = passed_unresolved;
+                e.m_spec = m_spec;
+                let r = self.rob.get_mut(id).expect("load in ROB");
+                r.state = RobState::Executing;
+                r.result = value;
+                self.completion_q.push(Reverse((now + 1, id)));
+                true
+            }
+            SearchHit::Partial { store } => {
+                // No partial forwarding: wait for the store's L1 write.
+                set_blocked(self, BlockReason::StoreCommit(store));
+                false
+            }
+            SearchHit::Miss { passed_unresolved } => match mem.issue_load(line, pc, addr, now) {
+                Some(req) => {
+                    if was_blocked {
+                        self.blocked_loads -= 1;
+                    }
+                    self.pending_loads.insert(req, id);
+                    self.stats.loads_to_memory += 1;
+                    let e = self.lq.get_mut(id).expect("load in LQ");
+                    e.state = LoadState::Issued(req);
+                    e.d_spec = passed_unresolved;
+                    true
+                }
+                None => {
+                    set_blocked(self, BlockReason::MshrFull);
+                    false
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 6: dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, now: Cycle) {
+        #[derive(PartialEq)]
+        enum Stall {
+            Rob,
+            Lq,
+            Sq,
+        }
+        let mut dispatched = 0usize;
+        let mut stall = None;
+        while dispatched < self.cfg.width {
+            if self.fetch_blocked_on.is_some() || now < self.fetch_resume {
+                break;
+            }
+            let Some(instr) = self.trace.get(self.fetch_idx) else {
+                break;
+            };
+            if self.rob.is_full() {
+                stall = Some(Stall::Rob);
+                break;
+            }
+            if instr.op.is_load() && self.lq.is_full() {
+                stall = Some(Stall::Lq);
+                break;
+            }
+            if instr.op.is_store() && self.sq.is_full() {
+                stall = Some(Stall::Sq);
+                break;
+            }
+            let instr = instr.clone();
+            let mispredicted = self.dispatch_one(&instr, now);
+            self.fetch_idx += 1;
+            dispatched += 1;
+            if mispredicted {
+                break;
+            }
+        }
+        if dispatched == 0 {
+            match stall {
+                Some(Stall::Rob) => self.stats.rob_stall_cycles += 1,
+                Some(Stall::Lq) => self.stats.lq_stall_cycles += 1,
+                Some(Stall::Sq) => self.stats.sq_stall_cycles += 1,
+                None => {}
+            }
+        }
+    }
+
+    /// Allocates one instruction into the window; returns `true` for a
+    /// mispredicted branch (fetch must stall behind it).
+    fn dispatch_one(&mut self, instr: &sa_isa::Instr, now: Cycle) -> bool {
+        let pc = instr.pc;
+        let mut entry = RobEntry {
+            id: RobId(0), // assigned by push
+            trace_idx: self.fetch_idx,
+            pc,
+            kind: RobKind::Nop,
+            dst: instr.op.dst(),
+            deps: [None, None],
+            src_regs: [None, None],
+            state: RobState::Waiting,
+            done_at: 0,
+            result: 0,
+        };
+        let mut mispredicted = false;
+        match &instr.op {
+            Op::Alu { unit, srcs, eval, .. } => {
+                entry.kind = RobKind::Alu { unit: *unit, eval: *eval };
+                entry.src_regs = *srcs;
+                entry.deps = [
+                    srcs[0].and_then(|r| self.reg_producer[r.index()]),
+                    srcs[1].and_then(|r| self.reg_producer[r.index()]),
+                ];
+            }
+            Op::Load { addr_src, .. } => {
+                // LQ allocation happens after push (needs the id).
+                entry.kind = RobKind::Load;
+                entry.src_regs = [*addr_src, None];
+                entry.deps = [addr_src.and_then(|r| self.reg_producer[r.index()]), None];
+            }
+            Op::Store { src, addr_src, .. } => {
+                let data_reg = match src {
+                    StoreOperand::Reg(r) => Some(*r),
+                    StoreOperand::Imm(_) => None,
+                };
+                entry.src_regs = [data_reg, *addr_src];
+                entry.deps = [
+                    data_reg.and_then(|r| self.reg_producer[r.index()]),
+                    addr_src.and_then(|r| self.reg_producer[r.index()]),
+                ];
+                // SQ id assigned below once the ROB id exists.
+                entry.kind = RobKind::Store { sq: SqId(u64::MAX) };
+            }
+            Op::Branch { taken, src } => {
+                let correct = self.bp.update(pc.0, *taken);
+                if !correct {
+                    self.stats.branch_mispredicts += 1;
+                    mispredicted = true;
+                }
+                entry.kind = RobKind::Branch { taken: *taken, mispredicted: !correct };
+                entry.src_regs = [*src, None];
+                entry.deps = [src.and_then(|r| self.reg_producer[r.index()]), None];
+            }
+            Op::Fence => {
+                entry.kind = RobKind::Fence;
+                entry.state = RobState::Done;
+                entry.done_at = now;
+            }
+            Op::Nop => {
+                entry.state = RobState::Done;
+                entry.done_at = now;
+            }
+        }
+
+        let id = self.rob.push(entry);
+
+        match &instr.op {
+            Op::Load { dst, addr, size, .. } => {
+                self.lq.alloc(id, pc.0, *addr, *size);
+                let _ = dst;
+            }
+            Op::Store { src, addr, size, addr_src } => {
+                let value = match src {
+                    StoreOperand::Imm(v) => Some(*v),
+                    StoreOperand::Reg(_) => None,
+                };
+                let addr_resolved = addr_src.is_none();
+                let sq_id = self.sq.alloc(id, pc.0, *addr, *size, addr_resolved, value);
+                let e = self.rob.get_mut(id).expect("just pushed");
+                e.kind = RobKind::Store { sq: sq_id };
+                if addr_resolved && value.is_some() {
+                    e.state = RobState::Done;
+                    e.done_at = now;
+                }
+            }
+            Op::Fence => {
+                self.fences.insert(id);
+            }
+            _ => {}
+        }
+
+        if let Some(dst) = instr.op.dst() {
+            self.reg_producer[dst.index()] = Some(id);
+        }
+        if mispredicted {
+            self.fetch_blocked_on = Some(id);
+        }
+        mispredicted
+    }
+
+    // ------------------------------------------------------------------
+    // Squash & replay
+    // ------------------------------------------------------------------
+
+    fn squash_from(&mut self, from: RobId, cause: SquashCause, now: Cycle) {
+        let removed = self.rob.squash_from(from);
+        if removed.is_empty() {
+            return;
+        }
+        self.stats.record_squash(cause, removed.len() as u64);
+        self.fetch_idx = removed[0].trace_idx;
+        self.fetch_resume = now + self.cfg.squash_penalty;
+        if self.fetch_blocked_on.is_some_and(|b| b >= from) {
+            self.fetch_blocked_on = None;
+        }
+        if self.gate_stall_cur.is_some_and(|g| g >= from) {
+            self.gate_stall_cur = None;
+        }
+        for e in &removed {
+            if let RobKind::Fence = e.kind {
+                self.fences.remove(&e.id);
+            }
+        }
+        for l in self.lq.squash_from(from) {
+            match l.state {
+                LoadState::Issued(req) => {
+                    self.pending_loads.remove(&req);
+                }
+                LoadState::Blocked(_) => {
+                    self.blocked_loads -= 1;
+                }
+                _ => {}
+            }
+        }
+        for s in self.sq.squash_from(from) {
+            if let Some(req) = s.own_req {
+                self.pending_owns.remove(&req);
+            }
+        }
+        // Rebuild the register rename map from the surviving window.
+        self.reg_producer = [None; NUM_REGS];
+        let mut producers: Vec<(Reg, RobId)> = Vec::new();
+        for e in self.rob.iter() {
+            if let Some(dst) = e.dst {
+                producers.push((dst, e.id));
+            }
+        }
+        for (dst, id) in producers {
+            self.reg_producer[dst.index()] = Some(id);
+        }
+    }
+
+    /// Test/diagnostic hook: the retire gate state.
+    pub fn gate(&self) -> &RetireGate {
+        &self.gate
+    }
+
+    /// Test/diagnostic hook: occupancy of the three window resources.
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        (self.rob.len(), self.lq.len(), self.sq.len())
+    }
+}

@@ -1,0 +1,40 @@
+//! Cycle-level out-of-order core model implementing the paper's five
+//! consistency-model configurations on one Skylake-like baseline
+//! (Table III): `x86`, `370-NoSpec`, `370-SLFSpec`, `370-SLFSoS` and
+//! `370-SLFSoS-key`.
+//!
+//! The model is trace-driven with full value semantics. Its components:
+//!
+//! * [`rob::Rob`] — 224-entry reorder buffer with in-order retirement.
+//! * [`lq::LoadQueue`] — 72-entry load queue; each entry carries the SLF
+//!   bit and forwarding-store key (§IV-D: 8 extra bits per entry), plus
+//!   the classic speculation flags (M-speculative, D-speculative).
+//! * [`sq::StoreQueue`] — the unified 56-entry SQ/SB circular buffer; each
+//!   entry carries the *sorting bit* that, together with its position,
+//!   forms the store's **key**.
+//! * [`gate::RetireGate`] — one open/closed bit plus one key register.
+//! * [`branch::Tage`] — a TAGE-style conditional branch predictor
+//!   (L-TAGE stand-in).
+//! * [`storeset::StoreSet`] — the StoreSet memory-dependence predictor.
+//! * [`core::Core`] — the pipeline tying everything together.
+//!
+//! The core talks to the memory hierarchy through the [`port::LoadStorePort`]
+//! trait (implemented for the real `sa-coherence` system by `sa-sim`, and
+//! by a scripted mock in unit tests).
+
+pub mod branch;
+pub mod config;
+pub mod core;
+pub mod gate;
+pub mod lq;
+pub mod port;
+pub mod rob;
+pub mod sq;
+pub mod stats;
+pub mod storeset;
+
+pub use crate::core::Core;
+pub use config::CoreConfig;
+pub use gate::{Key, RetireGate};
+pub use port::LoadStorePort;
+pub use stats::{CoreStats, SquashCause};

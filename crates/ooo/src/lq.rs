@@ -1,0 +1,273 @@
+//! The load queue.
+//!
+//! Each entry carries, beyond the classic fields, the paper's two
+//! additions (§IV-D): the **SLF bit** (here folded into `slf_key`) and a
+//! copy of the forwarding store's **key**. The speculation flags record
+//! *why* a performed load is squashable when an invalidation or eviction
+//! snoops the queue.
+
+use std::collections::VecDeque;
+
+use sa_coherence::MemReqId;
+use sa_isa::{Addr, Cycle, Line, Value};
+
+use crate::gate::Key;
+use crate::rob::RobId;
+use crate::sq::SqId;
+
+/// Why a load is not executing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// The StoreSet predictor says an older same-set store is unresolved.
+    StoreSet,
+    /// Forwarding store matched but its data is not ready yet.
+    ForwardData(SqId),
+    /// Must wait for the matched store to write to the L1
+    /// (`370-NoSpec`, or a partial overlap in any model).
+    StoreCommit(SqId),
+    /// An older fence is still in the window.
+    Fence,
+    /// The memory system had no MSHR free; retry.
+    MshrFull,
+}
+
+/// Load execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadState {
+    /// Address operand not ready yet.
+    WaitDeps,
+    /// Tried to execute and must retry.
+    Blocked(BlockReason),
+    /// In flight in the memory system.
+    Issued(MemReqId),
+    /// Has its value.
+    Performed,
+}
+
+/// One load-queue entry.
+#[derive(Debug, Clone)]
+pub struct LqEntry {
+    /// The ROB entry this load belongs to.
+    pub rob_id: RobId,
+    /// Static instruction PC.
+    pub pc: u64,
+    /// Byte address.
+    pub addr: Addr,
+    /// Access size in bytes.
+    pub size: u8,
+    /// Cache line (invalidation snoops match on this).
+    pub line: Line,
+    /// Execution state.
+    pub state: LoadState,
+    /// The loaded value, once performed.
+    pub value: Value,
+    /// Cycle the load performed.
+    pub performed_at: Cycle,
+    /// The store this load forwarded from, if any.
+    pub fwd_from: Option<SqId>,
+    /// The forwarding store's key — present iff this is an **SLF load**
+    /// whose store was still in the SQ/SB at forwarding time.
+    pub slf_key: Option<Key>,
+    /// Performed while an older load was still unperformed
+    /// (M-speculative; in-window load-load speculation).
+    pub m_spec: bool,
+    /// Issued past an older store with an unresolved address
+    /// (D-speculative).
+    pub d_spec: bool,
+}
+
+/// The load queue: a bounded FIFO ordered by age.
+#[derive(Debug)]
+pub struct LoadQueue {
+    entries: VecDeque<LqEntry>,
+    capacity: usize,
+}
+
+impl LoadQueue {
+    /// An empty LQ of `capacity` entries.
+    pub fn new(capacity: usize) -> LoadQueue {
+        LoadQueue { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// `true` when no more loads can dispatch.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// `true` when the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Allocates an entry at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — the dispatcher must check [`LoadQueue::is_full`].
+    pub fn alloc(&mut self, rob_id: RobId, pc: u64, addr: Addr, size: u8) -> &mut LqEntry {
+        assert!(!self.is_full(), "LQ overflow");
+        self.entries.push_back(LqEntry {
+            rob_id,
+            pc,
+            addr,
+            size,
+            line: Line::containing(addr),
+            state: LoadState::WaitDeps,
+            value: 0,
+            performed_at: 0,
+            fwd_from: None,
+            slf_key: None,
+            m_spec: false,
+            d_spec: false,
+        });
+        self.entries.back_mut().expect("just pushed")
+    }
+
+    fn position(&self, rob_id: RobId) -> Option<usize> {
+        self.entries.binary_search_by_key(&rob_id, |e| e.rob_id).ok()
+    }
+
+    /// Entry of the load with `rob_id`.
+    pub fn get(&self, rob_id: RobId) -> Option<&LqEntry> {
+        self.position(rob_id).map(|i| &self.entries[i])
+    }
+
+    /// Entry of the load with `rob_id`, mutably.
+    pub fn get_mut(&mut self, rob_id: RobId) -> Option<&mut LqEntry> {
+        self.position(rob_id).map(move |i| &mut self.entries[i])
+    }
+
+    /// Frees the oldest entry at retirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not the load `rob_id` — retirement is
+    /// in-order.
+    pub fn retire_head(&mut self, rob_id: RobId) -> LqEntry {
+        let head = self.entries.pop_front().expect("retiring from empty LQ");
+        assert_eq!(head.rob_id, rob_id, "LQ retirement out of order");
+        head
+    }
+
+    /// `true` when any load older than `rob_id` has not performed.
+    pub fn any_older_unperformed(&self, rob_id: RobId) -> bool {
+        self.entries
+            .iter()
+            .take_while(|e| e.rob_id < rob_id)
+            .any(|e| e.state != LoadState::Performed)
+    }
+
+    /// `true` when any load *older than* `rob_id` is an SLF load whose
+    /// forwarding store is still pending according to `store_pending` —
+    /// the SA-speculation shadow test (§IV-A).
+    pub fn older_slf_pending(&self, rob_id: RobId, store_pending: impl Fn(Key) -> bool) -> bool {
+        self.entries
+            .iter()
+            .take_while(|e| e.rob_id < rob_id)
+            .any(|e| e.slf_key.is_some_and(&store_pending))
+    }
+
+    /// Removes all loads with `rob_id >= from`; returns them oldest-first.
+    pub fn squash_from(&mut self, from: RobId) -> Vec<LqEntry> {
+        let pos = self.entries.partition_point(|e| e.rob_id < from);
+        self.entries.split_off(pos).into_iter().collect()
+    }
+
+    /// Iterates oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &LqEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates oldest → youngest, mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut LqEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lq() -> LoadQueue {
+        LoadQueue::new(4)
+    }
+
+    #[test]
+    fn alloc_and_lookup() {
+        let mut q = lq();
+        q.alloc(RobId(3), 0x400, 0x100, 8);
+        q.alloc(RobId(7), 0x404, 0x108, 8);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.get(RobId(3)).unwrap().addr, 0x100);
+        assert!(q.get(RobId(5)).is_none());
+        assert_eq!(q.get(RobId(7)).unwrap().line, Line::containing(0x108));
+    }
+
+    #[test]
+    fn older_unperformed_detection() {
+        let mut q = lq();
+        q.alloc(RobId(1), 0, 0x100, 8);
+        q.alloc(RobId(2), 0, 0x108, 8);
+        assert!(q.any_older_unperformed(RobId(2)));
+        q.get_mut(RobId(1)).unwrap().state = LoadState::Performed;
+        assert!(!q.any_older_unperformed(RobId(2)));
+        assert!(!q.any_older_unperformed(RobId(1)));
+    }
+
+    #[test]
+    fn slf_shadow_detection() {
+        let mut q = lq();
+        let key = Key { slot: 3, sorting: false };
+        q.alloc(RobId(1), 0, 0x100, 8).slf_key = Some(key);
+        q.alloc(RobId(2), 0, 0x108, 8);
+        // Store still pending -> shadow over the younger load.
+        assert!(q.older_slf_pending(RobId(2), |k| k == key));
+        // Store left the SB -> shadow lifted.
+        assert!(!q.older_slf_pending(RobId(2), |_| false));
+        // The SLF load itself is not shadowed by itself.
+        assert!(!q.older_slf_pending(RobId(1), |k| k == key));
+    }
+
+    #[test]
+    fn squash_suffix() {
+        let mut q = lq();
+        q.alloc(RobId(1), 0, 0x100, 8);
+        q.alloc(RobId(5), 0, 0x108, 8);
+        q.alloc(RobId(9), 0, 0x110, 8);
+        let removed = q.squash_from(RobId(5));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert!(q.get(RobId(1)).is_some());
+    }
+
+    #[test]
+    fn retire_head_in_order() {
+        let mut q = lq();
+        q.alloc(RobId(1), 0, 0x100, 8);
+        let e = q.retire_head(RobId(1));
+        assert_eq!(e.rob_id, RobId(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn retire_out_of_order_panics() {
+        let mut q = lq();
+        q.alloc(RobId(1), 0, 0x100, 8);
+        q.alloc(RobId(2), 0, 0x108, 8);
+        q.retire_head(RobId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "LQ overflow")]
+    fn overflow_panics() {
+        let mut q = LoadQueue::new(1);
+        q.alloc(RobId(1), 0, 0x100, 8);
+        q.alloc(RobId(2), 0, 0x108, 8);
+    }
+}

@@ -1,0 +1,296 @@
+//! The reorder buffer.
+
+use std::collections::VecDeque;
+
+use sa_isa::{AluEval, Cycle, ExecUnit, Pc, Reg, Value};
+
+use crate::sq::SqId;
+
+/// A unique, monotonically increasing identifier for a dynamic
+/// instruction. Identifiers are never reused, even across squashes, so a
+/// stale in-flight memory response can never be mistaken for a replayed
+/// instruction's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RobId(pub u64);
+
+/// Execution state of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobState {
+    /// Waiting for operands (or, for loads, for the LQ state machine).
+    Waiting,
+    /// Issued to an execution unit / the memory pipeline.
+    Executing,
+    /// Result available; eligible for in-order retirement.
+    Done,
+}
+
+/// What kind of micro-op a ROB entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobKind {
+    /// ALU op with its unit and value function.
+    Alu {
+        /// Execution unit class.
+        unit: ExecUnit,
+        /// Value function.
+        eval: AluEval,
+    },
+    /// A load; details live in the load queue, linked by [`RobId`].
+    Load,
+    /// A store; details live in the SQ/SB entry `sq`.
+    Store {
+        /// The SQ/SB entry.
+        sq: SqId,
+    },
+    /// A conditional branch.
+    Branch {
+        /// Architectural outcome.
+        taken: bool,
+        /// Whether the predictor missed it at dispatch.
+        mispredicted: bool,
+    },
+    /// A full fence.
+    Fence,
+    /// A no-op.
+    Nop,
+}
+
+/// One ROB entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Unique id.
+    pub id: RobId,
+    /// Position in the core's trace (for replay after squash).
+    pub trace_idx: usize,
+    /// Program counter.
+    pub pc: Pc,
+    /// Micro-op class.
+    pub kind: RobKind,
+    /// Destination register.
+    pub dst: Option<Reg>,
+    /// Producer ROB ids for up to two register sources
+    /// (`[data0/data, data1/addr]`).
+    pub deps: [Option<RobId>; 2],
+    /// Source registers matching `deps` (read at issue).
+    pub src_regs: [Option<Reg>; 2],
+    /// Execution state.
+    pub state: RobState,
+    /// Cycle the result becomes available.
+    pub done_at: Cycle,
+    /// Result value (for register writers).
+    pub result: Value,
+}
+
+/// The reorder buffer: a bounded FIFO with id-based lookup and
+/// suffix squash.
+#[derive(Debug)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+    next_id: u64,
+}
+
+impl Rob {
+    /// An empty ROB of `capacity` entries.
+    pub fn new(capacity: usize) -> Rob {
+        Rob { entries: VecDeque::with_capacity(capacity), capacity, next_id: 0 }
+    }
+
+    /// `true` when no more entries can dispatch.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// `true` when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Allocates an entry at the tail, assigning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — the dispatcher must check [`Rob::is_full`].
+    pub fn push(&mut self, mut entry: RobEntry) -> RobId {
+        assert!(!self.is_full(), "ROB overflow");
+        let id = RobId(self.next_id);
+        self.next_id += 1;
+        entry.id = id;
+        self.entries.push_back(entry);
+        id
+    }
+
+    /// The oldest entry.
+    pub fn front(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// The oldest entry, mutably.
+    pub fn front_mut(&mut self) -> Option<&mut RobEntry> {
+        self.entries.front_mut()
+    }
+
+    /// Retires (removes) the oldest entry.
+    pub fn pop_front(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    fn position(&self, id: RobId) -> Option<usize> {
+        self.entries.binary_search_by_key(&id, |e| e.id).ok()
+    }
+
+    /// Looks up a live entry by id.
+    pub fn get(&self, id: RobId) -> Option<&RobEntry> {
+        self.position(id).map(|i| &self.entries[i])
+    }
+
+    /// Looks up a live entry by id, mutably.
+    pub fn get_mut(&mut self, id: RobId) -> Option<&mut RobEntry> {
+        self.position(id).map(move |i| &mut self.entries[i])
+    }
+
+    /// `true` when the producer `id` has either retired or produced its
+    /// result.
+    pub fn dep_satisfied(&self, id: RobId) -> bool {
+        match self.entries.front() {
+            None => true,                   // empty ROB: everything retired
+            Some(f) if id < f.id => true,   // retired
+            _ => match self.get(id) {
+                Some(e) => e.state == RobState::Done,
+                None => unreachable!("dependence on a squashed instruction"),
+            },
+        }
+    }
+
+    /// Removes `from` and everything younger; returns the removed entries
+    /// oldest-first.
+    pub fn squash_from(&mut self, from: RobId) -> Vec<RobEntry> {
+        let Some(pos) = self.position(from) else {
+            return Vec::new();
+        };
+        self.entries.split_off(pos).into_iter().collect()
+    }
+
+    /// Entry at window position `idx` (0 = oldest).
+    pub fn at(&self, idx: usize) -> Option<&RobEntry> {
+        self.entries.get(idx)
+    }
+
+    /// Entry at window position `idx`, mutably.
+    pub fn at_mut(&mut self, idx: usize) -> Option<&mut RobEntry> {
+        self.entries.get_mut(idx)
+    }
+
+    /// Iterates oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates oldest → youngest, mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trace_idx: usize) -> RobEntry {
+        RobEntry {
+            id: RobId(0),
+            trace_idx,
+            pc: Pc(0x1000 + trace_idx as u64 * 4),
+            kind: RobKind::Nop,
+            dst: None,
+            deps: [None, None],
+            src_regs: [None, None],
+            state: RobState::Waiting,
+            done_at: 0,
+            result: 0,
+        }
+    }
+
+    #[test]
+    fn push_assigns_monotonic_ids() {
+        let mut rob = Rob::new(4);
+        let a = rob.push(entry(0));
+        let b = rob.push(entry(1));
+        assert!(a < b);
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.front().unwrap().id, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0));
+        rob.push(entry(1));
+    }
+
+    #[test]
+    fn lookup_by_id_survives_retirement() {
+        let mut rob = Rob::new(4);
+        let a = rob.push(entry(0));
+        let b = rob.push(entry(1));
+        rob.pop_front();
+        assert!(rob.get(a).is_none());
+        assert!(rob.get(b).is_some());
+    }
+
+    #[test]
+    fn dep_satisfied_for_retired_and_done() {
+        let mut rob = Rob::new(4);
+        let a = rob.push(entry(0));
+        let b = rob.push(entry(1));
+        assert!(!rob.dep_satisfied(a));
+        rob.get_mut(a).unwrap().state = RobState::Done;
+        assert!(rob.dep_satisfied(a));
+        assert!(!rob.dep_satisfied(b));
+        rob.pop_front();
+        assert!(rob.dep_satisfied(a), "retired producers are satisfied");
+    }
+
+    #[test]
+    fn squash_removes_suffix_and_ids_stay_unique() {
+        let mut rob = Rob::new(8);
+        let _a = rob.push(entry(0));
+        let b = rob.push(entry(1));
+        let _c = rob.push(entry(2));
+        let removed = rob.squash_from(b);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[0].trace_idx, 1);
+        assert_eq!(rob.len(), 1);
+        // New pushes get fresh ids strictly greater than any removed id.
+        let d = rob.push(entry(1));
+        assert!(d > removed[1].id);
+        assert!(rob.get(b).is_none());
+    }
+
+    #[test]
+    fn squash_of_unknown_id_is_noop() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        assert!(rob.squash_from(RobId(99)).is_empty());
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    fn lookup_with_id_gaps_after_squash() {
+        let mut rob = Rob::new(8);
+        let a = rob.push(entry(0));
+        let b = rob.push(entry(1));
+        rob.squash_from(b);
+        let c = rob.push(entry(1));
+        let d = rob.push(entry(2));
+        assert!(rob.get(a).is_some());
+        assert!(rob.get(b).is_none(), "gap id must not resolve");
+        assert!(rob.get(c).is_some());
+        assert!(rob.get(d).is_some());
+    }
+}

@@ -1,0 +1,394 @@
+//! The unified store queue / store buffer (SQ/SB).
+//!
+//! As in actual implementations (and the paper's §II-A), the SQ and SB are
+//! one physical circular buffer; the boundary between them is just the
+//! retired/non-retired flag. Each entry's **key** is its position in the
+//! circular buffer plus a *sorting bit* that flips on wrap-around, so a
+//! key uniquely names one store generation (§IV-B2).
+
+use std::collections::VecDeque;
+
+use sa_coherence::MemReqId;
+use sa_isa::{addr, Addr, Cycle, Line, Value};
+
+use crate::gate::Key;
+use crate::rob::RobId;
+
+/// A unique (never reused) store identifier, monotonic in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SqId(pub u64);
+
+/// One SQ/SB entry.
+#[derive(Debug, Clone)]
+pub struct SqEntry {
+    /// Unique id.
+    pub id: SqId,
+    /// The ROB entry this store belongs to.
+    pub rob_id: RobId,
+    /// Static instruction PC (StoreSet training).
+    pub pc: u64,
+    /// Byte address (known from the trace; *architecturally resolved*
+    /// only once `addr_resolved`).
+    pub addr: Addr,
+    /// Access size in bytes.
+    pub size: u8,
+    /// Cache line of `addr`.
+    pub line: Line,
+    /// Whether the address has been computed.
+    pub addr_resolved: bool,
+    /// Store data, once the data operand is ready.
+    pub value: Option<Value>,
+    /// Retired (i.e., in the SB portion).
+    pub retired: bool,
+    /// In-progress L1 commit completes at this cycle.
+    pub committing_done: Option<Cycle>,
+    /// Outstanding ownership (RFO) request.
+    pub own_req: Option<MemReqId>,
+    /// The store's key (position + sorting bit).
+    pub key: Key,
+}
+
+impl SqEntry {
+    /// `true` once address and data are both available.
+    pub fn executed(&self) -> bool {
+        self.addr_resolved && self.value.is_some()
+    }
+}
+
+/// Result of a load's forwarding search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchHit {
+    /// No older store overlaps; `passed_unresolved` reports whether the
+    /// scan skipped stores with unresolved addresses (D-speculation).
+    Miss {
+        /// Scan skipped at least one unresolved-address older store.
+        passed_unresolved: bool,
+    },
+    /// The youngest older matching store fully covers the load.
+    Forward {
+        /// The matching store.
+        store: SqId,
+        /// Scan skipped an unresolved-address store younger than `store`.
+        passed_unresolved: bool,
+    },
+    /// The youngest older overlapping store only partially covers the
+    /// load (no forwarding possible).
+    Partial {
+        /// The overlapping store.
+        store: SqId,
+    },
+}
+
+/// The circular SQ/SB.
+#[derive(Debug)]
+pub struct StoreQueue {
+    entries: VecDeque<SqEntry>,
+    capacity: usize,
+    /// Total allocations; `alloc % capacity` is the circular slot and
+    /// `(alloc / capacity) & 1` the sorting bit. Rewound on squash exactly
+    /// like a hardware tail pointer.
+    alloc_count: u64,
+    next_id: u64,
+}
+
+impl StoreQueue {
+    /// An empty SQ/SB of `capacity` entries.
+    pub fn new(capacity: usize) -> StoreQueue {
+        StoreQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            alloc_count: 0,
+            next_id: 0,
+        }
+    }
+
+    /// `true` when no entry can be allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// `true` when there are no stores at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Allocates a store at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — the dispatcher must check [`StoreQueue::is_full`].
+    pub fn alloc(
+        &mut self,
+        rob_id: RobId,
+        pc: u64,
+        addr: Addr,
+        size: u8,
+        addr_resolved: bool,
+        value: Option<Value>,
+    ) -> SqId {
+        assert!(!self.is_full(), "SQ/SB overflow");
+        let id = SqId(self.next_id);
+        self.next_id += 1;
+        let slot = (self.alloc_count % self.capacity as u64) as u16;
+        let sorting = (self.alloc_count / self.capacity as u64) & 1 == 1;
+        self.alloc_count += 1;
+        self.entries.push_back(SqEntry {
+            id,
+            rob_id,
+            pc,
+            addr,
+            size,
+            line: Line::containing(addr),
+            addr_resolved,
+            value,
+            retired: false,
+            committing_done: None,
+            own_req: None,
+            key: Key { slot, sorting },
+        });
+        id
+    }
+
+    fn position(&self, id: SqId) -> Option<usize> {
+        self.entries.binary_search_by_key(&id, |e| e.id).ok()
+    }
+
+    /// Entry by id.
+    pub fn get(&self, id: SqId) -> Option<&SqEntry> {
+        self.position(id).map(|i| &self.entries[i])
+    }
+
+    /// Entry by id, mutably.
+    pub fn get_mut(&mut self, id: SqId) -> Option<&mut SqEntry> {
+        self.position(id).map(move |i| &mut self.entries[i])
+    }
+
+    /// The oldest store (the SB head when retired).
+    pub fn head(&self) -> Option<&SqEntry> {
+        self.entries.front()
+    }
+
+    /// The oldest store, mutably.
+    pub fn head_mut(&mut self) -> Option<&mut SqEntry> {
+        self.entries.front_mut()
+    }
+
+    /// Removes the committed head.
+    pub fn pop_head(&mut self) -> Option<SqEntry> {
+        self.entries.pop_front()
+    }
+
+    /// `true` while a store whose key is `key` is still in the SQ/SB —
+    /// the hardware check a retiring SLF load performs (position bits
+    /// index the buffer; sorting bits must match).
+    pub fn contains_key(&self, key: Key) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    /// `true` when any *retired, uncommitted* store exists (the SB is
+    /// non-empty) — the `370-SLFSpec` retire condition and the fence
+    /// condition.
+    pub fn sb_nonempty(&self) -> bool {
+        self.entries.iter().any(|e| e.retired)
+    }
+
+    /// `true` when any store *older than* `rob_id` is still in the SQ/SB.
+    pub fn any_older(&self, rob_id: RobId) -> bool {
+        self.entries.front().is_some_and(|e| e.rob_id < rob_id)
+    }
+
+    /// `true` when a store older than `rob_id` has an unresolved address
+    /// (the load at `rob_id` is D-speculative right now).
+    pub fn any_older_unresolved(&self, rob_id: RobId) -> bool {
+        self.entries
+            .iter()
+            .take_while(|e| e.rob_id < rob_id)
+            .any(|e| !e.addr_resolved)
+    }
+
+    /// Forwarding search for a load (`rob_id`, `[a, a+size)`): scans older
+    /// stores youngest-first (§II-A: the most recent matching store
+    /// wins).
+    pub fn search(&self, rob_id: RobId, a: Addr, size: u8) -> SearchHit {
+        let mut passed_unresolved = false;
+        for e in self.entries.iter().rev() {
+            if e.rob_id >= rob_id {
+                continue; // younger than (or is) the load
+            }
+            if !e.addr_resolved {
+                passed_unresolved = true;
+                continue;
+            }
+            if addr::covers(e.addr, e.size, a, size) {
+                return SearchHit::Forward { store: e.id, passed_unresolved };
+            }
+            if addr::overlaps(e.addr, e.size, a, size) {
+                return SearchHit::Partial { store: e.id };
+            }
+        }
+        SearchHit::Miss { passed_unresolved }
+    }
+
+    /// Removes all *non-retired* stores with `rob_id >= from`, rewinding
+    /// the circular tail pointer (slots and sorting bits are reused, as in
+    /// hardware). Returns the removed entries oldest-first.
+    pub fn squash_from(&mut self, from: RobId) -> Vec<SqEntry> {
+        let pos = self.entries.partition_point(|e| e.rob_id < from);
+        let removed: Vec<SqEntry> = self.entries.split_off(pos).into_iter().collect();
+        debug_assert!(removed.iter().all(|e| !e.retired), "squashed a retired store");
+        self.alloc_count -= removed.len() as u64;
+        removed
+    }
+
+    /// Iterates oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &SqEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates oldest → youngest, mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut SqEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+/// Extracts the bytes `[la, la+lsize)` from a store of `value` at
+/// `[sa, sa+ssize)`; the store must cover the load.
+pub fn extract_forwarded(sa: Addr, ssize: u8, value: Value, la: Addr, lsize: u8) -> Value {
+    debug_assert!(addr::covers(sa, ssize, la, lsize), "store does not cover load");
+    let shift = (la - sa) * 8;
+    let v = value >> shift;
+    if lsize == 8 {
+        v
+    } else {
+        v & ((1u64 << (u64::from(lsize) * 8)) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq() -> StoreQueue {
+        StoreQueue::new(4)
+    }
+
+    #[test]
+    fn keys_cycle_with_sorting_bit() {
+        let mut q = StoreQueue::new(2);
+        let a = q.alloc(RobId(0), 0, 0x100, 8, true, Some(1));
+        let b = q.alloc(RobId(1), 0, 0x108, 8, true, Some(2));
+        assert_eq!(q.get(a).unwrap().key, Key { slot: 0, sorting: false });
+        assert_eq!(q.get(b).unwrap().key, Key { slot: 1, sorting: false });
+        q.pop_head();
+        q.pop_head();
+        let c = q.alloc(RobId(2), 0, 0x110, 8, true, Some(3));
+        assert_eq!(
+            q.get(c).unwrap().key,
+            Key { slot: 0, sorting: true },
+            "wrap-around flips the sorting bit"
+        );
+    }
+
+    #[test]
+    fn squash_rewinds_tail_pointer() {
+        let mut q = StoreQueue::new(2);
+        let _a = q.alloc(RobId(0), 0, 0x100, 8, true, Some(1));
+        let b = q.alloc(RobId(5), 0, 0x108, 8, true, Some(2));
+        let key_b = q.get(b).unwrap().key;
+        let removed = q.squash_from(RobId(5));
+        assert_eq!(removed.len(), 1);
+        // Replay allocates the same slot and sorting bit.
+        let b2 = q.alloc(RobId(7), 0, 0x108, 8, true, Some(2));
+        assert_eq!(q.get(b2).unwrap().key, key_b);
+    }
+
+    #[test]
+    fn search_prefers_youngest_older_match() {
+        let mut q = sq();
+        q.alloc(RobId(0), 0, 0x100, 8, true, Some(1));
+        let newer = q.alloc(RobId(2), 0, 0x100, 8, true, Some(2));
+        // Load at RobId(5) matches the younger of the two stores.
+        match q.search(RobId(5), 0x100, 8) {
+            SearchHit::Forward { store, passed_unresolved } => {
+                assert_eq!(store, newer);
+                assert!(!passed_unresolved);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        // A load older than both misses.
+        assert_eq!(q.search(RobId(0), 0x100, 8), SearchHit::Miss { passed_unresolved: false });
+    }
+
+    #[test]
+    fn search_reports_unresolved_scans() {
+        let mut q = sq();
+        q.alloc(RobId(0), 0, 0x100, 8, true, Some(1));
+        q.alloc(RobId(2), 0, 0x900, 8, false, None); // unresolved
+        match q.search(RobId(5), 0x100, 8) {
+            SearchHit::Forward { passed_unresolved, .. } => assert!(passed_unresolved),
+            other => panic!("{other:?}"),
+        }
+        match q.search(RobId(5), 0x700, 8) {
+            SearchHit::Miss { passed_unresolved } => assert!(passed_unresolved),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_overlap_detected() {
+        let mut q = sq();
+        q.alloc(RobId(0), 0, 0x104, 4, true, Some(1));
+        match q.search(RobId(5), 0x100, 8) {
+            SearchHit::Partial { .. } => {}
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sb_nonempty_tracks_retirement() {
+        let mut q = sq();
+        let a = q.alloc(RobId(0), 0, 0x100, 8, true, Some(1));
+        assert!(!q.sb_nonempty());
+        q.get_mut(a).unwrap().retired = true;
+        assert!(q.sb_nonempty());
+        q.pop_head();
+        assert!(!q.sb_nonempty());
+    }
+
+    #[test]
+    fn contains_key_identifies_generation() {
+        let mut q = StoreQueue::new(2);
+        let a = q.alloc(RobId(0), 0, 0x100, 8, true, Some(1));
+        let key = q.get(a).unwrap().key;
+        assert!(q.contains_key(key));
+        q.pop_head();
+        assert!(!q.contains_key(key));
+        // Next generation in the same slot has a different key (the
+        // sorting bit flips), so a stale key can never match it.
+        let _b = q.alloc(RobId(1), 0, 0x108, 8, true, Some(2));
+        let c = q.alloc(RobId(2), 0, 0x110, 8, true, Some(2));
+        assert_eq!(q.get(c).unwrap().key.slot, key.slot);
+        assert_ne!(q.get(c).unwrap().key, key);
+        assert!(!q.contains_key(key));
+    }
+
+    #[test]
+    fn extract_forwarded_subsets() {
+        assert_eq!(extract_forwarded(0x100, 8, 0x1122_3344_5566_7788, 0x100, 8), 0x1122_3344_5566_7788);
+        assert_eq!(extract_forwarded(0x100, 8, 0x1122_3344_5566_7788, 0x104, 4), 0x1122_3344);
+        assert_eq!(extract_forwarded(0x100, 8, 0x1122_3344_5566_7788, 0x100, 1), 0x88);
+    }
+
+    #[test]
+    #[should_panic(expected = "SQ/SB overflow")]
+    fn overflow_panics() {
+        let mut q = StoreQueue::new(1);
+        q.alloc(RobId(0), 0, 0x100, 8, true, None);
+        q.alloc(RobId(1), 0, 0x108, 8, true, None);
+    }
+}

@@ -1,0 +1,218 @@
+//! Per-core statistics — the raw counters behind the paper's Table IV,
+//! Figure 9 and Figure 10.
+
+/// Why a squash happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SquashCause {
+    /// A store's address resolved under a younger load that had already
+    /// read the location (memory-dependence misspeculation).
+    MemOrder,
+    /// Invalidation/eviction hit an M- or D-speculative load — the
+    /// classic in-window load-load speculation all five configurations
+    /// (including x86) perform.
+    LoadLoad,
+    /// Invalidation/eviction hit an SA-speculative load — a
+    /// **store-atomicity misspeculation** (would *not* squash under x86).
+    StoreAtomicity,
+}
+
+impl SquashCause {
+    /// All causes.
+    pub const ALL: [SquashCause; 3] =
+        [SquashCause::MemOrder, SquashCause::LoadLoad, SquashCause::StoreAtomicity];
+
+    fn index(self) -> usize {
+        match self {
+            SquashCause::MemOrder => 0,
+            SquashCause::LoadLoad => 1,
+            SquashCause::StoreAtomicity => 2,
+        }
+    }
+}
+
+/// Raw per-core counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired_instrs: u64,
+    /// Loads retired.
+    pub retired_loads: u64,
+    /// Stores retired.
+    pub retired_stores: u64,
+    /// Branches retired.
+    pub retired_branches: u64,
+    /// Fences retired.
+    pub retired_fences: u64,
+    /// Retired loads whose value came by store-to-load forwarding
+    /// (Table IV "Forwarded").
+    pub forwarded_loads: u64,
+    /// Loads that went to the memory system.
+    pub loads_to_memory: u64,
+    /// Loads that blocked at perform waiting for a store's L1 write
+    /// (`370-NoSpec` enforcement, or partial overlaps).
+    pub nospec_block_events: u64,
+    /// Instructions that stalled at the ROB head because the retire gate
+    /// was closed (Table IV "Gate Stalls").
+    pub gate_stall_events: u64,
+    /// Total cycles the gate kept the ROB head stalled.
+    pub gate_stall_cycles: u64,
+    /// Cycles an SLF load stalled at retire waiting for the SB to drain
+    /// (`370-SLFSpec` rule).
+    pub slfspec_stall_cycles: u64,
+    /// Cycles with zero dispatch due to a full ROB (Figure 9).
+    pub rob_stall_cycles: u64,
+    /// Cycles with zero dispatch due to a full LQ (Figure 9).
+    pub lq_stall_cycles: u64,
+    /// Cycles with zero dispatch due to a full SQ/SB (Figure 9).
+    pub sq_stall_cycles: u64,
+    /// Squash events by cause.
+    pub squashes: [u64; 3],
+    /// Instructions squashed (and hence re-executed) by cause
+    /// (Table IV "Re-executed instr." is the `StoreAtomicity` slice).
+    pub reexec_instrs: [u64; 3],
+    /// Branch mispredicts.
+    pub branch_mispredicts: u64,
+    /// Stores committed from the SB to the L1.
+    pub sb_commits: u64,
+    /// Total cycles the paper's retire gate was closed.
+    pub gate_closed_cycles: u64,
+    /// Times the gate was closed by a retiring SLF load.
+    pub gate_closures: u64,
+}
+
+impl CoreStats {
+    /// Records a squash of `n` instructions.
+    pub fn record_squash(&mut self, cause: SquashCause, n: u64) {
+        self.squashes[cause.index()] += 1;
+        self.reexec_instrs[cause.index()] += n;
+    }
+
+    /// Squash events for `cause`.
+    pub fn squashes_for(&self, cause: SquashCause) -> u64 {
+        self.squashes[cause.index()]
+    }
+
+    /// Re-executed instructions for `cause`.
+    pub fn reexec_for(&self, cause: SquashCause) -> u64 {
+        self.reexec_instrs[cause.index()]
+    }
+
+    /// Table IV column: % of retired instructions that are loads.
+    pub fn loads_pct(&self) -> f64 {
+        pct(self.retired_loads, self.retired_instrs)
+    }
+
+    /// Table IV column: % of retired instructions that are forwarded
+    /// loads.
+    pub fn forwarded_pct(&self) -> f64 {
+        pct(self.forwarded_loads, self.retired_instrs)
+    }
+
+    /// Table IV column: % of retired instructions that stalled on a
+    /// closed gate.
+    pub fn gate_stall_pct(&self) -> f64 {
+        pct(self.gate_stall_events, self.retired_instrs)
+    }
+
+    /// Table IV column: average stall cycles per gate stall.
+    pub fn avg_gate_stall_cycles(&self) -> f64 {
+        if self.gate_stall_events == 0 {
+            0.0
+        } else {
+            self.gate_stall_cycles as f64 / self.gate_stall_events as f64
+        }
+    }
+
+    /// Table IV column: % of instructions re-executed due to
+    /// store-atomicity misspeculation.
+    pub fn sa_reexec_pct(&self) -> f64 {
+        pct(self.reexec_for(SquashCause::StoreAtomicity), self.retired_instrs)
+    }
+
+    /// Merges another core's counters into this one (for workload-level
+    /// aggregation).
+    pub fn merge(&mut self, o: &CoreStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.retired_instrs += o.retired_instrs;
+        self.retired_loads += o.retired_loads;
+        self.retired_stores += o.retired_stores;
+        self.retired_branches += o.retired_branches;
+        self.retired_fences += o.retired_fences;
+        self.forwarded_loads += o.forwarded_loads;
+        self.loads_to_memory += o.loads_to_memory;
+        self.nospec_block_events += o.nospec_block_events;
+        self.gate_stall_events += o.gate_stall_events;
+        self.gate_stall_cycles += o.gate_stall_cycles;
+        self.slfspec_stall_cycles += o.slfspec_stall_cycles;
+        self.rob_stall_cycles += o.rob_stall_cycles;
+        self.lq_stall_cycles += o.lq_stall_cycles;
+        self.sq_stall_cycles += o.sq_stall_cycles;
+        for i in 0..3 {
+            self.squashes[i] += o.squashes[i];
+            self.reexec_instrs[i] += o.reexec_instrs[i];
+        }
+        self.branch_mispredicts += o.branch_mispredicts;
+        self.sb_commits += o.sb_commits;
+        self.gate_closed_cycles += o.gate_closed_cycles;
+        self.gate_closures += o.gate_closures;
+    }
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squash_bookkeeping() {
+        let mut s = CoreStats::default();
+        s.record_squash(SquashCause::StoreAtomicity, 12);
+        s.record_squash(SquashCause::StoreAtomicity, 8);
+        s.record_squash(SquashCause::LoadLoad, 5);
+        assert_eq!(s.squashes_for(SquashCause::StoreAtomicity), 2);
+        assert_eq!(s.reexec_for(SquashCause::StoreAtomicity), 20);
+        assert_eq!(s.reexec_for(SquashCause::LoadLoad), 5);
+        assert_eq!(s.reexec_for(SquashCause::MemOrder), 0);
+    }
+
+    #[test]
+    fn percentage_helpers() {
+        let s = CoreStats {
+            retired_instrs: 1000,
+            retired_loads: 240,
+            forwarded_loads: 37,
+            gate_stall_events: 11,
+            gate_stall_cycles: 110,
+            ..CoreStats::default()
+        };
+        assert!((s.loads_pct() - 24.0).abs() < 1e-9);
+        assert!((s.forwarded_pct() - 3.7).abs() < 1e-9);
+        assert!((s.gate_stall_pct() - 1.1).abs() < 1e-9);
+        assert!((s.avg_gate_stall_cycles() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero() {
+        let s = CoreStats::default();
+        assert_eq!(s.loads_pct(), 0.0);
+        assert_eq!(s.avg_gate_stall_cycles(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = CoreStats { cycles: 100, retired_instrs: 10, ..CoreStats::default() };
+        let b = CoreStats { cycles: 150, retired_instrs: 20, ..CoreStats::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.retired_instrs, 30);
+    }
+}

@@ -1,0 +1,438 @@
+//! End-to-end pipeline tests of the out-of-order core against a scripted
+//! fixed-latency memory, covering all five consistency configurations.
+
+use sa_isa::{ConsistencyModel, CoreId, Reg, Trace, TraceBuilder, ValueMemory};
+use sa_ooo::port::SimpleMem;
+use sa_ooo::{Core, CoreConfig, SquashCause};
+
+const A: u64 = 0x1000;
+const B: u64 = 0x2000;
+const C: u64 = 0x3000;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Runs to completion; returns (cycles, core, valmem).
+fn run_with(
+    model: ConsistencyModel,
+    cfg: CoreConfig,
+    trace: Trace,
+    mut mem: SimpleMem,
+    mut valmem: ValueMemory,
+) -> (u64, Core, ValueMemory) {
+    let mut core = Core::new(CoreId(0), cfg, model, trace);
+    for t in 0..200_000u64 {
+        let notices = mem.take_due(t);
+        core.tick(t, &mut mem, &mut valmem, &notices);
+        if core.finished() {
+            return (t, core, valmem);
+        }
+    }
+    panic!("core did not finish (model {model})");
+}
+
+fn run(model: ConsistencyModel, trace: Trace) -> (u64, Core, ValueMemory) {
+    run_with(model, CoreConfig::default(), trace, SimpleMem::new(4, 10), ValueMemory::new())
+}
+
+#[test]
+fn alu_dataflow_executes_correctly() {
+    let mut b = TraceBuilder::new();
+    b.mov_imm(r(1), 10);
+    b.mov_imm(r(2), 32);
+    b.add(r(3), r(1), r(2));
+    b.add(r(4), r(3), r(3));
+    let (_, core, _) = run(ConsistencyModel::X86, b.build());
+    assert_eq!(core.arch_reg(r(3)), 42);
+    assert_eq!(core.arch_reg(r(4)), 84);
+    assert_eq!(core.stats().retired_instrs, 4);
+}
+
+#[test]
+fn store_then_load_forwards_value() {
+    for model in [
+        ConsistencyModel::X86,
+        ConsistencyModel::Ibm370SlfSpec,
+        ConsistencyModel::Ibm370SlfSos,
+        ConsistencyModel::Ibm370SlfSosKey,
+    ] {
+        let mut b = TraceBuilder::new();
+        b.store_imm(A, 99);
+        b.load(r(1), A);
+        let (_, core, valmem) = run(model, b.build());
+        assert_eq!(core.arch_reg(r(1)), 99, "{model}: forwarded value");
+        assert_eq!(core.stats().forwarded_loads, 1, "{model}: SLF load counted");
+        assert_eq!(valmem.read(A, 8), 99, "{model}: store committed");
+    }
+}
+
+#[test]
+fn nospec_blocks_forwarding_until_commit() {
+    let mut b = TraceBuilder::new();
+    b.store_imm(A, 7);
+    b.load(r(1), A);
+    let slow_own = SimpleMem::new(4, 100);
+    let (cycles_nospec, core, _) = run_with(
+        ConsistencyModel::Ibm370NoSpec,
+        CoreConfig::default(),
+        b.build(),
+        slow_own,
+        ValueMemory::new(),
+    );
+    assert_eq!(core.arch_reg(r(1)), 7, "value still correct, via the L1");
+    assert_eq!(core.stats().forwarded_loads, 0, "370-NoSpec never forwards");
+    assert!(core.stats().nospec_block_events >= 1);
+
+    let mut b = TraceBuilder::new();
+    b.store_imm(A, 7);
+    b.load(r(1), A);
+    let (cycles_x86, x86core, _) = run_with(
+        ConsistencyModel::X86,
+        CoreConfig::default(),
+        b.build(),
+        SimpleMem::new(4, 100),
+        ValueMemory::new(),
+    );
+    assert_eq!(x86core.stats().forwarded_loads, 1);
+    assert!(
+        cycles_nospec > cycles_x86,
+        "blanket store atomicity must cost cycles ({cycles_nospec} vs {cycles_x86})"
+    );
+}
+
+#[test]
+fn key_gate_closes_and_reopens_on_store_commit() {
+    // st A (slow RFO) ; ld A (SLF, retires, closes gate) ; ld B (blocked).
+    let mut b = TraceBuilder::new();
+    b.store_imm(A, 1);
+    b.load(r(1), A);
+    b.load(r(2), B);
+    let (_, core, _) = run_with(
+        ConsistencyModel::Ibm370SlfSosKey,
+        CoreConfig::default(),
+        b.build(),
+        SimpleMem::new(4, 200),
+        ValueMemory::new(),
+    );
+    let s = core.stats();
+    assert_eq!(s.gate_closures, 1, "SLF load closed the gate");
+    assert_eq!(s.gate_stall_events, 1, "the younger load stalled once");
+    assert!(s.gate_stall_cycles > 50, "stalled for most of the RFO latency");
+    assert!(!core.gate().is_closed(), "gate reopened at commit");
+    assert_eq!(s.retired_instrs, 3);
+}
+
+#[test]
+fn x86_never_engages_the_gate() {
+    let mut b = TraceBuilder::new();
+    b.store_imm(A, 1);
+    b.load(r(1), A);
+    b.load(r(2), B);
+    let (_, core, _) = run_with(
+        ConsistencyModel::X86,
+        CoreConfig::default(),
+        b.build(),
+        SimpleMem::new(4, 200),
+        ValueMemory::new(),
+    );
+    let s = core.stats();
+    assert_eq!(s.gate_closures, 0);
+    assert_eq!(s.gate_stall_events, 0);
+    assert_eq!(s.gate_closed_cycles, 0);
+}
+
+#[test]
+fn sos_gate_waits_for_sb_drain_key_does_not() {
+    // st A ; st C ; ld A (SLF) ; ld B — under SoS the gate stays closed
+    // until *both* stores commit; under SoS-key it opens at A's commit.
+    let build = || {
+        let mut b = TraceBuilder::new();
+        b.store_imm(A, 1);
+        b.store_imm(C, 2);
+        b.load(r(1), A);
+        b.load(r(2), B);
+        b.build()
+    };
+    let (cyc_sos, sos, _) = run_with(
+        ConsistencyModel::Ibm370SlfSos,
+        CoreConfig::default(),
+        build(),
+        SimpleMem::new(4, 120),
+        ValueMemory::new(),
+    );
+    let (cyc_key, key, _) = run_with(
+        ConsistencyModel::Ibm370SlfSosKey,
+        CoreConfig::default(),
+        build(),
+        SimpleMem::new(4, 120),
+        ValueMemory::new(),
+    );
+    assert!(sos.stats().gate_closed_cycles >= key.stats().gate_closed_cycles);
+    assert!(cyc_sos >= cyc_key, "key reopen is never slower ({cyc_sos} vs {cyc_key})");
+}
+
+#[test]
+fn slfspec_blocks_slf_load_retirement() {
+    let mut b = TraceBuilder::new();
+    b.store_imm(A, 1);
+    b.load(r(1), A);
+    let (_, core, _) = run_with(
+        ConsistencyModel::Ibm370SlfSpec,
+        CoreConfig::default(),
+        b.build(),
+        SimpleMem::new(4, 150),
+        ValueMemory::new(),
+    );
+    let s = core.stats();
+    assert!(s.slfspec_stall_cycles > 50, "SLF load waited for SB drain");
+    assert_eq!(s.gate_closures, 0, "SLFSpec has no gate");
+    assert_eq!(core.arch_reg(r(1)), 1);
+}
+
+#[test]
+fn sa_speculative_load_squashes_on_invalidation() {
+    // The §IV window of vulnerability: ld B performs and the gate is
+    // closed (st A in limbo); an invalidation for B's line must squash
+    // and re-execute ld B under the SoS configurations.
+    let mut b = TraceBuilder::new();
+    b.store_imm(A, 1);
+    b.load(r(1), A); // SLF
+    b.load(r(2), B); // SA-speculative
+    let trace = b.build();
+    let mut mem = SimpleMem::new(4, 300);
+    mem.inject_invalidation(sa_isa::Line::containing(B), 60);
+    let mut valmem = ValueMemory::new();
+    valmem.write(B, 8, 5);
+    let (_, core, _) =
+        run_with(ConsistencyModel::Ibm370SlfSosKey, CoreConfig::default(), trace, mem, valmem);
+    let s = core.stats();
+    assert_eq!(s.squashes_for(SquashCause::StoreAtomicity), 1);
+    assert!(s.reexec_for(SquashCause::StoreAtomicity) >= 1);
+    assert_eq!(core.arch_reg(r(2)), 5, "replayed load still reads B");
+    assert_eq!(core.arch_reg(r(1)), 1);
+}
+
+#[test]
+fn x86_does_not_squash_on_the_same_window() {
+    let mut b = TraceBuilder::new();
+    b.store_imm(A, 1);
+    b.load(r(1), A);
+    b.load(r(2), B);
+    let trace = b.build();
+    let mut mem = SimpleMem::new(4, 300);
+    mem.inject_invalidation(sa_isa::Line::containing(B), 60);
+    let (_, core, _) =
+        run_with(ConsistencyModel::X86, CoreConfig::default(), trace, mem, ValueMemory::new());
+    let s = core.stats();
+    assert_eq!(s.squashes_for(SquashCause::StoreAtomicity), 0);
+    assert_eq!(s.squashes_for(SquashCause::LoadLoad), 0, "ld B was not M-speculative");
+}
+
+#[test]
+fn memory_order_violation_squashes_and_trains() {
+    // A store whose address resolves late (behind a divide) under a
+    // younger load to the same address: classic D-speculation violation.
+    let mut b = TraceBuilder::new();
+    b.alu(sa_isa::ExecUnit::IntDiv, Some(r(9)), [None, None]); // 20 cycles
+    b.store_imm_dep(A, 123, r(9));
+    b.load(r(1), A);
+    let (_, core, _) = run(ConsistencyModel::X86, b.build());
+    let s = core.stats();
+    assert_eq!(s.squashes_for(SquashCause::MemOrder), 1);
+    assert_eq!(core.arch_reg(r(1)), 123, "replay forwards the right value");
+}
+
+#[test]
+fn m_speculative_load_squashes_on_invalidation_in_x86() {
+    // Older load's address depends on a divide; the younger load performs
+    // first (M-speculative). An invalidation for its line squashes it.
+    let mut b = TraceBuilder::new();
+    b.alu(sa_isa::ExecUnit::IntDiv, Some(r(9)), [None, None]);
+    b.load_dep(r(1), A, r(9)); // old, slow to even start
+    b.load(r(2), B); // young, performs early -> M-speculative
+    let trace = b.build();
+    let mut mem = SimpleMem::new(4, 10);
+    mem.inject_invalidation(sa_isa::Line::containing(B), 9);
+    let (_, core, _) =
+        run_with(ConsistencyModel::X86, CoreConfig::default(), trace, mem, ValueMemory::new());
+    assert_eq!(core.stats().squashes_for(SquashCause::LoadLoad), 1);
+}
+
+#[test]
+fn branch_mispredicts_cost_cycles() {
+    // Pseudo-random outcomes are unpredictable; all-taken is nearly free.
+    let noisy = {
+        let mut b = TraceBuilder::new();
+        let mut x = 7u64;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            b.branch((x >> 62) & 1 == 1, None);
+        }
+        b.build()
+    };
+    let steady = {
+        let mut b = TraceBuilder::new();
+        for _ in 0..300 {
+            b.branch(true, None);
+        }
+        b.build()
+    };
+    let (cyc_noisy, noisy_core, _) = run(ConsistencyModel::X86, noisy);
+    let (cyc_steady, steady_core, _) = run(ConsistencyModel::X86, steady);
+    assert!(noisy_core.stats().branch_mispredicts > 30);
+    assert!(steady_core.stats().branch_mispredicts < 10);
+    assert!(cyc_noisy > cyc_steady);
+}
+
+#[test]
+fn rob_fills_under_long_latency_loads() {
+    let mut b = TraceBuilder::new();
+    for i in 0..64 {
+        b.load(r(1), A + i * 0x100); // distinct lines
+        for _ in 0..6 {
+            b.alu(sa_isa::ExecUnit::Int, Some(r(2)), [Some(r(1)), None]);
+        }
+    }
+    let cfg = CoreConfig { rob_entries: 16, lq_entries: 8, ..CoreConfig::default() };
+    let (_, core, _) = run_with(
+        ConsistencyModel::X86,
+        cfg,
+        b.build(),
+        SimpleMem::new(150, 10),
+        ValueMemory::new(),
+    );
+    let s = core.stats();
+    assert!(
+        s.rob_stall_cycles + s.lq_stall_cycles > 100,
+        "window pressure must show up as stalls"
+    );
+}
+
+#[test]
+fn sq_fills_under_slow_stores() {
+    let mut b = TraceBuilder::new();
+    for i in 0..64 {
+        b.store_imm(A + i * 0x100, i);
+    }
+    let cfg = CoreConfig { sq_sb_entries: 4, rfo_depth: 1, ..CoreConfig::default() };
+    let (_, core, _) = run_with(
+        ConsistencyModel::X86,
+        cfg,
+        b.build(),
+        SimpleMem::new(4, 120),
+        ValueMemory::new(),
+    );
+    assert!(core.stats().sq_stall_cycles > 100, "SQ/SB pressure (radix-like)");
+}
+
+#[test]
+fn fence_drains_store_buffer() {
+    let mut b = TraceBuilder::new();
+    b.store_imm(A, 1);
+    b.fence();
+    b.load(r(1), B);
+    let (_, core, _) = run_with(
+        ConsistencyModel::X86,
+        CoreConfig::default(),
+        b.build(),
+        SimpleMem::new(4, 80),
+        ValueMemory::new(),
+    );
+    let s = core.stats();
+    assert_eq!(s.retired_fences, 1);
+    assert_eq!(s.retired_instrs, 3);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let build = || {
+        let mut b = TraceBuilder::new();
+        for i in 0..200u64 {
+            match i % 5 {
+                0 => {
+                    b.store_imm(A + (i % 13) * 0x40, i);
+                }
+                1 => {
+                    b.load(r(1), A + (i % 13) * 0x40);
+                }
+                2 => {
+                    b.add(r(2), r(1), r(1));
+                }
+                3 => {
+                    b.branch(i % 3 == 0, None);
+                }
+                _ => {
+                    b.nop();
+                }
+            }
+        }
+        b.build()
+    };
+    let (c1, core1, _) = run(ConsistencyModel::Ibm370SlfSosKey, build());
+    let (c2, core2, _) = run(ConsistencyModel::Ibm370SlfSosKey, build());
+    assert_eq!(c1, c2);
+    assert_eq!(core1.stats(), core2.stats());
+}
+
+#[test]
+fn all_models_agree_on_single_thread_results() {
+    // Single-threaded final state must be identical across all five
+    // configurations — they only differ in timing.
+    let build = || {
+        let mut b = TraceBuilder::new();
+        b.mov_imm(r(1), 5);
+        b.store_reg(A, r(1));
+        b.load(r(2), A);
+        b.add(r(3), r(2), r(2));
+        b.store_reg(B, r(3));
+        b.load(r(4), B);
+        b.build()
+    };
+    for model in ConsistencyModel::ALL {
+        let (_, core, valmem) = run(model, build());
+        assert_eq!(core.arch_reg(r(4)), 10, "{model}");
+        assert_eq!(valmem.read(A, 8), 5, "{model}");
+        assert_eq!(valmem.read(B, 8), 10, "{model}");
+    }
+}
+
+#[test]
+fn model_performance_ordering_on_forwarding_heavy_code() {
+    // barnes-style: frequent store->load through the "stack".
+    let build = || {
+        let mut b = TraceBuilder::new();
+        for i in 0..120u64 {
+            let slot = A + (i % 8) * 8;
+            b.store_imm(slot, i);
+            b.load(r(1), slot);
+            b.add(r(2), r(1), r(1));
+        }
+        b.build()
+    };
+    let mut cycles = std::collections::HashMap::new();
+    for model in ConsistencyModel::ALL {
+        let (c, _, _) = run_with(
+            model,
+            CoreConfig::default(),
+            build(),
+            SimpleMem::new(4, 60),
+            ValueMemory::new(),
+        );
+        cycles.insert(model, c);
+    }
+    let x86 = cycles[&ConsistencyModel::X86];
+    let nospec = cycles[&ConsistencyModel::Ibm370NoSpec];
+    let slfspec = cycles[&ConsistencyModel::Ibm370SlfSpec];
+    let key = cycles[&ConsistencyModel::Ibm370SlfSosKey];
+    assert!(nospec > x86, "NoSpec ({nospec}) must trail x86 ({x86})");
+    assert!(key <= nospec, "the paper's proposal beats blanket enforcement");
+    assert!(key <= slfspec, "letting SLF loads retire beats SC-like speculation");
+    // This microtrace forwards on every third instruction (5x the most
+    // extreme benchmark in the paper), so the gap to x86 is larger than
+    // Figure 10's 1.025x — but it must stay the same order of magnitude.
+    assert!(
+        (key as f64) <= (x86 as f64) * 2.2,
+        "SoS-key should remain in x86's ballpark (key={key}, x86={x86})"
+    );
+}

@@ -1,0 +1,435 @@
+//! The trace generator.
+//!
+//! Emits a per-core instruction stream whose mix matches a
+//! [`WorkloadSpec`]. Static instruction sites get stable PCs so the
+//! branch predictor and StoreSet predictor see realistic re-use.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sa_isa::{Addr, ExecUnit, Pc, Reg, Trace, TraceBuilder, LINE_BYTES};
+
+use crate::spec::{Suite, WorkloadSpec};
+
+/// Per-core address-space layout (all regions line-aligned, disjoint).
+const PRIVATE_REGION: Addr = 0x1000_0000;
+const PRIVATE_STRIDE: Addr = 0x0400_0000; // 64 MB per core
+const STACK_REGION: Addr = 0x7000_0000;
+const SHARED_REGION: Addr = 0x8000_0000;
+const HOT_SYNC_LINE: Addr = 0x9000_0000;
+const HOT_DATA_LINE: Addr = 0x9000_0040;
+
+/// Number of distinct stack slots the forwarding idiom cycles through.
+const STACK_SLOTS: u64 = 64;
+
+/// Streaming-store cursor step (fresh line every store).
+const BURST_STRIDE: Addr = LINE_BYTES;
+
+/// Distance in instructions between a forwarding store and its load.
+/// Real stack frames read their arguments throughout the callee body, so
+/// the distance varies widely; the store is still comfortably inside the
+/// 56-entry SQ/SB when the load executes, but often already written to
+/// the L1 by the time the load *retires* — which is why the retire gate
+/// closes only for a minority of SLF loads (§VI-A).
+const FWD_DIST_MIN: usize = 4;
+/// See [`FWD_DIST_MIN`].
+const FWD_DIST_MAX: usize = 48;
+
+/// Generates one core's trace for a workload.
+#[derive(Debug)]
+pub struct TraceGen<'a> {
+    spec: &'a WorkloadSpec,
+    core: usize,
+    rng: StdRng,
+    /// Sequential-walk cursor within the private working set.
+    cursor: u64,
+    /// Streaming-store cursor.
+    burst_cursor: Addr,
+    /// Round-robin destination registers.
+    next_reg: u8,
+    /// Rotating stack slot for forwarding pairs.
+    stack_slot: u64,
+    /// Cursor over the set-conflicting stride.
+    conflict_cursor: u64,
+}
+
+impl<'a> TraceGen<'a> {
+    /// Creates the generator for `core` with a deterministic seed.
+    pub fn new(spec: &'a WorkloadSpec, core: usize, seed: u64) -> TraceGen<'a> {
+        TraceGen {
+            spec,
+            core,
+            rng: StdRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            cursor: 0,
+            burst_cursor: PRIVATE_REGION
+                + core as Addr * PRIVATE_STRIDE
+                + 0x0200_0000,
+            next_reg: 0,
+            stack_slot: 0,
+            conflict_cursor: 0,
+        }
+    }
+
+    fn reg(&mut self) -> Reg {
+        // Registers 0..=15 rotate as destinations; higher registers are
+        // reserved for long-lived values.
+        let r = Reg::new(self.next_reg);
+        self.next_reg = (self.next_reg + 1) % 16;
+        r
+    }
+
+    fn private_base(&self) -> Addr {
+        PRIVATE_REGION + self.core as Addr * PRIVATE_STRIDE
+    }
+
+    fn stack_base(&self) -> Addr {
+        STACK_REGION + self.core as Addr * 0x1_0000
+    }
+
+    /// A private data address: sequential walk with probability
+    /// `locality`, random jump within the working set otherwise; a
+    /// `set_conflict` share walks a stride that maps every access into
+    /// the same L2 set, so fresh lines evict each other (505.mcf).
+    /// Returns the address and whether it came from the sequential walk
+    /// (sequential accesses share one static PC so the stride prefetcher
+    /// can train, as a real loop would).
+    fn private_addr(&mut self) -> (Addr, bool) {
+        let ws = self.spec.private_ws_lines;
+        if self.spec.set_conflict > 0.0 && self.rng.gen::<f64>() < self.spec.set_conflict {
+            // 256 L2 sets x 64 B lines = 16 KB conflict stride.
+            const CONFLICT_STRIDE: Addr = 256 * LINE_BYTES;
+            let span = (ws / 256).max(16);
+            self.conflict_cursor = (self.conflict_cursor + 1) % span;
+            return (self.private_base() + self.conflict_cursor * CONFLICT_STRIDE, false);
+        }
+        if self.rng.gen::<f64>() < self.spec.locality {
+            self.cursor = (self.cursor + 1) % (ws * 8);
+            (self.private_base() + (self.cursor / 8) * LINE_BYTES + (self.cursor % 8) * 8, true)
+        } else {
+            self.cursor = self.rng.gen_range(0..ws * 8);
+            (self.private_base() + (self.cursor / 8) * LINE_BYTES + (self.cursor % 8) * 8, false)
+        }
+    }
+
+    /// A shared data address.
+    fn shared_addr(&mut self) -> Addr {
+        let line = self.rng.gen_range(0..self.spec.shared_ws_lines.max(1));
+        let word = self.rng.gen_range(0..8u64);
+        SHARED_REGION + line * LINE_BYTES + word * 8
+    }
+
+    /// Returns `(address, sequential)`.
+    fn mem_addr(&mut self) -> (Addr, bool) {
+        if self.spec.suite == Suite::Parallel
+            && self.rng.gen::<f64>() < self.spec.shared_access_frac
+        {
+            (self.shared_addr(), false)
+        } else {
+            self.private_addr()
+        }
+    }
+
+    /// Emits the whole trace.
+    ///
+    /// Instruction fractions are exact in expectation. A forwarding pair
+    /// occupies two slots — its store now and its load `FWD_DIST_MIN..=
+    /// FWD_DIST_MAX` slots later (several pairs overlap, as real stack
+    /// frames do) — so per eligible slot a pair starts with probability
+    /// `F / (100 - F)` and the remaining categories are drawn with their
+    /// native widths over the `100 - 2F` free share.
+    pub fn generate(mut self, instrs: usize) -> Trace {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut b = TraceBuilder::new();
+        // (due position, stack slot address) of pending forwarded loads.
+        let mut pending: BinaryHeap<Reverse<(usize, Addr)>> = BinaryHeap::new();
+        let s = self.spec;
+        let f = s.forwarded_pct;
+        let free_w = 100.0 - 2.0 * f;
+        // Per non-due slot, a pair starts with probability q such that
+        // the steady-state store share q(1-q/(1+q)) equals F/100:
+        // q = F / (100 - F).
+        let q_start = if f > 0.0 { f / (100.0 - f) } else { 0.0 };
+        let load_w = s.loads_pct - f;
+        let store_w = (s.stores_pct - f).max(0.0);
+        let branch_w = s.branches_pct;
+        while b.len() < instrs {
+            if let Some(&Reverse((due, slot))) = pending.peek() {
+                if due <= b.len() {
+                    pending.pop();
+                    self.emit_forwarded_load(&mut b, slot);
+                    continue;
+                }
+            }
+            if s.sync_contention > 0.0 && self.rng.gen::<f64>() < s.sync_contention {
+                self.emit_sync_idiom(&mut b);
+                continue;
+            }
+            if q_start > 0.0 && self.rng.gen::<f64>() < q_start {
+                let slot = self.emit_forwarding_store(&mut b);
+                let due = b.len() + self.rng.gen_range(FWD_DIST_MIN..=FWD_DIST_MAX);
+                pending.push(Reverse((due, slot)));
+                continue;
+            }
+            let roll = self.rng.gen::<f64>() * free_w;
+            if roll < load_w {
+                self.emit_load(&mut b);
+            } else if roll < load_w + store_w {
+                self.emit_store(&mut b);
+            } else if roll < load_w + store_w + branch_w {
+                self.emit_branch(&mut b);
+            } else {
+                self.emit_alu(&mut b);
+            }
+        }
+        b.build()
+    }
+
+    /// The stack write of a write/read idiom behind Table IV's
+    /// "Forwarded" column (barnes' recursive `walksub` being the extreme
+    /// case). Returns the slot address the paired load must read.
+    fn emit_forwarding_store(&mut self, b: &mut TraceBuilder) -> Addr {
+        let slot = self.stack_base() + (self.stack_slot % STACK_SLOTS) * 8;
+        self.stack_slot += 1;
+        let site = self.stack_slot % 4;
+        b.pin_pc(Pc(0x100 + site * 8));
+        b.store_imm(slot, self.rng.gen::<u32>() as u64);
+        b.unpin_pc();
+        slot
+    }
+
+    /// The read half of the idiom; the store is still in the SQ/SB, so
+    /// this load forwards.
+    fn emit_forwarded_load(&mut self, b: &mut TraceBuilder, slot: Addr) {
+        let site = self.stack_slot % 4;
+        let dst = self.reg();
+        b.pin_pc(Pc(0x200 + site * 8));
+        b.load(dst, slot);
+        b.unpin_pc();
+    }
+
+    fn emit_load(&mut self, b: &mut TraceBuilder) {
+        let (addr, sequential) = self.mem_addr();
+        let dst = self.reg();
+        // The sequential walk is one static load in a loop; random
+        // accesses spread over several sites.
+        let site = if sequential { 0 } else { 1 + self.rng.gen_range(0..7u64) };
+        b.pin_pc(Pc(0x300 + site * 8));
+        b.load(dst, addr);
+        b.unpin_pc();
+    }
+
+    fn emit_store(&mut self, b: &mut TraceBuilder) {
+        let (addr, sequential) = if self.rng.gen::<f64>() < self.spec.store_burst {
+            self.burst_cursor += BURST_STRIDE;
+            (self.burst_cursor, true)
+        } else {
+            self.mem_addr()
+        };
+        let site = if sequential { 0 } else { 1 + self.rng.gen_range(0..7u64) };
+        if self.rng.gen::<f64>() < self.spec.late_store_addr {
+            // Address depends on a long-latency producer, and a younger
+            // load may alias it: the D-speculation idiom the StoreSet
+            // predictor exists for (pointer-chased writes).
+            let dep = Reg::new(20);
+            b.alu(ExecUnit::IntDiv, Some(dep), [None, None]);
+            b.pin_pc(Pc(0x400 + site * 8));
+            b.store_imm_dep(addr, self.rng.gen::<u32>() as u64, dep);
+            b.unpin_pc();
+            self.emit_alu(b);
+            let dst = self.reg();
+            b.pin_pc(Pc(0x480 + site * 8));
+            b.load(dst, addr); // may-alias load behind the opaque store
+            b.unpin_pc();
+        } else {
+            b.pin_pc(Pc(0x400 + site * 8));
+            b.store_imm(addr, self.rng.gen::<u32>() as u64);
+            b.unpin_pc();
+        }
+    }
+
+    fn emit_branch(&mut self, b: &mut TraceBuilder) {
+        let site = self.rng.gen_range(0..16u64);
+        let noisy = (site as f64 / 16.0) < self.spec.branch_noise;
+        let taken = if noisy {
+            self.rng.gen::<bool>()
+        } else {
+            // Biased-taken loop branch: ~6% fall-through.
+            self.rng.gen::<f64>() < 0.94
+        };
+        b.pin_pc(Pc(0x500 + site * 8));
+        b.branch(taken, None);
+        b.unpin_pc();
+    }
+
+    fn emit_alu(&mut self, b: &mut TraceBuilder) {
+        let unit = if self.rng.gen::<f64>() < self.spec.fp_frac {
+            if self.rng.gen::<f64>() < 0.1 {
+                ExecUnit::FpDiv
+            } else {
+                ExecUnit::FpAdd
+            }
+        } else if self.rng.gen::<f64>() < 0.05 {
+            ExecUnit::IntMul
+        } else {
+            ExecUnit::Int
+        };
+        let src = Reg::new(self.rng.gen_range(0..16u8));
+        let dst = self.reg();
+        b.alu(unit, Some(dst), [Some(src), None]);
+    }
+
+    /// The x264 `pthread_cond_wait` idiom (§VI-A): a store-to-load
+    /// forwarding on a highly contended synchronization line followed by
+    /// a dependent load of shared data. Every core hammers the same two
+    /// lines, so invalidations land inside the window of vulnerability.
+    fn emit_sync_idiom(&mut self, b: &mut TraceBuilder) {
+        let dst1 = self.reg();
+        let dst2 = self.reg();
+        b.pin_pc(Pc(0x600));
+        b.store_imm(HOT_SYNC_LINE, self.core as u64 + 1);
+        b.unpin_pc();
+        b.pin_pc(Pc(0x608));
+        b.load(dst1, HOT_SYNC_LINE); // SLF load on the contended line
+        b.unpin_pc();
+        b.pin_pc(Pc(0x610));
+        b.load(dst2, HOT_DATA_LINE); // SA-speculative under the gate
+        b.unpin_pc();
+        // The protected data changes occasionally (not every wakeup).
+        if self.stack_slot % 8 == 0 {
+            b.pin_pc(Pc(0x618));
+            b.store_imm(HOT_DATA_LINE, self.core as u64);
+            b.unpin_pc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_isa::Op;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::base("test", Suite::Parallel, 25.0, 4.0)
+    }
+
+    fn mix_of(trace: &Trace) -> (f64, f64, f64) {
+        let n = trace.len() as f64;
+        (
+            100.0 * trace.count_matching(Op::is_load) as f64 / n,
+            100.0 * trace.count_matching(Op::is_store) as f64 / n,
+            100.0 * trace.count_matching(Op::is_branch) as f64 / n,
+        )
+    }
+
+    #[test]
+    fn mix_approximates_spec() {
+        let s = spec();
+        let t = TraceGen::new(&s, 0, 1).generate(20_000);
+        let (loads, stores, branches) = mix_of(&t);
+        assert!((loads - s.loads_pct).abs() < 2.0, "loads {loads}");
+        // Forwarding stores count toward stores_pct.
+        assert!((stores - s.stores_pct).abs() < 2.0, "stores {stores}");
+        assert!((branches - s.branches_pct).abs() < 2.0, "branches {branches}");
+    }
+
+    #[test]
+    fn forwarding_pairs_share_address() {
+        let s = WorkloadSpec::base("fwd", Suite::Spec, 30.0, 15.0);
+        let t = TraceGen::new(&s, 0, 1).generate(5_000);
+        // Every load from the stack region must be preceded (closely) by
+        // a store to the same address.
+        let instrs: Vec<_> = t.iter().collect();
+        let mut last_store: std::collections::HashMap<Addr, usize> = Default::default();
+        let mut pairs = 0;
+        for (i, ins) in instrs.iter().enumerate() {
+            match ins.op {
+                Op::Store { addr, .. } if (STACK_REGION..SHARED_REGION).contains(&addr) => {
+                    last_store.insert(addr, i);
+                }
+                Op::Load { addr, .. } if (STACK_REGION..SHARED_REGION).contains(&addr) => {
+                    let st = last_store.get(&addr).copied();
+                    assert!(
+                        st.is_some_and(|j| i - j <= FWD_DIST_MAX + 4),
+                        "stack load at {i} without recent store"
+                    );
+                    pairs += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(pairs > 200, "expected many forwarding pairs, got {pairs}");
+    }
+
+    #[test]
+    fn private_regions_are_disjoint_across_cores() {
+        let s = spec();
+        let t0 = TraceGen::new(&s, 0, 1).generate(3_000);
+        let t7 = TraceGen::new(&s, 7, 1).generate(3_000);
+        let private = |t: &Trace| -> Vec<Addr> {
+            t.iter()
+                .filter_map(|i| match i.op {
+                    Op::Load { addr, .. } | Op::Store { addr, .. }
+                        if (PRIVATE_REGION..STACK_REGION).contains(&addr) =>
+                    {
+                        Some(addr)
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        let a0 = private(&t0);
+        let a7 = private(&t7);
+        assert!(!a0.is_empty() && !a7.is_empty());
+        assert!(a0.iter().all(|a| *a < PRIVATE_REGION + PRIVATE_STRIDE));
+        assert!(a7.iter().all(|a| *a >= PRIVATE_REGION + 7 * PRIVATE_STRIDE));
+    }
+
+    #[test]
+    fn sync_idiom_targets_hot_lines() {
+        let mut s = spec();
+        s.sync_contention = 0.2;
+        let t = TraceGen::new(&s, 0, 1).generate(2_000);
+        let hot_accesses = t
+            .iter()
+            .filter(|i| {
+                matches!(i.op, Op::Load { addr, .. } | Op::Store { addr, .. }
+                    if addr == HOT_SYNC_LINE || addr == HOT_DATA_LINE)
+            })
+            .count();
+        assert!(hot_accesses > 100, "hot line traffic: {hot_accesses}");
+    }
+
+    #[test]
+    fn spec_suite_never_touches_shared_region() {
+        let s = WorkloadSpec::base("seq", Suite::Spec, 25.0, 3.0);
+        let t = TraceGen::new(&s, 0, 9).generate(5_000);
+        for i in t.iter() {
+            if let Op::Load { addr, .. } | Op::Store { addr, .. } = i.op {
+                assert!(addr < SHARED_REGION, "sequential workload hit shared {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_stores_stream_to_fresh_lines() {
+        let mut s = spec();
+        s.store_burst = 1.0;
+        s.stores_pct = 30.0;
+        let t = TraceGen::new(&s, 0, 1).generate(3_000);
+        let mut burst_addrs: Vec<Addr> = t
+            .iter()
+            .filter_map(|i| match i.op {
+                Op::Store { addr, .. }
+                    if addr >= PRIVATE_REGION + 0x0200_0000 && addr < PRIVATE_REGION + PRIVATE_STRIDE =>
+                {
+                    Some(addr)
+                }
+                _ => None,
+            })
+            .collect();
+        let n = burst_addrs.len();
+        burst_addrs.dedup();
+        assert_eq!(burst_addrs.len(), n, "every burst store hits a fresh line");
+        assert!(n > 100);
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic workload generation calibrated to the paper's evaluation.
+//!
+//! The paper drives its simulator with SPLASH-3 + PARSEC 3.0 (parallel)
+//! and SPECrate CPU 2017 (sequential). Those binaries and inputs are not
+//! reproducible here, so this crate generates *synthetic traces* whose
+//! first-order characteristics are calibrated per benchmark to the
+//! numbers the paper itself reports in Table IV — the fraction of loads,
+//! the fraction of store-to-load-forwarded loads — plus qualitative
+//! behaviors the paper calls out by name:
+//!
+//! * `barnes`: stack-heavy recursion → very high forwarding (18.3%).
+//! * `x264`: a contended `pthread_cond_wait` variable → forwarding on a
+//!   hot shared line under invalidation fire (10.2% re-execution).
+//! * `505.mcf`: a working set far beyond the L2 → cache evictions hitting
+//!   SA-speculative loads (11.7% re-execution).
+//! * `radix` / `519.lbm`: long streams of stores → SQ/SB pressure.
+//!
+//! The generator is seeded and fully deterministic.
+//!
+//! ```
+//! use sa_workloads::{parallel_suite, spec_suite};
+//! let p = parallel_suite();
+//! assert_eq!(p.len(), 25);
+//! assert_eq!(spec_suite().len(), 36);
+//! let barnes = &p[0];
+//! let traces = barnes.generate(8, 2_000, 42);
+//! assert_eq!(traces.len(), 8);
+//! ```
+
+pub mod generator;
+pub mod spec;
+pub mod suites;
+
+pub use generator::TraceGen;
+pub use spec::{Suite, WorkloadSpec};
+pub use suites::{by_name, parallel_suite, spec_suite};

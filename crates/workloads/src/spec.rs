@@ -1,0 +1,190 @@
+//! Workload parameter model.
+
+use sa_isa::Trace;
+
+use crate::generator::TraceGen;
+
+/// The paper's Table IV measurements for one benchmark (reference values
+/// for paper-vs-measured comparison; not used by the generator).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TableIvRef {
+    /// Gate stalls as % of total instructions.
+    pub gate_stall_pct: f64,
+    /// Average stall cycles per gate stall.
+    pub avg_stall_cycles: f64,
+    /// Instructions re-executed due to store-atomicity misspeculation, %.
+    pub reexec_pct: f64,
+}
+
+/// Which benchmark suite a workload models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// SPLASH-3 / PARSEC 3.0, 8 threads (Table IV top).
+    Parallel,
+    /// SPECrate CPU 2017, single thread (Table IV bottom).
+    Spec,
+}
+
+/// Parameters of one synthetic benchmark.
+///
+/// `loads_pct` and `forwarded_pct` are copied from the paper's Table IV
+/// characterization; the remaining knobs encode the qualitative behavior
+/// of each application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name (Table IV row).
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Loads as % of total instructions (Table IV).
+    pub loads_pct: f64,
+    /// Store-to-load-forwarded loads as % of total instructions
+    /// (Table IV).
+    pub forwarded_pct: f64,
+    /// Stores as % of total instructions (beyond the forwarding pairs).
+    pub stores_pct: f64,
+    /// Branches as % of total instructions.
+    pub branches_pct: f64,
+    /// Fraction of branch *sites* with data-dependent (unpredictable)
+    /// outcomes.
+    pub branch_noise: f64,
+    /// Private working set in cache lines (drives miss/eviction rates;
+    /// the private L2 holds 2048 lines).
+    pub private_ws_lines: u64,
+    /// Fraction of private accesses that walk sequentially (prefetch
+    /// friendly) rather than jump randomly.
+    pub locality: f64,
+    /// Shared working set in cache lines (parallel only).
+    pub shared_ws_lines: u64,
+    /// Fraction of memory accesses that target the shared region
+    /// (parallel only).
+    pub shared_access_frac: f64,
+    /// Fraction of shared accesses that are stores (invalidation
+    /// pressure).
+    pub shared_write_frac: f64,
+    /// Probability per slot of an x264-style contended synchronization
+    /// idiom: store + forwarded load on a hot shared line, then a load of
+    /// a second hot line (the paper's §VI-A outlier mechanism).
+    pub sync_contention: f64,
+    /// Fraction of stores that stream to fresh lines (radix/lbm-style
+    /// SQ/SB pressure).
+    pub store_burst: f64,
+    /// Fraction of stores whose address resolves late (exercises the
+    /// StoreSet predictor / D-speculation).
+    pub late_store_addr: f64,
+    /// Fraction of private accesses that walk a cache-set-conflicting
+    /// stride (505.mcf-style: recently fetched lines get evicted while
+    /// their loads are still in the LQ).
+    pub set_conflict: f64,
+    /// Fraction of ALU ops that are floating point (longer latencies).
+    pub fp_frac: f64,
+    /// The paper's Table IV row for this benchmark (reference only).
+    pub paper: TableIvRef,
+}
+
+impl WorkloadSpec {
+    /// A neutral baseline the suite tables override per benchmark.
+    pub fn base(name: &'static str, suite: Suite, loads_pct: f64, forwarded_pct: f64) -> Self {
+        WorkloadSpec {
+            name,
+            suite,
+            loads_pct,
+            forwarded_pct,
+            stores_pct: 10.0,
+            branches_pct: 10.0,
+            branch_noise: 0.15,
+            private_ws_lines: 1536,
+            locality: 0.8,
+            shared_ws_lines: 512,
+            shared_access_frac: if suite == Suite::Parallel { 0.05 } else { 0.0 },
+            shared_write_frac: 0.3,
+            sync_contention: 0.0,
+            store_burst: 0.0,
+            late_store_addr: 0.05,
+            set_conflict: 0.0,
+            fp_frac: 0.2,
+            paper: TableIvRef::default(),
+        }
+    }
+
+    /// Sanity-checks parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when percentages are out of range or inconsistent.
+    pub fn validate(&self) {
+        assert!(self.loads_pct >= 0.0 && self.loads_pct <= 60.0, "{}: loads_pct", self.name);
+        assert!(
+            self.forwarded_pct >= 0.0 && self.forwarded_pct <= self.loads_pct,
+            "{}: forwarded loads are a subset of loads",
+            self.name
+        );
+        assert!(
+            self.loads_pct + self.stores_pct + self.branches_pct <= 95.0,
+            "{}: instruction mix exceeds 100%",
+            self.name
+        );
+        for (what, v) in [
+            ("branch_noise", self.branch_noise),
+            ("locality", self.locality),
+            ("shared_access_frac", self.shared_access_frac),
+            ("shared_write_frac", self.shared_write_frac),
+            ("sync_contention", self.sync_contention),
+            ("store_burst", self.store_burst),
+            ("late_store_addr", self.late_store_addr),
+            ("set_conflict", self.set_conflict),
+            ("fp_frac", self.fp_frac),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{}: {what} out of [0,1]", self.name);
+        }
+        assert!(self.private_ws_lines > 0, "{}: empty working set", self.name);
+    }
+
+    /// Generates one deterministic trace per core.
+    pub fn generate(&self, n_cores: usize, instrs_per_core: usize, seed: u64) -> Vec<Trace> {
+        self.validate();
+        (0..n_cores)
+            .map(|core| TraceGen::new(self, core, seed).generate(instrs_per_core))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_spec_is_valid() {
+        WorkloadSpec::base("t", Suite::Parallel, 25.0, 4.0).validate();
+        WorkloadSpec::base("t", Suite::Spec, 25.0, 4.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "subset of loads")]
+    fn forwarded_beyond_loads_rejected() {
+        WorkloadSpec::base("t", Suite::Spec, 5.0, 10.0).validate();
+    }
+
+    #[test]
+    fn spec_suite_has_no_shared_accesses() {
+        let s = WorkloadSpec::base("t", Suite::Spec, 20.0, 1.0);
+        assert_eq!(s.shared_access_frac, 0.0);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let s = WorkloadSpec::base("t", Suite::Parallel, 25.0, 4.0);
+        let a = s.generate(2, 500, 7);
+        let b = s.generate(2, 500, 7);
+        assert_eq!(a, b);
+        let c = s.generate(2, 500, 8);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn cores_get_distinct_traces() {
+        let s = WorkloadSpec::base("t", Suite::Parallel, 25.0, 4.0);
+        let ts = s.generate(2, 500, 7);
+        assert_ne!(ts[0], ts[1]);
+    }
+}

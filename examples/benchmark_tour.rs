@@ -1,0 +1,59 @@
+//! Runs one calibrated benchmark under all five consistency
+//! configurations and prints a miniature of the paper's evaluation
+//! (Table IV row + Figure 9 stalls + Figure 10 normalized time).
+//!
+//! ```sh
+//! cargo run --release --example benchmark_tour [benchmark] [instrs]
+//! ```
+
+use sa_isa::ConsistencyModel;
+use sa_sim::{Multicore, Report, SimConfig};
+use sa_workloads::Suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("barnes");
+    let scale: usize = args.get(1).map(|s| s.parse().expect("instr count")).unwrap_or(10_000);
+    let w = sa_workloads::by_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}; see sa_workloads::parallel_suite"));
+    let n_cores = if w.suite == Suite::Parallel { 8 } else { 1 };
+    println!("benchmark {name}: {n_cores} core(s) x {scale} instructions\n");
+
+    let mut reports: Vec<Report> = Vec::new();
+    for model in ConsistencyModel::ALL {
+        let cfg = SimConfig::default().with_model(model).with_cores(n_cores);
+        let traces = w.generate(n_cores, scale, 42);
+        let mut sim = Multicore::new(cfg, traces);
+        reports.push(sim.run(u64::MAX).expect("benchmark finishes"));
+    }
+
+    println!(
+        "{:<16} {:>9} {:>6} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10}",
+        "config", "cycles", "IPC", "fwd(%)", "gate(%)", "ROBstall%", "LQstall%", "SQstall%", "norm.time"
+    );
+    let base = reports[0].cycles as f64;
+    for r in &reports {
+        let t = r.total();
+        let s = r.stalls();
+        println!(
+            "{:<16} {:>9} {:>6.2} {:>8.3} {:>8.3} {:>9.2} {:>9.2} {:>9.2} {:>10.3}",
+            r.model.label(),
+            r.cycles,
+            r.ipc(),
+            t.forwarded_pct(),
+            t.gate_stall_pct(),
+            s.rob_pct,
+            s.lq_pct,
+            s.sq_pct,
+            r.cycles as f64 / base,
+        );
+    }
+    let key = &reports[4];
+    let t = key.total();
+    println!(
+        "\n370-SLFSoS-key detail: {} gate closures, {} SA squashes, {} re-executed instrs",
+        t.gate_closures,
+        t.squashes_for(sa_sim::ooo::SquashCause::StoreAtomicity),
+        t.reexec_for(sa_sim::ooo::SquashCause::StoreAtomicity),
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build a tiny program, run it under the non-store-atomic
+//! x86 configuration and under the paper's 370-SLFSoS-key configuration,
+//! and compare what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sa_isa::{ConsistencyModel, CoreId, Reg, Trace, TraceBuilder};
+use sa_sim::{Multicore, SimConfig};
+
+fn program() -> Trace {
+    let mut b = TraceBuilder::new();
+    // A little "function call": write two arguments to the stack, do some
+    // work, read them back (store-to-load forwarding), combine.
+    b.mov_imm(Reg::new(1), 40);
+    b.mov_imm(Reg::new(2), 2);
+    b.store_reg(0x7000_0000, Reg::new(1)); // push arg0
+    b.store_reg(0x7000_0008, Reg::new(2)); // push arg1
+    for _ in 0..4 {
+        b.alu(sa_isa::ExecUnit::Int, Some(Reg::new(3)), [Some(Reg::new(1)), None]);
+    }
+    b.load(Reg::new(4), 0x7000_0000); // forwarded from the store buffer
+    b.load(Reg::new(5), 0x7000_0008); // forwarded from the store buffer
+    b.add(Reg::new(6), Reg::new(4), Reg::new(5));
+    b.store_reg(0x1000_0000, Reg::new(6)); // publish the answer
+    b.build()
+}
+
+fn main() {
+    for model in [ConsistencyModel::X86, ConsistencyModel::Ibm370SlfSosKey] {
+        let cfg = SimConfig::default().with_model(model).with_cores(1);
+        let mut sim = Multicore::new(cfg, vec![program()]);
+        let report = sim.run(1_000_000).expect("program finishes");
+        let stats = report.total();
+        println!("--- {model} ---");
+        println!("  answer               = {}", sim.memory().read(0x1000_0000, 8));
+        println!("  r6                   = {}", sim.core(CoreId(0)).arch_reg(Reg::new(6)));
+        println!("  cycles               = {}", report.cycles);
+        println!("  instructions retired = {}", stats.retired_instrs);
+        println!("  forwarded loads      = {}", stats.forwarded_loads);
+        println!("  gate closures        = {}", stats.gate_closures);
+        println!("  gate stall cycles    = {}", stats.gate_stall_cycles);
+        println!();
+    }
+    println!(
+        "Both configurations compute 42; the store-atomic one pays (at most)\n\
+         a few gate-stall cycles for a strictly stronger memory model."
+    );
+}

@@ -1,0 +1,32 @@
+//! Full-stack determinism: identical configuration + seed produce
+//! bit-identical reports, across all five configurations.
+
+use sa_isa::ConsistencyModel;
+use sa_sim::{Multicore, Report, SimConfig};
+
+fn run_once(model: ConsistencyModel) -> Report {
+    let w = sa_workloads::by_name("dedup").expect("dedup exists");
+    let cfg = SimConfig::default().with_model(model).with_cores(8);
+    let mut sim = Multicore::new(cfg, w.generate(8, 1_500, 99));
+    sim.run(u64::MAX).expect("completes")
+}
+
+#[test]
+fn reports_are_bit_identical_across_runs() {
+    for model in ConsistencyModel::ALL {
+        let a = run_once(model);
+        let b = run_once(model);
+        assert_eq!(a, b, "{model} diverged between identical runs");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let w = sa_workloads::by_name("dedup").unwrap();
+    let cfg = SimConfig::default().with_cores(8);
+    let mut s1 = Multicore::new(cfg.clone(), w.generate(8, 1_500, 1));
+    let mut s2 = Multicore::new(cfg, w.generate(8, 1_500, 2));
+    let r1 = s1.run(u64::MAX).unwrap();
+    let r2 = s2.run(u64::MAX).unwrap();
+    assert_ne!(r1.cycles, r2.cycles, "distinct traces should differ in timing");
+}

@@ -1,0 +1,103 @@
+//! Integration test: the operational model reproduces the paper's
+//! litmus-test claims — Figures 1, 2, 3, 5, Table I and Table II.
+
+use sa_litmus::{compare, explore, suite, taxonomy, ForwardPolicy};
+
+/// Figures 1/2/3/5 (and companions): every classification in the suite
+/// holds under exhaustive exploration.
+#[test]
+fn figure_classifications() {
+    for ct in suite::all() {
+        let x86 = explore(&ct.test, ForwardPolicy::X86);
+        let ibm = explore(&ct.test, ForwardPolicy::StoreAtomic370);
+        assert_eq!(
+            x86.contains_matching(&ct.condition),
+            ct.allowed_x86,
+            "{} under x86",
+            ct.test.name
+        );
+        assert_eq!(
+            ibm.contains_matching(&ct.condition),
+            ct.allowed_370,
+            "{} under 370",
+            ct.test.name
+        );
+    }
+}
+
+/// Table II: the fig5 program has four observations on x86 and exactly
+/// three under the store-atomic model — the disagreement disappears.
+#[test]
+fn table_ii() {
+    let ct = suite::fig5();
+    let x86 = explore(&ct.test, ForwardPolicy::X86);
+    let ibm = explore(&ct.test, ForwardPolicy::StoreAtomic370);
+    let project = |s: &sa_litmus::OutcomeSet| -> std::collections::BTreeSet<(u64, u64)> {
+        s.iter().map(|o| (o.regs[0][1], o.regs[1][1])).collect()
+    };
+    assert_eq!(project(&x86).len(), 4);
+    assert_eq!(project(&ibm).len(), 3);
+    assert!(project(&x86).contains(&(0, 0)));
+    assert!(!project(&ibm).contains(&(0, 0)));
+}
+
+/// Table I: taxonomy rows and their alignment with the simulator's
+/// model enum.
+#[test]
+fn table_i() {
+    let rows = taxonomy::TABLE_I;
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].model, "370");
+    assert!(!rows[0].read_own_write_early);
+    assert_eq!(rows[1].model, "x86");
+    assert!(rows[1].read_own_write_early && !rows[1].read_others_write_early);
+    assert_eq!(rows[2].model, "PC");
+    assert!(rows[2].read_others_write_early);
+    assert!(taxonomy::render_table1().contains("rMCA"));
+}
+
+/// The checker (ConsistencyChecker analogue) flags exactly the
+/// forwarding-dependent tests.
+#[test]
+fn checker_flags_forwarding_tests_only() {
+    let flagged: Vec<&str> = suite::all()
+        .iter()
+        .filter(|ct| compare(&ct.test).has_violations())
+        .map(|ct| ct.test.name)
+        .collect();
+    assert!(flagged.contains(&"n6"));
+    assert!(flagged.contains(&"fig5"));
+    assert!(!flagged.contains(&"mp"));
+    assert!(!flagged.contains(&"iriw"));
+    assert!(!flagged.contains(&"sb"));
+}
+
+/// Monotonicity: the 370 model never produces an outcome x86 cannot —
+/// on the suite and on a brute-force family of random programs.
+#[test]
+fn store_atomic_is_strictly_stronger() {
+    use sa_litmus::ast::{LOp, LitmusTest, X, Y};
+    for ct in suite::all() {
+        let x86 = explore(&ct.test, ForwardPolicy::X86);
+        let ibm = explore(&ct.test, ForwardPolicy::StoreAtomic370);
+        assert!(ibm.is_subset(&x86), "{}", ct.test.name);
+    }
+    // Brute force: all 2-thread programs of three ops drawn from a small
+    // alphabet.
+    let alphabet = [LOp::St(X, 1), LOp::St(Y, 1), LOp::Ld(X), LOp::Ld(Y), LOp::Fence];
+    let mut checked = 0;
+    for a in 0..alphabet.len() {
+        for b in 0..alphabet.len() {
+            for c in 0..alphabet.len() {
+                let t0 = vec![alphabet[a], alphabet[b], alphabet[c]];
+                let t1 = vec![alphabet[c], alphabet[b], alphabet[a]];
+                let t = LitmusTest::new("brute", vec![t0, t1]);
+                let x86 = explore(&t, ForwardPolicy::X86);
+                let ibm = explore(&t, ForwardPolicy::StoreAtomic370);
+                assert!(ibm.is_subset(&x86), "program {a},{b},{c}");
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 125);
+}

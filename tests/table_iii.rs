@@ -1,0 +1,46 @@
+//! Table III: the default configuration *is* the paper's system, and the
+//! §IV-D storage arithmetic holds.
+
+use sa_sim::SimConfig;
+
+#[test]
+fn defaults_reproduce_table_iii() {
+    let cfg = SimConfig::default();
+    cfg.validate();
+    // Processor.
+    assert_eq!(cfg.core.width, 5);
+    assert_eq!(cfg.core.rob_entries, 224);
+    assert_eq!(cfg.core.lq_entries, 72);
+    assert_eq!(cfg.core.sq_sb_entries, 56);
+    assert!(cfg.core.storeset);
+    // Memory.
+    assert_eq!(cfg.mem.n_cores, 8);
+    assert_eq!(cfg.mem.l1_bytes, 32 * 1024);
+    assert_eq!(cfg.mem.l1_assoc, 8);
+    assert_eq!(cfg.mem.l1_latency, 4);
+    assert!(cfg.mem.prefetch, "Table III lists a stride L1 prefetcher");
+    assert_eq!(cfg.mem.l2_bytes, 128 * 1024);
+    assert_eq!(cfg.mem.l2_latency, 12);
+    assert_eq!(cfg.mem.l3_banks, 8);
+    assert_eq!(cfg.mem.l3_bytes_per_bank, 1024 * 1024);
+    assert_eq!(cfg.mem.l3_latency, 35);
+    assert_eq!(cfg.mem.mem_latency, 160);
+    // Network.
+    assert_eq!(cfg.mem.hop_latency, 6);
+    assert_eq!(cfg.mem.data_flits, 5);
+    assert_eq!(cfg.mem.ctrl_flits, 1);
+}
+
+#[test]
+fn section_iv_d_storage_is_640_bits() {
+    let cfg = SimConfig::default();
+    assert_eq!(cfg.core.sa_storage_bits(), 640);
+}
+
+#[test]
+fn rendering_matches_paper_phrasing() {
+    let s = SimConfig::default().render_table3();
+    assert!(s.contains("Issue / Retire width        5 instructions"));
+    assert!(s.contains("Reorder buffer              224 entries"));
+    assert!(s.contains("Fully connected"));
+}
