@@ -1,113 +1,88 @@
-//! Criterion micro-benches of the simulator's building blocks.
+//! Micro-benches of the simulator's building blocks, on the in-tree
+//! timing harness (`cargo bench --bench components [FILTER] [--quick]`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sa_bench::harness::Group;
 use sa_coherence::cache::CacheArray;
 use sa_coherence::event::EventQueue;
-use sa_coherence::network::Network;
 use sa_coherence::msg::NodeId;
+use sa_coherence::network::Network;
 use sa_isa::{CoreId, Line, ValueMemory};
 use sa_ooo::branch::Tage;
 use sa_ooo::rob::RobId;
 use sa_ooo::sq::StoreQueue;
 use sa_ooo::storeset::StoreSet;
 
-fn bench_cache_array(c: &mut Criterion) {
-    c.bench_function("cache_array_insert_probe", |b| {
-        b.iter(|| {
-            let mut arr: CacheArray<u32> = CacheArray::new(32 * 1024, 8);
-            for i in 0..2_000u64 {
-                arr.insert(Line::from_raw(i * 3), i as u32);
-                std::hint::black_box(arr.contains(Line::from_raw(i)));
-            }
-            arr.len()
-        })
-    });
-}
+fn main() {
+    let g = Group::new("components");
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..2_000u64 {
-                q.schedule(i % 97, i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop_until(u64::MAX) {
-                sum = sum.wrapping_add(v);
-            }
-            sum
-        })
+    g.bench("cache_array_insert_probe", || {
+        let mut arr: CacheArray<u32> = CacheArray::new(32 * 1024, 8);
+        for i in 0..2_000u64 {
+            arr.insert(Line::from_raw(i * 3), i as u32);
+            std::hint::black_box(arr.contains(Line::from_raw(i)));
+        }
+        arr.len()
     });
-}
 
-fn bench_network(c: &mut Criterion) {
-    c.bench_function("network_send", |b| {
-        b.iter(|| {
-            let mut n = Network::new(6, 5, 1);
-            let mut last = 0;
-            for i in 0..2_000u64 {
-                last = n.send(
-                    NodeId::Core(CoreId((i % 8) as u8)),
-                    NodeId::Bank((i % 8) as u8),
-                    i,
-                    i % 3 == 0,
-                );
-            }
-            last
-        })
+    g.bench("event_queue_schedule_pop", || {
+        let mut q = EventQueue::new();
+        for i in 0..2_000u64 {
+            q.schedule(i % 97, i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop_until(u64::MAX) {
+            sum = sum.wrapping_add(v);
+        }
+        sum
     });
-}
 
-fn bench_tage(c: &mut Criterion) {
-    c.bench_function("tage_update", |b| {
+    g.bench("network_send", || {
+        let mut n = Network::new(6, 5, 1);
+        let mut last = 0;
+        for i in 0..2_000u64 {
+            last = n.send(
+                NodeId::Core(CoreId((i % 8) as u8)),
+                NodeId::Bank((i % 8) as u8),
+                i,
+                i % 3 == 0,
+            );
+        }
+        last
+    });
+
+    {
         let mut p = Tage::new();
         let mut i = 0u64;
-        b.iter(|| {
+        g.bench("tage_update", move || {
             i += 1;
-            p.update(0x400 + (i % 64) * 4, i % 3 == 0)
-        })
-    });
-}
+            p.update(0x400 + (i % 64) * 4, i.is_multiple_of(3))
+        });
+    }
 
-fn bench_storeset(c: &mut Criterion) {
-    c.bench_function("storeset_query", |b| {
+    {
         let mut s = StoreSet::new(true);
         s.train_violation(0x100, 0x200);
         s.store_dispatched(0x100);
-        b.iter(|| s.load_must_wait(0x200))
-    });
-}
+        g.bench("storeset_query", move || s.load_must_wait(0x200));
+    }
 
-fn bench_sq_search(c: &mut Criterion) {
-    c.bench_function("sq_forwarding_search", |b| {
+    {
         let mut q = StoreQueue::new(56);
         for i in 0..40u64 {
             q.alloc(RobId(i), i * 4, 0x1000 + i * 8, 8, true, Some(i));
         }
-        b.iter(|| q.search(RobId(100), 0x1000 + 13 * 8, 8))
-    });
-}
+        g.bench("sq_forwarding_search", move || {
+            q.search(RobId(100), 0x1000 + 13 * 8, 8)
+        });
+    }
 
-fn bench_valmem(c: &mut Criterion) {
-    c.bench_function("valmem_write_read", |b| {
+    {
         let mut m = ValueMemory::new();
         let mut i = 0u64;
-        b.iter(|| {
+        g.bench("valmem_write_read", move || {
             i += 1;
             m.write((i % 4096) * 8, 8, i);
             m.read(((i + 7) % 4096) * 8, 8)
-        })
-    });
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_cache_array,
-    bench_event_queue,
-    bench_network,
-    bench_tage,
-    bench_storeset,
-    bench_sq_search,
-    bench_valmem
-);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion benches mirroring the paper's tables and figures at reduced
-//! scale — one group per artifact, so `cargo bench` exercises every
-//! experiment end-to-end. The full-size outputs come from the binaries
-//! (`table4`, `fig9`, `fig10`, ...).
+//! Benches mirroring the paper's tables and figures at reduced scale —
+//! one group per artifact, so `cargo bench` exercises every experiment
+//! end-to-end on the in-tree timing harness. The full-size outputs come
+//! from the binaries (`table4`, `fig9`, `fig10`, ...).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_bench::harness::Group;
 use sa_isa::ConsistencyModel;
 use sa_litmus::{explore, suite, ForwardPolicy};
 use sa_sim::{Multicore, SimConfig};
@@ -19,44 +19,30 @@ fn run(name: &str, model: ConsistencyModel) -> u64 {
     sim.run(u64::MAX).expect("completes").cycles
 }
 
-/// Table II / Figures 1,2,3,5: exhaustive litmus exploration.
-fn bench_litmus(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_litmus");
+fn main() {
+    // Table II / Figures 1,2,3,5: exhaustive litmus exploration.
+    let g = Group::new("table2_litmus");
     for ct in [suite::n6(), suite::fig5(), suite::iriw()] {
-        g.bench_with_input(BenchmarkId::new("x86", ct.test.name), &ct, |b, ct| {
-            b.iter(|| explore(&ct.test, ForwardPolicy::X86).len())
+        g.bench(&format!("x86/{}", ct.test.name), || {
+            explore(&ct.test, ForwardPolicy::X86).len()
         });
-        g.bench_with_input(BenchmarkId::new("370", ct.test.name), &ct, |b, ct| {
-            b.iter(|| explore(&ct.test, ForwardPolicy::StoreAtomic370).len())
+        g.bench(&format!("370/{}", ct.test.name), || {
+            explore(&ct.test, ForwardPolicy::StoreAtomic370).len()
         });
     }
-    g.finish();
-}
 
-/// Table IV: the characterization run (SLFSoS-key on a forwarding-heavy
-/// and an eviction-heavy benchmark).
-fn bench_table4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_characterization");
-    g.sample_size(10);
+    // Table IV: the characterization run (SLFSoS-key on a
+    // forwarding-heavy and an eviction-heavy benchmark).
+    let g = Group::new("table4_characterization");
     for name in ["barnes", "505.mcf"] {
-        g.bench_function(name, |b| {
-            b.iter(|| run(name, ConsistencyModel::Ibm370SlfSosKey))
-        });
+        g.bench(name, || run(name, ConsistencyModel::Ibm370SlfSosKey));
     }
-    g.finish();
-}
 
-/// Figure 9 / Figure 10: the five-configuration comparison on one
-/// benchmark (stall attribution and execution time come from the same
-/// runs).
-fn bench_fig9_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_fig10_models");
-    g.sample_size(10);
+    // Figure 9 / Figure 10: the five-configuration comparison on one
+    // benchmark (stall attribution and execution time come from the
+    // same runs).
+    let g = Group::new("fig9_fig10_models");
     for model in ConsistencyModel::ALL {
-        g.bench_function(model.label(), |b| b.iter(|| run("water_spatial", model)));
+        g.bench(model.label(), || run("water_spatial", model));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_litmus, bench_table4, bench_fig9_fig10);
-criterion_main!(benches);

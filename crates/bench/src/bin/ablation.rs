@@ -22,7 +22,8 @@ fn run_cfg(w: &WorkloadSpec, cfg: SimConfig, scale: usize, seed: u64) -> Report 
     let n = if w.suite == Suite::Parallel { 8 } else { 1 };
     let cfg = cfg.with_cores(n);
     let mut sim = Multicore::new(cfg, w.generate(n, scale, seed));
-    sim.run(u64::MAX).unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    sim.run(u64::MAX)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
 }
 
 fn main() {
@@ -37,7 +38,12 @@ fn main() {
     );
     for fwd in [2.0, 8.0, 14.0, 18.0] {
         let w = WorkloadSpec::base("sweep", Suite::Spec, 28.0, fwd);
-        let x86 = run_cfg(&w, SimConfig::default().with_model(ConsistencyModel::X86), scale, seed);
+        let x86 = run_cfg(
+            &w,
+            SimConfig::default().with_model(ConsistencyModel::X86),
+            scale,
+            seed,
+        );
         let sos = run_cfg(
             &w,
             SimConfig::default().with_model(ConsistencyModel::Ibm370SlfSos),
@@ -62,7 +68,10 @@ fn main() {
 
     println!("\n== Ablation 2: RFO prefetch depth (radix store streams) ==");
     let radix = sa_workloads::by_name("radix").expect("radix exists");
-    println!("{:<10} {:>12} {:>14}", "depth", "cycles(key)", "SQ/SB stall(%)");
+    println!(
+        "{:<10} {:>12} {:>14}",
+        "depth", "cycles(key)", "SQ/SB stall(%)"
+    );
     for depth in [1usize, 4, 16, 32] {
         let mut cfg = SimConfig::default().with_model(ConsistencyModel::Ibm370SlfSosKey);
         cfg.core.rfo_depth = depth;
@@ -109,15 +118,16 @@ fn main() {
         b.build()
     };
     for (on, label) in [(true, "prefetch on"), (false, "prefetch off")] {
-        let mut cfg = SimConfig::default().with_model(ConsistencyModel::X86).with_cores(1);
+        let mut cfg = SimConfig::default()
+            .with_model(ConsistencyModel::X86)
+            .with_cores(1);
         cfg.mem.prefetch = on;
         cfg.mem.prefetch_degree = 4;
         let mut sim = Multicore::new(cfg, vec![stream_trace(scale / 4)]);
         let r = sim.run(u64::MAX).expect("stream completes");
         println!(
             "{label:<14} cycles={:>8}  prefetches={}",
-            r.cycles,
-            r.mem.per_core[0].prefetches
+            r.cycles, r.mem.per_core[0].prefetches
         );
     }
 
@@ -155,7 +165,10 @@ fn main() {
     // closed gate by depositing its key — relaxing the paper's
     // single-register invariant at a few extra bits.
     let barnes = sa_workloads::by_name("barnes").expect("barnes exists");
-    println!("{:<10} {:>12} {:>14} {:>16}", "keys", "cycles(key)", "gate stalls(%)", "avg stall cycles");
+    println!(
+        "{:<10} {:>12} {:>14} {:>16}",
+        "keys", "cycles(key)", "gate stalls(%)", "avg stall cycles"
+    );
     for keys in [1usize, 2, 4, 8] {
         let mut cfg = SimConfig::default().with_model(ConsistencyModel::Ibm370SlfSosKey);
         cfg.core.gate_keys = keys;
@@ -170,15 +183,20 @@ fn main() {
         );
     }
 
-
     println!("\n== Ablation 7: interconnect topology (fully connected vs 2D mesh) ==");
     // The paper's Table III uses a fully-connected fabric; GARNET's
     // common configuration is a mesh. Coherence-intensive sharing pays
     // for the extra hops.
     let dedup = sa_workloads::by_name("dedup").expect("dedup exists");
     for (topo, label) in [
-        (sa_sim::coherence::Topology::FullyConnected, "fully connected"),
-        (sa_sim::coherence::Topology::Mesh2D { width: 4 }, "4-wide 2D mesh"),
+        (
+            sa_sim::coherence::Topology::FullyConnected,
+            "fully connected",
+        ),
+        (
+            sa_sim::coherence::Topology::Mesh2D { width: 4 },
+            "4-wide 2D mesh",
+        ),
     ] {
         let mut cfg = SimConfig::default().with_model(ConsistencyModel::Ibm370SlfSosKey);
         cfg.mem.topology = topo;

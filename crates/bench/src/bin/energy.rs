@@ -17,10 +17,16 @@ fn main() {
     let workloads: Vec<_> = if let Some(only) = &opts.only {
         vec![sa_workloads::by_name(only).expect("known benchmark")]
     } else {
-        ["barnes", "dedup", "water_spatial", "502.gcc_1", "511.povray"]
-            .iter()
-            .map(|n| sa_workloads::by_name(n).expect("known benchmark"))
-            .collect()
+        [
+            "barnes",
+            "dedup",
+            "water_spatial",
+            "502.gcc_1",
+            "511.povray",
+        ]
+        .iter()
+        .map(|n| sa_workloads::by_name(n).expect("known benchmark"))
+        .collect()
     };
     println!(
         "Dynamic-energy proxy normalized to x86 (scale {} instrs/core, seed {})\n",

@@ -78,9 +78,16 @@ fn main() {
         opts.scale, opts.seed
     );
     let all = opts.workloads();
-    let parallel: Vec<WorkloadSpec> =
-        all.iter().filter(|w| w.suite == Suite::Parallel).cloned().collect();
-    let spec: Vec<WorkloadSpec> = all.iter().filter(|w| w.suite == Suite::Spec).cloned().collect();
+    let parallel: Vec<WorkloadSpec> = all
+        .iter()
+        .filter(|w| w.suite == Suite::Parallel)
+        .cloned()
+        .collect();
+    let spec: Vec<WorkloadSpec> = all
+        .iter()
+        .filter(|w| w.suite == Suite::Spec)
+        .cloned()
+        .collect();
     if !parallel.is_empty() {
         print_suite("Parallel applications", &parallel, &opts);
     }

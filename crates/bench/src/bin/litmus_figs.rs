@@ -15,8 +15,16 @@ fn main() {
         let ibm = explore(&ct.test, ForwardPolicy::StoreAtomic370);
         let ox = x86.contains_matching(&ct.condition);
         let oi = ibm.contains_matching(&ct.condition);
-        assert_eq!(ox, ct.allowed_x86, "{}: x86 classification drifted", ct.test.name);
-        assert_eq!(oi, ct.allowed_370, "{}: 370 classification drifted", ct.test.name);
+        assert_eq!(
+            ox, ct.allowed_x86,
+            "{}: x86 classification drifted",
+            ct.test.name
+        );
+        assert_eq!(
+            oi, ct.allowed_370,
+            "{}: 370 classification drifted",
+            ct.test.name
+        );
         println!(
             "{:<14} {:>14} {:>14} {:>10} {:>10}",
             ct.test.name,
@@ -44,8 +52,11 @@ fn main() {
     let iriw = suite::iriw();
     let pc = explore_pc(&iriw.test);
     println!(
-        "Table I demo - iriw disagreement: x86 {}  370 {}  PC {}",
-        "forbidden", "forbidden",
-        if pc.contains_matching(&iriw.condition) { "ALLOWED" } else { "forbidden" }
+        "Table I demo - iriw disagreement: x86 forbidden  370 forbidden  PC {}",
+        if pc.contains_matching(&iriw.condition) {
+            "ALLOWED"
+        } else {
+            "forbidden"
+        }
     );
 }

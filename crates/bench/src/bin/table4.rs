@@ -26,19 +26,19 @@ struct Row {
 
 fn run_suite(ws: &[WorkloadSpec], opts: &Opts) -> Vec<Row> {
     sa_bench::parallel_map(ws, opts.jobs, |w| {
-            let r = run_workload(w, ConsistencyModel::Ibm370SlfSosKey, opts.scale, opts.seed);
-            let t = r.total();
-            Row {
-                name: w.name,
-                instrs: t.retired_instrs,
-                loads: t.loads_pct(),
-                fwd: t.forwarded_pct(),
-                gate: t.gate_stall_pct(),
-                stall_cycles: t.avg_gate_stall_cycles(),
-                reexec: t.sa_reexec_pct(),
-                paper: w.paper,
-            }
-        })
+        let r = run_workload(w, ConsistencyModel::Ibm370SlfSosKey, opts.scale, opts.seed);
+        let t = r.total();
+        Row {
+            name: w.name,
+            instrs: t.retired_instrs,
+            loads: t.loads_pct(),
+            fwd: t.forwarded_pct(),
+            gate: t.gate_stall_pct(),
+            stall_cycles: t.avg_gate_stall_cycles(),
+            reexec: t.sa_reexec_pct(),
+            paper: w.paper,
+        }
+    })
 }
 
 fn print_rows(title: &str, rows: &[Row]) {
@@ -46,8 +46,16 @@ fn print_rows(title: &str, rows: &[Row]) {
     println!("(each measured column is followed by the paper's Table IV value)");
     println!(
         "{:<18} {:>12} {:>8} {:>8} {:>8}|{:>6} {:>9}|{:>7} {:>8}|{:>7}",
-        "Benchmark", "Instructions", "Loads%", "Fwd%", "Gate%", "paper", "AvgStall", "paper",
-        "Re-ex%", "paper"
+        "Benchmark",
+        "Instructions",
+        "Loads%",
+        "Fwd%",
+        "Gate%",
+        "paper",
+        "AvgStall",
+        "paper",
+        "Re-ex%",
+        "paper"
     );
     for r in rows {
         println!(
@@ -105,14 +113,27 @@ fn main() {
         opts.scale, opts.seed
     );
     let all = opts.workloads();
-    let parallel: Vec<WorkloadSpec> =
-        all.iter().filter(|w| w.suite == Suite::Parallel).cloned().collect();
-    let spec: Vec<WorkloadSpec> = all.iter().filter(|w| w.suite == Suite::Spec).cloned().collect();
+    let parallel: Vec<WorkloadSpec> = all
+        .iter()
+        .filter(|w| w.suite == Suite::Parallel)
+        .cloned()
+        .collect();
+    let spec: Vec<WorkloadSpec> = all
+        .iter()
+        .filter(|w| w.suite == Suite::Spec)
+        .cloned()
+        .collect();
     if !parallel.is_empty() {
-        print_rows("Parallel applications (SPLASH-3 / PARSEC, 8 cores)", &run_suite(&parallel, &opts));
+        print_rows(
+            "Parallel applications (SPLASH-3 / PARSEC, 8 cores)",
+            &run_suite(&parallel, &opts),
+        );
     }
     if !spec.is_empty() {
-        print_rows("Sequential applications (SPECrate CPU 2017)", &run_suite(&spec, &opts));
+        print_rows(
+            "Sequential applications (SPECrate CPU 2017)",
+            &run_suite(&spec, &opts),
+        );
     }
     println!(
         "\nPaper reference averages: parallel 24.285% loads / 3.688% fwd / 1.115% gate\n\

@@ -1,0 +1,239 @@
+//! Records an annotated cycle-level run as a structured event trace:
+//! Chrome trace-event JSON (open at `ui.perfetto.dev` or
+//! `chrome://tracing`) plus a Konata-style per-instruction pipeline
+//! text view, written into `results/`.
+//!
+//! ```text
+//! cargo run -p sa-bench --bin trace -- --litmus n6
+//! cargo run -p sa-bench --bin trace -- --litmus mp --model 370-SLFSoS
+//! cargo run -p sa-bench --bin trace -- --workload barnes --scale 3000
+//! cargo run -p sa-bench --bin trace -- --workload 505.mcf --model x86
+//! cargo run -p sa-bench --bin trace                 # mp + n6 + barnes slice
+//! ```
+//!
+//! The litmus traces are where the paper's §III story is visible as a
+//! timeline: on `n6` under `370-SLFSoS-key`, the forwarded `ld x`
+//! retires, the gate closes under the forwarding store's key, and the
+//! gate reopens on the matching SB commit — the window of vulnerability
+//! of Figures 6–7, now an inspectable span on the "retire gate" track.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use sa_isa::ConsistencyModel;
+use sa_litmus::suite;
+use sa_sim::{Multicore, SimConfig};
+use sa_trace::{
+    export_chrome_trace, render_pipeview, EventKind, GateOpenReason, RingTracer, TraceEvent,
+    VecTracer,
+};
+use sa_workloads::Suite;
+
+/// Retained tail for workload runs (litmus runs are recorded unbounded).
+const RING_CAPACITY: usize = 250_000;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace [--litmus NAME]... [--workload NAME] [--scale N] \
+         [--model LABEL] [--out DIR]\n\
+         \n\
+         --litmus NAME    record a litmus test (mp, n6, iriw, ...); repeatable\n\
+         --workload NAME  record a synthetic workload slice (barnes, 505.mcf, ...)\n\
+         --scale N        workload instructions per core (default 800)\n\
+         --model LABEL    consistency model (default 370-SLFSoS-key); one of:\n\
+         {}\n\
+         --out DIR        output directory (default results/)\n\
+         \n\
+         with no selection, records mp + n6 + a barnes slice",
+        ConsistencyModel::ALL
+            .iter()
+            .map(|m| format!("                   {}", m.label()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    exit(2);
+}
+
+fn parse_model(label: &str) -> ConsistencyModel {
+    ConsistencyModel::ALL
+        .into_iter()
+        .find(|m| m.label() == label)
+        .unwrap_or_else(|| {
+            eprintln!("unknown model {label:?}");
+            usage();
+        })
+}
+
+/// Event counts by label, for the run summary.
+fn summarize(events: &[TraceEvent]) -> String {
+    let mut rows: Vec<(&'static str, u64)> = Vec::new();
+    for ev in events {
+        let label = ev.kind.label();
+        match rows.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, n)) => *n += 1,
+            None => rows.push((label, 1)),
+        }
+    }
+    rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    rows.iter()
+        .map(|(l, n)| format!("    {l:<16} {n}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The §III signature: the first gate-close whose key reappears on a
+/// later key-match gate-open on the same core.
+fn gate_episode(events: &[TraceEvent]) -> Option<(u64, u64, String)> {
+    for (i, ev) in events.iter().enumerate() {
+        if let EventKind::GateClose { key, .. } = ev.kind {
+            for later in &events[i + 1..] {
+                if later.core != ev.core {
+                    continue;
+                }
+                if let EventKind::GateOpen {
+                    reason: GateOpenReason::KeyMatch(k),
+                } = later.kind
+                {
+                    if k == key {
+                        return Some((ev.cycle, later.cycle, key.to_string()));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn write_outputs(out_dir: &Path, name: &str, events: &[TraceEvent], cycles: u64) {
+    fs::create_dir_all(out_dir).expect("create output directory");
+    let json_path = out_dir.join(format!("trace_{name}.json"));
+    let pipe_path = out_dir.join(format!("trace_{name}.pipeview.txt"));
+    fs::write(&json_path, export_chrome_trace(events)).expect("write chrome trace");
+    fs::write(&pipe_path, render_pipeview(events)).expect("write pipeview");
+    println!("{name}: {} events over {cycles} cycles", events.len());
+    println!("{}", summarize(events));
+    match gate_episode(events) {
+        Some((close, open, key)) => println!(
+            "    gate episode: closed @{close} under key {key}, reopened @{open} \
+             on matching SB commit ({} cycle window)",
+            open - close
+        ),
+        None => println!("    gate episode: none (gate never closed on a forwarded load)"),
+    }
+    println!("    -> {}", json_path.display());
+    println!("    -> {}", pipe_path.display());
+}
+
+fn run_litmus(name: &str, model: ConsistencyModel, out_dir: &Path) {
+    let ct = suite::all()
+        .into_iter()
+        .find(|ct| ct.test.name == name)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown litmus test {name:?}; have: {}",
+                suite::all()
+                    .iter()
+                    .map(|ct| ct.test.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            usage();
+        });
+    let traces = ct.test.to_traces();
+    let cfg = SimConfig::default()
+        .with_model(model)
+        .with_cores(traces.len());
+    let mut sim = Multicore::with_tracer(cfg, traces, VecTracer::new());
+    sim.run(5_000_000)
+        .unwrap_or_else(|e| panic!("{name} under {model}: {e}"));
+    let cycles = sim.cycle();
+    let events = sim.into_tracer().into_events();
+    write_outputs(
+        out_dir,
+        &format!("{name}_{}", model.label()),
+        &events,
+        cycles,
+    );
+}
+
+fn run_workload(name: &str, scale: usize, model: ConsistencyModel, out_dir: &Path) {
+    let w = sa_workloads::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name:?}");
+        usage();
+    });
+    let n = if w.suite == Suite::Parallel { 8 } else { 1 };
+    let cfg = SimConfig::default().with_model(model).with_cores(n);
+    let mut sim = Multicore::with_tracer(
+        cfg,
+        w.generate(n, scale, 42),
+        RingTracer::new(RING_CAPACITY),
+    );
+    sim.run(u64::MAX)
+        .unwrap_or_else(|e| panic!("{name} under {model}: {e}"));
+    let cycles = sim.cycle();
+    let ring = sim.into_tracer();
+    if ring.dropped() > 0 {
+        println!(
+            "{name}: ring retained the last {} events ({} older events dropped)",
+            ring.len(),
+            ring.dropped()
+        );
+    }
+    let events = ring.to_vec();
+    let safe = name.replace('.', "_");
+    write_outputs(
+        out_dir,
+        &format!("{safe}_{}", model.label()),
+        &events,
+        cycles,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut litmus: Vec<String> = Vec::new();
+    let mut workload: Option<String> = None;
+    let mut scale = 800usize;
+    let mut model = ConsistencyModel::Ibm370SlfSosKey;
+    let mut out_dir = PathBuf::from("results");
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--litmus" => litmus.push(val("--litmus")),
+            "--workload" => workload = Some(val("--workload")),
+            "--scale" => {
+                scale = val("--scale").parse().unwrap_or_else(|_| {
+                    eprintln!("--scale needs an integer");
+                    usage();
+                });
+            }
+            "--model" => model = parse_model(&val("--model")),
+            "--out" => out_dir = PathBuf::from(val("--out")),
+            _ => {
+                eprintln!("unknown argument {arg:?}");
+                usage();
+            }
+        }
+    }
+
+    if litmus.is_empty() && workload.is_none() {
+        litmus = vec!["mp".into(), "n6".into()];
+        workload = Some("barnes".into());
+    }
+
+    println!("model: {}", model.label());
+    for name in &litmus {
+        run_litmus(name, model, &out_dir);
+    }
+    if let Some(name) = workload {
+        run_workload(&name, scale, model, &out_dir);
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal self-contained timing harness for the `[[bench]]` targets
+//! (`harness = false`), so benchmarks run without any external
+//! benchmarking crate.
+//!
+//! Protocol per benchmark: calibrate an iteration count targeting
+//! ~`TARGET_MS` of work, warm up, then time `SAMPLES` batches and report
+//! median / min ns-per-iteration. `--quick` (or `SA_BENCH_QUICK=1`)
+//! drops to a single short sample so CI can smoke-run every bench.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const TARGET_MS: u64 = 60;
+const SAMPLES: usize = 9;
+
+/// Whether a quick smoke run was requested (`--quick` flag or
+/// `SA_BENCH_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("SA_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// A named group of benchmarks, printed criterion-style:
+/// `group/name   median 123.4 ns/iter (min 120.1)`.
+pub struct Group {
+    name: &'static str,
+    filter: Option<String>,
+}
+
+impl Group {
+    /// A new group. The first CLI argument that isn't a flag acts as a
+    /// substring filter on `group/name`, mirroring `cargo bench FILTER`.
+    pub fn new(name: &'static str) -> Group {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && a != "--quick");
+        Group { name, filter }
+    }
+
+    /// Runs one benchmark: `f` is invoked repeatedly; its return value is
+    /// black-boxed so the work is not optimized away.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(flt) = &self.filter {
+            if !full.contains(flt.as_str()) {
+                return;
+            }
+        }
+        let quick = quick_mode();
+
+        // Calibrate: how many iterations fit in the target batch time?
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if quick || elapsed >= Duration::from_millis(TARGET_MS) || iters >= 1 << 24 {
+                break;
+            }
+            // Aim past the target so the loop settles in O(log) steps.
+            let scale = (TARGET_MS as f64 * 1.2e6 / elapsed.as_nanos().max(1) as f64).ceil();
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)) as u64;
+        }
+
+        let samples = if quick { 1 } else { SAMPLES };
+        let mut per_iter: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        println!(
+            "{full:<44} median {} /iter (min {})",
+            fmt_ns(median),
+            fmt_ns(min)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

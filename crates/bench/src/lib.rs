@@ -1,5 +1,5 @@
 //! Experiment runner shared by the table/figure binaries and the
-//! criterion benches.
+//! micro-benches.
 //!
 //! Every binary regenerates one artifact of the paper:
 //!
@@ -17,6 +17,8 @@
 //! Run with `--scale N` to control instructions per core (default 30000;
 //! the paper simulates ~1 B instructions per benchmark — scale up as your
 //! patience allows; shapes stabilize well before 100k).
+
+pub mod harness;
 
 use sa_isa::ConsistencyModel;
 use sa_sim::report::geomean;
@@ -58,7 +60,9 @@ impl Default for Opts {
             seed: 42,
             suite: SuiteSel::All,
             only: None,
-            jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             csv: false,
         }
     }
@@ -112,7 +116,9 @@ impl Opts {
                     i += 1;
                 }
                 other => {
-                    panic!("unknown option {other} (try --scale/--seed/--suite/--only/--jobs/--csv)")
+                    panic!(
+                        "unknown option {other} (try --scale/--seed/--suite/--only/--jobs/--csv)"
+                    )
                 }
             }
         }
@@ -144,12 +150,7 @@ impl Opts {
 ///
 /// Panics if the simulation wedges or exceeds its (very generous) cycle
 /// budget — both indicate a simulator bug.
-pub fn run_workload(
-    w: &WorkloadSpec,
-    model: ConsistencyModel,
-    scale: usize,
-    seed: u64,
-) -> Report {
+pub fn run_workload(w: &WorkloadSpec, model: ConsistencyModel, scale: usize, seed: u64) -> Report {
     let n_cores = match w.suite {
         Suite::Parallel => 8,
         Suite::Spec => 1,
@@ -175,7 +176,10 @@ pub fn run_all_models(w: &WorkloadSpec, scale: usize, seed: u64) -> Vec<Report> 
 /// normalized to x86.
 pub fn normalized_times(reports: &[Report]) -> Vec<f64> {
     let x86 = &reports[0];
-    reports[1..].iter().map(|r| r.normalized_time(x86)).collect()
+    reports[1..]
+        .iter()
+        .map(|r| r.normalized_time(x86))
+        .collect()
 }
 
 /// Geomean over rows of per-model normalized times.
@@ -216,10 +220,12 @@ where
         }
     });
     drop(slots);
-    out.into_iter().map(|r| r.expect("worker filled slot")).collect()
+    out.into_iter()
+        .map(|r| r.expect("worker filled slot"))
+        .collect()
 }
 
-/// Convenience: a tiny deterministic smoke workload for criterion.
+/// Convenience: a tiny deterministic smoke workload for the benches.
 pub fn smoke_sim(model: ConsistencyModel, instrs: usize) -> Report {
     let w = sa_workloads::by_name("barnes").expect("barnes exists");
     let cfg = SimConfig::default().with_model(model).with_cores(2);
@@ -236,7 +242,7 @@ mod tests {
     fn run_workload_completes_quickly_at_tiny_scale() {
         let w = sa_workloads::by_name("blackscholes").unwrap();
         let r = run_workload(&w, ConsistencyModel::X86, 300, 1);
-        assert_eq!(r.total().retired_instrs as usize >= 8 * 300, true);
+        assert!(r.total().retired_instrs as usize >= 8 * 300);
         assert!(r.cycles > 0);
     }
 
@@ -270,11 +276,21 @@ mod tests {
 
     #[test]
     fn opts_workload_selection() {
-        let o = Opts { suite: SuiteSel::Parallel, ..Opts::default() };
+        let o = Opts {
+            suite: SuiteSel::Parallel,
+            ..Opts::default()
+        };
         assert_eq!(o.workloads().len(), 25);
-        let o = Opts { suite: SuiteSel::Spec, ..Opts::default() };
+        let o = Opts {
+            suite: SuiteSel::Spec,
+            ..Opts::default()
+        };
         assert_eq!(o.workloads().len(), 36);
-        let o = Opts { suite: SuiteSel::All, only: Some("radix".into()), ..Opts::default() };
+        let o = Opts {
+            suite: SuiteSel::All,
+            only: Some("radix".into()),
+            ..Opts::default()
+        };
         assert_eq!(o.workloads().len(), 1);
     }
 }

@@ -74,7 +74,10 @@ impl<T> CacheArray<T> {
     /// Mutable payload of `line`, without updating recency.
     pub fn peek_mut(&mut self, line: Line) -> Option<&mut T> {
         let s = self.set_of(line);
-        self.sets[s].iter_mut().find(|(l, _)| *l == line).map(|(_, t)| t)
+        self.sets[s]
+            .iter_mut()
+            .find(|(l, _)| *l == line)
+            .map(|(_, t)| t)
     }
 
     /// Marks `line` most-recently-used; returns `true` if it was present.

@@ -77,7 +77,10 @@ impl Default for MemConfig {
 impl MemConfig {
     /// A configuration with `n` cores and Table III parameters otherwise.
     pub fn with_cores(n: usize) -> MemConfig {
-        MemConfig { n_cores: n, ..MemConfig::default() }
+        MemConfig {
+            n_cores: n,
+            ..MemConfig::default()
+        }
     }
 
     /// Validates invariants the controllers rely on.
@@ -87,7 +90,10 @@ impl MemConfig {
     /// Panics when a capacity is not divisible into sets or a count is
     /// zero.
     pub fn validate(&self) {
-        assert!(self.n_cores > 0 && self.n_cores <= 64, "1..=64 cores supported");
+        assert!(
+            self.n_cores > 0 && self.n_cores <= 64,
+            "1..=64 cores supported"
+        );
         assert!(self.l3_banks > 0, "need at least one L3 bank");
         assert!(self.mshrs > 0, "need at least one MSHR");
         for (bytes, assoc, what) in [
@@ -96,7 +102,10 @@ impl MemConfig {
             (self.l3_bytes_per_bank, self.l3_assoc, "L3 bank"),
         ] {
             let lines = bytes / sa_isa::LINE_BYTES as usize;
-            assert!(assoc > 0 && lines >= assoc, "{what} too small for its associativity");
+            assert!(
+                assoc > 0 && lines >= assoc,
+                "{what} too small for its associativity"
+            );
             assert!(
                 (lines / assoc).is_power_of_two(),
                 "{what} set count must be a power of two"

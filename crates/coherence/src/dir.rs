@@ -32,7 +32,11 @@ enum Txn {
     /// `GetM` waiting for the owner's `AckData`.
     FetchForM { req: CoreId },
     /// `GetM` waiting for `pending` sharer invalidation acks.
-    CollectAcks { req: CoreId, pending: u32, need_data: bool },
+    CollectAcks {
+        req: CoreId,
+        pending: u32,
+        need_data: bool,
+    },
 }
 
 /// Counters exported by each bank.
@@ -102,7 +106,12 @@ impl DirBank {
     }
 
     fn send(&self, to: NodeId, msg: Msg, at: Cycle, out: &mut Vec<Action>) {
-        out.push(Action::Send { from: self.node, to, msg, at });
+        out.push(Action::Send {
+            from: self.node,
+            to,
+            msg,
+            at,
+        });
     }
 
     /// Handles an incoming message, returning protocol actions.
@@ -118,9 +127,12 @@ impl DirBank {
                 }
             }
             Msg::InvAck { line, .. } => self.on_inv_ack(line, now, &mut out),
-            Msg::AckData { line, dirty, retained, .. } => {
-                self.on_ack_data(line, dirty, retained, now, &mut out)
-            }
+            Msg::AckData {
+                line,
+                dirty,
+                retained,
+                ..
+            } => self.on_ack_data(line, dirty, retained, now, &mut out),
             other => unreachable!("directory received {other:?}"),
         }
         out
@@ -145,7 +157,8 @@ impl DirBank {
             }
             Some(DirState::Shared(mask)) => {
                 let lat = self.data_latency(line);
-                self.state.insert(line, DirState::Shared(mask | (1 << req.0)));
+                self.state
+                    .insert(line, DirState::Shared(mask | (1 << req.0)));
                 self.send(NodeId::Core(req), Msg::DataS { line }, now + lat, out);
             }
             Some(DirState::Owned(owner)) => {
@@ -169,7 +182,11 @@ impl DirBank {
                 let need_data = mask & (1u64 << req.0) == 0;
                 if others == 0 {
                     // Upgrade with no other sharers (or sole cold GetM).
-                    let lat = if need_data { self.data_latency(line) } else { 0 };
+                    let lat = if need_data {
+                        self.data_latency(line)
+                    } else {
+                        0
+                    };
                     self.state.insert(line, DirState::Owned(req));
                     self.send(NodeId::Core(req), Msg::GrantM { line }, now + lat, out);
                 } else {
@@ -181,7 +198,14 @@ impl DirBank {
                             self.send(NodeId::Core(CoreId(c)), Msg::Inv { line }, now, out);
                         }
                     }
-                    self.busy.insert(line, Txn::CollectAcks { req, pending, need_data });
+                    self.busy.insert(
+                        line,
+                        Txn::CollectAcks {
+                            req,
+                            pending,
+                            need_data,
+                        },
+                    );
                 }
             }
             Some(DirState::Owned(owner)) => {
@@ -214,7 +238,11 @@ impl DirBank {
             let Some(Txn::CollectAcks { req, need_data, .. }) = self.busy.remove(&line) else {
                 unreachable!("checked above");
             };
-            let lat = if need_data { self.data_latency(line) } else { 0 };
+            let lat = if need_data {
+                self.data_latency(line)
+            } else {
+                0
+            };
             self.state.insert(line, DirState::Owned(req));
             self.send(NodeId::Core(req), Msg::GrantM { line }, now + lat, out);
             self.drain_deferred(line, now, out);
@@ -314,9 +342,22 @@ mod tests {
     #[test]
     fn cold_gets_returns_exclusive_with_memory_latency() {
         let mut b = bank();
-        let a = b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 100);
+        let a = b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(0),
+            },
+            100,
+        );
         let s = sends(&a);
-        assert_eq!(s, vec![(NodeId::Core(CoreId(0)), Msg::DataE { line: ln(1) }, 100 + 35 + 160)]);
+        assert_eq!(
+            s,
+            vec![(
+                NodeId::Core(CoreId(0)),
+                Msg::DataE { line: ln(1) },
+                100 + 35 + 160
+            )]
+        );
         assert_eq!(b.owner_of(ln(1)), Some(CoreId(0)));
         assert_eq!(b.stats.l3_misses, 1);
     }
@@ -324,17 +365,40 @@ mod tests {
     #[test]
     fn second_gets_downgrades_owner() {
         let mut b = bank();
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
-        let a = b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 50);
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(0),
+            },
+            0,
+        );
+        let a = b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(1),
+            },
+            50,
+        );
         let s = sends(&a);
-        assert_eq!(s, vec![(NodeId::Core(CoreId(0)), Msg::FetchS { line: ln(1) }, 50)]);
+        assert_eq!(
+            s,
+            vec![(NodeId::Core(CoreId(0)), Msg::FetchS { line: ln(1) }, 50)]
+        );
         assert!(b.is_busy(ln(1)));
         let a = b.handle(
-            Msg::AckData { line: ln(1), from: CoreId(0), dirty: false, retained: true },
+            Msg::AckData {
+                line: ln(1),
+                from: CoreId(0),
+                dirty: false,
+                retained: true,
+            },
             80,
         );
         let s = sends(&a);
-        assert_eq!(s, vec![(NodeId::Core(CoreId(1)), Msg::DataS { line: ln(1) }, 80)]);
+        assert_eq!(
+            s,
+            vec![(NodeId::Core(CoreId(1)), Msg::DataS { line: ln(1) }, 80)]
+        );
         assert_eq!(b.sharers_of(ln(1)), 0b11);
         assert!(!b.is_busy(ln(1)));
     }
@@ -343,19 +407,57 @@ mod tests {
     fn getm_collects_all_acks_before_grant() {
         let mut b = bank();
         // Make cores 0 and 1 sharers.
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 0);
-        b.handle(Msg::AckData { line: ln(1), from: CoreId(0), dirty: false, retained: true }, 10);
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(0),
+            },
+            0,
+        );
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(1),
+            },
+            0,
+        );
+        b.handle(
+            Msg::AckData {
+                line: ln(1),
+                from: CoreId(0),
+                dirty: false,
+                retained: true,
+            },
+            10,
+        );
         // Core 2 wants M: invalidations to 0 and 1 first.
-        let a = b.handle(Msg::GetM { line: ln(1), req: CoreId(2) }, 20);
+        let a = b.handle(
+            Msg::GetM {
+                line: ln(1),
+                req: CoreId(2),
+            },
+            20,
+        );
         let s = sends(&a);
         assert_eq!(s.len(), 2);
         assert!(s.iter().all(|(_, m, _)| matches!(m, Msg::Inv { .. })));
         // First ack: no grant yet (write atomicity).
-        let a = b.handle(Msg::InvAck { line: ln(1), from: CoreId(0) }, 30);
+        let a = b.handle(
+            Msg::InvAck {
+                line: ln(1),
+                from: CoreId(0),
+            },
+            30,
+        );
         assert!(a.is_empty());
         // Second ack: grant.
-        let a = b.handle(Msg::InvAck { line: ln(1), from: CoreId(1) }, 40);
+        let a = b.handle(
+            Msg::InvAck {
+                line: ln(1),
+                from: CoreId(1),
+            },
+            40,
+        );
         let s = sends(&a);
         assert_eq!(s.len(), 1);
         let (to, msg, at) = s[0];
@@ -368,33 +470,87 @@ mod tests {
     #[test]
     fn upgrade_by_sole_sharer_is_immediate() {
         let mut b = bank();
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 0);
-        b.handle(Msg::AckData { line: ln(1), from: CoreId(0), dirty: false, retained: false }, 10);
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(0),
+            },
+            0,
+        );
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(1),
+            },
+            0,
+        );
+        b.handle(
+            Msg::AckData {
+                line: ln(1),
+                from: CoreId(0),
+                dirty: false,
+                retained: false,
+            },
+            10,
+        );
         // Only core 1 shares now; it upgrades without data or invs.
-        let a = b.handle(Msg::GetM { line: ln(1), req: CoreId(1) }, 20);
+        let a = b.handle(
+            Msg::GetM {
+                line: ln(1),
+                req: CoreId(1),
+            },
+            20,
+        );
         let s = sends(&a);
-        assert_eq!(s, vec![(NodeId::Core(CoreId(1)), Msg::GrantM { line: ln(1) }, 20)]);
+        assert_eq!(
+            s,
+            vec![(NodeId::Core(CoreId(1)), Msg::GrantM { line: ln(1) }, 20)]
+        );
     }
 
     #[test]
     fn requests_defer_while_busy() {
         let mut b = bank();
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 10); // busy: FetchForS
-        let a = b.handle(Msg::GetM { line: ln(1), req: CoreId(2) }, 12);
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(0),
+            },
+            0,
+        );
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(1),
+            },
+            10,
+        ); // busy: FetchForS
+        let a = b.handle(
+            Msg::GetM {
+                line: ln(1),
+                req: CoreId(2),
+            },
+            12,
+        );
         assert!(a.is_empty(), "deferred while busy");
         assert_eq!(b.stats.deferred, 1);
         // Owner responds; deferred GetM should start immediately.
         let a = b.handle(
-            Msg::AckData { line: ln(1), from: CoreId(0), dirty: true, retained: true },
+            Msg::AckData {
+                line: ln(1),
+                from: CoreId(0),
+                dirty: true,
+                retained: true,
+            },
             30,
         );
         let s = sends(&a);
         // DataS to core1, then invalidations to cores 0 and 1 for the GetM.
         assert!(matches!(s[0].1, Msg::DataS { .. }));
         assert_eq!(
-            s.iter().filter(|(_, m, _)| matches!(m, Msg::Inv { .. })).count(),
+            s.iter()
+                .filter(|(_, m, _)| matches!(m, Msg::Inv { .. }))
+                .count(),
             2
         );
     }
@@ -402,25 +558,80 @@ mod tests {
     #[test]
     fn putm_from_owner_accepted_from_other_stale() {
         let mut b = bank();
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
-        let a = b.handle(Msg::PutM { line: ln(1), from: CoreId(0) }, 10);
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(0),
+            },
+            0,
+        );
+        let a = b.handle(
+            Msg::PutM {
+                line: ln(1),
+                from: CoreId(0),
+            },
+            10,
+        );
         let s = sends(&a);
-        assert_eq!(s, vec![(NodeId::Core(CoreId(0)), Msg::PutMAck { line: ln(1), stale: false }, 10)]);
+        assert_eq!(
+            s,
+            vec![(
+                NodeId::Core(CoreId(0)),
+                Msg::PutMAck {
+                    line: ln(1),
+                    stale: false
+                },
+                10
+            )]
+        );
         assert_eq!(b.owner_of(ln(1)), None);
         assert_eq!(b.stats.writebacks, 1);
-        let a = b.handle(Msg::PutM { line: ln(1), from: CoreId(3) }, 20);
+        let a = b.handle(
+            Msg::PutM {
+                line: ln(1),
+                from: CoreId(3),
+            },
+            20,
+        );
         let s = sends(&a);
-        assert_eq!(s, vec![(NodeId::Core(CoreId(3)), Msg::PutMAck { line: ln(1), stale: true }, 20)]);
+        assert_eq!(
+            s,
+            vec![(
+                NodeId::Core(CoreId(3)),
+                Msg::PutMAck {
+                    line: ln(1),
+                    stale: true
+                },
+                20
+            )]
+        );
     }
 
     #[test]
     fn fetch_for_m_grants_after_owner_ack() {
         let mut b = bank();
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
-        let a = b.handle(Msg::GetM { line: ln(1), req: CoreId(1) }, 10);
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(0),
+            },
+            0,
+        );
+        let a = b.handle(
+            Msg::GetM {
+                line: ln(1),
+                req: CoreId(1),
+            },
+            10,
+        );
         assert!(matches!(sends(&a)[0].1, Msg::FetchInv { .. }));
         let a = b.handle(
-            Msg::AckData { line: ln(1), from: CoreId(0), dirty: true, retained: false },
+            Msg::AckData {
+                line: ln(1),
+                from: CoreId(0),
+                dirty: true,
+                retained: false,
+            },
             40,
         );
         let s = sends(&a);
@@ -431,9 +642,27 @@ mod tests {
     #[test]
     fn l3_hit_after_writeback_avoids_memory() {
         let mut b = bank();
-        b.handle(Msg::GetS { line: ln(1), req: CoreId(0) }, 0);
-        b.handle(Msg::PutM { line: ln(1), from: CoreId(0) }, 10);
-        let a = b.handle(Msg::GetS { line: ln(1), req: CoreId(1) }, 20);
+        b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(0),
+            },
+            0,
+        );
+        b.handle(
+            Msg::PutM {
+                line: ln(1),
+                from: CoreId(0),
+            },
+            10,
+        );
+        let a = b.handle(
+            Msg::GetS {
+                line: ln(1),
+                req: CoreId(1),
+            },
+            20,
+        );
         let s = sends(&a);
         assert_eq!(s[0].2, 20 + 35, "L3 hit, no memory latency");
     }

@@ -50,7 +50,10 @@ impl<E> Ord for Entry<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -65,7 +68,11 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, cycle: Cycle, payload: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { cycle, seq, payload }));
+        self.heap.push(Reverse(Entry {
+            cycle,
+            seq,
+            payload,
+        }));
     }
 
     /// Pops the earliest event whose cycle is `<= until`, if any.

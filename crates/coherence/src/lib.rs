@@ -52,6 +52,6 @@ pub mod private;
 pub mod stats;
 
 pub use config::MemConfig;
-pub use network::Topology;
 pub use memsys::{MemReqId, MemorySystem, Notice, NoticeKind};
+pub use network::Topology;
 pub use stats::MemStats;

@@ -2,6 +2,7 @@
 //! network, and the event queue behind one core-facing facade.
 
 use sa_isa::{Addr, CoreId, Cycle, Line};
+use sa_trace::{EventKind, NullTracer, TraceEvent, TraceNode, Tracer};
 
 use crate::config::MemConfig;
 use crate::dir::DirBank;
@@ -79,8 +80,42 @@ pub enum Action {
 
 #[derive(Debug)]
 enum Ev {
-    Deliver { to: NodeId, msg: Msg },
+    Deliver { from: NodeId, to: NodeId, msg: Msg },
     Notice { core: CoreId, kind: NoticeKind },
+}
+
+/// The `sa-trace` mirror of a network node.
+fn tnode(n: NodeId) -> TraceNode {
+    match n {
+        NodeId::Core(c) => TraceNode::Core(c.0),
+        NodeId::Bank(b) => TraceNode::Bank(b),
+    }
+}
+
+/// The core-side endpoint a coherence event is stamped with.
+fn core_endpoint(from: NodeId, to: NodeId) -> CoreId {
+    match (from, to) {
+        (_, NodeId::Core(c)) | (NodeId::Core(c), _) => c,
+        _ => CoreId(0),
+    }
+}
+
+/// Stable protocol-level label of a message, for trace viewers.
+fn msg_label(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::GetS { .. } => "GetS",
+        Msg::GetM { .. } => "GetM",
+        Msg::PutM { .. } => "PutM",
+        Msg::DataS { .. } => "DataS",
+        Msg::DataE { .. } => "DataE",
+        Msg::GrantM { .. } => "GrantM",
+        Msg::PutMAck { .. } => "PutMAck",
+        Msg::Inv { .. } => "Inv",
+        Msg::FetchS { .. } => "FetchS",
+        Msg::FetchInv { .. } => "FetchInv",
+        Msg::InvAck { .. } => "InvAck",
+        Msg::AckData { .. } => "AckData",
+    }
 }
 
 /// The full memory system below the cores.
@@ -193,7 +228,7 @@ impl MemorySystem {
             match a {
                 Action::Send { from, to, msg, at } => {
                     let deliver = self.net.send(from, to, at, msg.carries_data());
-                    self.q.schedule(deliver, Ev::Deliver { to, msg });
+                    self.q.schedule(deliver, Ev::Deliver { from, to, msg });
                 }
                 Action::Notice { core, at, kind } => {
                     self.q.schedule(at, Ev::Notice { core, kind });
@@ -203,11 +238,33 @@ impl MemorySystem {
     }
 
     /// Processes all protocol events up to and including cycle `to`,
-    /// accumulating notices for the cores.
+    /// accumulating notices for the cores (untraced).
     pub fn advance(&mut self, to: Cycle) {
+        self.advance_traced(to, &mut NullTracer);
+    }
+
+    /// Processes all protocol events up to and including cycle `to`,
+    /// emitting one [`EventKind::CohMsg`] per delivered protocol message
+    /// (stamped with the core-side endpoint). With [`NullTracer`] this
+    /// monomorphizes to exactly [`MemorySystem::advance`].
+    pub fn advance_traced<T: Tracer>(&mut self, to: Cycle, tracer: &mut T) {
         while let Some((cycle, ev)) = self.q.pop_until(to) {
             match ev {
-                Ev::Deliver { to: node, msg } => {
+                Ev::Deliver {
+                    from,
+                    to: node,
+                    msg,
+                } => {
+                    tracer.emit(|| TraceEvent {
+                        cycle,
+                        core: core_endpoint(from, node),
+                        kind: EventKind::CohMsg {
+                            from: tnode(from),
+                            to: tnode(node),
+                            line: msg.line().base(),
+                            msg: msg_label(&msg),
+                        },
+                    });
                     let actions = match node {
                         NodeId::Bank(b) => self.banks[b as usize].handle(msg, cycle),
                         NodeId::Core(c) => self.ctrls[c.index()].handle(msg, cycle),
@@ -252,14 +309,22 @@ mod tests {
     use super::*;
 
     fn sys(n: usize) -> MemorySystem {
-        MemorySystem::new(MemConfig { prefetch: false, ..MemConfig::with_cores(n) })
+        MemorySystem::new(MemConfig {
+            prefetch: false,
+            ..MemConfig::with_cores(n)
+        })
     }
 
     fn line(i: u64) -> Line {
         Line::from_raw(i)
     }
 
-    fn run_until_load_done(m: &mut MemorySystem, core: CoreId, id: MemReqId, limit: Cycle) -> Cycle {
+    fn run_until_load_done(
+        m: &mut MemorySystem,
+        core: CoreId,
+        id: MemReqId,
+        limit: Cycle,
+    ) -> Cycle {
         for t in 0..limit {
             m.advance(t);
             for n in m.drain_notices(core) {
@@ -367,7 +432,9 @@ mod tests {
         let own = m.issue_ownership(CoreId(0), line(3), 0).unwrap();
         let granted = run_until_own_done(&mut m, CoreId(0), own, 2000);
         m.mark_dirty(CoreId(0), line(3));
-        let id = m.issue_load(CoreId(1), line(3), 0, 3 * 64, granted + 1).unwrap();
+        let id = m
+            .issue_load(CoreId(1), line(3), 0, 3 * 64, granted + 1)
+            .unwrap();
         let done = run_until_load_done(&mut m, CoreId(1), id, granted + 2000);
         assert!(done > granted);
         // Owner keeps a shared copy; no invalidation notice for a FetchS.

@@ -60,7 +60,12 @@ pub enum Msg {
     /// Data/ack response of an owner to `FetchS`/`FetchInv`. `retained`
     /// reports whether the responder kept a shared copy; `dirty` whether
     /// the data had been written.
-    AckData { line: Line, from: CoreId, dirty: bool, retained: bool },
+    AckData {
+        line: Line,
+        from: CoreId,
+        dirty: bool,
+        retained: bool,
+    },
 }
 
 impl Msg {
@@ -103,7 +108,10 @@ mod tests {
     #[test]
     fn line_extraction() {
         let l = Line::from_raw(42);
-        let m = Msg::GetS { line: l, req: CoreId(1) };
+        let m = Msg::GetS {
+            line: l,
+            req: CoreId(1),
+        };
         assert_eq!(m.line(), l);
         assert_eq!(Msg::Inv { line: l }.line(), l);
     }
@@ -113,10 +121,22 @@ mod tests {
         let l = Line::from_raw(1);
         assert!(Msg::DataS { line: l }.carries_data());
         assert!(Msg::GrantM { line: l }.carries_data());
-        assert!(Msg::PutM { line: l, from: CoreId(0) }.carries_data());
-        assert!(!Msg::GetS { line: l, req: CoreId(0) }.carries_data());
+        assert!(Msg::PutM {
+            line: l,
+            from: CoreId(0)
+        }
+        .carries_data());
+        assert!(!Msg::GetS {
+            line: l,
+            req: CoreId(0)
+        }
+        .carries_data());
         assert!(!Msg::Inv { line: l }.carries_data());
-        assert!(!Msg::InvAck { line: l, from: CoreId(0) }.carries_data());
+        assert!(!Msg::InvAck {
+            line: l,
+            from: CoreId(0)
+        }
+        .carries_data());
     }
 
     #[test]

@@ -73,7 +73,13 @@ impl Network {
     /// Creates a fully-connected network (Table III) with the given hop
     /// latency and message sizes.
     pub fn new(hop_latency: u64, data_flits: u64, ctrl_flits: u64) -> Network {
-        Network::with_topology(hop_latency, data_flits, ctrl_flits, Topology::FullyConnected, 0)
+        Network::with_topology(
+            hop_latency,
+            data_flits,
+            ctrl_flits,
+            Topology::FullyConnected,
+            0,
+        )
     }
 
     /// Creates a network with an explicit topology; `n_cores` anchors the
@@ -100,7 +106,11 @@ impl Network {
     /// Accounts for a message injected at `now` from `src` to `dst` and
     /// returns its delivery cycle.
     pub fn send(&mut self, src: NodeId, dst: NodeId, now: Cycle, data: bool) -> Cycle {
-        let flits = if data { self.data_flits } else { self.ctrl_flits };
+        let flits = if data {
+            self.data_flits
+        } else {
+            self.ctrl_flits
+        };
         let hops = self.topology.hops(src, dst, self.n_cores);
         let chan = self.channel_busy_until.entry((src, dst)).or_insert(0);
         let start = now.max(*chan);
@@ -168,7 +178,10 @@ mod tests {
         assert_eq!(t.hops(core(0), core(2), 4), 2);
         assert_eq!(t.hops(core(0), NodeId::Bank(3), 4), 3); // (0,0)->(1,2)
         assert_eq!(t.hops(core(1), core(1), 4), 1, "self traffic still one hop");
-        assert_eq!(Topology::FullyConnected.hops(core(0), NodeId::Bank(7), 4), 1);
+        assert_eq!(
+            Topology::FullyConnected.hops(core(0), NodeId::Bank(7), 4),
+            1
+        );
     }
 
     #[test]

@@ -47,7 +47,13 @@ impl StridePrefetcher {
         let e = &mut self.table[idx];
         let tag = pc;
         if !e.valid || e.tag != tag {
-            *e = StrideEntry { tag, last_addr: addr, stride: 0, confidence: 0, valid: true };
+            *e = StrideEntry {
+                tag,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
             return Vec::new();
         }
         let new_stride = addr as i64 - e.last_addr as i64;

@@ -121,17 +121,32 @@ impl PrivateCtrl {
     }
 
     fn send(&self, to: NodeId, msg: Msg, at: Cycle, out: &mut Vec<Action>) {
-        out.push(Action::Send { from: self.node, to, msg, at });
+        out.push(Action::Send {
+            from: self.node,
+            to,
+            msg,
+            at,
+        });
     }
 
     fn notice(&self, kind: NoticeKind, at: Cycle, out: &mut Vec<Action>) {
-        out.push(Action::Notice { core: self.core, at, kind });
+        out.push(Action::Notice {
+            core: self.core,
+            at,
+            kind,
+        });
     }
 
     /// `true` when the private hierarchy holds `line` with write
     /// permission.
     pub fn has_ownership(&self, line: Line) -> bool {
-        matches!(self.l2.peek(line), Some(L2Entry { state: PState::X, .. }))
+        matches!(
+            self.l2.peek(line),
+            Some(L2Entry {
+                state: PState::X,
+                ..
+            })
+        )
     }
 
     /// Marks an owned line dirty (the store-commit L1 write).
@@ -167,11 +182,19 @@ impl PrivateCtrl {
             self.l2.touch(line);
             if self.l1.touch(line) {
                 self.stats.l1_hits += 1;
-                self.notice(NoticeKind::LoadDone { id: req }, now + self.l1_latency, &mut out);
+                self.notice(
+                    NoticeKind::LoadDone { id: req },
+                    now + self.l1_latency,
+                    &mut out,
+                );
             } else {
                 self.stats.l2_hits += 1;
                 let _ = self.l1.insert(line, ()); // L1 victims stay in L2
-                self.notice(NoticeKind::LoadDone { id: req }, now + self.l2_latency, &mut out);
+                self.notice(
+                    NoticeKind::LoadDone { id: req },
+                    now + self.l2_latency,
+                    &mut out,
+                );
             }
         } else if let Some(m) = self.mshrs.get_mut(&line) {
             self.stats.demand_loads += 1;
@@ -186,11 +209,18 @@ impl PrivateCtrl {
             self.stats.misses += 1;
             self.mshrs.insert(
                 line,
-                Mshr { pending: Some(Pending::GetS), load_waiters: vec![req], ..Mshr::default() },
+                Mshr {
+                    pending: Some(Pending::GetS),
+                    load_waiters: vec![req],
+                    ..Mshr::default()
+                },
             );
             self.send(
                 self.home(line),
-                Msg::GetS { line, req: self.core },
+                Msg::GetS {
+                    line,
+                    req: self.core,
+                },
                 now + self.l2_latency,
                 &mut out,
             );
@@ -212,9 +242,21 @@ impl PrivateCtrl {
             self.stats.prefetches += 1;
             self.mshrs.insert(
                 line,
-                Mshr { pending: Some(Pending::GetS), prefetch: true, ..Mshr::default() },
+                Mshr {
+                    pending: Some(Pending::GetS),
+                    prefetch: true,
+                    ..Mshr::default()
+                },
             );
-            self.send(self.home(line), Msg::GetS { line, req: self.core }, now, out);
+            self.send(
+                self.home(line),
+                Msg::GetS {
+                    line,
+                    req: self.core,
+                },
+                now,
+                out,
+            );
         }
     }
 
@@ -241,11 +283,18 @@ impl PrivateCtrl {
         self.stats.ownership_reqs += 1;
         self.mshrs.insert(
             line,
-            Mshr { pending: Some(Pending::GetM), own_waiters: vec![req], ..Mshr::default() },
+            Mshr {
+                pending: Some(Pending::GetM),
+                own_waiters: vec![req],
+                ..Mshr::default()
+            },
         );
         self.send(
             self.home(line),
-            Msg::GetM { line, req: self.core },
+            Msg::GetM {
+                line,
+                req: self.core,
+            },
             now + self.l2_latency,
             &mut out,
         );
@@ -268,7 +317,15 @@ impl PrivateCtrl {
                     self.l2.remove(line);
                     self.notice(NoticeKind::Invalidated { line }, now, &mut out);
                 }
-                self.send(self.home(line), Msg::InvAck { line, from: self.core }, now, &mut out);
+                self.send(
+                    self.home(line),
+                    Msg::InvAck {
+                        line,
+                        from: self.core,
+                    },
+                    now,
+                    &mut out,
+                );
             }
             Msg::FetchS { line } => {
                 if let Some(e) = self.l2.peek_mut(line) {
@@ -278,7 +335,12 @@ impl PrivateCtrl {
                     e.dirty = false;
                     self.send(
                         self.home(line),
-                        Msg::AckData { line, from: self.core, dirty, retained: true },
+                        Msg::AckData {
+                            line,
+                            from: self.core,
+                            dirty,
+                            retained: true,
+                        },
                         now,
                         &mut out,
                     );
@@ -287,7 +349,12 @@ impl PrivateCtrl {
                     debug_assert!(self.wb.contains_key(&line), "FetchS for unknown line");
                     self.send(
                         self.home(line),
-                        Msg::AckData { line, from: self.core, dirty: true, retained: false },
+                        Msg::AckData {
+                            line,
+                            from: self.core,
+                            dirty: true,
+                            retained: false,
+                        },
                         now,
                         &mut out,
                     );
@@ -301,7 +368,12 @@ impl PrivateCtrl {
                     self.notice(NoticeKind::Invalidated { line }, now, &mut out);
                     self.send(
                         self.home(line),
-                        Msg::AckData { line, from: self.core, dirty: e.dirty, retained: false },
+                        Msg::AckData {
+                            line,
+                            from: self.core,
+                            dirty: e.dirty,
+                            retained: false,
+                        },
                         now,
                         &mut out,
                     );
@@ -309,7 +381,12 @@ impl PrivateCtrl {
                     debug_assert!(self.wb.contains_key(&line), "FetchInv for unknown line");
                     self.send(
                         self.home(line),
-                        Msg::AckData { line, from: self.core, dirty: true, retained: false },
+                        Msg::AckData {
+                            line,
+                            from: self.core,
+                            dirty: true,
+                            retained: false,
+                        },
                         now,
                         &mut out,
                     );
@@ -342,7 +419,15 @@ impl PrivateCtrl {
                 // Shared data arrived but a store wants ownership: upgrade.
                 m.pending = Some(Pending::GetM);
                 m.want_own = false;
-                self.send(self.home(line), Msg::GetM { line, req: self.core }, now, out);
+                self.send(
+                    self.home(line),
+                    Msg::GetM {
+                        line,
+                        req: self.core,
+                    },
+                    now,
+                    out,
+                );
                 self.mshrs.insert(line, m);
             }
             PState::S => {
@@ -356,8 +441,13 @@ impl PrivateCtrl {
         if let Some(e) = self.l2.peek_mut(line) {
             e.state = state;
             self.l2.touch(line);
-        } else if let Some((vline, ventry)) = self.l2.insert(line, L2Entry { state, dirty: false })
-        {
+        } else if let Some((vline, ventry)) = self.l2.insert(
+            line,
+            L2Entry {
+                state,
+                dirty: false,
+            },
+        ) {
             self.evict(vline, ventry, now, out);
         }
         if !self.l1.touch(line) {
@@ -374,7 +464,15 @@ impl PrivateCtrl {
             // until the directory acknowledges.
             self.stats.writebacks += 1;
             self.wb.insert(line, ());
-            self.send(self.home(line), Msg::PutM { line, from: self.core }, now, out);
+            self.send(
+                self.home(line),
+                Msg::PutM {
+                    line,
+                    from: self.core,
+                },
+                now,
+                out,
+            );
         }
         // Shared lines drop silently; the directory may send a spurious
         // invalidation later, which `handle` acknowledges gracefully.
@@ -396,7 +494,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> MemConfig {
-        MemConfig { prefetch: false, ..MemConfig::with_cores(2) }
+        MemConfig {
+            prefetch: false,
+            ..MemConfig::with_cores(2)
+        }
     }
 
     fn ctrl() -> PrivateCtrl {
@@ -439,11 +540,17 @@ mod tests {
         assert_eq!(c.mshrs_in_use(), 1);
         // Data arrives.
         let a = c.handle(Msg::DataE { line: ln(5) }, 200);
-        assert_eq!(notice_kinds(&a), vec![(NoticeKind::LoadDone { id: req(1) }, 200)]);
+        assert_eq!(
+            notice_kinds(&a),
+            vec![(NoticeKind::LoadDone { id: req(1) }, 200)]
+        );
         assert_eq!(c.mshrs_in_use(), 0);
         // Second load: L1 hit at +4.
         let a = c.load(req(2), ln(5), 0x404, 5 * 64, 300).unwrap();
-        assert_eq!(notice_kinds(&a), vec![(NoticeKind::LoadDone { id: req(2) }, 304)]);
+        assert_eq!(
+            notice_kinds(&a),
+            vec![(NoticeKind::LoadDone { id: req(2) }, 304)]
+        );
         assert_eq!(c.stats.l1_hits, 1);
     }
 
@@ -461,7 +568,14 @@ mod tests {
 
     #[test]
     fn mshr_exhaustion_rejects() {
-        let mut c = PrivateCtrl::new(CoreId(0), &MemConfig { mshrs: 1, prefetch: false, ..cfg() });
+        let mut c = PrivateCtrl::new(
+            CoreId(0),
+            &MemConfig {
+                mshrs: 1,
+                prefetch: false,
+                ..cfg()
+            },
+        );
         assert!(c.load(req(1), ln(1), 0, 64, 0).is_some());
         assert!(c.load(req(2), ln(2), 0, 128, 0).is_none());
         assert_eq!(c.stats.mshr_rejects, 1);
@@ -527,7 +641,14 @@ mod tests {
         let a = c.handle(Msg::FetchInv { line: ln(5) }, 60);
         let msgs = sent_msgs(&a);
         assert!(
-            matches!(msgs[0], Msg::AckData { dirty: true, retained: false, .. }),
+            matches!(
+                msgs[0],
+                Msg::AckData {
+                    dirty: true,
+                    retained: false,
+                    ..
+                }
+            ),
             "dirty data returned: {msgs:?}"
         );
         assert!(!c.has_ownership(ln(5)));
@@ -545,7 +666,11 @@ mod tests {
         let a = c.handle(Msg::FetchS { line: ln(5) }, 60);
         assert!(matches!(
             sent_msgs(&a)[0],
-            Msg::AckData { dirty: true, retained: true, .. }
+            Msg::AckData {
+                dirty: true,
+                retained: true,
+                ..
+            }
         ));
         assert!(c.contains(ln(5)));
         assert!(!c.has_ownership(ln(5)));
@@ -579,10 +704,20 @@ mod tests {
         let a = c.handle(Msg::FetchInv { line: ln(0) }, 90);
         assert!(matches!(
             sent_msgs(&a)[0],
-            Msg::AckData { dirty: true, retained: false, .. }
+            Msg::AckData {
+                dirty: true,
+                retained: false,
+                ..
+            }
         ));
         // PutMAck clears the buffer.
-        c.handle(Msg::PutMAck { line: ln(0), stale: true }, 100);
+        c.handle(
+            Msg::PutMAck {
+                line: ln(0),
+                stale: true,
+            },
+            100,
+        );
         assert_eq!(c.stats.writebacks, 1);
     }
 }

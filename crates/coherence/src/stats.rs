@@ -60,8 +60,16 @@ mod tests {
     #[test]
     fn sums_across_cores() {
         let mut s = MemStats::default();
-        s.per_core.push(PrivStats { demand_loads: 10, l1_hits: 6, ..Default::default() });
-        s.per_core.push(PrivStats { demand_loads: 30, l1_hits: 24, ..Default::default() });
+        s.per_core.push(PrivStats {
+            demand_loads: 10,
+            l1_hits: 6,
+            ..Default::default()
+        });
+        s.per_core.push(PrivStats {
+            demand_loads: 30,
+            l1_hits: 24,
+            ..Default::default()
+        });
         assert_eq!(s.demand_loads(), 40);
         assert_eq!(s.l1_hits(), 30);
         assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);

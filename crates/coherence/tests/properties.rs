@@ -1,78 +1,106 @@
-//! Property-based tests of the coherence substrate: cache-array
+//! Property-style tests of the coherence substrate: cache-array
 //! invariants, event-queue ordering, and whole-protocol randomized
-//! exercises (no panics, quiescence, single-writer).
+//! exercises (no panics, quiescence, single-writer). Randomness comes
+//! from the in-tree seeded RNG, so every run is deterministic.
 
-use proptest::prelude::*;
 use sa_coherence::cache::CacheArray;
 use sa_coherence::event::EventQueue;
 use sa_coherence::{MemConfig, MemorySystem, NoticeKind};
+use sa_isa::rng::Xoshiro256;
 use sa_isa::{CoreId, Line};
 
-proptest! {
-    /// The array never exceeds capacity, and an inserted line is present
-    /// unless a later insert to the same set evicted it.
-    #[test]
-    fn cache_array_capacity_and_presence(lines in prop::collection::vec(0u64..64, 1..200)) {
+const CASES: usize = 96;
+
+/// The array never exceeds capacity, and an inserted line is present
+/// unless a later insert to the same set evicted it.
+#[test]
+fn cache_array_capacity_and_presence() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0DE_0001);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 200);
         let mut arr: CacheArray<u64> = CacheArray::new(8 * 64, 2); // 4 sets x 2
-        for (i, l) in lines.iter().enumerate() {
-            let line = Line::from_raw(*l);
+        for i in 0..n {
+            let line = Line::from_raw(rng.gen_range_u64(0, 64));
             let victim = arr.insert(line, i as u64);
-            prop_assert!(arr.len() <= 8);
-            prop_assert!(arr.contains(line), "inserted line must be present");
+            assert!(arr.len() <= 8);
+            assert!(arr.contains(line), "inserted line must be present");
             if let Some((v, _)) = victim {
-                prop_assert!(!arr.contains(v), "victim must be gone");
-                prop_assert_ne!(v, line, "never evict the line being inserted");
+                assert!(!arr.contains(v), "victim must be gone");
+                assert_ne!(v, line, "never evict the line being inserted");
             }
         }
     }
+}
 
-    /// After touching a line it survives the next insert into its set
-    /// (true LRU: the most recently used way is never the victim in a
-    /// 2-way set).
-    #[test]
-    fn lru_touch_protects(seed in 0u64..32, other in 0u64..32, incoming in 0u64..32) {
-        let seed = Line::from_raw(seed * 4);        // all in set 0 (4 sets)
-        let other = Line::from_raw(other * 4 + 128);
-        let incoming = Line::from_raw(incoming * 4 + 256);
-        prop_assume!(seed != other && other != incoming && seed != incoming);
+/// After touching a line it survives the next insert into its set
+/// (true LRU: the most recently used way is never the victim in a
+/// 2-way set).
+#[test]
+fn lru_touch_protects() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0DE_0002);
+    let mut tried = 0;
+    while tried < CASES {
+        let seed = Line::from_raw(rng.gen_range_u64(0, 32) * 4); // all in set 0 (4 sets)
+        let other = Line::from_raw(rng.gen_range_u64(0, 32) * 4 + 128);
+        let incoming = Line::from_raw(rng.gen_range_u64(0, 32) * 4 + 256);
+        if seed == other || other == incoming || seed == incoming {
+            continue;
+        }
+        tried += 1;
         let mut arr: CacheArray<()> = CacheArray::new(8 * 64, 2);
         arr.insert(seed, ());
         arr.insert(other, ());
         arr.touch(seed);
         arr.insert(incoming, ());
-        prop_assert!(arr.contains(seed), "MRU line evicted");
+        assert!(arr.contains(seed), "MRU line evicted");
     }
+}
 
-    /// Events pop in nondecreasing cycle order, FIFO within a cycle.
-    #[test]
-    fn event_queue_ordering(events in prop::collection::vec((0u64..50, 0u32..1000), 1..100)) {
+/// Events pop in nondecreasing cycle order, FIFO within a cycle.
+#[test]
+fn event_queue_ordering() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0DE_0003);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 100);
         let mut q = EventQueue::new();
-        for (cycle, tag) in &events {
-            q.schedule(*cycle, (*cycle, *tag));
+        let mut scheduled = Vec::new();
+        for _ in 0..n {
+            let cycle = rng.gen_range_u64(0, 50);
+            let tag = rng.gen_range_u64(0, 1000) as u32;
+            q.schedule(cycle, (cycle, tag));
+            scheduled.push((cycle, tag));
         }
-        let mut last: Option<(u64, usize)> = None; // (cycle, seq index)
+        let mut last: Option<u64> = None;
         let mut popped = 0;
         while let Some((cycle, (ev_cycle, _))) = q.pop_until(u64::MAX) {
-            prop_assert_eq!(cycle, ev_cycle);
-            if let Some((lc, _)) = last {
-                prop_assert!(cycle >= lc, "cycle order violated");
+            assert_eq!(cycle, ev_cycle);
+            if let Some(lc) = last {
+                assert!(cycle >= lc, "cycle order violated");
             }
-            last = Some((cycle, popped));
+            last = Some(cycle);
             popped += 1;
         }
-        prop_assert_eq!(popped, events.len());
+        assert_eq!(popped, scheduled.len());
     }
+}
 
-    /// Randomized protocol exercise: arbitrary interleavings of loads and
-    /// ownership requests never panic, always quiesce, and end with at
-    /// most one owner per line.
-    #[test]
-    fn protocol_random_walk(ops in prop::collection::vec((0u8..4, 0u64..6, any::<bool>()), 1..120)) {
-        let mut m = MemorySystem::new(MemConfig { prefetch: false, ..MemConfig::with_cores(4) });
+/// Randomized protocol exercise: arbitrary interleavings of loads and
+/// ownership requests never panic, always quiesce, and end with at
+/// most one owner per line.
+#[test]
+fn protocol_random_walk() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0DE_0004);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 120);
+        let mut m = MemorySystem::new(MemConfig {
+            prefetch: false,
+            ..MemConfig::with_cores(4)
+        });
         let mut t = 0u64;
-        for (core, line, is_store) in ops {
-            let core = CoreId(core);
-            let line = Line::from_raw(line);
+        for _ in 0..n {
+            let core = CoreId(rng.gen_range_u64(0, 4) as u8);
+            let line = Line::from_raw(rng.gen_range_u64(0, 6));
+            let is_store = rng.gen_bool();
             m.advance(t);
             let _ = m.drain_notices(core);
             if is_store {
@@ -84,21 +112,32 @@ proptest! {
         }
         // Drain everything.
         m.advance(t + 100_000);
-        prop_assert!(m.quiescent(), "protocol wedged");
+        assert!(m.quiescent(), "protocol wedged");
         for l in 0..6u64 {
             let line = Line::from_raw(l);
-            let owners = (0..4u8).filter(|c| m.has_ownership(CoreId(*c), line)).count();
-            prop_assert!(owners <= 1, "line {l} has {owners} owners");
+            let owners = (0..4u8)
+                .filter(|c| m.has_ownership(CoreId(*c), line))
+                .count();
+            assert!(owners <= 1, "line {l} has {owners} owners");
         }
     }
+}
 
-    /// Every issued load eventually completes exactly once.
-    #[test]
-    fn loads_complete_exactly_once(ops in prop::collection::vec((0u8..2, 0u64..4), 1..60)) {
-        let mut m = MemorySystem::new(MemConfig { prefetch: false, ..MemConfig::with_cores(2) });
+/// Every issued load eventually completes exactly once.
+#[test]
+fn loads_complete_exactly_once() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0DE_0005);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 60);
+        let mut m = MemorySystem::new(MemConfig {
+            prefetch: false,
+            ..MemConfig::with_cores(2)
+        });
         let mut t = 0u64;
         let mut issued = Vec::new();
-        for (core, line) in ops {
+        for _ in 0..n {
+            let core = rng.gen_range_u64(0, 2) as u8;
+            let line = rng.gen_range_u64(0, 4);
             m.advance(t);
             for c in 0..2u8 {
                 let _ = m.drain_notices(CoreId(c));
@@ -111,14 +150,14 @@ proptest! {
         m.advance(t + 100_000);
         let mut done = std::collections::HashSet::new();
         for c in 0..2u8 {
-            for n in m.drain_notices(CoreId(c)) {
-                if let NoticeKind::LoadDone { id } = n.kind {
-                    prop_assert!(done.insert((c, id)), "duplicate completion");
+            for notice in m.drain_notices(CoreId(c)) {
+                if let NoticeKind::LoadDone { id } = notice.kind {
+                    assert!(done.insert((c, id)), "duplicate completion");
                 }
             }
         }
         for (core, id) in issued {
-            prop_assert!(done.contains(&(core, id)), "lost completion for {id:?}");
+            assert!(done.contains(&(core, id)), "lost completion for {id:?}");
         }
     }
 }

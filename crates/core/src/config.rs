@@ -65,10 +65,22 @@ impl SimConfig {
         let mut s = String::new();
         s.push_str("System configuration (Table III)\n");
         s.push_str("Processor (Skylake-like)\n");
-        s.push_str(&format!("  Issue / Retire width        {} instructions\n", c.width));
-        s.push_str(&format!("  Reorder buffer              {} entries\n", c.rob_entries));
-        s.push_str(&format!("  Load queue                  {} entries\n", c.lq_entries));
-        s.push_str(&format!("  Store queue + store buffer  {} entries\n", c.sq_sb_entries));
+        s.push_str(&format!(
+            "  Issue / Retire width        {} instructions\n",
+            c.width
+        ));
+        s.push_str(&format!(
+            "  Reorder buffer              {} entries\n",
+            c.rob_entries
+        ));
+        s.push_str(&format!(
+            "  Load queue                  {} entries\n",
+            c.lq_entries
+        ));
+        s.push_str(&format!(
+            "  Store queue + store buffer  {} entries\n",
+            c.sq_sb_entries
+        ));
         s.push_str("  Memory dep. predictor       StoreSet\n");
         s.push_str("  Branch predictor            TAGE (L-TAGE class)\n");
         s.push_str("Memory\n");
@@ -92,14 +104,20 @@ impl SimConfig {
             m.l3_assoc,
             m.l3_latency
         ));
-        s.push_str(&format!("  Memory access time          {} cycles\n", m.mem_latency));
+        s.push_str(&format!(
+            "  Memory access time          {} cycles\n",
+            m.mem_latency
+        ));
         s.push_str("Network\n");
         s.push_str("  Topology                    Fully connected\n");
         s.push_str(&format!(
             "  Data / Control msg size     {} / {} flits\n",
             m.data_flits, m.ctrl_flits
         ));
-        s.push_str(&format!("  Switch-to-switch time       {} cycles\n", m.hop_latency));
+        s.push_str(&format!(
+            "  Switch-to-switch time       {} cycles\n",
+            m.hop_latency
+        ));
         s
     }
 }

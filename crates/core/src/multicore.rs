@@ -4,6 +4,7 @@
 use sa_coherence::{MemReqId, MemorySystem, Notice};
 use sa_isa::{Addr, CoreId, Cycle, Line, Trace, Value, ValueMemory};
 use sa_ooo::{Core, LoadStorePort};
+use sa_trace::{NullTracer, Tracer};
 
 use crate::config::SimConfig;
 use crate::report::Report;
@@ -59,7 +60,10 @@ impl std::fmt::Display for RunError {
                 write!(f, "cycle budget of {limit} exhausted before completion")
             }
             RunError::NoProgress { since } => {
-                write!(f, "no instruction retired since cycle {since} (model deadlock)")
+                write!(
+                    f,
+                    "no instruction retired since cycle {since} (model deadlock)"
+                )
             }
         }
     }
@@ -67,24 +71,44 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// The simulated machine.
+/// The simulated machine, generic over the attached [`Tracer`].
+///
+/// The default instantiation carries a [`NullTracer`], which
+/// monomorphizes every emission site to nothing — `Multicore::new`
+/// builds that untraced machine. Attach a real sink (ring buffer,
+/// counters, `Vec`) with [`Multicore::with_tracer`] and take it back
+/// with [`Multicore::into_tracer`] after the run.
 #[derive(Debug)]
-pub struct Multicore {
+pub struct Multicore<T: Tracer = NullTracer> {
     cfg: SimConfig,
     cores: Vec<Core>,
     mem: MemorySystem,
     valmem: ValueMemory,
     cycle: Cycle,
+    tracer: T,
 }
 
 impl Multicore {
-    /// Builds a machine running `traces[i]` on core `i`.
+    /// Builds an untraced machine running `traces[i]` on core `i`.
     ///
     /// # Panics
     ///
     /// Panics if `traces.len()` differs from the configured core count or
     /// the configuration is invalid.
     pub fn new(cfg: SimConfig, traces: Vec<Trace>) -> Multicore {
+        Multicore::with_tracer(cfg, traces, NullTracer)
+    }
+}
+
+impl<T: Tracer> Multicore<T> {
+    /// Builds a machine running `traces[i]` on core `i`, recording every
+    /// pipeline/gate/SB/coherence event into `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the configured core count or
+    /// the configuration is invalid.
+    pub fn with_tracer(cfg: SimConfig, traces: Vec<Trace>, tracer: T) -> Multicore<T> {
         cfg.validate();
         assert_eq!(
             traces.len(),
@@ -102,7 +126,24 @@ impl Multicore {
             cores,
             cycle: 0,
             cfg,
+            tracer,
         }
+    }
+
+    /// The attached tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Mutable access to the attached tracer (e.g. to drain mid-run).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
+    }
+
+    /// Consumes the machine and returns the tracer with everything it
+    /// recorded.
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// The configuration.
@@ -137,15 +178,24 @@ impl Multicore {
 
     /// Simulates one global cycle.
     pub fn step(&mut self) {
-        self.mem.advance(self.cycle);
+        self.mem.advance_traced(self.cycle, &mut self.tracer);
         for i in 0..self.cores.len() {
             let id = CoreId(i as u8);
             let notices: Vec<Notice> = self.mem.drain_notices(id);
             if self.cores[i].finished() && notices.is_empty() {
                 continue;
             }
-            let mut port = PortView { mem: &mut self.mem, core: id };
-            self.cores[i].tick(self.cycle, &mut port, &mut self.valmem, &notices);
+            let mut port = PortView {
+                mem: &mut self.mem,
+                core: id,
+            };
+            self.cores[i].tick_traced(
+                self.cycle,
+                &mut port,
+                &mut self.valmem,
+                &notices,
+                &mut self.tracer,
+            );
         }
         self.cycle += 1;
     }
@@ -170,7 +220,9 @@ impl Multicore {
                 last_retired = retired;
                 last_progress = self.cycle;
             } else if self.cycle - last_progress > WATCHDOG {
-                return Err(RunError::NoProgress { since: last_progress });
+                return Err(RunError::NoProgress {
+                    since: last_progress,
+                });
             }
         }
         Ok(self.report())
@@ -276,7 +328,10 @@ mod tests {
         let report = sim.run(5_000_000).unwrap();
         assert!(report.mem.invalidations() > 10, "line must ping-pong");
         let final_val = sim.memory().read(0x9000, 8);
-        assert!(final_val == 149 || final_val == 249, "last store wins: {final_val}");
+        assert!(
+            final_val == 149 || final_val == 249,
+            "last store wins: {final_val}"
+        );
     }
 
     /// Cycle-level single-core execution matches the architectural
@@ -303,7 +358,10 @@ mod tests {
                     "{model} r{r}"
                 );
             }
-            assert_eq!(sim.memory().read(0x1040, 8), reference.memory.read(0x1040, 8));
+            assert_eq!(
+                sim.memory().read(0x1040, 8),
+                reference.memory.read(0x1040, 8)
+            );
         }
     }
 

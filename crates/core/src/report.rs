@@ -94,7 +94,11 @@ impl Report {
         let t = self.total();
         let mem = &self.mem;
         let l1 = mem.demand_loads() as f64 + t.sb_commits as f64;
-        let l2: f64 = mem.per_core.iter().map(|c| (c.l2_hits + c.misses) as f64).sum();
+        let l2: f64 = mem
+            .per_core
+            .iter()
+            .map(|c| (c.l2_hits + c.misses) as f64)
+            .sum();
         let l3: f64 = mem.per_bank.iter().map(|b| (b.gets + b.getm) as f64).sum();
         let dram: f64 = mem.per_bank.iter().map(|b| b.l3_misses as f64).sum();
         let flits = mem.flits_sent as f64;
@@ -119,7 +123,12 @@ mod tests {
     use super::*;
 
     fn report(cycles: u64, per_core: Vec<CoreStats>) -> Report {
-        Report { model: ConsistencyModel::X86, cycles, per_core, mem: MemStats::default() }
+        Report {
+            model: ConsistencyModel::X86,
+            cycles,
+            per_core,
+            mem: MemStats::default(),
+        }
     }
 
     #[test]
@@ -148,7 +157,11 @@ mod tests {
 
     #[test]
     fn ipc_computation() {
-        let c = CoreStats { cycles: 100, retired_instrs: 250, ..CoreStats::default() };
+        let c = CoreStats {
+            cycles: 100,
+            retired_instrs: 250,
+            ..CoreStats::default()
+        };
         let r = report(100, vec![c]);
         assert!((r.ipc() - 2.5).abs() < 1e-12);
     }
@@ -162,10 +175,19 @@ mod tests {
 
     #[test]
     fn energy_proxy_counts_events() {
-        let mut r = report(100, vec![CoreStats { sb_commits: 10, ..CoreStats::default() }]);
+        let mut r = report(
+            100,
+            vec![CoreStats {
+                sb_commits: 10,
+                ..CoreStats::default()
+            }],
+        );
         assert!((r.energy_proxy() - 10.0).abs() < 1e-9, "10 L1 writes");
         r.mem.flits_sent = 5;
-        assert!((r.energy_proxy() - 20.0).abs() < 1e-9, "plus 5 flits at weight 2");
+        assert!(
+            (r.energy_proxy() - 20.0).abs() < 1e-9,
+            "plus 5 flits at weight 2"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Instructions (micro-ops) executed by the out-of-order core model.
 
-use crate::{Addr, Reg, Value};
 use crate::trace::Pc;
+use crate::{Addr, Reg, Value};
 
 /// Execution-unit class; determines which issue port class an ALU op
 /// competes for and its default latency.
@@ -61,10 +61,7 @@ impl AluEval {
         match self {
             AluEval::Imm(v) => v,
             AluEval::Move => srcs.first().copied().unwrap_or(0),
-            AluEval::Add => srcs
-                .iter()
-                .copied()
-                .fold(0u64, |a, b| a.wrapping_add(b)),
+            AluEval::Add => srcs.iter().copied().fold(0u64, |a, b| a.wrapping_add(b)),
             AluEval::Xor => srcs.iter().copied().fold(0u64, |a, b| a ^ b),
             AluEval::Opaque => 0,
         }
@@ -217,12 +214,26 @@ mod tests {
 
     #[test]
     fn op_classification() {
-        let ld = Op::Load { dst: Reg::new(1), addr: 0x10, size: 8, addr_src: None };
-        let st = Op::Store { src: StoreOperand::Imm(0), addr: 0x10, size: 8, addr_src: None };
+        let ld = Op::Load {
+            dst: Reg::new(1),
+            addr: 0x10,
+            size: 8,
+            addr_src: None,
+        };
+        let st = Op::Store {
+            src: StoreOperand::Imm(0),
+            addr: 0x10,
+            size: 8,
+            addr_src: None,
+        };
         assert!(ld.is_load() && ld.is_mem() && !ld.is_store());
         assert!(st.is_store() && st.is_mem() && !st.is_load());
-        assert!(Op::Fence.is_mem() == false);
-        assert!(Op::Branch { taken: true, src: None }.is_branch());
+        assert!(!Op::Fence.is_mem());
+        assert!(Op::Branch {
+            taken: true,
+            src: None
+        }
+        .is_branch());
     }
 
     #[test]

@@ -35,17 +35,22 @@ pub fn interpret(trace: &Trace, mut memory: ValueMemory) -> ArchState {
     for instr in trace {
         executed += 1;
         match &instr.op {
-            Op::Alu { dst, srcs, eval, .. } => {
-                let vals: Vec<Value> =
-                    srcs.iter().flatten().map(|r| regs[r.index()]).collect();
+            Op::Alu {
+                dst, srcs, eval, ..
+            } => {
+                let vals: Vec<Value> = srcs.iter().flatten().map(|r| regs[r.index()]).collect();
                 if let Some(d) = dst {
                     regs[d.index()] = eval.eval(&vals);
                 }
             }
-            Op::Load { dst, addr, size, .. } => {
+            Op::Load {
+                dst, addr, size, ..
+            } => {
                 regs[dst.index()] = memory.read(*addr, *size);
             }
-            Op::Store { src, addr, size, .. } => {
+            Op::Store {
+                src, addr, size, ..
+            } => {
                 let v = match src {
                     StoreOperand::Imm(v) => *v,
                     StoreOperand::Reg(r) => regs[r.index()],
@@ -55,7 +60,11 @@ pub fn interpret(trace: &Trace, mut memory: ValueMemory) -> ArchState {
             Op::Branch { .. } | Op::Fence | Op::Nop => {}
         }
     }
-    ArchState { regs, memory, executed }
+    ArchState {
+        regs,
+        memory,
+        executed,
+    }
 }
 
 #[cfg(test)]

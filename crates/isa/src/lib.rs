@@ -30,6 +30,7 @@ pub mod interp;
 pub mod mem;
 pub mod model;
 pub mod reg;
+pub mod rng;
 pub mod trace;
 
 pub use addr::{Addr, Line, LINE_BYTES, LINE_SHIFT};

@@ -128,7 +128,13 @@ mod tests {
         let labels: Vec<&str> = ConsistencyModel::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(
             labels,
-            vec!["x86", "370-NoSpec", "370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"]
+            vec![
+                "x86",
+                "370-NoSpec",
+                "370-SLFSpec",
+                "370-SLFSoS",
+                "370-SLFSoS-key"
+            ]
         );
     }
 }

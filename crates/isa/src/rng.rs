@@ -1,0 +1,193 @@
+//! In-tree deterministic random number generation.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace carries its own generator instead of depending on `rand`:
+//! a [`SplitMix64`] seeder feeding a [`Xoshiro256`] (xoshiro256**)
+//! stream — the standard pairing recommended by Blackman & Vigna.
+//! Everything downstream (workload generation, randomized tests) is
+//! seeded and fully deterministic.
+
+/// SplitMix64 — a tiny, statistically solid 64-bit generator, used here
+/// to expand one `u64` seed into the 256-bit xoshiro state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — the workspace's general-purpose generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// A generator seeded via SplitMix64 from one `u64`.
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256 {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32-bit output (upper bits of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `bool`.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform draw from `[lo, hi)` (half-open, like `Rng::gen_range`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire); the retry loop is entered
+        // with probability span/2^64, i.e. essentially never for the
+        // small spans the simulator draws.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(span as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// A uniform draw from the inclusive range `[lo, hi]`.
+    pub fn gen_range_inclusive_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        self.gen_range_u64(lo, hi + 1)
+    }
+
+    /// A uniform draw from `[lo, hi)` as `usize`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567, cross-checked against the
+        // published SplitMix64 reference implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let first: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+        assert_eq!(first[0], 6457827717110365317);
+        assert_eq!(first[1], 3203168211198807973);
+        assert_eq!(first[2], 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs for seed 42, cross-checked against an
+        // independent implementation of xoshiro256**.
+        let mut r = Xoshiro256::seed_from_u64(42);
+        assert_eq!(r.next_u64(), 1546998764402558742);
+        assert_eq!(r.next_u64(), 6990951692964543102);
+        assert_eq!(r.next_u64(), 12544586762248559009);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_well_spread() {
+        let mut r = Xoshiro256::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let x = r.gen_f64();
+                assert!((0.0..1.0).contains(&x));
+                x
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_bounds_respected_and_covered() {
+        let mut r = Xoshiro256::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.gen_range_u64(5, 15);
+            assert!((5..15).contains(&x));
+            seen[(x - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all values of a small range hit");
+        for _ in 0..100 {
+            let x = r.gen_range_inclusive_u64(3, 4);
+            assert!(x == 3 || x == 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Xoshiro256::seed_from_u64(0).gen_range_u64(5, 5);
+    }
+}

@@ -62,7 +62,9 @@ impl Trace {
 
 impl FromIterator<Instr> for Trace {
     fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Trace {
-        Trace { instrs: iter.into_iter().collect() }
+        Trace {
+            instrs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -96,7 +98,11 @@ pub struct TraceBuilder {
 impl TraceBuilder {
     /// Creates an empty builder with PCs starting at 0x1000.
     pub fn new() -> TraceBuilder {
-        TraceBuilder { instrs: Vec::new(), next_pc: 0x1000, pinned_pc: None }
+        TraceBuilder {
+            instrs: Vec::new(),
+            next_pc: 0x1000,
+            pinned_pc: None,
+        }
     }
 
     /// Pins the PC of subsequently pushed instructions (to model a loop
@@ -157,22 +163,42 @@ impl TraceBuilder {
 
     /// `ld dst <- [addr]` (8 bytes).
     pub fn load(&mut self, dst: Reg, addr: Addr) -> &mut Self {
-        self.push(Op::Load { dst, addr, size: 8, addr_src: None })
+        self.push(Op::Load {
+            dst,
+            addr,
+            size: 8,
+            addr_src: None,
+        })
     }
 
     /// `ld dst <- [addr]` whose address generation waits on `addr_src`.
     pub fn load_dep(&mut self, dst: Reg, addr: Addr, addr_src: Reg) -> &mut Self {
-        self.push(Op::Load { dst, addr, size: 8, addr_src: Some(addr_src) })
+        self.push(Op::Load {
+            dst,
+            addr,
+            size: 8,
+            addr_src: Some(addr_src),
+        })
     }
 
     /// `st [addr] <- imm` (8 bytes).
     pub fn store_imm(&mut self, addr: Addr, value: Value) -> &mut Self {
-        self.push(Op::Store { src: StoreOperand::Imm(value), addr, size: 8, addr_src: None })
+        self.push(Op::Store {
+            src: StoreOperand::Imm(value),
+            addr,
+            size: 8,
+            addr_src: None,
+        })
     }
 
     /// `st [addr] <- src` (8 bytes).
     pub fn store_reg(&mut self, addr: Addr, src: Reg) -> &mut Self {
-        self.push(Op::Store { src: StoreOperand::Reg(src), addr, size: 8, addr_src: None })
+        self.push(Op::Store {
+            src: StoreOperand::Reg(src),
+            addr,
+            size: 8,
+            addr_src: None,
+        })
     }
 
     /// A store whose *address* resolves only after `addr_src` is produced.
@@ -218,7 +244,12 @@ impl TraceBuilder {
     /// A dependence-only ALU op on `unit` reading `srcs` and producing an
     /// opaque value in `dst`.
     pub fn alu(&mut self, unit: ExecUnit, dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> &mut Self {
-        self.push(Op::Alu { unit, dst, srcs, eval: AluEval::Opaque })
+        self.push(Op::Alu {
+            unit,
+            dst,
+            srcs,
+            eval: AluEval::Opaque,
+        })
     }
 
     /// A conditional branch with outcome `taken`, optionally reading `src`.
@@ -248,7 +279,9 @@ impl TraceBuilder {
 
     /// Finishes the trace.
     pub fn build(self) -> Trace {
-        Trace { instrs: self.instrs }
+        Trace {
+            instrs: self.instrs,
+        }
     }
 }
 
@@ -289,7 +322,12 @@ mod tests {
     #[should_panic(expected = "unsupported access size")]
     fn bad_size_rejected() {
         let mut b = TraceBuilder::new();
-        b.push(Op::Load { dst: Reg::new(0), addr: 0, size: 3, addr_src: None });
+        b.push(Op::Load {
+            dst: Reg::new(0),
+            addr: 0,
+            size: 3,
+            addr_src: None,
+        });
     }
 
     #[test]
@@ -305,7 +343,12 @@ mod tests {
 
     #[test]
     fn trace_from_iterator() {
-        let t: Trace = vec![Instr { pc: Pc(0), op: Op::Nop }].into_iter().collect();
+        let t: Trace = vec![Instr {
+            pc: Pc(0),
+            op: Op::Nop,
+        }]
+        .into_iter()
+        .collect();
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
         assert!(Trace::empty().is_empty());

@@ -1,39 +1,59 @@
-//! Property-based tests of the ISA layer invariants.
+//! Property-style tests of the ISA layer invariants, driven by the
+//! in-tree seeded RNG (deterministic, offline-friendly).
 
-use proptest::prelude::*;
+use sa_isa::rng::Xoshiro256;
 use sa_isa::{addr, Line, ValueMemory, LINE_BYTES};
 
-fn access() -> impl Strategy<Value = (u64, u8)> {
-    // Aligned accesses of size 1/2/4/8 within a 1 MB space.
-    (0u64..(1 << 20), prop::sample::select(vec![1u8, 2, 4, 8]))
-        .prop_map(|(a, s)| (a - a % u64::from(s), s))
+const CASES: u64 = 512;
+
+/// Aligned access of size 1/2/4/8 within a 1 MB space.
+fn access(rng: &mut Xoshiro256) -> (u64, u8) {
+    let s = [1u8, 2, 4, 8][rng.gen_range_usize(0, 4)];
+    let a = rng.gen_range_u64(0, 1 << 20);
+    (a - a % u64::from(s), s)
 }
 
-proptest! {
-    /// What you write is what you read back.
-    #[test]
-    fn valmem_roundtrip((a, s) in access(), v in any::<u64>()) {
+/// What you write is what you read back.
+#[test]
+fn valmem_roundtrip() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1517_0001);
+    for _ in 0..CASES {
+        let (a, s) = access(&mut rng);
+        let v = rng.next_u64();
         let mut m = ValueMemory::new();
         m.write(a, s, v);
-        let mask = if s == 8 { u64::MAX } else { (1u64 << (u64::from(s) * 8)) - 1 };
-        prop_assert_eq!(m.read(a, s), v & mask);
+        let mask = if s == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (u64::from(s) * 8)) - 1
+        };
+        assert_eq!(m.read(a, s), v & mask, "a={a:#x} s={s}");
     }
+}
 
-    /// Writes to disjoint words never interfere.
-    #[test]
-    fn valmem_disjoint_words(a in 0u64..(1 << 16), v1 in any::<u64>(), v2 in any::<u64>()) {
-        let a = a & !7;
+/// Writes to disjoint words never interfere.
+#[test]
+fn valmem_disjoint_words() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1517_0002);
+    for _ in 0..CASES {
+        let a = rng.gen_range_u64(0, 1 << 16) & !7;
         let b = a + 8;
+        let (v1, v2) = (rng.next_u64(), rng.next_u64());
         let mut m = ValueMemory::new();
         m.write(a, 8, v1);
         m.write(b, 8, v2);
-        prop_assert_eq!(m.read(a, 8), v1);
-        prop_assert_eq!(m.read(b, 8), v2);
+        assert_eq!(m.read(a, 8), v1);
+        assert_eq!(m.read(b, 8), v2);
     }
+}
 
-    /// A sub-word write only changes the bytes it covers.
-    #[test]
-    fn valmem_subword_isolation((a, s) in access(), base in any::<u64>(), v in any::<u64>()) {
+/// A sub-word write only changes the bytes it covers.
+#[test]
+fn valmem_subword_isolation() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1517_0003);
+    for _ in 0..CASES {
+        let (a, s) = access(&mut rng);
+        let (base, v) = (rng.next_u64(), rng.next_u64());
         let word = a & !7;
         let mut m = ValueMemory::new();
         m.write(word, 8, base);
@@ -46,46 +66,61 @@ proptest! {
             } else {
                 (base >> (byte * 8)) & 0xff
             };
-            prop_assert_eq!((got >> (byte * 8)) & 0xff, expected, "byte {}", byte);
-        }
-    }
-
-    /// `covers` implies `overlaps`, and both are consistent with the
-    /// interval arithmetic.
-    #[test]
-    fn covers_implies_overlaps((sa, ss) in access(), (la, ls) in access()) {
-        if addr::covers(sa, ss, la, ls) {
-            prop_assert!(addr::overlaps(sa, ss, la, ls));
-            prop_assert!(sa <= la && la + u64::from(ls) <= sa + u64::from(ss));
-        }
-        let o = addr::overlaps(sa, ss, la, ls);
-        let manual = sa < la + u64::from(ls) && la < sa + u64::from(ss);
-        prop_assert_eq!(o, manual);
-    }
-
-    /// Every byte of an access that stays within a line maps to the same
-    /// line.
-    #[test]
-    fn within_line_consistent((a, s) in access()) {
-        if addr::within_line(a, s) {
-            for off in 0..u64::from(s) {
-                prop_assert_eq!(Line::containing(a + off), Line::containing(a));
-            }
-        } else {
-            prop_assert_ne!(
-                Line::containing(a),
-                Line::containing(a + u64::from(s) - 1)
+            assert_eq!(
+                (got >> (byte * 8)) & 0xff,
+                expected,
+                "byte {byte} a={a:#x} s={s}"
             );
         }
     }
+}
 
-    /// Line base/containing are inverse-ish and bank hashing is stable.
-    #[test]
-    fn line_roundtrip(a in any::<u64>() , banks in 1usize..16) {
+/// `covers` implies `overlaps`, and both are consistent with the
+/// interval arithmetic.
+#[test]
+fn covers_implies_overlaps() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1517_0004);
+    for _ in 0..CASES {
+        let (sa, ss) = access(&mut rng);
+        let (la, ls) = access(&mut rng);
+        if addr::covers(sa, ss, la, ls) {
+            assert!(addr::overlaps(sa, ss, la, ls));
+            assert!(sa <= la && la + u64::from(ls) <= sa + u64::from(ss));
+        }
+        let o = addr::overlaps(sa, ss, la, ls);
+        let manual = sa < la + u64::from(ls) && la < sa + u64::from(ss);
+        assert_eq!(o, manual, "sa={sa:#x} ss={ss} la={la:#x} ls={ls}");
+    }
+}
+
+/// Every byte of an access that stays within a line maps to the same
+/// line.
+#[test]
+fn within_line_consistent() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1517_0005);
+    for _ in 0..CASES {
+        let (a, s) = access(&mut rng);
+        if addr::within_line(a, s) {
+            for off in 0..u64::from(s) {
+                assert_eq!(Line::containing(a + off), Line::containing(a));
+            }
+        } else {
+            assert_ne!(Line::containing(a), Line::containing(a + u64::from(s) - 1));
+        }
+    }
+}
+
+/// Line base/containing are inverse-ish and bank hashing is stable.
+#[test]
+fn line_roundtrip() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1517_0006);
+    for _ in 0..CASES {
+        let a = rng.next_u64();
+        let banks = rng.gen_range_usize(1, 16);
         let l = Line::containing(a);
-        prop_assert!(l.base() <= a);
-        prop_assert!(a - l.base() < LINE_BYTES);
-        prop_assert_eq!(Line::containing(l.base()), l);
-        prop_assert!(l.bank(banks) < banks);
+        assert!(l.base() <= a);
+        assert!(a - l.base() < LINE_BYTES);
+        assert_eq!(Line::containing(l.base()), l);
+        assert!(l.bank(banks) < banks);
     }
 }

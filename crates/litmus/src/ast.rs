@@ -55,7 +55,10 @@ impl LitmusTest {
 
     /// Number of loads in thread `t` (its register-slot count).
     pub fn loads_in(&self, t: usize) -> usize {
-        self.threads[t].iter().filter(|o| matches!(o, LOp::Ld(_))).count()
+        self.threads[t]
+            .iter()
+            .filter(|o| matches!(o, LOp::Ld(_)))
+            .count()
     }
 
     /// All variables mentioned, ascending.
@@ -185,7 +188,10 @@ mod tests {
     fn loads_counted_per_thread() {
         let t = LitmusTest::new(
             "t",
-            vec![vec![LOp::Ld(X), LOp::St(Y, 1), LOp::Ld(Y)], vec![LOp::Fence]],
+            vec![
+                vec![LOp::Ld(X), LOp::St(Y, 1), LOp::Ld(Y)],
+                vec![LOp::Fence],
+            ],
         );
         assert_eq!(t.loads_in(0), 2);
         assert_eq!(t.loads_in(1), 0);

@@ -51,7 +51,12 @@ pub fn compare(test: &LitmusTest) -> Comparison {
     let x86 = explore(test, ForwardPolicy::X86);
     let ibm370 = explore(test, ForwardPolicy::StoreAtomic370);
     let non_store_atomic = x86.difference(&ibm370).into_iter().cloned().collect();
-    Comparison { name: test.name, x86, ibm370, non_store_atomic }
+    Comparison {
+        name: test.name,
+        x86,
+        ibm370,
+        non_store_atomic,
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,10 @@ pub fn explore(test: &LitmusTest, policy: ForwardPolicy) -> OutcomeSet {
             continue;
         }
         if s.is_final(test) {
-            outcomes.insert(Outcome { regs: s.regs.clone(), mem: s.mem.clone() });
+            outcomes.insert(Outcome {
+                regs: s.regs.clone(),
+                mem: s.mem.clone(),
+            });
             continue;
         }
         for t in 0..test.threads.len() {
@@ -150,12 +153,16 @@ mod tests {
         // Dekker/sb: both threads may read 0 under TSO.
         let t = LitmusTest::new(
             "sb",
-            vec![vec![LOp::St(X, 1), LOp::Ld(Y)], vec![LOp::St(Y, 1), LOp::Ld(X)]],
+            vec![
+                vec![LOp::St(X, 1), LOp::Ld(Y)],
+                vec![LOp::St(Y, 1), LOp::Ld(X)],
+            ],
         );
         for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
             let set = explore(&t, policy);
             assert!(
-                set.iter().any(|o| o.regs[0] == vec![0] && o.regs[1] == vec![0]),
+                set.iter()
+                    .any(|o| o.regs[0] == vec![0] && o.regs[1] == vec![0]),
                 "{policy:?} must allow the (0,0) outcome"
             );
         }
@@ -173,7 +180,8 @@ mod tests {
         for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
             let set = explore(&t, policy);
             assert!(
-                !set.iter().any(|o| o.regs[0] == vec![0] && o.regs[1] == vec![0]),
+                !set.iter()
+                    .any(|o| o.regs[0] == vec![0] && o.regs[1] == vec![0]),
                 "{policy:?} must forbid (0,0) with fences"
             );
         }

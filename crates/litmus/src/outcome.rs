@@ -19,7 +19,10 @@ impl Outcome {
         cond.regs
             .iter()
             .all(|&(t, slot, v)| self.regs.get(t).and_then(|r| r.get(slot)) == Some(&v))
-            && cond.mem.iter().all(|&(var, v)| self.mem.get(&var) == Some(&v))
+            && cond
+                .mem
+                .iter()
+                .all(|&(var, v)| self.mem.get(&var) == Some(&v))
     }
 }
 
@@ -86,7 +89,10 @@ impl OutcomeSet {
 
     /// Outcomes present here but not in `other`.
     pub fn difference(&self, other: &OutcomeSet) -> Vec<&Outcome> {
-        self.set.iter().filter(|o| !other.set.contains(*o)).collect()
+        self.set
+            .iter()
+            .filter(|o| !other.set.contains(*o))
+            .collect()
     }
 
     /// `true` when `other` contains every outcome of this set.
@@ -97,7 +103,9 @@ impl OutcomeSet {
 
 impl FromIterator<Outcome> for OutcomeSet {
     fn from_iter<T: IntoIterator<Item = Outcome>>(iter: T) -> OutcomeSet {
-        OutcomeSet { set: iter.into_iter().collect() }
+        OutcomeSet {
+            set: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -120,7 +128,10 @@ mod tests {
         assert!(o.matches(&Cond::new().mem(X, 1).mem(Y, 2)));
         assert!(!o.matches(&Cond::new().reg(0, 0, 0)));
         assert!(!o.matches(&Cond::new().mem(X, 9)));
-        assert!(!o.matches(&Cond::new().reg(3, 0, 1)), "missing thread never matches");
+        assert!(
+            !o.matches(&Cond::new().reg(3, 0, 1)),
+            "missing thread never matches"
+        );
         assert!(o.matches(&Cond::new()), "empty condition matches");
     }
 

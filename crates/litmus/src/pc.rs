@@ -48,7 +48,10 @@ impl PcState {
     }
 
     fn is_final(&self, test: &LitmusTest) -> bool {
-        self.pcs.iter().enumerate().all(|(t, &pc)| pc == test.threads[t].len())
+        self.pcs
+            .iter()
+            .enumerate()
+            .all(|(t, &pc)| pc == test.threads[t].len())
             && self.sbs.iter().all(VecDeque::is_empty)
             && self.channels.iter().flatten().all(VecDeque::is_empty)
     }
@@ -72,7 +75,10 @@ pub fn explore_pc(test: &LitmusTest) -> OutcomeSet {
             continue;
         }
         if s.is_final(test) {
-            outcomes.insert(Outcome { regs: s.regs.clone(), mem: s.views[0].clone() });
+            outcomes.insert(Outcome {
+                regs: s.regs.clone(),
+                mem: s.views[0].clone(),
+            });
             continue;
         }
         for t in 0..n {
@@ -102,8 +108,8 @@ pub fn explore_pc(test: &LitmusTest) -> OutcomeSet {
                     LOp::Fence => {
                         // A full fence under PC: SB drained and all own
                         // updates delivered everywhere.
-                        let drained = s.sbs[t].is_empty()
-                            && s.channels[t].iter().all(VecDeque::is_empty);
+                        let drained =
+                            s.sbs[t].is_empty() && s.channels[t].iter().all(VecDeque::is_empty);
                         if drained {
                             let mut x = s.clone();
                             x.pcs[t] += 1;
@@ -218,7 +224,11 @@ mod tests {
             ],
         );
         let pc = explore_pc(&t);
-        let cond = crate::ast::Cond::new().reg(2, 0, 1).reg(2, 1, 0).reg(3, 0, 1).reg(3, 1, 0);
+        let cond = crate::ast::Cond::new()
+            .reg(2, 0, 1)
+            .reg(2, 1, 0)
+            .reg(3, 0, 1)
+            .reg(3, 1, 0);
         assert!(
             pc.contains_matching(&cond),
             "non-cumulative fences cannot restore write atomicity"

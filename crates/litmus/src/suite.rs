@@ -53,7 +53,11 @@ pub fn iriw() -> ClassifiedTest {
                 vec![Ld(Y), Ld(X)],
             ],
         ),
-        condition: Cond::new().reg(2, 0, 1).reg(2, 1, 0).reg(3, 0, 1).reg(3, 1, 0),
+        condition: Cond::new()
+            .reg(2, 0, 1)
+            .reg(2, 1, 0)
+            .reg(3, 0, 1)
+            .reg(3, 1, 0),
         allowed_x86: false,
         allowed_370: false,
     }
@@ -69,13 +73,14 @@ pub fn fig5() -> ClassifiedTest {
     ClassifiedTest {
         test: LitmusTest::new(
             "fig5",
-            vec![
-                vec![St(X, 1), Ld(X), Ld(Y)],
-                vec![St(Y, 1), Ld(Y), Ld(X)],
-            ],
+            vec![vec![St(X, 1), Ld(X), Ld(Y)], vec![St(Y, 1), Ld(Y), Ld(X)]],
         ),
         // Core1: rx=1 (new), ry=0 (old); Core2: ry=1 (new), rx=0 (old).
-        condition: Cond::new().reg(0, 0, 1).reg(0, 1, 0).reg(1, 0, 1).reg(1, 1, 0),
+        condition: Cond::new()
+            .reg(0, 0, 1)
+            .reg(0, 1, 0)
+            .reg(1, 0, 1)
+            .reg(1, 1, 0),
         allowed_x86: true,
         allowed_370: false,
     }
@@ -85,10 +90,7 @@ pub fn fig5() -> ClassifiedTest {
 /// models — store atomicity does not forbid it.
 pub fn sb() -> ClassifiedTest {
     ClassifiedTest {
-        test: LitmusTest::new(
-            "sb",
-            vec![vec![St(X, 1), Ld(Y)], vec![St(Y, 1), Ld(X)]],
-        ),
+        test: LitmusTest::new("sb", vec![vec![St(X, 1), Ld(Y)], vec![St(Y, 1), Ld(X)]]),
         condition: Cond::new().reg(0, 0, 0).reg(1, 0, 0),
         allowed_x86: true,
         allowed_370: true,
@@ -101,10 +103,7 @@ pub fn sb_fences() -> ClassifiedTest {
     ClassifiedTest {
         test: LitmusTest::new(
             "sb+fences",
-            vec![
-                vec![St(X, 1), Fence, Ld(Y)],
-                vec![St(Y, 1), Fence, Ld(X)],
-            ],
+            vec![vec![St(X, 1), Fence, Ld(Y)], vec![St(Y, 1), Fence, Ld(X)]],
         ),
         condition: Cond::new().reg(0, 0, 0).reg(1, 0, 0),
         allowed_x86: false,
@@ -116,10 +115,7 @@ pub fn sb_fences() -> ClassifiedTest {
 /// any TSO.
 pub fn lb() -> ClassifiedTest {
     ClassifiedTest {
-        test: LitmusTest::new(
-            "lb",
-            vec![vec![Ld(X), St(Y, 1)], vec![Ld(Y), St(X, 1)]],
-        ),
+        test: LitmusTest::new("lb", vec![vec![Ld(X), St(Y, 1)], vec![Ld(Y), St(X, 1)]]),
         condition: Cond::new().reg(0, 0, 1).reg(1, 0, 1),
         allowed_x86: false,
         allowed_370: false,
@@ -168,12 +164,15 @@ pub fn fig5_fences() -> ClassifiedTest {
                 vec![St(Y, 1), Fence, Ld(Y), Ld(X)],
             ],
         ),
-        condition: Cond::new().reg(0, 0, 1).reg(0, 1, 0).reg(1, 0, 1).reg(1, 1, 0),
+        condition: Cond::new()
+            .reg(0, 0, 1)
+            .reg(0, 1, 0)
+            .reg(1, 0, 1)
+            .reg(1, 1, 0),
         allowed_x86: false,
         allowed_370: false,
     }
 }
-
 
 /// `wrc` (write-to-read causality): causality through a written flag is
 /// respected by any TSO; forbidden in both models.

@@ -77,7 +77,15 @@ mod tests {
     #[test]
     fn render_contains_all_rows() {
         let s = render_table1();
-        for m in ["370", "x86", "PC", "MCA", "rMCA", "non-MCA", "Store atomicity"] {
+        for m in [
+            "370",
+            "x86",
+            "PC",
+            "MCA",
+            "rMCA",
+            "non-MCA",
+            "Store atomicity",
+        ] {
             assert!(s.contains(m), "missing {m}");
         }
     }

@@ -1,57 +1,75 @@
-//! Property-based tests of the operational models over random programs.
+//! Property-style tests of the operational models over random programs,
+//! driven by the in-tree seeded RNG.
 
-use proptest::prelude::*;
+use sa_isa::rng::Xoshiro256;
 use sa_litmus::ast::{LOp, LitmusTest, Var};
 use sa_litmus::{explore, ForwardPolicy};
 
-fn op_strategy() -> impl Strategy<Value = LOp> {
-    prop_oneof![
-        (0u8..2, 1u64..4).prop_map(|(v, val)| LOp::St(Var(v), val)),
-        (0u8..2).prop_map(|v| LOp::Ld(Var(v))),
-        Just(LOp::Fence),
-    ]
+const CASES: usize = 64;
+
+fn random_op(rng: &mut Xoshiro256) -> LOp {
+    match rng.gen_range_u64(0, 5) {
+        0 | 1 => LOp::St(Var(rng.gen_range_u64(0, 2) as u8), rng.gen_range_u64(1, 4)),
+        2 | 3 => LOp::Ld(Var(rng.gen_range_u64(0, 2) as u8)),
+        _ => LOp::Fence,
+    }
 }
 
-fn program() -> impl Strategy<Value = LitmusTest> {
-    prop::collection::vec(prop::collection::vec(op_strategy(), 1..4), 1..3)
-        .prop_map(|threads| LitmusTest::new("random", threads))
+fn random_program(rng: &mut Xoshiro256) -> LitmusTest {
+    let n_threads = rng.gen_range_usize(1, 3);
+    let threads = (0..n_threads)
+        .map(|_| {
+            let len = rng.gen_range_usize(1, 4);
+            (0..len).map(|_| random_op(rng)).collect()
+        })
+        .collect();
+    LitmusTest::new("random", threads)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The store-atomic 370 model is strictly stronger: its outcome set
-    /// is a subset of x86's on every program.
-    #[test]
-    fn ibm370_subset_of_x86(t in program()) {
+/// The store-atomic 370 model is strictly stronger: its outcome set
+/// is a subset of x86's on every program.
+#[test]
+fn ibm370_subset_of_x86() {
+    let mut rng = Xoshiro256::seed_from_u64(0x11BB_0001);
+    for _ in 0..CASES {
+        let t = random_program(&mut rng);
         let x86 = explore(&t, ForwardPolicy::X86);
         let ibm = explore(&t, ForwardPolicy::StoreAtomic370);
-        prop_assert!(!ibm.is_empty(), "every program terminates");
-        prop_assert!(ibm.is_subset(&x86));
+        assert!(!ibm.is_empty(), "every program terminates");
+        assert!(ibm.is_subset(&x86), "{t:?}");
     }
+}
 
-    /// Per-variable coherence: the final value of each variable is the
-    /// value of some store to it (or its initial 0), in every outcome,
-    /// under both models.
-    #[test]
-    fn final_memory_comes_from_some_store(t in program()) {
+/// Per-variable coherence: the final value of each variable is the
+/// value of some store to it (or its initial 0), in every outcome,
+/// under both models.
+#[test]
+fn final_memory_comes_from_some_store() {
+    let mut rng = Xoshiro256::seed_from_u64(0x11BB_0002);
+    for _ in 0..CASES {
+        let t = random_program(&mut rng);
         for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
             for o in explore(&t, policy).iter() {
                 for (var, val) in &o.mem {
                     let legal = *val == 0
-                        || t.threads.iter().flatten().any(|op| {
-                            matches!(op, LOp::St(v, x) if v == var && x == val)
-                        });
-                    prop_assert!(legal, "{policy:?}: [{var}]={val} from nowhere");
+                        || t.threads
+                            .iter()
+                            .flatten()
+                            .any(|op| matches!(op, LOp::St(v, x) if v == var && x == val));
+                    assert!(legal, "{policy:?}: [{var}]={val} from nowhere");
                 }
             }
         }
     }
+}
 
-    /// Reads-from: every loaded value was written by some store to that
-    /// variable or is the initial 0.
-    #[test]
-    fn loads_read_written_values(t in program()) {
+/// Reads-from: every loaded value was written by some store to that
+/// variable or is the initial 0.
+#[test]
+fn loads_read_written_values() {
+    let mut rng = Xoshiro256::seed_from_u64(0x11BB_0003);
+    for _ in 0..CASES {
+        let t = random_program(&mut rng);
         // Map each load slot back to its variable.
         let load_vars: Vec<Vec<Var>> = t
             .threads
@@ -71,20 +89,25 @@ proptest! {
                     for (slot, val) in regs.iter().enumerate() {
                         let var = load_vars[th][slot];
                         let legal = *val == 0
-                            || t.threads.iter().flatten().any(|op| {
-                                matches!(op, LOp::St(v, x) if *v == var && x == val)
-                            });
-                        prop_assert!(legal, "{policy:?}: {th}:r{slot}={val}");
+                            || t.threads
+                                .iter()
+                                .flatten()
+                                .any(|op| matches!(op, LOp::St(v, x) if *v == var && x == val));
+                        assert!(legal, "{policy:?}: {th}:r{slot}={val}");
                     }
                 }
             }
         }
     }
+}
 
-    /// Fencing every instruction boundary collapses both models to the
-    /// same (SC) outcome set.
-    #[test]
-    fn fully_fenced_programs_agree(t in program()) {
+/// Fencing every instruction boundary collapses both models to the
+/// same (SC) outcome set.
+#[test]
+fn fully_fenced_programs_agree() {
+    let mut rng = Xoshiro256::seed_from_u64(0x11BB_0004);
+    for _ in 0..CASES {
+        let t = random_program(&mut rng);
         let fenced = LitmusTest::new(
             "fenced",
             t.threads
@@ -101,6 +124,6 @@ proptest! {
         );
         let x86 = explore(&fenced, ForwardPolicy::X86);
         let ibm = explore(&fenced, ForwardPolicy::StoreAtomic370);
-        prop_assert_eq!(x86, ibm);
+        assert_eq!(x86, ibm);
     }
 }

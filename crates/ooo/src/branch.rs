@@ -50,7 +50,11 @@ impl Tage {
     }
 
     fn fold(history: u64, bits: u32, out_bits: u32) -> u64 {
-        let h = if bits >= 64 { history } else { history & ((1u64 << bits) - 1) };
+        let h = if bits >= 64 {
+            history
+        } else {
+            history & ((1u64 << bits) - 1)
+        };
         let mut folded = 0u64;
         let mut rest = h;
         let mask = (1u64 << out_bits) - 1;
@@ -134,12 +138,16 @@ impl Tage {
                 let tag = self.tag(pc, t);
                 let e = &mut self.tables[t][idx];
                 if e.useful == 0 {
-                    *e = TaggedEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 };
+                    *e = TaggedEntry {
+                        tag,
+                        ctr: if taken { 0 } else { -1 },
+                        useful: 0,
+                    };
                     allocated = true;
                     break;
                 }
             }
-            if !allocated && self.alloc_tick % 8 == 0 {
+            if !allocated && self.alloc_tick.is_multiple_of(8) {
                 // Gracefully age useful bits so allocation can't starve.
                 for t in start..HIST_LENGTHS.len() {
                     let idx = self.index(pc, t);
@@ -189,7 +197,11 @@ mod tests {
         for _ in 0..100 {
             p.update(0x400, true);
         }
-        assert_eq!(p.mispredicts(), before, "steady-state always-taken is perfect");
+        assert_eq!(
+            p.mispredicts(),
+            before,
+            "steady-state always-taken is perfect"
+        );
     }
 
     #[test]
@@ -207,7 +219,10 @@ mod tests {
             flip = !flip;
         }
         let wrong = p.mispredicts() - before;
-        assert!(wrong < 20, "alternating should be nearly perfect, got {wrong}/200");
+        assert!(
+            wrong < 20,
+            "alternating should be nearly perfect, got {wrong}/200"
+        );
     }
 
     #[test]
@@ -217,7 +232,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut wrong = 0u64;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 62) & 1 == 1;
             if !p.update(0x400, taken) {
                 wrong += 1;

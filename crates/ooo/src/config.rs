@@ -77,7 +77,10 @@ impl CoreConfig {
         assert!(self.lq_entries > 0, "LQ must be non-empty");
         assert!(self.sq_sb_entries > 1, "SQ/SB needs at least two entries");
         assert!(self.sched_window > 0, "scheduler window must be positive");
-        assert!(self.load_ports > 0 && self.store_ports > 0, "need AGU ports");
+        assert!(
+            self.load_ports > 0 && self.store_ports > 0,
+            "need AGU ports"
+        );
         assert!(
             self.sq_sb_entries <= u16::MAX as usize,
             "key position bits limited to 16"
@@ -123,6 +126,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "width")]
     fn zero_width_rejected() {
-        CoreConfig { width: 0, ..CoreConfig::default() }.validate();
+        CoreConfig {
+            width: 0,
+            ..CoreConfig::default()
+        }
+        .validate();
     }
 }

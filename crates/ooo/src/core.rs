@@ -23,23 +23,53 @@
 //!    (ROB/LQ/SQ-SB — Figure 9's metric).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 use sa_coherence::{MemReqId, Notice, NoticeKind};
 use sa_isa::{
     ConsistencyModel, CoreId, Cycle, Line, Op, Reg, StoreOperand, Trace, Value, ValueMemory,
     NUM_REGS,
 };
+use sa_trace::{EventKind, GateOpenReason, NullTracer, TraceEvent, Tracer, UopKind};
 
 use crate::branch::Tage;
 use crate::config::CoreConfig;
-use crate::gate::RetireGate;
+use crate::gate::{Key, RetireGate};
 use crate::lq::{BlockReason, LoadQueue, LoadState};
 use crate::port::LoadStorePort;
 use crate::rob::{Rob, RobEntry, RobId, RobKind, RobState};
 use crate::sq::{extract_forwarded, SearchHit, SqId, StoreQueue};
 use crate::stats::{CoreStats, SquashCause};
 use crate::storeset::StoreSet;
+
+/// The `sa-trace` mirror of a gate/store key.
+fn tkey(k: Key) -> sa_trace::GateKey {
+    sa_trace::GateKey {
+        slot: k.slot,
+        sorting: k.sorting,
+    }
+}
+
+/// The `sa-trace` mirror of a squash cause.
+fn tcause(c: SquashCause) -> sa_trace::SquashKind {
+    match c {
+        SquashCause::MemOrder => sa_trace::SquashKind::MemOrder,
+        SquashCause::LoadLoad => sa_trace::SquashKind::LoadLoad,
+        SquashCause::StoreAtomicity => sa_trace::SquashKind::StoreAtomicity,
+    }
+}
+
+/// Micro-op class of a window entry, for trace labeling.
+fn tuop(kind: &RobKind) -> UopKind {
+    match kind {
+        RobKind::Load => UopKind::Load,
+        RobKind::Store { .. } => UopKind::Store,
+        RobKind::Branch { .. } => UopKind::Branch,
+        RobKind::Alu { .. } => UopKind::Alu,
+        RobKind::Fence => UopKind::Fence,
+        RobKind::Nop => UopKind::Nop,
+    }
+}
 
 /// One simulated out-of-order core.
 #[derive(Debug)]
@@ -133,7 +163,7 @@ impl Core {
         self.bp.mispredict_rate()
     }
 
-    /// Simulates one cycle.
+    /// Simulates one cycle (untraced — every hook compiles away).
     pub fn tick<M: LoadStorePort>(
         &mut self,
         now: Cycle,
@@ -141,46 +171,114 @@ impl Core {
         valmem: &mut ValueMemory,
         notices: &[Notice],
     ) {
+        self.tick_traced(now, mem, valmem, notices, &mut NullTracer);
+    }
+
+    /// Simulates one cycle, emitting structured events into `tracer`.
+    ///
+    /// With [`NullTracer`] this monomorphizes to exactly the untraced
+    /// pipeline: `Tracer::ENABLED` is a compile-time constant, so every
+    /// emission site — including the closure building the event — is
+    /// dead code.
+    pub fn tick_traced<M: LoadStorePort, T: Tracer>(
+        &mut self,
+        now: Cycle,
+        mem: &mut M,
+        valmem: &mut ValueMemory,
+        notices: &[Notice],
+        tracer: &mut T,
+    ) {
         self.stats.cycles += 1;
-        self.process_notices(now, valmem, notices);
-        self.drain_stores(now, mem, valmem);
-        self.process_completions(now);
-        self.retire(now);
-        self.schedule(now, mem);
-        self.dispatch(now);
+        self.process_notices(now, valmem, notices, tracer);
+        self.drain_stores(now, mem, valmem, tracer);
+        self.process_completions(now, tracer);
+        self.retire(now, tracer);
+        self.schedule(now, mem, tracer);
+        self.dispatch(now, tracer);
         if self.gate.is_closed() {
             self.stats.gate_closed_cycles += 1;
         }
+        tracer.emit(|| TraceEvent {
+            cycle: now,
+            core: self.id,
+            kind: EventKind::Occupancy {
+                rob: self.rob.len() as u16,
+                lq: self.lq.len() as u16,
+                sq: self.sq.len() as u16,
+            },
+        });
     }
 
     // ------------------------------------------------------------------
     // Phase 1: memory notices
     // ------------------------------------------------------------------
 
-    fn process_notices(&mut self, now: Cycle, valmem: &ValueMemory, notices: &[Notice]) {
+    fn process_notices<T: Tracer>(
+        &mut self,
+        now: Cycle,
+        valmem: &ValueMemory,
+        notices: &[Notice],
+        tracer: &mut T,
+    ) {
+        let cid = self.id;
         for n in notices {
             match n.kind {
                 NoticeKind::LoadDone { id } => {
+                    tracer.emit(|| TraceEvent {
+                        cycle: now,
+                        core: cid,
+                        kind: EventKind::MemResp {
+                            req: id.0,
+                            rfo: false,
+                        },
+                    });
                     let Some(rob_id) = self.pending_loads.remove(&id) else {
                         continue; // stale response for a squashed load
                     };
-                    self.perform_from_memory(rob_id, now, valmem);
+                    self.perform_from_memory(rob_id, now, valmem, tracer);
                 }
                 NoticeKind::OwnershipDone { id } => {
+                    tracer.emit(|| TraceEvent {
+                        cycle: now,
+                        core: cid,
+                        kind: EventKind::MemResp {
+                            req: id.0,
+                            rfo: true,
+                        },
+                    });
                     if let Some(sq_id) = self.pending_owns.remove(&id) {
                         if let Some(e) = self.sq.get_mut(sq_id) {
                             e.own_req = None; // drain re-checks has_ownership
                         }
                     }
                 }
-                NoticeKind::Invalidated { line } | NoticeKind::Evicted { line } => {
-                    self.snoop_lq(line, now);
+                NoticeKind::Invalidated { line } => {
+                    tracer.emit(|| TraceEvent {
+                        cycle: now,
+                        core: cid,
+                        kind: EventKind::Invalidation { line: line.base() },
+                    });
+                    self.snoop_lq(line, now, tracer);
+                }
+                NoticeKind::Evicted { line } => {
+                    tracer.emit(|| TraceEvent {
+                        cycle: now,
+                        core: cid,
+                        kind: EventKind::Eviction { line: line.base() },
+                    });
+                    self.snoop_lq(line, now, tracer);
                 }
             }
         }
     }
 
-    fn perform_from_memory(&mut self, rob_id: RobId, now: Cycle, valmem: &ValueMemory) {
+    fn perform_from_memory<T: Tracer>(
+        &mut self,
+        rob_id: RobId,
+        now: Cycle,
+        valmem: &ValueMemory,
+        tracer: &mut T,
+    ) {
         let m_spec = self.lq.any_older_unperformed(rob_id);
         let Some(e) = self.lq.get_mut(rob_id) else {
             debug_assert!(false, "completion for a load not in the LQ");
@@ -192,16 +290,32 @@ impl Core {
         e.value = valmem.read(e.addr, e.size);
         e.m_spec = m_spec;
         let value = e.value;
+        let addr = e.addr;
         let r = self.rob.get_mut(rob_id).expect("load still in ROB");
         r.state = RobState::Done;
         r.done_at = now;
         r.result = value;
+        let cid = self.id;
+        tracer.emit(|| TraceEvent {
+            cycle: now,
+            core: cid,
+            kind: EventKind::Perform {
+                rob: rob_id.0,
+                addr,
+                forwarded: false,
+            },
+        });
+        tracer.emit(|| TraceEvent {
+            cycle: now,
+            core: cid,
+            kind: EventKind::Complete { rob: rob_id.0 },
+        });
     }
 
     /// Invalidation/eviction snoop of the load queue — the detection
     /// mechanism of §IV. Finds the oldest *speculative* performed load on
     /// `line` and squashes from it.
-    fn snoop_lq(&mut self, line: Line, now: Cycle) {
+    fn snoop_lq<T: Tracer>(&mut self, line: Line, now: Cycle, tracer: &mut T) {
         let mut victim: Option<(RobId, SquashCause)> = None;
         for e in self.lq.iter() {
             if e.line != line || e.state != LoadState::Performed {
@@ -213,8 +327,8 @@ impl Core {
             // an older store address is still unresolved (D-spec). Once
             // every older access is bound, the load's early perform is
             // no longer observable and a snoop cannot catch it.
-            let classic = self.lq.any_older_unperformed(e.rob_id)
-                || self.sq.any_older_unresolved(e.rob_id);
+            let classic =
+                self.lq.any_older_unperformed(e.rob_id) || self.sq.any_older_unresolved(e.rob_id);
             let sa = match self.model {
                 ConsistencyModel::X86 | ConsistencyModel::Ibm370NoSpec => false,
                 ConsistencyModel::Ibm370SlfSpec => {
@@ -236,7 +350,9 @@ impl Core {
                     // that SLF load is still in the window or already
                     // retired (then the closed gate remembers it).
                     self.gate.is_closed()
-                        || self.lq.older_slf_pending(e.rob_id, |k| self.sq.contains_key(k))
+                        || self
+                            .lq
+                            .older_slf_pending(e.rob_id, |k| self.sq.contains_key(k))
                 }
             };
             if classic || sa {
@@ -250,7 +366,7 @@ impl Core {
             }
         }
         if let Some((rob_id, cause)) = victim {
-            self.squash_from(rob_id, cause, now);
+            self.squash_from(rob_id, cause, now, tracer);
         }
     }
 
@@ -258,33 +374,56 @@ impl Core {
     // Phase 2: store-buffer drain
     // ------------------------------------------------------------------
 
-    fn drain_stores<M: LoadStorePort>(
+    fn drain_stores<M: LoadStorePort, T: Tracer>(
         &mut self,
         now: Cycle,
         mem: &mut M,
         valmem: &mut ValueMemory,
+        tracer: &mut T,
     ) {
         if self.sq.is_empty() {
             return;
         }
+        let cid = self.id;
         // Finish completed commits, strictly in program order (commits
         // start in order with a uniform latency, so done-times are
         // monotonic — TSO's store order to memory).
         while let Some(h) = self.sq.head() {
-            if !h.committing_done.is_some_and(|t| t <= now) {
+            if h.committing_done.is_none_or(|t| t > now) {
                 break;
             }
             let h = self.sq.pop_head().expect("head exists");
             valmem.write(h.addr, h.size, h.value.expect("committed store has data"));
             self.stats.sb_commits += 1;
+            tracer.emit(|| TraceEvent {
+                cycle: now,
+                core: cid,
+                kind: EventKind::SbCommit {
+                    key: tkey(h.key),
+                    addr: h.addr,
+                },
+            });
             match self.model {
-                ConsistencyModel::Ibm370SlfSosKey => {
-                    let _ = self.gate.try_unlock(h.key);
+                ConsistencyModel::Ibm370SlfSosKey if self.gate.try_unlock(h.key) => {
+                    tracer.emit(|| TraceEvent {
+                        cycle: now,
+                        core: cid,
+                        kind: EventKind::GateOpen {
+                            reason: GateOpenReason::KeyMatch(tkey(h.key)),
+                        },
+                    });
                 }
-                ConsistencyModel::Ibm370SlfSos => {
-                    if !self.sq.sb_nonempty() {
-                        self.gate.force_open();
+                ConsistencyModel::Ibm370SlfSos if !self.sq.sb_nonempty() => {
+                    if self.gate.is_closed() {
+                        tracer.emit(|| TraceEvent {
+                            cycle: now,
+                            core: cid,
+                            kind: EventKind::GateOpen {
+                                reason: GateOpenReason::SbEmpty,
+                            },
+                        });
                     }
+                    self.gate.force_open();
                 }
                 _ => {}
             }
@@ -325,6 +464,15 @@ impl Core {
                 if let Some(req) = mem.issue_ownership(line, now) {
                     self.sq.get_mut(id).expect("store present").own_req = Some(req);
                     self.pending_owns.insert(req, id);
+                    tracer.emit(|| TraceEvent {
+                        cycle: now,
+                        core: cid,
+                        kind: EventKind::MemReq {
+                            req: req.0,
+                            line: line.base(),
+                            rfo: true,
+                        },
+                    });
                 }
             }
         }
@@ -354,6 +502,15 @@ impl Core {
                 }
                 self.pending_owns.insert(req, id);
                 rfos += 1;
+                tracer.emit(|| TraceEvent {
+                    cycle: now,
+                    core: cid,
+                    kind: EventKind::MemReq {
+                        req: req.0,
+                        line: line.base(),
+                        rfo: true,
+                    },
+                });
             }
         }
     }
@@ -362,7 +519,8 @@ impl Core {
     // Phase 3: completions
     // ------------------------------------------------------------------
 
-    fn process_completions(&mut self, now: Cycle) {
+    fn process_completions<T: Tracer>(&mut self, now: Cycle, tracer: &mut T) {
+        let cid = self.id;
         while let Some(&Reverse((t, id))) = self.completion_q.peek() {
             if t > now {
                 break;
@@ -376,7 +534,15 @@ impl Core {
             }
             e.state = RobState::Done;
             e.done_at = t;
-            if let RobKind::Branch { mispredicted: true, .. } = e.kind {
+            tracer.emit(|| TraceEvent {
+                cycle: now,
+                core: cid,
+                kind: EventKind::Complete { rob: id.0 },
+            });
+            if let RobKind::Branch {
+                mispredicted: true, ..
+            } = e.kind
+            {
                 self.fetch_resume = now + self.cfg.redirect_penalty;
                 if self.fetch_blocked_on == Some(id) {
                     self.fetch_blocked_on = None;
@@ -389,7 +555,8 @@ impl Core {
     // Phase 4: retire
     // ------------------------------------------------------------------
 
-    fn retire(&mut self, now: Cycle) {
+    fn retire<T: Tracer>(&mut self, now: Cycle, tracer: &mut T) {
+        let cid = self.id;
         for _ in 0..self.cfg.width {
             let Some(head) = self.rob.front() else {
                 break;
@@ -400,15 +567,27 @@ impl Core {
             let id = head.id;
             match head.kind {
                 RobKind::Load => {
-                    if !self.try_retire_load(id, now) {
+                    if !self.try_retire_load(id, now, tracer) {
                         break;
                     }
                 }
                 RobKind::Store { sq } => {
-                    let e = self.sq.get_mut(sq).expect("retiring store in SQ");
-                    e.retired = true;
+                    let (key, addr) = {
+                        let e = self.sq.get_mut(sq).expect("retiring store in SQ");
+                        e.retired = true;
+                        (e.key, e.addr)
+                    };
                     self.stats.retired_stores += 1;
-                    self.pop_retired(now);
+                    tracer.emit(|| TraceEvent {
+                        cycle: now,
+                        core: cid,
+                        kind: EventKind::SbEnter {
+                            rob: id.0,
+                            key: tkey(key),
+                            addr,
+                        },
+                    });
+                    self.pop_retired(now, tracer);
                 }
                 RobKind::Fence => {
                     if self.sq.sb_nonempty() {
@@ -416,21 +595,22 @@ impl Core {
                     }
                     self.fences.remove(&id);
                     self.stats.retired_fences += 1;
-                    self.pop_retired(now);
+                    self.pop_retired(now, tracer);
                 }
                 RobKind::Branch { .. } => {
                     self.stats.retired_branches += 1;
-                    self.pop_retired(now);
+                    self.pop_retired(now, tracer);
                 }
                 RobKind::Alu { .. } | RobKind::Nop => {
-                    self.pop_retired(now);
+                    self.pop_retired(now, tracer);
                 }
             }
         }
     }
 
     /// Returns `false` when the load must stall at the head.
-    fn try_retire_load(&mut self, id: RobId, _now: Cycle) -> bool {
+    fn try_retire_load<T: Tracer>(&mut self, id: RobId, _now: Cycle, tracer: &mut T) -> bool {
+        let cid = self.id;
         // Retire gate (370-SLFSoS / 370-SLFSoS-key).
         if self.model.uses_retire_gate() && self.gate.is_closed() {
             // Multi-key extension: an SLF load (not speculative itself)
@@ -445,6 +625,11 @@ impl Core {
                 if self.gate_stall_cur != Some(id) {
                     self.gate_stall_cur = Some(id);
                     self.stats.gate_stall_events += 1;
+                    tracer.emit(|| TraceEvent {
+                        cycle: _now,
+                        core: cid,
+                        kind: EventKind::GateStall { rob: id.0 },
+                    });
                 }
                 self.stats.gate_stall_cycles += 1;
                 return false;
@@ -473,15 +658,23 @@ impl Core {
                 if self.sq.contains_key(k) {
                     self.gate.close(k);
                     self.stats.gate_closures += 1;
+                    tracer.emit(|| TraceEvent {
+                        cycle: _now,
+                        core: cid,
+                        kind: EventKind::GateClose {
+                            rob: id.0,
+                            key: tkey(k),
+                        },
+                    });
                 }
             }
         }
         self.stats.retired_loads += 1;
-        self.pop_retired(_now);
+        self.pop_retired(_now, tracer);
         true
     }
 
-    fn pop_retired(&mut self, _now: Cycle) {
+    fn pop_retired<T: Tracer>(&mut self, _now: Cycle, tracer: &mut T) {
         let e = self.rob.pop_front().expect("retiring head");
         if let Some(dst) = e.dst {
             self.arch_regs[dst.index()] = e.result;
@@ -490,6 +683,15 @@ impl Core {
             }
         }
         self.stats.retired_instrs += 1;
+        let cid = self.id;
+        tracer.emit(|| TraceEvent {
+            cycle: _now,
+            core: cid,
+            kind: EventKind::Retire {
+                rob: e.id.0,
+                uop: tuop(&e.kind),
+            },
+        });
     }
 
     // ------------------------------------------------------------------
@@ -514,7 +716,8 @@ impl Core {
         ]
     }
 
-    fn schedule<M: LoadStorePort>(&mut self, now: Cycle, mem: &mut M) {
+    fn schedule<M: LoadStorePort, T: Tracer>(&mut self, now: Cycle, mem: &mut M, tracer: &mut T) {
+        let cid = self.id;
         let mut issued = 0usize;
         let mut load_ports = self.cfg.load_ports;
         let mut store_ports = self.cfg.store_ports;
@@ -549,8 +752,14 @@ impl Core {
                         let entry = self.rob.get_mut(id).expect("live");
                         entry.state = RobState::Executing;
                         entry.result = result;
-                        self.completion_q.push(Reverse((now + u64::from(unit.latency()), id)));
+                        self.completion_q
+                            .push(Reverse((now + u64::from(unit.latency()), id)));
                         issued += 1;
+                        tracer.emit(|| TraceEvent {
+                            cycle: now,
+                            core: cid,
+                            kind: EventKind::Issue { rob: id.0 },
+                        });
                     }
                 }
                 RobKind::Branch { .. } => {
@@ -559,6 +768,11 @@ impl Core {
                         entry.state = RobState::Executing;
                         self.completion_q.push(Reverse((now + 1, id)));
                         issued += 1;
+                        tracer.emit(|| TraceEvent {
+                            cycle: now,
+                            core: cid,
+                            kind: EventKind::Issue { rob: id.0 },
+                        });
                     }
                 }
                 RobKind::Load => {
@@ -566,9 +780,14 @@ impl Core {
                     if ready[0] && load_ports > 0 {
                         let entry = self.rob.get_mut(id).expect("live");
                         entry.state = RobState::Executing;
-                        if self.try_execute_load(id, now, mem) {
+                        if self.try_execute_load(id, now, mem, tracer) {
                             load_ports -= 1;
                             issued += 1;
+                            tracer.emit(|| TraceEvent {
+                                cycle: now,
+                                core: cid,
+                                kind: EventKind::Issue { rob: id.0 },
+                            });
                         }
                     }
                 }
@@ -579,7 +798,7 @@ impl Core {
                     if !s.addr_resolved && ready[1] && store_ports > 0 {
                         store_ports -= 1;
                         progressed = true;
-                        self.resolve_store_addr(sq, now);
+                        self.resolve_store_addr(sq, now, tracer);
                     }
                     // Data capture (register read, no port).
                     let e = self.rob.get(id).expect("live");
@@ -594,9 +813,19 @@ impl Core {
                         let entry = self.rob.get_mut(id).expect("live");
                         entry.state = RobState::Done;
                         entry.done_at = now + 1;
+                        tracer.emit(|| TraceEvent {
+                            cycle: now,
+                            core: cid,
+                            kind: EventKind::Complete { rob: id.0 },
+                        });
                     }
                     if progressed {
                         issued += 1;
+                        tracer.emit(|| TraceEvent {
+                            cycle: now,
+                            core: cid,
+                            kind: EventKind::Issue { rob: id.0 },
+                        });
                     }
                 }
                 RobKind::Fence | RobKind::Nop => {
@@ -619,14 +848,19 @@ impl Core {
                 if load_ports == 0 {
                     break;
                 }
-                if self.try_execute_load(id, now, mem) {
+                if self.try_execute_load(id, now, mem, tracer) {
                     load_ports -= 1;
+                    tracer.emit(|| TraceEvent {
+                        cycle: now,
+                        core: cid,
+                        kind: EventKind::Issue { rob: id.0 },
+                    });
                 }
             }
         }
     }
 
-    fn resolve_store_addr(&mut self, sq_id: SqId, now: Cycle) {
+    fn resolve_store_addr<T: Tracer>(&mut self, sq_id: SqId, now: Cycle, tracer: &mut T) {
         let (store_rob, store_pc, addr, size) = {
             let s = self.sq.get_mut(sq_id).expect("resolving store");
             s.addr_resolved = true;
@@ -658,13 +892,19 @@ impl Core {
         }
         if let Some((rob_id, load_pc)) = victim {
             self.ss.train_violation(store_pc, load_pc);
-            self.squash_from(rob_id, SquashCause::MemOrder, now);
+            self.squash_from(rob_id, SquashCause::MemOrder, now, tracer);
         }
     }
 
     /// Runs the load state machine; returns `true` when a port was
     /// consumed (a forward happened or a request was issued).
-    fn try_execute_load<M: LoadStorePort>(&mut self, id: RobId, now: Cycle, mem: &mut M) -> bool {
+    fn try_execute_load<M: LoadStorePort, T: Tracer>(
+        &mut self,
+        id: RobId,
+        now: Cycle,
+        mem: &mut M,
+        tracer: &mut T,
+    ) -> bool {
         let (pc, addr, size, line, prev_state) = {
             let e = self.lq.get(id).expect("load in LQ");
             (e.pc, e.addr, e.size, e.line, e.state)
@@ -699,7 +939,10 @@ impl Core {
         }
 
         match self.sq.search(id, addr, size) {
-            SearchHit::Forward { store, passed_unresolved } => {
+            SearchHit::Forward {
+                store,
+                passed_unresolved,
+            } => {
                 if self.model == ConsistencyModel::Ibm370NoSpec {
                     // Blanket store atomicity: no forwarding from
                     // in-limbo stores; wait for the L1 write.
@@ -732,6 +975,16 @@ impl Core {
                 r.state = RobState::Executing;
                 r.result = value;
                 self.completion_q.push(Reverse((now + 1, id)));
+                let cid = self.id;
+                tracer.emit(|| TraceEvent {
+                    cycle: now,
+                    core: cid,
+                    kind: EventKind::Perform {
+                        rob: id.0,
+                        addr,
+                        forwarded: true,
+                    },
+                });
                 true
             }
             SearchHit::Partial { store } => {
@@ -749,6 +1002,16 @@ impl Core {
                     let e = self.lq.get_mut(id).expect("load in LQ");
                     e.state = LoadState::Issued(req);
                     e.d_spec = passed_unresolved;
+                    let cid = self.id;
+                    tracer.emit(|| TraceEvent {
+                        cycle: now,
+                        core: cid,
+                        kind: EventKind::MemReq {
+                            req: req.0,
+                            line: line.base(),
+                            rfo: false,
+                        },
+                    });
                     true
                 }
                 None => {
@@ -763,7 +1026,7 @@ impl Core {
     // Phase 6: dispatch
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, now: Cycle) {
+    fn dispatch<T: Tracer>(&mut self, now: Cycle, tracer: &mut T) {
         #[derive(PartialEq)]
         enum Stall {
             Rob,
@@ -792,7 +1055,7 @@ impl Core {
                 break;
             }
             let instr = instr.clone();
-            let mispredicted = self.dispatch_one(&instr, now);
+            let mispredicted = self.dispatch_one(&instr, now, tracer);
             self.fetch_idx += 1;
             dispatched += 1;
             if mispredicted {
@@ -811,7 +1074,12 @@ impl Core {
 
     /// Allocates one instruction into the window; returns `true` for a
     /// mispredicted branch (fetch must stall behind it).
-    fn dispatch_one(&mut self, instr: &sa_isa::Instr, now: Cycle) -> bool {
+    fn dispatch_one<T: Tracer>(
+        &mut self,
+        instr: &sa_isa::Instr,
+        now: Cycle,
+        tracer: &mut T,
+    ) -> bool {
         let pc = instr.pc;
         let mut entry = RobEntry {
             id: RobId(0), // assigned by push
@@ -827,8 +1095,13 @@ impl Core {
         };
         let mut mispredicted = false;
         match &instr.op {
-            Op::Alu { unit, srcs, eval, .. } => {
-                entry.kind = RobKind::Alu { unit: *unit, eval: *eval };
+            Op::Alu {
+                unit, srcs, eval, ..
+            } => {
+                entry.kind = RobKind::Alu {
+                    unit: *unit,
+                    eval: *eval,
+                };
                 entry.src_regs = *srcs;
                 entry.deps = [
                     srcs[0].and_then(|r| self.reg_producer[r.index()]),
@@ -860,7 +1133,10 @@ impl Core {
                     self.stats.branch_mispredicts += 1;
                     mispredicted = true;
                 }
-                entry.kind = RobKind::Branch { taken: *taken, mispredicted: !correct };
+                entry.kind = RobKind::Branch {
+                    taken: *taken,
+                    mispredicted: !correct,
+                };
                 entry.src_regs = [*src, None];
                 entry.deps = [src.and_then(|r| self.reg_producer[r.index()]), None];
             }
@@ -876,13 +1152,42 @@ impl Core {
         }
 
         let id = self.rob.push(entry);
+        let cid = self.id;
+        let trace_idx = self.fetch_idx;
+        tracer.emit(|| {
+            let uop = match &instr.op {
+                Op::Load { .. } => UopKind::Load,
+                Op::Store { .. } => UopKind::Store,
+                Op::Branch { .. } => UopKind::Branch,
+                Op::Alu { .. } => UopKind::Alu,
+                Op::Fence => UopKind::Fence,
+                Op::Nop => UopKind::Nop,
+            };
+            TraceEvent {
+                cycle: now,
+                core: cid,
+                kind: EventKind::Dispatch {
+                    rob: id.0,
+                    trace_idx,
+                    pc: pc.0,
+                    uop,
+                },
+            }
+        });
 
         match &instr.op {
-            Op::Load { dst, addr, size, .. } => {
+            Op::Load {
+                dst, addr, size, ..
+            } => {
                 self.lq.alloc(id, pc.0, *addr, *size);
                 let _ = dst;
             }
-            Op::Store { src, addr, size, addr_src } => {
+            Op::Store {
+                src,
+                addr,
+                size,
+                addr_src,
+            } => {
                 let value = match src {
                     StoreOperand::Imm(v) => Some(*v),
                     StoreOperand::Reg(_) => None,
@@ -915,12 +1220,29 @@ impl Core {
     // Squash & replay
     // ------------------------------------------------------------------
 
-    fn squash_from(&mut self, from: RobId, cause: SquashCause, now: Cycle) {
+    fn squash_from<T: Tracer>(
+        &mut self,
+        from: RobId,
+        cause: SquashCause,
+        now: Cycle,
+        tracer: &mut T,
+    ) {
         let removed = self.rob.squash_from(from);
         if removed.is_empty() {
             return;
         }
         self.stats.record_squash(cause, removed.len() as u64);
+        let cid = self.id;
+        let n_removed = removed.len() as u64;
+        tracer.emit(|| TraceEvent {
+            cycle: now,
+            core: cid,
+            kind: EventKind::Squash {
+                from_rob: from.0,
+                uops: n_removed,
+                cause: tcause(cause),
+            },
+        });
         self.fetch_idx = removed[0].trace_idx;
         self.fetch_resume = now + self.cfg.squash_penalty;
         if self.fetch_blocked_on.is_some_and(|b| b >= from) {

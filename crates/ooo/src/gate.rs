@@ -56,7 +56,10 @@ impl RetireGate {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> RetireGate {
         assert!(capacity > 0, "gate needs at least one key register");
-        RetireGate { locked: Vec::with_capacity(capacity), capacity }
+        RetireGate {
+            locked: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// `true` while the gate is closed (any key outstanding).

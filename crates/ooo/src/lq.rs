@@ -86,7 +86,10 @@ pub struct LoadQueue {
 impl LoadQueue {
     /// An empty LQ of `capacity` entries.
     pub fn new(capacity: usize) -> LoadQueue {
-        LoadQueue { entries: VecDeque::with_capacity(capacity), capacity }
+        LoadQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// `true` when no more loads can dispatch.
@@ -129,7 +132,9 @@ impl LoadQueue {
     }
 
     fn position(&self, rob_id: RobId) -> Option<usize> {
-        self.entries.binary_search_by_key(&rob_id, |e| e.rob_id).ok()
+        self.entries
+            .binary_search_by_key(&rob_id, |e| e.rob_id)
+            .ok()
     }
 
     /// Entry of the load with `rob_id`.
@@ -222,7 +227,10 @@ mod tests {
     #[test]
     fn slf_shadow_detection() {
         let mut q = lq();
-        let key = Key { slot: 3, sorting: false };
+        let key = Key {
+            slot: 3,
+            sorting: false,
+        };
         q.alloc(RobId(1), 0, 0x100, 8).slf_key = Some(key);
         q.alloc(RobId(2), 0, 0x108, 8);
         // Store still pending -> shadow over the younger load.

@@ -55,14 +55,20 @@ impl SimpleMem {
     pub fn inject_invalidation(&mut self, line: Line, at: Cycle) {
         self.pending_grants.retain(|&(_, l)| l != line);
         self.owned.remove(&line);
-        self.pending.push(Notice { at, kind: NoticeKind::Invalidated { line } });
+        self.pending.push(Notice {
+            at,
+            kind: NoticeKind::Invalidated { line },
+        });
     }
 
     /// Injects an eviction notice at `at` (and revokes ownership).
     pub fn inject_eviction(&mut self, line: Line, at: Cycle) {
         self.pending_grants.retain(|&(_, l)| l != line);
         self.owned.remove(&line);
-        self.pending.push(Notice { at, kind: NoticeKind::Evicted { line } });
+        self.pending.push(Notice {
+            at,
+            kind: NoticeKind::Evicted { line },
+        });
     }
 
     /// Takes the notices due at or before `now`, in timestamp order, and
@@ -74,8 +80,12 @@ impl SimpleMem {
             }
         }
         self.pending_grants.retain(|&(at, _)| at > now);
-        let mut due: Vec<Notice> =
-            self.pending.iter().filter(|n| n.at <= now).copied().collect();
+        let mut due: Vec<Notice> = self
+            .pending
+            .iter()
+            .filter(|n| n.at <= now)
+            .copied()
+            .collect();
         self.pending.retain(|n| n.at > now);
         due.sort_by_key(|n| n.at);
         due
@@ -98,7 +108,10 @@ impl LoadStorePort for SimpleMem {
         self.next_id += 1;
         let at = now + self.own_latency;
         self.pending_grants.push((at, line));
-        self.pending.push(Notice { at, kind: NoticeKind::OwnershipDone { id } });
+        self.pending.push(Notice {
+            at,
+            kind: NoticeKind::OwnershipDone { id },
+        });
         Some(id)
     }
 

@@ -92,7 +92,11 @@ pub struct Rob {
 impl Rob {
     /// An empty ROB of `capacity` entries.
     pub fn new(capacity: usize) -> Rob {
-        Rob { entries: VecDeque::with_capacity(capacity), capacity, next_id: 0 }
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            next_id: 0,
+        }
     }
 
     /// `true` when no more entries can dispatch.
@@ -157,8 +161,8 @@ impl Rob {
     /// result.
     pub fn dep_satisfied(&self, id: RobId) -> bool {
         match self.entries.front() {
-            None => true,                   // empty ROB: everything retired
-            Some(f) if id < f.id => true,   // retired
+            None => true,                 // empty ROB: everything retired
+            Some(f) if id < f.id => true, // retired
             _ => match self.get(id) {
                 Some(e) => e.state == RobState::Done,
                 None => unreachable!("dependence on a squashed instruction"),

@@ -225,7 +225,10 @@ impl StoreQueue {
                 continue;
             }
             if addr::covers(e.addr, e.size, a, size) {
-                return SearchHit::Forward { store: e.id, passed_unresolved };
+                return SearchHit::Forward {
+                    store: e.id,
+                    passed_unresolved,
+                };
             }
             if addr::overlaps(e.addr, e.size, a, size) {
                 return SearchHit::Partial { store: e.id };
@@ -240,7 +243,10 @@ impl StoreQueue {
     pub fn squash_from(&mut self, from: RobId) -> Vec<SqEntry> {
         let pos = self.entries.partition_point(|e| e.rob_id < from);
         let removed: Vec<SqEntry> = self.entries.split_off(pos).into_iter().collect();
-        debug_assert!(removed.iter().all(|e| !e.retired), "squashed a retired store");
+        debug_assert!(
+            removed.iter().all(|e| !e.retired),
+            "squashed a retired store"
+        );
         self.alloc_count -= removed.len() as u64;
         removed
     }
@@ -259,7 +265,10 @@ impl StoreQueue {
 /// Extracts the bytes `[la, la+lsize)` from a store of `value` at
 /// `[sa, sa+ssize)`; the store must cover the load.
 pub fn extract_forwarded(sa: Addr, ssize: u8, value: Value, la: Addr, lsize: u8) -> Value {
-    debug_assert!(addr::covers(sa, ssize, la, lsize), "store does not cover load");
+    debug_assert!(
+        addr::covers(sa, ssize, la, lsize),
+        "store does not cover load"
+    );
     let shift = (la - sa) * 8;
     let v = value >> shift;
     if lsize == 8 {
@@ -282,14 +291,29 @@ mod tests {
         let mut q = StoreQueue::new(2);
         let a = q.alloc(RobId(0), 0, 0x100, 8, true, Some(1));
         let b = q.alloc(RobId(1), 0, 0x108, 8, true, Some(2));
-        assert_eq!(q.get(a).unwrap().key, Key { slot: 0, sorting: false });
-        assert_eq!(q.get(b).unwrap().key, Key { slot: 1, sorting: false });
+        assert_eq!(
+            q.get(a).unwrap().key,
+            Key {
+                slot: 0,
+                sorting: false
+            }
+        );
+        assert_eq!(
+            q.get(b).unwrap().key,
+            Key {
+                slot: 1,
+                sorting: false
+            }
+        );
         q.pop_head();
         q.pop_head();
         let c = q.alloc(RobId(2), 0, 0x110, 8, true, Some(3));
         assert_eq!(
             q.get(c).unwrap().key,
-            Key { slot: 0, sorting: true },
+            Key {
+                slot: 0,
+                sorting: true
+            },
             "wrap-around flips the sorting bit"
         );
     }
@@ -314,14 +338,22 @@ mod tests {
         let newer = q.alloc(RobId(2), 0, 0x100, 8, true, Some(2));
         // Load at RobId(5) matches the younger of the two stores.
         match q.search(RobId(5), 0x100, 8) {
-            SearchHit::Forward { store, passed_unresolved } => {
+            SearchHit::Forward {
+                store,
+                passed_unresolved,
+            } => {
                 assert_eq!(store, newer);
                 assert!(!passed_unresolved);
             }
             other => panic!("expected forward, got {other:?}"),
         }
         // A load older than both misses.
-        assert_eq!(q.search(RobId(0), 0x100, 8), SearchHit::Miss { passed_unresolved: false });
+        assert_eq!(
+            q.search(RobId(0), 0x100, 8),
+            SearchHit::Miss {
+                passed_unresolved: false
+            }
+        );
     }
 
     #[test]
@@ -330,7 +362,9 @@ mod tests {
         q.alloc(RobId(0), 0, 0x100, 8, true, Some(1));
         q.alloc(RobId(2), 0, 0x900, 8, false, None); // unresolved
         match q.search(RobId(5), 0x100, 8) {
-            SearchHit::Forward { passed_unresolved, .. } => assert!(passed_unresolved),
+            SearchHit::Forward {
+                passed_unresolved, ..
+            } => assert!(passed_unresolved),
             other => panic!("{other:?}"),
         }
         match q.search(RobId(5), 0x700, 8) {
@@ -379,9 +413,18 @@ mod tests {
 
     #[test]
     fn extract_forwarded_subsets() {
-        assert_eq!(extract_forwarded(0x100, 8, 0x1122_3344_5566_7788, 0x100, 8), 0x1122_3344_5566_7788);
-        assert_eq!(extract_forwarded(0x100, 8, 0x1122_3344_5566_7788, 0x104, 4), 0x1122_3344);
-        assert_eq!(extract_forwarded(0x100, 8, 0x1122_3344_5566_7788, 0x100, 1), 0x88);
+        assert_eq!(
+            extract_forwarded(0x100, 8, 0x1122_3344_5566_7788, 0x100, 8),
+            0x1122_3344_5566_7788
+        );
+        assert_eq!(
+            extract_forwarded(0x100, 8, 0x1122_3344_5566_7788, 0x104, 4),
+            0x1122_3344
+        );
+        assert_eq!(
+            extract_forwarded(0x100, 8, 0x1122_3344_5566_7788, 0x100, 1),
+            0x88
+        );
     }
 
     #[test]

@@ -18,8 +18,11 @@ pub enum SquashCause {
 
 impl SquashCause {
     /// All causes.
-    pub const ALL: [SquashCause; 3] =
-        [SquashCause::MemOrder, SquashCause::LoadLoad, SquashCause::StoreAtomicity];
+    pub const ALL: [SquashCause; 3] = [
+        SquashCause::MemOrder,
+        SquashCause::LoadLoad,
+        SquashCause::StoreAtomicity,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -128,7 +131,10 @@ impl CoreStats {
     /// Table IV column: % of instructions re-executed due to
     /// store-atomicity misspeculation.
     pub fn sa_reexec_pct(&self) -> f64 {
-        pct(self.reexec_for(SquashCause::StoreAtomicity), self.retired_instrs)
+        pct(
+            self.reexec_for(SquashCause::StoreAtomicity),
+            self.retired_instrs,
+        )
     }
 
     /// Merges another core's counters into this one (for workload-level
@@ -209,8 +215,16 @@ mod tests {
 
     #[test]
     fn merge_sums_and_maxes() {
-        let mut a = CoreStats { cycles: 100, retired_instrs: 10, ..CoreStats::default() };
-        let b = CoreStats { cycles: 150, retired_instrs: 20, ..CoreStats::default() };
+        let mut a = CoreStats {
+            cycles: 100,
+            retired_instrs: 10,
+            ..CoreStats::default()
+        };
+        let b = CoreStats {
+            cycles: 150,
+            retired_instrs: 20,
+            ..CoreStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 150);
         assert_eq!(a.retired_instrs, 30);

@@ -48,13 +48,19 @@ fn multi_key_gate_reduces_gate_stalls() {
     };
     let single = run_core(
         ConsistencyModel::Ibm370SlfSosKey,
-        CoreConfig { gate_keys: 1, ..CoreConfig::default() },
+        CoreConfig {
+            gate_keys: 1,
+            ..CoreConfig::default()
+        },
         build(),
         SimpleMem::new(4, 150),
     );
     let multi = run_core(
         ConsistencyModel::Ibm370SlfSosKey,
-        CoreConfig { gate_keys: 4, ..CoreConfig::default() },
+        CoreConfig {
+            gate_keys: 4,
+            ..CoreConfig::default()
+        },
         build(),
         SimpleMem::new(4, 150),
     );
@@ -66,7 +72,11 @@ fn multi_key_gate_reduces_gate_stalls() {
         single.1.stats().gate_stall_cycles,
         multi.1.stats().gate_stall_cycles
     );
-    assert_eq!(multi.1.stats().gate_closures, 2, "both SLF loads deposited keys");
+    assert_eq!(
+        multi.1.stats().gate_closures,
+        2,
+        "both SLF loads deposited keys"
+    );
     // Architectural results identical.
     for reg in [r(1), r(2), r(3)] {
         assert_eq!(single.1.arch_reg(reg), multi.1.arch_reg(reg));
@@ -141,7 +151,12 @@ fn fence_blocks_younger_loads_until_retirement() {
 #[test]
 fn partial_overlap_blocks_until_commit() {
     let mut b = TraceBuilder::new();
-    b.push(Op::Store { src: StoreOperand::Imm(0xAABB), addr: A, size: 2, addr_src: None });
+    b.push(Op::Store {
+        src: StoreOperand::Imm(0xAABB),
+        addr: A,
+        size: 2,
+        addr_src: None,
+    });
     b.load(r(1), A); // 8-byte load over a 2-byte store: no forwarding
     let (_, core, valmem) = run_core(
         ConsistencyModel::X86,
@@ -149,7 +164,11 @@ fn partial_overlap_blocks_until_commit() {
         b.build(),
         SimpleMem::new(4, 80),
     );
-    assert_eq!(core.stats().forwarded_loads, 0, "partial overlaps never forward");
+    assert_eq!(
+        core.stats().forwarded_loads,
+        0,
+        "partial overlaps never forward"
+    );
     assert_eq!(core.arch_reg(r(1)), 0xAABB);
     assert_eq!(valmem.read(A, 2), 0xAABB);
 }
@@ -159,8 +178,18 @@ fn partial_overlap_blocks_until_commit() {
 fn subword_forwarding_extracts_bytes() {
     let mut b = TraceBuilder::new();
     b.store_imm(A, 0x1122_3344_5566_7788);
-    b.push(Op::Load { dst: r(1), addr: A + 4, size: 4, addr_src: None });
-    b.push(Op::Load { dst: r(2), addr: A, size: 1, addr_src: None });
+    b.push(Op::Load {
+        dst: r(1),
+        addr: A + 4,
+        size: 4,
+        addr_src: None,
+    });
+    b.push(Op::Load {
+        dst: r(2),
+        addr: A,
+        size: 1,
+        addr_src: None,
+    });
     let (_, core, _) = run_core(
         ConsistencyModel::X86,
         CoreConfig::default(),
@@ -194,7 +223,11 @@ fn mshr_backpressure_retries() {
             }
             self.inner.issue_load(line, pc, addr, now)
         }
-        fn issue_ownership(&mut self, line: sa_isa::Line, now: u64) -> Option<sa_coherence::MemReqId> {
+        fn issue_ownership(
+            &mut self,
+            line: sa_isa::Line,
+            now: u64,
+        ) -> Option<sa_coherence::MemReqId> {
             self.inner.issue_ownership(line, now)
         }
         fn has_ownership(&self, line: sa_isa::Line) -> bool {
@@ -210,8 +243,16 @@ fn mshr_backpressure_retries() {
     let mut b = TraceBuilder::new();
     b.load(r(1), A);
     b.load(r(2), B);
-    let mut core = Core::new(CoreId(0), CoreConfig::default(), ConsistencyModel::X86, b.build());
-    let mut mem = Flaky { inner: SimpleMem::new(4, 10), countdown: 7 };
+    let mut core = Core::new(
+        CoreId(0),
+        CoreConfig::default(),
+        ConsistencyModel::X86,
+        b.build(),
+    );
+    let mut mem = Flaky {
+        inner: SimpleMem::new(4, 10),
+        countdown: 7,
+    };
     let mut valmem = ValueMemory::new();
     valmem.write(A, 8, 5);
     valmem.write(B, 8, 6);
@@ -224,7 +265,10 @@ fn mshr_backpressure_retries() {
             break;
         }
     }
-    assert!(finished_at.is_some(), "loads must retry past MSHR rejection");
+    assert!(
+        finished_at.is_some(),
+        "loads must retry past MSHR rejection"
+    );
     assert_eq!(core.arch_reg(r(1)), 5);
     assert_eq!(core.arch_reg(r(2)), 6);
 }
@@ -245,13 +289,19 @@ fn rfo_prefetch_overlaps_store_misses() {
     let own_latency = 200u64;
     let (t_deep, ..) = run_core(
         ConsistencyModel::X86,
-        CoreConfig { rfo_depth: 32, ..CoreConfig::default() },
+        CoreConfig {
+            rfo_depth: 32,
+            ..CoreConfig::default()
+        },
         build(),
         SimpleMem::new(4, own_latency),
     );
     let (t_shallow, ..) = run_core(
         ConsistencyModel::X86,
-        CoreConfig { rfo_depth: 1, ..CoreConfig::default() },
+        CoreConfig {
+            rfo_depth: 1,
+            ..CoreConfig::default()
+        },
         build(),
         SimpleMem::new(4, own_latency),
     );
@@ -341,7 +391,10 @@ fn sq_wraparound_generations_stay_correct() {
         let i = n - 16 + k;
         assert_eq!(core.arch_reg(r((i % 16) as u8)), 1000 + i, "load {i}");
     }
-    assert!(!core.gate().is_closed(), "gate reopened after the final commit");
+    assert!(
+        !core.gate().is_closed(),
+        "gate reopened after the final commit"
+    );
 }
 
 /// Squash penalty configuration is honored: a larger penalty costs
@@ -360,12 +413,28 @@ fn squash_penalty_scales_cost() {
         }
         b.build()
     };
-    let cfg_small = CoreConfig { squash_penalty: 2, storeset: false, ..CoreConfig::default() };
-    let cfg_large = CoreConfig { squash_penalty: 40, storeset: false, ..CoreConfig::default() };
-    let (t_small, c_small, _) =
-        run_core(ConsistencyModel::X86, cfg_small, build(), SimpleMem::new(4, 10));
-    let (t_large, c_large, _) =
-        run_core(ConsistencyModel::X86, cfg_large, build(), SimpleMem::new(4, 10));
+    let cfg_small = CoreConfig {
+        squash_penalty: 2,
+        storeset: false,
+        ..CoreConfig::default()
+    };
+    let cfg_large = CoreConfig {
+        squash_penalty: 40,
+        storeset: false,
+        ..CoreConfig::default()
+    };
+    let (t_small, c_small, _) = run_core(
+        ConsistencyModel::X86,
+        cfg_small,
+        build(),
+        SimpleMem::new(4, 10),
+    );
+    let (t_large, c_large, _) = run_core(
+        ConsistencyModel::X86,
+        cfg_large,
+        build(),
+        SimpleMem::new(4, 10),
+    );
     assert!(c_small.stats().squashes_for(sa_ooo::SquashCause::MemOrder) > 5);
     assert!(c_large.stats().squashes_for(sa_ooo::SquashCause::MemOrder) > 5);
     assert!(

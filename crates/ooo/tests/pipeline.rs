@@ -33,7 +33,13 @@ fn run_with(
 }
 
 fn run(model: ConsistencyModel, trace: Trace) -> (u64, Core, ValueMemory) {
-    run_with(model, CoreConfig::default(), trace, SimpleMem::new(4, 10), ValueMemory::new())
+    run_with(
+        model,
+        CoreConfig::default(),
+        trace,
+        SimpleMem::new(4, 10),
+        ValueMemory::new(),
+    )
 }
 
 #[test]
@@ -118,7 +124,10 @@ fn key_gate_closes_and_reopens_on_store_commit() {
     let s = core.stats();
     assert_eq!(s.gate_closures, 1, "SLF load closed the gate");
     assert_eq!(s.gate_stall_events, 1, "the younger load stalled once");
-    assert!(s.gate_stall_cycles > 50, "stalled for most of the RFO latency");
+    assert!(
+        s.gate_stall_cycles > 50,
+        "stalled for most of the RFO latency"
+    );
     assert!(!core.gate().is_closed(), "gate reopened at commit");
     assert_eq!(s.retired_instrs, 3);
 }
@@ -169,7 +178,10 @@ fn sos_gate_waits_for_sb_drain_key_does_not() {
         ValueMemory::new(),
     );
     assert!(sos.stats().gate_closed_cycles >= key.stats().gate_closed_cycles);
-    assert!(cyc_sos >= cyc_key, "key reopen is never slower ({cyc_sos} vs {cyc_key})");
+    assert!(
+        cyc_sos >= cyc_key,
+        "key reopen is never slower ({cyc_sos} vs {cyc_key})"
+    );
 }
 
 #[test]
@@ -204,8 +216,13 @@ fn sa_speculative_load_squashes_on_invalidation() {
     mem.inject_invalidation(sa_isa::Line::containing(B), 60);
     let mut valmem = ValueMemory::new();
     valmem.write(B, 8, 5);
-    let (_, core, _) =
-        run_with(ConsistencyModel::Ibm370SlfSosKey, CoreConfig::default(), trace, mem, valmem);
+    let (_, core, _) = run_with(
+        ConsistencyModel::Ibm370SlfSosKey,
+        CoreConfig::default(),
+        trace,
+        mem,
+        valmem,
+    );
     let s = core.stats();
     assert_eq!(s.squashes_for(SquashCause::StoreAtomicity), 1);
     assert!(s.reexec_for(SquashCause::StoreAtomicity) >= 1);
@@ -222,11 +239,20 @@ fn x86_does_not_squash_on_the_same_window() {
     let trace = b.build();
     let mut mem = SimpleMem::new(4, 300);
     mem.inject_invalidation(sa_isa::Line::containing(B), 60);
-    let (_, core, _) =
-        run_with(ConsistencyModel::X86, CoreConfig::default(), trace, mem, ValueMemory::new());
+    let (_, core, _) = run_with(
+        ConsistencyModel::X86,
+        CoreConfig::default(),
+        trace,
+        mem,
+        ValueMemory::new(),
+    );
     let s = core.stats();
     assert_eq!(s.squashes_for(SquashCause::StoreAtomicity), 0);
-    assert_eq!(s.squashes_for(SquashCause::LoadLoad), 0, "ld B was not M-speculative");
+    assert_eq!(
+        s.squashes_for(SquashCause::LoadLoad),
+        0,
+        "ld B was not M-speculative"
+    );
 }
 
 #[test]
@@ -254,8 +280,13 @@ fn m_speculative_load_squashes_on_invalidation_in_x86() {
     let trace = b.build();
     let mut mem = SimpleMem::new(4, 10);
     mem.inject_invalidation(sa_isa::Line::containing(B), 9);
-    let (_, core, _) =
-        run_with(ConsistencyModel::X86, CoreConfig::default(), trace, mem, ValueMemory::new());
+    let (_, core, _) = run_with(
+        ConsistencyModel::X86,
+        CoreConfig::default(),
+        trace,
+        mem,
+        ValueMemory::new(),
+    );
     assert_eq!(core.stats().squashes_for(SquashCause::LoadLoad), 1);
 }
 
@@ -266,7 +297,9 @@ fn branch_mispredicts_cost_cycles() {
         let mut b = TraceBuilder::new();
         let mut x = 7u64;
         for _ in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             b.branch((x >> 62) & 1 == 1, None);
         }
         b.build()
@@ -294,7 +327,11 @@ fn rob_fills_under_long_latency_loads() {
             b.alu(sa_isa::ExecUnit::Int, Some(r(2)), [Some(r(1)), None]);
         }
     }
-    let cfg = CoreConfig { rob_entries: 16, lq_entries: 8, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        rob_entries: 16,
+        lq_entries: 8,
+        ..CoreConfig::default()
+    };
     let (_, core, _) = run_with(
         ConsistencyModel::X86,
         cfg,
@@ -315,7 +352,11 @@ fn sq_fills_under_slow_stores() {
     for i in 0..64 {
         b.store_imm(A + i * 0x100, i);
     }
-    let cfg = CoreConfig { sq_sb_entries: 4, rfo_depth: 1, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        sq_sb_entries: 4,
+        rfo_depth: 1,
+        ..CoreConfig::default()
+    };
     let (_, core, _) = run_with(
         ConsistencyModel::X86,
         cfg,
@@ -323,7 +364,10 @@ fn sq_fills_under_slow_stores() {
         SimpleMem::new(4, 120),
         ValueMemory::new(),
     );
-    assert!(core.stats().sq_stall_cycles > 100, "SQ/SB pressure (radix-like)");
+    assert!(
+        core.stats().sq_stall_cycles > 100,
+        "SQ/SB pressure (radix-like)"
+    );
 }
 
 #[test]
@@ -426,8 +470,14 @@ fn model_performance_ordering_on_forwarding_heavy_code() {
     let slfspec = cycles[&ConsistencyModel::Ibm370SlfSpec];
     let key = cycles[&ConsistencyModel::Ibm370SlfSosKey];
     assert!(nospec > x86, "NoSpec ({nospec}) must trail x86 ({x86})");
-    assert!(key <= nospec, "the paper's proposal beats blanket enforcement");
-    assert!(key <= slfspec, "letting SLF loads retire beats SC-like speculation");
+    assert!(
+        key <= nospec,
+        "the paper's proposal beats blanket enforcement"
+    );
+    assert!(
+        key <= slfspec,
+        "letting SLF loads retire beats SC-like speculation"
+    );
     // This microtrace forwards on every third instruction (5x the most
     // extreme benchmark in the paper), so the gap to x86 is larger than
     // Figure 10's 1.025x — but it must stay the same order of magnitude.

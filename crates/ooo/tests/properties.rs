@@ -1,22 +1,26 @@
-//! Property-based tests of the core's window structures and of the whole
+//! Property-style tests of the core's window structures and of the whole
 //! pipeline on randomized single-threaded programs (architectural
-//! equivalence across all five consistency configurations).
+//! equivalence across all five consistency configurations), driven by
+//! the in-tree seeded RNG.
 
-use proptest::prelude::*;
+use sa_isa::rng::Xoshiro256;
 use sa_isa::{ConsistencyModel, CoreId, Reg, TraceBuilder, ValueMemory};
 use sa_ooo::port::SimpleMem;
 use sa_ooo::rob::RobId;
 use sa_ooo::sq::{SearchHit, StoreQueue};
 use sa_ooo::{Core, CoreConfig};
 
-proptest! {
-    /// Keys of live SQ/SB entries are always unique — the invariant the
-    /// retire gate relies on ("one and only one store matching the key").
-    #[test]
-    fn live_store_keys_are_unique(ops in prop::collection::vec(any::<bool>(), 1..300)) {
+/// Keys of live SQ/SB entries are always unique — the invariant the
+/// retire gate relies on ("one and only one store matching the key").
+#[test]
+fn live_store_keys_are_unique() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5109_0001);
+    for _ in 0..64 {
+        let n = rng.gen_range_usize(1, 300);
         let mut q = StoreQueue::new(8);
         let mut rob_id = 0u64;
-        for push in ops {
+        for _ in 0..n {
+            let push = rng.gen_bool();
             if push && !q.is_full() {
                 rob_id += 1;
                 q.alloc(RobId(rob_id), 0, 0x100 + rob_id * 8 % 512, 8, true, Some(1));
@@ -27,20 +31,32 @@ proptest! {
             let mut dedup = keys.clone();
             dedup.sort_by_key(|k| (k.slot, k.sorting));
             dedup.dedup();
-            prop_assert_eq!(keys.len(), dedup.len(), "duplicate live key");
+            assert_eq!(keys.len(), dedup.len(), "duplicate live key");
         }
     }
+}
 
-    /// The forwarding search returns the youngest older fully-covering
-    /// store, verified against a naive reference model.
-    #[test]
-    fn search_matches_reference(
-        stores in prop::collection::vec((0u64..8, any::<bool>()), 0..8),
-        load_slot in 0u64..8,
-    ) {
+/// The forwarding search returns the youngest older fully-covering
+/// store, verified against a naive reference model.
+#[test]
+fn search_matches_reference() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5109_0002);
+    for _ in 0..512 {
+        let n = rng.gen_range_usize(0, 8);
+        let stores: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.gen_range_u64(0, 8), rng.gen_bool()))
+            .collect();
+        let load_slot = rng.gen_range_u64(0, 8);
         let mut q = StoreQueue::new(16);
         for (i, (slot, resolved)) in stores.iter().enumerate() {
-            q.alloc(RobId(i as u64), 0, 0x100 + slot * 8, 8, *resolved, Some(*slot));
+            q.alloc(
+                RobId(i as u64),
+                0,
+                0x100 + slot * 8,
+                8,
+                *resolved,
+                Some(*slot),
+            );
         }
         let load_rob = RobId(stores.len() as u64 + 1);
         let la = 0x100 + load_slot * 8;
@@ -54,20 +70,31 @@ proptest! {
             .map(|(i, _)| i);
         match q.search(load_rob, la, 8) {
             SearchHit::Forward { store, .. } => {
-                prop_assert_eq!(Some(store.0 as usize), expect);
+                assert_eq!(Some(store.0 as usize), expect);
             }
-            SearchHit::Miss { .. } => prop_assert_eq!(expect, None),
-            SearchHit::Partial { .. } => prop_assert!(false, "no partials generated"),
+            SearchHit::Miss { .. } => assert_eq!(expect, None),
+            SearchHit::Partial { .. } => panic!("no partials generated"),
         }
     }
+}
 
-    /// Architectural results of a random single-threaded program are
-    /// identical across all five consistency configurations and match an
-    /// interpreter — timing may differ, architecture must not.
-    #[test]
-    fn models_match_reference_interpreter(
-        ops in prop::collection::vec((0u8..4, 0u64..6, 1u64..100), 1..60)
-    ) {
+/// Architectural results of a random single-threaded program are
+/// identical across all five consistency configurations and match an
+/// interpreter — timing may differ, architecture must not.
+#[test]
+fn models_match_reference_interpreter() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5109_0003);
+    for _ in 0..48 {
+        let n = rng.gen_range_usize(1, 60);
+        let ops: Vec<(u8, u64, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range_u64(0, 4) as u8,
+                    rng.gen_range_u64(0, 6),
+                    rng.gen_range_u64(1, 100),
+                )
+            })
+            .collect();
         // Reference interpreter.
         let mut ref_mem = std::collections::HashMap::<u64, u64>::new();
         let mut ref_regs = [0u64; 4];
@@ -103,40 +130,66 @@ proptest! {
             let mut valmem = ValueMemory::new();
             let mut t = 0u64;
             while !core.finished() {
-                prop_assert!(t < 1_000_000, "{model} wedged");
+                assert!(t < 1_000_000, "{model} wedged");
                 let notices = mem.take_due(t);
                 core.tick(t, &mut mem, &mut valmem, &notices);
                 t += 1;
             }
             for r in 0..4u8 {
-                prop_assert_eq!(
+                assert_eq!(
                     core.arch_reg(Reg::new(r)),
                     ref_regs[r as usize],
-                    "{} register r{}", model, r
+                    "{model} register r{r}"
                 );
             }
             for (addr, v) in &ref_mem {
-                prop_assert_eq!(valmem.read(*addr, 8), *v, "{} [{:#x}]", model, addr);
+                assert_eq!(valmem.read(*addr, 8), *v, "{model} [{addr:#x}]");
             }
         }
     }
+}
 
-    /// Squash/replay transparency: random invalidations and evictions
-    /// never change the architectural result of a single-threaded
-    /// program (they only cost time).
-    #[test]
-    fn invalidations_are_architecturally_transparent(
-        ops in prop::collection::vec((0u8..3, 0u64..4, 1u64..50), 1..40),
-        invals in prop::collection::vec((0u64..500, 0u64..4, any::<bool>()), 0..10),
-    ) {
+/// Squash/replay transparency: random invalidations and evictions
+/// never change the architectural result of a single-threaded
+/// program (they only cost time).
+#[test]
+fn invalidations_are_architecturally_transparent() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5109_0004);
+    for _ in 0..64 {
+        let n = rng.gen_range_usize(1, 40);
+        let ops: Vec<(u8, u64, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range_u64(0, 3) as u8,
+                    rng.gen_range_u64(0, 4),
+                    rng.gen_range_u64(1, 50),
+                )
+            })
+            .collect();
+        let n_inv = rng.gen_range_usize(0, 10);
+        let invals: Vec<(u64, u64, bool)> = (0..n_inv)
+            .map(|_| {
+                (
+                    rng.gen_range_u64(0, 500),
+                    rng.gen_range_u64(0, 4),
+                    rng.gen_bool(),
+                )
+            })
+            .collect();
         let build = |ops: &[(u8, u64, u64)]| {
             let mut b = TraceBuilder::new();
             for (kind, slot, val) in ops {
                 let addr = 0x1000 + slot * 8;
                 match kind % 3 {
-                    0 => { b.store_imm(addr, *val); }
-                    1 => { b.load(Reg::new((val % 4) as u8), addr); }
-                    _ => { b.add(Reg::new(0), Reg::new(1), Reg::new(2)); }
+                    0 => {
+                        b.store_imm(addr, *val);
+                    }
+                    1 => {
+                        b.load(Reg::new((val % 4) as u8), addr);
+                    }
+                    _ => {
+                        b.add(Reg::new(0), Reg::new(1), Reg::new(2));
+                    }
                 }
             }
             b.build()
@@ -167,8 +220,10 @@ proptest! {
                 core.tick(t, &mut mem, &mut valmem, &notices);
                 t += 1;
             }
-            (0..4u8).map(|r| core.arch_reg(Reg::new(r))).collect::<Vec<_>>()
+            (0..4u8)
+                .map(|r| core.arch_reg(Reg::new(r)))
+                .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(false), run(true));
+        assert_eq!(run(false), run(true));
     }
 }

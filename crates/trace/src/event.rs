@@ -1,0 +1,334 @@
+//! The structured, cycle-stamped event model.
+//!
+//! Every observable step of a simulated execution — µop pipeline stages,
+//! retire-gate episodes, SQ→SB movement and drain, memory requests and
+//! coherence traffic — is one [`TraceEvent`]. The model deliberately uses
+//! only plain integers and `sa-isa` base types so that `sa-trace` sits
+//! *below* the core and coherence crates in the dependency graph; the
+//! emitting crates convert their internal ids (ROB ids, store keys,
+//! network nodes) into these mirrors at the emission site.
+
+use sa_isa::{Addr, CoreId, Cycle};
+
+/// A store's gate key: SQ/SB slot plus the wrap-around sorting bit
+/// (mirror of the `sa-ooo` key type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateKey {
+    /// Position bits (SQ/SB slot index).
+    pub slot: u16,
+    /// Sorting bit (wrap-around parity of the slot).
+    pub sorting: bool,
+}
+
+impl std::fmt::Display for GateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "k{}.{}", self.slot, u8::from(self.sorting))
+    }
+}
+
+/// Micro-op class, for labeling pipeline lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopKind {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+    /// A conditional branch.
+    Branch,
+    /// An ALU op.
+    Alu,
+    /// A full fence.
+    Fence,
+    /// A no-op.
+    Nop,
+}
+
+impl UopKind {
+    /// Short mnemonic for viewers.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UopKind::Load => "ld",
+            UopKind::Store => "st",
+            UopKind::Branch => "br",
+            UopKind::Alu => "alu",
+            UopKind::Fence => "fence",
+            UopKind::Nop => "nop",
+        }
+    }
+}
+
+/// Why a squash happened (mirror of `sa-ooo`'s cause taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashKind {
+    /// Memory-dependence misspeculation (store address resolved under a
+    /// younger performed load).
+    MemOrder,
+    /// Invalidation/eviction hit an M-/D-speculative load (classic
+    /// in-window load-load speculation, present in every config).
+    LoadLoad,
+    /// Invalidation/eviction hit an SA-speculative load — the paper's
+    /// store-atomicity misspeculation.
+    StoreAtomicity,
+}
+
+impl SquashKind {
+    /// Stable label for exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SquashKind::MemOrder => "mem-order",
+            SquashKind::LoadLoad => "load-load",
+            SquashKind::StoreAtomicity => "store-atomicity",
+        }
+    }
+}
+
+/// Why the retire gate opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOpenReason {
+    /// The store matching the locking key wrote to the L1
+    /// (`370-SLFSoS-key`).
+    KeyMatch(GateKey),
+    /// The store buffer drained empty (`370-SLFSoS`).
+    SbEmpty,
+    /// A squash cleared the locking load's window context.
+    Squash,
+}
+
+/// A node of the coherence fabric (mirror of `sa-coherence`'s `NodeId`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceNode {
+    /// A core's private cache controller.
+    Core(u8),
+    /// A shared L3 / directory bank.
+    Bank(u8),
+}
+
+impl std::fmt::Display for TraceNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceNode::Core(c) => write!(f, "C{c}"),
+            TraceNode::Bank(b) => write!(f, "B{b}"),
+        }
+    }
+}
+
+/// The event payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A trace instruction entered the window (fetch/rename/dispatch are
+    /// one stage in this model).
+    Dispatch {
+        /// Unique dynamic instruction id (never reused across squashes).
+        rob: u64,
+        /// Position in the core's static trace.
+        trace_idx: usize,
+        /// Program counter.
+        pc: u64,
+        /// Micro-op class.
+        uop: UopKind,
+    },
+    /// A µop left the waiting state for an execution unit / the memory
+    /// pipeline.
+    Issue {
+        /// Dynamic instruction id.
+        rob: u64,
+    },
+    /// A load bound its value (from the memory system or by forwarding).
+    Perform {
+        /// Dynamic instruction id.
+        rob: u64,
+        /// Byte address.
+        addr: Addr,
+        /// Value came from an in-flight store (SLF).
+        forwarded: bool,
+    },
+    /// A µop's result became available (eligible for retirement).
+    Complete {
+        /// Dynamic instruction id.
+        rob: u64,
+    },
+    /// A µop retired.
+    Retire {
+        /// Dynamic instruction id.
+        rob: u64,
+        /// Micro-op class.
+        uop: UopKind,
+    },
+    /// The window was squashed from `from_rob` (inclusive) to the tail.
+    Squash {
+        /// Oldest squashed dynamic instruction id.
+        from_rob: u64,
+        /// Number of µops removed.
+        uops: u64,
+        /// Cause.
+        cause: SquashKind,
+    },
+    /// The ROB head stalled against a closed retire gate (first cycle of
+    /// an episode only).
+    GateStall {
+        /// Stalled dynamic instruction id.
+        rob: u64,
+    },
+    /// A retiring SLF load closed the retire gate.
+    GateClose {
+        /// The retiring load.
+        rob: u64,
+        /// Key of the forwarding store, locked into the gate.
+        key: GateKey,
+    },
+    /// The retire gate opened.
+    GateOpen {
+        /// What opened it.
+        reason: GateOpenReason,
+    },
+    /// A store retired: its SQ entry is now in the SB portion.
+    SbEnter {
+        /// Dynamic instruction id of the store.
+        rob: u64,
+        /// The store's key.
+        key: GateKey,
+        /// Byte address.
+        addr: Addr,
+    },
+    /// The SB head committed its value to the L1 (globally visible now).
+    SbCommit {
+        /// The store's key.
+        key: GateKey,
+        /// Byte address.
+        addr: Addr,
+    },
+    /// The core issued a request to the memory system.
+    MemReq {
+        /// Request id.
+        req: u64,
+        /// Line base address.
+        line: Addr,
+        /// `true` for ownership (RFO/upgrade), `false` for a demand load.
+        rfo: bool,
+    },
+    /// A memory request completed back at the core.
+    MemResp {
+        /// Request id.
+        req: u64,
+        /// `true` for ownership completions.
+        rfo: bool,
+    },
+    /// A remote store invalidated a line out of this core's hierarchy.
+    Invalidation {
+        /// Line base address.
+        line: Addr,
+    },
+    /// A line left this core's hierarchy for capacity reasons.
+    Eviction {
+        /// Line base address.
+        line: Addr,
+    },
+    /// A coherence message was delivered over the network.
+    CohMsg {
+        /// Sender.
+        from: TraceNode,
+        /// Receiver.
+        to: TraceNode,
+        /// Line base address.
+        line: Addr,
+        /// Message kind label (protocol-level, e.g. `GetM`, `InvAck`).
+        msg: &'static str,
+    },
+    /// Per-cycle window occupancy sample (ROB / LQ / SQ-SB), the raw
+    /// series behind Figure 9's stall attribution.
+    Occupancy {
+        /// ROB entries in use.
+        rob: u16,
+        /// LQ entries in use.
+        lq: u16,
+        /// SQ/SB entries in use.
+        sq: u16,
+    },
+}
+
+/// Number of distinct [`EventKind`] variants (for counter sinks).
+pub const EVENT_KINDS: usize = 17;
+
+impl EventKind {
+    /// Dense index of the variant, `0..EVENT_KINDS`.
+    pub fn index(&self) -> usize {
+        match self {
+            EventKind::Dispatch { .. } => 0,
+            EventKind::Issue { .. } => 1,
+            EventKind::Perform { .. } => 2,
+            EventKind::Complete { .. } => 3,
+            EventKind::Retire { .. } => 4,
+            EventKind::Squash { .. } => 5,
+            EventKind::GateStall { .. } => 6,
+            EventKind::GateClose { .. } => 7,
+            EventKind::GateOpen { .. } => 8,
+            EventKind::SbEnter { .. } => 9,
+            EventKind::SbCommit { .. } => 10,
+            EventKind::MemReq { .. } => 11,
+            EventKind::MemResp { .. } => 12,
+            EventKind::Invalidation { .. } => 13,
+            EventKind::Eviction { .. } => 14,
+            EventKind::CohMsg { .. } => 15,
+            EventKind::Occupancy { .. } => 16,
+        }
+    }
+
+    /// Stable variant label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::Issue { .. } => "issue",
+            EventKind::Perform { .. } => "perform",
+            EventKind::Complete { .. } => "complete",
+            EventKind::Retire { .. } => "retire",
+            EventKind::Squash { .. } => "squash",
+            EventKind::GateStall { .. } => "gate-stall",
+            EventKind::GateClose { .. } => "gate-close",
+            EventKind::GateOpen { .. } => "gate-open",
+            EventKind::SbEnter { .. } => "sb-enter",
+            EventKind::SbCommit { .. } => "sb-commit",
+            EventKind::MemReq { .. } => "mem-req",
+            EventKind::MemResp { .. } => "mem-resp",
+            EventKind::Invalidation { .. } => "invalidation",
+            EventKind::Eviction { .. } => "eviction",
+            EventKind::CohMsg { .. } => "coh-msg",
+            EventKind::Occupancy { .. } => "occupancy",
+        }
+    }
+}
+
+/// Dense index for a variant label (inverse of [`EventKind::label`]).
+pub fn label_index(label: &str) -> Option<usize> {
+    match label {
+        "dispatch" => Some(0),
+        "issue" => Some(1),
+        "perform" => Some(2),
+        "complete" => Some(3),
+        "retire" => Some(4),
+        "squash" => Some(5),
+        "gate-stall" => Some(6),
+        "gate-close" => Some(7),
+        "gate-open" => Some(8),
+        "sb-enter" => Some(9),
+        "sb-commit" => Some(10),
+        "mem-req" => Some(11),
+        "mem-resp" => Some(12),
+        "invalidation" => Some(13),
+        "eviction" => Some(14),
+        "coh-msg" => Some(15),
+        "occupancy" => Some(16),
+        _ => None,
+    }
+}
+
+/// One cycle-stamped event of one core's execution (coherence events are
+/// stamped with their core-side endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event happened.
+    pub cycle: Cycle,
+    /// The core this event belongs to.
+    pub core: CoreId,
+    /// The payload.
+    pub kind: EventKind,
+}

@@ -1,0 +1,322 @@
+//! Konata-style per-instruction pipeline view.
+//!
+//! Renders an event stream as one text line per dynamic µop with its
+//! stage timestamps — `D`ispatch, `I`ssue, `P`erform (loads), `C`omplete,
+//! `R`etire — plus squash markers, followed by a summary of retire-gate
+//! episodes (the §III window of vulnerability, one line per episode) and
+//! store-buffer residencies. The format is diff-stable: two runs of the
+//! same seed produce identical views.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, GateOpenReason, TraceEvent};
+
+#[derive(Debug, Default, Clone)]
+struct Row {
+    dispatch: u64,
+    pc: u64,
+    trace_idx: usize,
+    mnemonic: &'static str,
+    issue: Option<u64>,
+    perform: Option<(u64, bool)>,
+    complete: Option<u64>,
+    retire: Option<u64>,
+    squashed: Option<(u64, &'static str)>,
+    gate_stalled: bool,
+    closed_gate: Option<String>,
+}
+
+/// Renders the per-instruction pipeline view of `events`.
+pub fn render_pipeview(events: &[TraceEvent]) -> String {
+    // (core, rob) -> row; BTreeMap keeps output ordered by core then age.
+    let mut rows: BTreeMap<(u8, u64), Row> = BTreeMap::new();
+    let mut gates: Vec<String> = Vec::new();
+    let mut open_gate: BTreeMap<u8, (u64, String)> = BTreeMap::new();
+    let mut sb: Vec<String> = Vec::new();
+    let mut open_sb: BTreeMap<(u8, String), (u64, u64)> = BTreeMap::new();
+
+    for ev in events {
+        let pid = ev.core.0;
+        let ts = ev.cycle;
+        match ev.kind {
+            EventKind::Dispatch {
+                rob,
+                trace_idx,
+                pc,
+                uop,
+            } => {
+                rows.insert(
+                    (pid, rob),
+                    Row {
+                        dispatch: ts,
+                        pc,
+                        trace_idx,
+                        mnemonic: uop.mnemonic(),
+                        ..Row::default()
+                    },
+                );
+            }
+            EventKind::Issue { rob } => {
+                if let Some(r) = rows.get_mut(&(pid, rob)) {
+                    r.issue = Some(ts);
+                }
+            }
+            EventKind::Perform { rob, forwarded, .. } => {
+                if let Some(r) = rows.get_mut(&(pid, rob)) {
+                    r.perform = Some((ts, forwarded));
+                }
+            }
+            EventKind::Complete { rob } => {
+                if let Some(r) = rows.get_mut(&(pid, rob)) {
+                    r.complete = Some(ts);
+                }
+            }
+            EventKind::Retire { rob, .. } => {
+                if let Some(r) = rows.get_mut(&(pid, rob)) {
+                    r.retire = Some(ts);
+                }
+            }
+            EventKind::Squash {
+                from_rob, cause, ..
+            } => {
+                for (_, r) in rows.range_mut((pid, from_rob)..(pid, u64::MAX)) {
+                    if r.retire.is_none() && r.squashed.is_none() {
+                        r.squashed = Some((ts, cause.label()));
+                    }
+                }
+            }
+            EventKind::GateStall { rob } => {
+                if let Some(r) = rows.get_mut(&(pid, rob)) {
+                    r.gate_stalled = true;
+                }
+            }
+            EventKind::GateClose { rob, key } => {
+                if let Some(r) = rows.get_mut(&(pid, rob)) {
+                    r.closed_gate = Some(key.to_string());
+                }
+                open_gate.entry(pid).or_insert((ts, key.to_string()));
+            }
+            EventKind::GateOpen { reason } => {
+                if let Some((start, key)) = open_gate.remove(&pid) {
+                    let why = match reason {
+                        GateOpenReason::KeyMatch(k) => format!("key match {k}"),
+                        GateOpenReason::SbEmpty => "SB empty".into(),
+                        GateOpenReason::Squash => "squash".into(),
+                    };
+                    gates.push(format!(
+                        "C{pid} gate closed @{start} key {key} -> open @{ts} ({why}) \
+                         [{} cycles]",
+                        ts - start
+                    ));
+                }
+            }
+            EventKind::SbEnter { key, addr, .. } => {
+                open_sb.insert((pid, key.to_string()), (ts, addr));
+            }
+            EventKind::SbCommit { key, addr } => {
+                if let Some((start, _)) = open_sb.remove(&(pid, key.to_string())) {
+                    sb.push(format!(
+                        "C{pid} store 0x{addr:x} key {key}: SB @{start} -> L1 commit @{ts} \
+                         [{} cycles]",
+                        ts - start
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(
+        "# pipeview: D=dispatch I=issue P=perform C=complete R=retire  \
+         (*=forwarded, G=closed gate, g=gate-stalled)\n",
+    );
+    for ((core, rob), r) in &rows {
+        let _ = write!(
+            out,
+            "C{core} #{rob:<5} i{:<5} {:>5} 0x{:<8x}",
+            r.trace_idx, r.mnemonic, r.pc
+        );
+        let _ = write!(out, " D{}", r.dispatch);
+        if let Some(i) = r.issue {
+            let _ = write!(out, " I{i}");
+        }
+        if let Some((p, fwd)) = r.perform {
+            let _ = write!(out, " P{p}{}", if fwd { "*" } else { "" });
+        }
+        if let Some(c) = r.complete {
+            let _ = write!(out, " C{c}");
+        }
+        if let Some(t) = r.retire {
+            let _ = write!(out, " R{t}");
+        }
+        if let Some(k) = &r.closed_gate {
+            let _ = write!(out, " G[{k}]");
+        }
+        if r.gate_stalled {
+            out.push_str(" g");
+        }
+        if let Some((t, cause)) = r.squashed {
+            let _ = write!(out, " squashed@{t} ({cause})");
+        }
+        out.push('\n');
+    }
+    if !gates.is_empty() {
+        out.push_str("\n# retire-gate episodes (window of vulnerability)\n");
+        for g in &gates {
+            out.push_str(g);
+            out.push('\n');
+        }
+    }
+    if !sb.is_empty() {
+        out.push_str("\n# store-buffer residency\n");
+        for s in &sb {
+            out.push_str(s);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{GateKey, SquashKind, UopKind};
+    use sa_isa::CoreId;
+
+    fn ev(core: u8, cycle: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            core: CoreId(core),
+            kind,
+        }
+    }
+
+    #[test]
+    fn renders_stage_timeline_and_gate_episode() {
+        let key = GateKey {
+            slot: 0,
+            sorting: false,
+        };
+        let events = vec![
+            ev(
+                0,
+                1,
+                EventKind::Dispatch {
+                    rob: 0,
+                    trace_idx: 0,
+                    pc: 0x100,
+                    uop: UopKind::Store,
+                },
+            ),
+            ev(
+                0,
+                1,
+                EventKind::Dispatch {
+                    rob: 1,
+                    trace_idx: 1,
+                    pc: 0x108,
+                    uop: UopKind::Load,
+                },
+            ),
+            ev(0, 2, EventKind::Issue { rob: 1 }),
+            ev(
+                0,
+                3,
+                EventKind::Perform {
+                    rob: 1,
+                    addr: 0x1000,
+                    forwarded: true,
+                },
+            ),
+            ev(0, 4, EventKind::Complete { rob: 1 }),
+            ev(
+                0,
+                5,
+                EventKind::Retire {
+                    rob: 0,
+                    uop: UopKind::Store,
+                },
+            ),
+            ev(
+                0,
+                5,
+                EventKind::SbEnter {
+                    rob: 0,
+                    key,
+                    addr: 0x1000,
+                },
+            ),
+            ev(
+                0,
+                6,
+                EventKind::Retire {
+                    rob: 1,
+                    uop: UopKind::Load,
+                },
+            ),
+            ev(0, 6, EventKind::GateClose { rob: 1, key }),
+            ev(0, 40, EventKind::SbCommit { key, addr: 0x1000 }),
+            ev(
+                0,
+                40,
+                EventKind::GateOpen {
+                    reason: GateOpenReason::KeyMatch(key),
+                },
+            ),
+        ];
+        let view = render_pipeview(&events);
+        assert!(view.contains("ld 0x108"), "{view}");
+        assert!(view.contains("P3*"), "forwarded perform marker: {view}");
+        assert!(view.contains("G[k0.0]"), "{view}");
+        assert!(view.contains("gate closed @6 key k0.0 -> open @40 (key match k0.0) [34 cycles]"));
+        assert!(view.contains("SB @5 -> L1 commit @40 [35 cycles]"));
+    }
+
+    #[test]
+    fn squash_marks_only_younger_unretired_uops() {
+        let events = vec![
+            ev(
+                0,
+                1,
+                EventKind::Dispatch {
+                    rob: 5,
+                    trace_idx: 0,
+                    pc: 0x10,
+                    uop: UopKind::Alu,
+                },
+            ),
+            ev(
+                0,
+                1,
+                EventKind::Dispatch {
+                    rob: 6,
+                    trace_idx: 1,
+                    pc: 0x18,
+                    uop: UopKind::Load,
+                },
+            ),
+            ev(
+                0,
+                2,
+                EventKind::Retire {
+                    rob: 5,
+                    uop: UopKind::Alu,
+                },
+            ),
+            ev(
+                0,
+                7,
+                EventKind::Squash {
+                    from_rob: 6,
+                    uops: 1,
+                    cause: SquashKind::LoadLoad,
+                },
+            ),
+        ];
+        let view = render_pipeview(&events);
+        assert!(view.contains("squashed@7 (load-load)"));
+        assert_eq!(view.matches("squashed@").count(), 1);
+    }
+}

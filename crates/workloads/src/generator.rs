@@ -4,8 +4,7 @@
 //! [`WorkloadSpec`]. Static instruction sites get stable PCs so the
 //! branch predictor and StoreSet predictor see realistic re-use.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sa_isa::rng::Xoshiro256;
 use sa_isa::{Addr, ExecUnit, Pc, Reg, Trace, TraceBuilder, LINE_BYTES};
 
 use crate::spec::{Suite, WorkloadSpec};
@@ -39,7 +38,7 @@ const FWD_DIST_MAX: usize = 48;
 pub struct TraceGen<'a> {
     spec: &'a WorkloadSpec,
     core: usize,
-    rng: StdRng,
+    rng: Xoshiro256,
     /// Sequential-walk cursor within the private working set.
     cursor: u64,
     /// Streaming-store cursor.
@@ -58,11 +57,11 @@ impl<'a> TraceGen<'a> {
         TraceGen {
             spec,
             core,
-            rng: StdRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: Xoshiro256::seed_from_u64(
+                seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
             cursor: 0,
-            burst_cursor: PRIVATE_REGION
-                + core as Addr * PRIVATE_STRIDE
-                + 0x0200_0000,
+            burst_cursor: PRIVATE_REGION + core as Addr * PRIVATE_STRIDE + 0x0200_0000,
             next_reg: 0,
             stack_slot: 0,
             conflict_cursor: 0,
@@ -94,34 +93,41 @@ impl<'a> TraceGen<'a> {
     /// can train, as a real loop would).
     fn private_addr(&mut self) -> (Addr, bool) {
         let ws = self.spec.private_ws_lines;
-        if self.spec.set_conflict > 0.0 && self.rng.gen::<f64>() < self.spec.set_conflict {
+        if self.spec.set_conflict > 0.0 && self.rng.gen_f64() < self.spec.set_conflict {
             // 256 L2 sets x 64 B lines = 16 KB conflict stride.
             const CONFLICT_STRIDE: Addr = 256 * LINE_BYTES;
             let span = (ws / 256).max(16);
             self.conflict_cursor = (self.conflict_cursor + 1) % span;
-            return (self.private_base() + self.conflict_cursor * CONFLICT_STRIDE, false);
+            return (
+                self.private_base() + self.conflict_cursor * CONFLICT_STRIDE,
+                false,
+            );
         }
-        if self.rng.gen::<f64>() < self.spec.locality {
+        if self.rng.gen_f64() < self.spec.locality {
             self.cursor = (self.cursor + 1) % (ws * 8);
-            (self.private_base() + (self.cursor / 8) * LINE_BYTES + (self.cursor % 8) * 8, true)
+            (
+                self.private_base() + (self.cursor / 8) * LINE_BYTES + (self.cursor % 8) * 8,
+                true,
+            )
         } else {
-            self.cursor = self.rng.gen_range(0..ws * 8);
-            (self.private_base() + (self.cursor / 8) * LINE_BYTES + (self.cursor % 8) * 8, false)
+            self.cursor = self.rng.gen_range_u64(0, ws * 8);
+            (
+                self.private_base() + (self.cursor / 8) * LINE_BYTES + (self.cursor % 8) * 8,
+                false,
+            )
         }
     }
 
     /// A shared data address.
     fn shared_addr(&mut self) -> Addr {
-        let line = self.rng.gen_range(0..self.spec.shared_ws_lines.max(1));
-        let word = self.rng.gen_range(0..8u64);
+        let line = self.rng.gen_range_u64(0, self.spec.shared_ws_lines.max(1));
+        let word = self.rng.gen_range_u64(0, 8);
         SHARED_REGION + line * LINE_BYTES + word * 8
     }
 
     /// Returns `(address, sequential)`.
     fn mem_addr(&mut self) -> (Addr, bool) {
-        if self.spec.suite == Suite::Parallel
-            && self.rng.gen::<f64>() < self.spec.shared_access_frac
-        {
+        if self.spec.suite == Suite::Parallel && self.rng.gen_f64() < self.spec.shared_access_frac {
             (self.shared_addr(), false)
         } else {
             self.private_addr()
@@ -160,17 +166,17 @@ impl<'a> TraceGen<'a> {
                     continue;
                 }
             }
-            if s.sync_contention > 0.0 && self.rng.gen::<f64>() < s.sync_contention {
+            if s.sync_contention > 0.0 && self.rng.gen_f64() < s.sync_contention {
                 self.emit_sync_idiom(&mut b);
                 continue;
             }
-            if q_start > 0.0 && self.rng.gen::<f64>() < q_start {
+            if q_start > 0.0 && self.rng.gen_f64() < q_start {
                 let slot = self.emit_forwarding_store(&mut b);
-                let due = b.len() + self.rng.gen_range(FWD_DIST_MIN..=FWD_DIST_MAX);
+                let due = b.len() + self.rng.gen_range_usize(FWD_DIST_MIN, FWD_DIST_MAX + 1);
                 pending.push(Reverse((due, slot)));
                 continue;
             }
-            let roll = self.rng.gen::<f64>() * free_w;
+            let roll = self.rng.gen_f64() * free_w;
             if roll < load_w {
                 self.emit_load(&mut b);
             } else if roll < load_w + store_w {
@@ -192,7 +198,7 @@ impl<'a> TraceGen<'a> {
         self.stack_slot += 1;
         let site = self.stack_slot % 4;
         b.pin_pc(Pc(0x100 + site * 8));
-        b.store_imm(slot, self.rng.gen::<u32>() as u64);
+        b.store_imm(slot, u64::from(self.rng.next_u32()));
         b.unpin_pc();
         slot
     }
@@ -212,28 +218,36 @@ impl<'a> TraceGen<'a> {
         let dst = self.reg();
         // The sequential walk is one static load in a loop; random
         // accesses spread over several sites.
-        let site = if sequential { 0 } else { 1 + self.rng.gen_range(0..7u64) };
+        let site = if sequential {
+            0
+        } else {
+            1 + self.rng.gen_range_u64(0, 7)
+        };
         b.pin_pc(Pc(0x300 + site * 8));
         b.load(dst, addr);
         b.unpin_pc();
     }
 
     fn emit_store(&mut self, b: &mut TraceBuilder) {
-        let (addr, sequential) = if self.rng.gen::<f64>() < self.spec.store_burst {
+        let (addr, sequential) = if self.rng.gen_f64() < self.spec.store_burst {
             self.burst_cursor += BURST_STRIDE;
             (self.burst_cursor, true)
         } else {
             self.mem_addr()
         };
-        let site = if sequential { 0 } else { 1 + self.rng.gen_range(0..7u64) };
-        if self.rng.gen::<f64>() < self.spec.late_store_addr {
+        let site = if sequential {
+            0
+        } else {
+            1 + self.rng.gen_range_u64(0, 7)
+        };
+        if self.rng.gen_f64() < self.spec.late_store_addr {
             // Address depends on a long-latency producer, and a younger
             // load may alias it: the D-speculation idiom the StoreSet
             // predictor exists for (pointer-chased writes).
             let dep = Reg::new(20);
             b.alu(ExecUnit::IntDiv, Some(dep), [None, None]);
             b.pin_pc(Pc(0x400 + site * 8));
-            b.store_imm_dep(addr, self.rng.gen::<u32>() as u64, dep);
+            b.store_imm_dep(addr, u64::from(self.rng.next_u32()), dep);
             b.unpin_pc();
             self.emit_alu(b);
             let dst = self.reg();
@@ -242,19 +256,19 @@ impl<'a> TraceGen<'a> {
             b.unpin_pc();
         } else {
             b.pin_pc(Pc(0x400 + site * 8));
-            b.store_imm(addr, self.rng.gen::<u32>() as u64);
+            b.store_imm(addr, u64::from(self.rng.next_u32()));
             b.unpin_pc();
         }
     }
 
     fn emit_branch(&mut self, b: &mut TraceBuilder) {
-        let site = self.rng.gen_range(0..16u64);
+        let site = self.rng.gen_range_u64(0, 16);
         let noisy = (site as f64 / 16.0) < self.spec.branch_noise;
         let taken = if noisy {
-            self.rng.gen::<bool>()
+            self.rng.gen_bool()
         } else {
             // Biased-taken loop branch: ~6% fall-through.
-            self.rng.gen::<f64>() < 0.94
+            self.rng.gen_f64() < 0.94
         };
         b.pin_pc(Pc(0x500 + site * 8));
         b.branch(taken, None);
@@ -262,18 +276,18 @@ impl<'a> TraceGen<'a> {
     }
 
     fn emit_alu(&mut self, b: &mut TraceBuilder) {
-        let unit = if self.rng.gen::<f64>() < self.spec.fp_frac {
-            if self.rng.gen::<f64>() < 0.1 {
+        let unit = if self.rng.gen_f64() < self.spec.fp_frac {
+            if self.rng.gen_f64() < 0.1 {
                 ExecUnit::FpDiv
             } else {
                 ExecUnit::FpAdd
             }
-        } else if self.rng.gen::<f64>() < 0.05 {
+        } else if self.rng.gen_f64() < 0.05 {
             ExecUnit::IntMul
         } else {
             ExecUnit::Int
         };
-        let src = Reg::new(self.rng.gen_range(0..16u8));
+        let src = Reg::new(self.rng.gen_range_u64(0, 16) as u8);
         let dst = self.reg();
         b.alu(unit, Some(dst), [Some(src), None]);
     }
@@ -295,7 +309,7 @@ impl<'a> TraceGen<'a> {
         b.load(dst2, HOT_DATA_LINE); // SA-speculative under the gate
         b.unpin_pc();
         // The protected data changes occasionally (not every wakeup).
-        if self.stack_slot % 8 == 0 {
+        if self.stack_slot.is_multiple_of(8) {
             b.pin_pc(Pc(0x618));
             b.store_imm(HOT_DATA_LINE, self.core as u64);
             b.unpin_pc();
@@ -329,7 +343,10 @@ mod tests {
         assert!((loads - s.loads_pct).abs() < 2.0, "loads {loads}");
         // Forwarding stores count toward stores_pct.
         assert!((stores - s.stores_pct).abs() < 2.0, "stores {stores}");
-        assert!((branches - s.branches_pct).abs() < 2.0, "branches {branches}");
+        assert!(
+            (branches - s.branches_pct).abs() < 2.0,
+            "branches {branches}"
+        );
     }
 
     #[test]
@@ -405,7 +422,10 @@ mod tests {
         let t = TraceGen::new(&s, 0, 9).generate(5_000);
         for i in t.iter() {
             if let Op::Load { addr, .. } | Op::Store { addr, .. } = i.op {
-                assert!(addr < SHARED_REGION, "sequential workload hit shared {addr:#x}");
+                assert!(
+                    addr < SHARED_REGION,
+                    "sequential workload hit shared {addr:#x}"
+                );
             }
         }
     }
@@ -420,7 +440,8 @@ mod tests {
             .iter()
             .filter_map(|i| match i.op {
                 Op::Store { addr, .. }
-                    if addr >= PRIVATE_REGION + 0x0200_0000 && addr < PRIVATE_REGION + PRIVATE_STRIDE =>
+                    if (PRIVATE_REGION + 0x0200_0000..PRIVATE_REGION + PRIVATE_STRIDE)
+                        .contains(&addr) =>
                 {
                     Some(addr)
                 }

@@ -32,5 +32,9 @@ pub mod spec;
 pub mod suites;
 
 pub use generator::TraceGen;
+/// The in-tree seeded RNG driving trace generation (SplitMix64 seeding,
+/// xoshiro256** stream) — re-exported so workload consumers don't need a
+/// direct `sa-isa` dependency for it.
+pub use sa_isa::rng;
 pub use spec::{Suite, WorkloadSpec};
 pub use suites::{by_name, parallel_suite, spec_suite};

@@ -113,7 +113,11 @@ impl WorkloadSpec {
     ///
     /// Panics when percentages are out of range or inconsistent.
     pub fn validate(&self) {
-        assert!(self.loads_pct >= 0.0 && self.loads_pct <= 60.0, "{}: loads_pct", self.name);
+        assert!(
+            self.loads_pct >= 0.0 && self.loads_pct <= 60.0,
+            "{}: loads_pct",
+            self.name
+        );
         assert!(
             self.forwarded_pct >= 0.0 && self.forwarded_pct <= self.loads_pct,
             "{}: forwarded loads are a subset of loads",
@@ -135,9 +139,17 @@ impl WorkloadSpec {
             ("set_conflict", self.set_conflict),
             ("fp_frac", self.fp_frac),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{}: {what} out of [0,1]", self.name);
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{}: {what} out of [0,1]",
+                self.name
+            );
         }
-        assert!(self.private_ws_lines > 0, "{}: empty working set", self.name);
+        assert!(
+            self.private_ws_lines > 0,
+            "{}: empty working set",
+            self.name
+        );
     }
 
     /// Generates one deterministic trace per core.

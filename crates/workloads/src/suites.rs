@@ -13,7 +13,11 @@ use crate::spec::{Suite, TableIvRef, WorkloadSpec};
 /// avg stall cycles and re-exec% for reference.
 fn p(name: &'static str, loads: f64, fwd: f64, gs: f64, sc: f64, re: f64) -> WorkloadSpec {
     WorkloadSpec {
-        paper: TableIvRef { gate_stall_pct: gs, avg_stall_cycles: sc, reexec_pct: re },
+        paper: TableIvRef {
+            gate_stall_pct: gs,
+            avg_stall_cycles: sc,
+            reexec_pct: re,
+        },
         ..WorkloadSpec::base(name, Suite::Parallel, loads, fwd)
     }
 }
@@ -21,7 +25,11 @@ fn p(name: &'static str, loads: f64, fwd: f64, gs: f64, sc: f64, re: f64) -> Wor
 /// One sequential row (same shape as [`p`]).
 fn s(name: &'static str, loads: f64, fwd: f64, gs: f64, sc: f64, re: f64) -> WorkloadSpec {
     WorkloadSpec {
-        paper: TableIvRef { gate_stall_pct: gs, avg_stall_cycles: sc, reexec_pct: re },
+        paper: TableIvRef {
+            gate_stall_pct: gs,
+            avg_stall_cycles: sc,
+            reexec_pct: re,
+        },
         ..WorkloadSpec::base(name, Suite::Spec, loads, fwd)
     }
 }
@@ -30,7 +38,10 @@ fn s(name: &'static str, loads: f64, fwd: f64, gs: f64, sc: f64, re: f64) -> Wor
 pub fn parallel_suite() -> Vec<WorkloadSpec> {
     vec![
         // barnes: recursive walksub -> extreme stack forwarding.
-        WorkloadSpec { locality: 0.85, ..p("barnes", 31.780, 18.336, 5.929, 6.460, 0.194) },
+        WorkloadSpec {
+            locality: 0.85,
+            ..p("barnes", 31.780, 18.336, 5.929, 6.460, 0.194)
+        },
         p("blackscholes", 19.745, 7.272, 2.208, 4.428, 0.001),
         p("bodytrack", 17.915, 4.119, 1.028, 4.375, 0.292),
         // canneal: pointer chasing over a big set.
@@ -51,8 +62,14 @@ pub fn parallel_suite() -> Vec<WorkloadSpec> {
             locality: 0.9,
             ..p("fft", 17.282, 0.010, 0.006, 6.113, 0.000)
         },
-        WorkloadSpec { fp_frac: 0.5, ..p("fluidanimate", 25.233, 1.044, 0.316, 8.459, 0.035) },
-        WorkloadSpec { fp_frac: 0.5, ..p("fmm", 15.439, 0.294, 0.118, 19.345, 0.013) },
+        WorkloadSpec {
+            fp_frac: 0.5,
+            ..p("fluidanimate", 25.233, 1.044, 0.316, 8.459, 0.035)
+        },
+        WorkloadSpec {
+            fp_frac: 0.5,
+            ..p("fmm", 15.439, 0.294, 0.118, 19.345, 0.013)
+        },
         p("freqmine", 26.120, 2.584, 1.185, 5.960, 0.167),
         WorkloadSpec {
             fp_frac: 0.6,
@@ -92,7 +109,10 @@ pub fn parallel_suite() -> Vec<WorkloadSpec> {
             locality: 0.9,
             ..p("streamcluster", 29.899, 0.031, 0.020, 53.851, 0.000)
         },
-        WorkloadSpec { fp_frac: 0.5, ..p("swaptions", 24.576, 4.498, 2.184, 5.284, 0.245) },
+        WorkloadSpec {
+            fp_frac: 0.5,
+            ..p("swaptions", 24.576, 4.498, 2.184, 5.284, 0.245)
+        },
         p("vips", 18.061, 1.962, 0.534, 5.000, 0.005),
         p("volrend", 24.514, 5.097, 1.353, 5.484, 0.184),
         WorkloadSpec {
@@ -168,13 +188,22 @@ pub fn spec_suite() -> Vec<WorkloadSpec> {
             set_conflict: 0.24,
             ..s("505.mcf", 29.973, 4.958, 2.411, 13.084, 11.722)
         },
-        WorkloadSpec { fp_frac: 0.5, ..s("507.cactuBSSN", 31.857, 5.593, 1.479, 18.801, 0.014) },
-        WorkloadSpec { fp_frac: 0.6, ..s("508.namd", 23.369, 2.448, 1.316, 3.973, 0.008) },
+        WorkloadSpec {
+            fp_frac: 0.5,
+            ..s("507.cactuBSSN", 31.857, 5.593, 1.479, 18.801, 0.014)
+        },
+        WorkloadSpec {
+            fp_frac: 0.6,
+            ..s("508.namd", 23.369, 2.448, 1.316, 3.973, 0.008)
+        },
         WorkloadSpec {
             private_ws_lines: 32768,
             ..s("510.parest", 33.230, 1.852, 0.530, 6.907, 0.067)
         },
-        WorkloadSpec { fp_frac: 0.5, ..s("511.povray", 30.513, 10.185, 2.911, 5.772, 0.003) },
+        WorkloadSpec {
+            fp_frac: 0.5,
+            ..s("511.povray", 30.513, 10.185, 2.911, 5.772, 0.003)
+        },
         // 519.lbm: streaming stores (lattice update).
         WorkloadSpec {
             stores_pct: 22.0,
@@ -189,7 +218,10 @@ pub fn spec_suite() -> Vec<WorkloadSpec> {
             set_conflict: 0.08,
             ..s("520.omnetpp", 27.695, 7.978, 2.437, 15.927, 0.329)
         },
-        WorkloadSpec { fp_frac: 0.6, ..s("521.wrf", 25.615, 2.004, 0.730, 11.495, 0.016) },
+        WorkloadSpec {
+            fp_frac: 0.6,
+            ..s("521.wrf", 25.615, 2.004, 0.730, 11.495, 0.016)
+        },
         WorkloadSpec {
             private_ws_lines: 32768,
             locality: 0.4,
@@ -198,8 +230,14 @@ pub fn spec_suite() -> Vec<WorkloadSpec> {
         s("525.x264_1", 22.529, 3.381, 0.607, 6.611, 0.012),
         s("525.x264_2", 23.605, 1.397, 0.303, 8.870, 0.015),
         s("525.x264_3", 22.722, 2.841, 0.520, 6.546, 0.006),
-        WorkloadSpec { fp_frac: 0.5, ..s("526.blender", 23.531, 6.116, 1.752, 5.680, 0.139) },
-        WorkloadSpec { fp_frac: 0.6, ..s("527.cam4", 22.683, 0.001, 0.000, 0.000, 0.000) },
+        WorkloadSpec {
+            fp_frac: 0.5,
+            ..s("526.blender", 23.531, 6.116, 1.752, 5.680, 0.139)
+        },
+        WorkloadSpec {
+            fp_frac: 0.6,
+            ..s("527.cam4", 22.683, 0.001, 0.000, 0.000, 0.000)
+        },
         WorkloadSpec {
             branch_noise: 0.3,
             set_conflict: 0.08,
@@ -215,7 +253,10 @@ pub fn spec_suite() -> Vec<WorkloadSpec> {
             set_conflict: 0.08,
             ..s("541.leela", 23.706, 5.085, 2.031, 6.795, 0.393)
         },
-        WorkloadSpec { fp_frac: 0.5, ..s("544.nab", 22.047, 4.176, 1.426, 5.726, 0.126) },
+        WorkloadSpec {
+            fp_frac: 0.5,
+            ..s("544.nab", 22.047, 4.176, 1.426, 5.726, 0.126)
+        },
         s("548.exchange2", 24.982, 4.140, 1.289, 6.112, 0.032),
         WorkloadSpec {
             fp_frac: 0.6,

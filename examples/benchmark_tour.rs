@@ -13,7 +13,10 @@ use sa_workloads::Suite;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map(String::as_str).unwrap_or("barnes");
-    let scale: usize = args.get(1).map(|s| s.parse().expect("instr count")).unwrap_or(10_000);
+    let scale: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("instr count"))
+        .unwrap_or(10_000);
     let w = sa_workloads::by_name(name)
         .unwrap_or_else(|| panic!("unknown benchmark {name}; see sa_workloads::parallel_suite"));
     let n_cores = if w.suite == Suite::Parallel { 8 } else { 1 };
@@ -29,7 +32,15 @@ fn main() {
 
     println!(
         "{:<16} {:>9} {:>6} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10}",
-        "config", "cycles", "IPC", "fwd(%)", "gate(%)", "ROBstall%", "LQstall%", "SQstall%", "norm.time"
+        "config",
+        "cycles",
+        "IPC",
+        "fwd(%)",
+        "gate(%)",
+        "ROBstall%",
+        "LQstall%",
+        "SQstall%",
+        "norm.time"
     );
     let base = reports[0].cycles as f64;
     for r in &reports {

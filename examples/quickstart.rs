@@ -18,7 +18,11 @@ fn program() -> Trace {
     b.store_reg(0x7000_0000, Reg::new(1)); // push arg0
     b.store_reg(0x7000_0008, Reg::new(2)); // push arg1
     for _ in 0..4 {
-        b.alu(sa_isa::ExecUnit::Int, Some(Reg::new(3)), [Some(Reg::new(1)), None]);
+        b.alu(
+            sa_isa::ExecUnit::Int,
+            Some(Reg::new(3)),
+            [Some(Reg::new(1)), None],
+        );
     }
     b.load(Reg::new(4), 0x7000_0000); // forwarded from the store buffer
     b.load(Reg::new(5), 0x7000_0008); // forwarded from the store buffer
@@ -34,8 +38,14 @@ fn main() {
         let report = sim.run(1_000_000).expect("program finishes");
         let stats = report.total();
         println!("--- {model} ---");
-        println!("  answer               = {}", sim.memory().read(0x1000_0000, 8));
-        println!("  r6                   = {}", sim.core(CoreId(0)).arch_reg(Reg::new(6)));
+        println!(
+            "  answer               = {}",
+            sim.memory().read(0x1000_0000, 8)
+        );
+        println!(
+            "  r6                   = {}",
+            sim.core(CoreId(0)).arch_reg(Reg::new(6))
+        );
         println!("  cycles               = {}", report.cycles);
         println!("  instructions retired = {}", stats.retired_instrs);
         println!("  forwarded loads      = {}", stats.forwarded_loads);

@@ -28,5 +28,8 @@ fn different_seeds_differ() {
     let mut s2 = Multicore::new(cfg, w.generate(8, 1_500, 2));
     let r1 = s1.run(u64::MAX).unwrap();
     let r2 = s2.run(u64::MAX).unwrap();
-    assert_ne!(r1.cycles, r2.cycles, "distinct traces should differ in timing");
+    assert_ne!(
+        r1.cycles, r2.cycles,
+        "distinct traces should differ in timing"
+    );
 }

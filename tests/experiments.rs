@@ -9,7 +9,8 @@ fn run(w: &WorkloadSpec, model: ConsistencyModel, scale: usize) -> Report {
     let n = if w.suite == Suite::Parallel { 8 } else { 1 };
     let cfg = SimConfig::default().with_model(model).with_cores(n);
     let mut sim = Multicore::new(cfg, w.generate(n, scale, 42));
-    sim.run(u64::MAX).unwrap_or_else(|e| panic!("{} under {model}: {e}", w.name))
+    sim.run(u64::MAX)
+        .unwrap_or_else(|e| panic!("{} under {model}: {e}", w.name))
 }
 
 /// Table IV calibration: measured loads% and forwarded% track the spec
@@ -45,9 +46,15 @@ fn figure_10_ordering() {
     let nospec = run(&w, ConsistencyModel::Ibm370NoSpec, 3_000).cycles as f64;
     let slfspec = run(&w, ConsistencyModel::Ibm370SlfSpec, 3_000).cycles as f64;
     let key = run(&w, ConsistencyModel::Ibm370SlfSosKey, 3_000).cycles as f64;
-    assert!(nospec > x86 * 1.02, "NoSpec must cost visibly more than x86");
+    assert!(
+        nospec > x86 * 1.02,
+        "NoSpec must cost visibly more than x86"
+    );
     assert!(key < nospec, "SoS-key must beat blanket enforcement");
-    assert!(key <= slfspec * 1.05, "SoS-key must be at least as good as SC-like speculation");
+    assert!(
+        key <= slfspec * 1.05,
+        "SoS-key must be at least as good as SC-like speculation"
+    );
     assert!(key < x86 * 1.5, "SoS-key stays in x86's ballpark");
 }
 
@@ -78,11 +85,14 @@ fn contended_sync_causes_sa_reexecution() {
         ..WorkloadSpec::base("x264-condensed", Suite::Parallel, 26.2, 3.3)
     };
     let key = run(&w, ConsistencyModel::Ibm370SlfSosKey, 3_000);
-    let sa = key.total().reexec_for(sa_sim::ooo::SquashCause::StoreAtomicity);
+    let sa = key
+        .total()
+        .reexec_for(sa_sim::ooo::SquashCause::StoreAtomicity);
     assert!(sa > 0, "contended condvar idiom must trigger SA squashes");
     let x86 = run(&w, ConsistencyModel::X86, 3_000);
     assert_eq!(
-        x86.total().reexec_for(sa_sim::ooo::SquashCause::StoreAtomicity),
+        x86.total()
+            .reexec_for(sa_sim::ooo::SquashCause::StoreAtomicity),
         0,
         "x86 never squashes for store atomicity"
     );

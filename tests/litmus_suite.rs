@@ -84,7 +84,13 @@ fn store_atomic_is_strictly_stronger() {
     }
     // Brute force: all 2-thread programs of three ops drawn from a small
     // alphabet.
-    let alphabet = [LOp::St(X, 1), LOp::St(Y, 1), LOp::Ld(X), LOp::Ld(Y), LOp::Fence];
+    let alphabet = [
+        LOp::St(X, 1),
+        LOp::St(Y, 1),
+        LOp::Ld(X),
+        LOp::Ld(Y),
+        LOp::Fence,
+    ];
     let mut checked = 0;
     for a in 0..alphabet.len() {
         for b in 0..alphabet.len() {

@@ -1,0 +1,220 @@
+//! Event-stream invariants of the tracing subsystem: whatever the
+//! machine does, the recorded stream must tell a causally consistent
+//! story — retires in program order per core, gate episodes properly
+//! bracketed by key, squashes only hitting younger µops — and the
+//! Chrome exporter's output on a fixed run must match its golden file
+//! byte for byte.
+
+use std::collections::HashMap;
+
+use sa_isa::{ConsistencyModel, CoreId};
+use sa_litmus::suite;
+use sa_sim::{Multicore, SimConfig};
+use sa_trace::{
+    export_chrome_trace, CountersTracer, EventKind, GateOpenReason, TraceEvent, Tracer, VecTracer,
+};
+use sa_workloads::Suite;
+
+/// Records a full litmus run under `model`.
+fn record_litmus(name: &str, model: ConsistencyModel) -> Vec<TraceEvent> {
+    let ct = suite::all()
+        .into_iter()
+        .find(|ct| ct.test.name == name)
+        .expect("known test");
+    let traces = ct.test.to_traces();
+    let cfg = SimConfig::default()
+        .with_model(model)
+        .with_cores(traces.len());
+    let mut sim = Multicore::with_tracer(cfg, traces, VecTracer::new());
+    sim.run(5_000_000).unwrap();
+    sim.into_tracer().into_events()
+}
+
+/// Records a short synthetic-workload run under `model`.
+fn record_workload(name: &str, model: ConsistencyModel) -> Vec<TraceEvent> {
+    let w = sa_workloads::by_name(name).expect("known workload");
+    let n = if w.suite == Suite::Parallel { 4 } else { 1 };
+    let cfg = SimConfig::default().with_model(model).with_cores(n);
+    let mut sim = Multicore::with_tracer(cfg, w.generate(n, 300, 42), VecTracer::new());
+    sim.run(5_000_000).unwrap();
+    sim.into_tracer().into_events()
+}
+
+/// Every stream the invariant tests sweep: all five models on the two
+/// headline litmus tests plus a forwarding-heavy workload slice.
+fn all_streams() -> Vec<(String, Vec<TraceEvent>)> {
+    let mut streams = Vec::new();
+    for model in ConsistencyModel::ALL {
+        for name in ["mp", "n6"] {
+            streams.push((format!("{name}/{model}"), record_litmus(name, model)));
+        }
+        streams.push((format!("barnes/{model}"), record_workload("barnes", model)));
+    }
+    streams
+}
+
+/// Retires on each core must walk the trace in program order: the
+/// retire stream's trace indices (recovered from each µop's dispatch)
+/// are strictly increasing per core, squashes and re-execution
+/// notwithstanding.
+#[test]
+fn retires_are_in_program_order_per_core() {
+    for (label, events) in all_streams() {
+        let mut idx_of: HashMap<(CoreId, u64), usize> = HashMap::new();
+        let mut last_retired: HashMap<CoreId, usize> = HashMap::new();
+        for ev in &events {
+            match ev.kind {
+                EventKind::Dispatch { rob, trace_idx, .. } => {
+                    idx_of.insert((ev.core, rob), trace_idx);
+                }
+                EventKind::Retire { rob, .. } => {
+                    let idx = idx_of[&(ev.core, rob)];
+                    if let Some(prev) = last_retired.insert(ev.core, idx) {
+                        assert!(
+                            idx > prev,
+                            "{label}: core {} retired trace_idx {idx} after {prev}",
+                            ev.core.0
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Gate episodes are properly bracketed: every close is eventually
+/// followed by an open on the same core, and every key-match open names
+/// a key that an earlier close on that core actually locked.
+#[test]
+fn gate_closes_pair_with_opens_by_key() {
+    for (label, events) in all_streams() {
+        let mut pending: HashMap<CoreId, Vec<sa_trace::GateKey>> = HashMap::new();
+        for ev in &events {
+            match ev.kind {
+                EventKind::GateClose { key, .. } => {
+                    pending.entry(ev.core).or_default().push(key);
+                }
+                EventKind::GateOpen { reason } => {
+                    let locked = pending.entry(ev.core).or_default();
+                    if let GateOpenReason::KeyMatch(k) = reason {
+                        assert!(
+                            locked.contains(&k),
+                            "{label}: core {} gate opened on key {k} it never closed under",
+                            ev.core.0
+                        );
+                    }
+                    // Any open means the gate is now fully open: all
+                    // locked keys are cleared.
+                    locked.clear();
+                }
+                _ => {}
+            }
+        }
+        for (core, locked) in pending {
+            assert!(
+                locked.is_empty(),
+                "{label}: core {} finished with gate still closed under {locked:?}",
+                core.0
+            );
+        }
+    }
+}
+
+/// The acceptance scenario from the paper's Figure 6: on `n6` under the
+/// keyed configuration, the gate closes under the forwarding store's
+/// key and a *later* gate-open carries the same key.
+#[test]
+fn n6_keyed_gate_close_matches_later_open() {
+    let events = record_litmus("n6", ConsistencyModel::Ibm370SlfSosKey);
+    let close = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::GateClose { .. }))
+        .expect("n6 must close the gate on the forwarded load");
+    let key = match events[close].kind {
+        EventKind::GateClose { key, .. } => key,
+        _ => unreachable!(),
+    };
+    assert!(
+        events[close + 1..].iter().any(|e| {
+            e.core == events[close].core
+                && matches!(e.kind,
+                    EventKind::GateOpen { reason: GateOpenReason::KeyMatch(k) } if k == key)
+        }),
+        "no later gate-open with key {key}"
+    );
+}
+
+/// Squashes only remove younger µops: nothing already retired on a core
+/// may fall inside a later squash's [from_rob, ...) range.
+#[test]
+fn squashes_only_target_younger_uops() {
+    let mut saw_squash = false;
+    for (label, events) in all_streams() {
+        let mut newest_retired: HashMap<CoreId, u64> = HashMap::new();
+        for ev in &events {
+            match ev.kind {
+                EventKind::Retire { rob, .. } => {
+                    newest_retired.insert(ev.core, rob);
+                }
+                EventKind::Squash { from_rob, uops, .. } => {
+                    saw_squash = true;
+                    assert!(uops > 0, "{label}: empty squash event");
+                    if let Some(&r) = newest_retired.get(&ev.core) {
+                        assert!(
+                            r < from_rob,
+                            "{label}: core {} squashed from rob {from_rob} but rob {r} \
+                             already retired",
+                            ev.core.0
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(saw_squash, "sweep never exercised a squash — weak test");
+}
+
+/// A disabled sink wired through the *whole machine* records nothing:
+/// the emission path is compile-time dead, not merely filtered.
+#[test]
+fn disabled_sink_records_zero_events_end_to_end() {
+    #[derive(Default)]
+    struct DisabledCounters(CountersTracer);
+    impl Tracer for DisabledCounters {
+        const ENABLED: bool = false;
+        fn record(&mut self, ev: TraceEvent) {
+            self.0.record(ev);
+        }
+    }
+
+    let ct = suite::n6();
+    let traces = ct.test.to_traces();
+    let cfg = SimConfig::default()
+        .with_model(ConsistencyModel::Ibm370SlfSosKey)
+        .with_cores(traces.len());
+    let mut sim = Multicore::with_tracer(cfg, traces, DisabledCounters::default());
+    sim.run(5_000_000).unwrap();
+    assert_eq!(
+        sim.tracer().0.total(),
+        0,
+        "disabled sink must record zero events"
+    );
+}
+
+/// The Chrome exporter's output on the fixed `mp` run is pinned to a
+/// golden file. Regenerate with:
+/// `cargo run -p sa-bench --bin trace -- --litmus mp` and copy
+/// `results/trace_mp_370-SLFSoS-key.json` over the golden file.
+#[test]
+fn chrome_export_of_fixed_mp_run_matches_golden() {
+    let events = record_litmus("mp", ConsistencyModel::Ibm370SlfSosKey);
+    let json = export_chrome_trace(&events);
+    let golden = include_str!("golden/trace_mp_370-SLFSoS-key.json");
+    assert_eq!(
+        json, golden,
+        "Chrome export drifted from tests/golden/trace_mp_370-SLFSoS-key.json; \
+         if the change is intentional, regenerate the golden file"
+    );
+}
