@@ -2,10 +2,11 @@
 //! configurations normalized to x86, per benchmark, with geometric means.
 //!
 //! Usage: `fig10 [--suite parallel|spec|all] [--scale N] [--seed N]
-//! [--only NAME]`
+//! [--only NAME] [--csv|--json]`
 
 use sa_bench::{geomean_rows, normalized_times, run_all_models, Opts};
 use sa_isa::ConsistencyModel;
+use sa_metrics::JsonWriter;
 use sa_workloads::{Suite, WorkloadSpec};
 
 fn print_suite(title: &str, ws: &[WorkloadSpec], opts: &Opts) {
@@ -34,8 +35,51 @@ fn print_suite(title: &str, ws: &[WorkloadSpec], opts: &Opts) {
     }
 }
 
+fn print_json(opts: &Opts) {
+    let ws = opts.workloads();
+    let all_reports =
+        sa_bench::parallel_map(&ws, opts.jobs, |w| run_all_models(w, opts.scale, opts.seed));
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut j = JsonWriter::new();
+    j.begin_object()
+        .field_str("figure", "fig10")
+        .field_str("baseline", "x86")
+        .field_uint("scale", opts.scale as u64)
+        .field_uint("seed", opts.seed)
+        .key("rows")
+        .begin_array();
+    for (w, reports) in ws.iter().zip(&all_reports) {
+        let norm = normalized_times(reports);
+        j.begin_object()
+            .field_str("benchmark", w.name)
+            .field_float("nospec", norm[0])
+            .field_float("slfspec", norm[1])
+            .field_float("slfsos", norm[2])
+            .field_float("slfsos_key", norm[3])
+            .end_object();
+        rows.push(norm);
+    }
+    j.end_array();
+    let g = geomean_rows(&rows);
+    if !g.is_empty() {
+        j.key("geomean")
+            .begin_object()
+            .field_float("nospec", g[0])
+            .field_float("slfspec", g[1])
+            .field_float("slfsos", g[2])
+            .field_float("slfsos_key", g[3])
+            .end_object();
+    }
+    j.end_object();
+    println!("{}", j.finish());
+}
+
 fn main() {
     let opts = Opts::from_args();
+    if opts.json {
+        print_json(&opts);
+        return;
+    }
     if opts.csv {
         println!("benchmark,nospec,slfspec,slfsos,slfsos_key");
         for w in opts.workloads() {

@@ -3,10 +3,11 @@
 //! configurations.
 //!
 //! Usage: `fig9 [--suite parallel|spec|all] [--scale N] [--seed N]
-//! [--only NAME]`
+//! [--only NAME] [--csv|--json]`
 
 use sa_bench::{run_all_models, Opts};
 use sa_isa::ConsistencyModel;
+use sa_metrics::JsonWriter;
 use sa_sim::StallBreakdown;
 use sa_workloads::{Suite, WorkloadSpec};
 
@@ -53,8 +54,40 @@ fn print_suite(title: &str, ws: &[WorkloadSpec], opts: &Opts) {
     }
 }
 
+fn print_json(opts: &Opts) {
+    let ws = opts.workloads();
+    let all_reports =
+        sa_bench::parallel_map(&ws, opts.jobs, |w| run_all_models(w, opts.scale, opts.seed));
+    let mut j = JsonWriter::new();
+    j.begin_object()
+        .field_str("figure", "fig9")
+        .field_uint("scale", opts.scale as u64)
+        .field_uint("seed", opts.seed)
+        .key("rows")
+        .begin_array();
+    for (w, reports) in ws.iter().zip(&all_reports) {
+        for r in reports {
+            let s = r.stalls();
+            j.begin_object()
+                .field_str("benchmark", w.name)
+                .field_str("config", r.model.label())
+                .field_float("rob_pct", s.rob_pct)
+                .field_float("lq_pct", s.lq_pct)
+                .field_float("sq_pct", s.sq_pct)
+                .field_float("total_pct", s.total_pct())
+                .end_object();
+        }
+    }
+    j.end_array().end_object();
+    println!("{}", j.finish());
+}
+
 fn main() {
     let opts = Opts::from_args();
+    if opts.json {
+        print_json(&opts);
+        return;
+    }
     if opts.csv {
         println!("benchmark,config,rob_pct,lq_pct,sq_pct");
         for w in opts.workloads() {

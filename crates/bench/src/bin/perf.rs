@@ -1,0 +1,191 @@
+//! Performance-regression harness: runs a pinned suite (two litmus
+//! tests, three parallel workloads, two SPEC workloads — every one under
+//! all five consistency configurations), recording both sim-side metrics
+//! (cycles, IPC, CPI-stack shares, gate/squash counters) and host-side
+//! throughput (simulated cycles per wall-second), and writes the result
+//! as JSON.
+//!
+//! The committed `BENCH_pr2.json` at the repository root is the baseline;
+//! regenerate it with `cargo run --release --bin perf` after intentional
+//! performance changes. CI runs this binary at reduced scale to validate
+//! the schema and the CPI-stack accounting offline.
+//!
+//! Usage: `perf [--scale N] [--seed N] [--out PATH]` (default scale 2000,
+//! default output `BENCH_pr2.json`).
+
+use sa_bench::{harness, run_workload, Opts};
+use sa_isa::ConsistencyModel;
+use sa_metrics::{CpiCategory, JsonWriter};
+use sa_sim::report::geomean;
+use sa_sim::{Multicore, Report, SimConfig};
+
+/// The pinned suite. Names must stay stable across PRs so baselines
+/// remain comparable.
+const LITMUS: [&str; 2] = ["n6", "mp"];
+const PARALLEL: [&str; 3] = ["barnes", "radix", "x264"];
+const SPEC: [&str; 2] = ["505.mcf", "557.xz_2"];
+
+fn run_litmus(name: &str, model: ConsistencyModel) -> Report {
+    let ct = match name {
+        "n6" => sa_litmus::suite::n6(),
+        "mp" => sa_litmus::suite::mp(),
+        other => panic!("unpinned litmus test {other}"),
+    };
+    let traces = ct.test.to_traces();
+    let cfg = SimConfig::default()
+        .with_model(model)
+        .with_cores(traces.len());
+    let mut sim = Multicore::new(cfg, traces);
+    sim.run(5_000_000)
+        .unwrap_or_else(|e| panic!("{name} under {model}: {e}"));
+    sim.report()
+}
+
+struct ConfigResult {
+    report: Report,
+    host_seconds: f64,
+}
+
+fn emit_config(j: &mut JsonWriter, r: &ConfigResult, baseline_cycles: u64) {
+    let rep = &r.report;
+    // The harness's own gate: a report whose CPI stack does not balance
+    // is a simulator bug, not a data point.
+    assert!(
+        rep.cpi_invariant_holds(),
+        "{}: CPI stack out of balance",
+        rep.model
+    );
+    let total = rep.total();
+    j.begin_object()
+        .field_str("config", rep.model.label())
+        .field_uint("cycles", rep.cycles)
+        .field_uint("instructions", total.retired_instrs)
+        .field_float("ipc", rep.ipc())
+        .field_float(
+            "normalized_time",
+            rep.cycles as f64 / baseline_cycles.max(1) as f64,
+        )
+        .field_float("host_seconds", r.host_seconds)
+        .field_float(
+            "sim_cycles_per_host_sec",
+            if r.host_seconds > 0.0 {
+                rep.cycles as f64 / r.host_seconds
+            } else {
+                0.0
+            },
+        )
+        .field_uint("gate_closed_cycles", total.gate_closed_cycles)
+        .field_uint("gate_stall_events", total.gate_stall_events)
+        .field_uint("squashes", total.squashes.iter().sum())
+        .field_uint("sb_commits", total.sb_commits)
+        .field_float("energy_proxy", rep.energy_proxy())
+        .field_uint("samples", rep.samples.len() as u64);
+    j.key("cpi_stack").begin_object();
+    let stack = rep.cpi_total();
+    for cat in CpiCategory::ALL {
+        j.field_float(cat.label(), stack.share_pct(cat));
+    }
+    j.end_object().end_object();
+}
+
+fn main() {
+    let mut opts = Opts::from_args();
+    // The regression suite is pinned and small; default well below the
+    // exploration binaries' 30k so a full 5-config sweep stays quick.
+    if !std::env::args().any(|a| a == "--scale") {
+        opts.scale = 2_000;
+    }
+    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr2.json".into());
+
+    struct Entry {
+        name: &'static str,
+        kind: &'static str,
+    }
+    let mut entries: Vec<Entry> = Vec::new();
+    for n in LITMUS {
+        entries.push(Entry {
+            name: n,
+            kind: "litmus",
+        });
+    }
+    for n in PARALLEL {
+        entries.push(Entry {
+            name: n,
+            kind: "parallel",
+        });
+    }
+    for n in SPEC {
+        entries.push(Entry {
+            name: n,
+            kind: "spec",
+        });
+    }
+
+    let mut j = JsonWriter::new();
+    j.begin_object()
+        .field_str("schema", "sa-bench-perf-v1")
+        .field_uint("scale", opts.scale as u64)
+        .field_uint("seed", opts.seed)
+        .key("workloads")
+        .begin_array();
+
+    // Normalized-time rows (4 store-atomic configs vs x86) for the
+    // closing geomean.
+    let mut norm_rows: Vec<Vec<f64>> = Vec::new();
+
+    for e in &entries {
+        let results: Vec<ConfigResult> = ConsistencyModel::ALL
+            .iter()
+            .map(|&model| {
+                let (report, host_seconds) = if e.kind == "litmus" {
+                    harness::time(|| run_litmus(e.name, model))
+                } else {
+                    let w = sa_workloads::by_name(e.name)
+                        .unwrap_or_else(|| panic!("unpinned workload {}", e.name));
+                    harness::time(|| run_workload(&w, model, opts.scale, opts.seed))
+                };
+                ConfigResult {
+                    report,
+                    host_seconds,
+                }
+            })
+            .collect();
+        let baseline = results[0].report.cycles;
+        norm_rows.push(
+            results[1..]
+                .iter()
+                .map(|r| r.report.cycles as f64 / baseline.max(1) as f64)
+                .collect(),
+        );
+        j.begin_object()
+            .field_str("name", e.name)
+            .field_str("kind", e.kind)
+            .field_uint("cores", results[0].report.per_core.len() as u64)
+            .key("configs")
+            .begin_array();
+        for r in &results {
+            emit_config(&mut j, r, baseline);
+        }
+        j.end_array().end_object();
+        eprintln!(
+            "{:<10} done ({} configs, x86 cycles {})",
+            e.name,
+            results.len(),
+            baseline
+        );
+    }
+    j.end_array();
+
+    let labels = ["nospec", "slfspec", "slfsos", "slfsos_key"];
+    j.key("geomean_normalized_time").begin_object();
+    for (i, label) in labels.iter().enumerate() {
+        let col: Vec<f64> = norm_rows.iter().map(|r| r[i]).collect();
+        j.field_float(label, geomean(&col));
+    }
+    j.end_object().end_object();
+
+    let body = j.finish();
+    std::fs::write(&out_path, format!("{body}\n"))
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

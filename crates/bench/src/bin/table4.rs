@@ -7,10 +7,11 @@
 //! store-atomicity misspeculation (%).
 //!
 //! Usage: `table4 [--suite parallel|spec|all] [--scale N] [--seed N]
-//! [--only NAME]`
+//! [--only NAME] [--csv|--json]`
 
 use sa_bench::{run_workload, Opts};
 use sa_isa::ConsistencyModel;
+use sa_metrics::JsonWriter;
 use sa_workloads::{Suite, WorkloadSpec};
 
 struct Row {
@@ -99,8 +100,37 @@ fn print_csv(rows: &[Row]) {
     }
 }
 
+fn print_json(rows: &[Row], opts: &Opts) {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("table", "table4")
+        .field_str("config", "370-SLFSoS-key")
+        .field_uint("scale", opts.scale as u64)
+        .field_uint("seed", opts.seed)
+        .key("rows")
+        .begin_array();
+    for r in rows {
+        w.begin_object()
+            .field_str("benchmark", r.name)
+            .field_uint("instructions", r.instrs)
+            .field_float("loads_pct", r.loads)
+            .field_float("fwd_pct", r.fwd)
+            .field_float("gate_stall_pct", r.gate)
+            .field_float("avg_stall_cycles", r.stall_cycles)
+            .field_float("sa_reexec_pct", r.reexec)
+            .end_object();
+    }
+    w.end_array().end_object();
+    println!("{}", w.finish());
+}
+
 fn main() {
     let opts = Opts::from_args();
+    if opts.json {
+        let rows = run_suite(&opts.workloads(), &opts);
+        print_json(&rows, &opts);
+        return;
+    }
     if opts.csv {
         println!("benchmark,instructions,loads_pct,fwd_pct,gate_stall_pct,avg_stall_cycles,sa_reexec_pct");
         for w in opts.workloads() {

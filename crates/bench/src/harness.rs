@@ -87,6 +87,15 @@ impl Group {
     }
 }
 
+/// Times one invocation of `f` on the host clock, returning the result
+/// and elapsed wall seconds — the perf harness's throughput probe
+/// (simulated cycles per host second).
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)

@@ -40,6 +40,10 @@ pub struct Opts {
     pub jobs: usize,
     /// Emit machine-readable CSV instead of aligned tables.
     pub csv: bool,
+    /// Emit machine-readable JSON instead of aligned tables.
+    pub json: bool,
+    /// Output path for binaries that write a file (the perf harness).
+    pub out: Option<String>,
 }
 
 /// Suite selection.
@@ -64,6 +68,8 @@ impl Default for Opts {
                 .map(|n| n.get())
                 .unwrap_or(1),
             csv: false,
+            json: false,
+            out: None,
         }
     }
 }
@@ -115,9 +121,17 @@ impl Opts {
                     o.csv = true;
                     i += 1;
                 }
+                "--json" => {
+                    o.json = true;
+                    i += 1;
+                }
+                "--out" => {
+                    o.out = Some(need(i));
+                    i += 2;
+                }
                 other => {
                     panic!(
-                        "unknown option {other} (try --scale/--seed/--suite/--only/--jobs/--csv)"
+                        "unknown option {other} (try --scale/--seed/--suite/--only/--jobs/--csv/--json/--out)"
                     )
                 }
             }

@@ -288,6 +288,18 @@ impl MemorySystem {
         self.q.is_empty()
     }
 
+    /// Outstanding misses (allocated MSHRs) at one core's private
+    /// controller, at this instant.
+    pub fn outstanding_misses_at(&self, core: CoreId) -> usize {
+        self.ctrls[core.index()].mshrs_in_use()
+    }
+
+    /// Outstanding misses (allocated MSHRs) across all private
+    /// controllers — the interval sampler's memory-pressure probe.
+    pub fn outstanding_misses(&self) -> usize {
+        self.ctrls.iter().map(|c| c.mshrs_in_use()).sum()
+    }
+
     /// Cycle of the next pending protocol event, if any.
     pub fn next_event_cycle(&self) -> Option<Cycle> {
         self.q.next_cycle()

@@ -18,6 +18,11 @@ pub struct SimConfig {
     pub mem: MemConfig,
     /// Which of the five consistency implementations to run.
     pub model: ConsistencyModel,
+    /// Interval, in cycles, between time-series samples (0 disables the
+    /// sampler).
+    pub sample_interval: u64,
+    /// Bounded capacity of the sample ring (oldest samples drop first).
+    pub sample_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -26,6 +31,8 @@ impl Default for SimConfig {
             core: CoreConfig::default(),
             mem: MemConfig::default(),
             model: ConsistencyModel::X86,
+            sample_interval: 10_000,
+            sample_capacity: 4096,
         }
     }
 }
@@ -40,6 +47,12 @@ impl SimConfig {
     /// Sets the number of cores.
     pub fn with_cores(mut self, n: usize) -> SimConfig {
         self.mem.n_cores = n;
+        self
+    }
+
+    /// Sets the time-series sampling interval in cycles (0 disables).
+    pub fn with_sample_interval(mut self, interval: u64) -> SimConfig {
+        self.sample_interval = interval;
         self
     }
 

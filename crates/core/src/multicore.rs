@@ -3,6 +3,7 @@
 
 use sa_coherence::{MemReqId, MemorySystem, Notice};
 use sa_isa::{Addr, CoreId, Cycle, Line, Trace, Value, ValueMemory};
+use sa_metrics::{SampleInput, Sampler};
 use sa_ooo::{Core, LoadStorePort};
 use sa_trace::{NullTracer, Tracer};
 
@@ -85,6 +86,7 @@ pub struct Multicore<T: Tracer = NullTracer> {
     mem: MemorySystem,
     valmem: ValueMemory,
     cycle: Cycle,
+    sampler: Sampler,
     tracer: T,
 }
 
@@ -125,6 +127,7 @@ impl<T: Tracer> Multicore<T> {
             valmem: ValueMemory::new(),
             cores,
             cycle: 0,
+            sampler: Sampler::new(cfg.sample_interval, cfg.sample_capacity),
             cfg,
             tracer,
         }
@@ -198,6 +201,30 @@ impl<T: Tracer> Multicore<T> {
             );
         }
         self.cycle += 1;
+        if self.sampler.due(self.cycle) {
+            self.sample();
+        }
+    }
+
+    /// Gathers one instantaneous machine snapshot into the sampler.
+    fn sample(&mut self) {
+        let mut input = SampleInput {
+            n_cores: self.cores.len() as u64,
+            outstanding_misses: self.mem.outstanding_misses() as u64,
+            ..SampleInput::default()
+        };
+        for c in &self.cores {
+            let (rob, lq, sq) = c.occupancy();
+            input.rob += rob as u64;
+            input.lq += lq as u64;
+            input.sq += sq as u64;
+            input.sb += c.sb_depth() as u64;
+            let s = c.stats();
+            input.retired += s.retired_instrs;
+            input.gate_closed_cycles += s.gate_closed_cycles;
+            input.squashes += s.squashes.iter().sum::<u64>();
+        }
+        self.sampler.record(self.cycle, input);
     }
 
     /// Runs until every core finishes or `max_cycles` elapse.
@@ -237,7 +264,11 @@ impl<T: Tracer> Multicore<T> {
         Report {
             model: self.cfg.model,
             cycles: self.cycle,
+            width: self.cfg.core.width,
             per_core: self.cores.iter().map(|c| *c.stats()).collect(),
+            metrics: self.cores.iter().map(|c| c.metrics().clone()).collect(),
+            samples: self.sampler.to_vec(),
+            sample_interval: self.sampler.interval(),
             mem: self.mem.stats(),
         }
     }

@@ -2,6 +2,7 @@
 
 use sa_coherence::MemStats;
 use sa_isa::ConsistencyModel;
+use sa_metrics::{ratio, CoreMetrics, CpiCategory, CpiStack, OccupancyHists, Registry, Sample};
 use sa_ooo::CoreStats;
 
 /// Figure 9's stacked bars: the share of execution cycles in which the
@@ -31,8 +32,19 @@ pub struct Report {
     /// Wall-clock of the run in cycles (time until the last core
     /// finished — Figure 10's metric).
     pub cycles: u64,
+    /// Retire width of each core (the CPI stack sums to
+    /// `width × cycles` per core).
+    pub width: usize,
     /// Per-core counters.
     pub per_core: Vec<CoreStats>,
+    /// Per-core aggregate metrics: retire-slot CPI stacks and
+    /// window-occupancy histograms.
+    pub metrics: Vec<CoreMetrics>,
+    /// Interval time-series (empty when sampling was disabled or the run
+    /// was shorter than one interval).
+    pub samples: Vec<Sample>,
+    /// The sampling interval the run used (0 = disabled).
+    pub sample_interval: u64,
     /// Memory-system counters.
     pub mem: MemStats,
 }
@@ -67,18 +79,127 @@ impl Report {
 
     /// Execution time normalized to `baseline` (Figure 10's metric).
     pub fn normalized_time(&self, baseline: &Report) -> f64 {
-        if baseline.cycles == 0 {
-            return 0.0;
-        }
-        self.cycles as f64 / baseline.cycles as f64
+        ratio(self.cycles as f64, baseline.cycles as f64)
     }
 
     /// Instructions per cycle across the machine.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            return 0.0;
+        ratio(self.total().retired_instrs as f64, self.cycles as f64)
+    }
+
+    /// All cores' CPI stacks merged.
+    pub fn cpi_total(&self) -> CpiStack {
+        let mut t = CpiStack::default();
+        for m in &self.metrics {
+            t.merge(&m.cpi);
         }
-        self.total().retired_instrs as f64 / self.cycles as f64
+        t
+    }
+
+    /// All cores' occupancy histograms merged.
+    pub fn occupancy_total(&self) -> OccupancyHists {
+        let mut t = OccupancyHists::default();
+        for m in &self.metrics {
+            t.merge(&m.occ);
+        }
+        t
+    }
+
+    /// The CPI-stack accounting invariant: every core's categories sum
+    /// to exactly `width × cycles` for that core.
+    pub fn cpi_invariant_holds(&self) -> bool {
+        self.metrics
+            .iter()
+            .zip(&self.per_core)
+            .all(|(m, s)| m.cpi.invariant_holds(self.width as u64, s.cycles))
+    }
+
+    /// Flattens the whole report into a metrics [`Registry`], the common
+    /// representation behind the Prometheus/CSV exporters.
+    pub fn registry(&self) -> Registry {
+        let model = self.model.label();
+        let ml = [("model", model)];
+        let mut r = Registry::new();
+        r.counter(
+            "sa_cycles_total",
+            "Wall-clock of the run in cycles",
+            &ml,
+            self.cycles,
+        );
+        r.gauge("sa_ipc", "Machine instructions per cycle", &ml, self.ipc());
+        for (i, (s, m)) in self.per_core.iter().zip(&self.metrics).enumerate() {
+            let core = i.to_string();
+            let cl = [("model", model), ("core", core.as_str())];
+            r.counter(
+                "sa_core_cycles_total",
+                "Core execution cycles",
+                &cl,
+                s.cycles,
+            );
+            r.counter(
+                "sa_retired_instructions_total",
+                "Retired instructions",
+                &cl,
+                s.retired_instrs,
+            );
+            r.counter(
+                "sa_gate_closed_cycles_total",
+                "Cycles the retire gate was closed",
+                &cl,
+                s.gate_closed_cycles,
+            );
+            r.counter(
+                "sa_squashes_total",
+                "Squash events (all causes)",
+                &cl,
+                s.squashes.iter().sum(),
+            );
+            r.counter(
+                "sa_sb_commits_total",
+                "Store-buffer commits to the L1",
+                &cl,
+                s.sb_commits,
+            );
+            for cat in CpiCategory::ALL {
+                let labels = [
+                    ("model", model),
+                    ("core", core.as_str()),
+                    ("category", cat.label()),
+                ];
+                r.counter(
+                    "sa_retire_slots_total",
+                    "Retire slots attributed by CPI-stack category",
+                    &labels,
+                    m.cpi.get(cat),
+                );
+            }
+            r.histogram(
+                "sa_rob_occupancy",
+                "ROB occupancy per cycle",
+                &cl,
+                &m.occ.rob,
+            );
+            r.histogram("sa_lq_occupancy", "LQ occupancy per cycle", &cl, &m.occ.lq);
+            r.histogram(
+                "sa_sq_occupancy",
+                "SQ/SB occupancy per cycle",
+                &cl,
+                &m.occ.sq,
+            );
+        }
+        r.counter(
+            "sa_mem_invalidations_total",
+            "Coherence invalidations",
+            &ml,
+            self.mem.invalidations(),
+        );
+        r.counter(
+            "sa_mem_flits_total",
+            "Network flits sent",
+            &ml,
+            self.mem.flits_sent,
+        );
+        r
     }
 
     /// A dynamic-energy proxy (arbitrary units): weighted counts of the
@@ -103,10 +224,32 @@ impl Report {
         let dram: f64 = mem.per_bank.iter().map(|b| b.l3_misses as f64).sum();
         let flits = mem.flits_sent as f64;
         let replays: f64 = t.reexec_instrs.iter().sum::<u64>() as f64;
-        // Rough per-event weights (relative dynamic energy).
-        l1 * 1.0 + l2 * 4.0 + l3 * 12.0 + dram * 80.0 + flits * 2.0 + replays * 1.5
+        l1 * ENERGY_WEIGHT_L1
+            + l2 * ENERGY_WEIGHT_L2
+            + l3 * ENERGY_WEIGHT_L3
+            + dram * ENERGY_WEIGHT_DRAM
+            + flits * ENERGY_WEIGHT_FLIT
+            + replays * ENERGY_WEIGHT_REPLAY
     }
 }
+
+/// Relative dynamic-energy weight of an L1 access, the
+/// [`Report::energy_proxy`] unit (CACTI-class cache models put an L1
+/// read around a few pJ; everything below is scaled to it).
+pub const ENERGY_WEIGHT_L1: f64 = 1.0;
+/// An L2 access: a few times the L1 (larger array, higher associativity).
+pub const ENERGY_WEIGHT_L2: f64 = 4.0;
+/// An L3 bank access: an order of magnitude over the L1 (1 MB bank plus
+/// the directory lookup).
+pub const ENERGY_WEIGHT_L3: f64 = 12.0;
+/// A DRAM access: roughly two orders of magnitude over the L1
+/// (row activation + I/O).
+pub const ENERGY_WEIGHT_DRAM: f64 = 80.0;
+/// One network flit traversing the interconnect.
+pub const ENERGY_WEIGHT_FLIT: f64 = 2.0;
+/// One squash-replayed instruction re-flowing through the pipeline
+/// (fetch/rename/execute energy, no memory side).
+pub const ENERGY_WEIGHT_REPLAY: f64 = 1.5;
 
 /// Geometric mean of a slice of ratios (the paper reports geomeans in
 /// Figure 10). Returns 0 for an empty slice.
@@ -123,10 +266,15 @@ mod tests {
     use super::*;
 
     fn report(cycles: u64, per_core: Vec<CoreStats>) -> Report {
+        let n = per_core.len();
         Report {
             model: ConsistencyModel::X86,
             cycles,
+            width: 5,
             per_core,
+            metrics: vec![CoreMetrics::default(); n],
+            samples: Vec::new(),
+            sample_interval: 0,
             mem: MemStats::default(),
         }
     }

@@ -1,0 +1,214 @@
+//! Retire-slot CPI stacks.
+//!
+//! Top-down accounting at the retire stage: a `width`-wide core offers
+//! `width` retire slots every cycle, and every slot is charged to exactly
+//! one [`CpiCategory`] — either an instruction retired through it
+//! ([`CpiCategory::Retiring`]) or the whole remainder of the cycle's
+//! slots is charged to the *one* reason the head of the ROB could not
+//! retire. The invariant that categories sum to `width × cycles` is what
+//! makes the stack an *account* rather than a set of overlapping
+//! counters: the Figure 10 time delta between two configurations is
+//! exactly the difference of their non-retiring slot counts.
+
+use crate::pct;
+
+/// Number of CPI-stack categories.
+pub const CPI_CATEGORIES: usize = 9;
+
+/// Where a retire slot went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpiCategory {
+    /// An instruction retired through the slot.
+    Retiring,
+    /// Head load stalled behind the closed retire gate
+    /// (`370-SLFSoS` / `370-SLFSoS-key` — Table IV "Gate Stalls").
+    GateStall,
+    /// Head SLF load waiting for the SB to drain (`370-SLFSpec` rule).
+    SlfSbWait,
+    /// Head load blocked at execute waiting for a store's L1 write
+    /// (`370-NoSpec` blanket enforcement, or a partial overlap).
+    NoSpecBlock,
+    /// Head load waiting on the memory system (issued miss or MSHR
+    /// pressure).
+    MemMiss,
+    /// Window empty while fetch refills after a squash replay.
+    SquashRefill,
+    /// Window empty (or head unresolved) behind a mispredicted branch /
+    /// fetch redirect.
+    BranchRedirect,
+    /// Window empty with fetch unobstructed: the trace drained, or the
+    /// frontend simply has nothing in flight yet.
+    Frontend,
+    /// Head not ready for any other backend reason (ALU latency, store
+    /// data/address, fence waiting on SB drain, ...).
+    OtherBackend,
+}
+
+impl CpiCategory {
+    /// All categories, in display order.
+    pub const ALL: [CpiCategory; CPI_CATEGORIES] = [
+        CpiCategory::Retiring,
+        CpiCategory::GateStall,
+        CpiCategory::SlfSbWait,
+        CpiCategory::NoSpecBlock,
+        CpiCategory::MemMiss,
+        CpiCategory::SquashRefill,
+        CpiCategory::BranchRedirect,
+        CpiCategory::Frontend,
+        CpiCategory::OtherBackend,
+    ];
+
+    /// Stable index into [`CpiStack::slots`].
+    pub fn index(self) -> usize {
+        match self {
+            CpiCategory::Retiring => 0,
+            CpiCategory::GateStall => 1,
+            CpiCategory::SlfSbWait => 2,
+            CpiCategory::NoSpecBlock => 3,
+            CpiCategory::MemMiss => 4,
+            CpiCategory::SquashRefill => 5,
+            CpiCategory::BranchRedirect => 6,
+            CpiCategory::Frontend => 7,
+            CpiCategory::OtherBackend => 8,
+        }
+    }
+
+    /// Short kebab-case label (metric/JSON key).
+    pub fn label(self) -> &'static str {
+        match self {
+            CpiCategory::Retiring => "retiring",
+            CpiCategory::GateStall => "gate-stall",
+            CpiCategory::SlfSbWait => "slf-sb-wait",
+            CpiCategory::NoSpecBlock => "nospec-block",
+            CpiCategory::MemMiss => "mem-miss",
+            CpiCategory::SquashRefill => "squash-refill",
+            CpiCategory::BranchRedirect => "branch-redirect",
+            CpiCategory::Frontend => "frontend-empty",
+            CpiCategory::OtherBackend => "other-backend",
+        }
+    }
+}
+
+impl std::fmt::Display for CpiCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One core's (or one machine's, after merging) retire-slot account.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    /// Slot counts, indexed by [`CpiCategory::index`].
+    pub slots: [u64; CPI_CATEGORIES],
+}
+
+impl CpiStack {
+    /// Charges `n` slots to `cat`.
+    pub fn add(&mut self, cat: CpiCategory, n: u64) {
+        self.slots[cat.index()] += n;
+    }
+
+    /// Slots charged to `cat`.
+    pub fn get(&self, cat: CpiCategory) -> u64 {
+        self.slots[cat.index()]
+    }
+
+    /// Total slots accounted.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// Share of `cat` in percent of all slots (0.0 for an empty stack).
+    pub fn share_pct(&self, cat: CpiCategory) -> f64 {
+        pct(self.get(cat), self.total())
+    }
+
+    /// All shares in [`CpiCategory::ALL`] order, in percent. Sums to
+    /// ~100 for a non-empty stack.
+    pub fn shares_pct(&self) -> [f64; CPI_CATEGORIES] {
+        let mut out = [0.0; CPI_CATEGORIES];
+        for (i, c) in CpiCategory::ALL.iter().enumerate() {
+            out[i] = self.share_pct(*c);
+        }
+        out
+    }
+
+    /// Sums another stack into this one.
+    pub fn merge(&mut self, o: &CpiStack) {
+        for i in 0..CPI_CATEGORIES {
+            self.slots[i] += o.slots[i];
+        }
+    }
+
+    /// The hard accounting invariant: every one of the `width × cycles`
+    /// retire slots is charged exactly once.
+    pub fn invariant_holds(&self, width: u64, cycles: u64) -> bool {
+        self.total() == width.saturating_mul(cycles)
+    }
+
+    /// Panicking form of [`CpiStack::invariant_holds`], for harnesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full stack when the account does not balance.
+    pub fn assert_invariant(&self, width: u64, cycles: u64) {
+        assert!(
+            self.invariant_holds(width, cycles),
+            "CPI stack does not balance: {} slots accounted, width {} x cycles {} = {} expected; {:?}",
+            self.total(),
+            width,
+            cycles,
+            width.saturating_mul(cycles),
+            self.slots
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_a_bijection() {
+        for (i, c) in CpiCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let mut labels: Vec<&str> = CpiCategory::ALL.iter().map(|c| c.label()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), CPI_CATEGORIES);
+    }
+
+    #[test]
+    fn shares_sum_to_100() {
+        let mut s = CpiStack::default();
+        s.add(CpiCategory::Retiring, 70);
+        s.add(CpiCategory::GateStall, 10);
+        s.add(CpiCategory::MemMiss, 20);
+        let sum: f64 = s.shares_pct().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!((s.share_pct(CpiCategory::Retiring) - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invariant_checks_width_times_cycles() {
+        let mut s = CpiStack::default();
+        s.add(CpiCategory::Retiring, 12);
+        s.add(CpiCategory::Frontend, 8);
+        assert!(s.invariant_holds(5, 4));
+        assert!(!s.invariant_holds(5, 5));
+        s.assert_invariant(5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not balance")]
+    fn assert_invariant_panics_on_imbalance() {
+        CpiStack::default().assert_invariant(5, 1);
+    }
+
+    #[test]
+    fn empty_stack_shares_are_zero() {
+        let s = CpiStack::default();
+        assert_eq!(s.share_pct(CpiCategory::Retiring), 0.0);
+        assert!(s.invariant_holds(5, 0));
+    }
+}

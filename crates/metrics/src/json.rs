@@ -1,0 +1,226 @@
+//! A minimal hand-written JSON writer (no dependencies, offline), shared
+//! by the `--json` modes of the experiment binaries and the perf
+//! harness. Same spirit as `sa-trace::chrome`: we emit a small, known
+//! vocabulary of shapes, so a streaming string builder with comma and
+//! nesting bookkeeping is all that is needed.
+
+/// Streaming JSON builder.
+///
+/// Call [`JsonWriter::begin_object`]/[`JsonWriter::begin_array`] to open
+/// containers, [`JsonWriter::key`] before each object member, and the
+/// value methods to emit scalars. [`JsonWriter::finish`] asserts every
+/// container was closed.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` until its first element.
+    stack: Vec<bool>,
+    /// A key was just written; the next value must not emit a comma.
+    pending_key: bool,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn comma(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(first) = self.stack.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push('{');
+        self.stack.push(true);
+        self
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop().expect("end_object without begin_object");
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push('[');
+        self.stack.push(true);
+        self
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop().expect("end_array without begin_array");
+        self.out.push(']');
+        self
+    }
+
+    /// Emits an object member key; the next value belongs to it.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.comma();
+        self.out.push('"');
+        escape_into(&mut self.out, k);
+        self.out.push_str("\":");
+        self.pending_key = true;
+        self
+    }
+
+    /// Emits a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.comma();
+        self.out.push('"');
+        escape_into(&mut self.out, s);
+        self.out.push('"');
+        self
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn uint(&mut self, v: u64) -> &mut Self {
+        self.comma();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Emits a float value (non-finite values become 0, which JSON
+    /// cannot represent otherwise).
+    pub fn float(&mut self, v: f64) -> &mut Self {
+        self.comma();
+        let v = if v.is_finite() { v } else { 0.0 };
+        // Shortest round-trip formatting; ensure a `.0` so consumers see
+        // a float where the schema promises one.
+        let s = v.to_string();
+        self.out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') {
+            self.out.push_str(".0");
+        }
+        self
+    }
+
+    /// Emits a boolean value.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.comma();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Convenience: `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).string(v)
+    }
+
+    /// Convenience: `key` + unsigned integer value.
+    pub fn field_uint(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).uint(v)
+    }
+
+    /// Convenience: `key` + float value.
+    pub fn field_float(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).float(v)
+    }
+
+    /// Finishes the document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container is still open — a structural bug at the
+    /// call site.
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty(),
+            "unclosed JSON container(s): depth {}",
+            self.stack.len()
+        );
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_round_trips_shape() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("name", "n6")
+            .field_uint("cycles", 123)
+            .field_float("ipc", 2.5)
+            .key("shares")
+            .begin_array()
+            .float(1.0)
+            .float(99.0)
+            .end_array()
+            .key("ok")
+            .boolean(true)
+            .end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "{\"name\":\"n6\",\"cycles\":123,\"ipc\":2.5,\"shares\":[1.0,99.0],\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.begin_object().field_str("k\"ey", "a\\b\nc").end_object();
+        assert_eq!(w.finish(), "{\"k\\\"ey\":\"a\\\\b\\nc\"}");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        let mut w = JsonWriter::new();
+        w.begin_array().float(3.0).float(f64::NAN).end_array();
+        assert_eq!(w.finish(), "[3.0,0.0]");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_rejects_open_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        let _ = w.finish();
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("a")
+            .begin_array()
+            .end_array()
+            .key("b")
+            .begin_object()
+            .end_object()
+            .end_object();
+        assert_eq!(w.finish(), "{\"a\":[],\"b\":{}}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Window-occupancy histograms, recorded always-on.
+//!
+//! `hist[n]` counts the cycles a structure was observed holding exactly
+//! `n` entries. These are the raw series behind Figure 9's stall
+//! attribution: a workload whose dispatch stalls are charged to the
+//! SQ/SB must also show the SQ/SB histogram pinned at capacity. The same
+//! shape used to be collected only by `sa-trace`'s counters-only sink;
+//! the core now records it unconditionally and the sink bridges into
+//! this type ([`OccupancyHists::from_slices`]) so both paths feed one
+//! registry representation.
+
+/// Occupancy histograms for the three window resources.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OccupancyHists {
+    /// ROB occupancy histogram.
+    pub rob: Vec<u64>,
+    /// LQ occupancy histogram.
+    pub lq: Vec<u64>,
+    /// SQ/SB occupancy histogram.
+    pub sq: Vec<u64>,
+}
+
+fn bump(hist: &mut Vec<u64>, value: usize) {
+    if hist.len() <= value {
+        hist.resize(value + 1, 0);
+    }
+    hist[value] += 1;
+}
+
+fn merge_into(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+impl OccupancyHists {
+    /// Pre-sizes each histogram to `capacity + 1` bins so the per-cycle
+    /// [`OccupancyHists::record`] never reallocates.
+    pub fn with_capacities(rob: usize, lq: usize, sq: usize) -> OccupancyHists {
+        OccupancyHists {
+            rob: vec![0; rob + 1],
+            lq: vec![0; lq + 1],
+            sq: vec![0; sq + 1],
+        }
+    }
+
+    /// Bridges histograms recorded elsewhere (e.g. `sa-trace`'s
+    /// counters-only sink) into this representation.
+    pub fn from_slices(rob: &[u64], lq: &[u64], sq: &[u64]) -> OccupancyHists {
+        OccupancyHists {
+            rob: rob.to_vec(),
+            lq: lq.to_vec(),
+            sq: sq.to_vec(),
+        }
+    }
+
+    /// Records one cycle's occupancies.
+    pub fn record(&mut self, rob: usize, lq: usize, sq: usize) {
+        bump(&mut self.rob, rob);
+        bump(&mut self.lq, lq);
+        bump(&mut self.sq, sq);
+    }
+
+    /// Sums another set of histograms into this one.
+    pub fn merge(&mut self, o: &OccupancyHists) {
+        merge_into(&mut self.rob, &o.rob);
+        merge_into(&mut self.lq, &o.lq);
+        merge_into(&mut self.sq, &o.sq);
+    }
+
+    /// Cycles sampled (per structure; all three agree when recorded via
+    /// [`OccupancyHists::record`]).
+    pub fn cycles_sampled(&self) -> u64 {
+        self.rob.iter().sum()
+    }
+
+    /// Fraction of sampled cycles a histogram spent at or above
+    /// occupancy `n` (0.0 when nothing was sampled).
+    pub fn fraction_at_or_above(hist: &[u64], n: usize) -> f64 {
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let above: u64 = hist.iter().skip(n).sum();
+        above as f64 / total as f64
+    }
+
+    /// Mean occupancy of a histogram (0.0 when nothing was sampled).
+    pub fn mean(hist: &[u64]) -> f64 {
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = hist.iter().enumerate().map(|(i, c)| i as u64 * c).sum();
+        weighted as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_bumps_each_structure() {
+        let mut h = OccupancyHists::with_capacities(8, 4, 4);
+        h.record(3, 1, 0);
+        h.record(3, 2, 0);
+        assert_eq!(h.rob[3], 2);
+        assert_eq!(h.lq[1], 1);
+        assert_eq!(h.sq[0], 2);
+        assert_eq!(h.cycles_sampled(), 2);
+    }
+
+    #[test]
+    fn record_grows_past_preallocated_bins() {
+        let mut h = OccupancyHists::with_capacities(2, 2, 2);
+        h.record(5, 0, 0);
+        assert_eq!(h.rob[5], 1);
+    }
+
+    #[test]
+    fn merge_handles_unequal_lengths() {
+        let mut a = OccupancyHists::from_slices(&[1, 2], &[1], &[1]);
+        let b = OccupancyHists::from_slices(&[0, 0, 7], &[1], &[1]);
+        a.merge(&b);
+        assert_eq!(a.rob, vec![1, 2, 7]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let hist = [0, 2, 0, 2]; // two cycles at 1, two at 3
+        assert!((OccupancyHists::mean(&hist) - 2.0).abs() < 1e-12);
+        assert!((OccupancyHists::fraction_at_or_above(&hist, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(OccupancyHists::mean(&[]), 0.0);
+        assert_eq!(OccupancyHists::fraction_at_or_above(&[], 1), 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! A flat metrics registry with an offline Prometheus text exporter.
+//!
+//! The simulator's end state (a `Report`) flattens into this registry so
+//! one representation feeds every export path: Prometheus text format
+//! for scrape-style tooling, and CSV for spreadsheets. Everything is
+//! hand-written — the workspace builds with zero external dependencies.
+//!
+//! Metrics are grouped into *families* (one name, one kind, one help
+//! string) holding one sample per label set, mirroring the Prometheus
+//! data model. Insertion order is preserved so exports are
+//! deterministic.
+
+/// Metric kind, controlling the `# TYPE` line and sample expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic count of events (slots, squashes, accesses).
+    Counter,
+    /// Point-in-time value (IPC, shares).
+    Gauge,
+    /// Pre-binned distribution; exported as cumulative `_bucket{le=..}`
+    /// samples plus `_sum` and `_count`.
+    Histogram,
+}
+
+/// One labelled sample within a family.
+#[derive(Debug, Clone)]
+struct Sample {
+    labels: Vec<(String, String)>,
+    value: SampleValue,
+}
+
+#[derive(Debug, Clone)]
+enum SampleValue {
+    Scalar(f64),
+    /// `hist[i]` counts observations of value exactly `i`.
+    Hist(Vec<u64>),
+}
+
+/// One metric family: a name, a kind, a help string, and its samples.
+#[derive(Debug, Clone)]
+struct Family {
+    name: String,
+    kind: MetricKind,
+    help: String,
+    samples: Vec<Sample>,
+}
+
+/// The registry: an ordered collection of metric families.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{}", v)
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn family(&mut self, name: &str, kind: MetricKind, help: &str) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            assert!(
+                self.families[i].kind == kind,
+                "metric family {name} registered twice with different kinds"
+            );
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            kind,
+            help: help.to_string(),
+            samples: Vec::new(),
+        });
+        self.families.last_mut().unwrap()
+    }
+
+    fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    /// Records a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.family(name, MetricKind::Counter, help)
+            .samples
+            .push(Sample {
+                labels: Registry::own_labels(labels),
+                value: SampleValue::Scalar(value as f64),
+            });
+    }
+
+    /// Records a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.family(name, MetricKind::Gauge, help)
+            .samples
+            .push(Sample {
+                labels: Registry::own_labels(labels),
+                value: SampleValue::Scalar(value),
+            });
+    }
+
+    /// Records a histogram sample; `hist[i]` counts observations of
+    /// value exactly `i` (the occupancy-histogram shape).
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], hist: &[u64]) {
+        self.family(name, MetricKind::Histogram, help)
+            .samples
+            .push(Sample {
+                labels: Registry::own_labels(labels),
+                value: SampleValue::Hist(hist.to_vec()),
+            });
+    }
+
+    /// Number of samples across all families.
+    pub fn len(&self) -> usize {
+        self.families.iter().map(|f| f.samples.len()).sum()
+    }
+
+    /// `true` when the registry holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (v0.0.4): `# HELP` / `# TYPE` once per family, one line per
+    /// sample; histograms expand to cumulative `_bucket` lines plus
+    /// `_sum` and `_count`.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            let ty = match f.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            };
+            out.push_str(&format!("# TYPE {} {}\n", f.name, ty));
+            for s in &f.samples {
+                match &s.value {
+                    SampleValue::Scalar(v) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            f.name,
+                            fmt_labels(&s.labels),
+                            fmt_value(*v)
+                        ));
+                    }
+                    SampleValue::Hist(h) => {
+                        let mut cum = 0u64;
+                        let mut sum = 0u64;
+                        for (i, c) in h.iter().enumerate() {
+                            cum += c;
+                            sum += i as u64 * c;
+                            let mut labels = s.labels.clone();
+                            labels.push(("le".to_string(), i.to_string()));
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                f.name,
+                                fmt_labels(&labels),
+                                cum
+                            ));
+                        }
+                        let mut labels = s.labels.clone();
+                        labels.push(("le".to_string(), "+Inf".to_string()));
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            f.name,
+                            fmt_labels(&labels),
+                            cum
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            f.name,
+                            fmt_labels(&s.labels),
+                            sum
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            f.name,
+                            fmt_labels(&s.labels),
+                            cum
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders scalar samples as `name,labels,value` CSV (histograms are
+    /// skipped — they have their own wide format in the exporters that
+    /// need them).
+    pub fn csv(&self) -> String {
+        let mut out = String::from("metric,labels,value\n");
+        for f in &self.families {
+            for s in &f.samples {
+                if let SampleValue::Scalar(v) = &s.value {
+                    let labels: Vec<String> = s
+                        .labels
+                        .iter()
+                        .map(|(k, val)| format!("{}={}", k, val))
+                        .collect();
+                    out.push_str(&format!(
+                        "{},{},{}\n",
+                        f.name,
+                        labels.join(";"),
+                        fmt_value(*v)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_emits_help_and_type_once_per_family() {
+        let mut r = Registry::new();
+        r.counter("sa_cycles_total", "Simulated cycles", &[], 100);
+        r.counter(
+            "sa_retired_total",
+            "Retired instructions",
+            &[("core", "0")],
+            40,
+        );
+        r.counter(
+            "sa_retired_total",
+            "Retired instructions",
+            &[("core", "1")],
+            60,
+        );
+        let text = r.prometheus_text();
+        assert_eq!(text.matches("# HELP sa_retired_total").count(), 1);
+        assert_eq!(text.matches("# TYPE sa_retired_total counter").count(), 1);
+        assert!(text.contains("sa_cycles_total 100\n"));
+        assert!(text.contains("sa_retired_total{core=\"0\"} 40\n"));
+        assert!(text.contains("sa_retired_total{core=\"1\"} 60\n"));
+    }
+
+    #[test]
+    fn histogram_expands_to_cumulative_buckets() {
+        let mut r = Registry::new();
+        r.histogram("sa_rob_occ", "ROB occupancy", &[("core", "0")], &[1, 2, 3]);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE sa_rob_occ histogram"));
+        assert!(text.contains("sa_rob_occ_bucket{core=\"0\",le=\"0\"} 1\n"));
+        assert!(text.contains("sa_rob_occ_bucket{core=\"0\",le=\"1\"} 3\n"));
+        assert!(text.contains("sa_rob_occ_bucket{core=\"0\",le=\"2\"} 6\n"));
+        assert!(text.contains("sa_rob_occ_bucket{core=\"0\",le=\"+Inf\"} 6\n"));
+        // sum = 0*1 + 1*2 + 2*3 = 8; count = 6
+        assert!(text.contains("sa_rob_occ_sum{core=\"0\"} 8\n"));
+        assert!(text.contains("sa_rob_occ_count{core=\"0\"} 6\n"));
+    }
+
+    #[test]
+    fn gauges_format_floats_and_integers() {
+        let mut r = Registry::new();
+        r.gauge("sa_ipc", "Machine IPC", &[], 2.5);
+        r.gauge("sa_share", "Share", &[], 3.0);
+        let text = r.prometheus_text();
+        assert!(text.contains("sa_ipc 2.5\n"));
+        assert!(text.contains("sa_share 3\n"));
+    }
+
+    #[test]
+    fn csv_skips_histograms() {
+        let mut r = Registry::new();
+        r.counter("a", "a", &[("core", "0")], 7);
+        r.histogram("h", "h", &[], &[1]);
+        let csv = r.csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("a,core=0,7\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn kind_conflicts_are_rejected() {
+        let mut r = Registry::new();
+        r.counter("m", "m", &[], 1);
+        r.gauge("m", "m", &[], 1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Interval time-series sampling.
+//!
+//! End-of-run aggregates average away exactly the behavior the paper's
+//! outliers are about: x264's re-execution comes in condvar-contention
+//! bursts, mcf's in eviction storms. The [`Sampler`] snapshots the
+//! machine every `interval` cycles into a bounded ring of [`Sample`]s —
+//! cheap enough to stay on for every run (one pass over the cores every
+//! 10k cycles by default), deterministic (pure functions of simulator
+//! state), and bounded (oldest samples drop first, with a counter).
+
+use std::collections::VecDeque;
+
+use crate::ratio;
+
+/// One interval snapshot of the whole machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Cycle at which the snapshot was taken (a multiple of the
+    /// interval).
+    pub cycle: u64,
+    /// Machine IPC over the elapsed interval (retired delta / interval).
+    pub ipc: f64,
+    /// Mean ROB entries in use per core, at the snapshot instant.
+    pub rob_occ: f64,
+    /// Mean LQ entries in use per core.
+    pub lq_occ: f64,
+    /// Mean SQ/SB entries in use per core.
+    pub sq_occ: f64,
+    /// Mean *retired* stores per core still draining (SB depth).
+    pub sb_depth: f64,
+    /// Fraction of core-cycles the retire gate was closed during the
+    /// interval, in [0, 1].
+    pub gate_closed_frac: f64,
+    /// Outstanding misses (allocated MSHRs) across all cores, at the
+    /// snapshot instant.
+    pub outstanding_misses: u64,
+    /// Squash events during the interval (all causes).
+    pub squashes: u64,
+}
+
+/// Instantaneous machine state handed to [`Sampler::record`] — gathered
+/// by the simulator, aggregated here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleInput {
+    /// Number of cores.
+    pub n_cores: u64,
+    /// ROB entries in use, summed over cores.
+    pub rob: u64,
+    /// LQ entries in use, summed over cores.
+    pub lq: u64,
+    /// SQ/SB entries in use, summed over cores.
+    pub sq: u64,
+    /// Retired-store (SB) entries in use, summed over cores.
+    pub sb: u64,
+    /// Cumulative retired instructions, summed over cores.
+    pub retired: u64,
+    /// Cumulative gate-closed cycles, summed over cores.
+    pub gate_closed_cycles: u64,
+    /// Cumulative squash events, summed over cores and causes.
+    pub squashes: u64,
+    /// Outstanding misses across all private controllers.
+    pub outstanding_misses: u64,
+}
+
+/// The bounded interval sampler.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    interval: u64,
+    capacity: usize,
+    ring: VecDeque<Sample>,
+    dropped: u64,
+    last_retired: u64,
+    last_gate_closed: u64,
+    last_squashes: u64,
+}
+
+impl Sampler {
+    /// A sampler snapshotting every `interval` cycles, retaining the most
+    /// recent `capacity` samples. `interval == 0` disables sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero while sampling is enabled.
+    pub fn new(interval: u64, capacity: usize) -> Sampler {
+        assert!(
+            interval == 0 || capacity > 0,
+            "an enabled sampler needs ring capacity"
+        );
+        Sampler {
+            interval,
+            capacity,
+            ring: VecDeque::new(),
+            dropped: 0,
+            last_retired: 0,
+            last_gate_closed: 0,
+            last_squashes: 0,
+        }
+    }
+
+    /// The sampling interval in cycles (0 = disabled).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// `true` when `cycle` (cycles completed so far) is a snapshot point.
+    pub fn due(&self, cycle: u64) -> bool {
+        self.interval != 0 && cycle > 0 && cycle.is_multiple_of(self.interval)
+    }
+
+    /// Folds one snapshot into the ring and advances the interval
+    /// baselines.
+    pub fn record(&mut self, cycle: u64, input: SampleInput) {
+        let d_retired = input.retired.saturating_sub(self.last_retired);
+        let d_gate = input
+            .gate_closed_cycles
+            .saturating_sub(self.last_gate_closed);
+        let d_squash = input.squashes.saturating_sub(self.last_squashes);
+        self.last_retired = input.retired;
+        self.last_gate_closed = input.gate_closed_cycles;
+        self.last_squashes = input.squashes;
+        let n = input.n_cores as f64;
+        let sample = Sample {
+            cycle,
+            ipc: ratio(d_retired as f64, self.interval as f64),
+            rob_occ: ratio(input.rob as f64, n),
+            lq_occ: ratio(input.lq as f64, n),
+            sq_occ: ratio(input.sq as f64, n),
+            sb_depth: ratio(input.sb as f64, n),
+            gate_closed_frac: ratio(d_gate as f64, self.interval as f64 * n).min(1.0),
+            outstanding_misses: input.outstanding_misses,
+            squashes: d_squash,
+        };
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(sample);
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &Sample> {
+        self.ring.iter()
+    }
+
+    /// The retained samples as a vector, oldest first.
+    pub fn to_vec(&self) -> Vec<Sample> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// Samples evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing was sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+/// Renders samples as CSV with a header row — the offline plotting
+/// format (`cut`/gnuplot/pandas all read it directly).
+pub fn samples_csv(samples: &[Sample]) -> String {
+    let mut out = String::from(
+        "cycle,ipc,rob_occ,lq_occ,sq_occ,sb_depth,gate_closed_frac,outstanding_misses,squashes\n",
+    );
+    for s in samples {
+        out.push_str(&format!(
+            "{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.4},{},{}\n",
+            s.cycle,
+            s.ipc,
+            s.rob_occ,
+            s.lq_occ,
+            s.sq_occ,
+            s.sb_depth,
+            s.gate_closed_frac,
+            s.outstanding_misses,
+            s.squashes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(retired: u64, gate: u64, squashes: u64) -> SampleInput {
+        SampleInput {
+            n_cores: 2,
+            rob: 20,
+            lq: 6,
+            sq: 4,
+            sb: 2,
+            retired,
+            gate_closed_cycles: gate,
+            squashes,
+            outstanding_misses: 3,
+        }
+    }
+
+    #[test]
+    fn deltas_are_per_interval() {
+        let mut s = Sampler::new(100, 8);
+        s.record(100, input(250, 40, 1));
+        s.record(200, input(600, 40, 4));
+        let v = s.to_vec();
+        assert_eq!(v.len(), 2);
+        assert!((v[0].ipc - 2.5).abs() < 1e-12);
+        assert!((v[1].ipc - 3.5).abs() < 1e-12);
+        assert!((v[0].gate_closed_frac - 0.2).abs() < 1e-12);
+        assert_eq!(v[1].gate_closed_frac, 0.0);
+        assert_eq!(v[1].squashes, 3);
+        assert!((v[0].rob_occ - 10.0).abs() < 1e-12);
+        assert_eq!(v[0].outstanding_misses, 3);
+    }
+
+    #[test]
+    fn due_fires_on_interval_boundaries_only() {
+        let s = Sampler::new(50, 4);
+        assert!(!s.due(0));
+        assert!(!s.due(49));
+        assert!(s.due(50));
+        assert!(s.due(100));
+        let off = Sampler::new(0, 4);
+        assert!(!off.due(50));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut s = Sampler::new(10, 2);
+        for i in 1..=5u64 {
+            s.record(i * 10, input(i * 10, 0, 0));
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        let cycles: Vec<u64> = s.samples().map(|x| x.cycle).collect();
+        assert_eq!(cycles, vec![40, 50]);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_sample() {
+        let mut s = Sampler::new(10, 4);
+        s.record(10, input(30, 5, 0));
+        let csv = samples_csv(&s.to_vec());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("cycle,ipc,"));
+        assert!(lines[1].starts_with("10,"));
+    }
+}

@@ -30,6 +30,7 @@ use sa_isa::{
     ConsistencyModel, CoreId, Cycle, Line, Op, Reg, StoreOperand, Trace, Value, ValueMemory,
     NUM_REGS,
 };
+use sa_metrics::{CoreMetrics, CpiCategory};
 use sa_trace::{EventKind, GateOpenReason, NullTracer, TraceEvent, Tracer, UopKind};
 
 use crate::branch::Tage;
@@ -96,7 +97,12 @@ pub struct Core {
     gate_stall_cur: Option<RobId>,
     /// Loads currently in a Blocked state (gates the retry pass).
     blocked_loads: usize,
+    /// `true` when the pending `fetch_resume` came from a squash replay
+    /// rather than a branch redirect (CPI-stack attribution of the
+    /// empty-window refill).
+    resume_was_squash: bool,
     stats: CoreStats,
+    metrics: CoreMetrics,
 }
 
 impl Core {
@@ -123,7 +129,13 @@ impl Core {
             fences: BTreeSet::new(),
             gate_stall_cur: None,
             blocked_loads: 0,
+            resume_was_squash: false,
             stats: CoreStats::default(),
+            metrics: CoreMetrics::with_capacities(
+                cfg.rob_entries,
+                cfg.lq_entries,
+                cfg.sq_sb_entries,
+            ),
             fetch_idx: 0,
             fetch_resume: 0,
             fetch_blocked_on: None,
@@ -151,6 +163,17 @@ impl Core {
     /// Statistics counters.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Always-on aggregate metrics: the retire-slot CPI stack and the
+    /// window-occupancy histograms.
+    pub fn metrics(&self) -> &CoreMetrics {
+        &self.metrics
+    }
+
+    /// Retired stores still draining from the store buffer.
+    pub fn sb_depth(&self) -> usize {
+        self.sq.iter().filter(|e| e.retired).count()
     }
 
     /// Architectural value of `r` (final state for litmus outcomes).
@@ -198,6 +221,9 @@ impl Core {
         if self.gate.is_closed() {
             self.stats.gate_closed_cycles += 1;
         }
+        self.metrics
+            .occ
+            .record(self.rob.len(), self.lq.len(), self.sq.len());
         tracer.emit(|| TraceEvent {
             cycle: now,
             core: self.id,
@@ -544,6 +570,7 @@ impl Core {
             } = e.kind
             {
                 self.fetch_resume = now + self.cfg.redirect_penalty;
+                self.resume_was_squash = false;
                 if self.fetch_blocked_on == Some(id) {
                     self.fetch_blocked_on = None;
                 }
@@ -557,19 +584,25 @@ impl Core {
 
     fn retire<T: Tracer>(&mut self, now: Cycle, tracer: &mut T) {
         let cid = self.id;
+        let mut retired: u64 = 0;
+        let mut stall: Option<CpiCategory> = None;
         for _ in 0..self.cfg.width {
             let Some(head) = self.rob.front() else {
+                stall = Some(self.empty_window_category(now));
                 break;
             };
+            let (id, kind) = (head.id, head.kind);
             if head.state != RobState::Done || head.done_at > now {
+                stall = Some(self.head_wait_category(id, kind));
                 break;
             }
-            let id = head.id;
-            match head.kind {
+            match kind {
                 RobKind::Load => {
-                    if !self.try_retire_load(id, now, tracer) {
+                    if let Some(cat) = self.try_retire_load(id, now, tracer) {
+                        stall = Some(cat);
                         break;
                     }
+                    retired += 1;
                 }
                 RobKind::Store { sq } => {
                     let (key, addr) = {
@@ -588,28 +621,82 @@ impl Core {
                         },
                     });
                     self.pop_retired(now, tracer);
+                    retired += 1;
                 }
                 RobKind::Fence => {
                     if self.sq.sb_nonempty() {
-                        break; // MFENCE waits for the SB to drain
+                        // MFENCE waits for the SB to drain.
+                        stall = Some(CpiCategory::OtherBackend);
+                        break;
                     }
                     self.fences.remove(&id);
                     self.stats.retired_fences += 1;
                     self.pop_retired(now, tracer);
+                    retired += 1;
                 }
                 RobKind::Branch { .. } => {
                     self.stats.retired_branches += 1;
                     self.pop_retired(now, tracer);
+                    retired += 1;
                 }
                 RobKind::Alu { .. } | RobKind::Nop => {
                     self.pop_retired(now, tracer);
+                    retired += 1;
                 }
             }
         }
+        // CPI-stack account for this cycle: `retired` slots retired an
+        // instruction; the remainder are all charged to the single reason
+        // the head could not retire. Exactly `width` slots per cycle.
+        self.metrics.cpi.add(CpiCategory::Retiring, retired);
+        let leftover = self.cfg.width as u64 - retired;
+        if leftover > 0 {
+            let cat = stall.expect("a partial retire cycle names its stall");
+            self.metrics.cpi.add(cat, leftover);
+        }
     }
 
-    /// Returns `false` when the load must stall at the head.
-    fn try_retire_load<T: Tracer>(&mut self, id: RobId, _now: Cycle, tracer: &mut T) -> bool {
+    /// Why the Done-but-unretirable or still-executing head is holding
+    /// the retire stage.
+    fn head_wait_category(&self, id: RobId, kind: RobKind) -> CpiCategory {
+        match kind {
+            RobKind::Load => match self.lq.get(id).map(|e| e.state) {
+                Some(LoadState::Blocked(BlockReason::StoreCommit(_))) => CpiCategory::NoSpecBlock,
+                Some(LoadState::Issued(_)) | Some(LoadState::Blocked(BlockReason::MshrFull)) => {
+                    CpiCategory::MemMiss
+                }
+                _ => CpiCategory::OtherBackend,
+            },
+            _ => CpiCategory::OtherBackend,
+        }
+    }
+
+    /// Why the window is empty: squash-replay refill, branch redirect, or
+    /// a frontend with nothing in flight (including a drained trace).
+    fn empty_window_category(&self, now: Cycle) -> CpiCategory {
+        if self.fetch_idx >= self.trace.len() {
+            CpiCategory::Frontend
+        } else if now < self.fetch_resume {
+            if self.resume_was_squash {
+                CpiCategory::SquashRefill
+            } else {
+                CpiCategory::BranchRedirect
+            }
+        } else if self.fetch_blocked_on.is_some() {
+            CpiCategory::BranchRedirect
+        } else {
+            CpiCategory::Frontend
+        }
+    }
+
+    /// Returns the stall category when the load must hold the head,
+    /// `None` once it retires.
+    fn try_retire_load<T: Tracer>(
+        &mut self,
+        id: RobId,
+        _now: Cycle,
+        tracer: &mut T,
+    ) -> Option<CpiCategory> {
         let cid = self.id;
         // Retire gate (370-SLFSoS / 370-SLFSoS-key).
         if self.model.uses_retire_gate() && self.gate.is_closed() {
@@ -632,7 +719,7 @@ impl Core {
                     });
                 }
                 self.stats.gate_stall_cycles += 1;
-                return false;
+                return Some(CpiCategory::GateStall);
             }
         }
         // 370-SLFSpec: an SLF load is speculative and may not retire
@@ -641,7 +728,7 @@ impl Core {
             let fwd = self.lq.get(id).expect("load in LQ").fwd_from.is_some();
             if fwd && self.sq.sb_nonempty() {
                 self.stats.slfspec_stall_cycles += 1;
-                return false;
+                return Some(CpiCategory::SlfSbWait);
             }
         }
         self.gate_stall_cur = None;
@@ -671,7 +758,7 @@ impl Core {
         }
         self.stats.retired_loads += 1;
         self.pop_retired(_now, tracer);
-        true
+        None
     }
 
     fn pop_retired<T: Tracer>(&mut self, _now: Cycle, tracer: &mut T) {
@@ -1245,6 +1332,7 @@ impl Core {
         });
         self.fetch_idx = removed[0].trace_idx;
         self.fetch_resume = now + self.cfg.squash_penalty;
+        self.resume_was_squash = true;
         if self.fetch_blocked_on.is_some_and(|b| b >= from) {
             self.fetch_blocked_on = None;
         }

@@ -166,13 +166,7 @@ impl CoreStats {
     }
 }
 
-fn pct(num: u64, den: u64) -> f64 {
-    if den == 0 {
-        0.0
-    } else {
-        100.0 * num as f64 / den as f64
-    }
-}
+use sa_metrics::pct;
 
 #[cfg(test)]
 mod tests {

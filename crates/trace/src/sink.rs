@@ -163,12 +163,14 @@ impl CountersTracer {
     /// Fraction of sampled cycles a structure spent at or above
     /// occupancy `n` (0.0 when nothing was sampled).
     pub fn fraction_at_or_above(hist: &[u64], n: usize) -> f64 {
-        let total: u64 = hist.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let above: u64 = hist.iter().skip(n).sum();
-        above as f64 / total as f64
+        sa_metrics::OccupancyHists::fraction_at_or_above(hist, n)
+    }
+
+    /// Bridges this sink's histograms into the shared `sa-metrics`
+    /// representation, so trace-derived occupancy feeds the same registry
+    /// and exporters as the always-on per-core histograms.
+    pub fn occupancy_hists(&self) -> sa_metrics::OccupancyHists {
+        sa_metrics::OccupancyHists::from_slices(&self.rob_hist, &self.lq_hist, &self.sq_hist)
     }
 }
 
@@ -277,5 +279,8 @@ mod tests {
         let f = CountersTracer::fraction_at_or_above(t.rob_histogram(), 3);
         assert!((f - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(CountersTracer::fraction_at_or_above(&[], 3), 0.0);
+        let occ = t.occupancy_hists();
+        assert_eq!(occ.rob, t.rob_histogram());
+        assert_eq!(occ.cycles_sampled(), 3);
     }
 }

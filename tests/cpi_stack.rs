@@ -1,0 +1,131 @@
+//! The retire-slot CPI stack: accounting invariant and paper shape.
+//!
+//! The invariant — every core's categories sum to exactly
+//! `width × cycles` — is what makes the stack an account instead of a
+//! set of overlapping counters. It must hold for every configuration on
+//! both communication-heavy litmus traces and generated workloads.
+
+use sa_isa::ConsistencyModel;
+use sa_metrics::CpiCategory;
+use sa_sim::{Multicore, Report, SimConfig};
+
+fn run_litmus(name: &str, model: ConsistencyModel) -> Report {
+    let ct = match name {
+        "n6" => sa_litmus::suite::n6(),
+        "mp" => sa_litmus::suite::mp(),
+        other => panic!("unknown litmus test {other}"),
+    };
+    let traces = ct.test.to_traces();
+    let cfg = SimConfig::default()
+        .with_model(model)
+        .with_cores(traces.len());
+    let mut sim = Multicore::new(cfg, traces);
+    sim.run(5_000_000).expect("litmus completes");
+    sim.report()
+}
+
+fn run_workload(name: &str, model: ConsistencyModel, instrs: usize) -> Report {
+    let w = sa_workloads::by_name(name).expect("workload exists");
+    let cfg = SimConfig::default().with_model(model).with_cores(8);
+    let mut sim = Multicore::new(cfg, w.generate(8, instrs, 7));
+    sim.run(u64::MAX).expect("workload completes");
+    sim.report()
+}
+
+fn assert_balances(r: &Report, what: &str) {
+    assert!(
+        r.cpi_invariant_holds(),
+        "{what} under {}: CPI stack out of balance",
+        r.model
+    );
+    for (i, (m, s)) in r.metrics.iter().zip(&r.per_core).enumerate() {
+        m.cpi.assert_invariant(r.width as u64, s.cycles);
+        assert!(
+            m.cpi.get(CpiCategory::Retiring) >= s.retired_instrs,
+            "{what} core {i}: fewer retiring slots than retired instructions"
+        );
+    }
+}
+
+/// Every slot of every core is charged exactly once, in every
+/// configuration, on litmus traces and a generated workload.
+#[test]
+fn cpi_stack_balances_in_all_configs() {
+    for model in ConsistencyModel::ALL {
+        for name in ["n6", "mp"] {
+            let r = run_litmus(name, model);
+            assert_balances(&r, name);
+        }
+        let r = run_workload("dedup", model, 1_500);
+        assert_balances(&r, "dedup");
+        // A machine-level sanity bound: merged shares sum to ~100%.
+        let sum: f64 = r.cpi_total().shares_pct().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6, "{model}: shares sum to {sum}");
+    }
+}
+
+/// The model-specific categories appear only under the models that have
+/// the corresponding mechanism.
+#[test]
+fn model_specific_categories_are_exclusive() {
+    for model in ConsistencyModel::ALL {
+        let r = run_workload("dedup", model, 1_500);
+        let t = r.cpi_total();
+        if !matches!(
+            model,
+            ConsistencyModel::Ibm370SlfSos | ConsistencyModel::Ibm370SlfSosKey
+        ) {
+            assert_eq!(t.get(CpiCategory::GateStall), 0, "{model} has no gate");
+        }
+        if model != ConsistencyModel::Ibm370SlfSpec {
+            assert_eq!(
+                t.get(CpiCategory::SlfSbWait),
+                0,
+                "{model} has no SLFSpec SB-drain rule"
+            );
+        }
+    }
+}
+
+/// The paper's headline shape (§VI): the key-indexed gate recovers most
+/// of what blanket enforcement loses. In CPI-stack terms, on an
+/// SLF-heavy workload the `370-SLFSpec` SB-wait share dwarfs the
+/// `370-SLFSoS-key` gate-stall share, and `370-NoSpec` charges
+/// substantial slots to store-commit blocking while x86 charges none.
+#[test]
+fn cpi_shape_matches_paper() {
+    let instrs = 3_000;
+    let slfspec = run_workload("dedup", ConsistencyModel::Ibm370SlfSpec, instrs);
+    let key = run_workload("dedup", ConsistencyModel::Ibm370SlfSosKey, instrs);
+    let nospec = run_workload("dedup", ConsistencyModel::Ibm370NoSpec, instrs);
+    let x86 = run_workload("dedup", ConsistencyModel::X86, instrs);
+
+    let sb_wait = slfspec.cpi_total().share_pct(CpiCategory::SlfSbWait);
+    let gate = key.cpi_total().share_pct(CpiCategory::GateStall);
+    assert!(
+        sb_wait > gate,
+        "SLFSpec SB-wait share ({sb_wait:.2}%) should exceed the \
+         SLFSoS-key gate-stall share ({gate:.2}%)"
+    );
+
+    let blocked = nospec.cpi_total().get(CpiCategory::NoSpecBlock);
+    assert!(
+        blocked > 0,
+        "NoSpec must charge slots to store-commit blocking"
+    );
+    assert_eq!(x86.cpi_total().get(CpiCategory::NoSpecBlock), 0);
+}
+
+/// Print the stacks for eyeballing (`--nocapture`); not an assertion.
+#[test]
+fn print_dedup_stacks() {
+    for model in ConsistencyModel::ALL {
+        let r = run_workload("dedup", model, 3_000);
+        let t = r.cpi_total();
+        let mut line = format!("{:<16} cycles {:>8}", r.model.label(), r.cycles);
+        for cat in CpiCategory::ALL {
+            line.push_str(&format!(" {}={:.1}%", cat.label(), t.share_pct(cat)));
+        }
+        println!("{line}");
+    }
+}

@@ -20,6 +20,32 @@ fn reports_are_bit_identical_across_runs() {
     }
 }
 
+/// The interval sampler is part of the Report, so with a fine interval
+/// two identical runs must produce identical time-series sample by
+/// sample — the sampler reads only deterministic simulator state.
+#[test]
+fn sampler_time_series_is_deterministic() {
+    let run = |model| {
+        let w = sa_workloads::by_name("dedup").expect("dedup exists");
+        let cfg = SimConfig::default()
+            .with_model(model)
+            .with_cores(8)
+            .with_sample_interval(64);
+        let mut sim = Multicore::new(cfg, w.generate(8, 1_500, 99));
+        sim.run(u64::MAX).expect("completes")
+    };
+    for model in ConsistencyModel::ALL {
+        let a = run(model);
+        let b = run(model);
+        assert!(
+            !a.samples.is_empty(),
+            "{model}: a 64-cycle interval must produce samples"
+        );
+        assert_eq!(a.samples, b.samples, "{model} sampler diverged");
+        assert_eq!(a, b, "{model} full report diverged");
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let w = sa_workloads::by_name("dedup").unwrap();
