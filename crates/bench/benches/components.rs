@@ -36,6 +36,25 @@ fn main() {
         sum
     });
 
+    g.bench("event_wheel_steady_state", || {
+        // The memory system's pattern: a rolling window of near-future
+        // events drained by an advancing clock, plus the odd far-future
+        // event parked in the overflow map.
+        let mut q = EventQueue::new();
+        let mut sum = 0u64;
+        for now in 0..2_000u64 {
+            q.schedule(now + 4, now);
+            q.schedule(now + 160, now);
+            if now.is_multiple_of(64) {
+                q.schedule(now + 5_000, now);
+            }
+            while let Some((_, v)) = q.pop_until(now) {
+                sum = sum.wrapping_add(v);
+            }
+        }
+        sum
+    });
+
     g.bench("network_send", || {
         let mut n = Network::new(6, 5, 1);
         let mut last = 0;

@@ -5,15 +5,21 @@
 //! throughput (simulated cycles per wall-second), and writes the result
 //! as JSON.
 //!
-//! The committed `BENCH_pr2.json` at the repository root is the baseline;
+//! The committed `BENCH_pr3.json` at the repository root is the baseline;
 //! regenerate it with `cargo run --release --bin perf` after intentional
 //! performance changes. CI runs this binary at reduced scale to validate
-//! the schema and the CPI-stack accounting offline.
+//! the schema and the CPI-stack accounting offline, and compares the
+//! throughput geomean against the previous baseline.
 //!
-//! Usage: `perf [--scale N] [--seed N] [--out PATH]` (default scale 2000,
-//! default output `BENCH_pr2.json`).
+//! Every (workload × config) cell is an independent deterministic
+//! simulation, so the sweep fans out across `--jobs` worker threads;
+//! results are reassembled in suite order, keeping the sim-side JSON
+//! fields byte-identical to a sequential run (host timing aside).
+//!
+//! Usage: `perf [--scale N] [--seed N] [--jobs N] [--out PATH]` (default
+//! scale 2000, default output `BENCH_pr3.json`).
 
-use sa_bench::{harness, run_workload, Opts};
+use sa_bench::{harness, parallel_map, run_workload, Opts};
 use sa_isa::ConsistencyModel;
 use sa_metrics::{CpiCategory, JsonWriter};
 use sa_sim::report::geomean;
@@ -95,7 +101,7 @@ fn main() {
     if !std::env::args().any(|a| a == "--scale") {
         opts.scale = 2_000;
     }
-    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr2.json".into());
+    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr3.json".into());
 
     struct Entry {
         name: &'static str,
@@ -133,23 +139,29 @@ fn main() {
     // closing geomean.
     let mut norm_rows: Vec<Vec<f64>> = Vec::new();
 
-    for e in &entries {
-        let results: Vec<ConfigResult> = ConsistencyModel::ALL
-            .iter()
-            .map(|&model| {
-                let (report, host_seconds) = if e.kind == "litmus" {
-                    harness::time(|| run_litmus(e.name, model))
-                } else {
-                    let w = sa_workloads::by_name(e.name)
-                        .unwrap_or_else(|| panic!("unpinned workload {}", e.name));
-                    harness::time(|| run_workload(&w, model, opts.scale, opts.seed))
-                };
-                ConfigResult {
-                    report,
-                    host_seconds,
-                }
-            })
-            .collect();
+    // Every (entry × config) cell is independent: flatten, fan out, and
+    // reassemble in order so the emitted JSON is deterministic.
+    let n_models = ConsistencyModel::ALL.len();
+    let cells: Vec<(&Entry, ConsistencyModel)> = entries
+        .iter()
+        .flat_map(|e| ConsistencyModel::ALL.iter().map(move |&m| (e, m)))
+        .collect();
+    let all_results: Vec<ConfigResult> = parallel_map(&cells, opts.jobs, |&(e, model)| {
+        let (report, host_seconds) = if e.kind == "litmus" {
+            harness::time(|| run_litmus(e.name, model))
+        } else {
+            let w = sa_workloads::by_name(e.name)
+                .unwrap_or_else(|| panic!("unpinned workload {}", e.name));
+            harness::time(|| run_workload(&w, model, opts.scale, opts.seed))
+        };
+        ConfigResult {
+            report,
+            host_seconds,
+        }
+    });
+
+    for (ei, e) in entries.iter().enumerate() {
+        let results = &all_results[ei * n_models..(ei + 1) * n_models];
         let baseline = results[0].report.cycles;
         norm_rows.push(
             results[1..]
@@ -163,7 +175,7 @@ fn main() {
             .field_uint("cores", results[0].report.per_core.len() as u64)
             .key("configs")
             .begin_array();
-        for r in &results {
+        for r in results {
             emit_config(&mut j, r, baseline);
         }
         j.end_array().end_object();

@@ -36,8 +36,12 @@ impl<T> CacheArray<T> {
         assert!(assoc > 0 && lines >= assoc, "cache smaller than one set");
         let n_sets = lines / assoc;
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        // Set storage allocates lazily on first insert: a cold cache
+        // costs one outer allocation regardless of set count, so short
+        // (litmus-scale) runs don't pay for thousands of sets they
+        // never touch.
         CacheArray {
-            sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            sets: (0..n_sets).map(|_| Vec::new()).collect(),
             assoc,
             set_mask: n_sets as u64 - 1,
         }
@@ -97,6 +101,11 @@ impl<T> CacheArray<T> {
     /// recency without eviction.
     pub fn insert(&mut self, line: Line, payload: T) -> Option<(Line, T)> {
         let s = self.set_of(line);
+        if self.sets[s].capacity() == 0 {
+            // First touch of this set: grab the full way capacity at
+            // once so the set never reallocates afterwards.
+            self.sets[s].reserve_exact(self.assoc);
+        }
         if let Some(pos) = self.sets[s].iter().position(|(l, _)| *l == line) {
             self.sets[s].remove(pos);
             self.sets[s].insert(0, (line, payload));

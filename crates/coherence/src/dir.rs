@@ -7,7 +7,9 @@
 //! **write atomicity**: `GrantM` is sent only after every sharer
 //! acknowledged its invalidation (or the previous owner returned its copy).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use sa_isa::FastMap;
 
 use sa_isa::{CoreId, Cycle, Line};
 
@@ -61,9 +63,9 @@ pub struct BankStats {
 pub struct DirBank {
     node: NodeId,
     l3: CacheArray<()>,
-    state: HashMap<Line, DirState>,
-    busy: HashMap<Line, Txn>,
-    deferred: HashMap<Line, VecDeque<Msg>>,
+    state: FastMap<Line, DirState>,
+    busy: FastMap<Line, Txn>,
+    deferred: FastMap<Line, VecDeque<Msg>>,
     l3_latency: u64,
     mem_latency: u64,
     /// Public counters.
@@ -82,9 +84,9 @@ impl DirBank {
         DirBank {
             node: NodeId::Bank(id),
             l3: CacheArray::new(l3_bytes, l3_assoc),
-            state: HashMap::new(),
-            busy: HashMap::new(),
-            deferred: HashMap::new(),
+            state: FastMap::default(),
+            busy: FastMap::default(),
+            deferred: FastMap::default(),
             l3_latency,
             mem_latency,
             stats: BankStats::default(),

@@ -1,9 +1,31 @@
-//! Deterministic discrete-event queue.
+//! Deterministic discrete-event queue, implemented as a bucketed time
+//! wheel.
+//!
+//! The memory system schedules almost every event within a few hundred
+//! cycles of "now" (network hops, cache latencies, DRAM), so a wheel of
+//! power-of-two slots indexed by delivery cycle turns `schedule` and the
+//! common `pop_until` miss into array operations with no heap sift. The
+//! rare event beyond the horizon parks in a `BTreeMap` overflow keyed by
+//! cycle. Entries carry their absolute cycle, so a slot shared by
+//! several cycles (after the cursor moved back for a past-relative
+//! schedule) is disambiguated by tag, not by lap arithmetic.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 
 use sa_isa::Cycle;
+
+/// Slots in the wheel; must be a power of two. Covers every latency in
+/// the default memory configuration (max is DRAM at 160 cycles plus
+/// network hops) with generous slack.
+const WHEEL_SLOTS: usize = 1024;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+
+#[derive(Debug)]
+struct Slotted<E> {
+    cycle: Cycle,
+    seq: u64,
+    payload: E,
+}
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking for
 /// events scheduled at the same cycle.
@@ -20,38 +42,26 @@ use sa_isa::Cycle;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    slots: Vec<VecDeque<Slotted<E>>>,
+    /// No wheel entry lives at a cycle below this; `pop_until` scans
+    /// forward from here and `schedule` moves it back for a cycle in the
+    /// past relative to it.
+    cursor: Cycle,
+    wheel_len: usize,
+    /// Events scheduled at or beyond `cursor + WHEEL_SLOTS`.
+    overflow: BTreeMap<Cycle, VecDeque<(u64, E)>>,
+    overflow_len: usize,
     seq: u64,
-}
-
-#[derive(Debug)]
-struct Entry<E> {
-    cycle: Cycle,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.cycle == other.cycle && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
-    }
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            wheel_len: 0,
+            overflow: BTreeMap::new(),
+            overflow_len: 0,
             seq: 0,
         }
     }
@@ -68,36 +78,132 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, cycle: Cycle, payload: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry {
-            cycle,
-            seq,
-            payload,
-        }));
+        if cycle < self.cursor {
+            // Scheduling "in the past" relative to the scan cursor (a
+            // controller reacting at the cycle currently being drained):
+            // move the cursor back so the scan revisits this cycle.
+            self.cursor = cycle;
+        }
+        if cycle - self.cursor < WHEEL_SLOTS as u64 {
+            self.slots[(cycle & WHEEL_MASK) as usize].push_back(Slotted {
+                cycle,
+                seq,
+                payload,
+            });
+            self.wheel_len += 1;
+        } else {
+            self.overflow
+                .entry(cycle)
+                .or_default()
+                .push_back((seq, payload));
+            self.overflow_len += 1;
+        }
+    }
+
+    /// Position of the earliest entry for exactly `cycle` in its slot
+    /// (lowest seq: pushes arrive in seq order, so the first tag match
+    /// is it).
+    fn slot_front(&self, cycle: Cycle) -> Option<usize> {
+        self.slots[(cycle & WHEEL_MASK) as usize]
+            .iter()
+            .position(|e| e.cycle == cycle)
+    }
+
+    /// Advances `cursor` to the first cycle `<= until` holding a wheel
+    /// entry and returns it, or parks the cursor at `until + 1`.
+    fn scan_wheel(&mut self, until: Cycle) -> Option<Cycle> {
+        if self.wheel_len == 0 {
+            // Safe to fast-forward: nothing behind can exist.
+            self.cursor = self.cursor.max(until.saturating_add(1));
+            return None;
+        }
+        while self.cursor <= until {
+            if self.slot_front(self.cursor).is_some() {
+                return Some(self.cursor);
+            }
+            self.cursor += 1;
+        }
+        None
     }
 
     /// Pops the earliest event whose cycle is `<= until`, if any.
     pub fn pop_until(&mut self, until: Cycle) -> Option<(Cycle, E)> {
-        if self.heap.peek().is_some_and(|Reverse(e)| e.cycle <= until) {
-            let Reverse(e) = self.heap.pop().expect("peeked entry");
-            Some((e.cycle, e.payload))
-        } else {
-            None
+        let wheel = self.scan_wheel(until);
+        let of = self.overflow.keys().next().copied().filter(|&c| c <= until);
+        match (wheel, of) {
+            (None, None) => None,
+            (Some(w), None) => Some(self.pop_wheel(w)),
+            (None, Some(o)) => Some(self.pop_overflow(o)),
+            (Some(w), Some(o)) => {
+                if w < o {
+                    Some(self.pop_wheel(w))
+                } else if o < w {
+                    Some(self.pop_overflow(o))
+                } else {
+                    // Same cycle in both stores (possible after a cursor
+                    // move-back): FIFO order decides.
+                    let wseq = {
+                        let i = self.slot_front(w).expect("scanned entry");
+                        self.slots[(w & WHEEL_MASK) as usize][i].seq
+                    };
+                    let oseq = self.overflow[&o].front().expect("non-empty bucket").0;
+                    if wseq < oseq {
+                        Some(self.pop_wheel(w))
+                    } else {
+                        Some(self.pop_overflow(o))
+                    }
+                }
+            }
         }
+    }
+
+    fn pop_wheel(&mut self, cycle: Cycle) -> (Cycle, E) {
+        let i = self.slot_front(cycle).expect("entry present");
+        let e = self.slots[(cycle & WHEEL_MASK) as usize]
+            .remove(i)
+            .expect("in-bounds index");
+        self.wheel_len -= 1;
+        (e.cycle, e.payload)
+    }
+
+    fn pop_overflow(&mut self, cycle: Cycle) -> (Cycle, E) {
+        let bucket = self.overflow.get_mut(&cycle).expect("bucket present");
+        let (_, payload) = bucket.pop_front().expect("non-empty bucket");
+        if bucket.is_empty() {
+            self.overflow.remove(&cycle);
+        }
+        self.overflow_len -= 1;
+        (cycle, payload)
     }
 
     /// The cycle of the earliest pending event.
     pub fn next_cycle(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(e)| e.cycle)
+        let of = self.overflow.keys().next().copied();
+        let wheel = if self.wheel_len == 0 {
+            None
+        } else {
+            let mut c = self.cursor;
+            loop {
+                if self.slot_front(c).is_some() {
+                    break Some(c);
+                }
+                c += 1;
+            }
+        };
+        match (wheel, of) {
+            (Some(w), Some(o)) => Some(w.min(o)),
+            (w, o) => w.or(o),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.overflow_len
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -138,5 +244,103 @@ mod tests {
         assert_eq!(q.len(), 2);
         let _ = q.pop_until(5);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let mut q = EventQueue::new();
+        q.schedule(5, "near");
+        q.schedule(5 + 10 * WHEEL_SLOTS as u64, "far");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_cycle(), Some(5));
+        assert_eq!(q.pop_until(u64::MAX), Some((5, "near")));
+        assert_eq!(q.next_cycle(), Some(5 + 10 * WHEEL_SLOTS as u64));
+        assert_eq!(
+            q.pop_until(u64::MAX),
+            Some((5 + 10 * WHEEL_SLOTS as u64, "far"))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_behind_cursor_is_found() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "later");
+        // Drain up to 50: cursor parks past 50.
+        assert!(q.pop_until(50).is_none());
+        // A controller schedules at a cycle the scan already passed.
+        q.schedule(20, "revisit");
+        assert_eq!(q.pop_until(50), Some((20, "revisit")));
+        assert_eq!(q.pop_until(200), Some((100, "later")));
+    }
+
+    #[test]
+    fn slot_sharing_across_laps_pops_in_cycle_order() {
+        // Two wheel entries a full lap apart sharing one slot after a
+        // cursor move-back: the cycle tag, not the slot index, decides.
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(q.pop_until(1500).is_none()); // park the cursor forward
+        let (near, far) = (WHEEL_SLOTS as u64 + 8, 2 * WHEEL_SLOTS as u64 + 8);
+        q.schedule(far, "b"); // within the parked cursor's horizon
+        q.schedule(near, "a"); // cursor moves back; same slot as `far`
+        assert_eq!(q.pop_until(u64::MAX), Some((near, "a")));
+        assert_eq!(q.pop_until(u64::MAX), Some((far, "b")));
+    }
+
+    #[test]
+    fn fifo_preserved_between_wheel_and_overflow() {
+        let mut q = EventQueue::new();
+        let c = 2 * WHEEL_SLOTS as u64;
+        q.schedule(c, "first"); // beyond horizon: overflow
+        assert!(q.pop_until(c - 1).is_none()); // cursor reaches c
+        q.schedule(c, "second"); // now within horizon: wheel
+        assert_eq!(q.pop_until(c), Some((c, "first")));
+        assert_eq!(q.pop_until(c), Some((c, "second")));
+    }
+
+    #[test]
+    fn randomized_matches_sorted_reference() {
+        // Deterministic pseudo-random schedule/pop interleaving compared
+        // against a sorted reference implementation.
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(Cycle, u64, u64)> = Vec::new(); // (cycle, seq, tag)
+        let mut seq = 0u64;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        for i in 0..2000u64 {
+            let r = rand();
+            match r % 4 {
+                0 | 1 => {
+                    // Mostly near-future, occasionally far-future.
+                    let delta = if r % 97 == 0 { r % 5000 } else { r % 300 };
+                    q.schedule(now + delta, i);
+                    reference.push((now + delta, seq, i));
+                    seq += 1;
+                }
+                _ => {
+                    now += r % 50;
+                    loop {
+                        let got = q.pop_until(now);
+                        reference.sort();
+                        let want = reference.first().filter(|&&(c, _, _)| c <= now).copied();
+                        match (got, want) {
+                            (None, None) => break,
+                            (Some((gc, gt)), Some((wc, _, wt))) => {
+                                assert_eq!((gc, gt), (wc, wt));
+                                reference.remove(0);
+                            }
+                            (g, w) => panic!("mismatch: got {g:?}, want {w:?}"),
+                        }
+                    }
+                }
+            }
+            assert_eq!(q.len(), reference.len());
+        }
     }
 }

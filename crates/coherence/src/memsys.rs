@@ -41,6 +41,14 @@ pub enum NoticeKind {
         /// The evicted line.
         line: Line,
     },
+    /// A remote read downgraded `line` from exclusive to shared; the core
+    /// keeps the data but loses write permission. Loads are unaffected —
+    /// the notice exists so a sleeping core learns that a store which
+    /// previously held ownership must re-request it.
+    Downgraded {
+        /// The downgraded line.
+        line: Line,
+    },
 }
 
 /// A timestamped [`NoticeKind`] delivered to a core.
@@ -281,6 +289,20 @@ impl MemorySystem {
     /// Takes the notices accumulated for `core` since the last drain.
     pub fn drain_notices(&mut self, core: CoreId) -> Vec<Notice> {
         std::mem::take(&mut self.notices[core.index()])
+    }
+
+    /// `true` when notices are pending for `core` — the cheap probe the
+    /// engine uses before committing to a buffer swap (or a tick at all).
+    pub fn has_notices(&self, core: CoreId) -> bool {
+        !self.notices[core.index()].is_empty()
+    }
+
+    /// Moves `core`'s pending notices into `buf` (cleared first) without
+    /// allocating: the buffers swap, so a caller reusing one scratch
+    /// vector keeps both sides' capacities warm across cycles.
+    pub fn take_notices_into(&mut self, core: CoreId, buf: &mut Vec<Notice>) {
+        buf.clear();
+        std::mem::swap(&mut self.notices[core.index()], buf);
     }
 
     /// `true` when no protocol events are pending anywhere.

@@ -12,9 +12,7 @@
 //! only the hop count changes; per-channel FIFO is preserved because a
 //! source-destination pair always takes the same path.
 
-use std::collections::HashMap;
-
-use sa_isa::Cycle;
+use sa_isa::{Cycle, FastMap};
 
 use crate::msg::NodeId;
 
@@ -64,7 +62,7 @@ pub struct Network {
     ctrl_flits: u64,
     topology: Topology,
     n_cores: usize,
-    channel_busy_until: HashMap<(NodeId, NodeId), Cycle>,
+    channel_busy_until: FastMap<(NodeId, NodeId), Cycle>,
     flits_sent: u64,
     msgs_sent: u64,
 }
@@ -97,7 +95,7 @@ impl Network {
             ctrl_flits,
             topology,
             n_cores,
-            channel_busy_until: HashMap::new(),
+            channel_busy_until: FastMap::default(),
             flits_sent: 0,
             msgs_sent: 0,
         }

@@ -8,9 +8,7 @@
 //! both identically when deciding to squash speculative loads (§IV,
 //! "Evictions").
 
-use std::collections::HashMap;
-
-use sa_isa::{Addr, CoreId, Cycle, Line};
+use sa_isa::{Addr, CoreId, Cycle, FastMap, Line};
 
 use crate::cache::CacheArray;
 use crate::config::MemConfig;
@@ -85,11 +83,11 @@ pub struct PrivateCtrl {
     n_banks: usize,
     l1: CacheArray<()>,
     l2: CacheArray<L2Entry>,
-    mshrs: HashMap<Line, Mshr>,
+    mshrs: FastMap<Line, Mshr>,
     mshr_limit: usize,
     /// Lines evicted dirty, awaiting `PutMAck`. The data logically lives
     /// here so the controller can still answer `FetchS`/`FetchInv`.
-    wb: HashMap<Line, ()>,
+    wb: FastMap<Line, ()>,
     prefetcher: StridePrefetcher,
     l1_latency: u64,
     l2_latency: u64,
@@ -106,9 +104,9 @@ impl PrivateCtrl {
             n_banks: cfg.l3_banks,
             l1: CacheArray::new(cfg.l1_bytes, cfg.l1_assoc),
             l2: CacheArray::new(cfg.l2_bytes, cfg.l2_assoc),
-            mshrs: HashMap::new(),
+            mshrs: FastMap::default(),
             mshr_limit: cfg.mshrs,
-            wb: HashMap::new(),
+            wb: FastMap::default(),
             prefetcher: StridePrefetcher::new(cfg.prefetch, cfg.prefetch_degree),
             l1_latency: cfg.l1_latency,
             l2_latency: cfg.l2_latency,
@@ -333,6 +331,7 @@ impl PrivateCtrl {
                     let dirty = e.dirty;
                     e.state = PState::S;
                     e.dirty = false;
+                    self.notice(NoticeKind::Downgraded { line }, now, &mut out);
                     self.send(
                         self.home(line),
                         Msg::AckData {

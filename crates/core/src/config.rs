@@ -23,6 +23,11 @@ pub struct SimConfig {
     pub sample_interval: u64,
     /// Bounded capacity of the sample ring (oldest samples drop first).
     pub sample_capacity: usize,
+    /// Whether `Multicore::run` may use the event-driven engine that
+    /// jumps over cycles in which no core can make progress. Cycle-exact
+    /// with the lockstep path (enforced by `tests/engine_equivalence`);
+    /// disable to force per-cycle lockstep stepping.
+    pub cycle_skip: bool,
 }
 
 impl Default for SimConfig {
@@ -33,6 +38,7 @@ impl Default for SimConfig {
             model: ConsistencyModel::X86,
             sample_interval: 10_000,
             sample_capacity: 4096,
+            cycle_skip: true,
         }
     }
 }
@@ -53,6 +59,12 @@ impl SimConfig {
     /// Sets the time-series sampling interval in cycles (0 disables).
     pub fn with_sample_interval(mut self, interval: u64) -> SimConfig {
         self.sample_interval = interval;
+        self
+    }
+
+    /// Enables or disables the event-driven engine's cycle skipping.
+    pub fn with_cycle_skip(mut self, on: bool) -> SimConfig {
+        self.cycle_skip = on;
         self
     }
 

@@ -10,6 +10,10 @@ use sa_trace::{NullTracer, Tracer};
 use crate::config::SimConfig;
 use crate::report::Report;
 
+/// Cycles without a single retired instruction machine-wide before a run
+/// is declared wedged.
+const WATCHDOG: Cycle = 1_000_000;
+
 /// One core's view of the shared memory system.
 struct PortView<'a> {
     mem: &'a mut MemorySystem,
@@ -88,6 +92,9 @@ pub struct Multicore<T: Tracer = NullTracer> {
     cycle: Cycle,
     sampler: Sampler,
     tracer: T,
+    /// Reusable buffer the per-cycle loop drains notices into, so the
+    /// hot path never allocates.
+    notice_scratch: Vec<Notice>,
 }
 
 impl Multicore {
@@ -130,6 +137,7 @@ impl<T: Tracer> Multicore<T> {
             sampler: Sampler::new(cfg.sample_interval, cfg.sample_capacity),
             cfg,
             tracer,
+            notice_scratch: Vec::new(),
         }
     }
 
@@ -179,31 +187,38 @@ impl<T: Tracer> Multicore<T> {
         self.cores.iter().all(Core::finished)
     }
 
-    /// Simulates one global cycle.
-    pub fn step(&mut self) {
+    /// Simulates one global cycle, returning how many instructions
+    /// retired machine-wide during it.
+    pub fn step(&mut self) -> u64 {
         self.mem.advance_traced(self.cycle, &mut self.tracer);
+        let mut retired = 0;
         for i in 0..self.cores.len() {
             let id = CoreId(i as u8);
-            let notices: Vec<Notice> = self.mem.drain_notices(id);
-            if self.cores[i].finished() && notices.is_empty() {
+            self.notice_scratch.clear();
+            if self.mem.has_notices(id) {
+                self.mem.take_notices_into(id, &mut self.notice_scratch);
+            }
+            if self.cores[i].finished() && self.notice_scratch.is_empty() {
                 continue;
             }
             let mut port = PortView {
                 mem: &mut self.mem,
                 core: id,
             };
-            self.cores[i].tick_traced(
+            let r = self.cores[i].tick_traced(
                 self.cycle,
                 &mut port,
                 &mut self.valmem,
-                &notices,
+                &self.notice_scratch,
                 &mut self.tracer,
             );
+            retired += r.retired;
         }
         self.cycle += 1;
-        if self.sampler.due(self.cycle) {
+        if self.cfg.sample_interval != 0 && self.sampler.due(self.cycle) {
             self.sample();
         }
+        retired
     }
 
     /// Gathers one instantaneous machine snapshot into the sampler.
@@ -229,22 +244,33 @@ impl<T: Tracer> Multicore<T> {
 
     /// Runs until every core finishes or `max_cycles` elapse.
     ///
+    /// Dispatches to the event-driven engine, which jumps over cycles in
+    /// which no core can make progress, unless a real tracer is attached
+    /// (tracers want the per-cycle event stream) or
+    /// [`SimConfig::cycle_skip`] is off. Both engines are cycle-exact
+    /// with each other: identical final cycle counts, statistics and
+    /// memory images (enforced by `tests/engine_equivalence`).
+    ///
     /// # Errors
     ///
     /// [`RunError::CycleLimit`] when the budget runs out;
     /// [`RunError::NoProgress`] when the machine wedges (a model bug).
     pub fn run(&mut self, max_cycles: Cycle) -> Result<Report, RunError> {
-        let mut last_retired = self.total_retired();
+        if T::ENABLED || !self.cfg.cycle_skip {
+            self.run_lockstep(max_cycles)
+        } else {
+            self.run_event(max_cycles)
+        }
+    }
+
+    /// The reference engine: one [`Multicore::step`] per cycle.
+    fn run_lockstep(&mut self, max_cycles: Cycle) -> Result<Report, RunError> {
         let mut last_progress = self.cycle;
-        const WATCHDOG: Cycle = 1_000_000;
         while !self.finished() {
             if self.cycle >= max_cycles {
                 return Err(RunError::CycleLimit { limit: max_cycles });
             }
-            self.step();
-            let retired = self.total_retired();
-            if retired != last_retired {
-                last_retired = retired;
+            if self.step() > 0 {
                 last_progress = self.cycle;
             } else if self.cycle - last_progress > WATCHDOG {
                 return Err(RunError::NoProgress {
@@ -255,8 +281,121 @@ impl<T: Tracer> Multicore<T> {
         Ok(self.report())
     }
 
-    fn total_retired(&self) -> u64 {
-        self.cores.iter().map(|c| c.stats().retired_instrs).sum()
+    /// The event-driven engine.
+    ///
+    /// A core that ticks without making progress is put to sleep: its
+    /// remaining stall is a pure replay (the same CPI category, the same
+    /// occupancies) until either a notice arrives from the memory system
+    /// or its own next timed wakeup ([`Core::next_timed_wakeup`]) comes
+    /// due, so those cycles are applied in bulk via
+    /// [`Core::apply_idle_cycles`] instead of being simulated. When every
+    /// core is asleep the engine jumps straight to the earliest cycle
+    /// anything can happen: the memory system's next queued event, the
+    /// earliest core wakeup, the next sampler boundary (samples must land
+    /// exactly where lockstep puts them), the watchdog deadline, or the
+    /// cycle budget — whichever comes first.
+    fn run_event(&mut self, max_cycles: Cycle) -> Result<Report, RunError> {
+        let n = self.cores.len();
+        // `active[i]`: last tick made progress, so tick again next cycle.
+        // `wake[i]`: earliest self-scheduled wakeup of a sleeping core
+        // (`None` = only a notice can wake it).
+        let mut active = vec![true; n];
+        let mut wake: Vec<Option<Cycle>> = vec![None; n];
+        let mut last_progress = self.cycle;
+        while !self.finished() {
+            if self.cycle >= max_cycles {
+                return Err(RunError::CycleLimit { limit: max_cycles });
+            }
+            self.mem.advance_traced(self.cycle, &mut self.tracer);
+            let mut retired = 0u64;
+            let mut any_active = false;
+            for i in 0..n {
+                let id = CoreId(i as u8);
+                self.notice_scratch.clear();
+                if self.mem.has_notices(id) {
+                    self.mem.take_notices_into(id, &mut self.notice_scratch);
+                }
+                let due = active[i]
+                    || !self.notice_scratch.is_empty()
+                    || wake[i].is_some_and(|w| w <= self.cycle);
+                if !due {
+                    if !self.cores[i].finished() {
+                        self.cores[i].apply_idle_cycles(1);
+                    }
+                    continue;
+                }
+                if self.cores[i].finished() && self.notice_scratch.is_empty() {
+                    active[i] = false;
+                    wake[i] = None;
+                    continue;
+                }
+                let mut port = PortView {
+                    mem: &mut self.mem,
+                    core: id,
+                };
+                let r = self.cores[i].tick_traced(
+                    self.cycle,
+                    &mut port,
+                    &mut self.valmem,
+                    &self.notice_scratch,
+                    &mut self.tracer,
+                );
+                retired += r.retired;
+                if r.progress {
+                    active[i] = true;
+                    any_active = true;
+                } else {
+                    active[i] = false;
+                    wake[i] = self.cores[i].next_timed_wakeup(self.cycle);
+                }
+            }
+            self.cycle += 1;
+            if self.cfg.sample_interval != 0 && self.sampler.due(self.cycle) {
+                self.sample();
+            }
+            if retired > 0 {
+                last_progress = self.cycle;
+            } else if self.cycle - last_progress > WATCHDOG {
+                return Err(RunError::NoProgress {
+                    since: last_progress,
+                });
+            }
+            if any_active || self.finished() {
+                continue;
+            }
+            // Everything is asleep: jump to the next interesting cycle.
+            let mut next = Cycle::MAX;
+            if let Some(c) = self.mem.next_event_cycle() {
+                next = next.min(c);
+            }
+            for w in wake.iter().flatten() {
+                next = next.min(*w);
+            }
+            next = next.min(last_progress + WATCHDOG + 1).min(max_cycles);
+            if self.cfg.sample_interval != 0 {
+                let interval = self.cfg.sample_interval;
+                next = next.min((self.cycle / interval + 1) * interval);
+            }
+            if next <= self.cycle {
+                continue;
+            }
+            let skipped = next - self.cycle;
+            for c in &mut self.cores {
+                if !c.finished() {
+                    c.apply_idle_cycles(skipped);
+                }
+            }
+            self.cycle = next;
+            if self.cfg.sample_interval != 0 && self.sampler.due(self.cycle) {
+                self.sample();
+            }
+            if self.cycle - last_progress > WATCHDOG {
+                return Err(RunError::NoProgress {
+                    since: last_progress,
+                });
+            }
+        }
+        Ok(self.report())
     }
 
     /// Snapshot of all statistics.

@@ -1,0 +1,128 @@
+//! A fast, deterministic hasher for the simulator's hot maps.
+//!
+//! The standard library's default hasher is SipHash with a per-process
+//! random seed — DoS-resistant, but an order of magnitude slower than
+//! needed for trusted integer keys (line addresses, request ids), and its
+//! randomness makes map iteration order vary run to run. The simulator
+//! never hashes attacker-controlled input and *wants* reproducibility, so
+//! the hot paths use this multiply-rotate hasher (the polynomial scheme
+//! popularized by Firefox and rustc) instead: one rotate, one xor, and one
+//! multiply per word, with a fixed seed.
+//!
+//! Correctness note: nothing in the simulator may depend on map iteration
+//! order (the determinism suite passes under randomly seeded SipHash), so
+//! swapping the hasher cannot change simulated timing — only host speed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier with a balanced bit pattern (from rustc's `FxHasher`
+/// lineage; ultimately the golden-ratio constant of Fibonacci hashing).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher over 8-byte words. Not DoS-resistant; only for
+/// trusted keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// The `BuildHasher` for [`FxHasher`] — zero-sized, fixed seed.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`]; drop-in for hot simulator maps.
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FastSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_across_builders() {
+        let a = FxBuildHasher::default().hash_one(0xdead_beefu64);
+        let b = FxBuildHasher::default().hash_one(0xdead_beefu64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let h = FxBuildHasher::default();
+        assert_ne!(h.hash_one(0x1000u64), h.hash_one(0x1040u64));
+        assert_ne!(h.hash_one((1u8, 2u8)), h.hash_one((2u8, 1u8)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let h = FxBuildHasher::default();
+        assert_eq!(h.hash_one("abcdefghij"), h.hash_one("abcdefghij"));
+        assert_ne!(h.hash_one("abcdefghij"), h.hash_one("abcdefghik"));
+    }
+}

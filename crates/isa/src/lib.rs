@@ -25,6 +25,7 @@
 //! ```
 
 pub mod addr;
+pub mod hash;
 pub mod instr;
 pub mod interp;
 pub mod mem;
@@ -34,6 +35,7 @@ pub mod rng;
 pub mod trace;
 
 pub use addr::{Addr, Line, LINE_BYTES, LINE_SHIFT};
+pub use hash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use instr::{AluEval, ExecUnit, Instr, Op, StoreOperand};
 pub use interp::{interpret, ArchState};
 pub use mem::ValueMemory;

@@ -15,15 +15,14 @@
 //! the value comes straight from the SQ/SB entry, which is precisely the
 //! store-atomicity loophole the paper studies.
 
-use std::collections::HashMap;
-
+use crate::hash::FastMap;
 use crate::{Addr, Value};
 
 /// The global functional memory image (8-byte granularity with sub-word
 /// masking), updated at store-commit instants.
 #[derive(Debug, Clone, Default)]
 pub struct ValueMemory {
-    words: HashMap<Addr, Value>,
+    words: FastMap<Addr, Value>,
 }
 
 impl ValueMemory {

@@ -20,11 +20,11 @@ pub struct OccupancyHists {
     pub sq: Vec<u64>,
 }
 
-fn bump(hist: &mut Vec<u64>, value: usize) {
+fn bump(hist: &mut Vec<u64>, value: usize, n: u64) {
     if hist.len() <= value {
         hist.resize(value + 1, 0);
     }
-    hist[value] += 1;
+    hist[value] += n;
 }
 
 fn merge_into(dst: &mut Vec<u64>, src: &[u64]) {
@@ -59,9 +59,15 @@ impl OccupancyHists {
 
     /// Records one cycle's occupancies.
     pub fn record(&mut self, rob: usize, lq: usize, sq: usize) {
-        bump(&mut self.rob, rob);
-        bump(&mut self.lq, lq);
-        bump(&mut self.sq, sq);
+        self.record_n(rob, lq, sq, 1);
+    }
+
+    /// Records `n` consecutive cycles at identical occupancies — the
+    /// event-driven engine's bulk path for skipped stall ranges.
+    pub fn record_n(&mut self, rob: usize, lq: usize, sq: usize, n: u64) {
+        bump(&mut self.rob, rob, n);
+        bump(&mut self.lq, lq, n);
+        bump(&mut self.sq, sq, n);
     }
 
     /// Sums another set of histograms into this one.
@@ -119,6 +125,18 @@ mod tests {
         let mut h = OccupancyHists::with_capacities(2, 2, 2);
         h.record(5, 0, 0);
         assert_eq!(h.rob[5], 1);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = OccupancyHists::with_capacities(8, 4, 4);
+        let mut single = OccupancyHists::with_capacities(8, 4, 4);
+        bulk.record_n(3, 1, 0, 5);
+        for _ in 0..5 {
+            single.record(3, 1, 0);
+        }
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.cycles_sampled(), 5);
     }
 
     #[test]

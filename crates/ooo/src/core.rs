@@ -23,12 +23,12 @@
 //!    (ROB/LQ/SQ-SB — Figure 9's metric).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use sa_coherence::{MemReqId, Notice, NoticeKind};
 use sa_isa::{
-    ConsistencyModel, CoreId, Cycle, Line, Op, Reg, StoreOperand, Trace, Value, ValueMemory,
-    NUM_REGS,
+    ConsistencyModel, CoreId, Cycle, FastMap, Line, Op, Reg, StoreOperand, Trace, Value,
+    ValueMemory, NUM_REGS,
 };
 use sa_metrics::{CoreMetrics, CpiCategory};
 use sa_trace::{EventKind, GateOpenReason, NullTracer, TraceEvent, Tracer, UopKind};
@@ -72,6 +72,27 @@ fn tuop(kind: &RobKind) -> UopKind {
     }
 }
 
+/// Which resource blocked dispatch on a zero-dispatch cycle (Figure 9's
+/// attribution, remembered for idle replay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchStall {
+    Rob,
+    Lq,
+    Sq,
+}
+
+/// What one [`Core::tick`] did, reported to the simulation engine.
+#[derive(Debug, Clone, Copy)]
+pub struct TickResult {
+    /// Whether any pipeline state changed beyond per-cycle bookkeeping.
+    /// A `false` tick is a pure stall: re-running it with no new memory
+    /// notices only re-accrues the same per-cycle counters, so the
+    /// engine may replay it in bulk via [`Core::apply_idle_cycles`].
+    pub progress: bool,
+    /// Instructions retired this tick.
+    pub retired: u64,
+}
+
 /// One simulated out-of-order core.
 #[derive(Debug)]
 pub struct Core {
@@ -90,17 +111,41 @@ pub struct Core {
     ss: StoreSet,
     arch_regs: [Value; NUM_REGS],
     reg_producer: [Option<RobId>; NUM_REGS],
-    pending_loads: HashMap<MemReqId, RobId>,
-    pending_owns: HashMap<MemReqId, SqId>,
+    pending_loads: FastMap<MemReqId, RobId>,
+    pending_owns: FastMap<MemReqId, SqId>,
     completion_q: BinaryHeap<Reverse<(Cycle, RobId)>>,
     fences: BTreeSet<RobId>,
     gate_stall_cur: Option<RobId>,
     /// Loads currently in a Blocked state (gates the retry pass).
     blocked_loads: usize,
+    /// Bumped whenever state a blocked load's retry reads changes (store
+    /// address resolution, SB commit, fence retire, squash, StoreSet
+    /// training). While unchanged, a blocked load re-blocks identically,
+    /// so its retry is skipped (see [`LqEntry::attempt_epoch`]).
+    lsq_epoch: u64,
+    /// Positions below this in the ROB are all `Done` — the scheduler
+    /// scan starts here. A lower bound: refreshed lazily each tick,
+    /// shifted on retire, clamped on squash.
+    sched_start: usize,
     /// `true` when the pending `fetch_resume` came from a squash replay
     /// rather than a branch redirect (CPI-stack attribution of the
     /// empty-window refill).
     resume_was_squash: bool,
+    /// Set by any phase that changes pipeline state this tick; a tick
+    /// that ends with it clear is a pure stall the engine may replay.
+    progress: bool,
+    /// The stall category a no-progress tick charged its retire slots to
+    /// (replayed verbatim by [`Core::apply_idle_cycles`]).
+    idle_stall: Option<CpiCategory>,
+    /// This tick accrued a gate-stall cycle (head load behind a closed
+    /// gate).
+    idle_gate_stall: bool,
+    /// This tick accrued an SLFSpec SB-wait cycle.
+    idle_slfspec_stall: bool,
+    /// Which resource blocked dispatch this tick, if any.
+    idle_dispatch: Option<DispatchStall>,
+    /// Reused each cycle by the blocked-load retry pass.
+    retry_scratch: Vec<RobId>,
     stats: CoreStats,
     metrics: CoreMetrics,
 }
@@ -123,13 +168,21 @@ impl Core {
             ss: StoreSet::new(cfg.storeset),
             arch_regs: [0; NUM_REGS],
             reg_producer: [None; NUM_REGS],
-            pending_loads: HashMap::new(),
-            pending_owns: HashMap::new(),
+            pending_loads: FastMap::default(),
+            pending_owns: FastMap::default(),
             completion_q: BinaryHeap::new(),
             fences: BTreeSet::new(),
             gate_stall_cur: None,
             blocked_loads: 0,
+            lsq_epoch: 0,
+            sched_start: 0,
             resume_was_squash: false,
+            progress: false,
+            idle_stall: None,
+            idle_gate_stall: false,
+            idle_slfspec_stall: false,
+            idle_dispatch: None,
+            retry_scratch: Vec::new(),
             stats: CoreStats::default(),
             metrics: CoreMetrics::with_capacities(
                 cfg.rob_entries,
@@ -193,8 +246,8 @@ impl Core {
         mem: &mut M,
         valmem: &mut ValueMemory,
         notices: &[Notice],
-    ) {
-        self.tick_traced(now, mem, valmem, notices, &mut NullTracer);
+    ) -> TickResult {
+        self.tick_traced(now, mem, valmem, notices, &mut NullTracer)
     }
 
     /// Simulates one cycle, emitting structured events into `tracer`.
@@ -210,7 +263,13 @@ impl Core {
         valmem: &mut ValueMemory,
         notices: &[Notice],
         tracer: &mut T,
-    ) {
+    ) -> TickResult {
+        self.progress = false;
+        self.idle_stall = None;
+        self.idle_gate_stall = false;
+        self.idle_slfspec_stall = false;
+        self.idle_dispatch = None;
+        let retired_before = self.stats.retired_instrs;
         self.stats.cycles += 1;
         self.process_notices(now, valmem, notices, tracer);
         self.drain_stores(now, mem, valmem, tracer);
@@ -233,6 +292,73 @@ impl Core {
                 sq: self.sq.len() as u16,
             },
         });
+        TickResult {
+            progress: self.progress,
+            retired: self.stats.retired_instrs - retired_before,
+        }
+    }
+
+    /// Replays `n` cycles of pure-stall bookkeeping, exactly as `n`
+    /// further ticks of the current state would have accrued it. Only
+    /// valid straight after a tick that reported no progress, and only
+    /// while no new memory notice or timed wakeup intervenes (the
+    /// engine's contract — see `Multicore::run`).
+    pub fn apply_idle_cycles(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.cycles += n;
+        if self.gate.is_closed() {
+            self.stats.gate_closed_cycles += n;
+        }
+        if self.idle_gate_stall {
+            self.stats.gate_stall_cycles += n;
+        }
+        if self.idle_slfspec_stall {
+            self.stats.slfspec_stall_cycles += n;
+        }
+        match self.idle_dispatch {
+            Some(DispatchStall::Rob) => self.stats.rob_stall_cycles += n,
+            Some(DispatchStall::Lq) => self.stats.lq_stall_cycles += n,
+            Some(DispatchStall::Sq) => self.stats.sq_stall_cycles += n,
+            None => {}
+        }
+        let cat = self.idle_stall.expect("an idle core has a stall category");
+        self.metrics.cpi.add(cat, self.cfg.width as u64 * n);
+        self.metrics
+            .occ
+            .record_n(self.rob.len(), self.lq.len(), self.sq.len(), n);
+    }
+
+    /// The earliest cycle after `now` at which this core could make
+    /// progress without an external memory notice, given its post-tick
+    /// state: the next internal completion, the SB head's commit
+    /// deadline, the fetch-redirect resume point, or the head's `done_at`
+    /// becoming retirable. `None` means only a notice can wake it.
+    pub fn next_timed_wakeup(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| {
+            if c > now && next.is_none_or(|n| c < n) {
+                next = Some(c);
+            }
+        };
+        if let Some(&Reverse((t, _))) = self.completion_q.peek() {
+            merge(t);
+        }
+        if let Some(h) = self.sq.head() {
+            if let Some(t) = h.committing_done {
+                merge(t);
+            }
+        }
+        if self.fetch_idx < self.trace.len() && now < self.fetch_resume {
+            merge(self.fetch_resume);
+        }
+        if let Some(f) = self.rob.front() {
+            if f.state == RobState::Done {
+                merge(f.done_at);
+            }
+        }
+        next
     }
 
     // ------------------------------------------------------------------
@@ -273,6 +399,7 @@ impl Core {
                         },
                     });
                     if let Some(sq_id) = self.pending_owns.remove(&id) {
+                        self.progress = true;
                         if let Some(e) = self.sq.get_mut(sq_id) {
                             e.own_req = None; // drain re-checks has_ownership
                         }
@@ -294,6 +421,11 @@ impl Core {
                     });
                     self.snoop_lq(line, now, tracer);
                 }
+                // Losing write permission needs no core-side action: the
+                // store-drain path re-checks `has_ownership` every attempt.
+                // The notice only wakes an idle core so the event engine
+                // retries the drain at the same cycle lockstep would.
+                NoticeKind::Downgraded { .. } => {}
             }
         }
     }
@@ -305,6 +437,7 @@ impl Core {
         valmem: &ValueMemory,
         tracer: &mut T,
     ) {
+        self.progress = true;
         let m_spec = self.lq.any_older_unperformed(rob_id);
         let Some(e) = self.lq.get_mut(rob_id) else {
             debug_assert!(false, "completion for a load not in the LQ");
@@ -419,6 +552,8 @@ impl Core {
                 break;
             }
             let h = self.sq.pop_head().expect("head exists");
+            self.lsq_epoch += 1;
+            self.progress = true;
             valmem.write(h.addr, h.size, h.value.expect("committed store has data"));
             self.stats.sb_commits += 1;
             tracer.emit(|| TraceEvent {
@@ -481,12 +616,17 @@ impl Core {
         }
         if let Some((id, line, no_req)) = start {
             if mem.has_ownership(line) {
+                self.progress = true;
                 mem.mark_dirty(line);
                 let done = (now + l1).max(prev_done + 1);
                 let e = self.sq.get_mut(id).expect("store present");
                 e.committing_done = Some(done);
                 e.own_req = None;
             } else if no_req {
+                // Every issue attempt counts as progress: even a rejected
+                // one mutates the memory system (request ids, MSHR-reject
+                // counters), so the lockstep retry cadence must be kept.
+                self.progress = true;
                 if let Some(req) = mem.issue_ownership(line, now) {
                     self.sq.get_mut(id).expect("store present").own_req = Some(req);
                     self.pending_owns.insert(req, id);
@@ -507,21 +647,22 @@ impl Core {
         // eventual in-order L1 commit is a hit (stores prefetch
         // ownership from the SQ in real cores; this is what hides store
         // miss latency behind the window).
-        let candidates: Vec<(SqId, Line)> = self
-            .sq
-            .iter()
-            .take(self.cfg.rfo_depth)
-            .filter(|e| e.addr_resolved && e.own_req.is_none() && e.committing_done.is_none())
-            .map(|e| (e.id, e.line))
-            .collect();
         let mut rfos = 0;
-        for (id, line) in candidates {
+        for idx in 0..self.cfg.rfo_depth {
             if rfos >= 2 {
                 break; // RFO issue bandwidth per cycle
             }
+            let Some(e) = self.sq.at(idx) else {
+                break;
+            };
+            if !(e.addr_resolved && e.own_req.is_none() && e.committing_done.is_none()) {
+                continue;
+            }
+            let (id, line) = (e.id, e.line);
             if mem.has_ownership(line) {
                 continue;
             }
+            self.progress = true; // issue attempt (see above)
             if let Some(req) = mem.issue_ownership(line, now) {
                 if let Some(e) = self.sq.get_mut(id) {
                     e.own_req = Some(req);
@@ -558,6 +699,7 @@ impl Core {
             if e.state != RobState::Executing {
                 continue;
             }
+            self.progress = true;
             e.state = RobState::Done;
             e.done_at = t;
             tracer.emit(|| TraceEvent {
@@ -630,6 +772,7 @@ impl Core {
                         break;
                     }
                     self.fences.remove(&id);
+                    self.lsq_epoch += 1;
                     self.stats.retired_fences += 1;
                     self.pop_retired(now, tracer);
                     retired += 1;
@@ -648,6 +791,10 @@ impl Core {
         // CPI-stack account for this cycle: `retired` slots retired an
         // instruction; the remainder are all charged to the single reason
         // the head could not retire. Exactly `width` slots per cycle.
+        if retired > 0 {
+            self.progress = true;
+        }
+        self.idle_stall = stall;
         self.metrics.cpi.add(CpiCategory::Retiring, retired);
         let leftover = self.cfg.width as u64 - retired;
         if leftover > 0 {
@@ -719,6 +866,7 @@ impl Core {
                     });
                 }
                 self.stats.gate_stall_cycles += 1;
+                self.idle_gate_stall = true;
                 return Some(CpiCategory::GateStall);
             }
         }
@@ -728,6 +876,7 @@ impl Core {
             let fwd = self.lq.get(id).expect("load in LQ").fwd_from.is_some();
             if fwd && self.sq.sb_nonempty() {
                 self.stats.slfspec_stall_cycles += 1;
+                self.idle_slfspec_stall = true;
                 return Some(CpiCategory::SlfSbWait);
             }
         }
@@ -763,6 +912,7 @@ impl Core {
 
     fn pop_retired<T: Tracer>(&mut self, _now: Cycle, tracer: &mut T) {
         let e = self.rob.pop_front().expect("retiring head");
+        self.sched_start = self.sched_start.saturating_sub(1);
         if let Some(dst) = e.dst {
             self.arch_regs[dst.index()] = e.result;
             if self.reg_producer[dst.index()] == Some(e.id) {
@@ -814,7 +964,18 @@ impl Core {
         // iteration is safe: the only in-pass mutation is a squash from a
         // store-address resolution, which removes a *suffix strictly
         // younger* than the position being processed.
-        let mut pos = 0usize;
+        //
+        // Entries never leave `Done`, so the scan starts past the
+        // all-Done prefix — `Done` positions neither issue nor count
+        // toward the scheduling window, making the skip invisible.
+        while self
+            .rob
+            .at(self.sched_start)
+            .is_some_and(|e| e.state == RobState::Done)
+        {
+            self.sched_start += 1;
+        }
+        let mut pos = self.sched_start;
         while pos < self.rob.len() {
             if issued >= self.cfg.width || rs_seen >= self.cfg.sched_window {
                 break;
@@ -842,6 +1003,7 @@ impl Core {
                         self.completion_q
                             .push(Reverse((now + u64::from(unit.latency()), id)));
                         issued += 1;
+                        self.progress = true;
                         tracer.emit(|| TraceEvent {
                             cycle: now,
                             core: cid,
@@ -855,6 +1017,7 @@ impl Core {
                         entry.state = RobState::Executing;
                         self.completion_q.push(Reverse((now + 1, id)));
                         issued += 1;
+                        self.progress = true;
                         tracer.emit(|| TraceEvent {
                             cycle: now,
                             core: cid,
@@ -867,6 +1030,9 @@ impl Core {
                     if ready[0] && load_ports > 0 {
                         let entry = self.rob.get_mut(id).expect("live");
                         entry.state = RobState::Executing;
+                        // The Waiting→Executing transition is progress
+                        // even when the load immediately blocks.
+                        self.progress = true;
                         if self.try_execute_load(id, now, mem, tracer) {
                             load_ports -= 1;
                             issued += 1;
@@ -900,6 +1066,7 @@ impl Core {
                         let entry = self.rob.get_mut(id).expect("live");
                         entry.state = RobState::Done;
                         entry.done_at = now + 1;
+                        self.progress = true;
                         tracer.emit(|| TraceEvent {
                             cycle: now,
                             core: cid,
@@ -908,6 +1075,7 @@ impl Core {
                     }
                     if progressed {
                         issued += 1;
+                        self.progress = true;
                         tracer.emit(|| TraceEvent {
                             cycle: now,
                             core: cid,
@@ -923,15 +1091,32 @@ impl Core {
 
         // Pass 2: retry blocked loads (their wake conditions are events
         // in the SQ/SB or the memory system). Gated on a counter so the
-        // common no-blocked-loads case costs nothing.
+        // common no-blocked-loads case costs nothing. A load whose retry
+        // provably re-blocks identically — LSQ epoch unchanged since it
+        // blocked, no rejected memory issue to replay, no forwarding data
+        // that just arrived — is skipped outright; a skipped retry has no
+        // side effects, so the skip is invisible to the simulation.
         if self.blocked_loads > 0 {
-            let blocked: Vec<RobId> = self
-                .lq
-                .iter()
-                .filter(|e| matches!(e.state, LoadState::Blocked(_)))
-                .map(|e| e.rob_id)
-                .collect();
-            for id in blocked {
+            let mut blocked = std::mem::take(&mut self.retry_scratch);
+            blocked.clear();
+            let epoch = self.lsq_epoch;
+            blocked.extend(
+                self.lq
+                    .iter()
+                    .filter(|e| match e.state {
+                        // A rejected issue mutates the memory system
+                        // (request id, reject counter): replay each cycle.
+                        LoadState::Blocked(BlockReason::MshrFull) => true,
+                        LoadState::Blocked(BlockReason::ForwardData(s)) => {
+                            e.attempt_epoch != epoch
+                                || self.sq.get(s).is_some_and(|x| x.value.is_some())
+                        }
+                        LoadState::Blocked(_) => e.attempt_epoch != epoch,
+                        _ => false,
+                    })
+                    .map(|e| e.rob_id),
+            );
+            for &id in &blocked {
                 if load_ports == 0 {
                     break;
                 }
@@ -944,10 +1129,12 @@ impl Core {
                     });
                 }
             }
+            self.retry_scratch = blocked;
         }
     }
 
     fn resolve_store_addr<T: Tracer>(&mut self, sq_id: SqId, now: Cycle, tracer: &mut T) {
+        self.lsq_epoch += 1;
         let (store_rob, store_pc, addr, size) = {
             let s = self.sq.get_mut(sq_id).expect("resolving store");
             s.addr_resolved = true;
@@ -992,17 +1179,54 @@ impl Core {
         mem: &mut M,
         tracer: &mut T,
     ) -> bool {
-        let (pc, addr, size, line, prev_state) = {
+        let (pc, addr, size, line, prev_state, attempt_epoch, miss_passed_unresolved) = {
             let e = self.lq.get(id).expect("load in LQ");
-            (e.pc, e.addr, e.size, e.line, e.state)
+            (
+                e.pc,
+                e.addr,
+                e.size,
+                e.line,
+                e.state,
+                e.attempt_epoch,
+                e.miss_passed_unresolved,
+            )
         };
         let was_blocked = matches!(prev_state, LoadState::Blocked(_));
         let set_blocked = move |core: &mut Core, reason: BlockReason| {
             if !was_blocked {
                 core.blocked_loads += 1;
             }
-            core.lq.get_mut(id).expect("load in LQ").state = LoadState::Blocked(reason);
+            // Re-blocking for the same reason leaves the load (and the
+            // memory system) untouched — not progress, so a core spinning
+            // on such retries can be idled by the event-driven engine.
+            if prev_state != LoadState::Blocked(reason) {
+                core.progress = true;
+            }
+            let e = core.lq.get_mut(id).expect("load in LQ");
+            e.state = LoadState::Blocked(reason);
+            e.attempt_epoch = core.lsq_epoch;
         };
+
+        // Fast path: an `MshrFull` retry under an unchanged LSQ epoch
+        // would reproduce the same fence/StoreSet/forwarding-search miss,
+        // so only the memory issue — whose rejection mutates the memory
+        // system and must replay every cycle — is re-run.
+        if prev_state == LoadState::Blocked(BlockReason::MshrFull)
+            && attempt_epoch == self.lsq_epoch
+        {
+            return match mem.issue_load(line, pc, addr, now) {
+                Some(req) => {
+                    self.finish_load_issue(id, req, miss_passed_unresolved, true, now, tracer);
+                    true
+                }
+                None => {
+                    // Same rejection: request id and reject counter
+                    // moved again.
+                    self.progress = true;
+                    false
+                }
+            };
+        }
 
         // An older fence blocks load issue.
         if self.fences.iter().next().is_some_and(|&f| f < id) {
@@ -1046,6 +1270,7 @@ impl Core {
                 };
                 let value = extract_forwarded(s.addr, s.size, sval, addr, size);
                 let key = s.key;
+                self.progress = true;
                 if was_blocked {
                     self.blocked_loads -= 1;
                 }
@@ -1081,32 +1306,57 @@ impl Core {
             }
             SearchHit::Miss { passed_unresolved } => match mem.issue_load(line, pc, addr, now) {
                 Some(req) => {
-                    if was_blocked {
-                        self.blocked_loads -= 1;
-                    }
-                    self.pending_loads.insert(req, id);
-                    self.stats.loads_to_memory += 1;
-                    let e = self.lq.get_mut(id).expect("load in LQ");
-                    e.state = LoadState::Issued(req);
-                    e.d_spec = passed_unresolved;
-                    let cid = self.id;
-                    tracer.emit(|| TraceEvent {
-                        cycle: now,
-                        core: cid,
-                        kind: EventKind::MemReq {
-                            req: req.0,
-                            line: line.base(),
-                            rfo: false,
-                        },
-                    });
+                    self.finish_load_issue(id, req, passed_unresolved, was_blocked, now, tracer);
                     true
                 }
                 None => {
+                    // The rejected issue still mutated the memory system
+                    // (request id, MSHR-reject counter): the core must
+                    // stay awake and retry every cycle, as in lockstep.
+                    self.progress = true;
                     set_blocked(self, BlockReason::MshrFull);
+                    self.lq
+                        .get_mut(id)
+                        .expect("load in LQ")
+                        .miss_passed_unresolved = passed_unresolved;
                     false
                 }
             },
         }
+    }
+
+    /// Books an accepted memory issue for load `id`: LQ/stat updates and
+    /// the trace event. Shared between the forwarding-search miss path and
+    /// the `MshrFull` retry fast path.
+    fn finish_load_issue<T: Tracer>(
+        &mut self,
+        id: RobId,
+        req: MemReqId,
+        passed_unresolved: bool,
+        was_blocked: bool,
+        now: Cycle,
+        tracer: &mut T,
+    ) {
+        self.progress = true;
+        if was_blocked {
+            self.blocked_loads -= 1;
+        }
+        self.pending_loads.insert(req, id);
+        self.stats.loads_to_memory += 1;
+        let e = self.lq.get_mut(id).expect("load in LQ");
+        e.state = LoadState::Issued(req);
+        e.d_spec = passed_unresolved;
+        let line = e.line;
+        let cid = self.id;
+        tracer.emit(|| TraceEvent {
+            cycle: now,
+            core: cid,
+            kind: EventKind::MemReq {
+                req: req.0,
+                line: line.base(),
+                rfo: false,
+            },
+        });
     }
 
     // ------------------------------------------------------------------
@@ -1114,12 +1364,6 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn dispatch<T: Tracer>(&mut self, now: Cycle, tracer: &mut T) {
-        #[derive(PartialEq)]
-        enum Stall {
-            Rob,
-            Lq,
-            Sq,
-        }
         let mut dispatched = 0usize;
         let mut stall = None;
         while dispatched < self.cfg.width {
@@ -1130,15 +1374,15 @@ impl Core {
                 break;
             };
             if self.rob.is_full() {
-                stall = Some(Stall::Rob);
+                stall = Some(DispatchStall::Rob);
                 break;
             }
             if instr.op.is_load() && self.lq.is_full() {
-                stall = Some(Stall::Lq);
+                stall = Some(DispatchStall::Lq);
                 break;
             }
             if instr.op.is_store() && self.sq.is_full() {
-                stall = Some(Stall::Sq);
+                stall = Some(DispatchStall::Sq);
                 break;
             }
             let instr = instr.clone();
@@ -1150,12 +1394,15 @@ impl Core {
             }
         }
         if dispatched == 0 {
+            self.idle_dispatch = stall;
             match stall {
-                Some(Stall::Rob) => self.stats.rob_stall_cycles += 1,
-                Some(Stall::Lq) => self.stats.lq_stall_cycles += 1,
-                Some(Stall::Sq) => self.stats.sq_stall_cycles += 1,
+                Some(DispatchStall::Rob) => self.stats.rob_stall_cycles += 1,
+                Some(DispatchStall::Lq) => self.stats.lq_stall_cycles += 1,
+                Some(DispatchStall::Sq) => self.stats.sq_stall_cycles += 1,
                 None => {}
             }
+        } else {
+            self.progress = true;
         }
     }
 
@@ -1318,6 +1565,9 @@ impl Core {
         if removed.is_empty() {
             return;
         }
+        self.sched_start = self.sched_start.min(self.rob.len());
+        self.lsq_epoch += 1;
+        self.progress = true;
         self.stats.record_squash(cause, removed.len() as u64);
         let cid = self.id;
         let n_removed = removed.len() as u64;

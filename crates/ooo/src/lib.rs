@@ -33,7 +33,7 @@ pub mod sq;
 pub mod stats;
 pub mod storeset;
 
-pub use crate::core::Core;
+pub use crate::core::{Core, TickResult};
 pub use config::CoreConfig;
 pub use gate::{Key, RetireGate};
 pub use port::LoadStorePort;

@@ -74,6 +74,16 @@ pub struct LqEntry {
     /// Issued past an older store with an unresolved address
     /// (D-speculative).
     pub d_spec: bool,
+    /// Value of the core's LSQ epoch when this load last blocked. While
+    /// the epoch is unchanged a retry is guaranteed to re-block for the
+    /// same reason, so the scheduler skips it (pure memoization — no
+    /// timing effect).
+    pub attempt_epoch: u64,
+    /// Memoized `passed_unresolved` of the forwarding-search miss that
+    /// preceded an `MshrFull` block: while the epoch is unchanged the
+    /// search would return the same miss, so the retry reissues to memory
+    /// directly.
+    pub miss_passed_unresolved: bool,
 }
 
 /// The load queue: a bounded FIFO ordered by age.
@@ -127,6 +137,8 @@ impl LoadQueue {
             slf_key: None,
             m_spec: false,
             d_spec: false,
+            attempt_epoch: 0,
+            miss_passed_unresolved: false,
         });
         self.entries.back_mut().expect("just pushed")
     }

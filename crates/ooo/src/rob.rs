@@ -87,6 +87,14 @@ pub struct Rob {
     entries: VecDeque<RobEntry>,
     capacity: usize,
     next_id: u64,
+    /// Id ranges `(start, len)` removed by squashes and not yet retired
+    /// past, ascending and disjoint. Live ids are contiguous outside
+    /// these gaps, which makes id → position arithmetic: position =
+    /// `id - front_id - (gap ids between front_id and id)`. The list
+    /// holds at most a handful of entries (one per un-retired squash),
+    /// so the correction scan is effectively O(1) — much cheaper than
+    /// the binary search it replaces on the scheduler's hot path.
+    gaps: Vec<(u64, u64)>,
 }
 
 impl Rob {
@@ -96,6 +104,7 @@ impl Rob {
             entries: VecDeque::with_capacity(capacity),
             capacity,
             next_id: 0,
+            gaps: Vec::new(),
         }
     }
 
@@ -121,6 +130,11 @@ impl Rob {
     /// Panics when full — the dispatcher must check [`Rob::is_full`].
     pub fn push(&mut self, mut entry: RobEntry) -> RobId {
         assert!(!self.is_full(), "ROB overflow");
+        if self.entries.is_empty() {
+            // A fresh window starts contiguous at `next_id`; any gap on
+            // record lies entirely below it and must not be subtracted.
+            self.gaps.clear();
+        }
         let id = RobId(self.next_id);
         self.next_id += 1;
         entry.id = id;
@@ -140,11 +154,42 @@ impl Rob {
 
     /// Retires (removes) the oldest entry.
     pub fn pop_front(&mut self) -> Option<RobEntry> {
-        self.entries.pop_front()
+        let head = self.entries.pop_front();
+        if head.is_some() && !self.gaps.is_empty() {
+            // Gaps the window has retired past can no longer influence
+            // any live lookup.
+            match self.entries.front() {
+                Some(f) => {
+                    let front = f.id.0;
+                    self.gaps.retain(|&(start, len)| start + len > front);
+                }
+                None => self.gaps.clear(),
+            }
+        }
+        head
     }
 
     fn position(&self, id: RobId) -> Option<usize> {
-        self.entries.binary_search_by_key(&id, |e| e.id).ok()
+        let front = self.entries.front()?.id.0;
+        if id.0 < front || id.0 >= self.next_id {
+            return None;
+        }
+        // Every retained gap lies strictly above the front id, so the
+        // gap ids below `id` are exactly the missing positions to
+        // subtract.
+        let mut missing = 0;
+        for &(start, len) in &self.gaps {
+            if id.0 >= start + len {
+                missing += len;
+            } else if id.0 >= start {
+                return None; // a squashed (dead) id
+            } else {
+                break;
+            }
+        }
+        let pos = (id.0 - front - missing) as usize;
+        debug_assert_eq!(self.entries[pos].id, id);
+        Some(pos)
     }
 
     /// Looks up a live entry by id.
@@ -176,6 +221,10 @@ impl Rob {
         let Some(pos) = self.position(from) else {
             return Vec::new();
         };
+        // The removed suffix spans [from, next_id); gaps inside it are
+        // subsumed by the one merged gap recorded here.
+        self.gaps.retain(|&(start, _)| start < from.0);
+        self.gaps.push((from.0, self.next_id - from.0));
         self.entries.split_off(pos).into_iter().collect()
     }
 

@@ -173,6 +173,12 @@ impl StoreQueue {
         self.entries.front()
     }
 
+    /// Entry at position `idx` from the head (oldest first), letting
+    /// callers scan a prefix without building an iterator chain.
+    pub fn at(&self, idx: usize) -> Option<&SqEntry> {
+        self.entries.get(idx)
+    }
+
     /// The oldest store, mutably.
     pub fn head_mut(&mut self) -> Option<&mut SqEntry> {
         self.entries.front_mut()
@@ -216,10 +222,10 @@ impl StoreQueue {
     /// wins).
     pub fn search(&self, rob_id: RobId, a: Addr, size: u8) -> SearchHit {
         let mut passed_unresolved = false;
-        for e in self.entries.iter().rev() {
-            if e.rob_id >= rob_id {
-                continue; // younger than (or is) the load
-            }
+        // Entries are age-ordered, so the older prefix ends at the
+        // partition point — younger entries are never visited.
+        let older = self.entries.partition_point(|e| e.rob_id < rob_id);
+        for e in self.entries.iter().take(older).rev() {
             if !e.addr_resolved {
                 passed_unresolved = true;
                 continue;
