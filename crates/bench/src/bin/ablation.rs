@@ -27,7 +27,11 @@ fn run_cfg(w: &WorkloadSpec, cfg: SimConfig, scale: usize, seed: u64) -> Report 
 }
 
 fn main() {
-    let opts = sa_bench::Opts::from_args();
+    let opts = sa_bench::cli::parse(&sa_bench::cli::Spec::new(
+        "ablation",
+        "design-choice ablations beyond the paper's evaluation",
+    ))
+    .opts;
     let scale = opts.scale;
     let seed = opts.seed;
 

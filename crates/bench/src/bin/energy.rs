@@ -6,14 +6,16 @@
 //!
 //! Usage: `energy [--scale N] [--seed N] [--only NAME]`
 
-use sa_bench::{run_all_models, Opts};
+use sa_bench::cli::{self, Spec};
+use sa_bench::run_all_models;
 use sa_isa::ConsistencyModel;
 
 fn main() {
-    let mut opts = Opts::from_args();
-    if opts.only.is_none() {
-        opts.only = None;
-    }
+    let opts = cli::parse(&Spec::new(
+        "energy",
+        "dynamic-energy proxy normalized to x86 (§VI-B)",
+    ))
+    .opts;
     let workloads: Vec<_> = if let Some(only) = &opts.only {
         vec![sa_workloads::by_name(only).expect("known benchmark")]
     } else {

@@ -4,6 +4,7 @@
 //! Usage: `fig10 [--suite parallel|spec|all] [--scale N] [--seed N]
 //! [--only NAME] [--csv|--json]`
 
+use sa_bench::cli::{self, Spec};
 use sa_bench::{geomean_rows, normalized_times, run_all_models, Opts};
 use sa_isa::ConsistencyModel;
 use sa_metrics::JsonWriter;
@@ -41,11 +42,9 @@ fn print_json(opts: &Opts) {
         sa_bench::parallel_map(&ws, opts.jobs, |w| run_all_models(w, opts.scale, opts.seed));
     let mut rows: Vec<Vec<f64>> = Vec::new();
     let mut j = JsonWriter::new();
-    j.begin_object()
+    cli::schema_header(&mut j, "sa-bench-fig10-v1", opts)
         .field_str("figure", "fig10")
         .field_str("baseline", "x86")
-        .field_uint("scale", opts.scale as u64)
-        .field_uint("seed", opts.seed)
         .key("rows")
         .begin_array();
     for (w, reports) in ws.iter().zip(&all_reports) {
@@ -75,7 +74,11 @@ fn print_json(opts: &Opts) {
 }
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = cli::parse(&Spec::new(
+        "fig10",
+        "Figure 10: execution time normalized to x86",
+    ))
+    .opts;
     if opts.json {
         print_json(&opts);
         return;

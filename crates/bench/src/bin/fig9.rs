@@ -5,6 +5,7 @@
 //! Usage: `fig9 [--suite parallel|spec|all] [--scale N] [--seed N]
 //! [--only NAME] [--csv|--json]`
 
+use sa_bench::cli::{self, Spec};
 use sa_bench::{run_all_models, Opts};
 use sa_isa::ConsistencyModel;
 use sa_metrics::JsonWriter;
@@ -59,10 +60,8 @@ fn print_json(opts: &Opts) {
     let all_reports =
         sa_bench::parallel_map(&ws, opts.jobs, |w| run_all_models(w, opts.scale, opts.seed));
     let mut j = JsonWriter::new();
-    j.begin_object()
+    cli::schema_header(&mut j, "sa-bench-fig9-v1", opts)
         .field_str("figure", "fig9")
-        .field_uint("scale", opts.scale as u64)
-        .field_uint("seed", opts.seed)
         .key("rows")
         .begin_array();
     for (w, reports) in ws.iter().zip(&all_reports) {
@@ -83,7 +82,11 @@ fn print_json(opts: &Opts) {
 }
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = cli::parse(&Spec::new(
+        "fig9",
+        "Figure 9: stall-cycle breakdown across the five configurations",
+    ))
+    .opts;
     if opts.json {
         print_json(&opts);
         return;

@@ -5,6 +5,10 @@
 use sa_litmus::{compare, explore, explore_pc, suite, ForwardPolicy};
 
 fn main() {
+    sa_bench::cli::parse(&sa_bench::cli::Spec::new(
+        "litmus_figs",
+        "Figures 1/2/3/5: litmus-test allowed/forbidden classifications",
+    ));
     println!("Litmus-test classifications (exhaustive exploration)\n");
     println!(
         "{:<14} {:>14} {:>14} {:>10} {:>10}",

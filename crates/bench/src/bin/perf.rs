@@ -19,7 +19,8 @@
 //! Usage: `perf [--scale N] [--seed N] [--jobs N] [--out PATH]` (default
 //! scale 2000, default output `BENCH_pr3.json`).
 
-use sa_bench::{harness, parallel_map, run_workload, Opts};
+use sa_bench::cli::{self, Spec};
+use sa_bench::{harness, parallel_map, run_workload};
 use sa_isa::ConsistencyModel;
 use sa_metrics::{CpiCategory, JsonWriter};
 use sa_sim::report::geomean;
@@ -95,13 +96,18 @@ fn emit_config(j: &mut JsonWriter, r: &ConfigResult, baseline_cycles: u64) {
 }
 
 fn main() {
-    let mut opts = Opts::from_args();
     // The regression suite is pinned and small; default well below the
     // exploration binaries' 30k so a full 5-config sweep stays quick.
-    if !std::env::args().any(|a| a == "--scale") {
-        opts.scale = 2_000;
-    }
-    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr3.json".into());
+    let opts = cli::parse(&Spec {
+        default_scale: Some(2_000),
+        default_out: Some("BENCH_pr3.json"),
+        ..Spec::new(
+            "perf",
+            "performance-regression harness over the pinned suite",
+        )
+    })
+    .opts;
+    let out_path = opts.out.clone().expect("spec supplies a default --out");
 
     struct Entry {
         name: &'static str,
@@ -128,10 +134,7 @@ fn main() {
     }
 
     let mut j = JsonWriter::new();
-    j.begin_object()
-        .field_str("schema", "sa-bench-perf-v1")
-        .field_uint("scale", opts.scale as u64)
-        .field_uint("seed", opts.seed)
+    cli::schema_header(&mut j, "sa-bench-perf-v1", &opts)
         .key("workloads")
         .begin_array();
 

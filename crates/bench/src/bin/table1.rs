@@ -1,6 +1,10 @@
 //! Regenerates Table I: atomicity of store operations.
 
 fn main() {
+    sa_bench::cli::parse(&sa_bench::cli::Spec::new(
+        "table1",
+        "Table I: atomicity taxonomy of store operations",
+    ));
     print!("{}", sa_litmus::taxonomy::render_table1());
     println!();
     println!("Simulator mapping:");

@@ -19,6 +19,10 @@ fn case_label(c1: (u64, u64), c2: (u64, u64)) -> &'static str {
 }
 
 fn main() {
+    sa_bench::cli::parse(&sa_bench::cli::Spec::new(
+        "table2",
+        "Table II: all possible outcomes of the Figure 5 code",
+    ));
     let ct = suite::fig5();
     println!("Table II: all possible outcomes for the code in Figure 5");
     println!("(Core1: st x,1; ld x; ld y   Core2: st y,1; ld y; ld x)\n");

@@ -1,6 +1,10 @@
 //! Regenerates Table III: the simulated system configuration.
 
 fn main() {
+    sa_bench::cli::parse(&sa_bench::cli::Spec::new(
+        "table3",
+        "Table III: simulated system configuration",
+    ));
     let cfg = sa_sim::SimConfig::default();
     print!("{}", cfg.render_table3());
     println!(

@@ -9,6 +9,7 @@
 //! Usage: `table4 [--suite parallel|spec|all] [--scale N] [--seed N]
 //! [--only NAME] [--csv|--json]`
 
+use sa_bench::cli::{self, Spec};
 use sa_bench::{run_workload, Opts};
 use sa_isa::ConsistencyModel;
 use sa_metrics::JsonWriter;
@@ -102,11 +103,9 @@ fn print_csv(rows: &[Row]) {
 
 fn print_json(rows: &[Row], opts: &Opts) {
     let mut w = JsonWriter::new();
-    w.begin_object()
+    cli::schema_header(&mut w, "sa-bench-table4-v1", opts)
         .field_str("table", "table4")
         .field_str("config", "370-SLFSoS-key")
-        .field_uint("scale", opts.scale as u64)
-        .field_uint("seed", opts.seed)
         .key("rows")
         .begin_array();
     for r in rows {
@@ -125,7 +124,11 @@ fn print_json(rows: &[Row], opts: &Opts) {
 }
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = cli::parse(&Spec::new(
+        "table4",
+        "Table IV: per-benchmark characterization under 370-SLFSoS-key",
+    ))
+    .opts;
     if opts.json {
         let rows = run_suite(&opts.workloads(), &opts);
         print_json(&rows, &opts);

@@ -21,6 +21,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
+use sa_bench::cli::{self, Arity, Flag, Spec};
 use sa_isa::ConsistencyModel;
 use sa_litmus::suite;
 use sa_sim::{Multicore, SimConfig};
@@ -33,25 +34,36 @@ use sa_workloads::Suite;
 /// Retained tail for workload runs (litmus runs are recorded unbounded).
 const RING_CAPACITY: usize = 250_000;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: trace [--litmus NAME]... [--workload NAME] [--scale N] \
-         [--model LABEL] [--out DIR]\n\
-         \n\
-         --litmus NAME    record a litmus test (mp, n6, iriw, ...); repeatable\n\
-         --workload NAME  record a synthetic workload slice (barnes, 505.mcf, ...)\n\
-         --scale N        workload instructions per core (default 800)\n\
-         --model LABEL    consistency model (default 370-SLFSoS-key); one of:\n\
-         {}\n\
-         --out DIR        output directory (default results/)\n\
-         \n\
-         with no selection, records mp + n6 + a barnes slice",
-        ConsistencyModel::ALL
-            .iter()
-            .map(|m| format!("                   {}", m.label()))
-            .collect::<Vec<_>>()
-            .join("\n")
-    );
+const EXTRAS: &[Flag] = &[
+    Flag {
+        name: "--litmus",
+        arity: Arity::Many,
+        help: "record a litmus test (mp, n6, iriw, ...); repeatable",
+    },
+    Flag {
+        name: "--workload",
+        arity: Arity::One,
+        help: "record a synthetic workload slice (barnes, 505.mcf, ...)",
+    },
+    Flag {
+        name: "--model",
+        arity: Arity::One,
+        help: "consistency model label (default 370-SLFSoS-key)",
+    },
+];
+
+const SPEC: Spec = Spec {
+    bin: "trace",
+    about: "structured cycle-level event traces (Chrome JSON + pipeview); \
+            with no selection, records mp + n6 + a barnes slice",
+    default_scale: Some(800),
+    default_out: Some("results"),
+    extras: EXTRAS,
+};
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace: {msg}\n");
+    eprint!("{}", cli::usage(&SPEC));
     exit(2);
 }
 
@@ -60,8 +72,12 @@ fn parse_model(label: &str) -> ConsistencyModel {
         .into_iter()
         .find(|m| m.label() == label)
         .unwrap_or_else(|| {
-            eprintln!("unknown model {label:?}");
-            usage();
+            let known = ConsistencyModel::ALL
+                .iter()
+                .map(|m| m.label())
+                .collect::<Vec<_>>()
+                .join(", ");
+            die(&format!("unknown model {label:?}; have: {known}"));
         })
 }
 
@@ -130,15 +146,14 @@ fn run_litmus(name: &str, model: ConsistencyModel, out_dir: &Path) {
         .into_iter()
         .find(|ct| ct.test.name == name)
         .unwrap_or_else(|| {
-            eprintln!(
+            die(&format!(
                 "unknown litmus test {name:?}; have: {}",
                 suite::all()
                     .iter()
                     .map(|ct| ct.test.name)
                     .collect::<Vec<_>>()
                     .join(", ")
-            );
-            usage();
+            ));
         });
     let traces = ct.test.to_traces();
     let cfg = SimConfig::default()
@@ -157,16 +172,14 @@ fn run_litmus(name: &str, model: ConsistencyModel, out_dir: &Path) {
     );
 }
 
-fn run_workload(name: &str, scale: usize, model: ConsistencyModel, out_dir: &Path) {
-    let w = sa_workloads::by_name(name).unwrap_or_else(|| {
-        eprintln!("unknown workload {name:?}");
-        usage();
-    });
+fn run_workload(name: &str, scale: usize, seed: u64, model: ConsistencyModel, out_dir: &Path) {
+    let w =
+        sa_workloads::by_name(name).unwrap_or_else(|| die(&format!("unknown workload {name:?}")));
     let n = if w.suite == Suite::Parallel { 8 } else { 1 };
     let cfg = SimConfig::default().with_model(model).with_cores(n);
     let mut sim = Multicore::with_tracer(
         cfg,
-        w.generate(n, scale, 42),
+        w.generate(n, scale, seed),
         RingTracer::new(RING_CAPACITY),
     );
     sim.run(u64::MAX)
@@ -191,38 +204,23 @@ fn run_workload(name: &str, scale: usize, model: ConsistencyModel, out_dir: &Pat
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut litmus: Vec<String> = Vec::new();
-    let mut workload: Option<String> = None;
-    let mut scale = 800usize;
-    let mut model = ConsistencyModel::Ibm370SlfSosKey;
-    let mut out_dir = PathBuf::from("results");
-
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut val = |flag: &str| {
-            it.next().cloned().unwrap_or_else(|| {
-                eprintln!("{flag} needs a value");
-                usage();
-            })
-        };
-        match arg.as_str() {
-            "--litmus" => litmus.push(val("--litmus")),
-            "--workload" => workload = Some(val("--workload")),
-            "--scale" => {
-                scale = val("--scale").parse().unwrap_or_else(|_| {
-                    eprintln!("--scale needs an integer");
-                    usage();
-                });
-            }
-            "--model" => model = parse_model(&val("--model")),
-            "--out" => out_dir = PathBuf::from(val("--out")),
-            _ => {
-                eprintln!("unknown argument {arg:?}");
-                usage();
-            }
-        }
-    }
+    let args = cli::parse(&SPEC);
+    let mut litmus: Vec<String> = args
+        .values("--litmus")
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let mut workload: Option<String> = args.value("--workload").map(String::from);
+    let model = args
+        .value("--model")
+        .map(parse_model)
+        .unwrap_or(ConsistencyModel::Ibm370SlfSosKey);
+    let out_dir = PathBuf::from(
+        args.opts
+            .out
+            .as_deref()
+            .expect("spec supplies a default --out"),
+    );
 
     if litmus.is_empty() && workload.is_none() {
         litmus = vec!["mp".into(), "n6".into()];
@@ -234,6 +232,6 @@ fn main() {
         run_litmus(name, model, &out_dir);
     }
     if let Some(name) = workload {
-        run_workload(&name, scale, model, &out_dir);
+        run_workload(&name, args.opts.scale, args.opts.seed, model, &out_dir);
     }
 }

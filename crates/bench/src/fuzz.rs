@@ -1,0 +1,347 @@
+//! Differential litmus fuzzing: random programs run on the cycle-level
+//! simulator under every consistency configuration, each observed
+//! outcome checked against the axiomatic oracle's allowed set.
+//!
+//! The containment claim mirrors `tests/cycle_litmus.rs` but at fuzzing
+//! scale: an x86 run may only produce x86-TSO-allowed outcomes, and a
+//! 370 run may only produce store-atomic-allowed outcomes. A violation
+//! is automatically minimized with [`sa_litmus::shrink`] before being
+//! reported, so the counterexample that reaches a human is the smallest
+//! program/outcome pair that still breaks containment.
+//!
+//! `mutate` proves the harness has teeth: it plants one of the
+//! [`InjectedBug`]s in the retire gate and the sweep must then find a
+//! store-atomicity violation. The corpus therefore always carries two
+//! engineered probe programs shaped like the paper's n6 window
+//! (§III-A): a warming load, an older store ahead of the forwarded one,
+//! and a racing two-store thread — swept across core skews that land
+//! the remote stores inside the window the bug opens.
+
+use sa_isa::rng::{SplitMix64, Xoshiro256};
+use sa_isa::{ConsistencyModel, CoreId, Reg};
+use sa_litmus::ast::{LOp, X, Y, Z};
+use sa_litmus::{generate_corpus, shrink, suite, GenConfig, LitmusTest, Oracle, Outcome};
+use sa_ooo::InjectedBug;
+use sa_sim::{Multicore, SimConfig};
+
+use crate::parallel_map;
+
+/// Fuzzing-run parameters (the `fuzz` binary's knobs).
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of randomly generated programs (the fixed probe and suite
+    /// programs ride on top).
+    pub programs: usize,
+    /// Master seed: derives the program corpus and the per-program pad
+    /// streams, so a run is reproducible from `(seed, programs)`.
+    pub seed: u64,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Bug to plant in the retire gate; the run must then detect it.
+    pub mutate: Option<InjectedBug>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            programs: 200,
+            seed: 4,
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            mutate: None,
+        }
+    }
+}
+
+/// One containment failure: a program whose cycle-level outcome the
+/// memory model forbids.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Program name (corpus origin).
+    pub name: &'static str,
+    /// The offending program, rendered.
+    pub program: String,
+    /// Configuration that produced the forbidden outcome.
+    pub model: ConsistencyModel,
+    /// Per-thread nop pads that exposed it.
+    pub pads: Vec<usize>,
+    /// The forbidden outcome, rendered.
+    pub outcome: String,
+    /// Shrunk program that still reproduces, rendered.
+    pub minimized: String,
+    /// Forbidden outcome of the minimized program, rendered.
+    pub minimized_outcome: String,
+}
+
+/// Aggregate result of a fuzzing run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Programs in the corpus (probes + suite + generated).
+    pub corpus: usize,
+    /// Individual simulations executed.
+    pub runs: usize,
+    /// Containment failures, in corpus order.
+    pub violations: Vec<Violation>,
+}
+
+/// The engineered n6-window probes (§III-A shape). The leading loads
+/// warm y into thread 0 and x into thread 1's cache, so thread 0's
+/// `st x` drains slowly (ownership fetch) while thread 1's stores drain
+/// fast — the timing that makes a broken retire gate observable.
+/// `probe_gate_key` keeps a run of older stores (`st z`) ahead of the
+/// forwarded one — the case the `gate-key` bug mis-unlocks on. `z` is
+/// private to thread 0, so the first filler commits at L1 latency right
+/// after the forwarded load closes the gate, and the buggy machine
+/// force-opens on it; the remaining fillers serialize through the SB at
+/// `sb_commit_cycles` apiece, holding `st x` back long enough that
+/// thread 1's `st x` wins the coherence race (final `x=1` is the
+/// witness). A thread-1 skew then lands the remote `y` commit after
+/// thread 0's re-executed `ld y`, which retires a stale 0 through the
+/// wrongly open gate.
+pub fn probes() -> Vec<LitmusTest> {
+    use LOp::{Ld, St};
+    let mut gate_key_t0 = vec![Ld(Y)];
+    gate_key_t0.extend(std::iter::repeat_n(St(Z, 1), 10));
+    gate_key_t0.extend([St(X, 1), Ld(X), Ld(Y)]);
+    vec![
+        LitmusTest::new(
+            "probe_gate_key",
+            vec![gate_key_t0, vec![Ld(X), St(Y, 2), St(X, 2)]],
+        ),
+        LitmusTest::new(
+            "probe_gate",
+            vec![
+                vec![Ld(Y), St(X, 1), Ld(X), Ld(Y)],
+                vec![Ld(X), St(Y, 2), St(X, 2)],
+            ],
+        ),
+    ]
+}
+
+/// Runs `test` on the cycle-level simulator and extracts its outcome in
+/// the oracle's format (one register per load in program order, plus
+/// final memory).
+pub fn run_on_sim(
+    test: &LitmusTest,
+    model: ConsistencyModel,
+    pads: &[usize],
+    bug: Option<InjectedBug>,
+) -> Outcome {
+    let traces = test.to_traces_padded(pads);
+    let cfg = SimConfig::builder()
+        .model(model)
+        .cores(traces.len())
+        .injected_bug(bug)
+        .build()
+        .expect("fuzz sim config is valid");
+    let mut sim = Multicore::new(cfg, traces);
+    sim.run(5_000_000)
+        .unwrap_or_else(|e| panic!("{} under {model}: {e}", test.name));
+    // RMWs desugar to an extra load slot in both the lowering and the
+    // explorer, so slot counts come from the desugared form.
+    let desugared = test.desugared();
+    let regs = (0..test.threads.len())
+        .map(|t| {
+            (0..desugared.loads_in(t))
+                .map(|slot| sim.core(CoreId(t as u8)).arch_reg(Reg::new(slot as u8)))
+                .collect()
+        })
+        .collect();
+    let mem = test
+        .vars()
+        .into_iter()
+        .map(|v| (v, sim.memory().read(LitmusTest::var_addr(v), 8)))
+        .collect();
+    Outcome { regs, mem }
+}
+
+/// The skew patterns a program is swept over. Every program gets the
+/// aligned start plus single-thread skews; probe programs additionally
+/// sweep every thread across the §III-A window (the 150–280 range
+/// `tests/window_of_vulnerability.rs` established — at retire width 5,
+/// a pad of `p` shifts a thread ~`p/5` cycles against the common
+/// cold-miss alignment point), plus two random patterns from the
+/// per-program stream.
+fn pad_patterns(test: &LitmusTest, rng: &mut Xoshiro256) -> Vec<Vec<usize>> {
+    let n = test.threads.len();
+    let mut pats = vec![vec![0; n]];
+    for skew in [60usize, 180, 260] {
+        for t in 0..n {
+            let mut p = vec![0; n];
+            p[t] = skew;
+            pats.push(p);
+        }
+    }
+    if test.name.starts_with("probe") {
+        for t in 0..n {
+            for pad in (140..=300).step_by(10) {
+                let mut p = vec![0; n];
+                p[t] = pad;
+                pats.push(p);
+            }
+        }
+    }
+    for _ in 0..2 {
+        pats.push((0..n).map(|_| rng.gen_range_usize(0, 301)).collect());
+    }
+    pats
+}
+
+/// Fuzzes one program: every configuration × every pad pattern, with
+/// outcomes checked against the (memoized) oracle. Violations come back
+/// already minimized. Returns `(violations, runs)`.
+fn fuzz_program(test: &LitmusTest, pad_seed: u64, bug: Option<InjectedBug>) -> FuzzReport {
+    let mut oracle = Oracle::new();
+    let mut rng = Xoshiro256::seed_from_u64(pad_seed);
+    let pats = pad_patterns(test, &mut rng);
+    let mut report = FuzzReport {
+        corpus: 1,
+        ..FuzzReport::default()
+    };
+    for model in ConsistencyModel::ALL {
+        for pads in &pats {
+            report.runs += 1;
+            let o = run_on_sim(test, model, pads, bug);
+            if oracle.permits(test, model, &o) {
+                continue;
+            }
+            let min = shrink(test, |cand| {
+                let cand_pads: Vec<usize> = pads.iter().copied().take(cand.threads.len()).collect();
+                let co = run_on_sim(cand, model, &cand_pads, bug);
+                !oracle.permits(cand, model, &co)
+            });
+            let min_pads: Vec<usize> = pads.iter().copied().take(min.threads.len()).collect();
+            let min_outcome = run_on_sim(&min, model, &min_pads, bug);
+            report.violations.push(Violation {
+                name: test.name,
+                program: test.render(),
+                model,
+                pads: pads.clone(),
+                outcome: o.to_string(),
+                minimized: min.render(),
+                minimized_outcome: min_outcome.to_string(),
+            });
+            // One counterexample per (program, model) is plenty; move to
+            // the next configuration instead of re-reporting the same
+            // root cause for every pad pattern.
+            break;
+        }
+    }
+    report
+}
+
+/// Runs the full differential sweep described by `cfg`.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut corpus: Vec<LitmusTest> = probes();
+    corpus.extend(suite::all().into_iter().map(|ct| ct.test));
+    corpus.extend(generate_corpus(
+        cfg.seed,
+        cfg.programs,
+        &GenConfig::default(),
+    ));
+
+    // Independent pad stream per program, derived from the master seed
+    // so the whole run replays from the command line.
+    let mut sm = SplitMix64::new(cfg.seed ^ 0xFA22_0000_0000_0000);
+    let items: Vec<(LitmusTest, u64)> = corpus
+        .into_iter()
+        .map(|t| {
+            let s = sm.next_u64();
+            (t, s)
+        })
+        .collect();
+
+    let per_program = parallel_map(&items, cfg.jobs, |(test, pad_seed)| {
+        fuzz_program(test, *pad_seed, cfg.mutate)
+    });
+
+    let mut total = FuzzReport::default();
+    for r in per_program {
+        total.corpus += r.corpus;
+        total.runs += r.runs;
+        total.violations.extend(r.violations);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_machine_passes_a_small_sweep() {
+        let r = run_fuzz(&FuzzConfig {
+            programs: 3,
+            seed: 4,
+            ..FuzzConfig::default()
+        });
+        // 2 probes + 17 suite tests + 3 generated.
+        assert_eq!(r.corpus, 22);
+        assert!(r.runs > r.corpus, "every program runs many cells");
+        assert!(
+            r.violations.is_empty(),
+            "clean machine violated containment: {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn gate_key_bug_is_detected_and_minimized() {
+        // The probe alone must catch the planted bug — no generated
+        // programs needed.
+        let r = run_fuzz(&FuzzConfig {
+            programs: 0,
+            seed: 4,
+            mutate: Some(InjectedBug::GateKeyMatch),
+            ..FuzzConfig::default()
+        });
+        assert!(
+            !r.violations.is_empty(),
+            "planted gate-key bug escaped the probe sweep"
+        );
+        let v = &r.violations[0];
+        assert!(
+            v.model.uses_retire_gate(),
+            "the gate bug can only show on a gated config, got {}",
+            v.model
+        );
+        let min_ops: usize = v.minimized.matches(';').count() + v.minimized.lines().count();
+        let orig_ops: usize = v.program.matches(';').count() + v.program.lines().count();
+        assert!(
+            min_ops <= orig_ops,
+            "minimization must not grow the program"
+        );
+    }
+
+    #[test]
+    fn gate_no_close_bug_is_detected() {
+        let r = run_fuzz(&FuzzConfig {
+            programs: 0,
+            seed: 4,
+            mutate: Some(InjectedBug::GateNoClose),
+            ..FuzzConfig::default()
+        });
+        assert!(
+            !r.violations.is_empty(),
+            "planted gate-no-close bug escaped the probe sweep"
+        );
+    }
+
+    #[test]
+    fn fixed_seed_runs_are_deterministic() {
+        let a = run_fuzz(&FuzzConfig {
+            programs: 5,
+            seed: 11,
+            ..FuzzConfig::default()
+        });
+        let b = run_fuzz(&FuzzConfig {
+            programs: 5,
+            seed: 11,
+            ..FuzzConfig::default()
+        });
+        assert_eq!(a.corpus, b.corpus);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.violations.len(), b.violations.len());
+    }
+}

@@ -18,145 +18,16 @@
 //! the paper simulates ~1 B instructions per benchmark — scale up as your
 //! patience allows; shapes stabilize well before 100k).
 
+pub mod cli;
+pub mod fuzz;
 pub mod harness;
+
+pub use cli::{Opts, SuiteSel};
 
 use sa_isa::ConsistencyModel;
 use sa_sim::report::geomean;
 use sa_sim::{Multicore, Report, SimConfig};
 use sa_workloads::{Suite, WorkloadSpec};
-
-/// Command-line options shared by the experiment binaries.
-#[derive(Debug, Clone)]
-pub struct Opts {
-    /// Instructions per core per run.
-    pub scale: usize,
-    /// RNG seed for trace generation.
-    pub seed: u64,
-    /// Which suite(s) to run.
-    pub suite: SuiteSel,
-    /// Restrict to one benchmark by name.
-    pub only: Option<String>,
-    /// Worker threads for independent simulations.
-    pub jobs: usize,
-    /// Emit machine-readable CSV instead of aligned tables.
-    pub csv: bool,
-    /// Emit machine-readable JSON instead of aligned tables.
-    pub json: bool,
-    /// Output path for binaries that write a file (the perf harness).
-    pub out: Option<String>,
-}
-
-/// Suite selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SuiteSel {
-    /// SPLASH-3/PARSEC only.
-    Parallel,
-    /// SPEC CPU2017 only.
-    Spec,
-    /// Both suites.
-    All,
-}
-
-impl Default for Opts {
-    fn default() -> Opts {
-        Opts {
-            scale: 30_000,
-            seed: 42,
-            suite: SuiteSel::All,
-            only: None,
-            jobs: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            csv: false,
-            json: false,
-            out: None,
-        }
-    }
-}
-
-impl Opts {
-    /// Parses `--scale N --seed N --suite parallel|spec|all --only NAME`
-    /// from the process arguments.
-    ///
-    /// # Panics
-    ///
-    /// Panics (with a usage message) on malformed arguments.
-    pub fn from_args() -> Opts {
-        let mut o = Opts::default();
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < args.len() {
-            let need = |i: usize| {
-                args.get(i + 1)
-                    .unwrap_or_else(|| panic!("missing value after {}", args[i]))
-                    .clone()
-            };
-            match args[i].as_str() {
-                "--scale" => {
-                    o.scale = need(i).parse().expect("--scale takes a number");
-                    i += 2;
-                }
-                "--seed" => {
-                    o.seed = need(i).parse().expect("--seed takes a number");
-                    i += 2;
-                }
-                "--suite" => {
-                    o.suite = match need(i).as_str() {
-                        "parallel" => SuiteSel::Parallel,
-                        "spec" => SuiteSel::Spec,
-                        "all" => SuiteSel::All,
-                        other => panic!("unknown suite {other}"),
-                    };
-                    i += 2;
-                }
-                "--only" => {
-                    o.only = Some(need(i));
-                    i += 2;
-                }
-                "--jobs" => {
-                    o.jobs = need(i).parse().expect("--jobs takes a number");
-                    i += 2;
-                }
-                "--csv" => {
-                    o.csv = true;
-                    i += 1;
-                }
-                "--json" => {
-                    o.json = true;
-                    i += 1;
-                }
-                "--out" => {
-                    o.out = Some(need(i));
-                    i += 2;
-                }
-                other => {
-                    panic!(
-                        "unknown option {other} (try --scale/--seed/--suite/--only/--jobs/--csv/--json/--out)"
-                    )
-                }
-            }
-        }
-        o
-    }
-
-    /// The selected workloads.
-    pub fn workloads(&self) -> Vec<WorkloadSpec> {
-        let mut ws = match self.suite {
-            SuiteSel::Parallel => sa_workloads::parallel_suite(),
-            SuiteSel::Spec => sa_workloads::spec_suite(),
-            SuiteSel::All => {
-                let mut v = sa_workloads::parallel_suite();
-                v.extend(sa_workloads::spec_suite());
-                v
-            }
-        };
-        if let Some(only) = &self.only {
-            ws.retain(|w| w.name == only.as_str());
-            assert!(!ws.is_empty(), "no workload named {only}");
-        }
-        ws
-    }
-}
 
 /// Runs one workload under one consistency model to completion.
 ///
@@ -286,25 +157,5 @@ mod tests {
         assert!((g[0] - 2.0).abs() < 1e-12);
         assert!((g[1] - 4.0).abs() < 1e-12);
         assert!(geomean_rows(&[]).is_empty());
-    }
-
-    #[test]
-    fn opts_workload_selection() {
-        let o = Opts {
-            suite: SuiteSel::Parallel,
-            ..Opts::default()
-        };
-        assert_eq!(o.workloads().len(), 25);
-        let o = Opts {
-            suite: SuiteSel::Spec,
-            ..Opts::default()
-        };
-        assert_eq!(o.workloads().len(), 36);
-        let o = Opts {
-            suite: SuiteSel::All,
-            only: Some("radix".into()),
-            ..Opts::default()
-        };
-        assert_eq!(o.workloads().len(), 1);
     }
 }

@@ -2,6 +2,41 @@
 
 use crate::network::Topology;
 
+/// Error from [`MemConfig::check`]: a parameter combination the
+/// controllers' invariants reject. The `Display` text matches the panic
+/// messages [`MemConfig::validate`] historically produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemConfigError {
+    /// `n_cores` outside `1..=64`.
+    CoreCountUnsupported,
+    /// `l3_banks == 0`.
+    NoL3Banks,
+    /// `mshrs == 0`.
+    NoMshrs,
+    /// The named cache holds fewer lines than its associativity.
+    CacheTooSmall(&'static str),
+    /// The named cache's set count is not a power of two.
+    SetCountNotPowerOfTwo(&'static str),
+}
+
+impl std::fmt::Display for MemConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemConfigError::CoreCountUnsupported => write!(f, "1..=64 cores supported"),
+            MemConfigError::NoL3Banks => write!(f, "need at least one L3 bank"),
+            MemConfigError::NoMshrs => write!(f, "need at least one MSHR"),
+            MemConfigError::CacheTooSmall(what) => {
+                write!(f, "{what} too small for its associativity")
+            }
+            MemConfigError::SetCountNotPowerOfTwo(what) => {
+                write!(f, "{what} set count must be a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemConfigError {}
+
 /// Geometry and timing of the simulated memory hierarchy.
 ///
 /// Defaults reproduce Table III of the paper. All latencies are in core
@@ -83,33 +118,43 @@ impl MemConfig {
         }
     }
 
-    /// Validates invariants the controllers rely on.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a capacity is not divisible into sets or a count is
-    /// zero.
-    pub fn validate(&self) {
-        assert!(
-            self.n_cores > 0 && self.n_cores <= 64,
-            "1..=64 cores supported"
-        );
-        assert!(self.l3_banks > 0, "need at least one L3 bank");
-        assert!(self.mshrs > 0, "need at least one MSHR");
+    /// Checks invariants the controllers rely on, returning the first
+    /// violation as a typed error.
+    pub fn check(&self) -> Result<(), MemConfigError> {
+        if self.n_cores == 0 || self.n_cores > 64 {
+            return Err(MemConfigError::CoreCountUnsupported);
+        }
+        if self.l3_banks == 0 {
+            return Err(MemConfigError::NoL3Banks);
+        }
+        if self.mshrs == 0 {
+            return Err(MemConfigError::NoMshrs);
+        }
         for (bytes, assoc, what) in [
             (self.l1_bytes, self.l1_assoc, "L1"),
             (self.l2_bytes, self.l2_assoc, "L2"),
             (self.l3_bytes_per_bank, self.l3_assoc, "L3 bank"),
         ] {
             let lines = bytes / sa_isa::LINE_BYTES as usize;
-            assert!(
-                assoc > 0 && lines >= assoc,
-                "{what} too small for its associativity"
-            );
-            assert!(
-                (lines / assoc).is_power_of_two(),
-                "{what} set count must be a power of two"
-            );
+            if assoc == 0 || lines < assoc {
+                return Err(MemConfigError::CacheTooSmall(what));
+            }
+            if !(lines / assoc).is_power_of_two() {
+                return Err(MemConfigError::SetCountNotPowerOfTwo(what));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates invariants the controllers rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a capacity is not divisible into sets or a count is
+    /// zero; [`MemConfig::check`] is the non-panicking form.
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
     }
 }
@@ -147,5 +192,34 @@ mod tests {
     #[should_panic(expected = "cores supported")]
     fn zero_cores_rejected() {
         MemConfig::with_cores(0).validate();
+    }
+
+    #[test]
+    fn check_returns_typed_errors() {
+        assert!(MemConfig::default().check().is_ok());
+        let bad = |f: fn(&mut MemConfig)| {
+            let mut c = MemConfig::default();
+            f(&mut c);
+            c.check().unwrap_err()
+        };
+        assert_eq!(
+            bad(|c| c.n_cores = 65),
+            MemConfigError::CoreCountUnsupported
+        );
+        assert_eq!(bad(|c| c.l3_banks = 0), MemConfigError::NoL3Banks);
+        assert_eq!(bad(|c| c.mshrs = 0), MemConfigError::NoMshrs);
+        assert_eq!(
+            bad(|c| c.l1_bytes = 64),
+            MemConfigError::CacheTooSmall("L1")
+        );
+        assert_eq!(
+            bad(|c| c.l2_bytes = 96 * 1024),
+            MemConfigError::SetCountNotPowerOfTwo("L2")
+        );
+        assert_eq!(
+            bad(|c| c.l2_bytes = 96 * 1024).to_string(),
+            "L2 set count must be a power of two",
+            "Display matches the historical panic text"
+        );
     }
 }

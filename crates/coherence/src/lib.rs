@@ -51,7 +51,7 @@ pub mod prefetch;
 pub mod private;
 pub mod stats;
 
-pub use config::MemConfig;
+pub use config::{MemConfig, MemConfigError};
 pub use memsys::{MemReqId, MemorySystem, Notice, NoticeKind};
 pub use network::Topology;
 pub use stats::MemStats;

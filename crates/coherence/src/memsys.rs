@@ -2,7 +2,7 @@
 //! network, and the event queue behind one core-facing facade.
 
 use sa_isa::{Addr, CoreId, Cycle, Line};
-use sa_trace::{EventKind, NullTracer, TraceEvent, TraceNode, Tracer};
+use sa_trace::{EventKind, TraceEvent, TraceNode, Tracer};
 
 use crate::config::MemConfig;
 use crate::dir::DirBank;
@@ -246,16 +246,12 @@ impl MemorySystem {
     }
 
     /// Processes all protocol events up to and including cycle `to`,
-    /// accumulating notices for the cores (untraced).
-    pub fn advance(&mut self, to: Cycle) {
-        self.advance_traced(to, &mut NullTracer);
-    }
-
-    /// Processes all protocol events up to and including cycle `to`,
-    /// emitting one [`EventKind::CohMsg`] per delivered protocol message
-    /// (stamped with the core-side endpoint). With [`NullTracer`] this
-    /// monomorphizes to exactly [`MemorySystem::advance`].
-    pub fn advance_traced<T: Tracer>(&mut self, to: Cycle, tracer: &mut T) {
+    /// accumulating notices for the cores and emitting one
+    /// [`EventKind::CohMsg`] per delivered protocol message (stamped with
+    /// the core-side endpoint). This is the single run API: with
+    /// [`&mut NullTracer`](sa_trace::NullTracer) every emission site monomorphizes
+    /// to dead code, leaving exactly the untraced event pump.
+    pub fn advance<T: Tracer>(&mut self, to: Cycle, tracer: &mut T) {
         while let Some((cycle, ev)) = self.q.pop_until(to) {
             match ev {
                 Ev::Deliver {
@@ -341,6 +337,7 @@ impl MemorySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sa_trace::NullTracer;
 
     fn sys(n: usize) -> MemorySystem {
         MemorySystem::new(MemConfig {
@@ -360,7 +357,7 @@ mod tests {
         limit: Cycle,
     ) -> Cycle {
         for t in 0..limit {
-            m.advance(t);
+            m.advance(t, &mut NullTracer);
             for n in m.drain_notices(core) {
                 if n.kind == (NoticeKind::LoadDone { id }) {
                     return n.at;
@@ -372,7 +369,7 @@ mod tests {
 
     fn run_until_own_done(m: &mut MemorySystem, core: CoreId, id: MemReqId, limit: Cycle) -> Cycle {
         for t in 0..limit {
-            m.advance(t);
+            m.advance(t, &mut NullTracer);
             for n in m.drain_notices(core) {
                 if n.kind == (NoticeKind::OwnershipDone { id }) {
                     return n.at;
@@ -411,7 +408,7 @@ mod tests {
         // strictly before the grant (write atomicity).
         let own = m.issue_ownership(CoreId(1), line(1), t0 + 1).unwrap();
         let granted = run_until_own_done(&mut m, CoreId(1), own, t0 + 2000);
-        m.advance(granted + 200);
+        m.advance(granted + 200, &mut NullTracer);
         let inv_notices: Vec<Notice> = m
             .drain_notices(CoreId(0))
             .into_iter()
@@ -435,7 +432,7 @@ mod tests {
         // Third core stores.
         let own = m.issue_ownership(CoreId(2), line(9), t1 + 1).unwrap();
         let granted = run_until_own_done(&mut m, CoreId(2), own, t1 + 2000);
-        m.advance(granted + 100);
+        m.advance(granted + 100, &mut NullTracer);
         for c in [CoreId(0), CoreId(1)] {
             let invs: Vec<Notice> = m
                 .drain_notices(c)
@@ -487,7 +484,7 @@ mod tests {
         let mut m = sys(2);
         let _ = m.issue_load(CoreId(0), line(1), 0, 64, 0).unwrap();
         assert!(!m.quiescent());
-        m.advance(10_000);
+        m.advance(10_000, &mut NullTracer);
         assert!(m.quiescent());
     }
 
@@ -497,7 +494,7 @@ mod tests {
             let mut m = sys(4);
             let mut events = Vec::new();
             for t in 0..400u64 {
-                m.advance(t);
+                m.advance(t, &mut NullTracer);
                 for c in 0..4u8 {
                     for n in m.drain_notices(CoreId(c)) {
                         events.push((c, n.at, format!("{:?}", n.kind)));

@@ -8,6 +8,7 @@ use sa_coherence::event::EventQueue;
 use sa_coherence::{MemConfig, MemorySystem, NoticeKind};
 use sa_isa::rng::Xoshiro256;
 use sa_isa::{CoreId, Line};
+use sa_trace::NullTracer;
 
 const CASES: usize = 96;
 
@@ -101,7 +102,7 @@ fn protocol_random_walk() {
             let core = CoreId(rng.gen_range_u64(0, 4) as u8);
             let line = Line::from_raw(rng.gen_range_u64(0, 6));
             let is_store = rng.gen_bool();
-            m.advance(t);
+            m.advance(t, &mut NullTracer);
             let _ = m.drain_notices(core);
             if is_store {
                 let _ = m.issue_ownership(core, line, t);
@@ -111,7 +112,7 @@ fn protocol_random_walk() {
             t += 3;
         }
         // Drain everything.
-        m.advance(t + 100_000);
+        m.advance(t + 100_000, &mut NullTracer);
         assert!(m.quiescent(), "protocol wedged");
         for l in 0..6u64 {
             let line = Line::from_raw(l);
@@ -138,7 +139,7 @@ fn loads_complete_exactly_once() {
         for _ in 0..n {
             let core = rng.gen_range_u64(0, 2) as u8;
             let line = rng.gen_range_u64(0, 4);
-            m.advance(t);
+            m.advance(t, &mut NullTracer);
             for c in 0..2u8 {
                 let _ = m.drain_notices(CoreId(c));
             }
@@ -147,7 +148,7 @@ fn loads_complete_exactly_once() {
             }
             t += 2;
         }
-        m.advance(t + 100_000);
+        m.advance(t + 100_000, &mut NullTracer);
         let mut done = std::collections::HashSet::new();
         for c in 0..2u8 {
             for notice in m.drain_notices(CoreId(c)) {

@@ -1,8 +1,56 @@
 //! Full-system configuration — the paper's Table III.
 
-use sa_coherence::MemConfig;
+use sa_coherence::{MemConfig, MemConfigError};
 use sa_isa::ConsistencyModel;
-use sa_ooo::CoreConfig;
+use sa_ooo::{CoreConfig, CoreConfigError};
+
+/// Error from [`SimConfigBuilder::build`] / [`SimConfig::check`]: an
+/// inconsistent parameter combination, reported as a typed value instead
+/// of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The core half failed [`CoreConfig::check`].
+    Core(CoreConfigError),
+    /// The memory half failed [`MemConfig::check`].
+    Mem(MemConfigError),
+    /// A nonzero sampling interval with a zero-capacity sample ring:
+    /// sampling is requested but every sample would be dropped.
+    ZeroSampleCapacity,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Core(e) => write!(f, "core config: {e}"),
+            ConfigError::Mem(e) => write!(f, "memory config: {e}"),
+            ConfigError::ZeroSampleCapacity => {
+                write!(f, "sampling enabled with a zero-capacity sample ring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Core(e) => Some(e),
+            ConfigError::Mem(e) => Some(e),
+            ConfigError::ZeroSampleCapacity => None,
+        }
+    }
+}
+
+impl From<CoreConfigError> for ConfigError {
+    fn from(e: CoreConfigError) -> ConfigError {
+        ConfigError::Core(e)
+    }
+}
+
+impl From<MemConfigError> for ConfigError {
+    fn from(e: MemConfigError) -> ConfigError {
+        ConfigError::Mem(e)
+    }
+}
 
 /// Complete configuration of the simulated multicore.
 ///
@@ -43,7 +91,78 @@ impl Default for SimConfig {
     }
 }
 
+/// Builder for [`SimConfig`] whose [`build`](SimConfigBuilder::build)
+/// validates the assembled configuration and returns typed
+/// [`ConfigError`]s instead of panicking — the front door for drivers
+/// that accept user-controlled parameters (the bench CLI, the fuzzer).
+#[derive(Debug, Clone, Default)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the consistency model.
+    pub fn model(mut self, model: ConsistencyModel) -> SimConfigBuilder {
+        self.cfg.model = model;
+        self
+    }
+
+    /// Sets the number of cores.
+    pub fn cores(mut self, n: usize) -> SimConfigBuilder {
+        self.cfg.mem.n_cores = n;
+        self
+    }
+
+    /// Replaces the whole per-core microarchitecture.
+    pub fn core(mut self, core: CoreConfig) -> SimConfigBuilder {
+        self.cfg.core = core;
+        self
+    }
+
+    /// Replaces the whole memory hierarchy (keeps the core count already
+    /// set via [`cores`](SimConfigBuilder::cores) callers must re-apply).
+    pub fn mem(mut self, mem: MemConfig) -> SimConfigBuilder {
+        self.cfg.mem = mem;
+        self
+    }
+
+    /// Sets the time-series sampling interval in cycles (0 disables).
+    pub fn sample_interval(mut self, interval: u64) -> SimConfigBuilder {
+        self.cfg.sample_interval = interval;
+        self
+    }
+
+    /// Sets the bounded capacity of the sample ring.
+    pub fn sample_capacity(mut self, capacity: usize) -> SimConfigBuilder {
+        self.cfg.sample_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables the event-driven engine's cycle skipping.
+    pub fn cycle_skip(mut self, on: bool) -> SimConfigBuilder {
+        self.cfg.cycle_skip = on;
+        self
+    }
+
+    /// Injects a deliberately broken pipeline variant (fuzzer self-test).
+    pub fn injected_bug(mut self, bug: Option<sa_ooo::InjectedBug>) -> SimConfigBuilder {
+        self.cfg.core.injected_bug = bug;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.check()?;
+        Ok(self.cfg)
+    }
+}
+
 impl SimConfig {
+    /// Starts a validating builder from the Table III defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
     /// Sets the consistency model.
     pub fn with_model(mut self, model: ConsistencyModel) -> SimConfig {
         self.model = model;
@@ -73,14 +192,27 @@ impl SimConfig {
         self.mem.n_cores
     }
 
+    /// Checks the whole configuration, returning the first violation as
+    /// a typed error.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        self.core.check()?;
+        self.mem.check()?;
+        if self.sample_interval > 0 && self.sample_capacity == 0 {
+            return Err(ConfigError::ZeroSampleCapacity);
+        }
+        Ok(())
+    }
+
     /// Validates both halves.
     ///
     /// # Panics
     ///
-    /// Panics if either the core or memory configuration is invalid.
+    /// Panics if either the core or memory configuration is invalid;
+    /// [`SimConfig::check`] is the non-panicking form.
     pub fn validate(&self) {
-        self.core.validate();
-        self.mem.validate();
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Renders the configuration as the paper's Table III.
@@ -169,6 +301,69 @@ mod tests {
         assert_eq!(cfg.model, ConsistencyModel::Ibm370SlfSosKey);
         assert_eq!(cfg.n_cores(), 2);
         cfg.validate();
+    }
+
+    #[test]
+    fn validating_builder_accepts_good_configs() {
+        let cfg = SimConfig::builder()
+            .model(ConsistencyModel::Ibm370SlfSos)
+            .cores(4)
+            .sample_interval(0)
+            .cycle_skip(false)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.model, ConsistencyModel::Ibm370SlfSos);
+        assert_eq!(cfg.n_cores(), 4);
+        assert!(!cfg.cycle_skip);
+        // The chainable wrappers and the builder agree.
+        let legacy = SimConfig::default()
+            .with_model(ConsistencyModel::Ibm370SlfSos)
+            .with_cores(4)
+            .with_sample_interval(0)
+            .with_cycle_skip(false);
+        assert_eq!(cfg, legacy);
+    }
+
+    #[test]
+    fn validating_builder_returns_typed_errors() {
+        let zero_width = SimConfig::builder()
+            .core(CoreConfig {
+                width: 0,
+                ..CoreConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            zero_width,
+            ConfigError::Core(CoreConfigError::ZeroWidth),
+            "zero-width core"
+        );
+        let too_many = SimConfig::builder().cores(65).build().unwrap_err();
+        assert_eq!(
+            too_many,
+            ConfigError::Mem(MemConfigError::CoreCountUnsupported)
+        );
+        let bad_sampler = SimConfig::builder()
+            .sample_interval(100)
+            .sample_capacity(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(bad_sampler, ConfigError::ZeroSampleCapacity);
+        assert!(zero_width.to_string().contains("width must be positive"));
+    }
+
+    #[test]
+    fn injected_bug_flows_into_core_config() {
+        let cfg = SimConfig::builder()
+            .model(ConsistencyModel::Ibm370SlfSosKey)
+            .injected_bug(Some(sa_ooo::InjectedBug::GateKeyMatch))
+            .build()
+            .expect("bugs are valid configs");
+        assert_eq!(
+            cfg.core.injected_bug,
+            Some(sa_ooo::InjectedBug::GateKeyMatch)
+        );
+        assert_eq!(SimConfig::default().core.injected_bug, None);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod config;
 pub mod multicore;
 pub mod report;
 
-pub use config::SimConfig;
+pub use config::{ConfigError, SimConfig, SimConfigBuilder};
 pub use multicore::{Multicore, RunError};
 pub use report::{Report, StallBreakdown};
 

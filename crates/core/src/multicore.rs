@@ -190,7 +190,7 @@ impl<T: Tracer> Multicore<T> {
     /// Simulates one global cycle, returning how many instructions
     /// retired machine-wide during it.
     pub fn step(&mut self) -> u64 {
-        self.mem.advance_traced(self.cycle, &mut self.tracer);
+        self.mem.advance(self.cycle, &mut self.tracer);
         let mut retired = 0;
         for i in 0..self.cores.len() {
             let id = CoreId(i as u8);
@@ -205,7 +205,7 @@ impl<T: Tracer> Multicore<T> {
                 mem: &mut self.mem,
                 core: id,
             };
-            let r = self.cores[i].tick_traced(
+            let r = self.cores[i].tick(
                 self.cycle,
                 &mut port,
                 &mut self.valmem,
@@ -306,7 +306,7 @@ impl<T: Tracer> Multicore<T> {
             if self.cycle >= max_cycles {
                 return Err(RunError::CycleLimit { limit: max_cycles });
             }
-            self.mem.advance_traced(self.cycle, &mut self.tracer);
+            self.mem.advance(self.cycle, &mut self.tracer);
             let mut retired = 0u64;
             let mut any_active = false;
             for i in 0..n {
@@ -333,7 +333,7 @@ impl<T: Tracer> Multicore<T> {
                     mem: &mut self.mem,
                     core: id,
                 };
-                let r = self.cores[i].tick_traced(
+                let r = self.cores[i].tick(
                     self.cycle,
                     &mut port,
                     &mut self.valmem,

@@ -35,6 +35,31 @@ pub enum LOp {
     Ld(Var),
     /// A full fence (drains the store buffer).
     Fence,
+    /// `rmw var, val`: a fenced exchange. The ISA has no locked
+    /// operation, so this desugars to `fence; ld var; st var, val; fence`
+    /// — *identically* in the operational explorer and in the cycle-level
+    /// lowering (see [`LitmusTest::desugared`]), so the oracle and the
+    /// simulator agree on its semantics by construction. The load lands
+    /// in the thread's next load slot (the "read" half of the exchange).
+    Rmw(Var, u64),
+}
+
+impl LOp {
+    /// `true` when this op reads into a register slot.
+    pub fn is_load(&self) -> bool {
+        matches!(self, LOp::Ld(_) | LOp::Rmw(..))
+    }
+}
+
+impl std::fmt::Display for LOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LOp::St(v, val) => write!(f, "st {v},{val}"),
+            LOp::Ld(v) => write!(f, "ld {v}"),
+            LOp::Fence => write!(f, "fence"),
+            LOp::Rmw(v, val) => write!(f, "rmw {v},{val}"),
+        }
+    }
 }
 
 /// A litmus-test program: one op sequence per thread. All variables start
@@ -53,12 +78,15 @@ impl LitmusTest {
         LitmusTest { name, threads }
     }
 
-    /// Number of loads in thread `t` (its register-slot count).
+    /// Number of loads in thread `t` (its register-slot count). An RMW
+    /// counts as one load: its read half fills the next slot.
     pub fn loads_in(&self, t: usize) -> usize {
-        self.threads[t]
-            .iter()
-            .filter(|o| matches!(o, LOp::Ld(_)))
-            .count()
+        self.threads[t].iter().filter(|o| o.is_load()).count()
+    }
+
+    /// Total operation count across all threads.
+    pub fn total_ops(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
     }
 
     /// All variables mentioned, ascending.
@@ -68,13 +96,58 @@ impl LitmusTest {
             .iter()
             .flatten()
             .filter_map(|o| match o {
-                LOp::St(v, _) | LOp::Ld(v) => Some(*v),
+                LOp::St(v, _) | LOp::Ld(v) | LOp::Rmw(v, _) => Some(*v),
                 LOp::Fence => None,
             })
             .collect();
         vs.sort();
         vs.dedup();
         vs
+    }
+
+    /// The same program with every [`LOp::Rmw`] expanded to its
+    /// `fence; ld; st; fence` sequence. Register-slot numbering is
+    /// preserved: the expansion's load takes exactly the slot the RMW
+    /// occupied. Programs without RMWs come back unchanged.
+    pub fn desugared(&self) -> LitmusTest {
+        let threads = self
+            .threads
+            .iter()
+            .map(|ops| {
+                let mut out = Vec::with_capacity(ops.len());
+                for op in ops {
+                    match *op {
+                        LOp::Rmw(v, val) => {
+                            out.extend([LOp::Fence, LOp::Ld(v), LOp::St(v, val), LOp::Fence]);
+                        }
+                        other => out.push(other),
+                    }
+                }
+                out
+            })
+            .collect();
+        LitmusTest {
+            name: self.name,
+            threads,
+        }
+    }
+
+    /// Renders the program one thread per line, e.g.
+    /// `T0: st x,1; ld x; ld y`.
+    pub fn render(&self) -> String {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(t, ops)| {
+                let body = ops
+                    .iter()
+                    .map(|o| o.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                format!("T{t}: {body}")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     /// Byte address a variable maps to in the cycle-level simulator
@@ -90,9 +163,18 @@ impl LitmusTest {
         self.to_traces_padded(&vec![0; self.threads.len()])
     }
 
-    /// Like [`LitmusTest::to_traces`], but prepends `pads[t]` no-ops to
+    /// Like [`LitmusTest::to_traces`], but inserts `pads[t]` no-ops into
     /// thread `t` — the knob a litmus harness turns to skew the cores
     /// against each other and expose rare interleavings.
+    ///
+    /// The pad lands *after* the thread's leading run of loads (if any),
+    /// not at the start. Every thread's first cold load resolves at the
+    /// same memory-latency timescale, so those leading misses align the
+    /// cores; no-ops placed behind them retire in order afterwards and
+    /// shift the rest of the thread against that common point by
+    /// `pad / retire_width` cycles. No-ops placed *before* a leading
+    /// load would dispatch and retire entirely inside its miss shadow
+    /// and have no timing effect at all.
     ///
     /// # Panics
     ///
@@ -104,11 +186,14 @@ impl LitmusTest {
             .zip(pads)
             .map(|(ops, &pad)| {
                 let mut b = TraceBuilder::new();
-                for _ in 0..pad {
-                    b.nop();
+                let lead = ops.iter().take_while(|o| matches!(o, LOp::Ld(_))).count();
+                if lead == 0 {
+                    for _ in 0..pad {
+                        b.nop();
+                    }
                 }
                 let mut slot = 0u8;
-                for op in ops {
+                for (i, op) in ops.iter().enumerate() {
                     match op {
                         LOp::St(v, val) => {
                             b.store_imm(Self::var_addr(*v), *val);
@@ -119,6 +204,20 @@ impl LitmusTest {
                         }
                         LOp::Fence => {
                             b.fence();
+                        }
+                        LOp::Rmw(v, val) => {
+                            // The same fenced-exchange expansion the
+                            // operational explorer uses (see `desugared`).
+                            b.fence();
+                            b.load(Reg::new(slot), Self::var_addr(*v));
+                            slot += 1;
+                            b.store_imm(Self::var_addr(*v), *val);
+                            b.fence();
+                        }
+                    }
+                    if i + 1 == lead {
+                        for _ in 0..pad {
+                            b.nop();
                         }
                     }
                 }
@@ -206,6 +305,40 @@ mod tests {
         assert_eq!(traces[0].len(), 3);
         assert_eq!(traces[0].count_matching(sa_isa::Op::is_store), 1);
         assert_eq!(traces[0].count_matching(sa_isa::Op::is_load), 1);
+    }
+
+    #[test]
+    fn rmw_counts_as_one_load_and_desugars() {
+        let t = LitmusTest::new("t", vec![vec![LOp::Ld(X), LOp::Rmw(Y, 3), LOp::Ld(Y)]]);
+        assert_eq!(t.loads_in(0), 3);
+        assert_eq!(t.vars(), vec![X, Y]);
+        assert_eq!(t.total_ops(), 3);
+        let d = t.desugared();
+        assert_eq!(
+            d.threads[0],
+            vec![
+                LOp::Ld(X),
+                LOp::Fence,
+                LOp::Ld(Y),
+                LOp::St(Y, 3),
+                LOp::Fence,
+                LOp::Ld(Y),
+            ]
+        );
+        assert_eq!(d.loads_in(0), t.loads_in(0), "slot numbering preserved");
+        // Lowering matches the desugared shape: 3 loads, 1 store, 2 fences.
+        let traces = t.to_traces();
+        assert_eq!(traces[0].count_matching(sa_isa::Op::is_load), 3);
+        assert_eq!(traces[0].count_matching(sa_isa::Op::is_store), 1);
+    }
+
+    #[test]
+    fn rendering_programs() {
+        let t = LitmusTest::new(
+            "t",
+            vec![vec![LOp::St(X, 1), LOp::Fence], vec![LOp::Rmw(Y, 2)]],
+        );
+        assert_eq!(t.render(), "T0: st x,1; fence\nT1: rmw y,2");
     }
 
     #[test]

@@ -27,14 +27,20 @@
 
 pub mod ast;
 pub mod checker;
+pub mod gen;
 pub mod machine;
+pub mod oracle;
 pub mod outcome;
 pub mod pc;
+pub mod shrink;
 pub mod suite;
 pub mod taxonomy;
 
 pub use ast::{Cond, LOp, LitmusTest, Var};
 pub use checker::{compare, Comparison};
+pub use gen::{generate, generate_corpus, GenConfig};
 pub use machine::{explore, ForwardPolicy};
+pub use oracle::{policy_for, Oracle};
 pub use outcome::{Outcome, OutcomeSet};
 pub use pc::explore_pc;
+pub use shrink::shrink;

@@ -6,7 +6,7 @@ use crate::ast::{LOp, LitmusTest, Var};
 use crate::outcome::{Outcome, OutcomeSet};
 
 /// How a load interacts with the thread's own store buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ForwardPolicy {
     /// x86-TSO: the load must read the youngest matching store in the
     /// local store buffer (store-to-load forwarding) — the
@@ -46,8 +46,12 @@ impl State {
 
 /// Enumerates every final outcome of `test` under `policy` by exhaustive
 /// depth-first search over all interleavings of thread steps and
-/// store-buffer drains (with state memoization).
+/// store-buffer drains (with state memoization). RMWs are desugared to
+/// their fenced-exchange sequence first — the same expansion the
+/// cycle-level lowering uses, so both machines run the same program.
 pub fn explore(test: &LitmusTest, policy: ForwardPolicy) -> OutcomeSet {
+    let desugared = test.desugared();
+    let test = &desugared;
     let mut outcomes = OutcomeSet::new();
     let mut seen: HashSet<State> = HashSet::new();
     let mut stack = vec![State::initial(test)];
@@ -102,6 +106,7 @@ pub fn explore(test: &LitmusTest, policy: ForwardPolicy) -> OutcomeSet {
                             stack.push(n);
                         }
                     }
+                    LOp::Rmw(..) => unreachable!("RMWs are desugared before exploration"),
                 }
             }
             // Transition 2: thread t's store buffer drains one entry
@@ -194,6 +199,44 @@ mod tests {
         let finals: Vec<u64> = set.iter().map(|o| o.mem[&X]).collect();
         assert!(finals.contains(&1) && finals.contains(&2));
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn rmw_is_a_fenced_exchange_not_a_locked_op() {
+        // Two racing exchanges on x. The desugared `fence; ld; st; fence`
+        // admits both threads reading 0 (a locked exchange would not) —
+        // the honest semantics both the oracle and the simulator share.
+        let t = LitmusTest::new("xchg", vec![vec![LOp::Rmw(X, 1)], vec![LOp::Rmw(X, 2)]]);
+        for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
+            let set = explore(&t, policy);
+            assert!(
+                set.iter()
+                    .any(|o| o.regs[0] == vec![0] && o.regs[1] == vec![0]),
+                "{policy:?}: both-read-0 must be allowed"
+            );
+            assert!(
+                set.iter()
+                    .any(|o| o.regs[0] == vec![0] && o.regs[1] == vec![1]),
+                "{policy:?}: serialized order must be allowed"
+            );
+        }
+        // The trailing fence still orders the exchange against later ops:
+        // rmw x; ld y  |  rmw y; ld x  cannot both read 0 afterwards.
+        let sb = LitmusTest::new(
+            "xchg+sb",
+            vec![
+                vec![LOp::Rmw(X, 1), LOp::Ld(Y)],
+                vec![LOp::Rmw(Y, 1), LOp::Ld(X)],
+            ],
+        );
+        for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
+            let set = explore(&sb, policy);
+            assert!(
+                !set.iter()
+                    .any(|o| o.regs[0] == vec![0, 0] && o.regs[1] == vec![0, 0]),
+                "{policy:?}: fenced exchanges forbid the sb (0,0) outcome"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,8 @@ impl PcState {
 /// single memory order, the `mem` component of the outcome is the view
 /// of observer 0.
 pub fn explore_pc(test: &LitmusTest) -> OutcomeSet {
+    let desugared = test.desugared();
+    let test = &desugared;
     let mut outcomes = OutcomeSet::new();
     let mut seen: HashSet<PcState> = HashSet::new();
     let mut stack = vec![PcState::initial(test)];
@@ -116,6 +118,7 @@ pub fn explore_pc(test: &LitmusTest) -> OutcomeSet {
                             stack.push(x);
                         }
                     }
+                    LOp::Rmw(..) => unreachable!("RMWs are desugared before exploration"),
                 }
             }
             // Drain one SB entry of thread t into all its channels (and

@@ -1,0 +1,158 @@
+//! Greedy test-case minimization for fuzzer counterexamples.
+//!
+//! Given a failing program and a caller-supplied reproduction predicate
+//! (typically "re-run the simulator and the oracle still disagrees"),
+//! [`shrink`] repeatedly tries structural simplifications — drop a whole
+//! thread, drop a single operation, reduce a stored value to 1 — and
+//! keeps any that still reproduce, until a fixpoint. Every accepted step
+//! strictly decreases the pair (total ops, sum of stored values), so the
+//! loop terminates; the result is locally minimal (no single remaining
+//! simplification reproduces), not globally minimal.
+
+use crate::ast::{LOp, LitmusTest};
+
+/// One candidate simplification of `test`, or `None` when `idx` is out of
+/// range. Candidates are ordered biggest-step-first: thread removals,
+/// then op removals, then value reductions.
+fn candidate(test: &LitmusTest, idx: usize) -> Option<LitmusTest> {
+    let n_threads = test.threads.len();
+    // Thread removals (only while >1 thread remains).
+    let thread_cands = if n_threads > 1 { n_threads } else { 0 };
+    if idx < thread_cands {
+        let mut threads = test.threads.clone();
+        threads.remove(idx);
+        return Some(LitmusTest::new(test.name, threads));
+    }
+    let mut idx = idx - thread_cands;
+    // Single-op removals (never below one op total); a thread emptied by
+    // the removal is dropped.
+    if test.total_ops() > 1 {
+        for (t, ops) in test.threads.iter().enumerate() {
+            if idx < ops.len() {
+                let mut threads = test.threads.clone();
+                threads[t].remove(idx);
+                if threads[t].is_empty() {
+                    threads.remove(t);
+                }
+                return Some(LitmusTest::new(test.name, threads));
+            }
+            idx -= ops.len();
+        }
+    }
+    // Value reductions: any stored value > 1 becomes 1.
+    for (t, ops) in test.threads.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            let reduced = match *op {
+                LOp::St(v, val) if val > 1 => Some(LOp::St(v, 1)),
+                LOp::Rmw(v, val) if val > 1 => Some(LOp::Rmw(v, 1)),
+                _ => None,
+            };
+            if let Some(new_op) = reduced {
+                if idx == 0 {
+                    let mut threads = test.threads.clone();
+                    threads[t][i] = new_op;
+                    return Some(LitmusTest::new(test.name, threads));
+                }
+                idx -= 1;
+            }
+        }
+    }
+    None
+}
+
+/// Minimizes `test` under `repro`. The caller guarantees `repro(test)`
+/// holds on entry; the returned program still satisfies it and admits no
+/// further single-step simplification that does.
+pub fn shrink(test: &LitmusTest, mut repro: impl FnMut(&LitmusTest) -> bool) -> LitmusTest {
+    let mut current = test.clone();
+    loop {
+        let mut advanced = false;
+        let mut idx = 0;
+        while let Some(cand) = candidate(&current, idx) {
+            if repro(&cand) {
+                current = cand;
+                advanced = true;
+                // Restart from the biggest simplifications on the new,
+                // smaller program.
+                idx = 0;
+            } else {
+                idx += 1;
+            }
+        }
+        if !advanced {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Var, X, Y, Z};
+
+    #[test]
+    fn shrinks_to_the_reproducing_core() {
+        // Repro: program contains `st x,_` and `ld y` somewhere. All the
+        // noise (thread 2, fences, the z store, value 2) must go.
+        let t = LitmusTest::new(
+            "noisy",
+            vec![
+                vec![LOp::St(Z, 2), LOp::St(X, 2), LOp::Fence, LOp::Ld(Y)],
+                vec![LOp::St(Y, 2), LOp::Ld(Z)],
+                vec![LOp::Fence, LOp::Ld(X)],
+            ],
+        );
+        let repro = |c: &LitmusTest| {
+            let ops: Vec<&LOp> = c.threads.iter().flatten().collect();
+            ops.iter().any(|o| matches!(o, LOp::St(v, _) if *v == X))
+                && ops.iter().any(|o| matches!(o, LOp::Ld(v) if *v == Y))
+        };
+        assert!(repro(&t));
+        let s = shrink(&t, repro);
+        assert!(repro(&s));
+        assert_eq!(s.total_ops(), 2, "exactly the two required ops: {s:?}");
+        assert_eq!(s.threads.len(), 1);
+        // Value reduction fired too.
+        assert!(s
+            .threads
+            .iter()
+            .flatten()
+            .all(|o| !matches!(o, LOp::St(_, v) if *v > 1)));
+    }
+
+    #[test]
+    fn preserves_a_value_the_repro_depends_on() {
+        let t = LitmusTest::new(
+            "valdep",
+            vec![vec![LOp::St(X, 2), LOp::St(Y, 2)], vec![LOp::Ld(X)]],
+        );
+        let repro = |c: &LitmusTest| {
+            c.threads
+                .iter()
+                .flatten()
+                .any(|o| matches!(o, LOp::St(v, 2) if *v == X))
+        };
+        let s = shrink(&t, repro);
+        assert_eq!(s.total_ops(), 1);
+        assert_eq!(s.threads[0], vec![LOp::St(X, 2)], "value 2 must survive");
+    }
+
+    #[test]
+    fn fixpoint_on_already_minimal_input() {
+        let t = LitmusTest::new("min", vec![vec![LOp::Ld(Var(0))]]);
+        let s = shrink(&t, |_| true);
+        assert_eq!(s.threads, t.threads);
+    }
+
+    #[test]
+    fn never_returns_non_reproducing_program() {
+        // Adversarial predicate: only the original reproduces.
+        let t = LitmusTest::new(
+            "stubborn",
+            vec![vec![LOp::St(X, 1), LOp::Ld(Y)], vec![LOp::St(Y, 1)]],
+        );
+        let orig = t.clone();
+        let s = shrink(&t, |c: &LitmusTest| c.threads == orig.threads);
+        assert_eq!(s.threads, orig.threads);
+    }
+}

@@ -1,5 +1,84 @@
 //! Core configuration (the processor half of the paper's Table III).
 
+/// A deliberately broken pipeline variant, injected via
+/// [`CoreConfig::injected_bug`] for fuzzer self-tests: the differential
+/// oracle must *detect* these, proving it would also catch an accidental
+/// bug of the same shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// The retire gate reopens on *any* SB commit instead of only on the
+    /// commit matching the closing key — the §III key match dropped. A
+    /// forwarded load whose store sits behind older SB entries then
+    /// retires as soon as the oldest unrelated store commits, exposing
+    /// non-store-atomic outcomes on the `370-SLFSoS-key` config.
+    GateKeyMatch,
+    /// SLF loads never close the retire gate at all: `370-SLFSoS` /
+    /// `370-SLFSoS-key` silently degrade to x86 forwarding behavior.
+    GateNoClose,
+}
+
+impl InjectedBug {
+    /// Parses the `--mutate` spelling (`gate-key`, `gate-no-close`).
+    pub fn parse(s: &str) -> Option<InjectedBug> {
+        match s {
+            "gate-key" => Some(InjectedBug::GateKeyMatch),
+            "gate-no-close" => Some(InjectedBug::GateNoClose),
+            _ => None,
+        }
+    }
+
+    /// The `--mutate` spelling.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InjectedBug::GateKeyMatch => "gate-key",
+            InjectedBug::GateNoClose => "gate-no-close",
+        }
+    }
+
+    /// All injectable bugs.
+    pub const ALL: [InjectedBug; 2] = [InjectedBug::GateKeyMatch, InjectedBug::GateNoClose];
+}
+
+/// Error from [`CoreConfig::check`]: a parameter combination the
+/// pipeline's invariants reject. The `Display` text matches the panic
+/// messages [`CoreConfig::validate`] historically produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreConfigError {
+    /// `width == 0`.
+    ZeroWidth,
+    /// `rob_entries == 0`.
+    EmptyRob,
+    /// `lq_entries == 0`.
+    EmptyLq,
+    /// `sq_sb_entries < 2`.
+    SqSbTooSmall,
+    /// `sched_window == 0`.
+    ZeroSchedWindow,
+    /// `load_ports == 0 || store_ports == 0`.
+    NoAguPorts,
+    /// `sq_sb_entries` does not fit the 16-bit key position field.
+    KeyPositionOverflow,
+    /// `gate_keys == 0`.
+    NoGateKeys,
+}
+
+impl std::fmt::Display for CoreConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreConfigError::ZeroWidth => write!(f, "width must be positive"),
+            CoreConfigError::EmptyRob => write!(f, "ROB must be non-empty"),
+            CoreConfigError::EmptyLq => write!(f, "LQ must be non-empty"),
+            CoreConfigError::SqSbTooSmall => write!(f, "SQ/SB needs at least two entries"),
+            CoreConfigError::ZeroSchedWindow => write!(f, "scheduler window must be positive"),
+            CoreConfigError::NoAguPorts => write!(f, "need AGU ports"),
+            CoreConfigError::KeyPositionOverflow => write!(f, "key position bits limited to 16"),
+            CoreConfigError::NoGateKeys => write!(f, "gate needs at least one key register"),
+        }
+    }
+}
+
+impl std::error::Error for CoreConfigError {}
+
 /// Out-of-order core parameters. Defaults are the paper's Skylake-like
 /// configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +121,9 @@ pub struct CoreConfig {
     /// lets further SLF loads retire through a closed gate (the
     /// multi-key extension, see the `ablation` harness).
     pub gate_keys: usize,
+    /// Deliberately broken pipeline variant for fuzzer self-tests
+    /// (`None` in every real configuration).
+    pub injected_bug: Option<InjectedBug>,
 }
 
 impl Default for CoreConfig {
@@ -61,31 +143,52 @@ impl Default for CoreConfig {
             commit_pipelined: false,
             sb_commit_cycles: 8,
             gate_keys: 1,
+            injected_bug: None,
         }
     }
 }
 
 impl CoreConfig {
+    /// Checks invariants the pipeline relies on, returning the first
+    /// violation as a typed error.
+    pub fn check(&self) -> Result<(), CoreConfigError> {
+        if self.width == 0 {
+            return Err(CoreConfigError::ZeroWidth);
+        }
+        if self.rob_entries == 0 {
+            return Err(CoreConfigError::EmptyRob);
+        }
+        if self.lq_entries == 0 {
+            return Err(CoreConfigError::EmptyLq);
+        }
+        if self.sq_sb_entries < 2 {
+            return Err(CoreConfigError::SqSbTooSmall);
+        }
+        if self.sched_window == 0 {
+            return Err(CoreConfigError::ZeroSchedWindow);
+        }
+        if self.load_ports == 0 || self.store_ports == 0 {
+            return Err(CoreConfigError::NoAguPorts);
+        }
+        if self.sq_sb_entries > u16::MAX as usize {
+            return Err(CoreConfigError::KeyPositionOverflow);
+        }
+        if self.gate_keys == 0 {
+            return Err(CoreConfigError::NoGateKeys);
+        }
+        Ok(())
+    }
+
     /// Validates invariants the pipeline relies on.
     ///
     /// # Panics
     ///
-    /// Panics on zero-sized structures or widths.
+    /// Panics on zero-sized structures or widths; [`CoreConfig::check`]
+    /// is the non-panicking form.
     pub fn validate(&self) {
-        assert!(self.width > 0, "width must be positive");
-        assert!(self.rob_entries > 0, "ROB must be non-empty");
-        assert!(self.lq_entries > 0, "LQ must be non-empty");
-        assert!(self.sq_sb_entries > 1, "SQ/SB needs at least two entries");
-        assert!(self.sched_window > 0, "scheduler window must be positive");
-        assert!(
-            self.load_ports > 0 && self.store_ports > 0,
-            "need AGU ports"
-        );
-        assert!(
-            self.sq_sb_entries <= u16::MAX as usize,
-            "key position bits limited to 16"
-        );
-        assert!(self.gate_keys > 0, "gate needs at least one key register");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Extra storage (bits) the paper's mechanism adds for this geometry
@@ -111,7 +214,9 @@ mod tests {
         assert_eq!(c.rob_entries, 224);
         assert_eq!(c.lq_entries, 72);
         assert_eq!(c.sq_sb_entries, 56);
+        assert_eq!(c.injected_bug, None);
         c.validate();
+        assert!(c.check().is_ok());
     }
 
     #[test]
@@ -131,5 +236,35 @@ mod tests {
             ..CoreConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn check_returns_typed_errors() {
+        let bad = |f: fn(&mut CoreConfig)| {
+            let mut c = CoreConfig::default();
+            f(&mut c);
+            c.check().unwrap_err()
+        };
+        assert_eq!(bad(|c| c.width = 0), CoreConfigError::ZeroWidth);
+        assert_eq!(bad(|c| c.rob_entries = 0), CoreConfigError::EmptyRob);
+        assert_eq!(bad(|c| c.sq_sb_entries = 1), CoreConfigError::SqSbTooSmall);
+        assert_eq!(
+            bad(|c| c.sq_sb_entries = 70_000),
+            CoreConfigError::KeyPositionOverflow
+        );
+        assert_eq!(bad(|c| c.gate_keys = 0), CoreConfigError::NoGateKeys);
+        assert_eq!(
+            bad(|c| c.load_ports = 0).to_string(),
+            "need AGU ports",
+            "Display matches the historical panic text"
+        );
+    }
+
+    #[test]
+    fn injected_bug_parse_roundtrip() {
+        for bug in InjectedBug::ALL {
+            assert_eq!(InjectedBug::parse(bug.label()), Some(bug));
+        }
+        assert_eq!(InjectedBug::parse("no-such-bug"), None);
     }
 }

@@ -31,10 +31,10 @@ use sa_isa::{
     ValueMemory, NUM_REGS,
 };
 use sa_metrics::{CoreMetrics, CpiCategory};
-use sa_trace::{EventKind, GateOpenReason, NullTracer, TraceEvent, Tracer, UopKind};
+use sa_trace::{EventKind, GateOpenReason, TraceEvent, Tracer, UopKind};
 
 use crate::branch::Tage;
-use crate::config::CoreConfig;
+use crate::config::{CoreConfig, InjectedBug};
 use crate::gate::{Key, RetireGate};
 use crate::lq::{BlockReason, LoadQueue, LoadState};
 use crate::port::LoadStorePort;
@@ -239,24 +239,14 @@ impl Core {
         self.bp.mispredict_rate()
     }
 
-    /// Simulates one cycle (untraced — every hook compiles away).
-    pub fn tick<M: LoadStorePort>(
-        &mut self,
-        now: Cycle,
-        mem: &mut M,
-        valmem: &mut ValueMemory,
-        notices: &[Notice],
-    ) -> TickResult {
-        self.tick_traced(now, mem, valmem, notices, &mut NullTracer)
-    }
-
     /// Simulates one cycle, emitting structured events into `tracer`.
     ///
-    /// With [`NullTracer`] this monomorphizes to exactly the untraced
-    /// pipeline: `Tracer::ENABLED` is a compile-time constant, so every
-    /// emission site — including the closure building the event — is
-    /// dead code.
-    pub fn tick_traced<M: LoadStorePort, T: Tracer>(
+    /// This is the single run API: pass
+    /// [`&mut NullTracer`](sa_trace::NullTracer) for an untraced tick —
+    /// `Tracer::ENABLED` is a compile-time constant, so every emission
+    /// site — including the closure building the event — monomorphizes
+    /// to dead code and the pipeline is exactly the untraced one.
+    pub fn tick<M: LoadStorePort, T: Tracer>(
         &mut self,
         now: Cycle,
         mem: &mut M,
@@ -527,6 +517,28 @@ impl Core {
         if let Some((rob_id, cause)) = victim {
             self.squash_from(rob_id, cause, now, tracer);
         }
+        // A load whose memory access is still in flight on this line
+        // would complete as a stale hit: the line left the cache after
+        // the hit/miss decision was made. Drop the pending response and
+        // re-execute the load — the replay misses and refetches through
+        // the directory, which re-serializes it against the writer
+        // (whose eventual commit-time ownership grab then snoops us
+        // again). Without this, an early RFO that invalidates before the
+        // in-flight load performs lets the later silent commit slip past
+        // the §IV detection window entirely.
+        loop {
+            let Some((rob_id, req)) = self.lq.iter().find_map(|e| match e.state {
+                LoadState::Issued(req) if e.line == line => Some((e.rob_id, req)),
+                _ => None,
+            }) else {
+                break;
+            };
+            self.pending_loads.remove(&req);
+            self.progress = true;
+            self.blocked_loads += 1;
+            let e = self.lq.get_mut(rob_id).expect("load in LQ");
+            e.state = LoadState::Blocked(BlockReason::Replay);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -565,6 +577,24 @@ impl Core {
                 },
             });
             match self.model {
+                // Injected bug (fuzzer self-test): drop the key match —
+                // *any* SB commit reopens the gate, so a forwarded load
+                // whose store sits behind older SB entries escapes the
+                // window of vulnerability early.
+                ConsistencyModel::Ibm370SlfSosKey
+                    if self.cfg.injected_bug == Some(InjectedBug::GateKeyMatch) =>
+                {
+                    if self.gate.is_closed() {
+                        tracer.emit(|| TraceEvent {
+                            cycle: now,
+                            core: cid,
+                            kind: EventKind::GateOpen {
+                                reason: GateOpenReason::SbEmpty,
+                            },
+                        });
+                    }
+                    self.gate.force_open();
+                }
                 ConsistencyModel::Ibm370SlfSosKey if self.gate.try_unlock(h.key) => {
                     tracer.emit(|| TraceEvent {
                         cycle: now,
@@ -809,9 +839,9 @@ impl Core {
         match kind {
             RobKind::Load => match self.lq.get(id).map(|e| e.state) {
                 Some(LoadState::Blocked(BlockReason::StoreCommit(_))) => CpiCategory::NoSpecBlock,
-                Some(LoadState::Issued(_)) | Some(LoadState::Blocked(BlockReason::MshrFull)) => {
-                    CpiCategory::MemMiss
-                }
+                Some(LoadState::Issued(_))
+                | Some(LoadState::Blocked(BlockReason::MshrFull))
+                | Some(LoadState::Blocked(BlockReason::Replay)) => CpiCategory::MemMiss,
                 _ => CpiCategory::OtherBackend,
             },
             _ => CpiCategory::OtherBackend,
@@ -889,7 +919,8 @@ impl Core {
         // is still in the SQ/SB closes the gate behind itself, locked
         // with the store's key (§IV-B2). If the store already left, the
         // window of vulnerability is over and the gate stays open.
-        if self.model.uses_retire_gate() {
+        if self.model.uses_retire_gate() && self.cfg.injected_bug != Some(InjectedBug::GateNoClose)
+        {
             if let Some(k) = entry.slf_key {
                 if self.sq.contains_key(k) {
                     self.gate.close(k);
@@ -1106,7 +1137,11 @@ impl Core {
                     .filter(|e| match e.state {
                         // A rejected issue mutates the memory system
                         // (request id, reject counter): replay each cycle.
-                        LoadState::Blocked(BlockReason::MshrFull) => true,
+                        // A snoop-killed in-flight load re-executes
+                        // unconditionally too — its wake event (the
+                        // invalidation) already happened.
+                        LoadState::Blocked(BlockReason::MshrFull)
+                        | LoadState::Blocked(BlockReason::Replay) => true,
                         LoadState::Blocked(BlockReason::ForwardData(s)) => {
                             e.attempt_epoch != epoch
                                 || self.sq.get(s).is_some_and(|x| x.value.is_some())

@@ -34,7 +34,7 @@ pub mod stats;
 pub mod storeset;
 
 pub use crate::core::{Core, TickResult};
-pub use config::CoreConfig;
+pub use config::{CoreConfig, CoreConfigError, InjectedBug};
 pub use gate::{Key, RetireGate};
 pub use port::LoadStorePort;
 pub use stats::{CoreStats, SquashCause};

@@ -29,6 +29,11 @@ pub enum BlockReason {
     Fence,
     /// The memory system had no MSHR free; retry.
     MshrFull,
+    /// An invalidation or eviction hit the line while this load's memory
+    /// access was in flight: the response would be a stale hit, so it is
+    /// dropped and the load re-executes from scratch (as an L1 kills an
+    /// in-flight hit when a probe takes the line).
+    Replay,
 }
 
 /// Load execution state.

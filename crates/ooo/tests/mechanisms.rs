@@ -5,6 +5,7 @@
 use sa_isa::{ConsistencyModel, CoreId, Op, Reg, StoreOperand, Trace, TraceBuilder, ValueMemory};
 use sa_ooo::port::SimpleMem;
 use sa_ooo::{Core, CoreConfig};
+use sa_trace::NullTracer;
 
 const A: u64 = 0x1000;
 const B: u64 = 0x2000;
@@ -24,7 +25,7 @@ fn run_core(
     let mut valmem = ValueMemory::new();
     for t in 0..500_000u64 {
         let notices = mem.take_due(t);
-        core.tick(t, &mut mem, &mut valmem, &notices);
+        core.tick(t, &mut mem, &mut valmem, &notices, &mut NullTracer);
         if core.finished() {
             return (t, core, valmem);
         }
@@ -259,7 +260,7 @@ fn mshr_backpressure_retries() {
     let mut finished_at = None;
     for t in 0..10_000u64 {
         let notices = mem.inner.take_due(t);
-        core.tick(t, &mut mem, &mut valmem, &notices);
+        core.tick(t, &mut mem, &mut valmem, &notices, &mut NullTracer);
         if core.finished() {
             finished_at = Some(t);
             break;

@@ -4,6 +4,7 @@
 use sa_isa::{ConsistencyModel, CoreId, Reg, Trace, TraceBuilder, ValueMemory};
 use sa_ooo::port::SimpleMem;
 use sa_ooo::{Core, CoreConfig, SquashCause};
+use sa_trace::NullTracer;
 
 const A: u64 = 0x1000;
 const B: u64 = 0x2000;
@@ -24,7 +25,7 @@ fn run_with(
     let mut core = Core::new(CoreId(0), cfg, model, trace);
     for t in 0..200_000u64 {
         let notices = mem.take_due(t);
-        core.tick(t, &mut mem, &mut valmem, &notices);
+        core.tick(t, &mut mem, &mut valmem, &notices, &mut NullTracer);
         if core.finished() {
             return (t, core, valmem);
         }

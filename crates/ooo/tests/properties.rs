@@ -9,6 +9,7 @@ use sa_ooo::port::SimpleMem;
 use sa_ooo::rob::RobId;
 use sa_ooo::sq::{SearchHit, StoreQueue};
 use sa_ooo::{Core, CoreConfig};
+use sa_trace::NullTracer;
 
 /// Keys of live SQ/SB entries are always unique — the invariant the
 /// retire gate relies on ("one and only one store matching the key").
@@ -132,7 +133,7 @@ fn models_match_reference_interpreter() {
             while !core.finished() {
                 assert!(t < 1_000_000, "{model} wedged");
                 let notices = mem.take_due(t);
-                core.tick(t, &mut mem, &mut valmem, &notices);
+                core.tick(t, &mut mem, &mut valmem, &notices, &mut NullTracer);
                 t += 1;
             }
             for r in 0..4u8 {
@@ -217,7 +218,7 @@ fn invalidations_are_architecturally_transparent() {
             while !core.finished() {
                 assert!(t < 2_000_000, "wedged");
                 let notices = mem.take_due(t);
-                core.tick(t, &mut mem, &mut valmem, &notices);
+                core.tick(t, &mut mem, &mut valmem, &notices, &mut NullTracer);
                 t += 1;
             }
             (0..4u8)

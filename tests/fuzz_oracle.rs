@@ -1,0 +1,140 @@
+//! Integration tests for the axiomatic oracle and the differential
+//! fuzzing harness: the oracle's allowed sets for the paper's key
+//! litmus shapes are pinned as golden files, the shrinker must converge
+//! to a fixed point, and a fixed-seed fuzz run must be reproducible.
+//!
+//! Regenerate the golden files after an intentional oracle change with:
+//! `SA_BLESS_GOLDEN=1 cargo test -p sa-bench --test fuzz_oracle`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use sa_bench::fuzz::{run_fuzz, FuzzConfig};
+use sa_litmus::{shrink, suite, ForwardPolicy, LitmusTest, Oracle};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/golden/{name}"))
+}
+
+/// Renders both reference models' allowed sets for one test, one
+/// outcome per line, in the outcome set's (sorted) iteration order.
+fn render_allowed(test: &LitmusTest) -> String {
+    let mut oracle = Oracle::new();
+    let mut doc = String::new();
+    writeln!(doc, "# {}", test.name).unwrap();
+    for line in test.render().lines() {
+        writeln!(doc, "# {line}").unwrap();
+    }
+    for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
+        let set = oracle.allowed(test, policy);
+        writeln!(doc, "[{policy:?}] {} outcomes", set.len()).unwrap();
+        for o in set.iter() {
+            writeln!(doc, "{o}").unwrap();
+        }
+    }
+    doc
+}
+
+fn check_golden(file: &str, test: &LitmusTest) {
+    let doc = render_allowed(test);
+    let path = golden_path(file);
+    if std::env::var_os("SA_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &doc).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {file} ({e}); bless with SA_BLESS_GOLDEN=1"));
+    assert_eq!(
+        doc, golden,
+        "oracle allowed set for {} drifted from tests/golden/{file}; \
+         if the change is intentional, rerun with SA_BLESS_GOLDEN=1",
+        test.name
+    );
+}
+
+#[test]
+fn oracle_mp_allowed_set_matches_golden() {
+    check_golden("oracle_mp.txt", &suite::mp().test);
+}
+
+#[test]
+fn oracle_sb_allowed_set_matches_golden() {
+    check_golden("oracle_sb.txt", &suite::sb().test);
+}
+
+#[test]
+fn oracle_n6_allowed_set_matches_golden() {
+    check_golden("oracle_n6.txt", &suite::n6().test);
+}
+
+/// The non-store-atomic n6 outcome separates the two reference models:
+/// x86-TSO allows it, atomic 370 forbids it. The oracle must agree.
+#[test]
+fn n6_separates_the_reference_models() {
+    let mut oracle = Oracle::new();
+    let test = suite::n6().test;
+    let x86 = oracle.allowed(&test, ForwardPolicy::X86).clone();
+    let atomic = oracle.allowed(&test, ForwardPolicy::StoreAtomic370).clone();
+    assert!(atomic.is_subset(&x86), "370 must be a refinement of TSO");
+    assert!(
+        !x86.difference(&atomic).is_empty(),
+        "n6 must have an x86-only (non-store-atomic) outcome"
+    );
+}
+
+/// Shrinking with a stable predicate converges: the minimized program
+/// still reproduces, and re-shrinking it is a fixed point.
+#[test]
+fn shrinker_converges_to_a_fixed_point() {
+    // "Has an x86-only outcome" is a deterministic predicate the
+    // shrinker can chase without a simulator in the loop.
+    let mut repro = |t: &LitmusTest| {
+        let mut oracle = Oracle::new();
+        let x86 = oracle.allowed(t, ForwardPolicy::X86).clone();
+        let atomic = oracle.allowed(t, ForwardPolicy::StoreAtomic370).clone();
+        !x86.difference(&atomic).is_empty()
+    };
+    // n6 padded with irrelevant ops the shrinker should strip.
+    let bloated = {
+        use sa_litmus::ast::{LOp, Y, Z};
+        let n6 = suite::n6().test;
+        let mut threads = n6.threads.clone();
+        threads[0].push(LOp::Ld(Z));
+        threads[0].insert(0, LOp::Ld(Y));
+        threads[1].push(LOp::St(Z, 3));
+        LitmusTest::new("n6_bloated", threads)
+    };
+    assert!(repro(&bloated), "bloated n6 must still reproduce");
+    let min = shrink(&bloated, &mut repro);
+    assert!(repro(&min), "shrinker must preserve the predicate");
+    let total_ops = |t: &LitmusTest| t.threads.iter().map(Vec::len).sum::<usize>();
+    assert!(
+        total_ops(&min) < total_ops(&bloated),
+        "shrinker should remove the padding ops"
+    );
+    let again = shrink(&min, &mut repro);
+    assert_eq!(
+        again.threads, min.threads,
+        "re-shrinking a minimized program must be a fixed point"
+    );
+}
+
+/// The same (seed, programs) input replays to the identical report.
+#[test]
+fn fixed_seed_fuzz_run_is_reproducible() {
+    let cfg = FuzzConfig {
+        programs: 2,
+        seed: 7,
+        jobs: 2,
+        mutate: None,
+    };
+    let a = run_fuzz(&cfg);
+    let b = run_fuzz(&cfg);
+    assert_eq!(a.corpus, b.corpus);
+    assert_eq!(a.runs, b.runs);
+    assert!(
+        a.violations.is_empty() && b.violations.is_empty(),
+        "clean machine must pass: {:?}",
+        a.violations
+    );
+}
