@@ -1,0 +1,250 @@
+//! Baseline comparator for `--bin perf` outputs: reads two
+//! `BENCH_*.json` files (schema `sa-bench-perf-v1`), validates both, and
+//! prints a per-cell regression table plus the host-throughput geomean
+//! delta. Replaces the ad-hoc python/jq pipeline CI previously used.
+//!
+//! Two comparisons, applied as they make sense:
+//!
+//! * **Sim-cycle equivalence** — when the two files were produced at the
+//!   same `scale` and `seed`, the simulator is deterministic, so every
+//!   `cycles`/`instructions` cell must match exactly unless the change
+//!   intentionally altered timing; drift fails the run unless
+//!   `--allow-cycle-drift` is given. At differing scales the check is
+//!   skipped (the cells aren't comparable).
+//! * **Host throughput** — geomean over all cells of the
+//!   `sim_cycles_per_host_sec` ratio (new / baseline). A ratio below
+//!   `1 - --max-regress/100` (default 20%) fails the run. Host timing is
+//!   noisy; the default tolerance reflects shared-runner variance.
+//!
+//! Exit status: 0 clean, 1 regression detected, 2 usage/parse error.
+//!
+//! Usage: `bench-diff --baseline OLD.json --new NEW.json
+//! [--max-regress PCT] [--allow-cycle-drift]`
+
+use sa_bench::cli::{self, Arity, Flag, Spec};
+use sa_metrics::JsonValue;
+
+const EXTRAS: &[Flag] = &[
+    Flag {
+        name: "--baseline",
+        arity: Arity::One,
+        help: "baseline BENCH_*.json (the committed reference)",
+    },
+    Flag {
+        name: "--new",
+        arity: Arity::One,
+        help: "candidate BENCH_*.json to compare against the baseline",
+    },
+    Flag {
+        name: "--max-regress",
+        arity: Arity::One,
+        help: "max tolerated throughput-geomean regression in percent (default 20)",
+    },
+    Flag {
+        name: "--allow-cycle-drift",
+        arity: Arity::Switch,
+        help: "report, but do not fail on, sim-cycle differences at equal scale/seed",
+    },
+];
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench-diff: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> JsonValue {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    let v = JsonValue::parse(&text).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")));
+    validate(path, &v);
+    v
+}
+
+/// Schema gate: the structural checks CI used to run in python.
+fn validate(path: &str, v: &JsonValue) {
+    let schema = v.get("schema").and_then(JsonValue::as_str);
+    if schema != Some("sa-bench-perf-v1") {
+        die(&format!(
+            "{path}: schema is {schema:?}, want sa-bench-perf-v1"
+        ));
+    }
+    let workloads = v
+        .get("workloads")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or_else(|| die(&format!("{path}: no workloads array")));
+    if workloads.is_empty() {
+        die(&format!("{path}: empty workloads array"));
+    }
+    for w in workloads {
+        let name = w.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+        let configs = w
+            .get("configs")
+            .and_then(JsonValue::as_arr)
+            .unwrap_or_else(|| die(&format!("{path}: {name}: no configs array")));
+        for c in configs {
+            let label = c.get("config").and_then(JsonValue::as_str).unwrap_or("?");
+            for key in ["cycles", "instructions"] {
+                if c.get(key).and_then(JsonValue::as_u64).is_none() {
+                    die(&format!("{path}: {name}/{label}: missing {key}"));
+                }
+            }
+            if let Some(JsonValue::Obj(stack)) = c.get("cpi_stack") {
+                let sum: f64 = stack.values().filter_map(JsonValue::as_f64).sum();
+                if (sum - 100.0).abs() > 0.5 {
+                    die(&format!(
+                        "{path}: {name}/{label}: CPI stack sums to {sum:.2}, want 100"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+struct CellRef<'a> {
+    workload: &'a str,
+    config: &'a str,
+    cell: &'a JsonValue,
+}
+
+fn cells(v: &JsonValue) -> Vec<CellRef<'_>> {
+    let mut out = Vec::new();
+    for w in v.get("workloads").and_then(JsonValue::as_arr).unwrap() {
+        let name = w.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+        for c in w.get("configs").and_then(JsonValue::as_arr).unwrap() {
+            out.push(CellRef {
+                workload: name,
+                config: c.get("config").and_then(JsonValue::as_str).unwrap_or("?"),
+                cell: c,
+            });
+        }
+    }
+    out
+}
+
+fn u(c: &JsonValue, key: &str) -> u64 {
+    c.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+fn f(c: &JsonValue, key: &str) -> f64 {
+    c.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+fn pct_delta(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        100.0 * (new - old) / old
+    }
+}
+
+fn main() {
+    let args = cli::parse(&Spec {
+        extras: EXTRAS,
+        ..Spec::new("bench-diff", "compare two perf-baseline JSON files")
+    });
+    let base_path = args
+        .value("--baseline")
+        .unwrap_or_else(|| die("--baseline is required"))
+        .to_string();
+    let new_path = args
+        .value("--new")
+        .unwrap_or_else(|| die("--new is required"))
+        .to_string();
+    let max_regress: f64 = args.parsed("--max-regress").unwrap_or(20.0);
+    let allow_drift = args.switch("--allow-cycle-drift");
+
+    let base = load(&base_path);
+    let new = load(&new_path);
+
+    let same_determinism_domain =
+        base.get("scale") == new.get("scale") && base.get("seed") == new.get("seed");
+    let base_cells = cells(&base);
+    let new_cells = cells(&new);
+
+    println!(
+        "bench-diff: {base_path} (baseline) vs {new_path}{}",
+        if same_determinism_domain {
+            " [same scale/seed: sim-cycle equivalence enforced]"
+        } else {
+            " [scale/seed differ: sim-cycle check skipped]"
+        }
+    );
+    println!(
+        "{:<12} {:<16} {:>14} {:>14} {:>8}  {:>12} {:>8}",
+        "workload", "config", "cycles(old)", "cycles(new)", "Δcyc%", "thr(new)", "Δthr%"
+    );
+
+    let mut cycle_drift = 0usize;
+    let mut missing = 0usize;
+    let mut ratios: Vec<f64> = Vec::new();
+    for nc in &new_cells {
+        let Some(bc) = base_cells
+            .iter()
+            .find(|b| b.workload == nc.workload && b.config == nc.config)
+        else {
+            println!("{:<12} {:<16} (no baseline cell)", nc.workload, nc.config);
+            missing += 1;
+            continue;
+        };
+        let (oc, ncy) = (u(bc.cell, "cycles"), u(nc.cell, "cycles"));
+        let (oi, ni) = (u(bc.cell, "instructions"), u(nc.cell, "instructions"));
+        let (ot, nt) = (
+            f(bc.cell, "sim_cycles_per_host_sec"),
+            f(nc.cell, "sim_cycles_per_host_sec"),
+        );
+        if ot > 0.0 && nt > 0.0 {
+            ratios.push(nt / ot);
+        }
+        let drifted = same_determinism_domain && (oc != ncy || oi != ni);
+        if drifted {
+            cycle_drift += 1;
+        }
+        println!(
+            "{:<12} {:<16} {:>14} {:>14} {:>7.2}{} {:>12.3e} {:>7.1}%",
+            nc.workload,
+            nc.config,
+            oc,
+            ncy,
+            pct_delta(oc as f64, ncy as f64),
+            if drifted { "!" } else { " " },
+            nt,
+            pct_delta(ot, nt),
+        );
+    }
+
+    let geomean_ratio = if ratios.is_empty() {
+        1.0
+    } else {
+        (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
+    };
+    println!(
+        "\nthroughput geomean ratio (new/old): {geomean_ratio:.4} over {} cells \
+         (tolerance: >= {:.4})",
+        ratios.len(),
+        1.0 - max_regress / 100.0
+    );
+
+    let mut failed = false;
+    if geomean_ratio < 1.0 - max_regress / 100.0 {
+        eprintln!(
+            "FAIL: throughput geomean regressed {:.1}% (> {max_regress}% tolerated)",
+            100.0 * (1.0 - geomean_ratio)
+        );
+        failed = true;
+    }
+    if cycle_drift > 0 {
+        let verdict = if allow_drift { "note" } else { "FAIL" };
+        eprintln!(
+            "{verdict}: {cycle_drift} cell(s) changed sim cycles/instructions at equal \
+             scale/seed (marked '!'): timing behavior changed"
+        );
+        failed |= !allow_drift;
+    }
+    if missing > 0 {
+        eprintln!("note: {missing} cell(s) had no baseline counterpart (new workloads?)");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK");
+}

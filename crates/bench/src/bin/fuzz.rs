@@ -31,6 +31,11 @@ const EXTRAS: &[Flag] = &[
         arity: Arity::One,
         help: "plant a retire-gate bug (gate-key | gate-no-close); the run must detect it",
     },
+    Flag {
+        name: "--serve-metrics",
+        arity: Arity::One,
+        help: "serve run-status /metrics on this localhost port",
+    },
 ];
 
 const SPEC: Spec = Spec {
@@ -68,6 +73,44 @@ fn render_json(r: &FuzzReport, cfg: &FuzzConfig, opts: &cli::Opts) -> String {
     j.finish()
 }
 
+/// Run-status exposition for `--serve-metrics`: phase plus final counts.
+fn fuzz_metrics(cfg: &FuzzConfig, done: Option<&FuzzReport>) -> String {
+    let mut reg = sa_metrics::Registry::new();
+    reg.gauge(
+        "sa_fuzz_running",
+        "1 while the sweep is in progress, 0 once finished",
+        &[],
+        f64::from(u8::from(done.is_none())),
+    );
+    reg.counter(
+        "sa_fuzz_programs_requested",
+        "randomly generated programs requested",
+        &[],
+        cfg.programs as u64,
+    );
+    if let Some(r) = done {
+        reg.counter(
+            "sa_fuzz_corpus_programs",
+            "programs fuzzed",
+            &[],
+            r.corpus as u64,
+        );
+        reg.counter(
+            "sa_fuzz_runs_total",
+            "simulations executed",
+            &[],
+            r.runs as u64,
+        );
+        reg.counter(
+            "sa_fuzz_violations_total",
+            "containment violations observed",
+            &[],
+            r.violations.len() as u64,
+        );
+    }
+    reg.prometheus_text()
+}
+
 fn main() {
     let args = cli::parse(&SPEC);
     let cfg = FuzzConfig {
@@ -83,7 +126,24 @@ fn main() {
         }),
     };
 
+    let server = args.value("--serve-metrics").map(|p| {
+        let port: u16 = p.parse().unwrap_or_else(|_| {
+            eprintln!("fuzz: --serve-metrics takes a port number, got {p:?}");
+            exit(2);
+        });
+        let srv = sa_bench::serve::MetricsServer::start(port).unwrap_or_else(|e| {
+            eprintln!("fuzz: binding port {port}: {e}");
+            exit(2);
+        });
+        eprintln!("serving live metrics on http://127.0.0.1:{}/", srv.port());
+        srv.set_prometheus(fuzz_metrics(&cfg, None));
+        srv
+    });
+
     let r = run_fuzz(&cfg);
+    if let Some(srv) = &server {
+        srv.set_prometheus(fuzz_metrics(&cfg, Some(&r)));
+    }
 
     if args.opts.json {
         let body = render_json(&r, &cfg, &args.opts);

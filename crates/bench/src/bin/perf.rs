@@ -19,7 +19,11 @@
 //! Usage: `perf [--scale N] [--seed N] [--jobs N] [--out PATH]` (default
 //! scale 2000, default output `BENCH_pr3.json`).
 
-use sa_bench::cli::{self, Spec};
+use std::process::exit;
+use std::sync::Arc;
+
+use sa_bench::cli::{self, Arity, Flag, Spec};
+use sa_bench::serve::MetricsServer;
 use sa_bench::{harness, parallel_map, run_workload};
 use sa_isa::ConsistencyModel;
 use sa_metrics::{CpiCategory, JsonWriter};
@@ -98,16 +102,34 @@ fn emit_config(j: &mut JsonWriter, r: &ConfigResult, baseline_cycles: u64) {
 fn main() {
     // The regression suite is pinned and small; default well below the
     // exploration binaries' 30k so a full 5-config sweep stays quick.
-    let opts = cli::parse(&Spec {
+    const EXTRAS: &[Flag] = &[Flag {
+        name: "--serve-metrics",
+        arity: Arity::One,
+        help: "serve the latest completed cell's /metrics on this localhost port",
+    }];
+    let args = cli::parse(&Spec {
         default_scale: Some(2_000),
         default_out: Some("BENCH_pr3.json"),
+        extras: EXTRAS,
         ..Spec::new(
             "perf",
             "performance-regression harness over the pinned suite",
         )
-    })
-    .opts;
+    });
+    let opts = args.opts.clone();
     let out_path = opts.out.clone().expect("spec supplies a default --out");
+    let server = args.value("--serve-metrics").map(|p| {
+        let port: u16 = p.parse().unwrap_or_else(|_| {
+            eprintln!("perf: --serve-metrics takes a port number, got {p:?}");
+            exit(2);
+        });
+        let srv = MetricsServer::start(port).unwrap_or_else(|e| {
+            eprintln!("perf: binding port {port}: {e}");
+            exit(2);
+        });
+        eprintln!("serving live metrics on http://127.0.0.1:{}/", srv.port());
+        Arc::new(srv)
+    });
 
     struct Entry {
         name: &'static str,
@@ -157,10 +179,14 @@ fn main() {
                 .unwrap_or_else(|| panic!("unpinned workload {}", e.name));
             harness::time(|| run_workload(&w, model, opts.scale, opts.seed))
         };
-        ConfigResult {
+        let r = ConfigResult {
             report,
             host_seconds,
+        };
+        if let Some(srv) = &server {
+            srv.set_prometheus(r.report.registry().prometheus_text());
         }
+        r
     });
 
     for (ei, e) in entries.iter().enumerate() {

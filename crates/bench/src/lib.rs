@@ -21,6 +21,7 @@
 pub mod cli;
 pub mod fuzz;
 pub mod harness;
+pub mod serve;
 
 pub use cli::{Opts, SuiteSel};
 
@@ -46,6 +47,32 @@ pub fn run_workload(w: &WorkloadSpec, model: ConsistencyModel, scale: usize, see
     let budget = (scale as u64).saturating_mul(2_000).max(10_000_000);
     sim.run(budget)
         .unwrap_or_else(|e| panic!("{} under {model}: {e}", w.name))
+}
+
+/// Like [`run_workload`], but with an attached [`sa_trace::Tracer`];
+/// returns the tracer alongside the report so stream analyzers (e.g.
+/// `sa_forensics::Forensics`) can be finalized by the caller. The tracer
+/// is built by `tracer(n_cores)` once the core count is known. An
+/// enabled tracer forces the cycle-exact lockstep engine.
+pub fn run_workload_traced<T: sa_trace::Tracer>(
+    w: &WorkloadSpec,
+    model: ConsistencyModel,
+    scale: usize,
+    seed: u64,
+    tracer: impl FnOnce(usize) -> T,
+) -> (Report, T) {
+    let n_cores = match w.suite {
+        Suite::Parallel => 8,
+        Suite::Spec => 1,
+    };
+    let cfg = SimConfig::default().with_model(model).with_cores(n_cores);
+    let traces = w.generate(n_cores, scale, seed);
+    let mut sim = Multicore::with_tracer(cfg, traces, tracer(n_cores));
+    let budget = (scale as u64).saturating_mul(2_000).max(10_000_000);
+    let report = sim
+        .run(budget)
+        .unwrap_or_else(|e| panic!("{} under {model}: {e}", w.name));
+    (report, sim.into_tracer())
 }
 
 /// Runs one workload under every model, returning reports in

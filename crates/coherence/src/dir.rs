@@ -197,7 +197,12 @@ impl DirBank {
                         if others & (1 << c) != 0 {
                             pending += 1;
                             self.stats.invs_sent += 1;
-                            self.send(NodeId::Core(CoreId(c)), Msg::Inv { line }, now, out);
+                            self.send(
+                                NodeId::Core(CoreId(c)),
+                                Msg::Inv { line, by: req },
+                                now,
+                                out,
+                            );
                         }
                     }
                     self.busy.insert(
@@ -213,7 +218,12 @@ impl DirBank {
             Some(DirState::Owned(owner)) => {
                 debug_assert_ne!(owner, req, "owner re-requesting M");
                 self.busy.insert(line, Txn::FetchForM { req });
-                self.send(NodeId::Core(owner), Msg::FetchInv { line }, now, out);
+                self.send(
+                    NodeId::Core(owner),
+                    Msg::FetchInv { line, by: req },
+                    now,
+                    out,
+                );
             }
         }
     }

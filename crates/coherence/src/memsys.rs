@@ -33,6 +33,9 @@ pub enum NoticeKind {
     Invalidated {
         /// The invalidated line.
         line: Line,
+        /// The core whose ownership request caused the invalidation
+        /// (squash-blame provenance for forensics).
+        by: CoreId,
     },
     /// `line` left the private hierarchy for capacity reasons. The paper
     /// treats evictions like invalidations for speculative loads because

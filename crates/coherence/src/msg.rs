@@ -47,12 +47,14 @@ pub enum Msg {
     PutMAck { line: Line, stale: bool },
 
     // ---- directory-initiated: directory -> core ----
-    /// Invalidate a shared copy.
-    Inv { line: Line },
+    /// Invalidate a shared copy. `by` is the core whose ownership request
+    /// triggered the invalidation (squash-blame provenance).
+    Inv { line: Line, by: CoreId },
     /// Downgrade the owned copy to shared and return data.
     FetchS { line: Line },
-    /// Invalidate the owned copy and return data.
-    FetchInv { line: Line },
+    /// Invalidate the owned copy and return data. `by` is the requesting
+    /// core, as for [`Msg::Inv`].
+    FetchInv { line: Line, by: CoreId },
 
     // ---- acks: core -> directory ----
     /// Invalidation acknowledgement from a sharer.
@@ -79,9 +81,9 @@ impl Msg {
             | Msg::DataE { line }
             | Msg::GrantM { line }
             | Msg::PutMAck { line, .. }
-            | Msg::Inv { line }
+            | Msg::Inv { line, .. }
             | Msg::FetchS { line }
-            | Msg::FetchInv { line }
+            | Msg::FetchInv { line, .. }
             | Msg::InvAck { line, .. }
             | Msg::AckData { line, .. } => line,
         }
@@ -113,7 +115,14 @@ mod tests {
             req: CoreId(1),
         };
         assert_eq!(m.line(), l);
-        assert_eq!(Msg::Inv { line: l }.line(), l);
+        assert_eq!(
+            Msg::Inv {
+                line: l,
+                by: CoreId(3)
+            }
+            .line(),
+            l
+        );
     }
 
     #[test]
@@ -131,7 +140,11 @@ mod tests {
             req: CoreId(0)
         }
         .carries_data());
-        assert!(!Msg::Inv { line: l }.carries_data());
+        assert!(!Msg::Inv {
+            line: l,
+            by: CoreId(1)
+        }
+        .carries_data());
         assert!(!Msg::InvAck {
             line: l,
             from: CoreId(0)

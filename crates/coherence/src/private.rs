@@ -307,13 +307,13 @@ impl PrivateCtrl {
             Msg::DataE { line } | Msg::GrantM { line } => {
                 self.on_data(line, PState::X, now, &mut out)
             }
-            Msg::Inv { line } => {
+            Msg::Inv { line, by } => {
                 self.stats.invs_received += 1;
                 if self.l2.contains(line) {
                     debug_assert!(!self.has_ownership(line), "directory invalidated an owner");
                     self.l1.remove(line);
                     self.l2.remove(line);
-                    self.notice(NoticeKind::Invalidated { line }, now, &mut out);
+                    self.notice(NoticeKind::Invalidated { line, by }, now, &mut out);
                 }
                 self.send(
                     self.home(line),
@@ -359,12 +359,12 @@ impl PrivateCtrl {
                     );
                 }
             }
-            Msg::FetchInv { line } => {
+            Msg::FetchInv { line, by } => {
                 if let Some(e) = self.l2.remove(line) {
                     debug_assert_eq!(e.state, PState::X);
                     self.l1.remove(line);
                     self.stats.invs_received += 1;
-                    self.notice(NoticeKind::Invalidated { line }, now, &mut out);
+                    self.notice(NoticeKind::Invalidated { line, by }, now, &mut out);
                     self.send(
                         self.home(line),
                         Msg::AckData {
@@ -619,14 +619,26 @@ mod tests {
         let mut c = ctrl();
         c.load(req(1), ln(5), 0, 5 * 64, 0).unwrap();
         c.handle(Msg::DataS { line: ln(5) }, 50);
-        let a = c.handle(Msg::Inv { line: ln(5) }, 60);
+        let a = c.handle(
+            Msg::Inv {
+                line: ln(5),
+                by: CoreId(1),
+            },
+            60,
+        );
         assert!(notice_kinds(&a)
             .iter()
             .any(|(k, _)| matches!(k, NoticeKind::Invalidated { .. })));
         assert!(matches!(sent_msgs(&a)[0], Msg::InvAck { .. }));
         assert!(!c.contains(ln(5)));
         // Spurious invalidation for an absent line: ack only, no notice.
-        let a = c.handle(Msg::Inv { line: ln(5) }, 70);
+        let a = c.handle(
+            Msg::Inv {
+                line: ln(5),
+                by: CoreId(1),
+            },
+            70,
+        );
         assert!(notice_kinds(&a).is_empty());
         assert!(matches!(sent_msgs(&a)[0], Msg::InvAck { .. }));
     }
@@ -637,7 +649,13 @@ mod tests {
         c.ownership(req(1), ln(5), 0).unwrap();
         c.handle(Msg::GrantM { line: ln(5) }, 40);
         c.mark_dirty(ln(5));
-        let a = c.handle(Msg::FetchInv { line: ln(5) }, 60);
+        let a = c.handle(
+            Msg::FetchInv {
+                line: ln(5),
+                by: CoreId(1),
+            },
+            60,
+        );
         let msgs = sent_msgs(&a);
         assert!(
             matches!(
@@ -700,7 +718,13 @@ mod tests {
             .any(|(k, _)| matches!(k, NoticeKind::Evicted { .. })));
         assert!(sent_msgs(&a).iter().any(|m| matches!(m, Msg::PutM { .. })));
         // The writeback buffer answers a racing FetchInv.
-        let a = c.handle(Msg::FetchInv { line: ln(0) }, 90);
+        let a = c.handle(
+            Msg::FetchInv {
+                line: ln(0),
+                by: CoreId(1),
+            },
+            90,
+        );
         assert!(matches!(
             sent_msgs(&a)[0],
             Msg::AckData {

@@ -409,6 +409,7 @@ impl<T: Tracer> Multicore<T> {
             samples: self.sampler.to_vec(),
             sample_interval: self.sampler.interval(),
             mem: self.mem.stats(),
+            forensics: None,
         }
     }
 }

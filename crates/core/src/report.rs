@@ -47,9 +47,20 @@ pub struct Report {
     pub sample_interval: u64,
     /// Memory-system counters.
     pub mem: MemStats,
+    /// Causal gate-episode analysis, when the run was driven with a
+    /// [`sa_forensics::Forensics`] tracer (attach via
+    /// [`Report::with_forensics`]). `None` on untraced runs.
+    pub forensics: Option<sa_forensics::Summary>,
 }
 
 impl Report {
+    /// Attaches a forensics summary (from
+    /// `Multicore::into_tracer().finish(..)`) so exporters see it.
+    pub fn with_forensics(mut self, forensics: sa_forensics::Summary) -> Report {
+        self.forensics = Some(forensics);
+        self
+    }
+
     /// All cores' counters merged (sums; `cycles` is the max).
     pub fn total(&self) -> CoreStats {
         let mut t = CoreStats::default();
@@ -199,6 +210,9 @@ impl Report {
             &ml,
             self.mem.flits_sent,
         );
+        if let Some(f) = &self.forensics {
+            f.register(&mut r);
+        }
         r
     }
 
@@ -276,6 +290,7 @@ mod tests {
             samples: Vec::new(),
             sample_interval: 0,
             mem: MemStats::default(),
+            forensics: None,
         }
     }
 

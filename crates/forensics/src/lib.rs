@@ -1,0 +1,716 @@
+//! # sa-forensics — streaming causal analysis of gate episodes
+//!
+//! The paper's qualitative claims — gate closures are rare and short
+//! (§VI-A), and the outliers have specific microarchitectural causes
+//! (Table IV: x264's contended condvar line, 505.mcf's eviction-induced
+//! squashes) — are invisible in aggregate counters. This crate answers
+//! *which store closed this gate, which remote core's invalidation
+//! squashed these loads, and what did the episode cost* by consuming the
+//! sa-trace event stream online and linking it into causal records.
+//!
+//! ## Episode state machine
+//!
+//! Per core, a [`GateEpisode`] is one closed period of the retire gate:
+//!
+//! ```text
+//! GateClose{key}  --------------------------------  GateOpen{reason}
+//!   | store addr joined from the SbEnter table        | KeyMatch / SbEmpty
+//!   v                                                 v
+//! open episode --- Squash{cause,by,line} events ---> completed episode
+//!                    (blame + refill-cost windows)
+//! ```
+//!
+//! A squash's *cost* is its refill window: the cycles from the squash
+//! until the core next retires (or squashes again, or the run ends).
+//! Each window is charged to the blaming core in the cross-core blame
+//! matrix — row *i*, column *j* is "cycles core *i* lost to squashes
+//! caused by core *j*"; the extra `local` column collects capacity
+//! evictions and mem-order misspeculations, which have no remote author.
+//!
+//! ## Bounded memory
+//!
+//! The analyzer never retains the trace. Its state is: one open-episode
+//! slot and one open refill window per core, a per-core SB key→address
+//! table (bounded by SB capacity — entries die at `SbCommit`), the
+//! `n×(n+1)` blame matrix, capped hotspot/folded-stack tables that count
+//! drops instead of growing, two fixed 64-bucket log₂ histograms, and a
+//! ring of the most recent completed episodes.
+
+mod summary;
+
+pub use summary::{BlameMatrix, CoreSummary, FoldedChain, Hotspot, Summary};
+
+use sa_isa::{Addr, Cycle, FastMap};
+use sa_trace::{EventKind, GateKey, GateOpenReason, SquashKind, TraceEvent, Tracer};
+
+/// Log₂ histogram buckets (bucket `i` counts values in `[2^(i-1), 2^i)`,
+/// bucket 0 counts zeros and ones).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Hotspot table capacity: distinct lines tracked before counting drops.
+pub const HOTSPOT_CAP: usize = 256;
+
+/// Folded-stack table capacity (distinct victim/cause/blame/line chains).
+pub const FOLDED_CAP: usize = 1024;
+
+/// Completed-episode ring capacity.
+pub const RING_CAP: usize = 128;
+
+/// Why a gate episode ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpisodeEnd {
+    /// The forwarding store's SB commit matched the locking key
+    /// (`370-SLFSoS-key`).
+    KeyMatch,
+    /// The store buffer drained empty (`370-SLFSoS`).
+    SbDrain,
+    /// A squash cleared the locking context.
+    Squash,
+    /// The run ended with the gate still closed.
+    EndOfRun,
+}
+
+impl EpisodeEnd {
+    /// Stable label for exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EpisodeEnd::KeyMatch => "key-match",
+            EpisodeEnd::SbDrain => "sb-drain",
+            EpisodeEnd::Squash => "squash",
+            EpisodeEnd::EndOfRun => "end-of-run",
+        }
+    }
+}
+
+/// One completed closed period of a core's retire gate, with everything
+/// the paper's §III walkthrough talks about attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateEpisode {
+    /// The core whose gate closed.
+    pub core: u8,
+    /// Key of the forwarding store, locked into the gate.
+    pub key: GateKey,
+    /// The forwarding store's byte address (joined from its `SbEnter`).
+    pub store_addr: Option<Addr>,
+    /// ROB id of the SLF load that closed the gate.
+    pub rob: u64,
+    /// Cycle the gate closed.
+    pub closed_at: Cycle,
+    /// Cycle the gate reopened (or the run ended).
+    pub opened_at: Cycle,
+    /// Why it reopened.
+    pub end: EpisodeEnd,
+    /// Additional `GateClose` events absorbed while already closed
+    /// (multi-key gate configurations only; 0 for the paper's gate).
+    pub extra_closes: u32,
+    /// Squashes that landed during this episode.
+    pub squashes: u64,
+    /// µops removed by those squashes.
+    pub squashed_uops: u64,
+    /// Refill cycles charged to those squashes (windows closing after
+    /// the episode still accrue here — the cause lies inside it).
+    pub squash_cycles: u64,
+    /// Blaming core of the first squash (`None` = local cause).
+    pub first_blame: Option<u8>,
+    /// Triggering line of the first squash.
+    pub first_blame_line: Option<Addr>,
+}
+
+impl GateEpisode {
+    /// Closed duration in cycles. The gate closes during the retire
+    /// phase (that cycle counts as gate-closed) and opens during the
+    /// store-drain phase (that cycle does not), so this equals the
+    /// core's counted `gate_closed_cycles` contribution exactly.
+    pub fn duration(&self) -> u64 {
+        self.opened_at - self.closed_at
+    }
+}
+
+/// Per-line squash aggregation (the Table IV mechanism surface).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LineStats {
+    squashes: u64,
+    uops: u64,
+    cycles: u64,
+    /// Squashes authored by a remote core's invalidation.
+    invalidations: u64,
+    /// Squashes caused by a local capacity eviction.
+    evictions: u64,
+}
+
+/// An open refill window: a squash happened at `since`, the core has not
+/// retired since.
+#[derive(Debug, Clone, Copy)]
+struct RefillWindow {
+    since: Cycle,
+    by: Option<u8>,
+    line: Option<Addr>,
+    cause: SquashKind,
+    /// `closed_at` of the episode the squash landed in, if one was open.
+    episode: Option<Cycle>,
+}
+
+/// An episode in progress.
+#[derive(Debug, Clone, Copy)]
+struct OpenEpisode {
+    key: GateKey,
+    store_addr: Option<Addr>,
+    rob: u64,
+    closed_at: Cycle,
+    extra_closes: u32,
+    squashes: u64,
+    squashed_uops: u64,
+    squash_cycles: u64,
+    first_blame: Option<u8>,
+    first_blame_line: Option<Addr>,
+}
+
+/// Per-core analyzer state.
+#[derive(Debug, Default)]
+struct CoreState {
+    open: Option<OpenEpisode>,
+    /// Episodes that already ended but still own the open refill window.
+    drained: Vec<(Cycle, GateEpisode)>,
+    /// SB-resident stores: key → byte address (bounded by SB capacity).
+    sb_addr: FastMap<GateKey, Addr>,
+    refill: Option<RefillWindow>,
+    episodes: u64,
+    gate_cycles: u64,
+    squashes: u64,
+    squashed_uops: u64,
+    squash_cycles: u64,
+}
+
+/// The streaming analyzer. Implements [`Tracer`], so
+/// `Multicore::with_tracer(cfg, traces, Forensics::new(n))` attaches it
+/// directly to a simulation (forcing the cycle-exact lockstep engine);
+/// the `NullTracer` fast path is untouched.
+#[derive(Debug)]
+pub struct Forensics {
+    cores: Vec<CoreState>,
+    /// Blame cells, row-major `n × (n+1)`: cycles (col < n: remote core,
+    /// col n: local causes).
+    blame_cycles: Vec<u64>,
+    /// Squash counts in the same layout.
+    blame_counts: Vec<u64>,
+    hotspots: FastMap<Addr, LineStats>,
+    hotspot_dropped: u64,
+    /// Folded cause chains `(victim, cause, blame, line)` → cycles.
+    folded: FastMap<(u8, SquashKind, Option<u8>, Option<Addr>), u64>,
+    folded_dropped: u64,
+    episode_len_hist: [u64; HIST_BUCKETS],
+    squash_cost_hist: [u64; HIST_BUCKETS],
+    recent: std::collections::VecDeque<GateEpisode>,
+    end_of_run: u64,
+    last_cycle: Cycle,
+}
+
+fn log2_bucket(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize - 1).min(HIST_BUCKETS - 1)
+}
+
+impl Forensics {
+    /// An analyzer for an `n_cores` simulation.
+    pub fn new(n_cores: usize) -> Forensics {
+        let cols = n_cores + 1;
+        Forensics {
+            cores: (0..n_cores).map(|_| CoreState::default()).collect(),
+            blame_cycles: vec![0; n_cores * cols],
+            blame_counts: vec![0; n_cores * cols],
+            hotspots: FastMap::default(),
+            hotspot_dropped: 0,
+            folded: FastMap::default(),
+            folded_dropped: 0,
+            episode_len_hist: [0; HIST_BUCKETS],
+            squash_cost_hist: [0; HIST_BUCKETS],
+            recent: std::collections::VecDeque::with_capacity(RING_CAP),
+            end_of_run: 0,
+            last_cycle: 0,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Closes the refill window open on `core`, charging its cycles.
+    fn close_refill(&mut self, core: usize, now: Cycle) {
+        let Some(w) = self.cores[core].refill.take() else {
+            return;
+        };
+        let cost = now.saturating_sub(w.since);
+        let cols = self.n() + 1;
+        let col = w.by.map_or(self.n(), |c| c as usize);
+        self.blame_cycles[core * cols + col] += cost;
+        self.squash_cost_hist[log2_bucket(cost)] += 1;
+        self.cores[core].squash_cycles += cost;
+        if let Some(line) = w.line {
+            if let Some(s) = self.hotspots.get_mut(&line) {
+                s.cycles += cost;
+            }
+        }
+        // Charge the episode the squash landed in: still open, or parked
+        // on the drained list waiting for exactly this window.
+        let st = &mut self.cores[core];
+        match (&mut st.open, w.episode) {
+            (Some(ep), Some(closed_at)) if ep.closed_at == closed_at => {
+                ep.squash_cycles += cost;
+            }
+            (_, Some(closed_at)) => {
+                if let Some(i) = st.drained.iter().position(|(c, _)| *c == closed_at) {
+                    let (_, mut ep) = st.drained.remove(i);
+                    ep.squash_cycles += cost;
+                    self.finish_episode(ep);
+                }
+            }
+            _ => {}
+        }
+        let chain = (core as u8, w.cause, w.by, w.line);
+        if self.folded.len() < FOLDED_CAP || self.folded.contains_key(&chain) {
+            *self.folded.entry(chain).or_insert(0) += cost;
+        } else {
+            self.folded_dropped += 1;
+        }
+    }
+
+    /// Books a completed episode into the aggregates and the ring.
+    fn finish_episode(&mut self, ep: GateEpisode) {
+        let st = &mut self.cores[ep.core as usize];
+        st.episodes += 1;
+        st.gate_cycles += ep.duration();
+        self.episode_len_hist[log2_bucket(ep.duration())] += 1;
+        if self.recent.len() == RING_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(ep);
+    }
+
+    fn end_episode(&mut self, core: usize, now: Cycle, end: EpisodeEnd) {
+        let Some(ep) = self.cores[core].open.take() else {
+            return;
+        };
+        let done = GateEpisode {
+            core: core as u8,
+            key: ep.key,
+            store_addr: ep.store_addr,
+            rob: ep.rob,
+            closed_at: ep.closed_at,
+            opened_at: now,
+            end,
+            extra_closes: ep.extra_closes,
+            squashes: ep.squashes,
+            squashed_uops: ep.squashed_uops,
+            squash_cycles: ep.squash_cycles,
+            first_blame: ep.first_blame,
+            first_blame_line: ep.first_blame_line,
+        };
+        // If this episode's last squash is still refilling, park the
+        // episode until the window closes so the cost lands on it.
+        let still_refilling = self.cores[core]
+            .refill
+            .is_some_and(|w| w.episode == Some(done.closed_at));
+        if still_refilling {
+            self.cores[core].drained.push((done.closed_at, done));
+        } else {
+            self.finish_episode(done);
+        }
+    }
+
+    /// Declares the run over at `end_cycle`: closes open refill windows
+    /// and force-ends still-open episodes, then returns the aggregates.
+    pub fn finish(mut self, end_cycle: Cycle) -> Summary {
+        self.last_cycle = self.last_cycle.max(end_cycle);
+        for core in 0..self.n() {
+            self.close_refill(core, end_cycle);
+            if self.cores[core].open.is_some() {
+                self.end_of_run += 1;
+                self.end_episode(core, end_cycle, EpisodeEnd::EndOfRun);
+            }
+            // Orphaned drained episodes (their window closed with the
+            // run): already costed, book them now.
+            for (_, ep) in std::mem::take(&mut self.cores[core].drained) {
+                self.finish_episode(ep);
+            }
+        }
+        summary::build(self)
+    }
+}
+
+impl Tracer for Forensics {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, ev: TraceEvent) {
+        let core = ev.core.index();
+        debug_assert!(core < self.n(), "event from unknown core {core}");
+        self.last_cycle = self.last_cycle.max(ev.cycle);
+        match ev.kind {
+            EventKind::SbEnter { key, addr, .. } => {
+                self.cores[core].sb_addr.insert(key, addr);
+            }
+            EventKind::SbCommit { key, .. } => {
+                self.cores[core].sb_addr.remove(&key);
+            }
+            EventKind::GateClose { rob, key } => {
+                let store_addr = self.cores[core].sb_addr.get(&key).copied();
+                match &mut self.cores[core].open {
+                    // Multi-key gate: a second key locked while closed
+                    // extends the same closed period.
+                    Some(ep) => ep.extra_closes += 1,
+                    slot @ None => {
+                        *slot = Some(OpenEpisode {
+                            key,
+                            store_addr,
+                            rob,
+                            closed_at: ev.cycle,
+                            extra_closes: 0,
+                            squashes: 0,
+                            squashed_uops: 0,
+                            squash_cycles: 0,
+                            first_blame: None,
+                            first_blame_line: None,
+                        });
+                    }
+                }
+            }
+            EventKind::GateOpen { reason } => {
+                let end = match reason {
+                    GateOpenReason::KeyMatch(_) => EpisodeEnd::KeyMatch,
+                    GateOpenReason::SbEmpty => EpisodeEnd::SbDrain,
+                    GateOpenReason::Squash => EpisodeEnd::Squash,
+                };
+                self.end_episode(core, ev.cycle, end);
+            }
+            EventKind::Squash {
+                uops,
+                cause,
+                by,
+                line,
+                ..
+            } => {
+                // A new squash while a window is open closes the old one
+                // at this cycle — each blame gets its own slice.
+                self.close_refill(core, ev.cycle);
+                let cols = self.n() + 1;
+                let col = by.map_or(self.n(), |c| c as usize);
+                self.blame_counts[core * cols + col] += 1;
+                self.cores[core].squashes += 1;
+                self.cores[core].squashed_uops += uops;
+                if let Some(l) = line {
+                    if self.hotspots.len() < HOTSPOT_CAP || self.hotspots.contains_key(&l) {
+                        let s = self.hotspots.entry(l).or_default();
+                        s.squashes += 1;
+                        s.uops += uops;
+                        if by.is_some() {
+                            s.invalidations += 1;
+                        } else {
+                            s.evictions += 1;
+                        }
+                    } else {
+                        self.hotspot_dropped += 1;
+                    }
+                }
+                let episode = self.cores[core].open.as_mut().map(|ep| {
+                    ep.squashes += 1;
+                    ep.squashed_uops += uops;
+                    if ep.first_blame_line.is_none() {
+                        ep.first_blame = by;
+                        ep.first_blame_line = line;
+                    }
+                    ep.closed_at
+                });
+                self.cores[core].refill = Some(RefillWindow {
+                    since: ev.cycle,
+                    by,
+                    line,
+                    cause,
+                    episode,
+                });
+            }
+            EventKind::Retire { .. } if self.cores[core].refill.is_some() => {
+                self.close_refill(core, ev.cycle);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_isa::CoreId;
+    use sa_trace::UopKind;
+
+    fn ev(core: u8, cycle: Cycle, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            core: CoreId(core),
+            kind,
+        }
+    }
+
+    fn key(slot: u16) -> GateKey {
+        GateKey {
+            slot,
+            sorting: false,
+        }
+    }
+
+    /// The §III n6 shape: store enters SB, SLF load closes the gate,
+    /// remote invalidation squashes, commit reopens at key match.
+    #[test]
+    fn links_the_section_iii_chain() {
+        let mut f = Forensics::new(2);
+        f.record(ev(
+            0,
+            10,
+            EventKind::SbEnter {
+                rob: 1,
+                key: key(0),
+                addr: 0x40,
+            },
+        ));
+        f.record(ev(
+            0,
+            12,
+            EventKind::GateClose {
+                rob: 2,
+                key: key(0),
+            },
+        ));
+        f.record(ev(
+            0,
+            15,
+            EventKind::Squash {
+                from_rob: 3,
+                uops: 4,
+                cause: SquashKind::StoreAtomicity,
+                by: Some(1),
+                line: Some(0x80),
+            },
+        ));
+        f.record(ev(
+            0,
+            20,
+            EventKind::Retire {
+                rob: 3,
+                uop: UopKind::Load,
+            },
+        ));
+        f.record(ev(
+            0,
+            25,
+            EventKind::SbCommit {
+                key: key(0),
+                addr: 0x40,
+            },
+        ));
+        f.record(ev(
+            0,
+            25,
+            EventKind::GateOpen {
+                reason: GateOpenReason::KeyMatch(key(0)),
+            },
+        ));
+        let s = f.finish(30);
+        assert_eq!(s.recent.len(), 1);
+        let ep = &s.recent[0];
+        assert_eq!(ep.core, 0);
+        assert_eq!(ep.key, key(0));
+        assert_eq!(ep.store_addr, Some(0x40));
+        assert_eq!(ep.closed_at, 12);
+        assert_eq!(ep.opened_at, 25);
+        assert_eq!(ep.duration(), 13);
+        assert_eq!(ep.end, EpisodeEnd::KeyMatch);
+        assert_eq!(ep.squashes, 1);
+        assert_eq!(ep.squashed_uops, 4);
+        assert_eq!(ep.squash_cycles, 5); // squash@15 .. retire@20
+        assert_eq!(ep.first_blame, Some(1));
+        assert_eq!(ep.first_blame_line, Some(0x80));
+        // Blame matrix: core 0 lost 5 cycles to core 1.
+        assert_eq!(s.blame.cycles(0, Some(1)), 5);
+        assert_eq!(s.blame.cycles(0, None), 0);
+        assert_eq!(s.blame.row_cycles(0), s.per_core[0].squash_cycles);
+        assert_eq!(s.per_core[0].gate_cycles, 13);
+        assert_eq!(s.hotspots[0].line, 0x80);
+        assert_eq!(s.hotspots[0].invalidations, 1);
+    }
+
+    /// A local eviction squash lands in the `local` blame column.
+    #[test]
+    fn eviction_blames_local_column() {
+        let mut f = Forensics::new(2);
+        f.record(ev(
+            1,
+            100,
+            EventKind::Squash {
+                from_rob: 9,
+                uops: 2,
+                cause: SquashKind::StoreAtomicity,
+                by: None,
+                line: Some(0x1000),
+            },
+        ));
+        f.record(ev(
+            1,
+            107,
+            EventKind::Retire {
+                rob: 9,
+                uop: UopKind::Load,
+            },
+        ));
+        let s = f.finish(200);
+        assert_eq!(s.blame.cycles(1, None), 7);
+        assert_eq!(s.blame.counts(1, None), 1);
+        assert_eq!(s.hotspots[0].evictions, 1);
+        assert_eq!(s.hotspots[0].invalidations, 0);
+    }
+
+    /// An episode still open at the end of the run is drained with the
+    /// end-of-run duration, so gate-cycle totals stay exact.
+    #[test]
+    fn drains_open_episode_at_end_of_run() {
+        let mut f = Forensics::new(1);
+        f.record(ev(
+            0,
+            50,
+            EventKind::GateClose {
+                rob: 1,
+                key: key(3),
+            },
+        ));
+        let s = f.finish(80);
+        assert_eq!(s.open_at_end, 1);
+        assert_eq!(s.recent.len(), 1);
+        assert_eq!(s.recent[0].end, EpisodeEnd::EndOfRun);
+        assert_eq!(s.recent[0].duration(), 30);
+        assert_eq!(s.per_core[0].gate_cycles, 30);
+    }
+
+    /// Back-to-back squashes each get their own refill slice; the blame
+    /// row sum equals the per-core squash-cycle total.
+    #[test]
+    fn split_refill_windows_per_blame() {
+        let mut f = Forensics::new(3);
+        f.record(ev(
+            0,
+            10,
+            EventKind::Squash {
+                from_rob: 1,
+                uops: 1,
+                cause: SquashKind::LoadLoad,
+                by: Some(1),
+                line: Some(0x40),
+            },
+        ));
+        f.record(ev(
+            0,
+            14,
+            EventKind::Squash {
+                from_rob: 1,
+                uops: 2,
+                cause: SquashKind::StoreAtomicity,
+                by: Some(2),
+                line: Some(0x80),
+            },
+        ));
+        f.record(ev(
+            0,
+            20,
+            EventKind::Retire {
+                rob: 1,
+                uop: UopKind::Alu,
+            },
+        ));
+        let s = f.finish(30);
+        assert_eq!(s.blame.cycles(0, Some(1)), 4); // 10..14
+        assert_eq!(s.blame.cycles(0, Some(2)), 6); // 14..20
+        assert_eq!(s.blame.row_cycles(0), 10);
+        assert_eq!(s.per_core[0].squash_cycles, 10);
+        assert_eq!(s.per_core[0].squashes, 2);
+        assert_eq!(s.per_core[0].squashed_uops, 3);
+    }
+
+    /// The hotspot table is capped: new lines beyond the capacity are
+    /// counted as dropped, never stored — bounded memory.
+    #[test]
+    fn hotspot_table_is_bounded() {
+        let mut f = Forensics::new(1);
+        for i in 0..(HOTSPOT_CAP as u64 + 50) {
+            f.record(ev(
+                0,
+                i * 10,
+                EventKind::Squash {
+                    from_rob: 1,
+                    uops: 1,
+                    cause: SquashKind::LoadLoad,
+                    by: None,
+                    line: Some(i * 64),
+                },
+            ));
+        }
+        assert_eq!(f.hotspots.len(), HOTSPOT_CAP);
+        assert_eq!(f.hotspot_dropped, 50);
+        let s = f.finish(1_000_000);
+        assert_eq!(s.hotspot_dropped, 50);
+        assert_eq!(s.hotspots.len(), HOTSPOT_CAP);
+    }
+
+    /// The episode ring keeps only the most recent completions.
+    #[test]
+    fn episode_ring_is_bounded() {
+        let mut f = Forensics::new(1);
+        for i in 0..(RING_CAP as u64 + 10) {
+            let t = i * 100;
+            f.record(ev(
+                0,
+                t,
+                EventKind::GateClose {
+                    rob: i,
+                    key: key(0),
+                },
+            ));
+            f.record(ev(
+                0,
+                t + 5,
+                EventKind::GateOpen {
+                    reason: GateOpenReason::SbEmpty,
+                },
+            ));
+        }
+        let s = f.finish(1_000_000);
+        assert_eq!(s.recent.len(), RING_CAP);
+        assert_eq!(s.per_core[0].episodes, RING_CAP as u64 + 10);
+        // Oldest episodes were dropped from the ring, not the totals.
+        assert_eq!(s.recent[0].closed_at, 1000);
+    }
+
+    /// The disabled-sink pattern from sa-trace: a `Forensics` behind an
+    /// `ENABLED = false` wrapper never sees events, so the simulator's
+    /// default `NullTracer` path owes nothing to this crate.
+    #[test]
+    fn disabled_wrapper_records_nothing() {
+        struct Disabled(Forensics);
+        impl Tracer for Disabled {
+            const ENABLED: bool = false;
+            fn record(&mut self, ev: TraceEvent) {
+                self.0.record(ev);
+            }
+        }
+        let mut d = Disabled(Forensics::new(1));
+        let mut evaluated = false;
+        d.emit(|| {
+            evaluated = true;
+            ev(
+                0,
+                1,
+                EventKind::GateClose {
+                    rob: 0,
+                    key: key(0),
+                },
+            )
+        });
+        assert!(!evaluated, "disabled hooks must not construct events");
+        let s = d.0.finish(10);
+        assert_eq!(s.episodes(), 0);
+    }
+}

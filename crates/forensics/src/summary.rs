@@ -1,0 +1,638 @@
+//! Aggregated forensics results and their exporters: registry metrics,
+//! folded-stack flamegraph, JSON snapshot, and the human-readable blame
+//! report.
+
+use crate::{GateEpisode, HIST_BUCKETS};
+use sa_metrics::{JsonWriter, Registry};
+use sa_trace::SquashKind;
+
+/// The cross-core blame matrix: row *i*, column *j* is what core *i*
+/// lost to squashes caused by core *j*; the extra `local` column
+/// collects evictions and mem-order misspeculations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlameMatrix {
+    n: usize,
+    cycles: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl BlameMatrix {
+    /// Number of cores (rows; columns are `n + 1` with `local` last).
+    pub fn n_cores(&self) -> usize {
+        self.n
+    }
+
+    fn col(&self, by: Option<usize>) -> usize {
+        by.map_or(self.n, |j| {
+            assert!(j < self.n, "blame column {j} out of range");
+            j
+        })
+    }
+
+    /// Cycles core `victim` lost to squashes caused by core `by`
+    /// (`None` = local causes).
+    pub fn cycles(&self, victim: usize, by: Option<usize>) -> u64 {
+        self.cycles[victim * (self.n + 1) + self.col(by)]
+    }
+
+    /// Squash count in the same cell.
+    pub fn counts(&self, victim: usize, by: Option<usize>) -> u64 {
+        self.counts[victim * (self.n + 1) + self.col(by)]
+    }
+
+    /// Total squash-refill cycles core `victim` lost (row sum).
+    pub fn row_cycles(&self, victim: usize) -> u64 {
+        let cols = self.n + 1;
+        self.cycles[victim * cols..(victim + 1) * cols].iter().sum()
+    }
+
+    /// Total squashes charged to core `victim` (row sum of counts).
+    pub fn row_counts(&self, victim: usize) -> u64 {
+        let cols = self.n + 1;
+        self.counts[victim * cols..(victim + 1) * cols].iter().sum()
+    }
+
+    /// Total cycles all cores lost to causes authored by `by`.
+    pub fn column_cycles(&self, by: Option<usize>) -> u64 {
+        let c = self.col(by);
+        (0..self.n).map(|i| self.cycles[i * (self.n + 1) + c]).sum()
+    }
+}
+
+/// Per-core roll-up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreSummary {
+    /// Completed gate episodes.
+    pub episodes: u64,
+    /// Summed episode durations — the core's gate-closed cycles.
+    pub gate_cycles: u64,
+    /// Squash events observed.
+    pub squashes: u64,
+    /// µops removed by those squashes.
+    pub squashed_uops: u64,
+    /// Refill cycles charged to those squashes.
+    pub squash_cycles: u64,
+}
+
+/// One row of the line hotspot table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hotspot {
+    /// Line base address.
+    pub line: u64,
+    /// Squashes triggered on this line.
+    pub squashes: u64,
+    /// µops those squashes removed.
+    pub uops: u64,
+    /// Refill cycles they cost.
+    pub cycles: u64,
+    /// How many were authored by a remote invalidation.
+    pub invalidations: u64,
+    /// How many by a local capacity eviction.
+    pub evictions: u64,
+}
+
+/// One folded cause chain for the squash flamegraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedChain {
+    /// Victim core.
+    pub victim: u8,
+    /// Squash cause.
+    pub cause: SquashKind,
+    /// Blaming core (`None` = local).
+    pub by: Option<u8>,
+    /// Triggering line, when known.
+    pub line: Option<u64>,
+    /// Refill cycles on this chain.
+    pub cycles: u64,
+}
+
+/// The aggregates of one analyzed run. Built by
+/// [`crate::Forensics::finish`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Per-core roll-ups, indexed by core id.
+    pub per_core: Vec<CoreSummary>,
+    /// The cross-core blame matrix.
+    pub blame: BlameMatrix,
+    /// Line hotspots, sorted by refill cycles (then squashes) descending.
+    pub hotspots: Vec<Hotspot>,
+    /// Squashes on lines that no longer fit the capped hotspot table.
+    pub hotspot_dropped: u64,
+    /// Folded cause chains, sorted by cycles descending.
+    pub folded: Vec<FoldedChain>,
+    /// Chains beyond the folded-table cap.
+    pub folded_dropped: u64,
+    /// Episode-duration distribution (log₂ buckets).
+    pub episode_len_hist: [u64; HIST_BUCKETS],
+    /// Refill-window-length distribution (log₂ buckets).
+    pub squash_cost_hist: [u64; HIST_BUCKETS],
+    /// Ring of the most recent completed episodes, oldest first.
+    pub recent: Vec<GateEpisode>,
+    /// Episodes force-drained because the run ended while closed.
+    pub open_at_end: u64,
+    /// Last cycle the analyzer saw.
+    pub last_cycle: u64,
+}
+
+pub(crate) fn build(f: crate::Forensics) -> Summary {
+    let per_core: Vec<CoreSummary> = f
+        .cores
+        .iter()
+        .map(|c| CoreSummary {
+            episodes: c.episodes,
+            gate_cycles: c.gate_cycles,
+            squashes: c.squashes,
+            squashed_uops: c.squashed_uops,
+            squash_cycles: c.squash_cycles,
+        })
+        .collect();
+    let mut hotspots: Vec<Hotspot> = f
+        .hotspots
+        .iter()
+        .map(|(line, s)| Hotspot {
+            line: *line,
+            squashes: s.squashes,
+            uops: s.uops,
+            cycles: s.cycles,
+            invalidations: s.invalidations,
+            evictions: s.evictions,
+        })
+        .collect();
+    hotspots.sort_by(|a, b| (b.cycles, b.squashes, a.line).cmp(&(a.cycles, a.squashes, b.line)));
+    let mut folded: Vec<FoldedChain> = f
+        .folded
+        .iter()
+        .map(|((victim, cause, by, line), cycles)| FoldedChain {
+            victim: *victim,
+            cause: *cause,
+            by: *by,
+            line: *line,
+            cycles: *cycles,
+        })
+        .collect();
+    folded.sort_by(|a, b| (b.cycles, a.victim, a.line).cmp(&(a.cycles, b.victim, b.line)));
+    Summary {
+        per_core,
+        blame: BlameMatrix {
+            n: f.cores.len(),
+            cycles: f.blame_cycles,
+            counts: f.blame_counts,
+        },
+        hotspots,
+        hotspot_dropped: f.hotspot_dropped,
+        folded,
+        folded_dropped: f.folded_dropped,
+        episode_len_hist: f.episode_len_hist,
+        squash_cost_hist: f.squash_cost_hist,
+        recent: f.recent.into_iter().collect(),
+        open_at_end: f.end_of_run,
+        last_cycle: f.last_cycle,
+    }
+}
+
+fn blame_label(by: Option<u8>) -> String {
+    by.map_or_else(|| "local".to_string(), |c| format!("core{c}"))
+}
+
+impl Summary {
+    /// Total completed episodes across cores.
+    pub fn episodes(&self) -> u64 {
+        self.per_core.iter().map(|c| c.episodes).sum()
+    }
+
+    /// Total gate-closed cycles across cores (summed episode durations).
+    pub fn gate_cycles(&self) -> u64 {
+        self.per_core.iter().map(|c| c.gate_cycles).sum()
+    }
+
+    /// Total squashes across cores.
+    pub fn squashes(&self) -> u64 {
+        self.per_core.iter().map(|c| c.squashes).sum()
+    }
+
+    /// Total squashed µops across cores.
+    pub fn squashed_uops(&self) -> u64 {
+        self.per_core.iter().map(|c| c.squashed_uops).sum()
+    }
+
+    /// Total squash-refill cycles across cores.
+    pub fn squash_cycles(&self) -> u64 {
+        self.per_core.iter().map(|c| c.squash_cycles).sum()
+    }
+
+    /// Flattens the summary into a registry as the `sa_forensics_*`
+    /// family (zero blame cells are skipped to keep scrapes small).
+    pub fn register(&self, reg: &mut Registry) {
+        for (i, c) in self.per_core.iter().enumerate() {
+            let core = format!("{i}");
+            let l = [("core", core.as_str())];
+            reg.counter(
+                "sa_forensics_episodes_total",
+                "completed gate episodes",
+                &l,
+                c.episodes,
+            );
+            reg.counter(
+                "sa_forensics_gate_cycles_total",
+                "summed gate-episode durations in cycles",
+                &l,
+                c.gate_cycles,
+            );
+            reg.counter(
+                "sa_forensics_squashes_total",
+                "squash events observed by the analyzer",
+                &l,
+                c.squashes,
+            );
+            reg.counter(
+                "sa_forensics_squashed_uops_total",
+                "uops removed by squashes",
+                &l,
+                c.squashed_uops,
+            );
+            reg.counter(
+                "sa_forensics_squash_cycles_total",
+                "refill cycles charged to squashes",
+                &l,
+                c.squash_cycles,
+            );
+        }
+        let n = self.blame.n_cores();
+        for victim in 0..n {
+            for by in (0..n).map(Some).chain([None]) {
+                let cycles = self.blame.cycles(victim, by);
+                let counts = self.blame.counts(victim, by);
+                if cycles == 0 && counts == 0 {
+                    continue;
+                }
+                let v = format!("{victim}");
+                let b = blame_label(by.map(|j| j as u8));
+                let l = [("victim", v.as_str()), ("by", b.as_str())];
+                reg.counter(
+                    "sa_forensics_blame_cycles_total",
+                    "cycles victim lost to squashes caused by `by`",
+                    &l,
+                    cycles,
+                );
+                reg.counter(
+                    "sa_forensics_blame_squashes_total",
+                    "squashes of victim caused by `by`",
+                    &l,
+                    counts,
+                );
+            }
+        }
+        for h in self.hotspots.iter().take(10) {
+            let line = format!("{:#x}", h.line);
+            let l = [("line", line.as_str())];
+            reg.counter(
+                "sa_forensics_hotspot_squash_cycles_total",
+                "refill cycles triggered on this line (top-10)",
+                &l,
+                h.cycles,
+            );
+            reg.counter(
+                "sa_forensics_hotspot_squashes_total",
+                "squashes triggered on this line (top-10)",
+                &l,
+                h.squashes,
+            );
+        }
+        reg.counter(
+            "sa_forensics_hotspot_dropped_total",
+            "squashes on lines beyond the hotspot-table cap",
+            &[],
+            self.hotspot_dropped,
+        );
+        reg.gauge(
+            "sa_forensics_open_at_end",
+            "episodes still open when the run ended",
+            &[],
+            self.open_at_end as f64,
+        );
+    }
+
+    /// Renders the folded-stack squash flamegraph:
+    /// `victim;cause;by;line cycles` per line, collapsible with standard
+    /// flamegraph tooling (`flamegraph.pl --countname=cycles`).
+    pub fn flamegraph(&self) -> String {
+        let mut out = String::new();
+        for c in &self.folded {
+            let line = c
+                .line
+                .map_or_else(|| "?".to_string(), |l| format!("{l:#x}"));
+            out.push_str(&format!(
+                "core{};{};{};{} {}\n",
+                c.victim,
+                c.cause.label(),
+                blame_label(c.by),
+                line,
+                c.cycles
+            ));
+        }
+        out
+    }
+
+    /// Writes the summary as one JSON object value (the caller supplies
+    /// the surrounding context, e.g. `j.key("forensics")`).
+    pub fn write_json(&self, j: &mut JsonWriter) {
+        j.begin_object()
+            .field_uint("episodes", self.episodes())
+            .field_uint("gate_cycles", self.gate_cycles())
+            .field_uint("squashes", self.squashes())
+            .field_uint("squashed_uops", self.squashed_uops())
+            .field_uint("squash_cycles", self.squash_cycles())
+            .field_uint("open_at_end", self.open_at_end)
+            .field_uint("last_cycle", self.last_cycle);
+        j.key("per_core").begin_array();
+        for c in &self.per_core {
+            j.begin_object()
+                .field_uint("episodes", c.episodes)
+                .field_uint("gate_cycles", c.gate_cycles)
+                .field_uint("squashes", c.squashes)
+                .field_uint("squashed_uops", c.squashed_uops)
+                .field_uint("squash_cycles", c.squash_cycles)
+                .end_object();
+        }
+        j.end_array();
+        let n = self.blame.n_cores();
+        j.key("blame_cycles").begin_array();
+        for victim in 0..n {
+            j.begin_array();
+            for by in (0..n).map(Some).chain([None]) {
+                j.uint(self.blame.cycles(victim, by));
+            }
+            j.end_array();
+        }
+        j.end_array();
+        j.key("blame_squashes").begin_array();
+        for victim in 0..n {
+            j.begin_array();
+            for by in (0..n).map(Some).chain([None]) {
+                j.uint(self.blame.counts(victim, by));
+            }
+            j.end_array();
+        }
+        j.end_array();
+        j.key("hotspots").begin_array();
+        for h in self.hotspots.iter().take(20) {
+            j.begin_object()
+                .field_str("line", &format!("{:#x}", h.line))
+                .field_uint("squashes", h.squashes)
+                .field_uint("uops", h.uops)
+                .field_uint("cycles", h.cycles)
+                .field_uint("invalidations", h.invalidations)
+                .field_uint("evictions", h.evictions)
+                .end_object();
+        }
+        j.end_array()
+            .field_uint("hotspot_dropped", self.hotspot_dropped);
+        j.key("episode_len_hist").begin_array();
+        for &v in trim(&self.episode_len_hist) {
+            j.uint(v);
+        }
+        j.end_array();
+        j.key("squash_cost_hist").begin_array();
+        for &v in trim(&self.squash_cost_hist) {
+            j.uint(v);
+        }
+        j.end_array();
+        j.key("recent_episodes").begin_array();
+        for e in &self.recent {
+            j.begin_object()
+                .field_uint("core", e.core as u64)
+                .field_str("key", &e.key.to_string())
+                .field_str(
+                    "store_addr",
+                    &e.store_addr
+                        .map_or_else(|| "?".to_string(), |a| format!("{a:#x}")),
+                )
+                .field_uint("closed_at", e.closed_at)
+                .field_uint("opened_at", e.opened_at)
+                .field_uint("duration", e.duration())
+                .field_str("end", e.end.label())
+                .field_uint("squashes", e.squashes)
+                .field_uint("squashed_uops", e.squashed_uops)
+                .field_uint("squash_cycles", e.squash_cycles)
+                .field_str("blamed", &blame_label(e.first_blame))
+                .field_str(
+                    "blame_line",
+                    &e.first_blame_line
+                        .map_or_else(|| "?".to_string(), |a| format!("{a:#x}")),
+                )
+                .end_object();
+        }
+        j.end_array().end_object();
+    }
+
+    /// A standalone JSON snapshot (the `/forensics` endpoint body).
+    pub fn json(&self) -> String {
+        let mut j = JsonWriter::new();
+        j.begin_object().field_str("schema", "sa-forensics-v1");
+        j.key("summary");
+        self.write_json(&mut j);
+        j.end_object();
+        j.finish()
+    }
+
+    /// The human-readable blame report.
+    pub fn blame_report(&self, title: &str) -> String {
+        let n = self.blame.n_cores();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "speculation forensics — {title} ({} cores, {} cycles analyzed)\n",
+            n, self.last_cycle
+        ));
+        out.push_str(&format!(
+            "episodes: {} ({} drained at end of run), gate-closed cycles: {}\n",
+            self.episodes(),
+            self.open_at_end,
+            self.gate_cycles()
+        ));
+        out.push_str(&format!(
+            "squashes: {} ({} uops, {} refill cycles)\n",
+            self.squashes(),
+            self.squashed_uops(),
+            self.squash_cycles()
+        ));
+        if self.squashes() > 0 {
+            out.push_str(
+                "\ncross-core blame matrix (cycles core i lost to squashes caused by j):\n",
+            );
+            out.push_str("  victim \\ by |");
+            for j in 0..n {
+                out.push_str(&format!(" {:>8}", format!("core{j}")));
+            }
+            out.push_str(&format!(" {:>8}\n", "local"));
+            for victim in 0..n {
+                out.push_str(&format!("  {:<11} |", format!("core{victim}")));
+                for by in (0..n).map(Some).chain([None]) {
+                    out.push_str(&format!(" {:>8}", self.blame.cycles(victim, by)));
+                }
+                out.push('\n');
+            }
+        }
+        if !self.hotspots.is_empty() {
+            out.push_str("\ntop squash lines:\n");
+            for h in self.hotspots.iter().take(10) {
+                out.push_str(&format!(
+                    "  {:#8x}: {} squashes ({} uops, {} cycles) — {} invalidation(s), {} eviction(s)\n",
+                    h.line, h.squashes, h.uops, h.cycles, h.invalidations, h.evictions
+                ));
+            }
+            if self.hotspot_dropped > 0 {
+                out.push_str(&format!(
+                    "  (+{} squashes on lines beyond the {}-line table cap)\n",
+                    self.hotspot_dropped,
+                    crate::HOTSPOT_CAP
+                ));
+            }
+        }
+        if !self.recent.is_empty() {
+            out.push_str(&format!(
+                "\nrecent episodes (last {}):\n",
+                self.recent.len()
+            ));
+            for e in &self.recent {
+                let store = e
+                    .store_addr
+                    .map_or_else(|| "?".to_string(), |a| format!("{a:#x}"));
+                let mut line = format!(
+                    "  core{} {} store@{} closed@{} reopened@{} ({}) dur {}",
+                    e.core,
+                    e.key,
+                    store,
+                    e.closed_at,
+                    e.opened_at,
+                    e.end.label(),
+                    e.duration()
+                );
+                if e.squashes > 0 {
+                    let bl = e
+                        .first_blame_line
+                        .map_or_else(|| "?".to_string(), |a| format!("{a:#x}"));
+                    line.push_str(&format!(
+                        " — {} squash(es), {} uops, {} cycles, blamed {} line {}",
+                        e.squashes,
+                        e.squashed_uops,
+                        e.squash_cycles,
+                        blame_label(e.first_blame),
+                        bl
+                    ));
+                }
+                line.push('\n');
+                out.push_str(&line);
+            }
+        }
+        out
+    }
+}
+
+/// Trims trailing zero buckets (export helper).
+fn trim(h: &[u64]) -> &[u64] {
+    let last = h.iter().rposition(|&v| v != 0).map_or(0, |i| i + 1);
+    &h[..last]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Forensics;
+    use sa_isa::CoreId;
+    use sa_trace::{EventKind, GateKey, GateOpenReason, TraceEvent, Tracer, UopKind};
+
+    fn sample_summary() -> Summary {
+        let mut f = Forensics::new(2);
+        let key = GateKey {
+            slot: 0,
+            sorting: false,
+        };
+        let mut rec = |core: u8, cycle: u64, kind: EventKind| {
+            f.record(TraceEvent {
+                cycle,
+                core: CoreId(core),
+                kind,
+            })
+        };
+        rec(
+            0,
+            10,
+            EventKind::SbEnter {
+                rob: 1,
+                key,
+                addr: 0x40,
+            },
+        );
+        rec(0, 12, EventKind::GateClose { rob: 2, key });
+        rec(
+            0,
+            15,
+            EventKind::Squash {
+                from_rob: 3,
+                uops: 4,
+                cause: sa_trace::SquashKind::StoreAtomicity,
+                by: Some(1),
+                line: Some(0x80),
+            },
+        );
+        rec(
+            0,
+            20,
+            EventKind::Retire {
+                rob: 3,
+                uop: UopKind::Load,
+            },
+        );
+        rec(
+            0,
+            25,
+            EventKind::GateOpen {
+                reason: GateOpenReason::KeyMatch(key),
+            },
+        );
+        f.finish(30)
+    }
+
+    #[test]
+    fn json_snapshot_is_wellformed_and_complete() {
+        let s = sample_summary();
+        let body = s.json();
+        assert!(body.contains("\"schema\":\"sa-forensics-v1\""));
+        assert!(body.contains("\"blame_cycles\":[[0,5,0],[0,0,0]]"));
+        assert!(body.contains("\"hotspots\""));
+        assert!(body.contains("\"key\":\"k0.0\""));
+        assert!(body.contains("\"end\":\"key-match\""));
+    }
+
+    #[test]
+    fn registry_rows_and_flamegraph() {
+        let s = sample_summary();
+        let mut reg = Registry::new();
+        s.register(&mut reg);
+        let text = reg.prometheus_text();
+        assert!(text.contains("sa_forensics_episodes_total{core=\"0\"} 1"));
+        assert!(text.contains("sa_forensics_blame_cycles_total{victim=\"0\",by=\"core1\"} 5"));
+        // Zero cells are skipped.
+        assert!(!text.contains("by=\"local\""));
+        let fg = s.flamegraph();
+        assert_eq!(fg, "core0;store-atomicity;core1;0x80 5\n");
+    }
+
+    #[test]
+    fn blame_report_tells_the_story() {
+        let s = sample_summary();
+        let r = s.blame_report("test-run");
+        assert!(r.contains("cross-core blame matrix"));
+        assert!(r.contains("blamed core1 line 0x80"));
+        assert!(r.contains("(key-match)"));
+    }
+
+    #[test]
+    fn hist_trim_drops_trailing_zeros() {
+        let mut h = [0u64; HIST_BUCKETS];
+        h[0] = 2;
+        h[3] = 1;
+        assert_eq!(trim(&h), &[2, 0, 0, 1]);
+        assert_eq!(trim(&[0u64; HIST_BUCKETS]), &[] as &[u64]);
+    }
+}

@@ -35,12 +35,14 @@
 
 pub mod cpi;
 pub mod json;
+pub mod jsonval;
 pub mod occupancy;
 pub mod registry;
 pub mod sample;
 
 pub use cpi::{CpiCategory, CpiStack, CPI_CATEGORIES};
 pub use json::JsonWriter;
+pub use jsonval::JsonValue;
 pub use occupancy::OccupancyHists;
 pub use registry::Registry;
 pub use sample::{samples_csv, Sample, SampleInput, Sampler};

@@ -395,13 +395,13 @@ impl Core {
                         }
                     }
                 }
-                NoticeKind::Invalidated { line } => {
+                NoticeKind::Invalidated { line, by } => {
                     tracer.emit(|| TraceEvent {
                         cycle: now,
                         core: cid,
                         kind: EventKind::Invalidation { line: line.base() },
                     });
-                    self.snoop_lq(line, now, tracer);
+                    self.snoop_lq(line, Some(by), now, tracer);
                 }
                 NoticeKind::Evicted { line } => {
                     tracer.emit(|| TraceEvent {
@@ -409,7 +409,9 @@ impl Core {
                         core: cid,
                         kind: EventKind::Eviction { line: line.base() },
                     });
-                    self.snoop_lq(line, now, tracer);
+                    // Capacity eviction: a local cause, no remote core to
+                    // blame.
+                    self.snoop_lq(line, None, now, tracer);
                 }
                 // Losing write permission needs no core-side action: the
                 // store-drain path re-checks `has_ownership` every attempt.
@@ -464,7 +466,7 @@ impl Core {
     /// Invalidation/eviction snoop of the load queue — the detection
     /// mechanism of §IV. Finds the oldest *speculative* performed load on
     /// `line` and squashes from it.
-    fn snoop_lq<T: Tracer>(&mut self, line: Line, now: Cycle, tracer: &mut T) {
+    fn snoop_lq<T: Tracer>(&mut self, line: Line, by: Option<CoreId>, now: Cycle, tracer: &mut T) {
         let mut victim: Option<(RobId, SquashCause)> = None;
         for e in self.lq.iter() {
             if e.line != line || e.state != LoadState::Performed {
@@ -515,7 +517,7 @@ impl Core {
             }
         }
         if let Some((rob_id, cause)) = victim {
-            self.squash_from(rob_id, cause, now, tracer);
+            self.squash_from(rob_id, cause, by, Some(line), now, tracer);
         }
         // A load whose memory access is still in flight on this line
         // would complete as a stale hit: the line left the cache after
@@ -1201,7 +1203,7 @@ impl Core {
         }
         if let Some((rob_id, load_pc)) = victim {
             self.ss.train_violation(store_pc, load_pc);
-            self.squash_from(rob_id, SquashCause::MemOrder, now, tracer);
+            self.squash_from(rob_id, SquashCause::MemOrder, None, None, now, tracer);
         }
     }
 
@@ -1593,6 +1595,8 @@ impl Core {
         &mut self,
         from: RobId,
         cause: SquashCause,
+        by: Option<CoreId>,
+        line: Option<Line>,
         now: Cycle,
         tracer: &mut T,
     ) {
@@ -1613,6 +1617,8 @@ impl Core {
                 from_rob: from.0,
                 uops: n_removed,
                 cause: tcause(cause),
+                by: by.map(|c| c.0),
+                line: line.map(|l| l.base()),
             },
         });
         self.fetch_idx = removed[0].trace_idx;

@@ -2,7 +2,7 @@
 //! tests.
 
 use sa_coherence::{MemReqId, Notice, NoticeKind};
-use sa_isa::{Addr, Cycle, Line};
+use sa_isa::{Addr, CoreId, Cycle, Line};
 
 /// What one core sees of the memory hierarchy.
 ///
@@ -57,7 +57,12 @@ impl SimpleMem {
         self.owned.remove(&line);
         self.pending.push(Notice {
             at,
-            kind: NoticeKind::Invalidated { line },
+            kind: NoticeKind::Invalidated {
+                line,
+                // Test port: a single fixed remote writer stands in for
+                // whichever core's GetM would have caused this.
+                by: CoreId(1),
+            },
         });
     }
 

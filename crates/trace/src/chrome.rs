@@ -194,11 +194,18 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                 from_rob,
                 uops,
                 cause,
+                by,
+                line,
             } => {
+                let blame = match (by, line) {
+                    (Some(c), Some(l)) => format!(",\"by\":\"core{c}\",\"line\":{l}"),
+                    (None, Some(l)) => format!(",\"by\":\"local\",\"line\":{l}"),
+                    _ => String::new(),
+                };
                 json.push(format!(
                     "{{\"ph\":\"i\",\"name\":\"squash {}\",\"cat\":\"squash\",\"s\":\"t\",\
                      \"pid\":{pid},\"tid\":{TID_PIPE},\"ts\":{ts},\
-                     \"args\":{{\"from_rob\":{from_rob},\"uops\":{uops}}}}}",
+                     \"args\":{{\"from_rob\":{from_rob},\"uops\":{uops}{blame}}}}}",
                     cause.label()
                 ));
                 let squashed: Vec<(u8, u64)> = open_uops
@@ -431,6 +438,8 @@ mod tests {
                     from_rob: 2,
                     uops: 1,
                     cause: SquashKind::MemOrder,
+                    by: None,
+                    line: None,
                 },
             ),
             ev(

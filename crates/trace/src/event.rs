@@ -58,7 +58,7 @@ impl UopKind {
 }
 
 /// Why a squash happened (mirror of `sa-ooo`'s cause taxonomy).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SquashKind {
     /// Memory-dependence misspeculation (store address resolved under a
     /// younger performed load).
@@ -162,6 +162,13 @@ pub enum EventKind {
         uops: u64,
         /// Cause.
         cause: SquashKind,
+        /// The remote core blamed for the squash: the requester behind the
+        /// invalidation that snooped the victim load. `None` for local
+        /// causes (capacity eviction, mem-order misspeculation).
+        by: Option<u8>,
+        /// Line base address of the triggering invalidation/eviction, or
+        /// the victim load's line for mem-order squashes when known.
+        line: Option<Addr>,
     },
     /// The ROB head stalled against a closed retire gate (first cycle of
     /// an episode only).

@@ -312,6 +312,8 @@ mod tests {
                     from_rob: 6,
                     uops: 1,
                     cause: SquashKind::LoadLoad,
+                    by: None,
+                    line: None,
                 },
             ),
         ];

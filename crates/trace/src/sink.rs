@@ -267,6 +267,8 @@ mod tests {
                 from_rob: 3,
                 uops: 7,
                 cause: SquashKind::MemOrder,
+                by: None,
+                line: None,
             },
         ));
         assert_eq!(t.rob_histogram()[2], 2);
