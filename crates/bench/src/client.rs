@@ -1,0 +1,108 @@
+//! A minimal blocking HTTP client for sa-serve — enough for the e2e
+//! tests, the CI smoke job and shell scripting against a local service.
+//! One request per connection (the server replies `Connection: close`),
+//! plain `std::net`, no dependencies.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use sa_metrics::JsonValue;
+
+/// A client bound to one local sa-serve instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeClient {
+    port: u16,
+}
+
+impl ServeClient {
+    /// A client for the service on `127.0.0.1:port`.
+    pub fn new(port: u16) -> ServeClient {
+        ServeClient { port }
+    }
+
+    /// Sends one request; returns `(status code, body)`.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        let mut s = TcpStream::connect(("127.0.0.1", self.port))?;
+        s.set_read_timeout(Some(Duration::from_secs(30)))?;
+        s.set_write_timeout(Some(Duration::from_secs(30)))?;
+        write!(
+            s,
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        let mut resp = String::new();
+        s.read_to_string(&mut resp)?;
+        let (head, body) = resp.split_once("\r\n\r\n").ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+        })?;
+        let status = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse::<u16>().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        Ok((status, body.to_string()))
+    }
+
+    /// `GET path`.
+    pub fn get(&self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    /// `POST path` with a body.
+    pub fn post(&self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    /// Submits a job spec. `Ok(Ok(id))` on 202, `Ok(Err((status, body)))`
+    /// on any rejection (e.g. 429 backpressure).
+    #[allow(clippy::type_complexity)]
+    pub fn submit(&self, spec: &str) -> std::io::Result<Result<u64, (u16, String)>> {
+        let (status, body) = self.post("/jobs", spec)?;
+        if status != 202 {
+            return Ok(Err((status, body)));
+        }
+        let id = JsonValue::parse(&body)
+            .ok()
+            .and_then(|v| v.get("id").and_then(|i| i.as_u64()))
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "202 reply without an id")
+            })?;
+        Ok(Ok(id))
+    }
+
+    /// Polls `/jobs/<id>` until the job is terminal (`done`/`failed`) or
+    /// `timeout` elapses; returns the final parsed status document.
+    pub fn poll(&self, id: u64, timeout: Duration) -> std::io::Result<JsonValue> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let (status, body) = self.get(&format!("/jobs/{id}"))?;
+            if status != 200 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("poll {id}: HTTP {status}: {body}"),
+                ));
+            }
+            let v = JsonValue::parse(&body).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("poll {id}: {e}"))
+            })?;
+            match v.get("status").and_then(|s| s.as_str()) {
+                Some("done") | Some("failed") => return Ok(v),
+                _ if Instant::now() >= deadline => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("job {id} not terminal after {timeout:?}"),
+                    ))
+                }
+                _ => std::thread::sleep(Duration::from_millis(15)),
+            }
+        }
+    }
+
+    /// Requests a drain-and-exit; returns the server's reply.
+    pub fn shutdown(&self) -> std::io::Result<(u16, String)> {
+        self.post("/shutdown", "")
+    }
+}

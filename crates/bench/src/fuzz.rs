@@ -18,11 +18,9 @@
 //! the remote stores inside the window the bug opens.
 
 use sa_isa::rng::{SplitMix64, Xoshiro256};
-use sa_isa::{ConsistencyModel, CoreId, Reg};
-use sa_litmus::ast::{LOp, X, Y, Z};
-use sa_litmus::{generate_corpus, shrink, suite, GenConfig, LitmusTest, Oracle, Outcome};
+use sa_isa::ConsistencyModel;
+use sa_litmus::{generate_corpus, shrink, suite, GenConfig, LitmusTest, Oracle};
 use sa_ooo::InjectedBug;
-use sa_sim::{Multicore, SimConfig};
 
 use crate::parallel_map;
 
@@ -85,108 +83,18 @@ pub struct FuzzReport {
     pub violations: Vec<Violation>,
 }
 
-/// The engineered n6-window probes (§III-A shape). The leading loads
-/// warm y into thread 0 and x into thread 1's cache, so thread 0's
-/// `st x` drains slowly (ownership fetch) while thread 1's stores drain
-/// fast — the timing that makes a broken retire gate observable.
-/// `probe_gate_key` keeps a run of older stores (`st z`) ahead of the
-/// forwarded one — the case the `gate-key` bug mis-unlocks on. `z` is
-/// private to thread 0, so the first filler commits at L1 latency right
-/// after the forwarded load closes the gate, and the buggy machine
-/// force-opens on it; the remaining fillers serialize through the SB at
-/// `sb_commit_cycles` apiece, holding `st x` back long enough that
-/// thread 1's `st x` wins the coherence race (final `x=1` is the
-/// witness). A thread-1 skew then lands the remote `y` commit after
-/// thread 0's re-executed `ld y`, which retires a stale 0 through the
-/// wrongly open gate.
-pub fn probes() -> Vec<LitmusTest> {
-    use LOp::{Ld, St};
-    let mut gate_key_t0 = vec![Ld(Y)];
-    gate_key_t0.extend(std::iter::repeat_n(St(Z, 1), 10));
-    gate_key_t0.extend([St(X, 1), Ld(X), Ld(Y)]);
-    vec![
-        LitmusTest::new(
-            "probe_gate_key",
-            vec![gate_key_t0, vec![Ld(X), St(Y, 2), St(X, 2)]],
-        ),
-        LitmusTest::new(
-            "probe_gate",
-            vec![
-                vec![Ld(Y), St(X, 1), Ld(X), Ld(Y)],
-                vec![Ld(X), St(Y, 2), St(X, 2)],
-            ],
-        ),
-    ]
-}
+/// The engineered n6-window probes seeded into every corpus. Moved to
+/// [`sa_litmus::suite::probes`] so the sa-serve farm can seed the same
+/// programs without depending on this crate; re-exported here for the
+/// existing callers.
+pub use sa_litmus::suite::probes;
 
-/// Runs `test` on the cycle-level simulator and extracts its outcome in
-/// the oracle's format (one register per load in program order, plus
-/// final memory).
-pub fn run_on_sim(
-    test: &LitmusTest,
-    model: ConsistencyModel,
-    pads: &[usize],
-    bug: Option<InjectedBug>,
-) -> Outcome {
-    let traces = test.to_traces_padded(pads);
-    let cfg = SimConfig::builder()
-        .model(model)
-        .cores(traces.len())
-        .injected_bug(bug)
-        .build()
-        .expect("fuzz sim config is valid");
-    let mut sim = Multicore::new(cfg, traces);
-    sim.run(5_000_000)
-        .unwrap_or_else(|e| panic!("{} under {model}: {e}", test.name));
-    // RMWs desugar to an extra load slot in both the lowering and the
-    // explorer, so slot counts come from the desugared form.
-    let desugared = test.desugared();
-    let regs = (0..test.threads.len())
-        .map(|t| {
-            (0..desugared.loads_in(t))
-                .map(|slot| sim.core(CoreId(t as u8)).arch_reg(Reg::new(slot as u8)))
-                .collect()
-        })
-        .collect();
-    let mem = test
-        .vars()
-        .into_iter()
-        .map(|v| (v, sim.memory().read(LitmusTest::var_addr(v), 8)))
-        .collect();
-    Outcome { regs, mem }
-}
-
-/// The skew patterns a program is swept over. Every program gets the
-/// aligned start plus single-thread skews; probe programs additionally
-/// sweep every thread across the §III-A window (the 150–280 range
-/// `tests/window_of_vulnerability.rs` established — at retire width 5,
-/// a pad of `p` shifts a thread ~`p/5` cycles against the common
-/// cold-miss alignment point), plus two random patterns from the
-/// per-program stream.
-fn pad_patterns(test: &LitmusTest, rng: &mut Xoshiro256) -> Vec<Vec<usize>> {
-    let n = test.threads.len();
-    let mut pats = vec![vec![0; n]];
-    for skew in [60usize, 180, 260] {
-        for t in 0..n {
-            let mut p = vec![0; n];
-            p[t] = skew;
-            pats.push(p);
-        }
-    }
-    if test.name.starts_with("probe") {
-        for t in 0..n {
-            for pad in (140..=300).step_by(10) {
-                let mut p = vec![0; n];
-                p[t] = pad;
-                pats.push(p);
-            }
-        }
-    }
-    for _ in 0..2 {
-        pats.push((0..n).map(|_| rng.gen_range_usize(0, 301)).collect());
-    }
-    pats
-}
+/// Cycle-level litmus execution and the pad-pattern sweep. Moved to
+/// [`sa_serve::sim`] so the service's workers share the exact harness
+/// the fuzzer uses; re-exported here for the existing callers. Note
+/// `pad_patterns` now takes the probe-sweep decision as an argument
+/// instead of reading `test.name`.
+pub use sa_serve::sim::{pad_patterns, run_on_sim};
 
 /// Fuzzes one program: every configuration × every pad pattern, with
 /// outcomes checked against the (memoized) oracle. Violations come back
@@ -194,7 +102,7 @@ fn pad_patterns(test: &LitmusTest, rng: &mut Xoshiro256) -> Vec<Vec<usize>> {
 fn fuzz_program(test: &LitmusTest, pad_seed: u64, bug: Option<InjectedBug>) -> FuzzReport {
     let mut oracle = Oracle::new();
     let mut rng = Xoshiro256::seed_from_u64(pad_seed);
-    let pats = pad_patterns(test, &mut rng);
+    let pats = pad_patterns(test, test.name.starts_with("probe"), &mut rng);
     let mut report = FuzzReport {
         corpus: 1,
         ..FuzzReport::default()

@@ -19,6 +19,7 @@
 //! patience allows; shapes stabilize well before 100k).
 
 pub mod cli;
+pub mod client;
 pub mod fuzz;
 pub mod harness;
 pub mod serve;

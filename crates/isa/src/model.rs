@@ -84,6 +84,14 @@ impl ConsistencyModel {
             ConsistencyModel::Ibm370SlfSosKey => "370-SLFSoS-key",
         }
     }
+
+    /// The inverse of [`ConsistencyModel::label`] — how external inputs
+    /// (CLI flags, HTTP job specs) name a configuration.
+    pub fn from_label(label: &str) -> Option<ConsistencyModel> {
+        ConsistencyModel::ALL
+            .into_iter()
+            .find(|m| m.label() == label)
+    }
 }
 
 impl std::fmt::Display for ConsistencyModel {
@@ -121,6 +129,14 @@ mod tests {
         assert!(ConsistencyModel::Ibm370SlfSosKey.uses_retire_gate());
         assert!(ConsistencyModel::Ibm370SlfSosKey.uses_key());
         assert!(!ConsistencyModel::Ibm370SlfSos.uses_key());
+    }
+
+    #[test]
+    fn from_label_round_trips() {
+        for m in ConsistencyModel::ALL {
+            assert_eq!(ConsistencyModel::from_label(m.label()), Some(m));
+        }
+        assert_eq!(ConsistencyModel::from_label("370"), None);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Canonical program forms for memoizing oracle and simulation results.
+//!
+//! Two byte-different litmus programs are often the *same* test: variable
+//! names permuted, stored values relabeled, RMWs written as their fenced
+//! expansion. The explorer's semantics are value-blind (no operation
+//! branches on data) and variables map to disjoint cache lines, so any
+//! per-variable injective relabeling of nonzero stored values and any
+//! renaming of variables yields an isomorphic program — its outcome set
+//! is the original's mapped element-wise through the relabeling.
+//!
+//! [`canonicalize`] computes the canonical representative of that
+//! isomorphism class deterministically: desugar RMWs, rename variables in
+//! first-appearance order (thread-major), and relabel each variable's
+//! distinct nonzero stored values to `1, 2, …` in first-appearance order.
+//! Zero is pinned (it is the initial memory value, and relabeling across
+//! it would change "reads the initial value" relations). The canonical
+//! thread list is the cache key; the retained maps invert cached
+//! (canonical-space) outcomes back into the submitter's vocabulary, so a
+//! service can answer a renamed duplicate from cache and still reply in
+//! the caller's names and values.
+//!
+//! Thread *order* is deliberately not canonicalized: outcomes name
+//! threads positionally, and reordering would change what the caller's
+//! condition refers to.
+
+use crate::ast::{LOp, LitmusTest, Var};
+use crate::outcome::{Outcome, OutcomeSet};
+
+/// The canonical form of a program plus the inverse maps needed to
+/// translate canonical-space outcomes back to the original program's
+/// variables and values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canonical {
+    /// Canonical thread programs — the memoization key. Desugared (no
+    /// RMWs), variables renamed to `x, y, z, v3, …` in first-appearance
+    /// order, stored values relabeled per variable.
+    pub key: Vec<Vec<LOp>>,
+    /// `var_back[c]`: the original variable canonical `Var(c)` stands for.
+    var_back: Vec<Var>,
+    /// `val_back[c][k-1]`: the original value canonical value `k` of
+    /// canonical variable `c` stands for (canonical values are 1-based;
+    /// 0 maps to 0).
+    val_back: Vec<Vec<u64>>,
+    /// `slot_var[t][i]`: canonical variable read by load slot `i` of
+    /// thread `t` (desugared slot numbering, which matches the original
+    /// program's — RMW expansion preserves slots).
+    slot_var: Vec<Vec<u8>>,
+}
+
+/// Computes the canonical form of `test`. Deterministic: equal programs
+/// (up to variable renaming, per-variable value relabeling and RMW
+/// sugar) yield equal [`Canonical::key`]s.
+pub fn canonicalize(test: &LitmusTest) -> Canonical {
+    let d = test.desugared();
+    // Variables in first-appearance order, thread-major.
+    let mut var_back: Vec<Var> = Vec::new();
+    let canon_of = |v: Var, var_back: &mut Vec<Var>| -> u8 {
+        match var_back.iter().position(|&o| o == v) {
+            Some(c) => c as u8,
+            None => {
+                var_back.push(v);
+                (var_back.len() - 1) as u8
+            }
+        }
+    };
+    for op in d.threads.iter().flatten() {
+        match op {
+            LOp::St(v, _) | LOp::Ld(v) | LOp::Rmw(v, _) => {
+                canon_of(*v, &mut var_back);
+            }
+            LOp::Fence => {}
+        }
+    }
+    // Distinct nonzero stored values per canonical variable, in
+    // first-appearance order.
+    let mut val_back: Vec<Vec<u64>> = vec![Vec::new(); var_back.len()];
+    for op in d.threads.iter().flatten() {
+        if let LOp::St(v, val) | LOp::Rmw(v, val) = op {
+            if *val != 0 {
+                let c = var_back.iter().position(|o| o == v).unwrap();
+                if !val_back[c].contains(val) {
+                    val_back[c].push(*val);
+                }
+            }
+        }
+    }
+    let canon_val = |c: usize, val: u64| -> u64 {
+        if val == 0 {
+            0
+        } else {
+            val_back[c].iter().position(|&o| o == val).unwrap() as u64 + 1
+        }
+    };
+    let key: Vec<Vec<LOp>> = d
+        .threads
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .map(|op| match *op {
+                    LOp::St(v, val) => {
+                        let c = var_back.iter().position(|&o| o == v).unwrap();
+                        LOp::St(Var(c as u8), canon_val(c, val))
+                    }
+                    LOp::Ld(v) => {
+                        let c = var_back.iter().position(|&o| o == v).unwrap();
+                        LOp::Ld(Var(c as u8))
+                    }
+                    LOp::Fence => LOp::Fence,
+                    // `desugared` removed every RMW.
+                    LOp::Rmw(..) => unreachable!("desugared program has no RMW"),
+                })
+                .collect()
+        })
+        .collect();
+    let slot_var: Vec<Vec<u8>> = key
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .filter_map(|op| match op {
+                    LOp::Ld(v) => Some(v.0),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    Canonical {
+        key,
+        var_back,
+        val_back,
+        slot_var,
+    }
+}
+
+impl Canonical {
+    /// The canonical program as a runnable test.
+    pub fn test(&self) -> LitmusTest {
+        LitmusTest::new("canonical", self.key.clone())
+    }
+
+    /// Inverse value map for canonical variable `c`.
+    fn orig_val(&self, c: usize, canon: u64) -> u64 {
+        if canon == 0 {
+            return 0;
+        }
+        // A canonical-space outcome can only hold values some store wrote
+        // (or 0); anything else would be an explorer bug — surface it.
+        self.val_back[c][(canon - 1) as usize]
+    }
+
+    /// Maps one canonical-space outcome back into the original program's
+    /// variables and values.
+    pub fn restore_outcome(&self, o: &Outcome) -> Outcome {
+        let regs = o
+            .regs
+            .iter()
+            .enumerate()
+            .map(|(t, regs)| {
+                regs.iter()
+                    .enumerate()
+                    .map(|(i, &v)| self.orig_val(self.slot_var[t][i] as usize, v))
+                    .collect()
+            })
+            .collect();
+        let mem = o
+            .mem
+            .iter()
+            .map(|(cvar, &cval)| {
+                let c = cvar.0 as usize;
+                (self.var_back[c], self.orig_val(c, cval))
+            })
+            .collect();
+        Outcome { regs, mem }
+    }
+
+    /// Maps a whole canonical-space outcome set back.
+    pub fn restore_set(&self, s: &OutcomeSet) -> OutcomeSet {
+        s.iter().map(|o| self.restore_outcome(o)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{X, Y, Z};
+    use crate::machine::{explore, ForwardPolicy};
+    use crate::suite;
+
+    /// n6 with every stored value relabeled and x/y swapped — the
+    /// duplicate a memoizing service must recognize.
+    fn renamed_n6() -> LitmusTest {
+        use LOp::{Ld, St};
+        LitmusTest::new(
+            "n6_renamed",
+            vec![vec![St(Y, 3), Ld(Y), Ld(Z)], vec![St(Z, 9), St(Y, 5)]],
+        )
+    }
+
+    #[test]
+    fn value_and_variable_renamings_share_a_key() {
+        let a = canonicalize(&suite::n6().test);
+        let b = canonicalize(&renamed_n6());
+        assert_eq!(a.key, b.key);
+        // A genuinely different program does not.
+        let c = canonicalize(&suite::mp().test);
+        assert_ne!(a.key, c.key);
+    }
+
+    #[test]
+    fn rmw_sugar_shares_a_key_with_its_expansion() {
+        let sugar = LitmusTest::new("s", vec![vec![LOp::Rmw(X, 1)], vec![LOp::Ld(X)]]);
+        let expanded = LitmusTest::new(
+            "e",
+            vec![
+                vec![LOp::Fence, LOp::Ld(X), LOp::St(X, 1), LOp::Fence],
+                vec![LOp::Ld(X)],
+            ],
+        );
+        assert_eq!(canonicalize(&sugar).key, canonicalize(&expanded).key);
+    }
+
+    #[test]
+    fn restored_outcomes_equal_direct_exploration() {
+        // The isomorphism claim, checked exhaustively: exploring the
+        // canonical program and mapping back equals exploring the
+        // original — for the whole named suite and both policies.
+        for ct in suite::all() {
+            let canon = canonicalize(&ct.test);
+            for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
+                let direct = explore(&ct.test, policy);
+                let via_canon = canon.restore_set(&explore(&canon.test(), policy));
+                assert_eq!(direct, via_canon, "{} under {policy:?}", ct.test.name);
+            }
+        }
+    }
+
+    #[test]
+    fn restored_outcomes_equal_direct_exploration_on_generated_programs() {
+        use sa_isa::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..25 {
+            let t = crate::gen::generate(&mut rng, &crate::gen::GenConfig::default());
+            let canon = canonicalize(&t);
+            let direct = explore(&t, ForwardPolicy::X86);
+            let via_canon = canon.restore_set(&explore(&canon.test(), ForwardPolicy::X86));
+            assert_eq!(direct, via_canon, "{}", t.render());
+        }
+    }
+
+    #[test]
+    fn renamed_duplicate_restores_into_its_own_vocabulary() {
+        let renamed = renamed_n6();
+        let canon = canonicalize(&renamed);
+        let direct = explore(&renamed, ForwardPolicy::X86);
+        let restored = canon.restore_set(&explore(&canon.test(), ForwardPolicy::X86));
+        assert_eq!(direct, restored);
+        // The restored outcomes speak the renamed program's values.
+        assert!(restored
+            .iter()
+            .any(|o| o.mem.values().any(|&v| v == 9 || v == 5)));
+    }
+
+    #[test]
+    fn zero_valued_stores_stay_zero() {
+        let t = LitmusTest::new(
+            "z0",
+            vec![vec![LOp::St(X, 0), LOp::Ld(X)], vec![LOp::St(X, 7)]],
+        );
+        let canon = canonicalize(&t);
+        assert!(canon.key[0].contains(&LOp::St(X, 0)), "{:?}", canon.key);
+        let direct = explore(&t, ForwardPolicy::X86);
+        assert_eq!(
+            direct,
+            canon.restore_set(&explore(&canon.test(), ForwardPolicy::X86))
+        );
+    }
+}

@@ -125,19 +125,51 @@ pub fn generate(rng: &mut Xoshiro256, cfg: &GenConfig) -> LitmusTest {
     LitmusTest::new("gen", threads)
 }
 
+/// An unbounded, seed-deterministic stream of generated programs — the
+/// resident generator behind both batch corpora ([`generate_corpus`])
+/// and sa-serve's continuous fuzzing farm. Each program gets its own
+/// [`Xoshiro256`] stream derived from the master seed, so program `i` is
+/// stable regardless of how many programs are ultimately drawn (and
+/// regardless of worker scheduling).
+#[derive(Debug, Clone)]
+pub struct CorpusStream {
+    sm: sa_isa::rng::SplitMix64,
+    cfg: GenConfig,
+    drawn: u64,
+}
+
+impl CorpusStream {
+    /// A stream reproducible from `seed`.
+    pub fn new(seed: u64, cfg: GenConfig) -> CorpusStream {
+        CorpusStream {
+            sm: sa_isa::rng::SplitMix64::new(seed),
+            cfg,
+            drawn: 0,
+        }
+    }
+
+    /// Programs drawn so far.
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+}
+
+impl Iterator for CorpusStream {
+    type Item = LitmusTest;
+
+    /// Never returns `None`; the stream is infinite.
+    fn next(&mut self) -> Option<LitmusTest> {
+        let mut rng = Xoshiro256::seed_from_u64(self.sm.next_u64());
+        self.drawn += 1;
+        Some(generate(&mut rng, &self.cfg))
+    }
+}
+
 /// Generates `n` programs from one seed — the corpus of a fuzzing run.
-/// Each program gets its own [`Xoshiro256`] stream derived from the
-/// master seed, so program `i` is stable regardless of how many programs
-/// the run asks for (and regardless of worker scheduling).
+/// Program `i` equals the `i`-th draw of [`CorpusStream`] with the same
+/// seed and config.
 pub fn generate_corpus(seed: u64, n: usize, cfg: &GenConfig) -> Vec<LitmusTest> {
-    use sa_isa::rng::SplitMix64;
-    let mut sm = SplitMix64::new(seed);
-    (0..n)
-        .map(|_| {
-            let mut rng = Xoshiro256::seed_from_u64(sm.next_u64());
-            generate(&mut rng, cfg)
-        })
-        .collect()
+    CorpusStream::new(seed, cfg.clone()).take(n).collect()
 }
 
 #[cfg(test)]
@@ -175,6 +207,15 @@ mod tests {
         // Program i is stable under a longer run.
         let c = generate_corpus(4, 10, &cfg);
         assert_eq!(&a[..10], &c[..]);
+    }
+
+    #[test]
+    fn stream_matches_corpus_and_counts_draws() {
+        let cfg = GenConfig::default();
+        let mut stream = CorpusStream::new(4, cfg.clone());
+        let from_stream: Vec<LitmusTest> = stream.by_ref().take(20).collect();
+        assert_eq!(from_stream, generate_corpus(4, 20, &cfg));
+        assert_eq!(stream.drawn(), 20);
     }
 
     #[test]

@@ -26,21 +26,26 @@
 //! ```
 
 pub mod ast;
+pub mod canon;
 pub mod checker;
 pub mod gen;
 pub mod machine;
 pub mod oracle;
 pub mod outcome;
+pub mod parse;
 pub mod pc;
 pub mod shrink;
 pub mod suite;
 pub mod taxonomy;
 
 pub use ast::{Cond, LOp, LitmusTest, Var};
+pub use canon::{canonicalize, Canonical};
 pub use checker::{compare, Comparison};
-pub use gen::{generate, generate_corpus, GenConfig};
+pub use gen::{generate, generate_corpus, CorpusStream, GenConfig};
 pub use machine::{explore, ForwardPolicy};
-pub use oracle::{policy_for, Oracle};
+pub use oracle::{policy_for, render_allowed_doc, Oracle};
 pub use outcome::{Outcome, OutcomeSet};
+pub use parse::{parse_op, parse_thread, parse_threads};
 pub use pc::explore_pc;
 pub use shrink::shrink;
+pub use taxonomy::shape_label;

@@ -36,6 +36,8 @@ pub fn policy_for(model: ConsistencyModel) -> ForwardPolicy {
 #[derive(Debug, Default)]
 pub struct Oracle {
     cache: FastMap<(Vec<Vec<LOp>>, ForwardPolicy), OutcomeSet>,
+    hits: u64,
+    misses: u64,
 }
 
 impl Oracle {
@@ -46,8 +48,14 @@ impl Oracle {
 
     /// All outcomes of `test` the axiomatic `policy` allows.
     pub fn allowed(&mut self, test: &LitmusTest, policy: ForwardPolicy) -> &OutcomeSet {
+        let key = (test.threads.clone(), policy);
+        if self.cache.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
         self.cache
-            .entry((test.threads.clone(), policy))
+            .entry(key)
             .or_insert_with(|| explore(test, policy))
     }
 
@@ -71,6 +79,47 @@ impl Oracle {
     pub fn explored(&self) -> usize {
         self.cache.len()
     }
+
+    /// Queries answered from the memo cache without exploring.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Queries that had to run the explorer.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Renders both reference models' allowed sets for one program as the
+/// repository's golden document format (`tests/golden/oracle_*.txt`):
+/// a `# name` header, the rendered program as `#` comment lines, then
+/// for each policy a `[{policy:?}] N outcomes` banner followed by one
+/// outcome per line in sorted order. The sa-serve job service replies
+/// with this exact document, so an HTTP answer for a suite test is
+/// byte-comparable against its golden file.
+pub fn render_allowed_doc(
+    name: &str,
+    test: &LitmusTest,
+    x86: &OutcomeSet,
+    atomic: &OutcomeSet,
+) -> String {
+    use std::fmt::Write as _;
+    let mut doc = String::new();
+    writeln!(doc, "# {name}").unwrap();
+    for line in test.render().lines() {
+        writeln!(doc, "# {line}").unwrap();
+    }
+    for (policy, set) in [
+        (ForwardPolicy::X86, x86),
+        (ForwardPolicy::StoreAtomic370, atomic),
+    ] {
+        writeln!(doc, "[{policy:?}] {} outcomes", set.len()).unwrap();
+        for o in set.iter() {
+            writeln!(doc, "{o}").unwrap();
+        }
+    }
+    doc
 }
 
 #[cfg(test)]
@@ -102,6 +151,22 @@ mod tests {
         // x86 + one shared store-atomic entry.
         assert_eq!(o.explored(), 2);
         assert_eq!(o.allowed_for(&n6, ConsistencyModel::X86).len(), first);
+        // 7 queries total: 2 explored, 5 served from the memo cache.
+        assert_eq!(o.misses(), 2);
+        assert_eq!(o.hits(), 5);
+    }
+
+    #[test]
+    fn allowed_doc_matches_the_golden_shape() {
+        let mut o = Oracle::new();
+        let n6 = suite::n6().test;
+        let x86 = o.allowed(&n6, ForwardPolicy::X86).clone();
+        let ibm = o.allowed(&n6, ForwardPolicy::StoreAtomic370).clone();
+        let doc = render_allowed_doc("n6", &n6, &x86, &ibm);
+        assert!(doc.starts_with("# n6\n# T0: st x,1; ld x; ld y\n"));
+        assert!(doc.contains(&format!("[X86] {} outcomes\n", x86.len())));
+        assert!(doc.contains(&format!("[StoreAtomic370] {} outcomes\n", ibm.len())));
+        assert!(doc.ends_with('\n'));
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Text parser for litmus thread programs — the inverse of the
+//! [`crate::ast::LOp`] `Display` impl.
+//!
+//! The grammar is the one this repository renders everywhere (`st x,1`,
+//! `ld y`, `fence`, `rmw z,2`; operations joined by `;`, one thread per
+//! string), so any program printed by [`crate::ast::LitmusTest::render`]
+//! parses back to the identical program. This is the wire format the
+//! sa-serve job service accepts over HTTP.
+
+use crate::ast::{LOp, Var};
+
+/// Parses a variable name: `x`/`y`/`z` or the generic `vN` spelling.
+fn parse_var(s: &str) -> Result<Var, String> {
+    match s {
+        "x" => Ok(Var(0)),
+        "y" => Ok(Var(1)),
+        "z" => Ok(Var(2)),
+        _ => s
+            .strip_prefix('v')
+            .and_then(|n| n.parse::<u8>().ok())
+            .map(Var)
+            .ok_or_else(|| format!("bad variable {s:?} (expected x, y, z or vN)")),
+    }
+}
+
+/// Parses a `var,value` pair (the operand of `st` and `rmw`).
+fn parse_var_val(s: &str) -> Result<(Var, u64), String> {
+    let (v, val) = s
+        .split_once(',')
+        .ok_or_else(|| format!("bad operand {s:?} (expected var,value)"))?;
+    let var = parse_var(v.trim())?;
+    let val = val
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| format!("bad value {:?}", val.trim()))?;
+    Ok((var, val))
+}
+
+/// Parses one operation, e.g. `st x,1`, `ld y`, `fence`, `rmw z,2`.
+pub fn parse_op(s: &str) -> Result<LOp, String> {
+    let s = s.trim();
+    if s == "fence" {
+        return Ok(LOp::Fence);
+    }
+    let (mnemonic, rest) = s
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("bad operation {s:?}"))?;
+    let rest = rest.trim();
+    match mnemonic {
+        "ld" => Ok(LOp::Ld(parse_var(rest)?)),
+        "st" => parse_var_val(rest).map(|(v, val)| LOp::St(v, val)),
+        "rmw" => parse_var_val(rest).map(|(v, val)| LOp::Rmw(v, val)),
+        _ => Err(format!("unknown mnemonic {mnemonic:?} in {s:?}")),
+    }
+}
+
+/// Parses one thread: `;`-separated operations. Empty segments (e.g. a
+/// trailing `;`) are ignored; a thread must contain at least one
+/// operation.
+pub fn parse_thread(s: &str) -> Result<Vec<LOp>, String> {
+    let ops: Result<Vec<LOp>, String> = s
+        .split(';')
+        .map(str::trim)
+        .filter(|seg| !seg.is_empty())
+        .map(parse_op)
+        .collect();
+    let ops = ops?;
+    if ops.is_empty() {
+        return Err("empty thread".to_string());
+    }
+    Ok(ops)
+}
+
+/// Parses a whole program, one string per thread. An optional leading
+/// `Tn:` label (as printed by `render`) is stripped.
+pub fn parse_threads(threads: &[&str]) -> Result<Vec<Vec<LOp>>, String> {
+    if threads.is_empty() {
+        return Err("program has no threads".to_string());
+    }
+    threads
+        .iter()
+        .enumerate()
+        .map(|(t, s)| {
+            let body = match s.split_once(':') {
+                Some((label, rest)) if label.trim().starts_with('T') => rest,
+                _ => s,
+            };
+            parse_thread(body).map_err(|e| format!("thread {t}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{LitmusTest, X, Y, Z};
+    use crate::suite;
+
+    #[test]
+    fn parses_each_operation() {
+        assert_eq!(parse_op("st x,1"), Ok(LOp::St(X, 1)));
+        assert_eq!(parse_op("  ld  y "), Ok(LOp::Ld(Y)));
+        assert_eq!(parse_op("fence"), Ok(LOp::Fence));
+        assert_eq!(parse_op("rmw z, 2"), Ok(LOp::Rmw(Z, 2)));
+        assert_eq!(parse_op("ld v7"), Ok(LOp::Ld(Var(7))));
+        assert!(parse_op("mov x,1").is_err());
+        assert!(parse_op("st x").is_err());
+        assert!(parse_op("st q,1").is_err());
+        assert!(parse_op("st x,lots").is_err());
+    }
+
+    #[test]
+    fn round_trips_every_suite_program() {
+        for ct in suite::all() {
+            let rendered = ct.test.render();
+            let lines: Vec<&str> = rendered.lines().collect();
+            let threads = parse_threads(&lines).expect(ct.test.name);
+            assert_eq!(threads, ct.test.threads, "{}", ct.test.name);
+        }
+    }
+
+    #[test]
+    fn round_trips_generated_programs() {
+        use sa_isa::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        for _ in 0..50 {
+            let t = crate::gen::generate(&mut rng, &crate::gen::GenConfig::default());
+            let rendered = t.render();
+            let lines: Vec<&str> = rendered.lines().collect();
+            assert_eq!(parse_threads(&lines).unwrap(), t.threads);
+        }
+    }
+
+    #[test]
+    fn accepts_bodies_without_labels_and_trailing_semicolons() {
+        let threads = parse_threads(&["st x,1; ld y;", "fence ; ld x"]).unwrap();
+        let t = LitmusTest::new("t", threads);
+        assert_eq!(t.render(), "T0: st x,1; ld y\nT1: fence; ld x");
+    }
+
+    #[test]
+    fn rejects_malformed_programs() {
+        assert!(parse_threads(&[]).is_err());
+        assert!(parse_threads(&[";"]).is_err());
+        let err = parse_threads(&["st x,1", "huh"]).unwrap_err();
+        assert!(err.contains("thread 1"), "{err}");
+    }
+}

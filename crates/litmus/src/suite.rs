@@ -267,6 +267,45 @@ pub fn r_test() -> ClassifiedTest {
     }
 }
 
+/// The engineered n6-window probes (§III-A shape) the differential
+/// fuzzer seeds every corpus with. The leading loads warm y into thread
+/// 0 and x into thread 1's cache, so thread 0's `st x` drains slowly
+/// (ownership fetch) while thread 1's stores drain fast — the timing
+/// that makes a broken retire gate observable. `probe_gate_key` keeps a
+/// run of older stores (`st z`) ahead of the forwarded one — the case
+/// the `gate-key` bug mis-unlocks on. `z` is private to thread 0, so the
+/// first filler commits at L1 latency right after the forwarded load
+/// closes the gate, and the buggy machine force-opens on it; the
+/// remaining fillers serialize through the SB at `sb_commit_cycles`
+/// apiece, holding `st x` back long enough that thread 1's `st x` wins
+/// the coherence race (final `x=1` is the witness). A thread-1 skew then
+/// lands the remote `y` commit after thread 0's re-executed `ld y`,
+/// which retires a stale 0 through the wrongly open gate.
+pub fn probes() -> Vec<LitmusTest> {
+    let mut gate_key_t0 = vec![Ld(Y)];
+    gate_key_t0.extend(std::iter::repeat_n(St(Z, 1), 10));
+    gate_key_t0.extend([St(X, 1), Ld(X), Ld(Y)]);
+    vec![
+        LitmusTest::new(
+            "probe_gate_key",
+            vec![gate_key_t0, vec![Ld(X), St(Y, 2), St(X, 2)]],
+        ),
+        LitmusTest::new(
+            "probe_gate",
+            vec![
+                vec![Ld(Y), St(X, 1), Ld(X), Ld(Y)],
+                vec![Ld(X), St(Y, 2), St(X, 2)],
+            ],
+        ),
+    ]
+}
+
+/// Looks a named suite test up by its exact name (`"n6"`, `"sb+fences"`,
+/// …) — how sa-serve job specs reference the canned corpus.
+pub fn by_name(name: &str) -> Option<ClassifiedTest> {
+    all().into_iter().find(|ct| ct.test.name == name)
+}
+
 /// The whole suite, paper figures first.
 pub fn all() -> Vec<ClassifiedTest> {
     vec![
@@ -359,6 +398,29 @@ mod tests {
         let names: Vec<&str> = all().iter().map(|c| c.test.name).collect();
         for expected in ["mp", "n6", "iriw", "fig5", "sb", "wrc", "z6", "corr"] {
             assert!(names.contains(&expected));
+        }
+    }
+
+    #[test]
+    fn by_name_finds_every_suite_test() {
+        for ct in all() {
+            let found = by_name(ct.test.name).unwrap_or_else(|| panic!("{}", ct.test.name));
+            assert_eq!(found.test.threads, ct.test.threads);
+        }
+        assert!(by_name("no_such_test").is_none());
+    }
+
+    /// Probe programs are plain TSO programs: a clean machine's outcomes
+    /// on them must be classifiable, and the probe names are stable (the
+    /// fuzzer's pad sweep keys on the `probe` prefix).
+    #[test]
+    fn probes_are_well_formed() {
+        let ps = probes();
+        assert_eq!(ps.len(), 2);
+        for p in &ps {
+            assert!(p.name.starts_with("probe"), "{}", p.name);
+            assert_eq!(p.threads.len(), 2);
+            assert!(!explore(p, ForwardPolicy::X86).is_empty());
         }
     }
 

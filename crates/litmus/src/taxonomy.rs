@@ -1,4 +1,7 @@
-//! Table I — the atomicity taxonomy of store operations.
+//! Table I — the atomicity taxonomy of store operations — plus the
+//! program-shape taxonomy the sa-serve coverage matrix buckets by.
+
+use crate::ast::{LOp, LitmusTest};
 
 /// A consistency model's store-atomicity class, in the three vocabularies
 /// Table I aligns (Adve & Gharachorloo, Trippel et al., Ros & Kaxiras).
@@ -61,6 +64,53 @@ pub fn render_table1() -> String {
     s
 }
 
+/// Buckets a program by the structural features that decide which
+/// memory-model behaviors it can exercise: thread count, whether any
+/// thread can store-to-load forward (a store to `v` with a later load of
+/// `v` in the same thread — the paper's whole subject), and fence/RMW
+/// presence. E.g. `"t2+fwd+fence"`. The sa-serve coverage matrix uses
+/// this as its program-shape axis: a corpus that never produces a `fwd`
+/// shape cannot test store atomicity at all, and the matrix makes that
+/// visible.
+pub fn shape_label(test: &LitmusTest) -> String {
+    let d = test.desugared();
+    let mut fwd = false;
+    for ops in &d.threads {
+        let mut stored: Vec<crate::ast::Var> = Vec::new();
+        for op in ops {
+            match op {
+                LOp::St(v, _) if !stored.contains(v) => stored.push(*v),
+                LOp::St(..) => {}
+                LOp::Ld(v) => fwd |= stored.contains(v),
+                _ => {}
+            }
+        }
+    }
+    // Fences and RMWs are classified on the *written* form: desugaring
+    // turns every RMW into fences, which would erase the distinction.
+    let has_fence = test
+        .threads
+        .iter()
+        .flatten()
+        .any(|op| matches!(op, LOp::Fence));
+    let has_rmw = test
+        .threads
+        .iter()
+        .flatten()
+        .any(|op| matches!(op, LOp::Rmw(..)));
+    let mut label = format!("t{}", test.threads.len());
+    if fwd {
+        label.push_str("+fwd");
+    }
+    if has_fence {
+        label.push_str("+fence");
+    }
+    if has_rmw {
+        label.push_str("+rmw");
+    }
+    label
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +138,29 @@ mod tests {
         ] {
             assert!(s.contains(m), "missing {m}");
         }
+    }
+
+    #[test]
+    fn shape_labels_of_the_suite() {
+        use crate::suite;
+        let label_of = |name: &str| shape_label(&suite::by_name(name).unwrap().test);
+        assert_eq!(label_of("n6"), "t2+fwd");
+        assert_eq!(label_of("mp"), "t2");
+        assert_eq!(label_of("sb+fences"), "t2+fence");
+        assert_eq!(label_of("iriw"), "t4");
+        assert_eq!(label_of("z6"), "t3+fwd");
+        assert_eq!(label_of("n6+fence"), "t2+fwd+fence");
+    }
+
+    #[test]
+    fn rmw_forwarding_counts_as_fwd() {
+        use crate::ast::{X, Y};
+        // The RMW's desugared store can forward into the later load.
+        let t = LitmusTest::new(
+            "rmw_fwd",
+            vec![vec![LOp::Rmw(X, 1), LOp::Ld(X)], vec![LOp::Ld(Y)]],
+        );
+        assert_eq!(shape_label(&t), "t2+fwd+rmw");
     }
 
     #[test]

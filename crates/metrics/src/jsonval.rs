@@ -82,6 +82,13 @@ impl JsonValue {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     pub fn as_arr(&self) -> Option<&[JsonValue]> {
         match self {
             JsonValue::Arr(v) => Some(v),

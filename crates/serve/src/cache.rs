@@ -1,0 +1,139 @@
+//! The persistent oracle result cache — the service's reason to be
+//! resident.
+//!
+//! Keyed by the *canonical* program form ([`sa_litmus::canonicalize`]):
+//! two submissions that differ only in variable names, stored values or
+//! RMW sugar share one entry, so the duplicate is answered without
+//! running the explorer (and, since the allowed sets bound every
+//! containment check, without any simulation the submitter didn't ask
+//! for). Entries hold both reference models' allowed sets in canonical
+//! space; callers restore them into the submitted program's vocabulary
+//! with [`sa_litmus::Canonical::restore_set`].
+//!
+//! The cache itself never explores — a worker that misses explores
+//! *outside* the cache lock and publishes with [`OracleCache::insert`],
+//! so a slow exploration never blocks lookups (two workers racing on the
+//! same new program both explore; the insert is idempotent).
+
+use std::sync::Arc;
+
+use sa_isa::FastMap;
+use sa_litmus::ast::LOp;
+use sa_litmus::OutcomeSet;
+
+/// Both reference models' allowed sets for one canonical program.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CachedSets {
+    /// x86-TSO allowed outcomes (canonical space).
+    pub x86: OutcomeSet,
+    /// Store-atomic 370 allowed outcomes (canonical space).
+    pub atomic: OutcomeSet,
+}
+
+/// The memo cache. Wrap in a `Mutex`; every method is a fast map
+/// operation.
+#[derive(Debug, Default)]
+pub struct OracleCache {
+    map: FastMap<Vec<Vec<LOp>>, Arc<CachedSets>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl OracleCache {
+    /// An empty cache.
+    pub fn new() -> OracleCache {
+        OracleCache::default()
+    }
+
+    /// Looks a canonical key up, counting the hit or miss.
+    pub fn lookup(&mut self, key: &[Vec<LOp>]) -> Option<Arc<CachedSets>> {
+        match self.map.get(key) {
+            Some(e) => {
+                self.hits += 1;
+                Some(Arc::clone(e))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Publishes an explored entry. Idempotent: a racing duplicate keeps
+    /// the first entry (the sets are equal by construction).
+    pub fn insert(&mut self, key: Vec<Vec<LOp>>, sets: CachedSets) -> Arc<CachedSets> {
+        Arc::clone(self.map.entry(key).or_insert_with(|| Arc::new(sets)))
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required an exploration.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct canonical programs cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_litmus::{canonicalize, explore, suite, ForwardPolicy};
+
+    #[test]
+    fn renamed_duplicate_hits_after_one_miss() {
+        let mut cache = OracleCache::new();
+        let n6 = suite::n6().test;
+        let canon = canonicalize(&n6);
+        assert!(cache.lookup(&canon.key).is_none());
+        let sets = CachedSets {
+            x86: explore(&canon.test(), ForwardPolicy::X86),
+            atomic: explore(&canon.test(), ForwardPolicy::StoreAtomic370),
+        };
+        cache.insert(canon.key.clone(), sets);
+
+        // A value-renamed n6 canonicalizes to the same key.
+        use sa_litmus::ast::{LOp::*, X, Y};
+        let renamed = sa_litmus::LitmusTest::new(
+            "renamed",
+            vec![vec![St(X, 7), Ld(X), Ld(Y)], vec![St(Y, 9), St(X, 3)]],
+        );
+        let canon2 = canonicalize(&renamed);
+        assert_eq!(canon.key, canon2.key);
+        let entry = cache.lookup(&canon2.key).expect("duplicate must hit");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+
+        // Restoring the cached canonical sets equals exploring directly.
+        assert_eq!(
+            canon2.restore_set(&entry.x86),
+            explore(&renamed, ForwardPolicy::X86)
+        );
+    }
+
+    #[test]
+    fn racing_insert_is_idempotent() {
+        let mut cache = OracleCache::new();
+        let canon = canonicalize(&suite::sb().test);
+        let make = || CachedSets {
+            x86: explore(&canon.test(), ForwardPolicy::X86),
+            atomic: explore(&canon.test(), ForwardPolicy::StoreAtomic370),
+        };
+        let a = cache.insert(canon.key.clone(), make());
+        let b = cache.insert(canon.key.clone(), make());
+        assert!(Arc::ptr_eq(&a, &b), "second insert keeps the first entry");
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! The cumulative coverage matrix: configuration × program-shape
+//! taxonomy × outcome.
+//!
+//! Every completed litmus job folds into one cell per (model label,
+//! [`sa_litmus::shape_label`]) pair: job and simulation counts, the
+//! number of *distinct* outcomes observed (tracked as a capped set of
+//! outcome-string hashes, so memory stays bounded on an unbounded farm),
+//! and containment violations. Axiomatic allowed sets are folded too
+//! (under `axiomatic-x86` / `axiomatic-370` pseudo-configurations), so
+//! the matrix shows oracle coverage even for `check:false` jobs.
+//!
+//! Exposed live at `GET /coverage` and flushed periodically (and on
+//! shutdown) as a JSON checkpoint under `results/`.
+
+use std::collections::{BTreeMap, HashSet};
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use sa_metrics::JsonWriter;
+
+/// Distinct-outcome hashes kept per cell before saturating.
+const MAX_DISTINCT: usize = 4096;
+
+/// One (model, shape) cell.
+#[derive(Debug, Default)]
+pub struct Cell {
+    /// Jobs that contributed to this cell.
+    pub jobs: u64,
+    /// Individual simulations (0 for axiomatic rows).
+    pub sims: u64,
+    /// Containment violations observed.
+    pub violations: u64,
+    /// Hashes of distinct outcome strings, capped at [`MAX_DISTINCT`].
+    outcomes: HashSet<u64>,
+    /// `true` once the outcome set hit the cap (count is then a floor).
+    saturated: bool,
+}
+
+impl Cell {
+    /// Distinct outcomes observed (a floor once saturated).
+    pub fn distinct_outcomes(&self) -> u64 {
+        self.outcomes.len() as u64
+    }
+}
+
+/// The matrix. Wrap in a `Mutex`.
+#[derive(Debug, Default)]
+pub struct Coverage {
+    cells: BTreeMap<(String, String), Cell>,
+}
+
+fn hash_outcome(outcome: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    outcome.hash(&mut h);
+    h.finish()
+}
+
+impl Coverage {
+    /// An empty matrix.
+    pub fn new() -> Coverage {
+        Coverage::default()
+    }
+
+    /// Folds one job's contribution to `(model, shape)` in: `sims` runs,
+    /// the outcomes they observed, and how many violated containment.
+    pub fn record(
+        &mut self,
+        model: &str,
+        shape: &str,
+        sims: u64,
+        outcomes: impl IntoIterator<Item = impl AsRef<str>>,
+        violations: u64,
+    ) {
+        let cell = self
+            .cells
+            .entry((model.to_string(), shape.to_string()))
+            .or_default();
+        cell.jobs += 1;
+        cell.sims += sims;
+        cell.violations += violations;
+        for o in outcomes {
+            if cell.outcomes.len() >= MAX_DISTINCT {
+                cell.saturated = true;
+                break;
+            }
+            cell.outcomes.insert(hash_outcome(o.as_ref()));
+        }
+    }
+
+    /// Number of populated cells.
+    pub fn cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total violations across the matrix.
+    pub fn total_violations(&self) -> u64 {
+        self.cells.values().map(|c| c.violations).sum()
+    }
+
+    /// Renders the matrix as the `/coverage` JSON document.
+    pub fn write_json(&self, j: &mut JsonWriter) {
+        j.key("cells").begin_array();
+        for ((model, shape), cell) in &self.cells {
+            j.begin_object()
+                .field_str("model", model)
+                .field_str("shape", shape)
+                .field_uint("jobs", cell.jobs)
+                .field_uint("sims", cell.sims)
+                .field_uint("distinct_outcomes", cell.distinct_outcomes())
+                .key("outcomes_saturated")
+                .boolean(cell.saturated);
+            j.field_uint("violations", cell.violations).end_object();
+        }
+        j.end_array();
+    }
+
+    /// The standalone `/coverage` document.
+    pub fn json(&self) -> String {
+        let mut j = JsonWriter::new();
+        j.begin_object().field_str("schema", "sa-serve-coverage-v1");
+        self.write_json(&mut j);
+        j.end_object();
+        j.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_metrics::JsonValue;
+
+    #[test]
+    fn accumulates_and_dedupes_outcomes() {
+        let mut cov = Coverage::new();
+        cov.record("x86", "t2+fwd", 9, ["a", "b", "a"], 0);
+        cov.record("x86", "t2+fwd", 9, ["b", "c"], 1);
+        cov.record("370-SLFSoS-key", "t2+fwd", 9, ["a"], 0);
+        assert_eq!(cov.cells(), 2);
+        assert_eq!(cov.total_violations(), 1);
+        let v = JsonValue::parse(&cov.json()).unwrap();
+        let cells = v.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 2);
+        // BTreeMap order: "370-..." sorts before "x86".
+        let x86 = &cells[1];
+        assert_eq!(x86.get("model").unwrap().as_str(), Some("x86"));
+        assert_eq!(x86.get("jobs").unwrap().as_u64(), Some(2));
+        assert_eq!(x86.get("sims").unwrap().as_u64(), Some(18));
+        assert_eq!(x86.get("distinct_outcomes").unwrap().as_u64(), Some(3));
+        assert_eq!(x86.get("violations").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn distinct_outcomes_saturate_at_the_cap() {
+        let mut cov = Coverage::new();
+        let many: Vec<String> = (0..MAX_DISTINCT + 100).map(|i| format!("o{i}")).collect();
+        cov.record("x86", "t2", 1, &many, 0);
+        let cell = cov.cells.values().next().unwrap();
+        assert_eq!(cell.distinct_outcomes(), MAX_DISTINCT as u64);
+        assert!(cell.saturated);
+    }
+}

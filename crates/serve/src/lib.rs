@@ -1,0 +1,40 @@
+//! sa-serve — persistent simulation-as-a-service.
+//!
+//! The explorer, differential checker and forensics pipeline of the
+//! preceding crates are batch tools: one process, one corpus, results
+//! lost on exit. This crate makes them *resident*: a zero-dependency
+//! HTTP job service (threads + channels on `std::net`, same discipline
+//! as sa-bench's metrics server) that
+//!
+//! * accepts litmus programs and workload specs as JSON POSTs and runs
+//!   them on a bounded worker pool — backpressure is a 429, not an
+//!   unbounded queue;
+//! * memoizes oracle results by canonical program form
+//!   ([`sa_litmus::canonicalize`]), so a duplicate submission — even
+//!   var-renamed or value-renamed — is answered without re-exploration;
+//! * runs a continuous fuzzing farm whose corpus is deduped by the same
+//!   canonical form, with containment violations triaged through the
+//!   forensics blame pipeline into persisted reports;
+//! * accumulates a configuration × program-shape × outcome coverage
+//!   matrix, served live and checkpointed to `results/`.
+//!
+//! Start it with `cargo run --release -p sa-bench --bin serve`; the
+//! wire format is documented on [`job::JobSpec::parse`] and the routes
+//! on [`server`].
+
+pub mod cache;
+pub mod coverage;
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod server;
+pub mod sim;
+pub mod triage;
+
+pub use cache::{CachedSets, OracleCache};
+pub use coverage::Coverage;
+pub use job::{JobRecord, JobSpec, JobStatus, Jobs, LitmusJob, WorkloadJob};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Counters, ServeConfig, Server, ShutdownReport};
+pub use sim::{pad_patterns, run_on_sim};
+pub use triage::{triage_violation, TriageReport};

@@ -1,0 +1,153 @@
+//! Automatic triage of containment violations: shrink the offending
+//! program, rerun the minimized reproducer under the forensics tracer,
+//! and persist a blame report — so a farm that fires at 3 a.m. leaves a
+//! human-readable causal analysis, not just a failing outcome string.
+
+use std::path::{Path, PathBuf};
+
+use sa_forensics::Forensics;
+use sa_isa::ConsistencyModel;
+use sa_litmus::{shrink, LitmusTest, Oracle, Outcome};
+use sa_ooo::InjectedBug;
+use sa_sim::{Multicore, SimConfig};
+
+use crate::sim::run_on_sim;
+
+/// The artifacts of one triaged violation.
+#[derive(Debug)]
+pub struct TriageReport {
+    /// Minimized program, rendered.
+    pub minimized: String,
+    /// Forbidden outcome of the minimized program, rendered.
+    pub minimized_outcome: String,
+    /// Human-readable blame report (also persisted as `.txt`).
+    pub blame: String,
+    /// Forensics summary JSON (also persisted as `.json`).
+    pub summary_json: String,
+    /// Persisted report paths, when a results dir was given.
+    pub paths: Vec<PathBuf>,
+}
+
+/// Shrinks `(test, model, pads, bug)` against the oracle, reruns the
+/// minimized program under [`Forensics`], and writes
+/// `serve_triage_<id>.{txt,json}` into `results_dir` (pass `None` to
+/// skip persistence). The original forbidden `outcome` is embedded in
+/// the report header for provenance.
+pub fn triage_violation(
+    test: &LitmusTest,
+    model: ConsistencyModel,
+    pads: &[usize],
+    bug: Option<InjectedBug>,
+    outcome: &Outcome,
+    results_dir: Option<&Path>,
+    id: u64,
+) -> TriageReport {
+    let mut oracle = Oracle::new();
+    let min = shrink(test, |cand| {
+        let cand_pads: Vec<usize> = pads.iter().copied().take(cand.threads.len()).collect();
+        let co = run_on_sim(cand, model, &cand_pads, bug);
+        !oracle.permits(cand, model, &co)
+    });
+    let min_pads: Vec<usize> = pads.iter().copied().take(min.threads.len()).collect();
+    let min_outcome = run_on_sim(&min, model, &min_pads, bug);
+
+    // Rerun the reproducer with the causal tracer attached (forces the
+    // cycle-exact engine) and fold the episode stream into a summary.
+    let traces = min.to_traces_padded(&min_pads);
+    let cfg = SimConfig::builder()
+        .model(model)
+        .cores(traces.len())
+        .injected_bug(bug)
+        .build()
+        .expect("triage sim config is valid");
+    let mut sim = Multicore::with_tracer(cfg, traces, Forensics::new(min.threads.len()));
+    let report = sim
+        .run(5_000_000)
+        .unwrap_or_else(|e| panic!("triage rerun under {model}: {e}"));
+    let summary = sim.into_tracer().finish(report.cycles);
+
+    let title = format!("containment violation under {model}");
+    let mut blame = String::new();
+    blame.push_str(&format!(
+        "# {title}\n# program:\n{}\n# forbidden outcome: {outcome}\n# minimized:\n{}\n# minimized outcome: {min_outcome}\n# pads: {min_pads:?}\n\n",
+        test.render(),
+        min.render(),
+    ));
+    blame.push_str(&summary.blame_report(&title));
+    let summary_json = summary.json();
+
+    let mut paths = Vec::new();
+    if let Some(dir) = results_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let txt = dir.join(format!("serve_triage_{id}.txt"));
+        let json = dir.join(format!("serve_triage_{id}.json"));
+        if std::fs::write(&txt, &blame).is_ok() {
+            paths.push(txt);
+        }
+        if std::fs::write(&json, format!("{summary_json}\n")).is_ok() {
+            paths.push(json);
+        }
+    }
+    TriageReport {
+        minimized: min.render(),
+        minimized_outcome: min_outcome.to_string(),
+        blame,
+        summary_json,
+        paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::pad_patterns;
+    use sa_isa::rng::Xoshiro256;
+    use sa_litmus::{policy_for, suite};
+
+    /// Plant the gate-key bug, find a violating (model, pads) cell with
+    /// the probe sweep, and triage it end to end — blame report persisted
+    /// and naming the gate.
+    #[test]
+    fn triages_a_planted_gate_key_violation() {
+        let bug = Some(InjectedBug::GateKeyMatch);
+        let probe = suite::probes()
+            .into_iter()
+            .find(|p| p.name == "probe_gate_key")
+            .unwrap();
+        let mut oracle = Oracle::new();
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut found = None;
+        'search: for model in ConsistencyModel::ALL {
+            if !model.uses_retire_gate() {
+                continue;
+            }
+            for pads in pad_patterns(&probe, true, &mut rng) {
+                let o = run_on_sim(&probe, model, &pads, bug);
+                if !oracle.permits(&probe, model, &o) {
+                    found = Some((model, pads, o));
+                    break 'search;
+                }
+            }
+        }
+        let (model, pads, outcome) = found.expect("probe sweep must expose the planted bug");
+        assert!(
+            policy_for(model) == sa_litmus::ForwardPolicy::StoreAtomic370,
+            "violation must be on a store-atomic config"
+        );
+
+        let dir = std::env::temp_dir().join(format!("sa_serve_triage_test_{}", std::process::id()));
+        let report = triage_violation(&probe, model, &pads, bug, &outcome, Some(&dir), 7);
+        assert!(!report.minimized.is_empty());
+        assert!(report.blame.contains("containment violation"));
+        assert!(report.blame.contains("minimized"));
+        assert!(
+            report.summary_json.contains("gate"),
+            "forensics summary should describe gate episodes"
+        );
+        assert_eq!(report.paths.len(), 2);
+        for p in &report.paths {
+            assert!(p.exists(), "{}", p.display());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

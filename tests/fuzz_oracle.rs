@@ -6,33 +6,23 @@
 //! Regenerate the golden files after an intentional oracle change with:
 //! `SA_BLESS_GOLDEN=1 cargo test -p sa-bench --test fuzz_oracle`
 
-use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use sa_bench::fuzz::{run_fuzz, FuzzConfig};
-use sa_litmus::{shrink, suite, ForwardPolicy, LitmusTest, Oracle};
+use sa_litmus::{render_allowed_doc, shrink, suite, ForwardPolicy, LitmusTest, Oracle};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/golden/{name}"))
 }
 
-/// Renders both reference models' allowed sets for one test, one
-/// outcome per line, in the outcome set's (sorted) iteration order.
+/// Renders both reference models' allowed sets for one test — the same
+/// document sa-serve returns for a submitted program, so these goldens
+/// also pin the service's wire format.
 fn render_allowed(test: &LitmusTest) -> String {
     let mut oracle = Oracle::new();
-    let mut doc = String::new();
-    writeln!(doc, "# {}", test.name).unwrap();
-    for line in test.render().lines() {
-        writeln!(doc, "# {line}").unwrap();
-    }
-    for policy in [ForwardPolicy::X86, ForwardPolicy::StoreAtomic370] {
-        let set = oracle.allowed(test, policy);
-        writeln!(doc, "[{policy:?}] {} outcomes", set.len()).unwrap();
-        for o in set.iter() {
-            writeln!(doc, "{o}").unwrap();
-        }
-    }
-    doc
+    let x86 = oracle.allowed(test, ForwardPolicy::X86).clone();
+    let atomic = oracle.allowed(test, ForwardPolicy::StoreAtomic370).clone();
+    render_allowed_doc(test.name, test, &x86, &atomic)
 }
 
 fn check_golden(file: &str, test: &LitmusTest) {
@@ -65,6 +55,21 @@ fn oracle_sb_allowed_set_matches_golden() {
 #[test]
 fn oracle_n6_allowed_set_matches_golden() {
     check_golden("oracle_n6.txt", &suite::n6().test);
+}
+
+#[test]
+fn oracle_iriw_allowed_set_matches_golden() {
+    check_golden("oracle_iriw.txt", &suite::iriw().test);
+}
+
+#[test]
+fn oracle_wrc_allowed_set_matches_golden() {
+    check_golden("oracle_wrc.txt", &suite::wrc().test);
+}
+
+#[test]
+fn oracle_lb_allowed_set_matches_golden() {
+    check_golden("oracle_lb.txt", &suite::lb().test);
 }
 
 /// The non-store-atomic n6 outcome separates the two reference models:
