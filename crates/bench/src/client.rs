@@ -101,6 +101,76 @@ impl ServeClient {
         }
     }
 
+    /// Waits for a job by following its `GET /jobs/<id>/events` stream —
+    /// the server holds the connection open and closes it at terminal
+    /// status, so no blind polling happens — then fetches the final
+    /// status document. If the stream cannot be established or dies
+    /// mid-flight (old server, proxy buffering, timeout), falls back to
+    /// [`ServeClient::poll`] for the remaining time.
+    pub fn wait(&self, id: u64, timeout: Duration) -> std::io::Result<JsonValue> {
+        let deadline = Instant::now() + timeout;
+        let _ = self.follow_events(id, deadline);
+        // Stream done (job terminal) or stream failed: one status GET
+        // either returns immediately or degrades to the polling loop.
+        let left = deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(50));
+        self.poll(id, left)
+    }
+
+    /// Streams a job's ndjson lifecycle events until the server closes
+    /// the connection (terminal status) or `deadline` passes; returns
+    /// the raw event lines in arrival order.
+    pub fn follow_events(&self, id: u64, deadline: Instant) -> std::io::Result<Vec<String>> {
+        let mut s = TcpStream::connect(("127.0.0.1", self.port))?;
+        s.set_read_timeout(Some(Duration::from_millis(500)))?;
+        s.set_write_timeout(Some(Duration::from_secs(5)))?;
+        write!(
+            s,
+            "GET /jobs/{id}/events HTTP/1.1\r\nHost: localhost\r\n\r\n"
+        )?;
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("job {id} event stream still open at deadline"),
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let text = String::from_utf8_lossy(&raw);
+        let (head, body) = text.split_once("\r\n\r\n").ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+        })?;
+        if !head.contains("200") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!(
+                    "event stream for {id}: {}",
+                    head.lines().next().unwrap_or("")
+                ),
+            ));
+        }
+        // Strip the chunked framing: event lines are the ones that look
+        // like JSON objects; size lines and blank separators are not.
+        Ok(body
+            .lines()
+            .filter(|l| l.starts_with('{'))
+            .map(|l| l.to_string())
+            .collect())
+    }
+
     /// Requests a drain-and-exit; returns the server's reply.
     pub fn shutdown(&self) -> std::io::Result<(u16, String)> {
         self.post("/shutdown", "")

@@ -76,6 +76,44 @@ pub fn run_workload_traced<T: sa_trace::Tracer>(
     (report, sim.into_tracer())
 }
 
+/// Like [`run_workload`], but with host-side span profiling enabled:
+/// the engine runs under [`sa_profile::WallProfiler`], so the calling
+/// thread's local span tree fills with the generation phase plus the
+/// engine phases (`lockstep`/`event` → `memsys`/`tick`/`jump` → …).
+/// Collect the tree with [`sa_profile::capture`] around this call.
+pub fn run_workload_profiled(
+    w: &WorkloadSpec,
+    model: ConsistencyModel,
+    scale: usize,
+    seed: u64,
+) -> Report {
+    use sa_profile::{Profiler, WallProfiler};
+    let n_cores = match w.suite {
+        Suite::Parallel => 8,
+        Suite::Spec => 1,
+    };
+    let cfg = SimConfig::default().with_model(model).with_cores(n_cores);
+    let traces = {
+        let _p = WallProfiler::span("generate");
+        w.generate(n_cores, scale, seed)
+    };
+    let mut sim = {
+        let _p = WallProfiler::span("setup");
+        Multicore::<sa_trace::NullTracer, WallProfiler>::with_tracer_profiler(
+            cfg,
+            traces,
+            sa_trace::NullTracer,
+        )
+    };
+    let budget = (scale as u64).saturating_mul(2_000).max(10_000_000);
+    let report = sim
+        .run(budget)
+        .unwrap_or_else(|e| panic!("{} under {model}: {e}", w.name));
+    let _p = WallProfiler::span("teardown");
+    drop(sim);
+    report
+}
+
 /// Runs one workload under every model, returning reports in
 /// [`ConsistencyModel::ALL`] order.
 pub fn run_all_models(w: &WorkloadSpec, scale: usize, seed: u64) -> Vec<Report> {
@@ -164,6 +202,21 @@ mod tests {
         let w = sa_workloads::by_name("557.xz_2").unwrap();
         let r = run_workload(&w, ConsistencyModel::Ibm370SlfSosKey, 300, 1);
         assert_eq!(r.per_core.len(), 1);
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_and_fills_the_tree() {
+        let w = sa_workloads::by_name("radix").unwrap();
+        let base = run_workload(&w, ConsistencyModel::X86, 300, 1);
+        let (r, tree) =
+            sa_profile::capture(|| run_workload_profiled(&w, ConsistencyModel::X86, 300, 1));
+        assert_eq!(r.cycles, base.cycles, "profiling must not perturb the sim");
+        assert!(tree.find(&["generate"]).is_some(), "{}", tree.to_json());
+        let engine = tree
+            .find(&["event"])
+            .or_else(|| tree.find(&["lockstep"]))
+            .expect("engine root span");
+        assert!(engine.total_ns > 0);
     }
 
     #[test]

@@ -9,13 +9,15 @@
 //! |--------------|-------------------------|------|
 //! | `/metrics`   | `text/plain; version=0.0.4` | Prometheus exposition text |
 //! | `/forensics` | `application/json`      | latest forensics summary JSON |
-//! | `/`          | `text/plain`            | index listing the two above |
+//! | `/profile`   | `application/json`      | latest host wall-time profile tree |
+//! | `/`          | `text/plain`            | index listing the ones above |
 //!
-//! The server holds only the two rendered strings (bounded memory, no
+//! The server holds only the rendered strings (bounded memory, no
 //! history), is updated from worker threads mid-sweep via
-//! [`MetricsServer::set_prometheus`] / [`MetricsServer::set_forensics`],
-//! and dies with the process — requests are served one at a time, which
-//! is plenty for a scrape interval measured in seconds.
+//! [`MetricsServer::set_prometheus`] / [`MetricsServer::set_forensics`]
+//! / [`MetricsServer::set_profile`], and dies with the process —
+//! requests are served one at a time, which is plenty for a scrape
+//! interval measured in seconds.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -26,6 +28,7 @@ use std::sync::{Arc, Mutex};
 struct ServeState {
     prometheus: String,
     forensics: String,
+    profile: String,
 }
 
 /// Handle to a running scrape endpoint. Clone-free: wrap in `Arc` to
@@ -69,6 +72,11 @@ impl MetricsServer {
     /// Replaces the forensics JSON snapshot served at `/forensics`.
     pub fn set_forensics(&self, json: String) {
         self.state.lock().expect("serve state").forensics = json;
+    }
+
+    /// Replaces the host wall-time profile JSON served at `/profile`.
+    pub fn set_profile(&self, json: String) {
+        self.state.lock().expect("serve state").profile = json;
     }
 }
 
@@ -118,10 +126,22 @@ fn handle(mut stream: TcpStream, state: &Mutex<ServeState>) -> std::io::Result<(
                 ("200 OK", "application/json", s.forensics.clone())
             }
         }
+        "/profile" => {
+            let s = state.lock().expect("serve state");
+            if s.profile.is_empty() {
+                (
+                    "200 OK",
+                    "application/json",
+                    "{\"status\":\"no profile snapshot yet\"}".to_string(),
+                )
+            } else {
+                ("200 OK", "application/json", s.profile.clone())
+            }
+        }
         "/" => (
             "200 OK",
             "text/plain",
-            "sa-bench live endpoint\n  /metrics    Prometheus exposition\n  /forensics  forensics summary JSON\n"
+            "sa-bench live endpoint\n  /metrics    Prometheus exposition\n  /forensics  forensics summary JSON\n  /profile    host wall-time profile tree JSON\n"
                 .to_string(),
         ),
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
@@ -161,6 +181,11 @@ mod tests {
         let f = get(srv.port(), "/forensics");
         assert!(f.contains("application/json"), "{f}");
         assert!(f.contains("sa-forensics-v1"), "{f}");
+
+        srv.set_profile("{\"total_ns\":7,\"roots\":[]}".to_string());
+        let p = get(srv.port(), "/profile");
+        assert!(p.contains("application/json"), "{p}");
+        assert!(p.contains("\"total_ns\":7"), "{p}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! network, and the event queue behind one core-facing facade.
 
 use sa_isa::{Addr, CoreId, Cycle, Line};
+use sa_profile::{NullProfiler, Profiler};
 use sa_trace::{EventKind, TraceEvent, TraceNode, Tracer};
 
 use crate::config::MemConfig;
@@ -255,6 +256,16 @@ impl MemorySystem {
     /// [`&mut NullTracer`](sa_trace::NullTracer) every emission site monomorphizes
     /// to dead code, leaving exactly the untraced event pump.
     pub fn advance<T: Tracer>(&mut self, to: Cycle, tracer: &mut T) {
+        self.advance_profiled::<T, NullProfiler>(to, tracer);
+    }
+
+    /// [`MemorySystem::advance`] with host-side profiling: message
+    /// handling is split by destination into `directory` (shared bank +
+    /// network send) and `private` (per-core L1 controller) spans so an
+    /// enabled [`Profiler`] attributes the protocol pump's wall time.
+    /// With the default [`NullProfiler`] every span compiles away and
+    /// this *is* `advance`.
+    pub fn advance_profiled<T: Tracer, P: Profiler>(&mut self, to: Cycle, tracer: &mut T) {
         while let Some((cycle, ev)) = self.q.pop_until(to) {
             match ev {
                 Ev::Deliver {
@@ -273,8 +284,14 @@ impl MemorySystem {
                         },
                     });
                     let actions = match node {
-                        NodeId::Bank(b) => self.banks[b as usize].handle(msg, cycle),
-                        NodeId::Core(c) => self.ctrls[c.index()].handle(msg, cycle),
+                        NodeId::Bank(b) => {
+                            let _p = P::span("directory");
+                            self.banks[b as usize].handle(msg, cycle)
+                        }
+                        NodeId::Core(c) => {
+                            let _p = P::span("private");
+                            self.ctrls[c.index()].handle(msg, cycle)
+                        }
                     };
                     self.apply(actions);
                 }

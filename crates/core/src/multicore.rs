@@ -1,10 +1,13 @@
 //! The assembled multicore: N out-of-order cores over one coherent memory
 //! system and one global value image.
 
+use std::marker::PhantomData;
+
 use sa_coherence::{MemReqId, MemorySystem, Notice};
 use sa_isa::{Addr, CoreId, Cycle, Line, Trace, Value, ValueMemory};
 use sa_metrics::{SampleInput, Sampler};
 use sa_ooo::{Core, LoadStorePort};
+use sa_profile::{NullProfiler, Profiler};
 use sa_trace::{NullTracer, Tracer};
 
 use crate::config::SimConfig;
@@ -76,15 +79,19 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// The simulated machine, generic over the attached [`Tracer`].
+/// The simulated machine, generic over the attached [`Tracer`] and
+/// host-side [`Profiler`].
 ///
-/// The default instantiation carries a [`NullTracer`], which
-/// monomorphizes every emission site to nothing — `Multicore::new`
-/// builds that untraced machine. Attach a real sink (ring buffer,
-/// counters, `Vec`) with [`Multicore::with_tracer`] and take it back
-/// with [`Multicore::into_tracer`] after the run.
+/// The default instantiation carries a [`NullTracer`] and a
+/// [`NullProfiler`], which monomorphize every emission and span site to
+/// nothing — `Multicore::new` builds that bare machine. Attach a real
+/// sink (ring buffer, counters, `Vec`) with [`Multicore::with_tracer`]
+/// and take it back with [`Multicore::into_tracer`] after the run;
+/// attach a profiler (e.g. `sa_profile::WallProfiler`) with
+/// [`Multicore::with_tracer_profiler`] to record the per-phase host
+/// wall-time tree into the running thread's `sa-profile` collector.
 #[derive(Debug)]
-pub struct Multicore<T: Tracer = NullTracer> {
+pub struct Multicore<T: Tracer = NullTracer, P: Profiler = NullProfiler> {
     cfg: SimConfig,
     cores: Vec<Core>,
     mem: MemorySystem,
@@ -95,6 +102,9 @@ pub struct Multicore<T: Tracer = NullTracer> {
     /// Reusable buffer the per-cycle loop drains notices into, so the
     /// hot path never allocates.
     notice_scratch: Vec<Notice>,
+    /// The profiler is stateless (spans land in thread-local storage);
+    /// only its type travels with the machine.
+    _profiler: PhantomData<P>,
 }
 
 impl Multicore {
@@ -118,6 +128,21 @@ impl<T: Tracer> Multicore<T> {
     /// Panics if `traces.len()` differs from the configured core count or
     /// the configuration is invalid.
     pub fn with_tracer(cfg: SimConfig, traces: Vec<Trace>, tracer: T) -> Multicore<T> {
+        Multicore::with_tracer_profiler(cfg, traces, tracer)
+    }
+}
+
+impl<T: Tracer, P: Profiler> Multicore<T, P> {
+    /// Builds a machine with both a tracer and a host-side profiler
+    /// type. Name `P` explicitly at the call site
+    /// (`Multicore::<NullTracer, WallProfiler>::with_tracer_profiler(…)`);
+    /// the profiler has no state to pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the configured core count or
+    /// the configuration is invalid.
+    pub fn with_tracer_profiler(cfg: SimConfig, traces: Vec<Trace>, tracer: T) -> Multicore<T, P> {
         cfg.validate();
         assert_eq!(
             traces.len(),
@@ -138,6 +163,7 @@ impl<T: Tracer> Multicore<T> {
             cfg,
             tracer,
             notice_scratch: Vec::new(),
+            _profiler: PhantomData,
         }
     }
 
@@ -190,7 +216,11 @@ impl<T: Tracer> Multicore<T> {
     /// Simulates one global cycle, returning how many instructions
     /// retired machine-wide during it.
     pub fn step(&mut self) -> u64 {
-        self.mem.advance(self.cycle, &mut self.tracer);
+        {
+            let _p = P::span("memsys");
+            self.mem
+                .advance_profiled::<T, P>(self.cycle, &mut self.tracer);
+        }
         let mut retired = 0;
         for i in 0..self.cores.len() {
             let id = CoreId(i as u8);
@@ -205,7 +235,8 @@ impl<T: Tracer> Multicore<T> {
                 mem: &mut self.mem,
                 core: id,
             };
-            let r = self.cores[i].tick(
+            let _p = P::span("tick");
+            let r = self.cores[i].tick_profiled::<_, T, P>(
                 self.cycle,
                 &mut port,
                 &mut self.valmem,
@@ -265,6 +296,7 @@ impl<T: Tracer> Multicore<T> {
 
     /// The reference engine: one [`Multicore::step`] per cycle.
     fn run_lockstep(&mut self, max_cycles: Cycle) -> Result<Report, RunError> {
+        let _engine = P::span("lockstep");
         let mut last_progress = self.cycle;
         while !self.finished() {
             if self.cycle >= max_cycles {
@@ -295,6 +327,7 @@ impl<T: Tracer> Multicore<T> {
     /// exactly where lockstep puts them), the watchdog deadline, or the
     /// cycle budget — whichever comes first.
     fn run_event(&mut self, max_cycles: Cycle) -> Result<Report, RunError> {
+        let _engine = P::span("event");
         let n = self.cores.len();
         // `active[i]`: last tick made progress, so tick again next cycle.
         // `wake[i]`: earliest self-scheduled wakeup of a sleeping core
@@ -306,7 +339,11 @@ impl<T: Tracer> Multicore<T> {
             if self.cycle >= max_cycles {
                 return Err(RunError::CycleLimit { limit: max_cycles });
             }
-            self.mem.advance(self.cycle, &mut self.tracer);
+            {
+                let _p = P::span("memsys");
+                self.mem
+                    .advance_profiled::<T, P>(self.cycle, &mut self.tracer);
+            }
             let mut retired = 0u64;
             let mut any_active = false;
             for i in 0..n {
@@ -333,13 +370,15 @@ impl<T: Tracer> Multicore<T> {
                     mem: &mut self.mem,
                     core: id,
                 };
-                let r = self.cores[i].tick(
+                let _p = P::span("tick");
+                let r = self.cores[i].tick_profiled::<_, T, P>(
                     self.cycle,
                     &mut port,
                     &mut self.valmem,
                     &self.notice_scratch,
                     &mut self.tracer,
                 );
+                drop(_p);
                 retired += r.retired;
                 if r.progress {
                     active[i] = true;
@@ -364,6 +403,7 @@ impl<T: Tracer> Multicore<T> {
                 continue;
             }
             // Everything is asleep: jump to the next interesting cycle.
+            let _p = P::span("jump");
             let mut next = Cycle::MAX;
             if let Some(c) = self.mem.next_event_cycle() {
                 next = next.min(c);

@@ -1,0 +1,246 @@
+//! Log2-bucketed duration histograms with Prometheus-correct export and
+//! quantile estimation.
+//!
+//! The occupancy histograms of [`crate::occupancy`] index buckets by
+//! exact integer value — right for structures a few dozen entries deep,
+//! useless for nanosecond latencies spanning nine orders of magnitude.
+//! [`Log2Hist`] covers the full `u64` range in 64 buckets: observation
+//! `v` lands in the bucket of its bit length, i.e. bucket `b ≥ 1`
+//! counts values in `[2^(b-1), 2^b - 1]` (bucket 0 counts exact
+//! zeros). That is the shape
+//! both the host-span profiler (`sa-profile`) and the service's
+//! per-endpoint HTTP latency histograms record into, and
+//! [`crate::Registry::log2_histogram`] exports it in the Prometheus
+//! text format — cumulative `_bucket{le="..."}` samples with real
+//! upper-bound labels, `_sum`, and `_count`.
+
+/// Number of buckets: one per power of two across the `u64` range.
+pub const LOG2_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` observations (typically
+/// nanoseconds).
+///
+/// Bucket `0` counts observations equal to zero; bucket `b ≥ 1` counts
+/// observations in `[2^(b-1), 2^b - 1]` (the values whose bit length is
+/// `b`). Recording is a branch-free bit-length computation plus two
+/// adds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Log2Hist {
+        Log2Hist::new()
+    }
+}
+
+/// The bucket index observation `v` lands in.
+#[inline]
+pub fn log2_bucket(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `b`: `2^b - 1` (bucket 0, which
+/// only holds exact zeros, has bound 0).
+#[inline]
+pub fn log2_bucket_bound(b: usize) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub fn new() -> Log2Hist {
+        Log2Hist {
+            buckets: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[log2_bucket(v).min(LOG2_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Records `n` observations of the same value.
+    pub fn observe_n(&mut self, v: u64, n: u64) {
+        self.buckets[log2_bucket(v).min(LOG2_BUCKETS - 1)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, o: &Log2Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            *a += b;
+        }
+        self.count += o.count;
+        self.sum = self.sum.saturating_add(o.sum);
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by locating the bucket
+    /// holding the target rank and interpolating linearly inside it —
+    /// the same estimator Prometheus' `histogram_quantile` applies to
+    /// `le`-bucketed data. Returns 0.0 on an empty histogram; `q` is
+    /// clamped into `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                let lo = if b == 0 { 0 } else { log2_bucket_bound(b - 1) } as f64;
+                let hi = log2_bucket_bound(b) as f64;
+                let into = (rank - cum as f64) / c as f64;
+                return lo + (hi - lo) * into;
+            }
+            cum = next;
+        }
+        log2_bucket_bound(LOG2_BUCKETS - 1) as f64
+    }
+
+    /// The standard service-latency summary: (p50, p95, p99).
+    pub fn p50_p95_p99(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // v of bit length b lands in bucket b; zero in bucket 0.
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        for b in 1..63 {
+            let bound = log2_bucket_bound(b); // 2^b - 1
+            assert_eq!(log2_bucket(bound), b, "upper bound stays in bucket {b}");
+            assert_eq!(log2_bucket(bound + 1), b + 1, "bound+1 spills to {b}+1");
+            assert_eq!(
+                log2_bucket(log2_bucket_bound(b - 1) + 1),
+                b,
+                "lower edge of bucket {b}"
+            );
+        }
+        assert_eq!(log2_bucket(u64::MAX), 64); // clamped to 63 by observe()
+    }
+
+    #[test]
+    fn observe_accumulates_count_and_sum() {
+        let mut h = Log2Hist::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(1000);
+        h.observe_n(8, 3);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 1000 + 24, "0 contributes count, not sum");
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[10], 1, "1000 ∈ [512, 1023]");
+        assert_eq!(h.buckets()[4], 3, "8 ∈ [8, 15]: bucket 4");
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = Log2Hist::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.buckets()[LOG2_BUCKETS - 1], 2);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Log2Hist::new();
+        assert_eq!(empty.quantile(0.5), 0.0);
+
+        // A single observation: every quantile points inside its bucket.
+        let mut one = Log2Hist::new();
+        one.observe(100); // bucket 7: [64, 127]
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = one.quantile(q);
+            assert!((63.0..=127.0).contains(&v), "q={q} -> {v}");
+        }
+
+        // Out-of-range q is clamped, not propagated.
+        assert_eq!(one.quantile(-3.0), one.quantile(0.0));
+        assert_eq!(one.quantile(7.0), one.quantile(1.0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed() {
+        let mut h = Log2Hist::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let (p50, p95, p99) = h.p50_p95_p99();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Uniform data: in-bucket linear interpolation recovers the true
+        // quantile to within one bucket's resolution.
+        assert!((450.0..=550.0).contains(&p50), "true p50=500: {p50}");
+        assert!((900.0..=1023.0).contains(&p95), "true p95=950: {p95}");
+        assert!((940.0..=1023.0).contains(&p99), "true p99=990: {p99}");
+        assert!(h.quantile(1.0) >= p99);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        a.observe(5);
+        b.observe(5);
+        b.observe(700);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 710);
+        assert_eq!(a.buckets()[3], 2, "5 ∈ (4, 8]");
+    }
+}

@@ -34,6 +34,7 @@
 //! repository's perf-regression baseline (`BENCH_pr2.json`).
 
 pub mod cpi;
+pub mod hist;
 pub mod json;
 pub mod jsonval;
 pub mod occupancy;
@@ -41,6 +42,7 @@ pub mod registry;
 pub mod sample;
 
 pub use cpi::{CpiCategory, CpiStack, CPI_CATEGORIES};
+pub use hist::{log2_bucket, log2_bucket_bound, Log2Hist, LOG2_BUCKETS};
 pub use json::JsonWriter;
 pub use jsonval::JsonValue;
 pub use occupancy::OccupancyHists;

@@ -34,6 +34,8 @@ enum SampleValue {
     Scalar(f64),
     /// `hist[i]` counts observations of value exactly `i`.
     Hist(Vec<u64>),
+    /// Log2-bucketed histogram with real upper-bound `le` labels.
+    Log2(Box<crate::Log2Hist>),
 }
 
 /// One metric family: a name, a kind, a help string, and its samples.
@@ -131,6 +133,25 @@ impl Registry {
             });
     }
 
+    /// Records a log2-bucketed histogram sample ([`crate::Log2Hist`]).
+    /// Exported with Prometheus-correct cumulative `_bucket` lines whose
+    /// `le` labels carry the buckets' real upper bounds (powers of two),
+    /// plus `_sum` and `_count`.
+    pub fn log2_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &crate::Log2Hist,
+    ) {
+        self.family(name, MetricKind::Histogram, help)
+            .samples
+            .push(Sample {
+                labels: Registry::own_labels(labels),
+                value: SampleValue::Log2(Box::new(hist.clone())),
+            });
+    }
+
     /// Number of samples across all families.
     pub fn len(&self) -> usize {
         self.families.iter().map(|f| f.samples.len()).sum()
@@ -163,6 +184,51 @@ impl Registry {
                             f.name,
                             fmt_labels(&s.labels),
                             fmt_value(*v)
+                        ));
+                    }
+                    SampleValue::Log2(h) => {
+                        // Only emit buckets up to the highest occupied
+                        // one — 64 mostly-empty lines per sample would
+                        // drown the exposition.
+                        let last = h
+                            .buckets()
+                            .iter()
+                            .rposition(|&c| c != 0)
+                            .map_or(0, |i| i + 1);
+                        let mut cum = 0u64;
+                        for (b, &c) in h.buckets().iter().enumerate().take(last) {
+                            cum += c;
+                            let mut labels = s.labels.clone();
+                            labels.push((
+                                "le".to_string(),
+                                crate::hist::log2_bucket_bound(b).to_string(),
+                            ));
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                f.name,
+                                fmt_labels(&labels),
+                                cum
+                            ));
+                        }
+                        let mut labels = s.labels.clone();
+                        labels.push(("le".to_string(), "+Inf".to_string()));
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            f.name,
+                            fmt_labels(&labels),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            f.name,
+                            fmt_labels(&s.labels),
+                            h.sum()
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            f.name,
+                            fmt_labels(&s.labels),
+                            h.count()
                         ));
                     }
                     SampleValue::Hist(h) => {
@@ -274,6 +340,25 @@ mod tests {
         // sum = 0*1 + 1*2 + 2*3 = 8; count = 6
         assert!(text.contains("sa_rob_occ_sum{core=\"0\"} 8\n"));
         assert!(text.contains("sa_rob_occ_count{core=\"0\"} 6\n"));
+    }
+
+    #[test]
+    fn log2_histogram_uses_real_upper_bounds() {
+        let mut h = crate::Log2Hist::new();
+        h.observe(1); // bucket 1, le=1
+        h.observe(3); // bucket 2, le=2
+        h.observe(3);
+        let mut r = Registry::new();
+        r.log2_histogram("sa_span_ns", "span latency", &[("path", "retire")], &h);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE sa_span_ns histogram"));
+        assert!(text.contains("sa_span_ns_bucket{path=\"retire\",le=\"1\"} 1\n"));
+        assert!(text.contains("sa_span_ns_bucket{path=\"retire\",le=\"3\"} 3\n"));
+        assert!(text.contains("sa_span_ns_bucket{path=\"retire\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("sa_span_ns_sum{path=\"retire\"} 7\n"));
+        assert!(text.contains("sa_span_ns_count{path=\"retire\"} 3\n"));
+        // Buckets above the last occupied one are not expanded.
+        assert!(!text.contains("le=\"7\""));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use sa_isa::{
     ValueMemory, NUM_REGS,
 };
 use sa_metrics::{CoreMetrics, CpiCategory};
+use sa_profile::{NullProfiler, Profiler};
 use sa_trace::{EventKind, GateOpenReason, TraceEvent, Tracer, UopKind};
 
 use crate::branch::Tage;
@@ -254,6 +255,23 @@ impl Core {
         notices: &[Notice],
         tracer: &mut T,
     ) -> TickResult {
+        self.tick_profiled::<M, T, NullProfiler>(now, mem, valmem, notices, tracer)
+    }
+
+    /// [`Core::tick`] with host-side phase profiling: each pipeline phase
+    /// runs under a `sa-profile` span, so an enabled [`Profiler`] builds
+    /// the per-phase wall-time tree the ROADMAP's hot-loop rebuild needs.
+    /// With the default [`NullProfiler`] every span compiles away and
+    /// this *is* `tick` — same monomorphization discipline as the
+    /// [`Tracer`].
+    pub fn tick_profiled<M: LoadStorePort, T: Tracer, P: Profiler>(
+        &mut self,
+        now: Cycle,
+        mem: &mut M,
+        valmem: &mut ValueMemory,
+        notices: &[Notice],
+        tracer: &mut T,
+    ) -> TickResult {
         self.progress = false;
         self.idle_stall = None;
         self.idle_gate_stall = false;
@@ -261,12 +279,27 @@ impl Core {
         self.idle_dispatch = None;
         let retired_before = self.stats.retired_instrs;
         self.stats.cycles += 1;
-        self.process_notices(now, valmem, notices, tracer);
-        self.drain_stores(now, mem, valmem, tracer);
-        self.process_completions(now, tracer);
-        self.retire(now, tracer);
-        self.schedule(now, mem, tracer);
-        self.dispatch(now, tracer);
+        {
+            let _p = P::span("notices");
+            self.process_notices(now, valmem, notices, tracer);
+        }
+        {
+            let _p = P::span("sb_drain");
+            self.drain_stores(now, mem, valmem, tracer);
+        }
+        {
+            let _p = P::span("complete");
+            self.process_completions(now, tracer);
+        }
+        {
+            let _p = P::span("retire");
+            self.retire(now, tracer);
+        }
+        self.schedule::<M, T, P>(now, mem, tracer);
+        {
+            let _p = P::span("frontend");
+            self.dispatch(now, tracer);
+        }
         if self.gate.is_closed() {
             self.stats.gate_closed_cycles += 1;
         }
@@ -986,7 +1019,13 @@ impl Core {
         ]
     }
 
-    fn schedule<M: LoadStorePort, T: Tracer>(&mut self, now: Cycle, mem: &mut M, tracer: &mut T) {
+    fn schedule<M: LoadStorePort, T: Tracer, P: Profiler>(
+        &mut self,
+        now: Cycle,
+        mem: &mut M,
+        tracer: &mut T,
+    ) {
+        let sched_span = P::span("sched_scan");
         let cid = self.id;
         let mut issued = 0usize;
         let mut load_ports = self.cfg.load_ports;
@@ -1066,7 +1105,7 @@ impl Core {
                         // The Waiting→Executing transition is progress
                         // even when the load immediately blocks.
                         self.progress = true;
-                        if self.try_execute_load(id, now, mem, tracer) {
+                        if self.try_execute_load::<M, T, P>(id, now, mem, tracer) {
                             load_ports -= 1;
                             issued += 1;
                             tracer.emit(|| TraceEvent {
@@ -1129,7 +1168,9 @@ impl Core {
         // blocked, no rejected memory issue to replay, no forwarding data
         // that just arrived — is skipped outright; a skipped retry has no
         // side effects, so the skip is invisible to the simulation.
+        drop(sched_span);
         if self.blocked_loads > 0 {
+            let _p = P::span("lsq_retry");
             let mut blocked = std::mem::take(&mut self.retry_scratch);
             blocked.clear();
             let epoch = self.lsq_epoch;
@@ -1157,7 +1198,7 @@ impl Core {
                 if load_ports == 0 {
                     break;
                 }
-                if self.try_execute_load(id, now, mem, tracer) {
+                if self.try_execute_load::<M, T, P>(id, now, mem, tracer) {
                     load_ports -= 1;
                     tracer.emit(|| TraceEvent {
                         cycle: now,
@@ -1209,7 +1250,7 @@ impl Core {
 
     /// Runs the load state machine; returns `true` when a port was
     /// consumed (a forward happened or a request was issued).
-    fn try_execute_load<M: LoadStorePort, T: Tracer>(
+    fn try_execute_load<M: LoadStorePort, T: Tracer, P: Profiler>(
         &mut self,
         id: RobId,
         now: Cycle,
@@ -1286,7 +1327,11 @@ impl Core {
             }
         }
 
-        match self.sq.search(id, addr, size) {
+        let hit = {
+            let _p = P::span("sq_search");
+            self.sq.search(id, addr, size)
+        };
+        match hit {
             SearchHit::Forward {
                 store,
                 passed_unresolved,

@@ -1,0 +1,360 @@
+//! # sa-profile — host-side hierarchical span profiling
+//!
+//! Every observability layer so far explains *simulated* cycles —
+//! `sa-metrics`' CPI stacks account for retire slots, `sa-forensics`
+//! for gate episodes. This crate explains **host wall time**: where the
+//! simulator process itself spends its nanoseconds, phase by phase —
+//! the attribution ROADMAP's parallel-engine and SoA-rebuild items need
+//! before anyone picks what to rebuild.
+//!
+//! ## Model
+//!
+//! The design transplants `sa-trace`'s zero-overhead discipline to
+//! timing. Instrumentation sites are generic over a [`Profiler`] whose
+//! compile-time [`Profiler::ENABLED`] flag gates everything behind a
+//! provided `#[inline(always)]` method, so the default
+//! [`NullProfiler`] monomorphizes every site to nothing — no clock
+//! read, no thread-local touch, no branch. The enabled
+//! [`WallProfiler`] opens a RAII [`SpanGuard`] over a thread-local
+//! span stack; on drop it records the elapsed nanoseconds into a
+//! [`ProfileTree`] node addressed by the full phase *path*, with a
+//! [`sa_metrics::Log2Hist`] per node for p50/p95/p99.
+//!
+//! A call site is one line:
+//!
+//! ```
+//! use sa_profile::{Profiler, WallProfiler};
+//!
+//! fn retire<P: Profiler>() {
+//!     let _span = P::span("retire");
+//!     // ... work measured until _span drops ...
+//! }
+//! retire::<WallProfiler>();
+//! let tree = sa_profile::take_local();
+//! assert_eq!(tree.find(&["retire"]).unwrap().count, 1);
+//! ```
+//!
+//! ## Aggregation topology
+//!
+//! The hot path writes only to the current thread's tree — never a
+//! lock. Scopes drain it at natural boundaries:
+//!
+//! * [`capture`] wraps a closure (one bench cell, one serve job) and
+//!   returns the tree it produced, restoring whatever tree the thread
+//!   had before;
+//! * [`merge_into_global`] folds a scope's tree under a label into the
+//!   process-wide tree;
+//! * [`harvest`] clones the process-wide tree — this is what
+//!   `GET /profile` serves live mid-sweep;
+//! * [`record_ns`] books externally-measured nanoseconds (e.g. a job's
+//!   queue wait, clocked across threads) as a phase entry.
+
+pub mod tree;
+
+pub use tree::{ProfileNode, ProfileTree};
+
+use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The instrumentation interface the engine and service are generic
+/// over.
+///
+/// Mirrors `sa_trace::Tracer`: implementations are monomorphized into
+/// the loops they instrument, and the provided [`Profiler::span`] /
+/// [`Profiler::sample_ns`] hooks check the compile-time
+/// [`Profiler::ENABLED`] flag so a disabled profiler erases the site —
+/// [`Profiler::enter`] is *never called* when `ENABLED` is false,
+/// which the zero-overhead test pins down.
+pub trait Profiler {
+    /// Compile-time enable flag. When `false`, every instrumentation
+    /// site is dead code.
+    const ENABLED: bool;
+
+    /// The RAII guard [`Profiler::enter`] returns.
+    type Guard;
+
+    /// Opens a span. Only called when [`Profiler::ENABLED`] is true.
+    fn enter(name: &'static str) -> Self::Guard;
+
+    /// Books `ns` nanoseconds against phase `name` without opening a
+    /// span. Only called when [`Profiler::ENABLED`] is true.
+    fn record_ns(name: &'static str, ns: u64);
+
+    /// Instrumentation hook: opens a span unless this profiler is
+    /// disabled, in which case nothing runs at all.
+    #[inline(always)]
+    fn span(name: &'static str) -> Option<Self::Guard> {
+        if Self::ENABLED {
+            Some(Self::enter(name))
+        } else {
+            None
+        }
+    }
+
+    /// Instrumentation hook for externally-clocked durations; erased
+    /// when disabled.
+    #[inline(always)]
+    fn sample_ns(name: &'static str, ns: u64) {
+        if Self::ENABLED {
+            Self::record_ns(name, ns);
+        }
+    }
+}
+
+/// The disabled profiler: every site compiles away. The default
+/// everywhere, so unprofiled builds pay nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProfiler;
+
+impl Profiler for NullProfiler {
+    const ENABLED: bool = false;
+    type Guard = ();
+
+    #[inline(always)]
+    fn enter(_name: &'static str) {}
+
+    #[inline(always)]
+    fn record_ns(_name: &'static str, _ns: u64) {}
+}
+
+/// The enabled profiler: wall-clock spans into the thread-local tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WallProfiler;
+
+impl Profiler for WallProfiler {
+    const ENABLED: bool = true;
+    type Guard = SpanGuard;
+
+    #[inline]
+    fn enter(name: &'static str) -> SpanGuard {
+        enter(name)
+    }
+
+    #[inline]
+    fn record_ns(name: &'static str, ns: u64) {
+        record_ns(name, ns);
+    }
+}
+
+struct Collector {
+    tree: ProfileTree,
+    stack: Vec<usize>,
+}
+
+thread_local! {
+    static TLS: RefCell<Collector> = RefCell::new(Collector {
+        tree: ProfileTree::new(),
+        stack: Vec::new(),
+    });
+}
+
+/// An open span on the current thread's stack; records its elapsed
+/// wall time into the tree when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    node: usize,
+    start: Instant,
+}
+
+/// Opens a span named `name` as a child of the innermost open span on
+/// this thread (or a root if none is open).
+pub fn enter(name: &'static str) -> SpanGuard {
+    TLS.with(|c| {
+        let mut c = c.borrow_mut();
+        let parent = c.stack.last().copied();
+        let node = c.tree.child(parent, name);
+        c.stack.push(node);
+        SpanGuard {
+            node,
+            start: Instant::now(),
+        }
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        TLS.with(|c| {
+            let mut c = c.borrow_mut();
+            // Guards drop LIFO in correct code; truncating back to this
+            // span's frame keeps the stack sane even if an inner guard
+            // leaked past its scope. A guard that outlived its tree
+            // (abandoned by `take_local`/`capture`) records nothing.
+            if let Some(pos) = c.stack.iter().rposition(|&n| n == self.node) {
+                c.stack.truncate(pos);
+            }
+            if self.node < c.tree.node_count() {
+                c.tree.record(self.node, ns);
+            }
+        });
+    }
+}
+
+/// Books `ns` nanoseconds against phase `name` under the innermost
+/// open span — for durations clocked elsewhere (a job's queue wait is
+/// measured from submission on another thread).
+pub fn record_ns(name: &'static str, ns: u64) {
+    TLS.with(|c| {
+        let mut c = c.borrow_mut();
+        let parent = c.stack.last().copied();
+        let node = c.tree.child(parent, name);
+        c.tree.record(node, ns);
+    });
+}
+
+/// Takes the current thread's tree, leaving an empty one. Any still
+/// open spans are abandoned (their guards record nothing).
+pub fn take_local() -> ProfileTree {
+    TLS.with(|c| {
+        let mut c = c.borrow_mut();
+        c.stack.clear();
+        std::mem::take(&mut c.tree)
+    })
+}
+
+/// Runs `f` against a fresh thread-local tree and returns what it
+/// recorded alongside its result, restoring the thread's previous
+/// tree — and the spans open in it — afterwards. Spans `f` itself
+/// leaves open are abandoned.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, ProfileTree) {
+    let (saved_tree, saved_stack) = TLS.with(|c| {
+        let mut c = c.borrow_mut();
+        (std::mem::take(&mut c.tree), std::mem::take(&mut c.stack))
+    });
+    let r = f();
+    let tree = TLS.with(|c| {
+        let mut c = c.borrow_mut();
+        c.stack = saved_stack;
+        std::mem::replace(&mut c.tree, saved_tree)
+    });
+    (r, tree)
+}
+
+fn global() -> &'static Mutex<ProfileTree> {
+    static GLOBAL: OnceLock<Mutex<ProfileTree>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(ProfileTree::new()))
+}
+
+/// Folds `tree` into the process-wide tree as the subtree of a root
+/// named `label` (e.g. `cell/mp/slfspec-sb4`, `job/3`).
+pub fn merge_into_global(label: &str, tree: &ProfileTree) {
+    global()
+        .lock()
+        .expect("profile global poisoned")
+        .merge_under(label, tree);
+}
+
+/// Clones the process-wide tree — live state, callable mid-sweep.
+pub fn harvest() -> ProfileTree {
+    global().lock().expect("profile global poisoned").clone()
+}
+
+/// Clears the process-wide tree (tests and fresh sweeps).
+pub fn reset_global() {
+    *global().lock().expect("profile global poisoned") = ProfileTree::new();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A deliberately *disabled* profiler that would count if its
+    /// hooks were ever reached — proves `ENABLED = false` sites never
+    /// call `enter`/`record_ns`, i.e. the instrumentation compiles
+    /// away. Mirrors sa-trace's `DisabledCounter` test.
+    struct DisabledCounting;
+
+    static DISABLED_CALLS: AtomicU64 = AtomicU64::new(0);
+
+    impl Profiler for DisabledCounting {
+        const ENABLED: bool = false;
+        type Guard = ();
+
+        fn enter(_name: &'static str) {
+            DISABLED_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn record_ns(_name: &'static str, _ns: u64) {
+            DISABLED_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn disabled_profiler_never_reaches_its_hooks() {
+        for _ in 0..1000 {
+            let _g = DisabledCounting::span("hot_phase");
+            DisabledCounting::sample_ns("queue_wait", 42);
+        }
+        assert_eq!(DISABLED_CALLS.load(Ordering::Relaxed), 0);
+        // And the null profiler records nothing into the local tree.
+        let (_, tree) = capture(|| {
+            let _g = NullProfiler::span("phase");
+            NullProfiler::sample_ns("x", 1);
+        });
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_into_a_path_tree() {
+        let (_, tree) = capture(|| {
+            let _run = WallProfiler::span("run");
+            for _ in 0..3 {
+                let _r = WallProfiler::span("retire");
+            }
+            {
+                let _s = WallProfiler::span("schedule");
+                let _l = WallProfiler::span("lsq_retry");
+            }
+            WallProfiler::sample_ns("queue_wait", 5_000);
+        });
+        assert_eq!(tree.find(&["run", "retire"]).expect("nested").count, 3);
+        assert_eq!(
+            tree.find(&["run", "schedule", "lsq_retry"])
+                .expect("depth 3")
+                .count,
+            1
+        );
+        let qw = tree.find(&["run", "queue_wait"]).expect("manual sample");
+        assert_eq!((qw.count, qw.total_ns), (1, 5_000));
+        // The root span's total covers its children.
+        let run = tree.find(&["run"]).expect("root");
+        let retire = tree.find(&["run", "retire"]).expect("child");
+        assert!(run.total_ns >= retire.total_ns);
+    }
+
+    #[test]
+    fn capture_isolates_and_restores() {
+        let _outer = enter("outer_phase");
+        let (_, inner) = capture(|| {
+            let _g = WallProfiler::span("inner");
+        });
+        assert!(inner.find(&["inner"]).is_some());
+        assert!(
+            inner.find(&["outer_phase"]).is_none(),
+            "capture starts from an empty tree"
+        );
+        drop(_outer);
+        let restored = take_local();
+        assert!(
+            restored.find(&["outer_phase"]).is_some(),
+            "previous tree restored after capture"
+        );
+    }
+
+    #[test]
+    fn global_merge_and_harvest_roundtrip() {
+        reset_global();
+        let (_, tree) = capture(|| {
+            let _g = WallProfiler::span("simulate");
+        });
+        merge_into_global("job/1", &tree);
+        merge_into_global("job/2", &tree);
+        let g = harvest();
+        assert_eq!(g.roots().len(), 2);
+        assert_eq!(g.find(&["job/1", "simulate"]).expect("grafted").count, 1);
+        reset_global();
+        assert!(harvest().is_empty());
+    }
+}

@@ -226,6 +226,10 @@ impl JobStatus {
     }
 }
 
+/// Most lifecycle events a single job retains. Streams past the cap see
+/// a final `truncated` marker instead of the dropped middle.
+pub const MAX_JOB_EVENTS: usize = 256;
+
 /// One job's externally visible state.
 #[derive(Debug, Clone)]
 pub struct JobRecord {
@@ -241,6 +245,13 @@ pub struct JobRecord {
     pub result: Option<String>,
     /// Failure message (terminal `Failed` only).
     pub error: Option<String>,
+    /// Pre-rendered ndjson lifecycle events, in order, for
+    /// `GET /jobs/<id>/events`. Bounded by [`MAX_JOB_EVENTS`].
+    pub events: Vec<String>,
+    /// When the job was accepted — queue wait is measured from here.
+    pub submitted: std::time::Instant,
+    /// Queue wait in nanoseconds, set when a worker claims the job.
+    pub queue_wait_ns: Option<u64>,
 }
 
 /// The in-memory job store: live jobs plus a bounded tail of terminal
@@ -281,20 +292,64 @@ impl Jobs {
                 cached: false,
                 result: None,
                 error: None,
+                events: Vec::new(),
+                submitted: std::time::Instant::now(),
+                queue_wait_ns: None,
             },
         );
         self.specs.insert(id, spec);
+        self.push_event(id, "{\"status\":\"queued\"}");
         id
     }
 
+    /// Appends a pre-rendered event `fields` (a JSON object body without
+    /// the id/seq envelope) to a job's event log. No-op past eviction;
+    /// past [`MAX_JOB_EVENTS`] a single `truncated` marker is kept.
+    fn push_event(&mut self, id: u64, fields: &str) {
+        let Some(r) = self.records.get_mut(&id) else {
+            return;
+        };
+        if r.events.len() >= MAX_JOB_EVENTS {
+            if r.events.len() == MAX_JOB_EVENTS {
+                let seq = r.events.len();
+                r.events
+                    .push(format!("{{\"id\":{id},\"seq\":{seq},\"truncated\":true}}"));
+            }
+            return;
+        }
+        let seq = r.events.len();
+        let body = fields.strip_prefix('{').unwrap_or(fields);
+        r.events.push(format!("{{\"id\":{id},\"seq\":{seq},{body}"));
+    }
+
+    /// Records a mid-run progress marker (e.g. the phase a worker just
+    /// entered) on a running job's event stream.
+    pub fn progress(&mut self, id: u64, phase: &str) {
+        let esc: String = phase
+            .chars()
+            .filter(|c| *c != '"' && *c != '\\' && !c.is_control())
+            .collect();
+        self.push_event(
+            id,
+            &format!("{{\"status\":\"running\",\"phase\":\"{esc}\"}}"),
+        );
+    }
+
     /// Claims a queued job for execution: marks it running and hands the
-    /// spec to the worker.
-    pub fn claim(&mut self, id: u64) -> Option<JobSpec> {
+    /// spec to the worker along with the job's queue wait in nanoseconds.
+    pub fn claim(&mut self, id: u64) -> Option<(JobSpec, u64)> {
         let spec = self.specs.remove(&id)?;
+        let mut wait_ns = 0;
         if let Some(r) = self.records.get_mut(&id) {
             r.status = JobStatus::Running;
+            wait_ns = r.submitted.elapsed().as_nanos() as u64;
+            r.queue_wait_ns = Some(wait_ns);
         }
-        Some(spec)
+        self.push_event(
+            id,
+            &format!("{{\"status\":\"running\",\"queue_wait_ns\":{wait_ns}}}"),
+        );
+        Some((spec, wait_ns))
     }
 
     /// Removes a just-created job that could not be enqueued (429/503).
@@ -322,6 +377,7 @@ impl Jobs {
             r.cached = cached;
         }
         self.settle(id, JobStatus::Done);
+        self.push_event(id, &format!("{{\"status\":\"done\",\"cached\":{cached}}}"));
     }
 
     /// Records a failure.
@@ -331,6 +387,7 @@ impl Jobs {
             r.error = Some(error);
         }
         self.settle(id, JobStatus::Failed);
+        self.push_event(id, "{\"status\":\"failed\"}");
     }
 
     /// Looks a job up (evicted ids are gone).
@@ -450,5 +507,38 @@ mod tests {
         jobs.fail(ids[3], "cut off".to_string());
         assert_eq!(jobs.get(ids[3]).unwrap().status, JobStatus::Failed);
         assert!(JobStatus::Failed.is_terminal());
+    }
+
+    #[test]
+    fn lifecycle_events_are_sequenced_ndjson() {
+        let mut jobs = Jobs::new(4);
+        let id = jobs.create(JobSpec::parse(r#"{"suite":"sb"}"#).unwrap());
+        let (_, wait) = jobs.claim(id).unwrap();
+        jobs.progress(id, "explore");
+        jobs.finish(id, "{}".to_string(), true);
+        let r = jobs.get(id).unwrap();
+        assert_eq!(r.queue_wait_ns, Some(wait));
+        let evs = &r.events;
+        assert_eq!(evs.len(), 4);
+        for (i, ev) in evs.iter().enumerate() {
+            assert!(ev.contains(&format!("\"seq\":{i},")), "{ev}");
+            assert!(sa_metrics::JsonValue::parse(ev).is_ok(), "{ev}");
+        }
+        assert!(evs[0].contains("\"status\":\"queued\""));
+        assert!(evs[1].contains("\"queue_wait_ns\""));
+        assert!(evs[2].contains("\"phase\":\"explore\""));
+        assert!(evs[3].contains("\"status\":\"done\",\"cached\":true"));
+    }
+
+    #[test]
+    fn event_log_is_bounded_with_truncation_marker() {
+        let mut jobs = Jobs::new(4);
+        let id = jobs.create(JobSpec::parse(r#"{"suite":"sb"}"#).unwrap());
+        for i in 0..2 * MAX_JOB_EVENTS {
+            jobs.progress(id, &format!("phase{i}"));
+        }
+        let evs = &jobs.get(id).unwrap().events;
+        assert_eq!(evs.len(), MAX_JOB_EVENTS + 1);
+        assert!(evs.last().unwrap().contains("\"truncated\":true"));
     }
 }

@@ -8,10 +8,12 @@
 //! |--------|---------------|--------------|
 //! | POST   | `/jobs`       | job spec JSON → 202 `{id}`, 429 when the queue is full |
 //! | GET    | `/jobs/<id>`  | job status/result JSON (404 once evicted) |
+//! | GET    | `/jobs/<id>/events` | chunked ndjson lifecycle stream, closes at terminal status |
 //! | GET    | `/jobs`       | queue/status summary |
 //! | POST   | `/farm`       | `{programs, seed}` → starts a generator burst |
 //! | GET    | `/coverage`   | cumulative config × shape × outcome matrix |
-//! | GET    | `/metrics`    | Prometheus exposition (service + cache counters) |
+//! | GET    | `/metrics`    | Prometheus exposition (counters + latency histograms) |
+//! | GET    | `/profile`    | aggregated host wall-time tree (`/folded`, `/chrome` variants) |
 //! | GET    | `/forensics`  | latest violation-triage summary JSON |
 //! | POST   | `/shutdown`   | loopback-only: stop accepting, drain, flush |
 //!
@@ -28,11 +30,13 @@
 //! and the final coverage checkpoint is flushed.
 
 use std::collections::HashSet;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use sa_isa::rng::Xoshiro256;
 use sa_isa::ConsistencyModel;
@@ -41,8 +45,9 @@ use sa_litmus::{
     canonicalize, explore, policy_for, render_allowed_doc, shape_label, suite, CorpusStream,
     ForwardPolicy, GenConfig, OutcomeSet,
 };
-use sa_metrics::{JsonWriter, Registry};
+use sa_metrics::{JsonWriter, Log2Hist, Registry};
 use sa_ooo::InjectedBug;
+use sa_profile::{Profiler, WallProfiler};
 use sa_workloads::Suite as WorkloadSuite;
 
 use crate::cache::{CachedSets, OracleCache};
@@ -141,6 +146,11 @@ struct Shared {
     cfg: ServeConfig,
     queue: BoundedQueue<u64>,
     jobs: Mutex<Jobs>,
+    /// Paired with `jobs`: notified after every job-store mutation so
+    /// `GET /jobs/<id>/events` streams wake promptly instead of polling.
+    jobs_cv: Condvar,
+    /// Per-endpoint request-handling latency histograms (nanoseconds).
+    http_hists: Mutex<Vec<(&'static str, Log2Hist)>>,
     cache: Mutex<OracleCache>,
     coverage: Mutex<crate::coverage::Coverage>,
     corpus: Mutex<HashSet<Vec<Vec<LOp>>>>,
@@ -188,6 +198,8 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_cap),
             jobs: Mutex::new(Jobs::new(cfg.retain)),
+            jobs_cv: Condvar::new(),
+            http_hists: Mutex::new(Vec::new()),
             cache: Mutex::new(OracleCache::new()),
             coverage: Mutex::new(crate::coverage::Coverage::new()),
             corpus: Mutex::new(HashSet::new()),
@@ -332,8 +344,60 @@ fn handle_conn(
             )
         }
     };
+    let start = Instant::now();
+    // `GET /jobs/<id>/events` holds the connection open for the job's
+    // lifetime; hand it to a detached thread so this acceptor stays free.
+    if req.method == "GET" {
+        if let Some(id_str) = req
+            .path
+            .strip_prefix("/jobs/")
+            .and_then(|rest| rest.strip_suffix("/events"))
+        {
+            let reply = start_event_stream(stream, id_str, shared);
+            observe_http(shared, endpoint_family(&req.method, &req.path), start);
+            let (mut stream, status, body) = match reply {
+                None => return Ok(()),
+                Some(r) => r,
+            };
+            return respond(&mut stream, status, "application/json", &body);
+        }
+    }
     let (status, ctype, body) = route(&req, peer, shared);
+    observe_http(shared, endpoint_family(&req.method, &req.path), start);
     respond(&mut stream, status, ctype, &body)
+}
+
+/// The latency-histogram label for a request: one stable name per route
+/// family so ids and typos cannot explode the label space.
+fn endpoint_family(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/") => "index",
+        ("POST", "/jobs") => "submit",
+        ("GET", "/jobs") => "jobs_summary",
+        ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/events") => "job_events",
+        ("GET", p) if p.starts_with("/jobs/") => "job_status",
+        ("POST", "/farm") => "farm",
+        ("GET", "/coverage") => "coverage",
+        ("GET", "/metrics") => "metrics",
+        ("GET", p) if p == "/profile" || p.starts_with("/profile/") => "profile",
+        ("GET", "/forensics") => "forensics",
+        ("POST", "/shutdown") => "shutdown",
+        _ => "other",
+    }
+}
+
+/// Books one request's handling time into its endpoint's histogram.
+fn observe_http(shared: &Shared, endpoint: &'static str, start: Instant) {
+    let ns = start.elapsed().as_nanos() as u64;
+    let mut hists = shared.http_hists.lock().expect("http hists");
+    match hists.iter_mut().find(|(e, _)| *e == endpoint) {
+        Some((_, h)) => h.observe(ns),
+        None => {
+            let mut h = Log2Hist::new();
+            h.observe(ns);
+            hists.push((endpoint, h));
+        }
+    }
 }
 
 fn route(
@@ -354,6 +418,9 @@ fn route(
             shared.coverage.lock().expect("coverage").json(),
         ),
         ("GET", "/metrics") => ("200 OK", "text/plain; version=0.0.4", metrics_text(shared)),
+        ("GET", "/profile") => ("200 OK", JSON, sa_profile::harvest().to_json()),
+        ("GET", "/profile/folded") => ("200 OK", "text/plain", sa_profile::harvest().folded()),
+        ("GET", "/profile/chrome") => ("200 OK", JSON, sa_profile::harvest().to_chrome()),
         ("GET", "/forensics") => {
             let t = shared.latest_triage.lock().expect("triage").clone();
             if t.is_empty() {
@@ -385,9 +452,11 @@ const INDEX: &str = "sa-serve: simulation as a service\n\
   POST /jobs       submit a litmus or workload job (JSON)\n\
   GET  /jobs       queue summary\n\
   GET  /jobs/<id>  poll a job\n\
+  GET  /jobs/<id>/events  live ndjson lifecycle stream (chunked)\n\
   POST /farm       start a fuzzing-farm burst {\"programs\":N,\"seed\":S}\n\
   GET  /coverage   config x shape x outcome matrix\n\
   GET  /metrics    Prometheus exposition\n\
+  GET  /profile    host wall-time tree (/profile/folded, /profile/chrome)\n\
   GET  /forensics  latest violation triage\n\
   POST /shutdown   drain and exit (loopback only)\n";
 
@@ -409,6 +478,7 @@ fn submit(req: &Request, shared: &Shared) -> (&'static str, &'static str, String
     match shared.queue.try_push(id) {
         Ok(()) => {
             inc(&shared.counters.accepted);
+            shared.jobs_cv.notify_all();
             (
                 "202 Accepted",
                 JSON,
@@ -456,6 +526,76 @@ fn job_status(id_str: &str, shared: &Shared) -> (&'static str, &'static str, Str
         error
     );
     ("200 OK", JSON, body)
+}
+
+/// Validates a `GET /jobs/<id>/events` request. On success the stream
+/// is moved to a detached thread and `None` is returned; on error the
+/// stream comes back with a status + body for a normal JSON response.
+fn start_event_stream(
+    stream: TcpStream,
+    id_str: &str,
+    shared: &Arc<Shared>,
+) -> Option<(TcpStream, &'static str, String)> {
+    let Ok(id) = id_str.parse::<u64>() else {
+        return Some((stream, "400 Bad Request", err_json("job ids are integers")));
+    };
+    if shared.jobs.lock().expect("jobs").get(id).is_none() {
+        return Some((stream, "404 Not Found", err_json("unknown or evicted job")));
+    }
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || stream_events(stream, id, &shared));
+    None
+}
+
+/// Writes one chunked-transfer-encoded ndjson line.
+fn write_chunk(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    write!(stream, "{:x}\r\n{line}\n\r\n", line.len() + 1)
+}
+
+/// The body of one live event stream: drain the job's event log by
+/// cursor, sleep on the jobs condvar between batches, close after the
+/// terminal event (or when the record is evicted / the client hangs up).
+fn stream_events(mut stream: TcpStream, id: u64, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let mut cursor = 0usize;
+    loop {
+        let (batch, terminal) = {
+            let mut jobs = shared.jobs.lock().expect("jobs");
+            loop {
+                let Some(r) = jobs.get(id) else {
+                    // Evicted mid-stream: nothing more will ever arrive.
+                    let _ = stream.write_all(b"0\r\n\r\n");
+                    return;
+                };
+                let terminal = r.status.is_terminal();
+                if cursor < r.events.len() || terminal {
+                    break (r.events[cursor.min(r.events.len())..].to_vec(), terminal);
+                }
+                // Bounded wait: the condvar wakes us on any job-store
+                // mutation; the timeout covers lost wakeups + shutdown.
+                jobs = shared
+                    .jobs_cv
+                    .wait_timeout(jobs, Duration::from_millis(250))
+                    .expect("jobs cv")
+                    .0;
+            }
+        };
+        cursor += batch.len();
+        for line in &batch {
+            if write_chunk(&mut stream, line).is_err() {
+                return;
+            }
+        }
+        if terminal {
+            break;
+        }
+    }
+    let _ = stream.write_all(b"0\r\n\r\n");
 }
 
 fn jobs_summary(shared: &Shared) -> String {
@@ -512,15 +652,37 @@ fn start_farm(req: &Request, shared: &Arc<Shared>) -> (&'static str, &'static st
 
 // --------------------------------------------------------------- workers
 
+/// Appends a mid-run phase marker to a job's event stream and wakes any
+/// attached `GET /jobs/<id>/events` connections.
+fn progress(shared: &Shared, id: u64, phase: &str) {
+    shared.jobs.lock().expect("jobs").progress(id, phase);
+    shared.jobs_cv.notify_all();
+}
+
 fn worker_loop(shared: &Shared) {
     while let Some(id) = shared.queue.pop() {
-        let spec = shared.jobs.lock().expect("jobs").claim(id);
-        let Some(spec) = spec else { continue };
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, id, &spec)));
+        let claimed = shared.jobs.lock().expect("jobs").claim(id);
+        shared.jobs_cv.notify_all();
+        let Some((spec, wait_ns)) = claimed else {
+            continue;
+        };
+        // Run the job under a thread-local span capture: queue wait plus
+        // the lifecycle spans inside run_litmus/run_workload land in one
+        // per-job tree, merged into the global profile under the job
+        // kind so GET /profile shows where service wall time goes.
+        let (outcome, profile) = sa_profile::capture(|| {
+            sa_profile::record_ns("queue_wait", wait_ns);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, id, &spec)))
+        });
+        let kind = match &spec {
+            JobSpec::Litmus(_) => "job/litmus",
+            JobSpec::Workload(_) => "job/workload",
+        };
+        sa_profile::merge_into_global(kind, &profile);
         match outcome {
             Ok((result, cached)) => {
                 shared.jobs.lock().expect("jobs").finish(id, result, cached);
+                shared.jobs_cv.notify_all();
                 let done = inc(&shared.counters.completed);
                 if shared.cfg.checkpoint_every > 0
                     && done.is_multiple_of(shared.cfg.checkpoint_every)
@@ -535,6 +697,7 @@ fn worker_loop(shared: &Shared) {
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "job panicked".to_string());
                 shared.jobs.lock().expect("jobs").fail(id, msg);
+                shared.jobs_cv.notify_all();
                 inc(&shared.counters.failed);
             }
         }
@@ -545,17 +708,22 @@ fn worker_loop(shared: &Shared) {
 fn run_job(shared: &Shared, id: u64, spec: &JobSpec) -> (String, bool) {
     match spec {
         JobSpec::Litmus(l) => run_litmus(shared, id, l),
-        JobSpec::Workload(w) => (run_workload(shared, w), false),
+        JobSpec::Workload(w) => (run_workload(shared, id, w), false),
     }
 }
 
 fn run_litmus(shared: &Shared, id: u64, l: &LitmusJob) -> (String, bool) {
     // Allowed sets: memo cache first, explore (outside the lock) on miss.
-    let canon = canonicalize(&l.test);
+    let canon = {
+        let _p = WallProfiler::span("canon");
+        canonicalize(&l.test)
+    };
     let looked_up = shared.cache.lock().expect("cache").lookup(&canon.key);
     let (entry, cached) = match looked_up {
         Some(e) => (e, true),
         None => {
+            progress(shared, id, "explore");
+            let _p = WallProfiler::span("explore");
             let canon_test = canon.test();
             let sets = CachedSets {
                 x86: explore(&canon_test, ForwardPolicy::X86),
@@ -608,6 +776,8 @@ fn run_litmus(shared: &Shared, id: u64, l: &LitmusJob) -> (String, bool) {
     let mut rows: Vec<ModelRow> = Vec::new();
     let mut violations: Vec<ViolationRow> = Vec::new();
     if l.check {
+        progress(shared, id, "simulate");
+        let _sim_span = WallProfiler::span("simulate");
         let pats = l.pads.clone().unwrap_or_else(|| {
             let mut rng = Xoshiro256::seed_from_u64(shared.cfg.seed ^ id.rotate_left(17));
             pad_patterns(&l.test, l.probe, &mut rng)
@@ -645,6 +815,8 @@ fn run_litmus(shared: &Shared, id: u64, l: &LitmusJob) -> (String, bool) {
                     triage_paths: Vec::new(),
                 };
                 if violations.is_empty() {
+                    progress(shared, id, "shrink_triage");
+                    let _p = WallProfiler::span("shrink_triage");
                     let tr = triage_violation(
                         &l.test,
                         model,
@@ -714,7 +886,7 @@ fn run_litmus(shared: &Shared, id: u64, l: &LitmusJob) -> (String, bool) {
     (j.finish(), cached)
 }
 
-fn run_workload(shared: &Shared, w: &WorkloadJob) -> String {
+fn run_workload(shared: &Shared, id: u64, w: &WorkloadJob) -> String {
     let spec = sa_workloads::by_name(&w.workload).expect("workload validated at parse");
     let n_cores = match spec.suite {
         WorkloadSuite::Parallel => 8,
@@ -723,10 +895,18 @@ fn run_workload(shared: &Shared, w: &WorkloadJob) -> String {
     let cfg = sa_sim::SimConfig::default()
         .with_model(w.model)
         .with_cores(n_cores);
-    let traces = spec.generate(n_cores, w.scale, w.seed);
+    progress(shared, id, "generate");
+    let traces = {
+        let _p = WallProfiler::span("generate");
+        spec.generate(n_cores, w.scale, w.seed)
+    };
+    // Engine spans stay off here (`Multicore::new` = NullProfiler): the
+    // service profiles its lifecycle phases, not every simulated cycle.
     let mut sim = sa_sim::Multicore::new(cfg, traces);
     let budget = (w.scale as u64).saturating_mul(2_000).max(10_000_000);
     inc(&shared.counters.sims);
+    progress(shared, id, "simulate");
+    let _sim_span = WallProfiler::span("simulate");
     let report = sim
         .run(budget)
         .unwrap_or_else(|e| panic!("{} under {}: {e}", w.workload, w.model));
@@ -812,12 +992,14 @@ fn run_farm(shared: &Shared, programs: u64, seed: u64) {
             pads: None,
         });
         let id = shared.jobs.lock().expect("jobs").create(spec);
+        shared.jobs_cv.notify_all();
         if !shared.queue.push_blocking(id) {
             shared
                 .jobs
                 .lock()
                 .expect("jobs")
                 .fail(id, "shutdown before execution".to_string());
+            shared.jobs_cv.notify_all();
             break;
         }
         submitted += 1;
@@ -928,6 +1110,42 @@ fn metrics_text(shared: &Shared) -> String {
         &[],
         shared.coverage.lock().expect("coverage").cells() as f64,
     );
+    {
+        let hists = shared.http_hists.lock().expect("http hists");
+        for (endpoint, h) in hists.iter() {
+            reg.log2_histogram(
+                "sa_serve_http_request_duration_ns",
+                "request handling latency by endpoint family",
+                &[("endpoint", endpoint)],
+                h,
+            );
+        }
+    }
+    let profile = sa_profile::harvest();
+    let mut stack: Vec<(usize, String)> = profile
+        .roots()
+        .iter()
+        .rev()
+        .map(|&r| (r, profile.node(r).name.clone()))
+        .collect();
+    while let Some((idx, path)) = stack.pop() {
+        let n = profile.node(idx);
+        reg.counter(
+            "sa_profile_span_total_ns",
+            "cumulative wall time per host span path",
+            &[("path", &path)],
+            n.total_ns,
+        );
+        reg.counter(
+            "sa_profile_span_count",
+            "times each host span path was entered",
+            &[("path", &path)],
+            n.count,
+        );
+        for &c in profile.children(idx).iter().rev() {
+            stack.push((c, format!("{path};{}", profile.node(c).name)));
+        }
+    }
     reg.prometheus_text()
 }
 
@@ -972,7 +1190,7 @@ fn write_checkpoint(shared: &Shared) -> Option<PathBuf> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read as _, Write as _};
+    use std::io::Read as _;
 
     fn http(port: u16, method: &str, path: &str, body: &str) -> (String, String) {
         let mut s = TcpStream::connect(("127.0.0.1", port)).expect("connect");

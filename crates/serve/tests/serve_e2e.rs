@@ -1,0 +1,149 @@
+//! End-to-end service tests for the observability surface added with
+//! sa-profile: the live job event stream, the `/profile` wall-time
+//! tree, and the latency histograms on `/metrics`.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+
+use sa_metrics::JsonValue;
+use sa_serve::{ServeConfig, Server};
+
+fn http(port: u16, method: &str, path: &str, body: &str) -> (String, String) {
+    let mut s = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("recv");
+    let (head, body) = resp.split_once("\r\n\r\n").expect("header split");
+    (
+        head.lines().next().unwrap_or("").to_string(),
+        body.to_string(),
+    )
+}
+
+/// Extracts the ndjson event lines from a chunked-transfer body.
+fn ndjson_lines(chunked: &str) -> Vec<String> {
+    chunked
+        .lines()
+        .filter(|l| l.starts_with('{'))
+        .map(|l| l.to_string())
+        .collect()
+}
+
+/// Submit a checked litmus job, follow `GET /jobs/<id>/events` until the
+/// server closes the stream, and confirm the lifecycle arrived in order.
+/// Then confirm the same job shows up in the live `/profile` tree and
+/// that `/metrics` exports the per-endpoint latency histograms.
+#[test]
+fn event_stream_follows_job_to_terminal() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        acceptors: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let port = server.port();
+
+    let (status, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        r#"{"suite":"sb","models":["x86"],"pads":[[0,0]]}"#,
+    );
+    assert!(status.contains("202"), "{status}: {body}");
+    let id = JsonValue::parse(&body)
+        .expect("submit json")
+        .get("id")
+        .and_then(|i| i.as_u64())
+        .expect("id");
+
+    // The stream replays from the first event, so attaching after the
+    // submit (or even after completion) still sees the whole lifecycle.
+    let mut s = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    write!(s, "GET /jobs/{id}/events HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("stream drains to close");
+    let (head, chunked) = resp.split_once("\r\n\r\n").expect("header split");
+    assert!(head.contains("200 OK"), "{head}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    assert!(head.contains("application/x-ndjson"), "{head}");
+
+    let events = ndjson_lines(chunked);
+    assert!(events.len() >= 3, "expected a full lifecycle: {events:?}");
+    for (i, ev) in events.iter().enumerate() {
+        let v = JsonValue::parse(ev).unwrap_or_else(|e| panic!("bad ndjson {ev}: {e}"));
+        assert_eq!(v.get("id").and_then(|x| x.as_u64()), Some(id), "{ev}");
+        assert_eq!(
+            v.get("seq").and_then(|x| x.as_u64()),
+            Some(i as u64),
+            "{ev}"
+        );
+    }
+    let all = events.join("\n");
+    assert!(all.contains("\"status\":\"queued\""), "{all}");
+    assert!(all.contains("\"queue_wait_ns\""), "{all}");
+    assert!(all.contains("\"phase\":\"simulate\""), "{all}");
+    assert!(
+        events.last().unwrap().contains("\"status\":\"done\""),
+        "{all}"
+    );
+
+    // Streaming an unknown id is a plain 404, not a hung connection.
+    let (status, _) = http(port, "GET", "/jobs/999999/events", "");
+    assert!(status.contains("404"), "{status}");
+
+    // The finished job's lifecycle spans are visible in the live tree.
+    let (status, profile) = http(port, "GET", "/profile", "");
+    assert!(status.contains("200"), "{status}");
+    let v = JsonValue::parse(&profile).expect("profile json");
+    assert!(
+        v.get("total_ns").and_then(|t| t.as_u64()).unwrap_or(0) > 0,
+        "{profile}"
+    );
+    assert!(profile.contains("\"name\":\"job/litmus\""), "{profile}");
+    assert!(profile.contains("\"name\":\"queue_wait\""), "{profile}");
+    assert!(profile.contains("\"name\":\"simulate\""), "{profile}");
+    assert!(profile.contains("\"p95_ns\""), "{profile}");
+
+    // Folded flamegraph lines: `path;parts space self_ns`.
+    let (_, folded) = http(port, "GET", "/profile/folded", "");
+    assert!(!folded.trim().is_empty());
+    for line in folded.lines() {
+        let (path, ns) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line}"));
+        assert!(!path.is_empty(), "{line}");
+        ns.parse::<u64>().unwrap_or_else(|_| panic!("{line}"));
+    }
+    assert!(folded.contains("job/litmus;"), "{folded}");
+
+    // Chrome export parses and carries the host process metadata.
+    let (_, chrome) = http(port, "GET", "/profile/chrome", "");
+    let v = JsonValue::parse(&chrome).expect("chrome json");
+    assert!(v.get("traceEvents").is_some(), "{chrome}");
+
+    // Latency histograms: Prometheus-correct bucket/sum/count series
+    // labelled by endpoint family.
+    let (_, metrics) = http(port, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("sa_serve_http_request_duration_ns_bucket{"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("endpoint=\"submit\""), "{metrics}");
+    assert!(metrics.contains("le=\"+Inf\""), "{metrics}");
+    assert!(
+        metrics.contains("sa_serve_http_request_duration_ns_count{"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("sa_profile_span_total_ns{"), "{metrics}");
+    assert!(
+        metrics.contains("path=\"job/litmus;simulate\""),
+        "{metrics}"
+    );
+
+    let (status, _) = http(port, "POST", "/shutdown", "");
+    assert!(status.contains("200"), "{status}");
+    server.join();
+}

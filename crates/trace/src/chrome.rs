@@ -123,6 +123,53 @@ fn close_uop(json: &mut Json, core: CoreId, rob: u64, u: &OpenUop, end: u64, squ
     ));
 }
 
+/// A host-side wall-time span for [`export_chrome_host_spans`].
+///
+/// Unlike [`TraceEvent`]s, which are stamped in simulated cycles, these
+/// carry real nanoseconds — `sa-profile` lays its aggregated phase tree
+/// out as a sequence of these and reuses this crate's Chrome writer so
+/// host profiles load in Perfetto exactly like guest traces do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostSpan {
+    /// Phase name (one path component, not the full `;`-joined path —
+    /// nesting is conveyed by slice containment).
+    pub name: String,
+    /// Start offset in nanoseconds.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// How many times the phase was entered.
+    pub count: u64,
+}
+
+/// Renders host wall-time spans as Chrome trace-event JSON.
+///
+/// All spans land on one `host / wall time` track; a span whose
+/// `[ts, ts+dur]` interval is contained in another's nests under it,
+/// which is how trace viewers reconstruct the call tree. Timestamps are
+/// nanoseconds written as fractional microseconds (the trace-event
+/// `ts` unit).
+pub fn export_chrome_host_spans(spans: &[HostSpan]) -> String {
+    let mut json = Json::new();
+    json.push(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\
+         \"args\":{\"name\":\"host\"}}"
+            .to_string(),
+    );
+    meta_thread(&mut json, 0, 1, "wall time");
+    for s in spans {
+        json.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"host\",\"pid\":0,\"tid\":1,\
+             \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"count\":{}}}}}",
+            esc(&s.name),
+            s.ts_ns as f64 / 1000.0,
+            (s.dur_ns.max(1)) as f64 / 1000.0,
+            s.count,
+        ));
+    }
+    json.finish()
+}
+
 /// Renders `events` as Chrome trace-event JSON.
 ///
 /// Events must be in per-core nondecreasing cycle order — what every

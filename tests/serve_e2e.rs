@@ -49,7 +49,9 @@ fn n6_over_http_matches_golden_and_renamed_resubmit_hits_cache() {
         .submit(r#"{"name":"n6","threads":["st x,1; ld x; ld y","st y,2; st x,2"],"check":false}"#)
         .expect("submit")
         .expect("202");
-    let v = client.poll(id, Duration::from_secs(30)).expect("poll");
+    // `wait` rides the live event stream to terminal status instead of
+    // polling blind; the final document is identical to a poll's.
+    let v = client.wait(id, Duration::from_secs(30)).expect("wait");
     assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("done"));
     assert_eq!(v.get("cached").and_then(JsonValue::as_bool), Some(false));
     let allowed = v
