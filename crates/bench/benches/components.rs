@@ -8,7 +8,7 @@ use sa_coherence::msg::NodeId;
 use sa_coherence::network::Network;
 use sa_isa::{CoreId, Line, ValueMemory};
 use sa_ooo::branch::Tage;
-use sa_ooo::rob::RobId;
+use sa_ooo::rob::RobIdx;
 use sa_ooo::sq::StoreQueue;
 use sa_ooo::storeset::StoreSet;
 
@@ -88,10 +88,15 @@ fn main() {
     {
         let mut q = StoreQueue::new(56);
         for i in 0..40u64 {
-            q.alloc(RobId(i), i * 4, 0x1000 + i * 8, 8, true, Some(i));
+            let rob = RobIdx {
+                seq: i,
+                slot: i as u32,
+            };
+            q.alloc(rob, i * 4, 0x1000 + i * 8, 8, true, Some(i));
         }
+        let load = RobIdx { seq: 100, slot: 40 };
         g.bench("sq_forwarding_search", move || {
-            q.search(RobId(100), 0x1000 + 13 * 8, 8)
+            q.search(load, 0x1000 + 13 * 8, 8)
         });
     }
 

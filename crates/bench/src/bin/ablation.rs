@@ -21,7 +21,7 @@ use sa_workloads::{Suite, WorkloadSpec};
 fn run_cfg(w: &WorkloadSpec, cfg: SimConfig, scale: usize, seed: u64) -> Report {
     let n = if w.suite == Suite::Parallel { 8 } else { 1 };
     let cfg = cfg.with_cores(n);
-    let mut sim = Multicore::new(cfg, w.generate(n, scale, seed));
+    let mut sim = Multicore::new(cfg, w.generate_cached(n, scale, seed));
     sim.run(u64::MAX)
         .unwrap_or_else(|e| panic!("{}: {e}", w.name))
 }

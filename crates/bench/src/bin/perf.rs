@@ -5,7 +5,7 @@
 //! throughput (simulated cycles per wall-second), and writes the result
 //! as JSON.
 //!
-//! The committed `BENCH_pr7.json` at the repository root is the baseline;
+//! The committed `BENCH_pr8.json` at the repository root is the baseline;
 //! regenerate it with `cargo run --release --bin perf` after intentional
 //! performance changes. CI runs this binary at reduced scale to validate
 //! the schema and the CPI-stack accounting offline, and compares the
@@ -30,16 +30,23 @@
 //! deterministic; only the timing varies). Use `--repeat 5` when
 //! regenerating a committed baseline.
 //!
+//! With `--lockstep`, every cell runs on the cycle-exact lockstep
+//! reference engine instead of the default event-driven one — CI diffs
+//! the two sweeps with `bench-diff` to pin engine equivalence.
+//!
 //! Usage: `perf [--scale N] [--seed N] [--jobs N] [--out PATH]
-//! [--only NAME,NAME] [--repeat N] [--profile] [--serve-metrics PORT]`
-//! (default scale 2000, default output `BENCH_pr7.json`).
+//! [--only NAME,NAME] [--repeat N] [--profile] [--lockstep]
+//! [--serve-metrics PORT]`
+//! (default scale 2000, default output `BENCH_pr8.json`). The one line
+//! on stdout is the host-throughput geomean over all cells, for shell
+//! pipelines and CI logs; everything else goes to stderr or the JSON.
 
 use std::process::exit;
 use std::sync::{Arc, Mutex};
 
 use sa_bench::cli::{self, Arity, Flag, Spec};
 use sa_bench::serve::MetricsServer;
-use sa_bench::{harness, parallel_map, run_workload, run_workload_profiled};
+use sa_bench::{harness, parallel_map, run_workload, run_workload_lockstep, run_workload_profiled};
 use sa_isa::ConsistencyModel;
 use sa_metrics::{CpiCategory, JsonWriter};
 use sa_profile::{ProfileTree, Profiler, WallProfiler};
@@ -53,7 +60,7 @@ const LITMUS: [&str; 2] = ["n6", "mp"];
 const PARALLEL: [&str; 3] = ["barnes", "radix", "x264"];
 const SPEC: [&str; 2] = ["505.mcf", "557.xz_2"];
 
-fn run_litmus(name: &str, model: ConsistencyModel, profile: bool) -> Report {
+fn run_litmus(name: &str, model: ConsistencyModel, profile: bool, lockstep: bool) -> Report {
     // Litmus cells finish in microseconds, so the 90% reconciliation
     // gate only holds if *everything* is inside a span: program fetch,
     // trace conversion, engine construction, the run, the report, and
@@ -72,7 +79,8 @@ fn run_litmus(name: &str, model: ConsistencyModel, profile: bool) -> Report {
         let traces = ct.test.to_traces();
         let cfg = SimConfig::default()
             .with_model(model)
-            .with_cores(traces.len());
+            .with_cores(traces.len())
+            .with_cycle_skip(!lockstep);
         (traces, cfg)
     };
     if profile {
@@ -166,10 +174,15 @@ fn main() {
             arity: Arity::One,
             help: "time each cell N times, keep the fastest (default 1)",
         },
+        Flag {
+            name: "--lockstep",
+            arity: Arity::Switch,
+            help: "run on the cycle-exact lockstep reference engine (for engine-equivalence diffs)",
+        },
     ];
     let args = cli::parse(&Spec {
         default_scale: Some(2_000),
-        default_out: Some("BENCH_pr7.json"),
+        default_out: Some("BENCH_pr8.json"),
         extras: EXTRAS,
         ..Spec::new(
             "perf",
@@ -179,6 +192,11 @@ fn main() {
     let opts = args.opts.clone();
     let out_path = opts.out.clone().expect("spec supplies a default --out");
     let profile_on = args.switch("--profile");
+    let lockstep = args.switch("--lockstep");
+    if profile_on && lockstep {
+        eprintln!("perf: --profile and --lockstep are mutually exclusive");
+        exit(2);
+    }
     let repeat: usize = args
         .value("--repeat")
         .map(|v| {
@@ -265,12 +283,14 @@ fn main() {
     let all_results: Vec<ConfigResult> = parallel_map(&cells, opts.jobs, |&(e, model)| {
         let run_cell = || {
             if e.kind == "litmus" {
-                harness::time(|| run_litmus(e.name, model, profile_on))
+                harness::time(|| run_litmus(e.name, model, profile_on, lockstep))
             } else {
                 let w = sa_workloads::by_name(e.name)
                     .unwrap_or_else(|| panic!("unpinned workload {}", e.name));
                 if profile_on {
                     harness::time(|| run_workload_profiled(&w, model, opts.scale, opts.seed))
+                } else if lockstep {
+                    harness::time(|| run_workload_lockstep(&w, model, opts.scale, opts.seed))
                 } else {
                     harness::time(|| run_workload(&w, model, opts.scale, opts.seed))
                 }
@@ -401,4 +421,17 @@ fn main() {
     std::fs::write(&out_path, format!("{body}\n"))
         .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    // The single stdout line: host-throughput geomean over every cell,
+    // the headline number regression comparisons are made against.
+    let rates: Vec<f64> = all_results
+        .iter()
+        .filter(|r| r.host_seconds > 0.0)
+        .map(|r| r.report.cycles as f64 / r.host_seconds)
+        .collect();
+    println!(
+        "geomean sim-cycles/s over {} cells: {:.0}",
+        rates.len(),
+        geomean(&rates)
+    );
 }

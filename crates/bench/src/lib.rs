@@ -43,7 +43,33 @@ pub fn run_workload(w: &WorkloadSpec, model: ConsistencyModel, scale: usize, see
         Suite::Spec => 1,
     };
     let cfg = SimConfig::default().with_model(model).with_cores(n_cores);
-    let traces = w.generate(n_cores, scale, seed);
+    let traces = w.generate_cached(n_cores, scale, seed);
+    let mut sim = Multicore::new(cfg, traces);
+    let budget = (scale as u64).saturating_mul(2_000).max(10_000_000);
+    sim.run(budget)
+        .unwrap_or_else(|e| panic!("{} under {model}: {e}", w.name))
+}
+
+/// Like [`run_workload`], but on the cycle-exact lockstep reference
+/// engine (`cycle_skip` off). Same deterministic cycles by the engine
+/// equivalence invariant; CI diffs a lockstep sweep against the default
+/// event-driven one on every push to pin that invariant on the litmus
+/// cells.
+pub fn run_workload_lockstep(
+    w: &WorkloadSpec,
+    model: ConsistencyModel,
+    scale: usize,
+    seed: u64,
+) -> Report {
+    let n_cores = match w.suite {
+        Suite::Parallel => 8,
+        Suite::Spec => 1,
+    };
+    let cfg = SimConfig::default()
+        .with_model(model)
+        .with_cores(n_cores)
+        .with_cycle_skip(false);
+    let traces = w.generate_cached(n_cores, scale, seed);
     let mut sim = Multicore::new(cfg, traces);
     let budget = (scale as u64).saturating_mul(2_000).max(10_000_000);
     sim.run(budget)
@@ -67,7 +93,7 @@ pub fn run_workload_traced<T: sa_trace::Tracer>(
         Suite::Spec => 1,
     };
     let cfg = SimConfig::default().with_model(model).with_cores(n_cores);
-    let traces = w.generate(n_cores, scale, seed);
+    let traces = w.generate_cached(n_cores, scale, seed);
     let mut sim = Multicore::with_tracer(cfg, traces, tracer(n_cores));
     let budget = (scale as u64).saturating_mul(2_000).max(10_000_000);
     let report = sim
@@ -95,7 +121,7 @@ pub fn run_workload_profiled(
     let cfg = SimConfig::default().with_model(model).with_cores(n_cores);
     let traces = {
         let _p = WallProfiler::span("generate");
-        w.generate(n_cores, scale, seed)
+        w.generate_cached(n_cores, scale, seed)
     };
     let mut sim = {
         let _p = WallProfiler::span("setup");

@@ -19,7 +19,10 @@ use sa_isa::{Line, LINE_BYTES};
 /// ```
 #[derive(Debug, Clone)]
 pub struct CacheArray<T> {
-    /// `sets[s]` is ordered most-recently-used first.
+    /// `sets[s]` is ordered most-recently-used first. Empty until the
+    /// first insert: a never-written array costs no per-set storage at
+    /// construction *or* teardown (an 8 MB L3 is ~16 k set headers —
+    /// that write dominated litmus-scale setup time).
     sets: Vec<Vec<(Line, T)>>,
     assoc: usize,
     set_mask: u64,
@@ -36,12 +39,11 @@ impl<T> CacheArray<T> {
         assert!(assoc > 0 && lines >= assoc, "cache smaller than one set");
         let n_sets = lines / assoc;
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
-        // Set storage allocates lazily on first insert: a cold cache
-        // costs one outer allocation regardless of set count, so short
-        // (litmus-scale) runs don't pay for thousands of sets they
-        // never touch.
+        // All set storage allocates lazily on first insert: a cold
+        // cache costs nothing, so short (litmus-scale) runs don't pay
+        // for thousands of sets they never touch.
         CacheArray {
-            sets: (0..n_sets).map(|_| Vec::new()).collect(),
+            sets: Vec::new(),
             assoc,
             set_mask: n_sets as u64 - 1,
         }
@@ -54,7 +56,7 @@ impl<T> CacheArray<T> {
 
     /// Number of sets.
     pub fn n_sets(&self) -> usize {
-        self.sets.len()
+        (self.set_mask + 1) as usize
     }
 
     /// Associativity.
@@ -64,12 +66,15 @@ impl<T> CacheArray<T> {
 
     /// `true` when `line` is present.
     pub fn contains(&self, line: Line) -> bool {
-        self.sets[self.set_of(line)].iter().any(|(l, _)| *l == line)
+        self.sets
+            .get(self.set_of(line))
+            .is_some_and(|set| set.iter().any(|(l, _)| *l == line))
     }
 
     /// Payload of `line`, without updating recency.
     pub fn peek(&self, line: Line) -> Option<&T> {
-        self.sets[self.set_of(line)]
+        self.sets
+            .get(self.set_of(line))?
             .iter()
             .find(|(l, _)| *l == line)
             .map(|(_, t)| t)
@@ -78,7 +83,8 @@ impl<T> CacheArray<T> {
     /// Mutable payload of `line`, without updating recency.
     pub fn peek_mut(&mut self, line: Line) -> Option<&mut T> {
         let s = self.set_of(line);
-        self.sets[s]
+        self.sets
+            .get_mut(s)?
             .iter_mut()
             .find(|(l, _)| *l == line)
             .map(|(_, t)| t)
@@ -87,9 +93,12 @@ impl<T> CacheArray<T> {
     /// Marks `line` most-recently-used; returns `true` if it was present.
     pub fn touch(&mut self, line: Line) -> bool {
         let s = self.set_of(line);
-        if let Some(pos) = self.sets[s].iter().position(|(l, _)| *l == line) {
-            let e = self.sets[s].remove(pos);
-            self.sets[s].insert(0, e);
+        let Some(set) = self.sets.get_mut(s) else {
+            return false;
+        };
+        if let Some(pos) = set.iter().position(|(l, _)| *l == line) {
+            let e = set.remove(pos);
+            set.insert(0, e);
             true
         } else {
             false
@@ -101,6 +110,10 @@ impl<T> CacheArray<T> {
     /// recency without eviction.
     pub fn insert(&mut self, line: Line, payload: T) -> Option<(Line, T)> {
         let s = self.set_of(line);
+        if self.sets.is_empty() {
+            // First insert anywhere: materialize the (empty) sets.
+            self.sets.resize_with(self.n_sets(), Vec::new);
+        }
         if self.sets[s].capacity() == 0 {
             // First touch of this set: grab the full way capacity at
             // once so the set never reallocates afterwards.
@@ -123,8 +136,9 @@ impl<T> CacheArray<T> {
     /// Removes `line`, returning its payload.
     pub fn remove(&mut self, line: Line) -> Option<T> {
         let s = self.set_of(line);
-        let pos = self.sets[s].iter().position(|(l, _)| *l == line)?;
-        Some(self.sets[s].remove(pos).1)
+        let set = self.sets.get_mut(s)?;
+        let pos = set.iter().position(|(l, _)| *l == line)?;
+        Some(set.remove(pos).1)
     }
 
     /// Total lines currently resident.

@@ -143,6 +143,14 @@ pub struct MemorySystem {
     banks: Vec<DirBank>,
     notices: Vec<Vec<Notice>>,
     next_req: u64,
+    /// Per-core version stamps over controller state: bumped whenever a
+    /// core's private controller is mutated in a way that could change
+    /// the outcome of a subsequent issue attempt (accepted issues,
+    /// protocol message delivery, commit writes). A rejected issue does
+    /// NOT bump its core's stamp — its only side effects (request id,
+    /// reject counter) cannot flip a later attempt's outcome — which is
+    /// exactly what lets the core memoize `MshrFull` rejections.
+    reject_epochs: Vec<u64>,
 }
 
 impl MemorySystem {
@@ -180,6 +188,7 @@ impl MemorySystem {
             banks,
             notices: vec![Vec::new(); cfg.n_cores],
             next_req: 0,
+            reject_epochs: vec![0; cfg.n_cores],
             cfg,
         }
     }
@@ -212,8 +221,27 @@ impl MemorySystem {
     ) -> Option<MemReqId> {
         let id = self.fresh_req();
         let actions = self.ctrls[core.index()].load(id, line, pc, addr, now)?;
+        self.reject_epochs[core.index()] += 1;
         self.apply(actions);
         Some(id)
+    }
+
+    /// This core's [reject-memo](Self::issue_load) version stamp.
+    pub fn reject_epoch(&self, core: CoreId) -> u64 {
+        self.reject_epochs[core.index()]
+    }
+
+    /// Applies the side effects of `n` load or ownership issues known
+    /// (via an unchanged [`reject_epoch`](Self::reject_epoch)) to be
+    /// MSHR-rejected: the request ids and the controller's reject
+    /// counter advance exactly as in `n` real rejected
+    /// [`issue_load`](Self::issue_load)s or
+    /// [`issue_ownership`](Self::issue_ownership)s — the two reject
+    /// paths have identical side effects — without the cache and MSHR
+    /// probes.
+    pub fn note_rejected_issues(&mut self, core: CoreId, n: u64) {
+        self.next_req += n;
+        self.ctrls[core.index()].note_mshr_rejects(n);
     }
 
     /// Issues an ownership request (store RFO/upgrade) for `core`.
@@ -221,6 +249,7 @@ impl MemorySystem {
     pub fn issue_ownership(&mut self, core: CoreId, line: Line, now: Cycle) -> Option<MemReqId> {
         let id = self.fresh_req();
         let actions = self.ctrls[core.index()].ownership(id, line, now)?;
+        self.reject_epochs[core.index()] += 1;
         self.apply(actions);
         Some(id)
     }
@@ -232,6 +261,7 @@ impl MemorySystem {
 
     /// Records the store-commit L1 write into an owned line.
     pub fn mark_dirty(&mut self, core: CoreId, line: Line) {
+        self.reject_epochs[core.index()] += 1;
         self.ctrls[core.index()].mark_dirty(line);
     }
 
@@ -290,6 +320,7 @@ impl MemorySystem {
                         }
                         NodeId::Core(c) => {
                             let _p = P::span("private");
+                            self.reject_epochs[c.index()] += 1;
                             self.ctrls[c.index()].handle(msg, cycle)
                         }
                     };

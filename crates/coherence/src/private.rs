@@ -147,6 +147,14 @@ impl PrivateCtrl {
         )
     }
 
+    /// Books `n` MSHR rejections without the probes: the memoized
+    /// equivalent of the reject branches of [`PrivateCtrl::load`] and
+    /// [`PrivateCtrl::ownership`], whose only controller-side effect is
+    /// this counter.
+    pub(crate) fn note_mshr_rejects(&mut self, n: u64) {
+        self.stats.mshr_rejects += n;
+    }
+
     /// Marks an owned line dirty (the store-commit L1 write).
     ///
     /// # Panics

@@ -43,6 +43,14 @@ impl LoadStorePort for PortView<'_> {
     fn l1_latency(&self) -> u64 {
         self.mem.l1_latency()
     }
+
+    fn reject_epoch(&self) -> Option<u64> {
+        Some(self.mem.reject_epoch(self.core))
+    }
+
+    fn note_rejected_issues(&mut self, n: u64) {
+        self.mem.note_rejected_issues(self.core, n);
+    }
 }
 
 /// Why a run did not complete.

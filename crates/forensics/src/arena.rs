@@ -1,0 +1,194 @@
+//! Reusable arena for in-progress gate episodes.
+//!
+//! Squash-heavy cells (x264's contended condvar line closes and reopens
+//! the gate tens of thousands of times per run) create and drop one
+//! episode record per closed period. The arena recycles those records:
+//! a released slot is *cleared, not freed*, and the next episode on the
+//! same gate key takes the same slot back — the pool's footprint is the
+//! high-water mark of concurrently open episodes, not the episode count.
+//!
+//! Keying by [`GateKey`] gives recurring keys slot affinity (the common
+//! case is one hot forwarding store closing the gate again and again);
+//! when the keyed slot is busy — another core locked the same SB slot
+//! number — allocation falls back to the free list, so the key map is
+//! an affinity hint, never a correctness input.
+
+use sa_isa::{Addr, Cycle, FastMap};
+use sa_trace::GateKey;
+
+use crate::EpisodeEnd;
+
+/// The mutable state of one episode in the pool. Plain data: clearing a
+/// slot is a field reset, and `release` does not even do that — fields
+/// are overwritten wholesale on the next `alloc`. A slot stays in the
+/// pool through the episode's whole life, including the parked phase
+/// where the gate has reopened but the last refill window is still
+/// accruing (`opened_at`/`end` set, not yet released).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EpisodeSlot {
+    pub key: GateKey,
+    pub store_addr: Option<Addr>,
+    pub rob: u64,
+    pub closed_at: Cycle,
+    /// Set when the gate reopens; meaningless while the episode is open.
+    pub opened_at: Cycle,
+    /// `None` while the episode is still open.
+    pub end: Option<EpisodeEnd>,
+    pub extra_closes: u32,
+    pub squashes: u64,
+    pub squashed_uops: u64,
+    pub squash_cycles: u64,
+    pub first_blame: Option<u8>,
+    pub first_blame_line: Option<Addr>,
+    in_use: bool,
+}
+
+/// Slot pool. Indices handed out by [`alloc`](EpisodePool::alloc) stay
+/// valid until [`release`](EpisodePool::release); slots are reused but
+/// the backing vector never shrinks.
+#[derive(Debug, Default)]
+pub(crate) struct EpisodePool {
+    slots: Vec<EpisodeSlot>,
+    /// Lazy free list: entries may name slots that were re-acquired
+    /// through the key map; `alloc` skips those on pop.
+    free: Vec<u32>,
+    /// Last slot used per gate key — the affinity hint.
+    by_key: FastMap<GateKey, u32>,
+    /// Allocations served by clearing an existing slot.
+    reused: u64,
+}
+
+impl EpisodePool {
+    /// Acquires a slot for a gate closing on `key` at `closed_at`, with
+    /// the fields every fresh episode starts from.
+    pub fn alloc(
+        &mut self,
+        key: GateKey,
+        store_addr: Option<Addr>,
+        rob: u64,
+        closed_at: Cycle,
+    ) -> u32 {
+        let idx = self.acquire(key);
+        self.slots[idx as usize] = EpisodeSlot {
+            key,
+            store_addr,
+            rob,
+            closed_at,
+            opened_at: 0,
+            end: None,
+            extra_closes: 0,
+            squashes: 0,
+            squashed_uops: 0,
+            squash_cycles: 0,
+            first_blame: None,
+            first_blame_line: None,
+            in_use: true,
+        };
+        idx
+    }
+
+    fn acquire(&mut self, key: GateKey) -> u32 {
+        if let Some(&s) = self.by_key.get(&key) {
+            if !self.slots[s as usize].in_use {
+                self.reused += 1;
+                return s;
+            }
+        }
+        while let Some(s) = self.free.pop() {
+            if !self.slots[s as usize].in_use {
+                self.reused += 1;
+                self.by_key.insert(key, s);
+                return s;
+            }
+        }
+        let s = self.slots.len() as u32;
+        self.slots.push(EpisodeSlot {
+            key,
+            store_addr: None,
+            rob: 0,
+            closed_at: 0,
+            opened_at: 0,
+            end: None,
+            extra_closes: 0,
+            squashes: 0,
+            squashed_uops: 0,
+            squash_cycles: 0,
+            first_blame: None,
+            first_blame_line: None,
+            in_use: false,
+        });
+        self.by_key.insert(key, s);
+        s
+    }
+
+    /// Returns the slot to the pool. The record stays allocated.
+    pub fn release(&mut self, idx: u32) {
+        debug_assert!(self.slots[idx as usize].in_use, "double release");
+        self.slots[idx as usize].in_use = false;
+        self.free.push(idx);
+    }
+
+    pub fn get(&self, idx: u32) -> &EpisodeSlot {
+        &self.slots[idx as usize]
+    }
+
+    pub fn get_mut(&mut self, idx: u32) -> &mut EpisodeSlot {
+        &mut self.slots[idx as usize]
+    }
+
+    /// (slots ever created, allocations served by reuse).
+    #[cfg(test)]
+    pub fn stats(&self) -> (usize, u64) {
+        (self.slots.len(), self.reused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(slot: u16) -> GateKey {
+        GateKey {
+            slot,
+            sorting: false,
+        }
+    }
+
+    #[test]
+    fn same_key_reuses_the_same_slot() {
+        let mut p = EpisodePool::default();
+        let a = p.alloc(key(3), None, 1, 10);
+        p.release(a);
+        let b = p.alloc(key(3), Some(0x40), 2, 20);
+        assert_eq!(a, b, "recurring key gets its slot back");
+        assert_eq!(p.get(b).rob, 2, "slot was cleared on realloc");
+        assert_eq!(p.get(b).squashes, 0);
+        assert_eq!(p.stats(), (1, 1));
+    }
+
+    #[test]
+    fn busy_keyed_slot_falls_back_to_free_list() {
+        let mut p = EpisodePool::default();
+        let a = p.alloc(key(0), None, 1, 10);
+        let b = p.alloc(key(0), None, 2, 11); // same key, slot busy
+        assert_ne!(a, b);
+        p.release(a);
+        p.release(b);
+        // Both free: the next alloc reuses rather than growing.
+        let c = p.alloc(key(7), None, 3, 12);
+        assert!(c == a || c == b);
+        assert_eq!(p.stats().0, 2, "pool never grew past the high-water");
+    }
+
+    #[test]
+    fn footprint_is_high_water_not_episode_count() {
+        let mut p = EpisodePool::default();
+        for i in 0..1000u64 {
+            let s = p.alloc(key((i % 4) as u16), None, i, i * 10);
+            p.release(s);
+        }
+        let (slots, reused) = p.stats();
+        assert_eq!(slots, 1, "serial episodes share one slot");
+        assert_eq!(reused, 999);
+    }
+}

@@ -34,8 +34,12 @@
 //! table (bounded by SB capacity — entries die at `SbCommit`), the
 //! `n×(n+1)` blame matrix, capped hotspot/folded-stack tables that count
 //! drops instead of growing, two fixed 64-bucket log₂ histograms, and a
-//! ring of the most recent completed episodes.
+//! ring of the most recent completed episodes. In-progress episodes live
+//! in a reusable arena ([`arena`]): slots are keyed by gate key and
+//! cleared for reuse rather than freed, so squash-heavy runs recycle a
+//! handful of records instead of churning one per closed period.
 
+mod arena;
 mod summary;
 
 pub use summary::{BlameMatrix, CoreSummary, FoldedChain, Hotspot, Summary};
@@ -150,27 +154,14 @@ struct RefillWindow {
     episode: Option<Cycle>,
 }
 
-/// An episode in progress.
-#[derive(Debug, Clone, Copy)]
-struct OpenEpisode {
-    key: GateKey,
-    store_addr: Option<Addr>,
-    rob: u64,
-    closed_at: Cycle,
-    extra_closes: u32,
-    squashes: u64,
-    squashed_uops: u64,
-    squash_cycles: u64,
-    first_blame: Option<u8>,
-    first_blame_line: Option<Addr>,
-}
-
-/// Per-core analyzer state.
+/// Per-core analyzer state. Episode records themselves live in the
+/// shared [`arena::EpisodePool`]; this holds only slot indices.
 #[derive(Debug, Default)]
 struct CoreState {
-    open: Option<OpenEpisode>,
-    /// Episodes that already ended but still own the open refill window.
-    drained: Vec<(Cycle, GateEpisode)>,
+    open: Option<u32>,
+    /// Episodes that already ended but still own the open refill window
+    /// (`closed_at`, pool slot).
+    drained: Vec<(Cycle, u32)>,
     /// SB-resident stores: key → byte address (bounded by SB capacity).
     sb_addr: FastMap<GateKey, Addr>,
     refill: Option<RefillWindow>,
@@ -188,6 +179,10 @@ struct CoreState {
 #[derive(Debug)]
 pub struct Forensics {
     cores: Vec<CoreState>,
+    /// Reusable episode records shared by all cores (cleared, not
+    /// freed; footprint = high-water mark of concurrently open
+    /// episodes).
+    pool: arena::EpisodePool,
     /// Blame cells, row-major `n × (n+1)`: cycles (col < n: remote core,
     /// col n: local causes).
     blame_cycles: Vec<u64>,
@@ -215,6 +210,7 @@ impl Forensics {
         let cols = n_cores + 1;
         Forensics {
             cores: (0..n_cores).map(|_| CoreState::default()).collect(),
+            pool: arena::EpisodePool::default(),
             blame_cycles: vec![0; n_cores * cols],
             blame_counts: vec![0; n_cores * cols],
             hotspots: FastMap::default(),
@@ -251,16 +247,19 @@ impl Forensics {
         }
         // Charge the episode the squash landed in: still open, or parked
         // on the drained list waiting for exactly this window.
-        let st = &mut self.cores[core];
-        match (&mut st.open, w.episode) {
-            (Some(ep), Some(closed_at)) if ep.closed_at == closed_at => {
-                ep.squash_cycles += cost;
+        match (self.cores[core].open, w.episode) {
+            (Some(idx), Some(closed_at)) if self.pool.get(idx).closed_at == closed_at => {
+                self.pool.get_mut(idx).squash_cycles += cost;
             }
             (_, Some(closed_at)) => {
-                if let Some(i) = st.drained.iter().position(|(c, _)| *c == closed_at) {
-                    let (_, mut ep) = st.drained.remove(i);
-                    ep.squash_cycles += cost;
-                    self.finish_episode(ep);
+                let parked = self.cores[core]
+                    .drained
+                    .iter()
+                    .position(|(c, _)| *c == closed_at);
+                if let Some(i) = parked {
+                    let (_, idx) = self.cores[core].drained.remove(i);
+                    self.pool.get_mut(idx).squash_cycles += cost;
+                    self.finish_slot(core, idx);
                 }
             }
             _ => {}
@@ -285,34 +284,47 @@ impl Forensics {
         self.recent.push_back(ep);
     }
 
+    /// Books the finished episode held in pool slot `idx` and recycles
+    /// the slot.
+    fn finish_slot(&mut self, core: usize, idx: u32) {
+        let s = *self.pool.get(idx);
+        self.pool.release(idx);
+        self.finish_episode(GateEpisode {
+            core: core as u8,
+            key: s.key,
+            store_addr: s.store_addr,
+            rob: s.rob,
+            closed_at: s.closed_at,
+            opened_at: s.opened_at,
+            end: s.end.expect("finished slot carries its end reason"),
+            extra_closes: s.extra_closes,
+            squashes: s.squashes,
+            squashed_uops: s.squashed_uops,
+            squash_cycles: s.squash_cycles,
+            first_blame: s.first_blame,
+            first_blame_line: s.first_blame_line,
+        });
+    }
+
     fn end_episode(&mut self, core: usize, now: Cycle, end: EpisodeEnd) {
-        let Some(ep) = self.cores[core].open.take() else {
+        let Some(idx) = self.cores[core].open.take() else {
             return;
         };
-        let done = GateEpisode {
-            core: core as u8,
-            key: ep.key,
-            store_addr: ep.store_addr,
-            rob: ep.rob,
-            closed_at: ep.closed_at,
-            opened_at: now,
-            end,
-            extra_closes: ep.extra_closes,
-            squashes: ep.squashes,
-            squashed_uops: ep.squashed_uops,
-            squash_cycles: ep.squash_cycles,
-            first_blame: ep.first_blame,
-            first_blame_line: ep.first_blame_line,
+        let closed_at = {
+            let s = self.pool.get_mut(idx);
+            s.opened_at = now;
+            s.end = Some(end);
+            s.closed_at
         };
         // If this episode's last squash is still refilling, park the
-        // episode until the window closes so the cost lands on it.
+        // slot until the window closes so the cost lands on it.
         let still_refilling = self.cores[core]
             .refill
-            .is_some_and(|w| w.episode == Some(done.closed_at));
+            .is_some_and(|w| w.episode == Some(closed_at));
         if still_refilling {
-            self.cores[core].drained.push((done.closed_at, done));
+            self.cores[core].drained.push((closed_at, idx));
         } else {
-            self.finish_episode(done);
+            self.finish_slot(core, idx);
         }
     }
 
@@ -328,8 +340,8 @@ impl Forensics {
             }
             // Orphaned drained episodes (their window closed with the
             // run): already costed, book them now.
-            for (_, ep) in std::mem::take(&mut self.cores[core].drained) {
-                self.finish_episode(ep);
+            for (_, idx) in std::mem::take(&mut self.cores[core].drained) {
+                self.finish_slot(core, idx);
             }
         }
         summary::build(self)
@@ -352,23 +364,13 @@ impl Tracer for Forensics {
             }
             EventKind::GateClose { rob, key } => {
                 let store_addr = self.cores[core].sb_addr.get(&key).copied();
-                match &mut self.cores[core].open {
+                match self.cores[core].open {
                     // Multi-key gate: a second key locked while closed
                     // extends the same closed period.
-                    Some(ep) => ep.extra_closes += 1,
-                    slot @ None => {
-                        *slot = Some(OpenEpisode {
-                            key,
-                            store_addr,
-                            rob,
-                            closed_at: ev.cycle,
-                            extra_closes: 0,
-                            squashes: 0,
-                            squashed_uops: 0,
-                            squash_cycles: 0,
-                            first_blame: None,
-                            first_blame_line: None,
-                        });
+                    Some(idx) => self.pool.get_mut(idx).extra_closes += 1,
+                    None => {
+                        let idx = self.pool.alloc(key, store_addr, rob, ev.cycle);
+                        self.cores[core].open = Some(idx);
                     }
                 }
             }
@@ -409,7 +411,8 @@ impl Tracer for Forensics {
                         self.hotspot_dropped += 1;
                     }
                 }
-                let episode = self.cores[core].open.as_mut().map(|ep| {
+                let episode = self.cores[core].open.map(|idx| {
+                    let ep = self.pool.get_mut(idx);
                     ep.squashes += 1;
                     ep.squashed_uops += uops;
                     if ep.first_blame_line.is_none() {
@@ -682,6 +685,40 @@ mod tests {
         assert_eq!(s.per_core[0].episodes, RING_CAP as u64 + 10);
         // Oldest episodes were dropped from the ring, not the totals.
         assert_eq!(s.recent[0].closed_at, 1000);
+    }
+
+    /// Serial episodes recycle one arena slot: the pool's footprint is
+    /// the high-water mark of concurrently open episodes, not the
+    /// episode count.
+    #[test]
+    fn episode_arena_recycles_slots() {
+        let mut f = Forensics::new(2);
+        for i in 0..500u64 {
+            let core = (i % 2) as u8;
+            let t = i * 100;
+            f.record(ev(
+                core,
+                t,
+                EventKind::GateClose {
+                    rob: i,
+                    key: key(0),
+                },
+            ));
+            f.record(ev(
+                core,
+                t + 5,
+                EventKind::GateOpen {
+                    reason: GateOpenReason::SbEmpty,
+                },
+            ));
+        }
+        // Both cores were briefly open at once is impossible here (the
+        // loop alternates), so one episode is open at any time.
+        let (slots, reused) = f.pool.stats();
+        assert_eq!(slots, 1, "500 episodes share one pooled record");
+        assert_eq!(reused, 499);
+        let s = f.finish(100_000);
+        assert_eq!(s.episodes(), 500);
     }
 
     /// The disabled-sink pattern from sa-trace: a `Forensics` behind an

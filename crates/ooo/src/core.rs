@@ -21,6 +21,13 @@
 //! 6. **Dispatch** — up to `width` trace instructions enter the window;
 //!    stall cycles are attributed to the first full resource
 //!    (ROB/LQ/SQ-SB — Figure 9's metric).
+//!
+//! All hot loops walk the struct-of-arrays columns of [`Rob`],
+//! [`LoadQueue`] and [`StoreQueue`] by physical slot; entities are named
+//! by generation-tagged handles (`RobIdx`/`LqIdx`/`SqIdx`), resolved to
+//! a slot once per use. Every scan preserves the visit order and
+//! side-effect order of the entry-struct implementation it replaced, so
+//! simulated cycle counts are bit-exact.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
@@ -37,10 +44,10 @@ use sa_trace::{EventKind, GateOpenReason, TraceEvent, Tracer, UopKind};
 use crate::branch::Tage;
 use crate::config::{CoreConfig, InjectedBug};
 use crate::gate::{Key, RetireGate};
-use crate::lq::{BlockReason, LoadQueue, LoadState};
+use crate::lq::{BlockReason, LoadQueue, LoadState, LqIdx};
 use crate::port::LoadStorePort;
-use crate::rob::{Rob, RobEntry, RobId, RobKind, RobState};
-use crate::sq::{extract_forwarded, SearchHit, SqId, StoreQueue};
+use crate::rob::{Rob, RobIdx, RobKind, RobState, RobUop};
+use crate::sq::{extract_forwarded, SearchHit, SqIdx, StoreQueue};
 use crate::stats::{CoreStats, SquashCause};
 use crate::storeset::StoreSet;
 
@@ -64,7 +71,7 @@ fn tcause(c: SquashCause) -> sa_trace::SquashKind {
 /// Micro-op class of a window entry, for trace labeling.
 fn tuop(kind: &RobKind) -> UopKind {
     match kind {
-        RobKind::Load => UopKind::Load,
+        RobKind::Load { .. } => UopKind::Load,
         RobKind::Store { .. } => UopKind::Store,
         RobKind::Branch { .. } => UopKind::Branch,
         RobKind::Alu { .. } => UopKind::Alu,
@@ -103,7 +110,7 @@ pub struct Core {
     trace: Trace,
     fetch_idx: usize,
     fetch_resume: Cycle,
-    fetch_blocked_on: Option<RobId>,
+    fetch_blocked_on: Option<RobIdx>,
     rob: Rob,
     lq: LoadQueue,
     sq: StoreQueue,
@@ -111,18 +118,18 @@ pub struct Core {
     bp: Tage,
     ss: StoreSet,
     arch_regs: [Value; NUM_REGS],
-    reg_producer: [Option<RobId>; NUM_REGS],
-    pending_loads: FastMap<MemReqId, RobId>,
-    pending_owns: FastMap<MemReqId, SqId>,
-    completion_q: BinaryHeap<Reverse<(Cycle, RobId)>>,
-    fences: BTreeSet<RobId>,
-    gate_stall_cur: Option<RobId>,
+    reg_producer: [Option<RobIdx>; NUM_REGS],
+    pending_loads: FastMap<MemReqId, LqIdx>,
+    pending_owns: FastMap<MemReqId, SqIdx>,
+    completion_q: BinaryHeap<Reverse<(Cycle, RobIdx)>>,
+    fences: BTreeSet<RobIdx>,
+    gate_stall_cur: Option<RobIdx>,
     /// Loads currently in a Blocked state (gates the retry pass).
     blocked_loads: usize,
     /// Bumped whenever state a blocked load's retry reads changes (store
     /// address resolution, SB commit, fence retire, squash, StoreSet
     /// training). While unchanged, a blocked load re-blocks identically,
-    /// so its retry is skipped (see [`LqEntry::attempt_epoch`]).
+    /// so its retry is skipped (see the LQ's `attempt_epoch` column).
     lsq_epoch: u64,
     /// Positions below this in the ROB are all `Done` — the scheduler
     /// scan starts here. A lower bound: refreshed lazily each tick,
@@ -145,8 +152,49 @@ pub struct Core {
     idle_slfspec_stall: bool,
     /// Which resource blocked dispatch this tick, if any.
     idle_dispatch: Option<DispatchStall>,
-    /// Reused each cycle by the blocked-load retry pass.
-    retry_scratch: Vec<RobId>,
+    /// Reused scratch for the retry pass's blocked-slot snapshot.
+    blocked_scratch: Vec<u32>,
+    /// Per-SQ-slot memo: `has_ownership` returned true for this store's
+    /// line and no ownership-losing notice (invalidation, eviction,
+    /// downgrade) has arrived since. Every loss path raises a notice at
+    /// the cycle the state changes (the event engine's idle-skip already
+    /// depends on that), so a set bit lets the RFO prefetch scan skip
+    /// the cache probe — a skipped probe has no side effects.
+    rfo_owned: Vec<bool>,
+    /// Per-SQ-slot memo: the port's [`reject_epoch`] stamp captured when
+    /// `has_ownership` last returned false for this store's line. While
+    /// the stamp is unchanged, ownership cannot have been acquired (every
+    /// acquisition path is a stamped controller mutation), so the probe
+    /// is skipped. `u64::MAX` = no probe recorded.
+    ///
+    /// [`reject_epoch`]: LoadStorePort::reject_epoch
+    sq_unowned_stamp: Vec<u64>,
+    /// Per-SQ-slot memo: the stamp captured when an `issue_ownership` for
+    /// this store was MSHR-rejected. An unchanged stamp means a retry
+    /// would be rejected identically, so its side effects are booked via
+    /// `note_rejected_issue` without the issue path. `u64::MAX` = no
+    /// rejection recorded.
+    sq_own_reject_stamp: Vec<u64>,
+    /// Store-queue state changed since the last full [`drain_stores`]
+    /// run (alloc, address resolution, data capture, retirement, squash,
+    /// or any memory notice). Cleared by the drain itself; while clear,
+    /// a quiescent drain's inputs can only change through a stamped
+    /// memory-side mutation or the passage of commit time.
+    ///
+    /// [`drain_stores`]: Core::drain_stores
+    sq_dirty: bool,
+    /// The last full drain was inert: no commit finished or started and
+    /// no issue attempt was made (real or memoized). Together with a
+    /// clean [`sq_dirty`](Core::sq_dirty), an unchanged memory stamp,
+    /// and `now` short of [`drain_wake`](Core::drain_wake), the next
+    /// drain is provably identical and is skipped outright.
+    drain_sleep: bool,
+    /// The port's `reject_epoch` stamp at the end of the last full drain
+    /// (`has_ownership` outcomes are pinned while it is unchanged).
+    drain_mem_stamp: u64,
+    /// Earliest cycle at which the head commit completes (`Cycle::MAX`
+    /// when no commit is in flight): the only time-dependent drain input.
+    drain_wake: Cycle,
     stats: CoreStats,
     metrics: CoreMetrics,
 }
@@ -183,7 +231,14 @@ impl Core {
             idle_gate_stall: false,
             idle_slfspec_stall: false,
             idle_dispatch: None,
-            retry_scratch: Vec::new(),
+            blocked_scratch: Vec::new(),
+            rfo_owned: vec![false; cfg.sq_sb_entries],
+            sq_unowned_stamp: vec![u64::MAX; cfg.sq_sb_entries],
+            sq_own_reject_stamp: vec![u64::MAX; cfg.sq_sb_entries],
+            sq_dirty: true,
+            drain_sleep: false,
+            drain_mem_stamp: 0,
+            drain_wake: 0,
             stats: CoreStats::default(),
             metrics: CoreMetrics::with_capacities(
                 cfg.rob_entries,
@@ -227,7 +282,7 @@ impl Core {
 
     /// Retired stores still draining from the store buffer.
     pub fn sb_depth(&self) -> usize {
-        self.sq.iter().filter(|e| e.retired).count()
+        self.sq.sb_depth()
     }
 
     /// Architectural value of `r` (final state for litmus outcomes).
@@ -368,17 +423,17 @@ impl Core {
         if let Some(&Reverse((t, _))) = self.completion_q.peek() {
             merge(t);
         }
-        if let Some(h) = self.sq.head() {
-            if let Some(t) = h.committing_done {
+        if let Some(h) = self.sq.head_slot() {
+            if let Some(t) = self.sq.committing_done[h] {
                 merge(t);
             }
         }
         if self.fetch_idx < self.trace.len() && now < self.fetch_resume {
             merge(self.fetch_resume);
         }
-        if let Some(f) = self.rob.front() {
-            if f.state == RobState::Done {
-                merge(f.done_at);
+        if let Some(h) = self.rob.head_slot() {
+            if self.rob.state[h] == RobState::Done {
+                merge(self.rob.done_at[h]);
             }
         }
         next
@@ -396,6 +451,11 @@ impl Core {
         tracer: &mut T,
     ) {
         let cid = self.id;
+        if !notices.is_empty() {
+            // Notices can clear `own_req`/`rfo_owned` or squash stores
+            // without a memory-stamp bump visible to this core's drain.
+            self.sq_dirty = true;
+        }
         for n in notices {
             match n.kind {
                 NoticeKind::LoadDone { id } => {
@@ -407,10 +467,10 @@ impl Core {
                             rfo: false,
                         },
                     });
-                    let Some(rob_id) = self.pending_loads.remove(&id) else {
+                    let Some(lqi) = self.pending_loads.remove(&id) else {
                         continue; // stale response for a squashed load
                     };
-                    self.perform_from_memory(rob_id, now, valmem, tracer);
+                    self.perform_from_memory(lqi, now, valmem, tracer);
                 }
                 NoticeKind::OwnershipDone { id } => {
                     tracer.emit(|| TraceEvent {
@@ -421,10 +481,10 @@ impl Core {
                             rfo: true,
                         },
                     });
-                    if let Some(sq_id) = self.pending_owns.remove(&id) {
+                    if let Some(sqi) = self.pending_owns.remove(&id) {
                         self.progress = true;
-                        if let Some(e) = self.sq.get_mut(sq_id) {
-                            e.own_req = None; // drain re-checks has_ownership
+                        if let Some(slot) = self.sq.live_slot(sqi) {
+                            self.sq.own_req[slot] = None; // drain re-checks has_ownership
                         }
                     }
                 }
@@ -434,6 +494,7 @@ impl Core {
                         core: cid,
                         kind: EventKind::Invalidation { line: line.base() },
                     });
+                    self.rfo_owned.fill(false);
                     self.snoop_lq(line, Some(by), now, tracer);
                 }
                 NoticeKind::Evicted { line } => {
@@ -442,6 +503,7 @@ impl Core {
                         core: cid,
                         kind: EventKind::Eviction { line: line.base() },
                     });
+                    self.rfo_owned.fill(false);
                     // Capacity eviction: a local cause, no remote core to
                     // blame.
                     self.snoop_lq(line, None, now, tracer);
@@ -450,41 +512,45 @@ impl Core {
                 // store-drain path re-checks `has_ownership` every attempt.
                 // The notice only wakes an idle core so the event engine
                 // retries the drain at the same cycle lockstep would.
-                NoticeKind::Downgraded { .. } => {}
+                NoticeKind::Downgraded { .. } => {
+                    self.rfo_owned.fill(false);
+                }
             }
         }
     }
 
     fn perform_from_memory<T: Tracer>(
         &mut self,
-        rob_id: RobId,
+        lqi: LqIdx,
         now: Cycle,
         valmem: &ValueMemory,
         tracer: &mut T,
     ) {
         self.progress = true;
-        let m_spec = self.lq.any_older_unperformed(rob_id);
-        let Some(e) = self.lq.get_mut(rob_id) else {
+        let Some(pos) = self.lq.pos_of(lqi) else {
             debug_assert!(false, "completion for a load not in the LQ");
             return;
         };
-        debug_assert!(matches!(e.state, LoadState::Issued(_)));
-        e.state = LoadState::Performed;
-        e.performed_at = now;
-        e.value = valmem.read(e.addr, e.size);
-        e.m_spec = m_spec;
-        let value = e.value;
-        let addr = e.addr;
-        let r = self.rob.get_mut(rob_id).expect("load still in ROB");
-        r.state = RobState::Done;
-        r.done_at = now;
-        r.result = value;
+        let slot = lqi.slot as usize;
+        let m_spec = self.lq.any_unperformed_before(pos);
+        debug_assert!(matches!(self.lq.state_at(slot), LoadState::Issued(_)));
+        self.lq.set_state_at(slot, LoadState::Performed);
+        self.lq.performed_at[slot] = now;
+        let addr = self.lq.addr[slot];
+        let value = valmem.read(addr, self.lq.size[slot]);
+        self.lq.value[slot] = value;
+        self.lq.m_spec[slot] = m_spec;
+        let rid = self.lq.rob[slot];
+        let rslot = self.rob.live_slot(rid).expect("load still in ROB");
+        self.rob.set_state_at(rslot, RobState::Done);
+        self.rob.done_at[rslot] = now;
+        self.rob.result[rslot] = value;
         let cid = self.id;
         tracer.emit(|| TraceEvent {
             cycle: now,
             core: cid,
             kind: EventKind::Perform {
-                rob: rob_id.0,
+                rob: rid.seq,
                 addr,
                 forwarded: false,
             },
@@ -492,7 +558,7 @@ impl Core {
         tracer.emit(|| TraceEvent {
             cycle: now,
             core: cid,
-            kind: EventKind::Complete { rob: rob_id.0 },
+            kind: EventKind::Complete { rob: rid.seq },
         });
     }
 
@@ -500,32 +566,32 @@ impl Core {
     /// mechanism of §IV. Finds the oldest *speculative* performed load on
     /// `line` and squashes from it.
     fn snoop_lq<T: Tracer>(&mut self, line: Line, by: Option<CoreId>, now: Cycle, tracer: &mut T) {
-        let mut victim: Option<(RobId, SquashCause)> = None;
-        for e in self.lq.iter() {
-            if e.line != line || e.state != LoadState::Performed {
+        let mut victim: Option<(RobIdx, SquashCause)> = None;
+        for pos in 0..self.lq.len() {
+            let slot = self.lq.phys(pos);
+            if self.lq.line[slot] != line || self.lq.state_at(slot) != LoadState::Performed {
                 continue;
             }
+            let rid = self.lq.rob[slot];
             // Classic in-window speculation (present in all five
             // configurations, including x86): the load is squashable iff
             // *right now* an older load is still unperformed (M-spec) or
             // an older store address is still unresolved (D-spec). Once
             // every older access is bound, the load's early perform is
             // no longer observable and a snoop cannot catch it.
-            let classic =
-                self.lq.any_older_unperformed(e.rob_id) || self.sq.any_older_unresolved(e.rob_id);
+            let classic = self.lq.any_unperformed_before(pos) || self.sq.any_older_unresolved(rid);
             let sa = match self.model {
                 ConsistencyModel::X86 | ConsistencyModel::Ibm370NoSpec => false,
                 ConsistencyModel::Ibm370SlfSpec => {
                     // SC-like: the SLF load itself is speculative while
                     // older stores linger, and so is anything younger
                     // than a speculative SLF load.
-                    let self_spec = e.fwd_from.is_some() && self.sq.any_older(e.rob_id);
+                    let self_spec = self.lq.fwd_from[slot].is_some() && self.sq.any_older(rid);
                     self_spec
-                        || self
-                            .lq
-                            .iter()
-                            .take_while(|o| o.rob_id < e.rob_id)
-                            .any(|o| o.fwd_from.is_some() && self.sq.any_older(o.rob_id))
+                        || (0..pos).any(|p| {
+                            let os = self.lq.phys(p);
+                            self.lq.fwd_from[os].is_some() && self.sq.any_older(self.lq.rob[os])
+                        })
                 }
                 ConsistencyModel::Ibm370SlfSos | ConsistencyModel::Ibm370SlfSosKey => {
                     // SoS: SLF loads are *sources* of speculation; a load
@@ -536,7 +602,7 @@ impl Core {
                     self.gate.is_closed()
                         || self
                             .lq
-                            .older_slf_pending(e.rob_id, |k| self.sq.contains_key(k))
+                            .older_slf_pending_before(pos, |k| self.sq.contains_key(k))
                 }
             };
             if classic || sa {
@@ -545,12 +611,12 @@ impl Core {
                 } else {
                     SquashCause::StoreAtomicity
                 };
-                victim = Some((e.rob_id, cause));
+                victim = Some((rid, cause));
                 break;
             }
         }
-        if let Some((rob_id, cause)) = victim {
-            self.squash_from(rob_id, cause, by, Some(line), now, tracer);
+        if let Some((rid, cause)) = victim {
+            self.squash_from(rid, cause, by, Some(line), now, tracer);
         }
         // A load whose memory access is still in flight on this line
         // would complete as a stale hit: the line left the cache after
@@ -561,18 +627,18 @@ impl Core {
         // again). Without this, an early RFO that invalidates before the
         // in-flight load performs lets the later silent commit slip past
         // the §IV detection window entirely.
-        loop {
-            let Some((rob_id, req)) = self.lq.iter().find_map(|e| match e.state {
-                LoadState::Issued(req) if e.line == line => Some((e.rob_id, req)),
-                _ => None,
-            }) else {
-                break;
-            };
-            self.pending_loads.remove(&req);
-            self.progress = true;
-            self.blocked_loads += 1;
-            let e = self.lq.get_mut(rob_id).expect("load in LQ");
-            e.state = LoadState::Blocked(BlockReason::Replay);
+        for pos in 0..self.lq.len() {
+            let slot = self.lq.phys(pos);
+            if self.lq.line[slot] != line {
+                continue;
+            }
+            if let LoadState::Issued(req) = self.lq.state_at(slot) {
+                self.pending_loads.remove(&req);
+                self.progress = true;
+                self.blocked_loads += 1;
+                self.lq
+                    .set_state_at(slot, LoadState::Blocked(BlockReason::Replay));
+            }
         }
     }
 
@@ -590,25 +656,45 @@ impl Core {
         if self.sq.is_empty() {
             return;
         }
+        // Quiescence memo: the last full drain did nothing, the SQ is
+        // untouched since, ownership state is pinned by the unchanged
+        // memory stamp, and no in-flight commit has come due — so this
+        // drain would scan and do nothing too. Skip it.
+        if self.drain_sleep
+            && !self.sq_dirty
+            && now < self.drain_wake
+            && mem.reject_epoch() == Some(self.drain_mem_stamp)
+        {
+            return;
+        }
+        // Anything that finishes, starts, or issues below clears
+        // quiescence (a rejected issue mutates the memory system every
+        // cycle, so it must replay — only a pure scan may sleep).
+        let mut active = false;
         let cid = self.id;
         // Finish completed commits, strictly in program order (commits
         // start in order with a uniform latency, so done-times are
         // monotonic — TSO's store order to memory).
-        while let Some(h) = self.sq.head() {
-            if h.committing_done.is_none_or(|t| t > now) {
+        while let Some(h) = self.sq.head_slot() {
+            if self.sq.committing_done[h].is_none_or(|t| t > now) {
                 break;
             }
-            let h = self.sq.pop_head().expect("head exists");
+            let addr = self.sq.addr[h];
+            let size = self.sq.size[h];
+            let value = self.sq.value[h].expect("committed store has data");
+            let key = self.sq.key_at(h);
+            self.sq.pop_head();
             self.lsq_epoch += 1;
             self.progress = true;
-            valmem.write(h.addr, h.size, h.value.expect("committed store has data"));
+            active = true;
+            valmem.write(addr, size, value);
             self.stats.sb_commits += 1;
             tracer.emit(|| TraceEvent {
                 cycle: now,
                 core: cid,
                 kind: EventKind::SbCommit {
-                    key: tkey(h.key),
-                    addr: h.addr,
+                    key: tkey(key),
+                    addr,
                 },
             });
             match self.model {
@@ -630,12 +716,12 @@ impl Core {
                     }
                     self.gate.force_open();
                 }
-                ConsistencyModel::Ibm370SlfSosKey if self.gate.try_unlock(h.key) => {
+                ConsistencyModel::Ibm370SlfSosKey if self.gate.try_unlock(key) => {
                     tracer.emit(|| TraceEvent {
                         cycle: now,
                         core: cid,
                         kind: EventKind::GateOpen {
-                            reason: GateOpenReason::KeyMatch(tkey(h.key)),
+                            reason: GateOpenReason::KeyMatch(tkey(key)),
                         },
                     });
                 }
@@ -659,51 +745,66 @@ impl Core {
         // order); otherwise commits serialize at the L1 write latency —
         // the conservative baseline matching the paper's drain behavior.
         let l1 = mem.l1_latency().max(self.cfg.sb_commit_cycles);
-        let mut start: Option<(SqId, Line, bool)> = None;
+        // Commits start strictly in order and only retired stores
+        // commit, so the candidate sits at queue position
+        // `n_committing` — inside the retired prefix (`sb_depth`) or
+        // nowhere. With serialized commits an in-flight one blocks any
+        // start; with pipelined commits the previous store's done-time
+        // orders this one.
+        let nc = self.sq.n_committing();
+        let mut start: Option<(usize, Line, bool)> = None;
         let mut prev_done: Cycle = 0;
-        for e in self.sq.iter() {
-            if !e.retired {
-                break;
+        if nc < self.sq.sb_depth() && (self.cfg.commit_pipelined || nc == 0) {
+            let s = self.sq.phys(nc);
+            debug_assert!(self.sq.retired_at(s) && self.sq.committing_done[s].is_none());
+            debug_assert!(
+                self.sq.executed_at(s),
+                "retired store missing address or data"
+            );
+            if nc > 0 {
+                prev_done = self.sq.committing_done[self.sq.phys(nc - 1)]
+                    .expect("committing prefix is dense");
             }
-            match e.committing_done {
-                Some(t) => {
-                    if !self.cfg.commit_pipelined {
-                        break; // one commit in flight at a time
-                    }
-                    prev_done = t;
-                }
-                None => {
-                    debug_assert!(e.executed(), "retired store missing address or data");
-                    start = Some((e.id, e.line, e.own_req.is_none()));
-                    break;
-                }
-            }
+            start = Some((s, self.sq.line[s], self.sq.own_req[s].is_none()));
         }
-        if let Some((id, line, no_req)) = start {
-            if mem.has_ownership(line) {
+        if let Some((slot, line, no_req)) = start {
+            let stamp = mem.reject_epoch();
+            let known_unowned = stamp.is_some() && stamp == Some(self.sq_unowned_stamp[slot]);
+            if !known_unowned && mem.has_ownership(line) {
                 self.progress = true;
+                active = true;
                 mem.mark_dirty(line);
                 let done = (now + l1).max(prev_done + 1);
-                let e = self.sq.get_mut(id).expect("store present");
-                e.committing_done = Some(done);
-                e.own_req = None;
-            } else if no_req {
-                // Every issue attempt counts as progress: even a rejected
-                // one mutates the memory system (request ids, MSHR-reject
-                // counters), so the lockstep retry cadence must be kept.
-                self.progress = true;
-                if let Some(req) = mem.issue_ownership(line, now) {
-                    self.sq.get_mut(id).expect("store present").own_req = Some(req);
-                    self.pending_owns.insert(req, id);
-                    tracer.emit(|| TraceEvent {
-                        cycle: now,
-                        core: cid,
-                        kind: EventKind::MemReq {
-                            req: req.0,
-                            line: line.base(),
-                            rfo: true,
-                        },
-                    });
+                self.sq.start_commit_at(slot, done);
+                self.sq.own_req[slot] = None;
+            } else {
+                if let Some(e) = stamp {
+                    self.sq_unowned_stamp[slot] = e;
+                }
+                if no_req {
+                    // Every issue attempt counts as progress: even a
+                    // rejected one mutates the memory system (request ids,
+                    // MSHR-reject counters), so the lockstep retry cadence
+                    // must be kept.
+                    self.progress = true;
+                    active = true;
+                    if stamp.is_some() && stamp == Some(self.sq_own_reject_stamp[slot]) {
+                        mem.note_rejected_issues(1);
+                    } else if let Some(req) = mem.issue_ownership(line, now) {
+                        self.sq.own_req[slot] = Some(req);
+                        self.pending_owns.insert(req, self.sq.idx_at_slot(slot));
+                        tracer.emit(|| TraceEvent {
+                            cycle: now,
+                            core: cid,
+                            kind: EventKind::MemReq {
+                                req: req.0,
+                                line: line.base(),
+                                rfo: true,
+                            },
+                        });
+                    } else if let Some(e) = stamp {
+                        self.sq_own_reject_stamp[slot] = e;
+                    }
                 }
             }
         }
@@ -713,26 +814,43 @@ impl Core {
         // ownership from the SQ in real cores; this is what hides store
         // miss latency behind the window).
         let mut rfos = 0;
-        for idx in 0..self.cfg.rfo_depth {
+        for pos in 0..self.cfg.rfo_depth {
             if rfos >= 2 {
                 break; // RFO issue bandwidth per cycle
             }
-            let Some(e) = self.sq.at(idx) else {
+            if pos >= self.sq.len() {
                 break;
-            };
-            if !(e.addr_resolved && e.own_req.is_none() && e.committing_done.is_none()) {
+            }
+            let s = self.sq.phys(pos);
+            if !(self.sq.addr_resolved_at(s)
+                && self.sq.own_req[s].is_none()
+                && self.sq.committing_done[s].is_none())
+            {
                 continue;
             }
-            let (id, line) = (e.id, e.line);
-            if mem.has_ownership(line) {
+            if self.rfo_owned[s] {
                 continue;
+            }
+            let line = self.sq.line[s];
+            // Re-read per slot: an accepted issue below bumps the stamp.
+            let stamp = mem.reject_epoch();
+            if stamp.is_some() && stamp == Some(self.sq_unowned_stamp[s]) {
+                // Pinned-unowned: the probe would return false again.
+            } else if mem.has_ownership(line) {
+                self.rfo_owned[s] = true;
+                continue;
+            } else if let Some(e) = stamp {
+                self.sq_unowned_stamp[s] = e;
             }
             self.progress = true; // issue attempt (see above)
+            active = true;
+            if stamp.is_some() && stamp == Some(self.sq_own_reject_stamp[s]) {
+                mem.note_rejected_issues(1);
+                continue;
+            }
             if let Some(req) = mem.issue_ownership(line, now) {
-                if let Some(e) = self.sq.get_mut(id) {
-                    e.own_req = Some(req);
-                }
-                self.pending_owns.insert(req, id);
+                self.sq.own_req[s] = Some(req);
+                self.pending_owns.insert(req, self.sq.idx_at_slot(s));
                 rfos += 1;
                 tracer.emit(|| TraceEvent {
                     cycle: now,
@@ -743,8 +861,21 @@ impl Core {
                         rfo: true,
                     },
                 });
+            } else if let Some(e) = stamp {
+                self.sq_own_reject_stamp[s] = e;
             }
         }
+        // Record quiescence for the memo at the top: this drain's scan
+        // outcome stays valid until the SQ changes, the memory stamp
+        // moves, or the in-flight head commit comes due.
+        self.sq_dirty = false;
+        self.drain_sleep = !active;
+        self.drain_mem_stamp = mem.reject_epoch().unwrap_or(0);
+        self.drain_wake = self
+            .sq
+            .head_slot()
+            .and_then(|h| self.sq.committing_done[h])
+            .unwrap_or(Cycle::MAX);
     }
 
     // ------------------------------------------------------------------
@@ -758,23 +889,23 @@ impl Core {
                 break;
             }
             self.completion_q.pop();
-            let Some(e) = self.rob.get_mut(id) else {
+            let Some(slot) = self.rob.live_slot(id) else {
                 continue; // squashed while executing
             };
-            if e.state != RobState::Executing {
+            if self.rob.state[slot] != RobState::Executing {
                 continue;
             }
             self.progress = true;
-            e.state = RobState::Done;
-            e.done_at = t;
+            self.rob.set_state_at(slot, RobState::Done);
+            self.rob.done_at[slot] = t;
             tracer.emit(|| TraceEvent {
                 cycle: now,
                 core: cid,
-                kind: EventKind::Complete { rob: id.0 },
+                kind: EventKind::Complete { rob: id.seq },
             });
             if let RobKind::Branch {
                 mispredicted: true, ..
-            } = e.kind
+            } = self.rob.kind[slot]
             {
                 self.fetch_resume = now + self.cfg.redirect_penalty;
                 self.resume_was_squash = false;
@@ -794,35 +925,39 @@ impl Core {
         let mut retired: u64 = 0;
         let mut stall: Option<CpiCategory> = None;
         for _ in 0..self.cfg.width {
-            let Some(head) = self.rob.front() else {
+            let Some(hs) = self.rob.head_slot() else {
                 stall = Some(self.empty_window_category(now));
                 break;
             };
-            let (id, kind) = (head.id, head.kind);
-            if head.state != RobState::Done || head.done_at > now {
-                stall = Some(self.head_wait_category(id, kind));
+            let id = RobIdx {
+                seq: self.rob.seq[hs],
+                slot: hs as u32,
+            };
+            let kind = self.rob.kind[hs];
+            if self.rob.state[hs] != RobState::Done || self.rob.done_at[hs] > now {
+                stall = Some(self.head_wait_category(kind));
                 break;
             }
             match kind {
-                RobKind::Load => {
-                    if let Some(cat) = self.try_retire_load(id, now, tracer) {
+                RobKind::Load { lq } => {
+                    if let Some(cat) = self.try_retire_load(id, lq, now, tracer) {
                         stall = Some(cat);
                         break;
                     }
                     retired += 1;
                 }
                 RobKind::Store { sq } => {
-                    let (key, addr) = {
-                        let e = self.sq.get_mut(sq).expect("retiring store in SQ");
-                        e.retired = true;
-                        (e.key, e.addr)
-                    };
+                    let slot = self.sq.live_slot(sq).expect("retiring store in SQ");
+                    self.sq.mark_retired_at(slot);
+                    self.sq_dirty = true;
+                    let key = self.sq.key_at(slot);
+                    let addr = self.sq.addr[slot];
                     self.stats.retired_stores += 1;
                     tracer.emit(|| TraceEvent {
                         cycle: now,
                         core: cid,
                         kind: EventKind::SbEnter {
-                            rob: id.0,
+                            rob: id.seq,
                             key: tkey(key),
                             addr,
                         },
@@ -870,9 +1005,9 @@ impl Core {
 
     /// Why the Done-but-unretirable or still-executing head is holding
     /// the retire stage.
-    fn head_wait_category(&self, id: RobId, kind: RobKind) -> CpiCategory {
+    fn head_wait_category(&self, kind: RobKind) -> CpiCategory {
         match kind {
-            RobKind::Load => match self.lq.get(id).map(|e| e.state) {
+            RobKind::Load { lq } => match self.lq.state_of(lq) {
                 Some(LoadState::Blocked(BlockReason::StoreCommit(_))) => CpiCategory::NoSpecBlock,
                 Some(LoadState::Issued(_))
                 | Some(LoadState::Blocked(BlockReason::MshrFull))
@@ -905,21 +1040,25 @@ impl Core {
     /// `None` once it retires.
     fn try_retire_load<T: Tracer>(
         &mut self,
-        id: RobId,
+        id: RobIdx,
+        lqi: LqIdx,
         _now: Cycle,
         tracer: &mut T,
     ) -> Option<CpiCategory> {
         let cid = self.id;
+        let slot = self.lq.live_slot(lqi).expect("load in LQ");
         // Retire gate (370-SLFSoS / 370-SLFSoS-key).
         if self.model.uses_retire_gate() && self.gate.is_closed() {
             // Multi-key extension: an SLF load (not speculative itself)
             // may pass a closed gate by depositing its own key, if a key
             // register is free. With the paper's capacity of 1 a closed
             // gate never has space, so this reduces to a plain stall.
-            let can_pass = self.model.uses_key() && self.gate.has_space() && {
-                let e = self.lq.get(id).expect("load in LQ");
-                e.slf_key.is_some_and(|k| self.sq.contains_key(k))
-            };
+            let can_pass = self.model.uses_key()
+                && self.gate.has_space()
+                && self
+                    .lq
+                    .slf_key_at(slot)
+                    .is_some_and(|k| self.sq.contains_key(k));
             if !can_pass {
                 if self.gate_stall_cur != Some(id) {
                     self.gate_stall_cur = Some(id);
@@ -927,7 +1066,7 @@ impl Core {
                     tracer.emit(|| TraceEvent {
                         cycle: _now,
                         core: cid,
-                        kind: EventKind::GateStall { rob: id.0 },
+                        kind: EventKind::GateStall { rob: id.seq },
                     });
                 }
                 self.stats.gate_stall_cycles += 1;
@@ -938,7 +1077,7 @@ impl Core {
         // 370-SLFSpec: an SLF load is speculative and may not retire
         // until the store buffer empties.
         if self.model == ConsistencyModel::Ibm370SlfSpec {
-            let fwd = self.lq.get(id).expect("load in LQ").fwd_from.is_some();
+            let fwd = self.lq.fwd_from[slot].is_some();
             if fwd && self.sq.sb_nonempty() {
                 self.stats.slfspec_stall_cycles += 1;
                 self.idle_slfspec_stall = true;
@@ -946,8 +1085,10 @@ impl Core {
             }
         }
         self.gate_stall_cur = None;
-        let entry = self.lq.retire_head(id);
-        if entry.fwd_from.is_some() {
+        let fwd_from = self.lq.fwd_from[slot];
+        let slf_key = self.lq.slf_key_at(slot);
+        self.lq.retire_head(id);
+        if fwd_from.is_some() {
             self.stats.forwarded_loads += 1;
         }
         // SoS configurations: a retiring SLF load whose forwarding store
@@ -956,7 +1097,7 @@ impl Core {
         // window of vulnerability is over and the gate stays open.
         if self.model.uses_retire_gate() && self.cfg.injected_bug != Some(InjectedBug::GateNoClose)
         {
-            if let Some(k) = entry.slf_key {
+            if let Some(k) = slf_key {
                 if self.sq.contains_key(k) {
                     self.gate.close(k);
                     self.stats.gate_closures += 1;
@@ -964,7 +1105,7 @@ impl Core {
                         cycle: _now,
                         core: cid,
                         kind: EventKind::GateClose {
-                            rob: id.0,
+                            rob: id.seq,
                             key: tkey(k),
                         },
                     });
@@ -977,11 +1118,19 @@ impl Core {
     }
 
     fn pop_retired<T: Tracer>(&mut self, _now: Cycle, tracer: &mut T) {
-        let e = self.rob.pop_front().expect("retiring head");
+        let hs = self.rob.head_slot().expect("retiring head");
+        let id = RobIdx {
+            seq: self.rob.seq[hs],
+            slot: hs as u32,
+        };
+        let dst = self.rob.dst[hs];
+        let result = self.rob.result[hs];
+        let kind = self.rob.kind[hs];
+        self.rob.pop_front();
         self.sched_start = self.sched_start.saturating_sub(1);
-        if let Some(dst) = e.dst {
-            self.arch_regs[dst.index()] = e.result;
-            if self.reg_producer[dst.index()] == Some(e.id) {
+        if let Some(dst) = dst {
+            self.arch_regs[dst.index()] = result;
+            if self.reg_producer[dst.index()] == Some(id) {
                 self.reg_producer[dst.index()] = None;
             }
         }
@@ -991,8 +1140,8 @@ impl Core {
             cycle: _now,
             core: cid,
             kind: EventKind::Retire {
-                rob: e.id.0,
-                uop: tuop(&e.kind),
+                rob: id.seq,
+                uop: tuop(&kind),
             },
         });
     }
@@ -1001,21 +1150,25 @@ impl Core {
     // Phase 5: schedule / execute
     // ------------------------------------------------------------------
 
-    fn read_src(&self, e: &RobEntry, i: usize) -> Value {
-        let Some(r) = e.src_regs[i] else { return 0 };
-        match e.deps[i] {
-            Some(pid) => match self.rob.get(pid) {
-                Some(p) => p.result,
+    /// Source operand `i` of the micro-op in ROB `slot`, read at issue.
+    fn read_src(&self, slot: usize, i: usize) -> Value {
+        let Some(r) = self.rob.src_regs[slot][i] else {
+            return 0;
+        };
+        match self.rob.deps[slot][i] {
+            Some(pid) => match self.rob.live_slot(pid) {
+                Some(ps) => self.rob.result[ps],
                 None => self.arch_regs[r.index()], // producer retired
             },
             None => self.arch_regs[r.index()],
         }
     }
 
-    fn deps_ready(&self, e: &RobEntry) -> [bool; 2] {
+    fn deps_ready(&self, slot: usize) -> [bool; 2] {
+        let deps = self.rob.deps[slot];
         [
-            e.deps[0].is_none_or(|d| self.rob.dep_satisfied(d)),
-            e.deps[1].is_none_or(|d| self.rob.dep_satisfied(d)),
+            deps[0].is_none_or(|d| self.rob.dep_satisfied(d)),
+            deps[1].is_none_or(|d| self.rob.dep_satisfied(d)),
         ]
     }
 
@@ -1030,48 +1183,41 @@ impl Core {
         let mut issued = 0usize;
         let mut load_ports = self.cfg.load_ports;
         let mut store_ports = self.cfg.store_ports;
-        let mut rs_seen = 0usize;
 
-        // Pass 1: wake waiting ROB entries, oldest first. Index-based
-        // iteration is safe: the only in-pass mutation is a squash from a
-        // store-address resolution, which removes a *suffix strictly
-        // younger* than the position being processed.
-        //
-        // Entries never leave `Done`, so the scan starts past the
-        // all-Done prefix — `Done` positions neither issue nor count
-        // toward the scheduling window, making the skip invisible.
-        while self
-            .rob
-            .at(self.sched_start)
-            .is_some_and(|e| e.state == RobState::Done)
-        {
-            self.sched_start += 1;
-        }
-        let mut pos = self.sched_start;
-        while pos < self.rob.len() {
-            if issued >= self.cfg.width || rs_seen >= self.cfg.sched_window {
+        // Pass 1: wake waiting ROB entries, oldest first. Candidates are
+        // cursor-walked out of the ROB's `waiting & ready` bitsets with
+        // the scheduling-window depth (`rs_seen`) computed by popcount
+        // over the frozen `not_done` snapshot — identical visit order
+        // and window cut-off to the entry-by-entry scan, without
+        // touching dep-stalled entries (their ready bits are down until
+        // a producer-completion wake). The cursor re-reads the live
+        // bitsets each step, so a store completing mid-pass exposes the
+        // consumers it wakes to this same pass at their age positions,
+        // and a squash (which only removes a strictly-younger suffix)
+        // is handled by the per-candidate revalidation below.
+        self.sched_start = self.rob.first_not_done(self.sched_start);
+        let mut cur = self.rob.sched_pass(self.sched_start, self.cfg.sched_window);
+        while issued < self.cfg.width {
+            let Some((slot, _)) = self.rob.sched_next(&mut cur) else {
                 break;
+            };
+            let slot = slot as usize;
+            if !self.rob.slot_live(slot) || self.rob.state[slot] != RobState::Waiting {
+                continue; // squashed by an earlier candidate this cycle
             }
-            let e = self.rob.at(pos).expect("in-bounds position");
-            let id = e.id;
-            pos += 1;
-            if e.state == RobState::Done {
-                continue;
-            }
-            rs_seen += 1;
-            if e.state != RobState::Waiting {
-                continue;
-            }
-            let ready = self.deps_ready(e);
-            match e.kind {
+            let id = RobIdx {
+                seq: self.rob.seq[slot],
+                slot: slot as u32,
+            };
+            let ready = self.deps_ready(slot);
+            match self.rob.kind[slot] {
                 RobKind::Alu { unit, eval } => {
                     if ready[0] && ready[1] {
-                        let vals = [self.read_src(e, 0), self.read_src(e, 1)];
-                        let n_srcs = e.src_regs.iter().flatten().count();
+                        let vals = [self.read_src(slot, 0), self.read_src(slot, 1)];
+                        let n_srcs = self.rob.src_regs[slot].iter().flatten().count();
                         let result = eval.eval(&vals[..n_srcs]);
-                        let entry = self.rob.get_mut(id).expect("live");
-                        entry.state = RobState::Executing;
-                        entry.result = result;
+                        self.rob.set_state_at(slot, RobState::Executing);
+                        self.rob.result[slot] = result;
                         self.completion_q
                             .push(Reverse((now + u64::from(unit.latency()), id)));
                         issued += 1;
@@ -1079,70 +1225,77 @@ impl Core {
                         tracer.emit(|| TraceEvent {
                             cycle: now,
                             core: cid,
-                            kind: EventKind::Issue { rob: id.0 },
+                            kind: EventKind::Issue { rob: id.seq },
                         });
+                    } else {
+                        // Dep-stalled: the missing operand's armed wake
+                        // re-raises the bit when its producer completes.
+                        self.rob.clear_ready(slot);
                     }
                 }
                 RobKind::Branch { .. } => {
                     if ready[0] {
-                        let entry = self.rob.get_mut(id).expect("live");
-                        entry.state = RobState::Executing;
+                        self.rob.set_state_at(slot, RobState::Executing);
                         self.completion_q.push(Reverse((now + 1, id)));
                         issued += 1;
                         self.progress = true;
                         tracer.emit(|| TraceEvent {
                             cycle: now,
                             core: cid,
-                            kind: EventKind::Issue { rob: id.0 },
+                            kind: EventKind::Issue { rob: id.seq },
                         });
+                    } else {
+                        self.rob.clear_ready(slot);
                     }
                 }
-                RobKind::Load => {
-                    // Address operand gates execution.
-                    if ready[0] && load_ports > 0 {
-                        let entry = self.rob.get_mut(id).expect("live");
-                        entry.state = RobState::Executing;
+                RobKind::Load { lq } => {
+                    // Address operand gates execution. A port-starved
+                    // ready load keeps its bit for next cycle's pass.
+                    if !ready[0] {
+                        self.rob.clear_ready(slot);
+                    } else if load_ports > 0 {
+                        self.rob.set_state_at(slot, RobState::Executing);
                         // The Waiting→Executing transition is progress
                         // even when the load immediately blocks.
                         self.progress = true;
-                        if self.try_execute_load::<M, T, P>(id, now, mem, tracer) {
+                        if self.try_execute_load::<M, T, P>(lq, now, mem, tracer) {
                             load_ports -= 1;
                             issued += 1;
                             tracer.emit(|| TraceEvent {
                                 cycle: now,
                                 core: cid,
-                                kind: EventKind::Issue { rob: id.0 },
+                                kind: EventKind::Issue { rob: id.seq },
                             });
                         }
                     }
                 }
                 RobKind::Store { sq } => {
-                    let s = self.sq.get(sq).expect("store in SQ");
+                    let ss = self.sq.live_slot(sq).expect("store in SQ");
                     let mut progressed = false;
                     // Address resolution (store AGU port).
-                    if !s.addr_resolved && ready[1] && store_ports > 0 {
+                    if !self.sq.addr_resolved_at(ss) && ready[1] && store_ports > 0 {
                         store_ports -= 1;
                         progressed = true;
                         self.resolve_store_addr(sq, now, tracer);
                     }
-                    // Data capture (register read, no port).
-                    let e = self.rob.get(id).expect("live");
-                    let s = self.sq.get(sq).expect("store in SQ");
-                    if s.value.is_none() && ready[0] {
-                        let v = self.read_src(e, 0);
-                        self.sq.get_mut(sq).expect("store in SQ").value = Some(v);
+                    // Data capture (register read, no port). A squash
+                    // triggered by the address resolution only removes
+                    // entries younger than this store, so `slot`/`ss`
+                    // stay valid.
+                    if self.sq.value[ss].is_none() && ready[0] {
+                        let v = self.read_src(slot, 0);
+                        self.sq.value[ss] = Some(v);
+                        self.sq_dirty = true;
                         progressed = true;
                     }
-                    let s = self.sq.get(sq).expect("store in SQ");
-                    if s.executed() {
-                        let entry = self.rob.get_mut(id).expect("live");
-                        entry.state = RobState::Done;
-                        entry.done_at = now + 1;
+                    if self.sq.executed_at(ss) {
+                        self.rob.set_state_at(slot, RobState::Done);
+                        self.rob.done_at[slot] = now + 1;
                         self.progress = true;
                         tracer.emit(|| TraceEvent {
                             cycle: now,
                             core: cid,
-                            kind: EventKind::Complete { rob: id.0 },
+                            kind: EventKind::Complete { rob: id.seq },
                         });
                     }
                     if progressed {
@@ -1151,8 +1304,19 @@ impl Core {
                         tracer.emit(|| TraceEvent {
                             cycle: now,
                             core: cid,
-                            kind: EventKind::Issue { rob: id.0 },
+                            kind: EventKind::Issue { rob: id.seq },
                         });
+                    }
+                    if self.rob.state[slot] == RobState::Waiting {
+                        // Keep the candidate bit only while an actionable
+                        // job remains (a port-starved address
+                        // resolution); a captured-but-incomplete store
+                        // waits for its other operand's armed wake.
+                        let can = (ready[1] && !self.sq.addr_resolved_at(ss))
+                            || (ready[0] && self.sq.value[ss].is_none());
+                        if !can {
+                            self.rob.clear_ready(slot);
+                        }
                     }
                 }
                 RobKind::Fence | RobKind::Nop => {
@@ -1171,80 +1335,123 @@ impl Core {
         drop(sched_span);
         if self.blocked_loads > 0 {
             let _p = P::span("lsq_retry");
-            let mut blocked = std::mem::take(&mut self.retry_scratch);
-            blocked.clear();
+            let mut blocked = std::mem::take(&mut self.blocked_scratch);
+            self.lq.blocked_slots(&mut blocked);
             let epoch = self.lsq_epoch;
-            blocked.extend(
-                self.lq
-                    .iter()
-                    .filter(|e| match e.state {
-                        // A rejected issue mutates the memory system
-                        // (request id, reject counter): replay each cycle.
-                        // A snoop-killed in-flight load re-executes
-                        // unconditionally too — its wake event (the
-                        // invalidation) already happened.
-                        LoadState::Blocked(BlockReason::MshrFull)
-                        | LoadState::Blocked(BlockReason::Replay) => true,
-                        LoadState::Blocked(BlockReason::ForwardData(s)) => {
-                            e.attempt_epoch != epoch
-                                || self.sq.get(s).is_some_and(|x| x.value.is_some())
+            // Filter and execute in one pass: a retry never changes the
+            // take-decision inputs of a *different* blocked entry (the
+            // LSQ epoch and SQ data columns are untouched here), so
+            // deciding each entry just before running it matches the
+            // two-pass filter-then-run order exactly. Memoized MSHR
+            // re-rejections are booked in batches: their ids are
+            // order-insensitive among themselves, so deferring a run of
+            // them until the next real issue (or the end of the pass)
+            // books the same ids at the same sequence positions.
+            let mut pending_rejects: u64 = 0;
+            for &slot in &blocked {
+                let s = slot as usize;
+                let take = match self.lq.state_at(s) {
+                    // A rejected issue mutates the memory system
+                    // (request id, reject counter): replay each cycle.
+                    LoadState::Blocked(BlockReason::MshrFull) => {
+                        if load_ports == 0 {
+                            break;
                         }
-                        LoadState::Blocked(_) => e.attempt_epoch != epoch,
-                        _ => false,
-                    })
-                    .map(|e| e.rob_id),
-            );
-            for &id in &blocked {
+                        if self.lq.attempt_epoch[s] == epoch
+                            && mem.reject_epoch() == Some(self.lq.reject_stamp[s])
+                        {
+                            pending_rejects += 1;
+                            continue;
+                        }
+                        true
+                    }
+                    // A snoop-killed in-flight load re-executes
+                    // unconditionally too — its wake event (the
+                    // invalidation) already happened.
+                    LoadState::Blocked(BlockReason::Replay) => true,
+                    LoadState::Blocked(BlockReason::ForwardData(st)) => {
+                        self.lq.attempt_epoch[s] != epoch
+                            || self
+                                .sq
+                                .live_slot(st)
+                                .is_some_and(|x| self.sq.value[x].is_some())
+                    }
+                    LoadState::Blocked(_) => self.lq.attempt_epoch[s] != epoch,
+                    _ => unreachable!("blocked bitset holds only Blocked entries"),
+                };
+                if !take {
+                    continue;
+                }
                 if load_ports == 0 {
                     break;
                 }
-                if self.try_execute_load::<M, T, P>(id, now, mem, tracer) {
+                if pending_rejects > 0 {
+                    mem.note_rejected_issues(pending_rejects);
+                    self.progress = true;
+                    pending_rejects = 0;
+                }
+                let lqi = LqIdx {
+                    seq: self.lq.seq[s],
+                    slot,
+                };
+                let rid = self.lq.rob[s];
+                if self.try_execute_load::<M, T, P>(lqi, now, mem, tracer) {
                     load_ports -= 1;
                     tracer.emit(|| TraceEvent {
                         cycle: now,
                         core: cid,
-                        kind: EventKind::Issue { rob: id.0 },
+                        kind: EventKind::Issue { rob: rid.seq },
                     });
                 }
             }
-            self.retry_scratch = blocked;
+            if pending_rejects > 0 {
+                mem.note_rejected_issues(pending_rejects);
+                self.progress = true;
+            }
+            self.blocked_scratch = blocked;
         }
     }
 
-    fn resolve_store_addr<T: Tracer>(&mut self, sq_id: SqId, now: Cycle, tracer: &mut T) {
+    fn resolve_store_addr<T: Tracer>(&mut self, sq: SqIdx, now: Cycle, tracer: &mut T) {
         self.lsq_epoch += 1;
-        let (store_rob, store_pc, addr, size) = {
-            let s = self.sq.get_mut(sq_id).expect("resolving store");
-            s.addr_resolved = true;
-            (s.rob_id, s.pc, s.addr, s.size)
-        };
+        self.sq_dirty = true;
+        let sslot = self.sq.live_slot(sq).expect("resolving store");
+        self.sq.resolve_addr_at(sslot);
+        let store_rob = self.sq.rob[sslot];
+        let store_pc = self.sq.pc[sslot];
+        let addr = self.sq.addr[sslot];
+        let size = self.sq.size[sslot];
         self.ss.store_resolved(store_pc);
         // Memory-order violation check: a younger load that already read
         // (or is reading) this location must be squashed and replayed.
-        let mut victim: Option<(RobId, u64)> = None;
-        for e in self.lq.iter() {
-            if e.rob_id <= store_rob {
+        let mut victim: Option<(RobIdx, u64)> = None;
+        for pos in 0..self.lq.len() {
+            let s = self.lq.phys(pos);
+            let rid = self.lq.rob[s];
+            if rid <= store_rob {
                 continue;
             }
-            let performed_or_issued =
-                matches!(e.state, LoadState::Performed | LoadState::Issued(_));
+            let performed_or_issued = matches!(
+                self.lq.state_at(s),
+                LoadState::Performed | LoadState::Issued(_)
+            );
             if !performed_or_issued {
                 continue;
             }
-            if !sa_isa::addr::overlaps(addr, size, e.addr, e.size) {
+            if !sa_isa::addr::overlaps(addr, size, self.lq.addr[s], self.lq.size[s]) {
                 continue;
             }
             // A load correctly forwarded from this store or a younger one
             // is fine; anything else read stale data.
-            let ok = e.fwd_from.is_some_and(|f| f >= sq_id);
+            let ok = self.lq.fwd_from[s].is_some_and(|f| f >= sq);
             if !ok {
-                victim = Some((e.rob_id, e.pc));
+                victim = Some((rid, self.lq.pc[s]));
                 break;
             }
         }
-        if let Some((rob_id, load_pc)) = victim {
+        if let Some((rid, load_pc)) = victim {
             self.ss.train_violation(store_pc, load_pc);
-            self.squash_from(rob_id, SquashCause::MemOrder, None, None, now, tracer);
+            self.squash_from(rid, SquashCause::MemOrder, None, None, now, tracer);
         }
     }
 
@@ -1252,23 +1459,31 @@ impl Core {
     /// consumed (a forward happened or a request was issued).
     fn try_execute_load<M: LoadStorePort, T: Tracer, P: Profiler>(
         &mut self,
-        id: RobId,
+        lqi: LqIdx,
         now: Cycle,
         mem: &mut M,
         tracer: &mut T,
     ) -> bool {
-        let (pc, addr, size, line, prev_state, attempt_epoch, miss_passed_unresolved) = {
-            let e = self.lq.get(id).expect("load in LQ");
-            (
-                e.pc,
-                e.addr,
-                e.size,
-                e.line,
-                e.state,
-                e.attempt_epoch,
-                e.miss_passed_unresolved,
-            )
-        };
+        let slot = self.lq.live_slot(lqi).expect("load in LQ");
+        let prev_state = self.lq.state_at(slot);
+        let attempt_epoch = self.lq.attempt_epoch[slot];
+        // Cheapest exit first: a memoized re-rejection needs no other
+        // column (see below) — book it before touching the rest of the
+        // entry's cache lines.
+        if prev_state == LoadState::Blocked(BlockReason::MshrFull)
+            && attempt_epoch == self.lsq_epoch
+            && mem.reject_epoch() == Some(self.lq.reject_stamp[slot])
+        {
+            mem.note_rejected_issues(1);
+            self.progress = true;
+            return false;
+        }
+        let id = self.lq.rob[slot];
+        let pc = self.lq.pc[slot];
+        let addr = self.lq.addr[slot];
+        let size = self.lq.size[slot];
+        let line = self.lq.line[slot];
+        let miss_passed_unresolved = self.lq.miss_passed_unresolved[slot];
         let was_blocked = matches!(prev_state, LoadState::Blocked(_));
         let set_blocked = move |core: &mut Core, reason: BlockReason| {
             if !was_blocked {
@@ -1280,9 +1495,8 @@ impl Core {
             if prev_state != LoadState::Blocked(reason) {
                 core.progress = true;
             }
-            let e = core.lq.get_mut(id).expect("load in LQ");
-            e.state = LoadState::Blocked(reason);
-            e.attempt_epoch = core.lsq_epoch;
+            core.lq.set_state_at(slot, LoadState::Blocked(reason));
+            core.lq.attempt_epoch[slot] = core.lsq_epoch;
         };
 
         // Fast path: an `MshrFull` retry under an unchanged LSQ epoch
@@ -1294,12 +1508,15 @@ impl Core {
         {
             return match mem.issue_load(line, pc, addr, now) {
                 Some(req) => {
-                    self.finish_load_issue(id, req, miss_passed_unresolved, true, now, tracer);
+                    self.finish_load_issue(lqi, req, miss_passed_unresolved, true, now, tracer);
                     true
                 }
                 None => {
                     // Same rejection: request id and reject counter
                     // moved again.
+                    if let Some(e) = mem.reject_epoch() {
+                        self.lq.reject_stamp[slot] = e;
+                    }
                     self.progress = true;
                     false
                 }
@@ -1315,11 +1532,22 @@ impl Core {
         // unresolved.
         if self.cfg.storeset {
             if let Some(set) = self.ss.set_of(pc) {
-                let conflict = self
-                    .sq
-                    .iter()
-                    .take_while(|s| s.rob_id < id)
-                    .any(|s| !s.addr_resolved && self.ss.set_of(s.pc) == Some(set));
+                let conflict = self.sq.has_unresolved() && {
+                    let mut found = false;
+                    for p in 0..self.sq.len() {
+                        let s = self.sq.phys(p);
+                        if self.sq.rob[s] >= id {
+                            break;
+                        }
+                        if !self.sq.addr_resolved_at(s)
+                            && self.ss.set_of(self.sq.pc[s]) == Some(set)
+                        {
+                            found = true;
+                            break;
+                        }
+                    }
+                    found
+                };
                 if conflict {
                     set_blocked(self, BlockReason::StoreSet);
                     return false;
@@ -1345,36 +1573,37 @@ impl Core {
                     set_blocked(self, BlockReason::StoreCommit(store));
                     return false;
                 }
-                let s = self.sq.get(store).expect("matched store");
-                let Some(sval) = s.value else {
+                let sslot = self.sq.live_slot(store).expect("matched store");
+                let Some(sval) = self.sq.value[sslot] else {
                     set_blocked(self, BlockReason::ForwardData(store));
                     return false;
                 };
-                let value = extract_forwarded(s.addr, s.size, sval, addr, size);
-                let key = s.key;
+                let value =
+                    extract_forwarded(self.sq.addr[sslot], self.sq.size[sslot], sval, addr, size);
+                let key = self.sq.key_at(sslot);
                 self.progress = true;
                 if was_blocked {
                     self.blocked_loads -= 1;
                 }
-                let m_spec = self.lq.any_older_unperformed(id);
-                let e = self.lq.get_mut(id).expect("load in LQ");
-                e.state = LoadState::Performed;
-                e.performed_at = now + 1;
-                e.value = value;
-                e.fwd_from = Some(store);
-                e.slf_key = Some(key);
-                e.d_spec = passed_unresolved;
-                e.m_spec = m_spec;
-                let r = self.rob.get_mut(id).expect("load in ROB");
-                r.state = RobState::Executing;
-                r.result = value;
+                let pos = self.lq.pos_of(lqi).expect("live load");
+                let m_spec = self.lq.any_unperformed_before(pos);
+                self.lq.set_state_at(slot, LoadState::Performed);
+                self.lq.performed_at[slot] = now + 1;
+                self.lq.value[slot] = value;
+                self.lq.fwd_from[slot] = Some(store);
+                self.lq.set_slf_key_at(slot, key);
+                self.lq.d_spec[slot] = passed_unresolved;
+                self.lq.m_spec[slot] = m_spec;
+                let rslot = self.rob.live_slot(id).expect("load in ROB");
+                self.rob.set_state_at(rslot, RobState::Executing);
+                self.rob.result[rslot] = value;
                 self.completion_q.push(Reverse((now + 1, id)));
                 let cid = self.id;
                 tracer.emit(|| TraceEvent {
                     cycle: now,
                     core: cid,
                     kind: EventKind::Perform {
-                        rob: id.0,
+                        rob: id.seq,
                         addr,
                         forwarded: true,
                     },
@@ -1388,7 +1617,7 @@ impl Core {
             }
             SearchHit::Miss { passed_unresolved } => match mem.issue_load(line, pc, addr, now) {
                 Some(req) => {
-                    self.finish_load_issue(id, req, passed_unresolved, was_blocked, now, tracer);
+                    self.finish_load_issue(lqi, req, passed_unresolved, was_blocked, now, tracer);
                     true
                 }
                 None => {
@@ -1397,22 +1626,22 @@ impl Core {
                     // stay awake and retry every cycle, as in lockstep.
                     self.progress = true;
                     set_blocked(self, BlockReason::MshrFull);
-                    self.lq
-                        .get_mut(id)
-                        .expect("load in LQ")
-                        .miss_passed_unresolved = passed_unresolved;
+                    self.lq.miss_passed_unresolved[slot] = passed_unresolved;
+                    if let Some(e) = mem.reject_epoch() {
+                        self.lq.reject_stamp[slot] = e;
+                    }
                     false
                 }
             },
         }
     }
 
-    /// Books an accepted memory issue for load `id`: LQ/stat updates and
-    /// the trace event. Shared between the forwarding-search miss path and
-    /// the `MshrFull` retry fast path.
+    /// Books an accepted memory issue for the load `lqi`: LQ/stat updates
+    /// and the trace event. Shared between the forwarding-search miss
+    /// path and the `MshrFull` retry fast path.
     fn finish_load_issue<T: Tracer>(
         &mut self,
-        id: RobId,
+        lqi: LqIdx,
         req: MemReqId,
         passed_unresolved: bool,
         was_blocked: bool,
@@ -1423,12 +1652,12 @@ impl Core {
         if was_blocked {
             self.blocked_loads -= 1;
         }
-        self.pending_loads.insert(req, id);
+        self.pending_loads.insert(req, lqi);
         self.stats.loads_to_memory += 1;
-        let e = self.lq.get_mut(id).expect("load in LQ");
-        e.state = LoadState::Issued(req);
-        e.d_spec = passed_unresolved;
-        let line = e.line;
+        let slot = lqi.slot as usize;
+        self.lq.set_state_at(slot, LoadState::Issued(req));
+        self.lq.d_spec[slot] = passed_unresolved;
+        let line = self.lq.line[slot];
         let cid = self.id;
         tracer.emit(|| TraceEvent {
             cycle: now,
@@ -1497,8 +1726,7 @@ impl Core {
         tracer: &mut T,
     ) -> bool {
         let pc = instr.pc;
-        let mut entry = RobEntry {
-            id: RobId(0), // assigned by push
+        let mut uop = RobUop {
             trace_idx: self.fetch_idx,
             pc,
             kind: RobKind::Nop,
@@ -1507,41 +1735,51 @@ impl Core {
             src_regs: [None, None],
             state: RobState::Waiting,
             done_at: 0,
-            result: 0,
         };
         let mut mispredicted = false;
         match &instr.op {
             Op::Alu {
                 unit, srcs, eval, ..
             } => {
-                entry.kind = RobKind::Alu {
+                uop.kind = RobKind::Alu {
                     unit: *unit,
                     eval: *eval,
                 };
-                entry.src_regs = *srcs;
-                entry.deps = [
+                uop.src_regs = *srcs;
+                uop.deps = [
                     srcs[0].and_then(|r| self.reg_producer[r.index()]),
                     srcs[1].and_then(|r| self.reg_producer[r.index()]),
                 ];
             }
             Op::Load { addr_src, .. } => {
-                // LQ allocation happens after push (needs the id).
-                entry.kind = RobKind::Load;
-                entry.src_regs = [*addr_src, None];
-                entry.deps = [addr_src.and_then(|r| self.reg_producer[r.index()]), None];
+                // LQ allocation happens after push (needs the ROB
+                // handle); the kind's LQ handle is patched then.
+                uop.kind = RobKind::Load {
+                    lq: LqIdx {
+                        seq: u64::MAX,
+                        slot: 0,
+                    },
+                };
+                uop.src_regs = [*addr_src, None];
+                uop.deps = [addr_src.and_then(|r| self.reg_producer[r.index()]), None];
             }
             Op::Store { src, addr_src, .. } => {
                 let data_reg = match src {
                     StoreOperand::Reg(r) => Some(*r),
                     StoreOperand::Imm(_) => None,
                 };
-                entry.src_regs = [data_reg, *addr_src];
-                entry.deps = [
+                uop.src_regs = [data_reg, *addr_src];
+                uop.deps = [
                     data_reg.and_then(|r| self.reg_producer[r.index()]),
                     addr_src.and_then(|r| self.reg_producer[r.index()]),
                 ];
-                // SQ id assigned below once the ROB id exists.
-                entry.kind = RobKind::Store { sq: SqId(u64::MAX) };
+                // SQ handle assigned below once the ROB handle exists.
+                uop.kind = RobKind::Store {
+                    sq: SqIdx {
+                        seq: u64::MAX,
+                        slot: 0,
+                    },
+                };
             }
             Op::Branch { taken, src } => {
                 let correct = self.bp.update(pc.0, *taken);
@@ -1549,25 +1787,25 @@ impl Core {
                     self.stats.branch_mispredicts += 1;
                     mispredicted = true;
                 }
-                entry.kind = RobKind::Branch {
+                uop.kind = RobKind::Branch {
                     taken: *taken,
                     mispredicted: !correct,
                 };
-                entry.src_regs = [*src, None];
-                entry.deps = [src.and_then(|r| self.reg_producer[r.index()]), None];
+                uop.src_regs = [*src, None];
+                uop.deps = [src.and_then(|r| self.reg_producer[r.index()]), None];
             }
             Op::Fence => {
-                entry.kind = RobKind::Fence;
-                entry.state = RobState::Done;
-                entry.done_at = now;
+                uop.kind = RobKind::Fence;
+                uop.state = RobState::Done;
+                uop.done_at = now;
             }
             Op::Nop => {
-                entry.state = RobState::Done;
-                entry.done_at = now;
+                uop.state = RobState::Done;
+                uop.done_at = now;
             }
         }
 
-        let id = self.rob.push(entry);
+        let id = self.rob.push(uop);
         let cid = self.id;
         let trace_idx = self.fetch_idx;
         tracer.emit(|| {
@@ -1583,7 +1821,7 @@ impl Core {
                 cycle: now,
                 core: cid,
                 kind: EventKind::Dispatch {
-                    rob: id.0,
+                    rob: id.seq,
                     trace_idx,
                     pc: pc.0,
                     uop,
@@ -1591,11 +1829,13 @@ impl Core {
             }
         });
 
+        let rslot = id.slot as usize;
         match &instr.op {
             Op::Load {
                 dst, addr, size, ..
             } => {
-                self.lq.alloc(id, pc.0, *addr, *size);
+                let lqi = self.lq.alloc(id, pc.0, *addr, *size);
+                self.rob.kind[rslot] = RobKind::Load { lq: lqi };
                 let _ = dst;
             }
             Op::Store {
@@ -1609,18 +1849,57 @@ impl Core {
                     StoreOperand::Reg(_) => None,
                 };
                 let addr_resolved = addr_src.is_none();
-                let sq_id = self.sq.alloc(id, pc.0, *addr, *size, addr_resolved, value);
-                let e = self.rob.get_mut(id).expect("just pushed");
-                e.kind = RobKind::Store { sq: sq_id };
+                let sqi = self.sq.alloc(id, pc.0, *addr, *size, addr_resolved, value);
+                self.rfo_owned[sqi.slot as usize] = false;
+                self.sq_unowned_stamp[sqi.slot as usize] = u64::MAX;
+                self.sq_own_reject_stamp[sqi.slot as usize] = u64::MAX;
+                self.sq_dirty = true;
+                self.rob.kind[rslot] = RobKind::Store { sq: sqi };
                 if addr_resolved && value.is_some() {
-                    e.state = RobState::Done;
-                    e.done_at = now;
+                    self.rob.set_state_at(rslot, RobState::Done);
+                    self.rob.done_at[rslot] = now;
                 }
             }
             Op::Fence => {
                 self.fences.insert(id);
             }
             _ => {}
+        }
+
+        // Seed the scheduler's wake state: a `Waiting` entry is marked
+        // ready iff a visit could make progress right now (mirroring the
+        // per-kind issue conditions exactly); otherwise each unsatisfied
+        // operand arms a completion wake on its producer, which re-raises
+        // the ready bit. Satisfied deps stay satisfied (producers only
+        // retire after `Done`), so a non-ready entry always has at least
+        // one armed wake and can never be stranded.
+        if self.rob.state[rslot] == RobState::Waiting {
+            let rd = self.deps_ready(rslot);
+            let deps = self.rob.deps[rslot];
+            let (ready, arm0, arm1) = match self.rob.kind[rslot] {
+                RobKind::Alu { .. } => (rd[0] && rd[1], !rd[0], !rd[1]),
+                RobKind::Branch { .. } | RobKind::Load { .. } => (rd[0], !rd[0], false),
+                RobKind::Store { sq } => {
+                    let ss = self.sq.live_slot(sq).expect("store just allocated");
+                    let can = (rd[1] && !self.sq.addr_resolved_at(ss))
+                        || (rd[0] && self.sq.value[ss].is_none());
+                    (can, !rd[0], !rd[1])
+                }
+                RobKind::Fence | RobKind::Nop => (false, false, false),
+            };
+            if ready {
+                self.rob.mark_ready(rslot);
+            }
+            if arm0 {
+                if let Some(d) = deps[0] {
+                    self.rob.arm_wake(d, rslot);
+                }
+            }
+            if arm1 {
+                if let Some(d) = deps[1] {
+                    self.rob.arm_wake(d, rslot);
+                }
+            }
         }
 
         if let Some(dst) = instr.op.dst() {
@@ -1638,35 +1917,37 @@ impl Core {
 
     fn squash_from<T: Tracer>(
         &mut self,
-        from: RobId,
+        from: RobIdx,
         cause: SquashCause,
         by: Option<CoreId>,
         line: Option<Line>,
         now: Cycle,
         tracer: &mut T,
     ) {
-        let removed = self.rob.squash_from(from);
-        if removed.is_empty() {
+        if !self.rob.contains(from) {
             return;
         }
+        let replay_trace_idx = self.rob.trace_idx[from.slot as usize];
+        let n_removed = self.rob.squash_from(from);
+        debug_assert!(n_removed > 0);
         self.sched_start = self.sched_start.min(self.rob.len());
         self.lsq_epoch += 1;
+        self.sq_dirty = true;
         self.progress = true;
-        self.stats.record_squash(cause, removed.len() as u64);
+        self.stats.record_squash(cause, n_removed);
         let cid = self.id;
-        let n_removed = removed.len() as u64;
         tracer.emit(|| TraceEvent {
             cycle: now,
             core: cid,
             kind: EventKind::Squash {
-                from_rob: from.0,
+                from_rob: from.seq,
                 uops: n_removed,
                 cause: tcause(cause),
                 by: by.map(|c| c.0),
                 line: line.map(|l| l.base()),
             },
         });
-        self.fetch_idx = removed[0].trace_idx;
+        self.fetch_idx = replay_trace_idx;
         self.fetch_resume = now + self.cfg.squash_penalty;
         self.resume_was_squash = true;
         if self.fetch_blocked_on.is_some_and(|b| b >= from) {
@@ -1675,13 +1956,14 @@ impl Core {
         if self.gate_stall_cur.is_some_and(|g| g >= from) {
             self.gate_stall_cur = None;
         }
-        for e in &removed {
-            if let RobKind::Fence = e.kind {
-                self.fences.remove(&e.id);
-            }
-        }
-        for l in self.lq.squash_from(from) {
-            match l.state {
+        // Live fences at or past the squash point are exactly the ones
+        // being removed (the set holds only live fences, age-ordered).
+        let _removed_fences = self.fences.split_off(&from);
+        // Release in-flight bookkeeping of the LQ suffix, then drop it.
+        let lcut = self.lq.cut_pos(from);
+        for pos in lcut..self.lq.len() {
+            let s = self.lq.phys(pos);
+            match self.lq.state_at(s) {
                 LoadState::Issued(req) => {
                     self.pending_loads.remove(&req);
                 }
@@ -1691,21 +1973,26 @@ impl Core {
                 _ => {}
             }
         }
-        for s in self.sq.squash_from(from) {
-            if let Some(req) = s.own_req {
+        self.lq.truncate(lcut);
+        // Same for the SQ suffix (rewinds the circular tail pointer).
+        let scut = self.sq.cut_pos(from);
+        for pos in scut..self.sq.len() {
+            let s = self.sq.phys(pos);
+            if let Some(req) = self.sq.own_req[s] {
                 self.pending_owns.remove(&req);
             }
         }
+        self.sq.truncate(scut);
         // Rebuild the register rename map from the surviving window.
         self.reg_producer = [None; NUM_REGS];
-        let mut producers: Vec<(Reg, RobId)> = Vec::new();
-        for e in self.rob.iter() {
-            if let Some(dst) = e.dst {
-                producers.push((dst, e.id));
+        for pos in 0..self.rob.len() {
+            let s = self.rob.phys(pos);
+            if let Some(dst) = self.rob.dst[s] {
+                self.reg_producer[dst.index()] = Some(RobIdx {
+                    seq: self.rob.seq[s],
+                    slot: s as u32,
+                });
             }
-        }
-        for (dst, id) in producers {
-            self.reg_producer[dst.index()] = Some(id);
         }
     }
 

@@ -1,19 +1,34 @@
-//! The load queue.
+//! The load queue, stored struct-of-arrays.
 //!
 //! Each entry carries, beyond the classic fields, the paper's two
 //! additions (§IV-D): the **SLF bit** (here folded into `slf_key`) and a
 //! copy of the forwarding store's **key**. The speculation flags record
 //! *why* a performed load is squashable when an invalidation or eviction
 //! snoops the queue.
-
-use std::collections::VecDeque;
+//!
+//! Entries live in parallel columns over a circular slot array, named by
+//! generation-tagged [`LqIdx`] handles (same scheme as the ROB). The
+//! snoop probe walks the dense `line`/`state` columns, and the
+//! any-older-unperformed prefix query reads a word-scanned *performed
+//! bitset* instead of striding over entry structs.
 
 use sa_coherence::MemReqId;
 use sa_isa::{Addr, Cycle, Line, Value};
 
 use crate::gate::Key;
-use crate::rob::RobId;
-use crate::sq::SqId;
+use crate::rob::RobIdx;
+use crate::sq::SqIdx;
+
+/// Generation-tagged handle to a load-queue entry. `seq` is unique and
+/// monotonic (age order, never reused); `slot` locates the physical
+/// column index in O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LqIdx {
+    /// Unique dynamic-load id (age order).
+    pub seq: u64,
+    /// Physical slot in the SoA columns.
+    pub slot: u32,
+}
 
 /// Why a load is not executing right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,10 +36,10 @@ pub enum BlockReason {
     /// The StoreSet predictor says an older same-set store is unresolved.
     StoreSet,
     /// Forwarding store matched but its data is not ready yet.
-    ForwardData(SqId),
+    ForwardData(SqIdx),
     /// Must wait for the matched store to write to the L1
     /// (`370-NoSpec`, or a partial overlap in any model).
-    StoreCommit(SqId),
+    StoreCommit(SqIdx),
     /// An older fence is still in the window.
     Fence,
     /// The memory system had no MSHR free; retry.
@@ -49,77 +64,132 @@ pub enum LoadState {
     Performed,
 }
 
-/// One load-queue entry.
-#[derive(Debug, Clone)]
-pub struct LqEntry {
-    /// The ROB entry this load belongs to.
-    pub rob_id: RobId,
-    /// Static instruction PC.
-    pub pc: u64,
-    /// Byte address.
-    pub addr: Addr,
-    /// Access size in bytes.
-    pub size: u8,
-    /// Cache line (invalidation snoops match on this).
-    pub line: Line,
-    /// Execution state.
-    pub state: LoadState,
-    /// The loaded value, once performed.
-    pub value: Value,
-    /// Cycle the load performed.
-    pub performed_at: Cycle,
-    /// The store this load forwarded from, if any.
-    pub fwd_from: Option<SqId>,
-    /// The forwarding store's key — present iff this is an **SLF load**
-    /// whose store was still in the SQ/SB at forwarding time.
-    pub slf_key: Option<Key>,
-    /// Performed while an older load was still unperformed
-    /// (M-speculative; in-window load-load speculation).
-    pub m_spec: bool,
-    /// Issued past an older store with an unresolved address
-    /// (D-speculative).
-    pub d_spec: bool,
-    /// Value of the core's LSQ epoch when this load last blocked. While
-    /// the epoch is unchanged a retry is guaranteed to re-block for the
-    /// same reason, so the scheduler skips it (pure memoization — no
-    /// timing effect).
-    pub attempt_epoch: u64,
-    /// Memoized `passed_unresolved` of the forwarding-search miss that
-    /// preceded an `MshrFull` block: while the epoch is unchanged the
-    /// search would return the same miss, so the retry reissues to memory
-    /// directly.
-    pub miss_passed_unresolved: bool,
-}
-
-/// The load queue: a bounded FIFO ordered by age.
+/// The load queue: a bounded, age-ordered circular buffer over
+/// struct-of-arrays columns.
 #[derive(Debug)]
 pub struct LoadQueue {
-    entries: VecDeque<LqEntry>,
+    /// Physical-ring mask (power-of-two ring size − 1).
+    mask: usize,
+    /// Physical slot of the oldest entry.
+    head: usize,
+    /// Occupied entries.
+    len: usize,
+    /// Architectural capacity.
     capacity: usize,
+    next_seq: u64,
+    /// Live entries whose `slf_key` is set — lets the SA shadow test
+    /// skip its prefix scan entirely when no SLF load is in flight.
+    slf_live: usize,
+    // --- parallel columns, indexed by physical slot ---
+    pub(crate) seq: Vec<u64>,
+    pub(crate) rob: Vec<RobIdx>,
+    pub(crate) pc: Vec<u64>,
+    pub(crate) addr: Vec<Addr>,
+    pub(crate) size: Vec<u8>,
+    pub(crate) line: Vec<Line>,
+    state: Vec<LoadState>,
+    pub(crate) value: Vec<Value>,
+    pub(crate) performed_at: Vec<Cycle>,
+    pub(crate) fwd_from: Vec<Option<SqIdx>>,
+    slf_key: Vec<Option<Key>>,
+    pub(crate) m_spec: Vec<bool>,
+    pub(crate) d_spec: Vec<bool>,
+    pub(crate) attempt_epoch: Vec<u64>,
+    pub(crate) miss_passed_unresolved: Vec<bool>,
+    /// Memory-side version stamp captured when this load's issue was
+    /// MSHR-rejected; while the port's stamp is unchanged, a retry is
+    /// guaranteed to reject identically and is booked without re-probing.
+    pub(crate) reject_stamp: Vec<u64>,
+    /// One bit per physical slot: set iff the slot holds a live entry in
+    /// [`LoadState::Performed`]. The any-older-unperformed query reduces
+    /// to "any zero bit over the prefix's slot range", scanned a word at
+    /// a time.
+    performed: Vec<u64>,
+    /// One bit per physical slot: set iff the slot holds a live entry in
+    /// [`LoadState::Blocked`]. The per-cycle retry pass word-scans this
+    /// instead of reading every live entry's state.
+    blocked: Vec<u64>,
 }
 
 impl LoadQueue {
     /// An empty LQ of `capacity` entries.
     pub fn new(capacity: usize) -> LoadQueue {
+        let phys = capacity.next_power_of_two().max(64);
         LoadQueue {
-            entries: VecDeque::with_capacity(capacity),
+            mask: phys - 1,
+            head: 0,
+            len: 0,
             capacity,
+            next_seq: 0,
+            slf_live: 0,
+            seq: vec![0; phys],
+            rob: vec![RobIdx { seq: 0, slot: 0 }; phys],
+            pc: vec![0; phys],
+            addr: vec![0; phys],
+            size: vec![0; phys],
+            line: vec![Line::containing(0); phys],
+            state: vec![LoadState::WaitDeps; phys],
+            value: vec![0; phys],
+            performed_at: vec![0; phys],
+            fwd_from: vec![None; phys],
+            slf_key: vec![None; phys],
+            m_spec: vec![false; phys],
+            d_spec: vec![false; phys],
+            attempt_epoch: vec![0; phys],
+            miss_passed_unresolved: vec![false; phys],
+            reject_stamp: vec![0; phys],
+            performed: vec![0; phys / 64],
+            blocked: vec![0; phys / 64],
         }
     }
 
     /// `true` when no more loads can dispatch.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     /// `true` when the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Occupied entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
+    }
+
+    /// Physical slot of queue position `pos` (0 = oldest); `pos < len`.
+    #[inline]
+    pub(crate) fn phys(&self, pos: usize) -> usize {
+        (self.head + pos) & self.mask
+    }
+
+    /// Queue position of a live handle, `None` when stale.
+    #[inline]
+    pub fn pos_of(&self, idx: LqIdx) -> Option<usize> {
+        let slot = idx.slot as usize;
+        let pos = slot.wrapping_sub(self.head) & self.mask;
+        (pos < self.len && self.seq[slot] == idx.seq).then_some(pos)
+    }
+
+    /// Physical slot of a live handle, `None` when stale.
+    #[inline]
+    pub(crate) fn live_slot(&self, idx: LqIdx) -> Option<usize> {
+        self.pos_of(idx).map(|_| idx.slot as usize)
+    }
+
+    /// `true` while the handle names a live entry.
+    pub fn contains(&self, idx: LqIdx) -> bool {
+        self.pos_of(idx).is_some()
+    }
+
+    /// Handle at queue position `pos`.
+    pub(crate) fn idx_at(&self, pos: usize) -> LqIdx {
+        let slot = self.phys(pos);
+        LqIdx {
+            seq: self.seq[slot],
+            slot: slot as u32,
+        }
     }
 
     /// Allocates an entry at the tail.
@@ -127,93 +197,263 @@ impl LoadQueue {
     /// # Panics
     ///
     /// Panics when full — the dispatcher must check [`LoadQueue::is_full`].
-    pub fn alloc(&mut self, rob_id: RobId, pc: u64, addr: Addr, size: u8) -> &mut LqEntry {
+    pub fn alloc(&mut self, rob: RobIdx, pc: u64, addr: Addr, size: u8) -> LqIdx {
         assert!(!self.is_full(), "LQ overflow");
-        self.entries.push_back(LqEntry {
-            rob_id,
-            pc,
-            addr,
-            size,
-            line: Line::containing(addr),
-            state: LoadState::WaitDeps,
-            value: 0,
-            performed_at: 0,
-            fwd_from: None,
-            slf_key: None,
-            m_spec: false,
-            d_spec: false,
-            attempt_epoch: 0,
-            miss_passed_unresolved: false,
-        });
-        self.entries.back_mut().expect("just pushed")
+        let slot = (self.head + self.len) & self.mask;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        self.seq[slot] = seq;
+        self.rob[slot] = rob;
+        self.pc[slot] = pc;
+        self.addr[slot] = addr;
+        self.size[slot] = size;
+        self.line[slot] = Line::containing(addr);
+        self.state[slot] = LoadState::WaitDeps;
+        self.value[slot] = 0;
+        self.performed_at[slot] = 0;
+        self.fwd_from[slot] = None;
+        self.slf_key[slot] = None;
+        self.m_spec[slot] = false;
+        self.d_spec[slot] = false;
+        self.attempt_epoch[slot] = 0;
+        self.miss_passed_unresolved[slot] = false;
+        self.reject_stamp[slot] = 0;
+        self.performed[slot / 64] &= !(1u64 << (slot % 64));
+        self.blocked[slot / 64] &= !(1u64 << (slot % 64));
+        LqIdx {
+            seq,
+            slot: slot as u32,
+        }
     }
 
-    fn position(&self, rob_id: RobId) -> Option<usize> {
-        self.entries
-            .binary_search_by_key(&rob_id, |e| e.rob_id)
-            .ok()
+    /// Execution state of the entry in physical `slot`.
+    #[inline]
+    pub(crate) fn state_at(&self, slot: usize) -> LoadState {
+        self.state[slot]
     }
 
-    /// Entry of the load with `rob_id`.
-    pub fn get(&self, rob_id: RobId) -> Option<&LqEntry> {
-        self.position(rob_id).map(|i| &self.entries[i])
+    /// Execution state by handle (stale handles return `None`).
+    pub fn state_of(&self, idx: LqIdx) -> Option<LoadState> {
+        self.live_slot(idx).map(|s| self.state[s])
     }
 
-    /// Entry of the load with `rob_id`, mutably.
-    pub fn get_mut(&mut self, rob_id: RobId) -> Option<&mut LqEntry> {
-        self.position(rob_id).map(move |i| &mut self.entries[i])
+    /// Sets the execution state of `slot`, maintaining the performed
+    /// bitset.
+    #[inline]
+    pub(crate) fn set_state_at(&mut self, slot: usize, s: LoadState) {
+        self.state[slot] = s;
+        let bit = 1u64 << (slot % 64);
+        if s == LoadState::Performed {
+            self.performed[slot / 64] |= bit;
+        } else {
+            self.performed[slot / 64] &= !bit;
+        }
+        if matches!(s, LoadState::Blocked(_)) {
+            self.blocked[slot / 64] |= bit;
+        } else {
+            self.blocked[slot / 64] &= !bit;
+        }
+    }
+
+    /// Collects (into `out`) the physical slots of all `Blocked` live
+    /// entries, oldest → youngest, by word-scanning the blocked bitset
+    /// over the ring window — the retry pass's candidate set.
+    pub(crate) fn blocked_slots(&self, out: &mut Vec<u32>) {
+        out.clear();
+        if self.len == 0 {
+            return;
+        }
+        let phys = self.mask + 1;
+        let lo = self.head;
+        let seg1 = (lo, (lo + self.len).min(phys));
+        let seg2 = (0, (lo + self.len).saturating_sub(phys));
+        for (lo, hi) in [seg1, seg2] {
+            let mut w = lo / 64;
+            while w * 64 < hi {
+                let base = w * 64;
+                let mut m = !0u64;
+                if lo > base {
+                    m &= !0u64 << (lo - base);
+                }
+                if hi < base + 64 {
+                    m &= !0u64 >> (base + 64 - hi);
+                }
+                let mut bw = self.blocked[w] & m;
+                while bw != 0 {
+                    out.push((base as u32) + bw.trailing_zeros());
+                    bw &= bw - 1;
+                }
+                w += 1;
+            }
+        }
+    }
+
+    /// Sets the execution state by handle; `false` when the handle is
+    /// stale.
+    pub fn set_state(&mut self, idx: LqIdx, s: LoadState) -> bool {
+        match self.live_slot(idx) {
+            Some(slot) => {
+                self.set_state_at(slot, s);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The forwarding store's key of the entry in `slot`.
+    #[inline]
+    pub(crate) fn slf_key_at(&self, slot: usize) -> Option<Key> {
+        self.slf_key[slot]
+    }
+
+    /// Marks `slot` as an SLF load of `key`, maintaining the live-SLF
+    /// count.
+    pub(crate) fn set_slf_key_at(&mut self, slot: usize, key: Key) {
+        if self.slf_key[slot].is_none() {
+            self.slf_live += 1;
+        }
+        self.slf_key[slot] = Some(key);
+    }
+
+    /// Marks an SLF load by handle; `false` when the handle is stale.
+    pub fn set_slf_key(&mut self, idx: LqIdx, key: Key) -> bool {
+        match self.live_slot(idx) {
+            Some(slot) => {
+                self.set_slf_key_at(slot, key);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Frees the oldest entry at retirement.
     ///
     /// # Panics
     ///
-    /// Panics if the head is not the load `rob_id` — retirement is
+    /// Panics if the head is not the load of `rob` — retirement is
     /// in-order.
-    pub fn retire_head(&mut self, rob_id: RobId) -> LqEntry {
-        let head = self.entries.pop_front().expect("retiring from empty LQ");
-        assert_eq!(head.rob_id, rob_id, "LQ retirement out of order");
-        head
+    pub fn retire_head(&mut self, rob: RobIdx) {
+        assert!(self.len > 0, "retiring from empty LQ");
+        assert_eq!(self.rob[self.head], rob, "LQ retirement out of order");
+        self.free_slot(self.head);
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
     }
 
-    /// `true` when any load older than `rob_id` has not performed.
-    pub fn any_older_unperformed(&self, rob_id: RobId) -> bool {
-        self.entries
-            .iter()
-            .take_while(|e| e.rob_id < rob_id)
-            .any(|e| e.state != LoadState::Performed)
+    /// Clears the bitset/counter state of a slot leaving the queue.
+    fn free_slot(&mut self, slot: usize) {
+        self.performed[slot / 64] &= !(1u64 << (slot % 64));
+        self.blocked[slot / 64] &= !(1u64 << (slot % 64));
+        if self.slf_key[slot].take().is_some() {
+            self.slf_live -= 1;
+        }
     }
 
-    /// `true` when any load *older than* `rob_id` is an SLF load whose
-    /// forwarding store is still pending according to `store_pending` —
-    /// the SA-speculation shadow test (§IV-A).
-    pub fn older_slf_pending(&self, rob_id: RobId, store_pending: impl Fn(Key) -> bool) -> bool {
-        self.entries
-            .iter()
-            .take_while(|e| e.rob_id < rob_id)
-            .any(|e| e.slf_key.is_some_and(&store_pending))
+    /// `true` when any zero bit exists in `bits` over physical slots
+    /// `[start, end)` (one contiguous, non-wrapping range).
+    fn range_has_zero(bits: &[u64], start: usize, end: usize) -> bool {
+        if start >= end {
+            return false;
+        }
+        let (ws, we) = (start / 64, (end - 1) / 64);
+        let lo = !0u64 << (start % 64);
+        let hi = !0u64 >> (63 - (end - 1) % 64);
+        if ws == we {
+            let m = lo & hi;
+            return bits[ws] & m != m;
+        }
+        if bits[ws] & lo != lo {
+            return true;
+        }
+        if bits[ws + 1..we].iter().any(|&w| w != !0u64) {
+            return true;
+        }
+        bits[we] & hi != hi
     }
 
-    /// Removes all loads with `rob_id >= from`; returns them oldest-first.
-    pub fn squash_from(&mut self, from: RobId) -> Vec<LqEntry> {
-        let pos = self.entries.partition_point(|e| e.rob_id < from);
-        self.entries.split_off(pos).into_iter().collect()
+    /// `true` when any load in queue positions `[0, pos)` has not
+    /// performed — a word-scanned prefix query on the performed bitset.
+    pub(crate) fn any_unperformed_before(&self, pos: usize) -> bool {
+        let end = self.head + pos;
+        if end <= self.mask + 1 {
+            Self::range_has_zero(&self.performed, self.head, end)
+        } else {
+            Self::range_has_zero(&self.performed, self.head, self.mask + 1)
+                || Self::range_has_zero(&self.performed, 0, end & self.mask)
+        }
     }
 
-    /// Iterates oldest → youngest.
-    pub fn iter(&self) -> impl Iterator<Item = &LqEntry> {
-        self.entries.iter()
+    /// `true` when any load older than the live entry `idx` has not
+    /// performed.
+    pub fn any_older_unperformed(&self, idx: LqIdx) -> bool {
+        let pos = self.pos_of(idx).expect("stale LQ handle");
+        self.any_unperformed_before(pos)
     }
 
-    /// Iterates oldest → youngest, mutably.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut LqEntry> {
-        self.entries.iter_mut()
+    /// `true` when any load in queue positions `[0, pos)` is an SLF load
+    /// whose forwarding store is still pending according to
+    /// `store_pending` — the SA-speculation shadow test (§IV-A).
+    pub(crate) fn older_slf_pending_before(
+        &self,
+        pos: usize,
+        store_pending: impl Fn(Key) -> bool,
+    ) -> bool {
+        if self.slf_live == 0 {
+            return false;
+        }
+        (0..pos).any(|p| self.slf_key[self.phys(p)].is_some_and(&store_pending))
+    }
+
+    /// `true` when any load older than the live entry `idx` is an SLF
+    /// load whose forwarding store is still pending.
+    pub fn older_slf_pending(&self, idx: LqIdx, store_pending: impl Fn(Key) -> bool) -> bool {
+        let pos = self.pos_of(idx).expect("stale LQ handle");
+        self.older_slf_pending_before(pos, store_pending)
+    }
+
+    /// First queue position whose load is `from` or younger (the squash
+    /// cut point); `len` when every load is older.
+    pub fn cut_pos(&self, from: RobIdx) -> usize {
+        // Positions are age-ordered by ROB seq: binary-search the first
+        // entry at or past `from`.
+        let (mut lo, mut hi) = (0, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.rob[self.phys(mid)] < from {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Drops every entry at queue position `new_len` and beyond (the
+    /// squash suffix). The caller walks the suffix first to release any
+    /// in-flight bookkeeping.
+    pub fn truncate(&mut self, new_len: usize) {
+        debug_assert!(new_len <= self.len);
+        for pos in new_len..self.len {
+            let slot = self.phys(pos);
+            self.free_slot(slot);
+        }
+        self.len = new_len;
+    }
+
+    /// Iterates live handles oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = LqIdx> + '_ {
+        (0..self.len).map(|pos| self.idx_at(pos))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rid(seq: u64) -> RobIdx {
+        RobIdx { seq, slot: 0 }
+    }
 
     fn lq() -> LoadQueue {
         LoadQueue::new(4)
@@ -222,23 +462,24 @@ mod tests {
     #[test]
     fn alloc_and_lookup() {
         let mut q = lq();
-        q.alloc(RobId(3), 0x400, 0x100, 8);
-        q.alloc(RobId(7), 0x404, 0x108, 8);
+        let a = q.alloc(rid(3), 0x400, 0x100, 8);
+        let b = q.alloc(rid(7), 0x404, 0x108, 8);
         assert_eq!(q.len(), 2);
-        assert_eq!(q.get(RobId(3)).unwrap().addr, 0x100);
-        assert!(q.get(RobId(5)).is_none());
-        assert_eq!(q.get(RobId(7)).unwrap().line, Line::containing(0x108));
+        assert_eq!(q.addr[a.slot as usize], 0x100);
+        assert_eq!(q.line[b.slot as usize], Line::containing(0x108));
+        assert!(q.contains(a));
+        assert_eq!(q.pos_of(b), Some(1));
     }
 
     #[test]
     fn older_unperformed_detection() {
         let mut q = lq();
-        q.alloc(RobId(1), 0, 0x100, 8);
-        q.alloc(RobId(2), 0, 0x108, 8);
-        assert!(q.any_older_unperformed(RobId(2)));
-        q.get_mut(RobId(1)).unwrap().state = LoadState::Performed;
-        assert!(!q.any_older_unperformed(RobId(2)));
-        assert!(!q.any_older_unperformed(RobId(1)));
+        let a = q.alloc(rid(1), 0, 0x100, 8);
+        let b = q.alloc(rid(2), 0, 0x108, 8);
+        assert!(q.any_older_unperformed(b));
+        q.set_state(a, LoadState::Performed);
+        assert!(!q.any_older_unperformed(b));
+        assert!(!q.any_older_unperformed(a));
     }
 
     #[test]
@@ -248,51 +489,78 @@ mod tests {
             slot: 3,
             sorting: false,
         };
-        q.alloc(RobId(1), 0, 0x100, 8).slf_key = Some(key);
-        q.alloc(RobId(2), 0, 0x108, 8);
+        let a = q.alloc(rid(1), 0, 0x100, 8);
+        q.set_slf_key(a, key);
+        let b = q.alloc(rid(2), 0, 0x108, 8);
         // Store still pending -> shadow over the younger load.
-        assert!(q.older_slf_pending(RobId(2), |k| k == key));
+        assert!(q.older_slf_pending(b, |k| k == key));
         // Store left the SB -> shadow lifted.
-        assert!(!q.older_slf_pending(RobId(2), |_| false));
+        assert!(!q.older_slf_pending(b, |_| false));
         // The SLF load itself is not shadowed by itself.
-        assert!(!q.older_slf_pending(RobId(1), |k| k == key));
+        assert!(!q.older_slf_pending(a, |k| k == key));
     }
 
     #[test]
     fn squash_suffix() {
         let mut q = lq();
-        q.alloc(RobId(1), 0, 0x100, 8);
-        q.alloc(RobId(5), 0, 0x108, 8);
-        q.alloc(RobId(9), 0, 0x110, 8);
-        let removed = q.squash_from(RobId(5));
-        assert_eq!(removed.len(), 2);
+        let a = q.alloc(rid(1), 0, 0x100, 8);
+        let b = q.alloc(rid(5), 0, 0x108, 8);
+        let c = q.alloc(rid(9), 0, 0x110, 8);
+        let cut = q.cut_pos(rid(5));
+        assert_eq!(cut, 1);
+        q.truncate(cut);
         assert_eq!(q.len(), 1);
-        assert!(q.get(RobId(1)).is_some());
+        assert!(q.contains(a));
+        assert!(!q.contains(b), "squashed handle is stale");
+        assert!(!q.contains(c));
     }
 
     #[test]
     fn retire_head_in_order() {
         let mut q = lq();
-        q.alloc(RobId(1), 0, 0x100, 8);
-        let e = q.retire_head(RobId(1));
-        assert_eq!(e.rob_id, RobId(1));
+        let a = q.alloc(rid(1), 0, 0x100, 8);
+        q.retire_head(rid(1));
         assert!(q.is_empty());
+        assert!(!q.contains(a), "retired handle is stale");
     }
 
     #[test]
     #[should_panic(expected = "out of order")]
     fn retire_out_of_order_panics() {
         let mut q = lq();
-        q.alloc(RobId(1), 0, 0x100, 8);
-        q.alloc(RobId(2), 0, 0x108, 8);
-        q.retire_head(RobId(2));
+        q.alloc(rid(1), 0, 0x100, 8);
+        q.alloc(rid(2), 0, 0x108, 8);
+        q.retire_head(rid(2));
     }
 
     #[test]
     #[should_panic(expected = "LQ overflow")]
     fn overflow_panics() {
         let mut q = LoadQueue::new(1);
-        q.alloc(RobId(1), 0, 0x100, 8);
-        q.alloc(RobId(2), 0, 0x108, 8);
+        q.alloc(rid(1), 0, 0x100, 8);
+        q.alloc(rid(2), 0, 0x108, 8);
+    }
+
+    #[test]
+    fn performed_bitset_tracks_ring_wraparound() {
+        // Capacity 4, ring 64: exercise head movement so prefix queries
+        // span slot ranges that are not `[0, len)`.
+        let mut q = LoadQueue::new(4);
+        for i in 0..100u64 {
+            let h = q.alloc(rid(i), 0, 0x100 + i * 8, 8);
+            if i % 3 == 0 {
+                q.set_state(h, LoadState::Performed);
+            }
+            if q.len() == 4 {
+                // Reference check against a naive scan.
+                for pos in 0..q.len() {
+                    let idx = q.idx_at(pos);
+                    let naive = (0..pos).any(|p| q.state_at(q.phys(p)) != LoadState::Performed);
+                    assert_eq!(q.any_older_unperformed(idx), naive, "i={i} pos={pos}");
+                }
+                q.set_state_at(q.head, LoadState::Performed);
+                q.retire_head(q.rob[q.head]);
+            }
+        }
     }
 }

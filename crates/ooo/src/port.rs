@@ -20,6 +20,37 @@ pub trait LoadStorePort {
     fn mark_dirty(&mut self, line: Line);
     /// L1 hit latency (the store-commit write latency).
     fn l1_latency(&self) -> u64;
+    /// An opaque version stamp over this core's memory-side state: every
+    /// change that could alter the outcome of an issue attempt bumps it.
+    /// While the stamp is unchanged after a rejected [`issue_load`] or
+    /// [`issue_ownership`], a retry is guaranteed to be rejected again,
+    /// so the core may call [`note_rejected_issue`] instead of re-running
+    /// the full issue path. An unchanged stamp likewise pins the result
+    /// of [`has_ownership`] probes (ownership can only change through a
+    /// stamped mutation). `None` means the port does not track one (the
+    /// memos are disabled and every retry must issue for real).
+    ///
+    /// [`issue_load`]: LoadStorePort::issue_load
+    /// [`issue_ownership`]: LoadStorePort::issue_ownership
+    /// [`has_ownership`]: LoadStorePort::has_ownership
+    /// [`note_rejected_issue`]: LoadStorePort::note_rejected_issue
+    fn reject_epoch(&self) -> Option<u64> {
+        None
+    }
+    /// Applies the side effects of `n` load or ownership issues that are
+    /// known (via an unchanged [`reject_epoch`]) to be rejected — the
+    /// request ids and the reject counter move exactly as `n` real
+    /// rejected issues, without the cache/MSHR probes. Load and
+    /// ownership rejections have identical side effects, so one memo
+    /// serves both; consecutive rejections are order-insensitive among
+    /// themselves, so a caller may batch them as long as the batch sits
+    /// at the same sequence position the real issues would.
+    ///
+    /// [`reject_epoch`]: LoadStorePort::reject_epoch
+    fn note_rejected_issues(&mut self, n: u64) {
+        let _ = n;
+        unreachable!("note_rejected_issues without a reject_epoch");
+    }
 }
 
 /// A deterministic fixed-latency memory for tests: every load completes

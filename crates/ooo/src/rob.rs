@@ -1,17 +1,31 @@
-//! The reorder buffer.
-
-use std::collections::VecDeque;
+//! The reorder buffer, stored struct-of-arrays.
+//!
+//! Entries live in parallel columns over one circular slot array; the
+//! scheduler's wake-up scan reads the dense `state` column instead of
+//! striding over fat entry structs. Entities are named by
+//! generation-tagged handles ([`RobIdx`]): the `seq` half is the
+//! monotonic, never-reused dynamic-instruction id (so handles order by
+//! age and a stale in-flight memory response can never be mistaken for a
+//! replayed instruction's), and the `slot` half locates the entry's
+//! physical slot in O(1) — a handle is live iff the slot is occupied and
+//! its `seq` column still matches.
 
 use sa_isa::{AluEval, Cycle, ExecUnit, Pc, Reg, Value};
 
-use crate::sq::SqId;
+use crate::lq::LqIdx;
+use crate::sq::SqIdx;
 
-/// A unique, monotonically increasing identifier for a dynamic
-/// instruction. Identifiers are never reused, even across squashes, so a
-/// stale in-flight memory response can never be mistaken for a replayed
-/// instruction's.
+/// Generation-tagged handle to a ROB entry. `seq` is the unique,
+/// monotonically increasing dynamic-instruction id (never reused, even
+/// across squashes); `slot` is the physical column index. Ordering is by
+/// `seq` (program order), exactly as the plain id it replaces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct RobId(pub u64);
+pub struct RobIdx {
+    /// Unique dynamic-instruction id (age order).
+    pub seq: u64,
+    /// Physical slot in the SoA columns.
+    pub slot: u32,
+}
 
 /// Execution state of a ROB entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,12 +48,15 @@ pub enum RobKind {
         /// Value function.
         eval: AluEval,
     },
-    /// A load; details live in the load queue, linked by [`RobId`].
-    Load,
+    /// A load; details live in the load queue entry `lq`.
+    Load {
+        /// The LQ entry (O(1) ROB→LQ link).
+        lq: LqIdx,
+    },
     /// A store; details live in the SQ/SB entry `sq`.
     Store {
         /// The SQ/SB entry.
-        sq: SqId,
+        sq: SqIdx,
     },
     /// A conditional branch.
     Branch {
@@ -54,11 +71,10 @@ pub enum RobKind {
     Nop,
 }
 
-/// One ROB entry.
+/// Dispatch-time payload of one ROB entry ([`Rob::push`] assigns the
+/// handle).
 #[derive(Debug, Clone)]
-pub struct RobEntry {
-    /// Unique id.
-    pub id: RobId,
+pub struct RobUop {
     /// Position in the core's trace (for replay after squash).
     pub trace_idx: usize,
     /// Program counter.
@@ -67,185 +83,448 @@ pub struct RobEntry {
     pub kind: RobKind,
     /// Destination register.
     pub dst: Option<Reg>,
-    /// Producer ROB ids for up to two register sources
+    /// Producer handles for up to two register sources
     /// (`[data0/data, data1/addr]`).
-    pub deps: [Option<RobId>; 2],
+    pub deps: [Option<RobIdx>; 2],
     /// Source registers matching `deps` (read at issue).
     pub src_regs: [Option<Reg>; 2],
     /// Execution state.
     pub state: RobState,
     /// Cycle the result becomes available.
     pub done_at: Cycle,
-    /// Result value (for register writers).
-    pub result: Value,
 }
 
-/// The reorder buffer: a bounded FIFO with id-based lookup and
-/// suffix squash.
+/// The reorder buffer: a bounded circular window over struct-of-arrays
+/// columns, with O(1) handle lookup and suffix squash.
 #[derive(Debug)]
 pub struct Rob {
-    entries: VecDeque<RobEntry>,
+    /// Physical-ring mask (`columns.len() - 1`, a power of two).
+    mask: usize,
+    /// Physical slot of the oldest entry.
+    head: usize,
+    /// Occupied entries.
+    len: usize,
+    /// Architectural capacity (≤ physical ring size).
     capacity: usize,
-    next_id: u64,
-    /// Id ranges `(start, len)` removed by squashes and not yet retired
-    /// past, ascending and disjoint. Live ids are contiguous outside
-    /// these gaps, which makes id → position arithmetic: position =
-    /// `id - front_id - (gap ids between front_id and id)`. The list
-    /// holds at most a handful of entries (one per un-retired squash),
-    /// so the correction scan is effectively O(1) — much cheaper than
-    /// the binary search it replaces on the scheduler's hot path.
-    gaps: Vec<(u64, u64)>,
+    next_seq: u64,
+    // --- parallel columns, indexed by physical slot ---
+    pub(crate) seq: Vec<u64>,
+    pub(crate) state: Vec<RobState>,
+    pub(crate) kind: Vec<RobKind>,
+    pub(crate) trace_idx: Vec<usize>,
+    pub(crate) pc: Vec<Pc>,
+    pub(crate) dst: Vec<Option<Reg>>,
+    pub(crate) deps: Vec<[Option<RobIdx>; 2]>,
+    pub(crate) src_regs: Vec<[Option<Reg>; 2]>,
+    pub(crate) done_at: Vec<Cycle>,
+    pub(crate) result: Vec<Value>,
+    /// Bit per physical slot: entry is `Waiting` (a scheduler wake-up
+    /// candidate). Maintained by [`Rob::set_state_at`]; bits of slots
+    /// outside the live window are stale and never read (every scan is
+    /// masked to the window).
+    waiting: Vec<u64>,
+    /// Bit per physical slot: entry is not `Done` — what the scheduler's
+    /// window-depth counter (`rs_seen`) counts.
+    not_done: Vec<u64>,
+    /// Bit per physical slot: a visit to this `Waiting` entry could make
+    /// progress right now (its gating operands are satisfied, or for a
+    /// store at least one of its two jobs is actionable). Seeded at
+    /// dispatch, raised by producer-completion wakes, and cleared by the
+    /// scheduler when a visit proves the entry dep-stalled. The invariant
+    /// is one-sided: a set bit may be spurious (the visit is a no-op),
+    /// but every entry the age-ordered scan would advance MUST have its
+    /// bit set — port- or width-starved entries therefore keep theirs.
+    ready: Vec<u64>,
+    /// `not_done` frozen at [`Rob::sched_pass`]: window-depth counts stay
+    /// relative to the cycle's initial state even when a store completes
+    /// mid-pass (the linear reference scan counted it as in-flight for
+    /// every younger entry it reached afterwards).
+    nd_snap: Vec<u64>,
+    /// Per-producer-slot wake lists: `(consumer_slot, consumer_seq)`
+    /// pairs armed at the consumer's dispatch for each then-unsatisfied
+    /// operand. Fired (and drained) when the producer's state is set to
+    /// `Done`; stale pairs are filtered by the seq check, and a reused
+    /// producer slot clears its list in [`Rob::push`].
+    wake: Vec<Vec<(u32, u64)>>,
+}
+
+/// Resumable position of a scheduler pass (see [`Rob::sched_pass`]):
+/// the ring window split into at most two linear segments, a strictly
+/// advancing bit floor, and the window-depth budget consumed so far.
+#[derive(Debug)]
+pub(crate) struct SchedCursor {
+    segs: [(usize, usize); 2],
+    seg: u8,
+    floor: usize,
+    nd: u32,
+    window: u32,
+}
+
+impl SchedCursor {
+    fn done() -> SchedCursor {
+        SchedCursor {
+            segs: [(0, 0); 2],
+            seg: 2,
+            floor: 0,
+            nd: 0,
+            window: 0,
+        }
+    }
+}
+
+#[inline]
+fn word_mask(lo: usize, hi: usize, base: usize) -> u64 {
+    let mut m = !0u64;
+    if lo > base {
+        m &= !0u64 << (lo - base);
+    }
+    if hi < base + 64 {
+        m &= !0u64 >> (base + 64 - hi);
+    }
+    m
 }
 
 impl Rob {
     /// An empty ROB of `capacity` entries.
     pub fn new(capacity: usize) -> Rob {
+        let phys = capacity.next_power_of_two();
         Rob {
-            entries: VecDeque::with_capacity(capacity),
+            mask: phys - 1,
+            head: 0,
+            len: 0,
             capacity,
-            next_id: 0,
-            gaps: Vec::new(),
+            next_seq: 0,
+            seq: vec![0; phys],
+            state: vec![RobState::Waiting; phys],
+            kind: vec![RobKind::Nop; phys],
+            trace_idx: vec![0; phys],
+            pc: vec![Pc(0); phys],
+            dst: vec![None; phys],
+            deps: vec![[None, None]; phys],
+            src_regs: vec![[None, None]; phys],
+            done_at: vec![0; phys],
+            result: vec![0; phys],
+            waiting: vec![0; phys.div_ceil(64)],
+            not_done: vec![0; phys.div_ceil(64)],
+            ready: vec![0; phys.div_ceil(64)],
+            nd_snap: vec![0; phys.div_ceil(64)],
+            wake: vec![Vec::new(); phys],
         }
+    }
+
+    /// Writes an entry's state, keeping the scheduler flag bitsets in
+    /// sync. Every state transition must go through here.
+    #[inline]
+    pub(crate) fn set_state_at(&mut self, slot: usize, s: RobState) {
+        self.state[slot] = s;
+        let (w, b) = (slot / 64, 1u64 << (slot % 64));
+        self.ready[w] &= !b;
+        if s == RobState::Waiting {
+            self.waiting[w] |= b;
+        } else {
+            self.waiting[w] &= !b;
+        }
+        if s == RobState::Done {
+            self.not_done[w] &= !b;
+            if !self.wake[slot].is_empty() {
+                self.fire_wakes(slot);
+            }
+        } else {
+            self.not_done[w] |= b;
+        }
+    }
+
+    /// Drains `slot`'s wake list, marking each still-live consumer ready.
+    /// A consumer that has since been squashed (or whose slot was reused)
+    /// fails the seq check and is skipped; one that has left `Waiting`
+    /// gets a stale ready bit that every scan masks out.
+    fn fire_wakes(&mut self, slot: usize) {
+        let mut list = std::mem::take(&mut self.wake[slot]);
+        for &(cs, cseq) in &list {
+            let cs = cs as usize;
+            if self.seq[cs] == cseq {
+                self.ready[cs / 64] |= 1u64 << (cs % 64);
+            }
+        }
+        list.clear();
+        self.wake[slot] = list;
+    }
+
+    /// Marks a `Waiting` entry as a live scheduler candidate.
+    #[inline]
+    pub(crate) fn mark_ready(&mut self, slot: usize) {
+        self.ready[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Clears an entry's candidate bit after a visit proved it
+    /// dep-stalled (an armed wake will raise it again).
+    #[inline]
+    pub(crate) fn clear_ready(&mut self, slot: usize) {
+        self.ready[slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    /// Arms a completion wake on `producer` for the entry in
+    /// `consumer_slot`. The producer must be live and not `Done` (the
+    /// caller just observed its dep unsatisfied).
+    pub(crate) fn arm_wake(&mut self, producer: RobIdx, consumer_slot: usize) {
+        let ps = producer.slot as usize;
+        debug_assert_eq!(self.seq[ps], producer.seq, "arming a stale producer");
+        debug_assert_ne!(self.state[ps], RobState::Done, "arming a done producer");
+        self.wake[ps].push((consumer_slot as u32, self.seq[consumer_slot]));
+    }
+
+    /// First window position at or after `from` whose entry is not
+    /// `Done` (`len` when that whole suffix is done) — the point the
+    /// scheduler scan can skip to. Word-scans the `not_done` bitset.
+    pub(crate) fn first_not_done(&self, from: usize) -> usize {
+        let len = self.len;
+        if from >= len {
+            return len;
+        }
+        let phys = self.mask + 1;
+        let lo = (self.head + from) & self.mask;
+        let count = len - from;
+        let seg1 = (lo, (lo + count).min(phys));
+        let seg2 = (0, (lo + count).saturating_sub(phys));
+        for (lo, hi) in [seg1, seg2] {
+            let mut w = lo / 64;
+            while w * 64 < hi {
+                let base = w * 64;
+                let m = self.not_done[w] & word_mask(lo, hi, base);
+                if m != 0 {
+                    let slot = base + m.trailing_zeros() as usize;
+                    return slot.wrapping_sub(self.head) & self.mask;
+                }
+                w += 1;
+            }
+        }
+        len
+    }
+
+    /// Starts a scheduler pass over window positions `[start, len)`:
+    /// freezes the window-depth snapshot and returns a cursor for
+    /// [`Rob::sched_next`]. The cursor yields `Waiting & ready` entries
+    /// in strict age order while re-reading the live bitsets, so a store
+    /// that completes mid-pass and wakes younger consumers exposes them
+    /// to this same pass exactly where the linear reference scan would
+    /// have reached them — wakes only ever target younger (later)
+    /// positions, which the monotone cursor has not passed yet.
+    pub(crate) fn sched_pass(&mut self, start: usize, window: usize) -> SchedCursor {
+        self.nd_snap.copy_from_slice(&self.not_done);
+        let phys = self.mask + 1;
+        if start >= self.len {
+            return SchedCursor::done();
+        }
+        let lo = (self.head + start) & self.mask;
+        let count = self.len - start;
+        let seg1 = (lo, (lo + count).min(phys));
+        let seg2 = (0, (lo + count).saturating_sub(phys));
+        SchedCursor {
+            segs: [seg1, seg2],
+            seg: 0,
+            floor: lo,
+            nd: 0,
+            window: window as u32,
+        }
+    }
+
+    /// Advances the cursor to the next candidate: the oldest `Waiting`
+    /// entry with its ready bit set at or past the cursor position,
+    /// paired with the number of snapshot-non-`Done` entries strictly
+    /// older than it — exactly the `rs_seen` value the linear scan would
+    /// have accumulated. Returns `None` once the window-depth budget is
+    /// spent or the live range is exhausted.
+    pub(crate) fn sched_next(&self, cur: &mut SchedCursor) -> Option<(u32, u32)> {
+        while cur.seg < 2 {
+            let (lo, hi) = cur.segs[cur.seg as usize];
+            let mut w = cur.floor / 64;
+            while w * 64 < hi {
+                let base = w * 64;
+                let mut m = word_mask(lo, hi, base);
+                if cur.floor > base {
+                    m &= !0u64 << (cur.floor - base);
+                }
+                let ndw = self.nd_snap[w] & m;
+                let ww = self.waiting[w] & self.ready[w] & m;
+                if ww != 0 {
+                    let b = ww.trailing_zeros();
+                    let below = (1u64 << b) - 1;
+                    let before = cur.nd + (ndw & below).count_ones();
+                    if before >= cur.window {
+                        cur.seg = 2;
+                        return None;
+                    }
+                    // Consume through the candidate (its own snapshot
+                    // bit counts toward every younger entry's depth).
+                    cur.nd += (ndw & (below | (1u64 << b))).count_ones();
+                    cur.floor = base + b as usize + 1;
+                    return Some(((base + b as usize) as u32, before));
+                }
+                cur.nd += ndw.count_ones();
+                if cur.nd >= cur.window {
+                    cur.seg = 2;
+                    return None;
+                }
+                w += 1;
+                cur.floor = w * 64;
+            }
+            cur.seg += 1;
+            if cur.seg < 2 {
+                cur.floor = cur.segs[1].0;
+            }
+        }
+        None
+    }
+
+    /// `true` while physical `slot` is inside the live window (the
+    /// occupancy half of the liveness check, for revalidating a slot
+    /// captured earlier in the same cycle — no dispatch can have reused
+    /// it in between).
+    #[inline]
+    pub(crate) fn slot_live(&self, slot: usize) -> bool {
+        slot.wrapping_sub(self.head) & self.mask < self.len
     }
 
     /// `true` when no more entries can dispatch.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     /// `true` when the window is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Occupied entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
-    /// Allocates an entry at the tail, assigning its id.
+    /// Physical slot of window position `pos` (0 = oldest). The caller
+    /// must keep `pos < len`.
+    #[inline]
+    pub(crate) fn phys(&self, pos: usize) -> usize {
+        (self.head + pos) & self.mask
+    }
+
+    /// Window position of a live handle, `None` when stale (retired or
+    /// squashed — the generation check).
+    #[inline]
+    pub fn pos_of(&self, idx: RobIdx) -> Option<usize> {
+        let slot = idx.slot as usize;
+        let pos = slot.wrapping_sub(self.head) & self.mask;
+        (pos < self.len && self.seq[slot] == idx.seq).then_some(pos)
+    }
+
+    /// Physical slot of a live handle, `None` when stale.
+    #[inline]
+    pub(crate) fn live_slot(&self, idx: RobIdx) -> Option<usize> {
+        self.pos_of(idx).map(|_| idx.slot as usize)
+    }
+
+    /// `true` while the handle names a live (un-retired, un-squashed)
+    /// entry.
+    pub fn contains(&self, idx: RobIdx) -> bool {
+        self.pos_of(idx).is_some()
+    }
+
+    /// Allocates an entry at the tail, assigning its handle.
     ///
     /// # Panics
     ///
     /// Panics when full — the dispatcher must check [`Rob::is_full`].
-    pub fn push(&mut self, mut entry: RobEntry) -> RobId {
+    pub fn push(&mut self, uop: RobUop) -> RobIdx {
         assert!(!self.is_full(), "ROB overflow");
-        if self.entries.is_empty() {
-            // A fresh window starts contiguous at `next_id`; any gap on
-            // record lies entirely below it and must not be subtracted.
-            self.gaps.clear();
-        }
-        let id = RobId(self.next_id);
-        self.next_id += 1;
-        entry.id = id;
-        self.entries.push_back(entry);
-        id
-    }
-
-    /// The oldest entry.
-    pub fn front(&self) -> Option<&RobEntry> {
-        self.entries.front()
-    }
-
-    /// The oldest entry, mutably.
-    pub fn front_mut(&mut self) -> Option<&mut RobEntry> {
-        self.entries.front_mut()
-    }
-
-    /// Retires (removes) the oldest entry.
-    pub fn pop_front(&mut self) -> Option<RobEntry> {
-        let head = self.entries.pop_front();
-        if head.is_some() && !self.gaps.is_empty() {
-            // Gaps the window has retired past can no longer influence
-            // any live lookup.
-            match self.entries.front() {
-                Some(f) => {
-                    let front = f.id.0;
-                    self.gaps.retain(|&(start, len)| start + len > front);
-                }
-                None => self.gaps.clear(),
-            }
-        }
-        head
-    }
-
-    fn position(&self, id: RobId) -> Option<usize> {
-        let front = self.entries.front()?.id.0;
-        if id.0 < front || id.0 >= self.next_id {
-            return None;
-        }
-        // Every retained gap lies strictly above the front id, so the
-        // gap ids below `id` are exactly the missing positions to
-        // subtract.
-        let mut missing = 0;
-        for &(start, len) in &self.gaps {
-            if id.0 >= start + len {
-                missing += len;
-            } else if id.0 >= start {
-                return None; // a squashed (dead) id
-            } else {
-                break;
-            }
-        }
-        let pos = (id.0 - front - missing) as usize;
-        debug_assert_eq!(self.entries[pos].id, id);
-        Some(pos)
-    }
-
-    /// Looks up a live entry by id.
-    pub fn get(&self, id: RobId) -> Option<&RobEntry> {
-        self.position(id).map(|i| &self.entries[i])
-    }
-
-    /// Looks up a live entry by id, mutably.
-    pub fn get_mut(&mut self, id: RobId) -> Option<&mut RobEntry> {
-        self.position(id).map(move |i| &mut self.entries[i])
-    }
-
-    /// `true` when the producer `id` has either retired or produced its
-    /// result.
-    pub fn dep_satisfied(&self, id: RobId) -> bool {
-        match self.entries.front() {
-            None => true,                 // empty ROB: everything retired
-            Some(f) if id < f.id => true, // retired
-            _ => match self.get(id) {
-                Some(e) => e.state == RobState::Done,
-                None => unreachable!("dependence on a squashed instruction"),
-            },
+        let slot = (self.head + self.len) & self.mask;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        self.seq[slot] = seq;
+        // A reused slot must not fire the previous occupant's wakes (the
+        // seq check would filter them, but a `Done`-at-dispatch uop would
+        // walk the stale list) nor inherit its ready bit.
+        self.wake[slot].clear();
+        self.set_state_at(slot, uop.state);
+        self.kind[slot] = uop.kind;
+        self.trace_idx[slot] = uop.trace_idx;
+        self.pc[slot] = uop.pc;
+        self.dst[slot] = uop.dst;
+        self.deps[slot] = uop.deps;
+        self.src_regs[slot] = uop.src_regs;
+        self.done_at[slot] = uop.done_at;
+        self.result[slot] = 0;
+        RobIdx {
+            seq,
+            slot: slot as u32,
         }
     }
 
-    /// Removes `from` and everything younger; returns the removed entries
-    /// oldest-first.
-    pub fn squash_from(&mut self, from: RobId) -> Vec<RobEntry> {
-        let Some(pos) = self.position(from) else {
-            return Vec::new();
+    /// Handle of the oldest entry.
+    pub fn front(&self) -> Option<RobIdx> {
+        (self.len > 0).then(|| RobIdx {
+            seq: self.seq[self.head],
+            slot: self.head as u32,
+        })
+    }
+
+    /// Physical slot of the oldest entry.
+    #[inline]
+    pub(crate) fn head_slot(&self) -> Option<usize> {
+        (self.len > 0).then_some(self.head)
+    }
+
+    /// Retires (removes) the oldest entry. The caller reads any fields
+    /// it needs from the head columns first.
+    pub fn pop_front(&mut self) {
+        debug_assert!(self.len > 0, "retiring from an empty ROB");
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+
+    /// Execution state of a live entry.
+    pub fn state_of(&self, idx: RobIdx) -> Option<RobState> {
+        self.live_slot(idx).map(|s| self.state[s])
+    }
+
+    /// `true` when the producer `idx` has either retired or produced its
+    /// result. Handles never reference squashed entries (the rename map
+    /// is rebuilt from survivors on every squash), so a dead handle
+    /// means the producer retired.
+    #[inline]
+    pub fn dep_satisfied(&self, idx: RobIdx) -> bool {
+        let slot = idx.slot as usize;
+        let pos = slot.wrapping_sub(self.head) & self.mask;
+        if pos < self.len && self.seq[slot] == idx.seq {
+            self.state[slot] == RobState::Done
+        } else {
+            true // retired
+        }
+    }
+
+    /// Removes `from` and everything younger; returns how many entries
+    /// were removed (0 when the handle is stale). Freed slots keep their
+    /// old `seq` until reused, so handles into the removed suffix go
+    /// stale immediately (the occupancy half of the liveness check
+    /// fails) and can never be revived — replays allocate fresh, larger
+    /// seqs.
+    pub fn squash_from(&mut self, from: RobIdx) -> u64 {
+        let Some(pos) = self.pos_of(from) else {
+            return 0;
         };
-        // The removed suffix spans [from, next_id); gaps inside it are
-        // subsumed by the one merged gap recorded here.
-        self.gaps.retain(|&(start, _)| start < from.0);
-        self.gaps.push((from.0, self.next_id - from.0));
-        self.entries.split_off(pos).into_iter().collect()
+        let removed = self.len - pos;
+        self.len = pos;
+        removed as u64
     }
 
-    /// Entry at window position `idx` (0 = oldest).
-    pub fn at(&self, idx: usize) -> Option<&RobEntry> {
-        self.entries.get(idx)
-    }
-
-    /// Entry at window position `idx`, mutably.
-    pub fn at_mut(&mut self, idx: usize) -> Option<&mut RobEntry> {
-        self.entries.get_mut(idx)
-    }
-
-    /// Iterates oldest → youngest.
-    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
-        self.entries.iter()
-    }
-
-    /// Iterates oldest → youngest, mutably.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
-        self.entries.iter_mut()
+    /// Iterates the live window oldest → youngest as handles.
+    pub fn iter(&self) -> impl Iterator<Item = RobIdx> + '_ {
+        (0..self.len).map(|pos| {
+            let slot = self.phys(pos);
+            RobIdx {
+                seq: self.seq[slot],
+                slot: slot as u32,
+            }
+        })
     }
 }
 
@@ -253,9 +532,8 @@ impl Rob {
 mod tests {
     use super::*;
 
-    fn entry(trace_idx: usize) -> RobEntry {
-        RobEntry {
-            id: RobId(0),
+    fn uop(trace_idx: usize) -> RobUop {
+        RobUop {
             trace_idx,
             pc: Pc(0x1000 + trace_idx as u64 * 4),
             kind: RobKind::Nop,
@@ -264,45 +542,44 @@ mod tests {
             src_regs: [None, None],
             state: RobState::Waiting,
             done_at: 0,
-            result: 0,
         }
     }
 
     #[test]
-    fn push_assigns_monotonic_ids() {
+    fn push_assigns_monotonic_handles() {
         let mut rob = Rob::new(4);
-        let a = rob.push(entry(0));
-        let b = rob.push(entry(1));
+        let a = rob.push(uop(0));
+        let b = rob.push(uop(1));
         assert!(a < b);
         assert_eq!(rob.len(), 2);
-        assert_eq!(rob.front().unwrap().id, a);
+        assert_eq!(rob.front().unwrap(), a);
     }
 
     #[test]
     #[should_panic(expected = "ROB overflow")]
     fn overflow_panics() {
         let mut rob = Rob::new(1);
-        rob.push(entry(0));
-        rob.push(entry(1));
+        rob.push(uop(0));
+        rob.push(uop(1));
     }
 
     #[test]
-    fn lookup_by_id_survives_retirement() {
+    fn lookup_by_handle_survives_retirement() {
         let mut rob = Rob::new(4);
-        let a = rob.push(entry(0));
-        let b = rob.push(entry(1));
+        let a = rob.push(uop(0));
+        let b = rob.push(uop(1));
         rob.pop_front();
-        assert!(rob.get(a).is_none());
-        assert!(rob.get(b).is_some());
+        assert!(!rob.contains(a), "retired handle is stale");
+        assert!(rob.contains(b));
     }
 
     #[test]
     fn dep_satisfied_for_retired_and_done() {
         let mut rob = Rob::new(4);
-        let a = rob.push(entry(0));
-        let b = rob.push(entry(1));
+        let a = rob.push(uop(0));
+        let b = rob.push(uop(1));
         assert!(!rob.dep_satisfied(a));
-        rob.get_mut(a).unwrap().state = RobState::Done;
+        rob.set_state_at(a.slot as usize, RobState::Done);
         assert!(rob.dep_satisfied(a));
         assert!(!rob.dep_satisfied(b));
         rob.pop_front();
@@ -310,40 +587,55 @@ mod tests {
     }
 
     #[test]
-    fn squash_removes_suffix_and_ids_stay_unique() {
+    fn squash_removes_suffix_and_seqs_stay_unique() {
         let mut rob = Rob::new(8);
-        let _a = rob.push(entry(0));
-        let b = rob.push(entry(1));
-        let _c = rob.push(entry(2));
-        let removed = rob.squash_from(b);
-        assert_eq!(removed.len(), 2);
-        assert_eq!(removed[0].trace_idx, 1);
+        let _a = rob.push(uop(0));
+        let b = rob.push(uop(1));
+        let _c = rob.push(uop(2));
+        assert_eq!(rob.squash_from(b), 2);
         assert_eq!(rob.len(), 1);
-        // New pushes get fresh ids strictly greater than any removed id.
-        let d = rob.push(entry(1));
-        assert!(d > removed[1].id);
-        assert!(rob.get(b).is_none());
+        // New pushes get fresh seqs strictly greater than any removed.
+        let d = rob.push(uop(1));
+        assert!(d.seq > b.seq);
+        assert!(!rob.contains(b), "squashed handle must not resolve");
     }
 
     #[test]
-    fn squash_of_unknown_id_is_noop() {
+    fn squash_of_stale_handle_is_noop() {
         let mut rob = Rob::new(4);
-        rob.push(entry(0));
-        assert!(rob.squash_from(RobId(99)).is_empty());
+        rob.push(uop(0));
+        let bogus = RobIdx { seq: 99, slot: 0 };
+        assert_eq!(rob.squash_from(bogus), 0);
         assert_eq!(rob.len(), 1);
     }
 
     #[test]
-    fn lookup_with_id_gaps_after_squash() {
+    fn stale_handle_rejected_after_slot_reuse() {
         let mut rob = Rob::new(8);
-        let a = rob.push(entry(0));
-        let b = rob.push(entry(1));
+        let a = rob.push(uop(0));
+        let b = rob.push(uop(1));
         rob.squash_from(b);
-        let c = rob.push(entry(1));
-        let d = rob.push(entry(2));
-        assert!(rob.get(a).is_some());
-        assert!(rob.get(b).is_none(), "gap id must not resolve");
-        assert!(rob.get(c).is_some());
-        assert!(rob.get(d).is_some());
+        let c = rob.push(uop(1)); // reuses b's physical slot
+        assert_eq!(c.slot, b.slot);
+        assert!(rob.contains(a));
+        assert!(!rob.contains(b), "old generation in a reused slot");
+        assert!(rob.contains(c));
+        assert_eq!(rob.pos_of(b), None);
+    }
+
+    #[test]
+    fn ring_wraps_past_physical_capacity() {
+        let mut rob = Rob::new(4);
+        let mut last = None;
+        for i in 0..20 {
+            let h = rob.push(uop(i));
+            assert_eq!(rob.front().map(|f| f.seq), Some(i as u64));
+            rob.pop_front();
+            if let Some(prev) = last {
+                assert!(h > prev);
+                assert!(!rob.contains(prev));
+            }
+            last = Some(h);
+        }
     }
 }

@@ -898,7 +898,7 @@ fn run_workload(shared: &Shared, id: u64, w: &WorkloadJob) -> String {
     progress(shared, id, "generate");
     let traces = {
         let _p = WallProfiler::span("generate");
-        spec.generate(n_cores, w.scale, w.seed)
+        spec.generate_cached(n_cores, w.scale, w.seed)
     };
     // Engine spans stay off here (`Multicore::new` = NullProfiler): the
     // service profiles its lifecycle phases, not every simulated cycle.

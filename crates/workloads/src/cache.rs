@@ -1,0 +1,165 @@
+//! Process-global memo of generated traces.
+//!
+//! Sweeps run the *same* workload trace under several consistency
+//! models: the (spec, cores, length, seed) tuple fully determines the
+//! generated instruction stream, so re-running the generator per model
+//! is pure waste — at sweep scale the generator re-decodes tens of
+//! millions of macro-op slots that were already decoded for the
+//! previous model. [`WorkloadSpec::generate_cached`] decodes each
+//! distinct tuple once and hands out clones afterwards.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use sa_isa::Trace;
+
+use crate::spec::WorkloadSpec;
+
+/// Entries kept before the cache is wholesale cleared (a sweep touches
+/// well under this many distinct tuples; the bound only guards callers
+/// that stream unique specs).
+const MAX_ENTRIES: usize = 64;
+
+/// Cache key: (spec fingerprint, cores, instructions per core, seed).
+type Key = (u64, usize, usize, u64);
+
+/// One entry: the spec that generated the traces, plus the traces.
+type Entry = (WorkloadSpec, Vec<Trace>);
+
+/// Cached per-core traces keyed by the generation tuple. The spec
+/// itself is stored alongside and compared on every hit, so a
+/// fingerprint collision degrades to a regeneration, never a wrong
+/// trace.
+static CACHE: Mutex<Option<HashMap<Key, Entry>>> = Mutex::new(None);
+
+/// A stable fingerprint over every generator-visible field of the spec
+/// (floats hashed by bit pattern; the `paper` reference block is
+/// excluded — it never influences generation).
+fn fingerprint(spec: &WorkloadSpec) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    spec.name.hash(&mut h);
+    (spec.suite == crate::Suite::Parallel).hash(&mut h);
+    for f in [
+        spec.loads_pct,
+        spec.forwarded_pct,
+        spec.stores_pct,
+        spec.branches_pct,
+        spec.branch_noise,
+        spec.locality,
+        spec.shared_access_frac,
+        spec.shared_write_frac,
+        spec.sync_contention,
+        spec.store_burst,
+        spec.late_store_addr,
+        spec.set_conflict,
+        spec.fp_frac,
+    ] {
+        f.to_bits().hash(&mut h);
+    }
+    spec.private_ws_lines.hash(&mut h);
+    spec.shared_ws_lines.hash(&mut h);
+    h.finish()
+}
+
+/// Generator-visible equality: everything [`fingerprint`] covers.
+fn same_generation_inputs(a: &WorkloadSpec, b: &WorkloadSpec) -> bool {
+    // `paper` is reference-only metadata; two specs differing only there
+    // generate identical traces and may share a cache entry.
+    a.name == b.name
+        && a.suite == b.suite
+        && a.loads_pct == b.loads_pct
+        && a.forwarded_pct == b.forwarded_pct
+        && a.stores_pct == b.stores_pct
+        && a.branches_pct == b.branches_pct
+        && a.branch_noise == b.branch_noise
+        && a.private_ws_lines == b.private_ws_lines
+        && a.locality == b.locality
+        && a.shared_ws_lines == b.shared_ws_lines
+        && a.shared_access_frac == b.shared_access_frac
+        && a.shared_write_frac == b.shared_write_frac
+        && a.sync_contention == b.sync_contention
+        && a.store_burst == b.store_burst
+        && a.late_store_addr == b.late_store_addr
+        && a.set_conflict == b.set_conflict
+        && a.fp_frac == b.fp_frac
+}
+
+/// Returns the traces for `(spec, n_cores, instrs, seed)`, generating
+/// them on the first request and cloning the memo afterwards. Exactly
+/// equivalent to [`WorkloadSpec::generate`] call for call.
+pub(crate) fn generate_cached(
+    spec: &WorkloadSpec,
+    n_cores: usize,
+    instrs_per_core: usize,
+    seed: u64,
+) -> Vec<Trace> {
+    let key = (fingerprint(spec), n_cores, instrs_per_core, seed);
+    {
+        let guard = CACHE.lock().expect("trace cache poisoned");
+        if let Some(map) = guard.as_ref() {
+            if let Some((cached_spec, traces)) = map.get(&key) {
+                if same_generation_inputs(cached_spec, spec) {
+                    return traces.clone();
+                }
+            }
+        }
+    }
+    // Generate outside the lock: the generator is the expensive part,
+    // and concurrent first requests for the same tuple are harmless
+    // (both produce the identical deterministic result).
+    let traces = spec.generate(n_cores, instrs_per_core, seed);
+    let mut guard = CACHE.lock().expect("trace cache poisoned");
+    let map = guard.get_or_insert_with(HashMap::new);
+    if map.len() >= MAX_ENTRIES {
+        map.clear();
+    }
+    map.insert(key, (spec.clone(), traces.clone()));
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Suite;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::base("cache-test", Suite::Parallel, 25.0, 4.0)
+    }
+
+    #[test]
+    fn cached_matches_uncached() {
+        let s = spec();
+        assert_eq!(s.generate_cached(2, 400, 11), s.generate(2, 400, 11));
+        // Second request is a pure cache hit and must be identical too.
+        assert_eq!(s.generate_cached(2, 400, 11), s.generate(2, 400, 11));
+    }
+
+    #[test]
+    fn distinct_tuples_do_not_alias() {
+        let s = spec();
+        assert_ne!(s.generate_cached(2, 300, 1), s.generate_cached(2, 300, 2));
+        assert_ne!(
+            s.generate_cached(2, 300, 3),
+            s.generate_cached(2, 301, 3),
+            "length is part of the key"
+        );
+    }
+
+    #[test]
+    fn spec_fields_are_part_of_the_key() {
+        let a = spec();
+        let mut b = spec();
+        b.locality = 0.5;
+        assert_ne!(a.generate_cached(1, 300, 5), b.generate_cached(1, 300, 5));
+    }
+
+    #[test]
+    fn paper_reference_block_is_not_part_of_the_key() {
+        let a = spec();
+        let mut b = spec();
+        b.paper.gate_stall_pct = 99.0;
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert!(same_generation_inputs(&a, &b));
+    }
+}

@@ -27,6 +27,7 @@
 //! assert_eq!(traces.len(), 8);
 //! ```
 
+mod cache;
 pub mod generator;
 pub mod spec;
 pub mod suites;

@@ -159,6 +159,16 @@ impl WorkloadSpec {
             .map(|core| TraceGen::new(self, core, seed).generate(instrs_per_core))
             .collect()
     }
+
+    /// Like [`generate`](Self::generate), but memoized process-wide:
+    /// the first request for a `(spec, cores, length, seed)` tuple runs
+    /// the generator, later requests clone the cached result. Sweeps
+    /// that run the same trace under several consistency models should
+    /// use this — the instruction stream is identical across models by
+    /// construction, so decoding it once per model is pure overhead.
+    pub fn generate_cached(&self, n_cores: usize, instrs_per_core: usize, seed: u64) -> Vec<Trace> {
+        crate::cache::generate_cached(self, n_cores, instrs_per_core, seed)
+    }
 }
 
 #[cfg(test)]
