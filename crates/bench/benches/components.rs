@@ -60,8 +60,8 @@ fn main() {
         let mut last = 0;
         for i in 0..2_000u64 {
             last = n.send(
-                NodeId::Core(CoreId((i % 8) as u8)),
-                NodeId::Bank((i % 8) as u8),
+                NodeId::Core(CoreId((i % 8) as u16)),
+                NodeId::Bank((i % 8) as u16),
                 i,
                 i % 3 == 0,
             );

@@ -39,7 +39,7 @@ fn main() {
         "Benchmark", "x86", "370-NoSpec", "370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"
     );
     for w in &workloads {
-        let reports = run_all_models(w, opts.scale, opts.seed);
+        let reports = run_all_models(w, &opts);
         let base = reports[0].energy_proxy();
         let norm: Vec<f64> = reports.iter().map(|r| r.energy_proxy() / base).collect();
         println!(

@@ -17,8 +17,7 @@ fn print_suite(title: &str, ws: &[WorkloadSpec], opts: &Opts) {
         "Benchmark", "x86", "370-NoSpec", "370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"
     );
     let mut rows: Vec<Vec<f64>> = Vec::new();
-    let all_reports =
-        sa_bench::parallel_map(ws, opts.jobs, |w| run_all_models(w, opts.scale, opts.seed));
+    let all_reports = sa_bench::parallel_map(ws, opts.jobs, |w| run_all_models(w, opts));
     for (w, reports) in ws.iter().zip(&all_reports) {
         let norm = normalized_times(reports);
         println!(
@@ -38,8 +37,7 @@ fn print_suite(title: &str, ws: &[WorkloadSpec], opts: &Opts) {
 
 fn print_json(opts: &Opts) {
     let ws = opts.workloads();
-    let all_reports =
-        sa_bench::parallel_map(&ws, opts.jobs, |w| run_all_models(w, opts.scale, opts.seed));
+    let all_reports = sa_bench::parallel_map(&ws, opts.jobs, |w| run_all_models(w, opts));
     let mut rows: Vec<Vec<f64>> = Vec::new();
     let mut j = JsonWriter::new();
     cli::schema_header(&mut j, "sa-bench-fig10-v1", opts)
@@ -86,7 +84,7 @@ fn main() {
     if opts.csv {
         println!("benchmark,nospec,slfspec,slfsos,slfsos_key");
         for w in opts.workloads() {
-            let reports = run_all_models(&w, opts.scale, opts.seed);
+            let reports = run_all_models(&w, &opts);
             let n = normalized_times(&reports);
             println!("{},{:.4},{:.4},{:.4},{:.4}", w.name, n[0], n[1], n[2], n[3]);
         }

@@ -19,8 +19,7 @@ fn print_suite(title: &str, ws: &[WorkloadSpec], opts: &Opts) {
         "Benchmark", "Config", "ROB(%)", "LQ(%)", "SQ/SB(%)", "Total(%)"
     );
     let mut sums: Vec<StallBreakdown> = vec![StallBreakdown::default(); 5];
-    let all_reports =
-        sa_bench::parallel_map(ws, opts.jobs, |w| run_all_models(w, opts.scale, opts.seed));
+    let all_reports = sa_bench::parallel_map(ws, opts.jobs, |w| run_all_models(w, opts));
     for (w, reports) in ws.iter().zip(&all_reports) {
         for (i, r) in reports.iter().enumerate() {
             let s = r.stalls();
@@ -57,8 +56,7 @@ fn print_suite(title: &str, ws: &[WorkloadSpec], opts: &Opts) {
 
 fn print_json(opts: &Opts) {
     let ws = opts.workloads();
-    let all_reports =
-        sa_bench::parallel_map(&ws, opts.jobs, |w| run_all_models(w, opts.scale, opts.seed));
+    let all_reports = sa_bench::parallel_map(&ws, opts.jobs, |w| run_all_models(w, opts));
     let mut j = JsonWriter::new();
     cli::schema_header(&mut j, "sa-bench-fig9-v1", opts)
         .field_str("figure", "fig9")
@@ -94,7 +92,7 @@ fn main() {
     if opts.csv {
         println!("benchmark,config,rob_pct,lq_pct,sq_pct");
         for w in opts.workloads() {
-            let reports = run_all_models(&w, opts.scale, opts.seed);
+            let reports = run_all_models(&w, &opts);
             for r in &reports {
                 let s = r.stalls();
                 println!(

@@ -46,12 +46,14 @@ use std::sync::{Arc, Mutex};
 
 use sa_bench::cli::{self, Arity, Flag, Spec};
 use sa_bench::serve::MetricsServer;
-use sa_bench::{harness, parallel_map, run_workload, run_workload_lockstep, run_workload_profiled};
+use sa_bench::{
+    harness, parallel_map, run_workload_lockstep, run_workload_opts, run_workload_profiled,
+};
 use sa_isa::ConsistencyModel;
 use sa_metrics::{CpiCategory, JsonWriter};
 use sa_profile::{ProfileTree, Profiler, WallProfiler};
 use sa_sim::report::geomean;
-use sa_sim::{Multicore, Report, SimConfig};
+use sa_sim::{EngineMode, Multicore, Report, SimConfig};
 use sa_trace::NullTracer;
 
 /// The pinned suite. Names must stay stable across PRs so baselines
@@ -80,7 +82,11 @@ fn run_litmus(name: &str, model: ConsistencyModel, profile: bool, lockstep: bool
         let cfg = SimConfig::default()
             .with_model(model)
             .with_cores(traces.len())
-            .with_cycle_skip(!lockstep);
+            .with_engine(if lockstep {
+                EngineMode::Lockstep
+            } else {
+                EngineMode::EventDriven
+            });
         (traces, cfg)
     };
     if profile {
@@ -292,7 +298,7 @@ fn main() {
                 } else if lockstep {
                     harness::time(|| run_workload_lockstep(&w, model, opts.scale, opts.seed))
                 } else {
-                    harness::time(|| run_workload(&w, model, opts.scale, opts.seed))
+                    harness::time(|| run_workload_opts(&w, model, &opts))
                 }
             }
         };

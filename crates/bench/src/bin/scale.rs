@@ -1,0 +1,240 @@
+//! Many-core scaling sweep: {8, 64, 128, 256} cores × {fully-connected,
+//! 2D mesh} × {single-threaded event-driven, multi-threaded parallel}
+//! over a pinned workload trio, writing `BENCH_scale.json` (schema
+//! `sa-bench-scale-v1`) with per-cell simulation throughput
+//! (sim-cycles per host-second) and the parallel engine's speedup over
+//! the serial event-driven run of the same cell.
+//!
+//! Every cell is run on both engines and the sweep *asserts* they agree
+//! on the final cycle count — the bit-exact contract checked end-to-end
+//! at every core count and topology, not just in the unit suite.
+//!
+//! The speedup column measures wall-clock, so it is a property of the
+//! host as much as of the engine: on a single-CPU host the worker
+//! threads timeslice one core, and what shows up is the epoch-tiling
+//! cache locality — a shard's slice of the machine stays hot for a full
+//! lookahead window instead of being evicted every cycle by 255 other
+//! cores. The distance-aware lookahead (core-affine mesh bank
+//! ownership stretches the epoch from 7 to 31 cycles at 256 cores / 4
+//! shards) makes those windows long enough to clear 1.5× on the
+//! 256-core mesh cell even with zero real concurrency; hosts with ≥
+//! `--threads` free CPUs see the shard concurrency on top. The
+//! artifact records `host_parallelism` so a committed baseline states
+//! which regime it measured, and `--min-speedup X` turns the
+//! 256-core-mesh speedup into a gate for CI hosts.
+//!
+//! Usage: `scale [--scale N] [--seed N] [--only NAME] [--threads N]
+//! [--repeat N] [--min-speedup X] [--out PATH]`
+//! (default scale 200, default output `BENCH_scale.json`). The one
+//! stdout line is the 256-core mesh speedup, for shell pipelines and CI
+//! logs; everything else goes to stderr or the JSON.
+
+use std::process::exit;
+
+use sa_bench::cli::{self, Arity, Flag, Spec};
+use sa_bench::harness;
+use sa_metrics::JsonWriter;
+use sa_sim::report::geomean;
+use sa_sim::{EngineMode, Multicore, Report, SimConfig, Topology};
+
+/// The pinned trio: the radix sort whose invalidation storms motivate
+/// the many-core study, a pipeline-parallel encoder, and an N-body tree
+/// walk. Names must stay stable so baselines remain comparable.
+const WORKLOADS: [&str; 3] = ["barnes", "radix", "x264"];
+
+/// Core counts swept; 8 anchors against the paper's configuration.
+const CORES: [usize; 4] = [8, 64, 128, 256];
+
+/// The widest rectangular mesh for `n` nodes-worth of cores (widest
+/// width dividing `n` with an aspect ratio no flatter than 2:1).
+fn mesh_width(n: usize) -> usize {
+    (1..=n)
+        .rev()
+        .find(|w| n.is_multiple_of(*w) && w * w <= n * 2)
+        .expect("every pinned core count has a rectangular mesh")
+}
+
+struct EngineRun {
+    label: String,
+    report: Report,
+    host_seconds: f64,
+}
+
+fn main() {
+    const EXTRAS: &[Flag] = &[
+        Flag {
+            name: "--threads",
+            arity: Arity::One,
+            help: "shard threads for the multi-threaded arm (default 4)",
+        },
+        Flag {
+            name: "--repeat",
+            arity: Arity::One,
+            help: "time each cell N times, keep the fastest (default 1)",
+        },
+        Flag {
+            name: "--min-speedup",
+            arity: Arity::One,
+            help: "exit 1 unless the 256-core mesh parallel speedup reaches this",
+        },
+    ];
+    let args = cli::parse(&Spec {
+        default_scale: Some(200),
+        default_out: Some("BENCH_scale.json"),
+        extras: EXTRAS,
+        ..Spec::new(
+            "scale",
+            "many-core scaling sweep: cores x topology x engine threads",
+        )
+    });
+    let opts = args.opts.clone();
+    let out_path = opts.out.clone().expect("spec supplies a default --out");
+    let threads: usize = args.parsed("--threads").unwrap_or(4).max(2);
+    let repeat: usize = args.parsed("--repeat").unwrap_or(1).max(1);
+    let min_speedup: Option<f64> = args.parsed("--min-speedup");
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let workloads: Vec<&str> = match opts.only.as_deref() {
+        None => WORKLOADS.to_vec(),
+        Some(o) => {
+            if !WORKLOADS.contains(&o) {
+                eprintln!("scale: --only {o:?} is not in the pinned trio {WORKLOADS:?}");
+                exit(2);
+            }
+            vec![o]
+        }
+    };
+
+    let mut j = JsonWriter::new();
+    cli::schema_header(&mut j, "sa-bench-scale-v1", &opts)
+        .field_uint("threads", threads as u64)
+        .field_uint("repeat", repeat as u64)
+        .field_uint("host_parallelism", host_parallelism as u64)
+        .key("cells")
+        .begin_array();
+
+    // The headline cell and the throughput pools for the closing
+    // geomeans.
+    let mut speedup_256_mesh: Option<f64> = None;
+    let mut event_rates: Vec<f64> = Vec::new();
+    let mut parallel_rates: Vec<f64> = Vec::new();
+
+    for name in &workloads {
+        let w = sa_workloads::by_name(name).unwrap_or_else(|| panic!("unpinned workload {name}"));
+        for n_cores in CORES {
+            let traces = w.generate_cached(n_cores, opts.scale, opts.seed);
+            for topo in [
+                Topology::FullyConnected,
+                Topology::Mesh2D {
+                    width: mesh_width(n_cores),
+                },
+            ] {
+                let budget = (opts.scale as u64).saturating_mul(2_000).max(10_000_000);
+                let run = |engine: EngineMode| -> EngineRun {
+                    let mut best: Option<(Report, f64)> = None;
+                    for _ in 0..repeat {
+                        let cfg = SimConfig::default()
+                            .with_cores(n_cores)
+                            .with_topology(topo)
+                            .with_engine(engine);
+                        let sample = harness::time(|| {
+                            let mut sim = Multicore::new(cfg.clone(), traces.clone());
+                            sim.run(budget).unwrap_or_else(|e| {
+                                panic!("{name} x{n_cores} {topo} {engine}: {e}")
+                            });
+                            sim.report()
+                        });
+                        if best.as_ref().is_none_or(|b| sample.1 < b.1) {
+                            best = Some(sample);
+                        }
+                    }
+                    let (report, host_seconds) = best.expect("repeat >= 1");
+                    EngineRun {
+                        label: engine.to_string(),
+                        report,
+                        host_seconds,
+                    }
+                };
+                let serial = run(EngineMode::EventDriven);
+                let parallel = run(EngineMode::Parallel { threads });
+                // The sweep doubles as an end-to-end equivalence check:
+                // a cell where the engines disagree is not a data point,
+                // it is a simulator bug.
+                assert_eq!(
+                    serial.report.cycles, parallel.report.cycles,
+                    "{name} x{n_cores} {topo}: engines disagree on cycles"
+                );
+                assert_eq!(
+                    serial.report, parallel.report,
+                    "{name} x{n_cores} {topo}: engines disagree on the report"
+                );
+                let speedup = serial.host_seconds / parallel.host_seconds.max(1e-12);
+                if n_cores == 256 && matches!(topo, Topology::Mesh2D { .. }) && *name == "radix" {
+                    speedup_256_mesh = Some(speedup);
+                }
+                j.begin_object()
+                    .field_str("workload", name)
+                    .field_uint("cores", n_cores as u64)
+                    .field_str("topology", &topo.to_string())
+                    .field_uint("cycles", serial.report.cycles)
+                    .key("engines")
+                    .begin_array();
+                for (r, sp) in [(&serial, 1.0), (&parallel, speedup)] {
+                    let rate = r.report.cycles as f64 / r.host_seconds.max(1e-12);
+                    j.begin_object()
+                        .field_str("engine", &r.label)
+                        .field_float("host_seconds", r.host_seconds)
+                        .field_float("sim_cycles_per_host_sec", rate)
+                        .field_float("parallel_speedup", sp)
+                        .end_object();
+                }
+                j.end_array().end_object();
+                event_rates.push(serial.report.cycles as f64 / serial.host_seconds.max(1e-12));
+                parallel_rates
+                    .push(parallel.report.cycles as f64 / parallel.host_seconds.max(1e-12));
+                eprintln!(
+                    "{name:>8} x{n_cores:<3} {topo:<8} {cyc:>6} cyc  event {se:.3}s  parallel:{threads} {sp:.3}s  speedup {speedup:.2}",
+                    topo = topo.to_string(),
+                    cyc = serial.report.cycles,
+                    se = serial.host_seconds,
+                    sp = parallel.host_seconds,
+                );
+            }
+        }
+    }
+    j.end_array()
+        .field_float("geomean_event_cycles_per_sec", geomean(&event_rates))
+        .field_float("geomean_parallel_cycles_per_sec", geomean(&parallel_rates));
+    if let Some(s) = speedup_256_mesh {
+        j.field_float("speedup_256_mesh", s);
+    }
+    j.end_object();
+
+    let body = j.finish();
+    std::fs::write(&out_path, format!("{body}\n"))
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    match speedup_256_mesh {
+        Some(s) => {
+            println!("256-core mesh parallel:{threads} speedup over event-driven: {s:.2}");
+            if let Some(min) = min_speedup {
+                if s < min {
+                    eprintln!(
+                        "scale: 256-core mesh speedup {s:.2} below the --min-speedup {min} gate"
+                    );
+                    exit(1);
+                }
+            }
+        }
+        None => {
+            println!("sweep complete (256-core mesh cell not in selection)");
+            if min_speedup.is_some() {
+                eprintln!("scale: --min-speedup set but the 256-core mesh cell was not swept");
+                exit(1);
+            }
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! [--only NAME] [--csv|--json]`
 
 use sa_bench::cli::{self, Spec};
-use sa_bench::{run_workload, Opts};
+use sa_bench::{run_workload_opts, Opts};
 use sa_isa::ConsistencyModel;
 use sa_metrics::JsonWriter;
 use sa_workloads::{Suite, WorkloadSpec};
@@ -28,7 +28,7 @@ struct Row {
 
 fn run_suite(ws: &[WorkloadSpec], opts: &Opts) -> Vec<Row> {
     sa_bench::parallel_map(ws, opts.jobs, |w| {
-        let r = run_workload(w, ConsistencyModel::Ibm370SlfSosKey, opts.scale, opts.seed);
+        let r = run_workload_opts(w, ConsistencyModel::Ibm370SlfSosKey, opts);
         let t = r.total();
         Row {
             name: w.name,

@@ -12,6 +12,7 @@
 //! or bad input); [`parse_from`] is the pure, testable core.
 
 use sa_metrics::JsonWriter;
+use sa_sim::{parse_topology, EngineMode, SimConfig, Topology};
 use sa_workloads::WorkloadSpec;
 
 /// Command-line options shared by the experiment binaries.
@@ -33,6 +34,15 @@ pub struct Opts {
     pub json: bool,
     /// Output path for binaries that write a file.
     pub out: Option<String>,
+    /// Interconnect topology override (`--topology fc|mesh:<w>`);
+    /// `None` keeps each binary's default.
+    pub topology: Option<Topology>,
+    /// Engine override (`--engine lockstep|event|parallel:<t>`);
+    /// `None` keeps each binary's default.
+    pub engine: Option<EngineMode>,
+    /// Core-count override for workload cells (`--cores N`); `None`
+    /// keeps each suite's default (8 parallel / 1 spec).
+    pub cores: Option<usize>,
 }
 
 /// Suite selection.
@@ -59,6 +69,9 @@ impl Default for Opts {
             csv: false,
             json: false,
             out: None,
+            topology: None,
+            engine: None,
+            cores: None,
         }
     }
 }
@@ -80,6 +93,18 @@ impl Opts {
             assert!(!ws.is_empty(), "no workload named {only}");
         }
         ws
+    }
+
+    /// Applies the `--topology` / `--engine` overrides to a config (a
+    /// no-op for whichever was not given).
+    pub fn apply_to(&self, mut cfg: SimConfig) -> SimConfig {
+        if let Some(t) = self.topology {
+            cfg = cfg.with_topology(t);
+        }
+        if let Some(e) = self.engine {
+            cfg = cfg.with_engine(e);
+        }
+        cfg
     }
 }
 
@@ -198,6 +223,9 @@ pub fn usage(spec: &Spec) -> String {
     s.push_str("  --suite parallel|spec|all\n");
     s.push_str("  --only NAME          restrict to one benchmark\n");
     s.push_str("  --jobs N             worker threads (default: all cores)\n");
+    s.push_str("  --topology fc|mesh:W interconnect topology override\n");
+    s.push_str("  --engine MODE        lockstep|event|parallel:<threads>\n");
+    s.push_str("  --cores N            workload core-count override (default: suite's)\n");
     s.push_str("  --csv                machine-readable CSV output\n");
     s.push_str("  --json               machine-readable JSON output\n");
     match spec.default_out {
@@ -267,6 +295,17 @@ pub fn parse_from(spec: &Spec, args: &[String]) -> Result<Args, String> {
                 opts.jobs = need()?
                     .parse()
                     .map_err(|_| "--jobs takes a number".to_string())?;
+            }
+            "--topology" => opts.topology = Some(parse_topology(&need()?)?),
+            "--engine" => opts.engine = Some(EngineMode::parse(&need()?)?),
+            "--cores" => {
+                let n: usize = need()?
+                    .parse()
+                    .map_err(|_| "--cores takes a number".to_string())?;
+                if n == 0 || n > sa_isa::MAX_CORES {
+                    return Err(format!("--cores must be 1..={}", sa_isa::MAX_CORES));
+                }
+                opts.cores = Some(n);
             }
             "--csv" => opts.csv = true,
             "--json" => opts.json = true,
@@ -400,6 +439,41 @@ mod tests {
         assert!(!a.switch("--quiet"));
         assert_eq!(a.value("--absent"), None);
         assert_eq!(a.parsed::<u64>("--absent"), None);
+    }
+
+    #[test]
+    fn topology_and_engine_flags_parse() {
+        let a = parse_from(
+            &spec(),
+            &to_args(&["--topology", "mesh:4", "--engine", "parallel:8"]),
+        )
+        .unwrap();
+        assert_eq!(a.opts.topology, Some(Topology::Mesh2D { width: 4 }));
+        assert_eq!(a.opts.engine, Some(EngineMode::Parallel { threads: 8 }));
+        let cfg = a.opts.apply_to(SimConfig::default().with_cores(8));
+        assert_eq!(cfg.mem.topology, Topology::Mesh2D { width: 4 });
+        assert_eq!(cfg.engine, EngineMode::Parallel { threads: 8 });
+
+        let b = parse_from(
+            &spec(),
+            &to_args(&["--topology", "fc", "--engine", "event"]),
+        )
+        .unwrap();
+        assert_eq!(b.opts.topology, Some(Topology::FullyConnected));
+        assert_eq!(b.opts.engine, Some(EngineMode::EventDriven));
+
+        let none = parse_from(&spec(), &[]).unwrap();
+        assert_eq!(none.opts.topology, None);
+        assert_eq!(none.opts.engine, None);
+        let cfg = none.opts.apply_to(SimConfig::default());
+        assert_eq!(cfg.mem.topology, Topology::FullyConnected, "no-op default");
+
+        assert!(parse_from(&spec(), &to_args(&["--topology", "ring"]))
+            .unwrap_err()
+            .contains("unknown topology"));
+        assert!(parse_from(&spec(), &to_args(&["--engine", "warp"]))
+            .unwrap_err()
+            .contains("unknown engine"));
     }
 
     #[test]

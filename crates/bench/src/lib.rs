@@ -28,7 +28,7 @@ pub use cli::{Opts, SuiteSel};
 
 use sa_isa::ConsistencyModel;
 use sa_sim::report::geomean;
-use sa_sim::{Multicore, Report, SimConfig};
+use sa_sim::{EngineMode, Multicore, Report, SimConfig};
 use sa_workloads::{Suite, WorkloadSpec};
 
 /// Runs one workload under one consistency model to completion.
@@ -46,6 +46,24 @@ pub fn run_workload(w: &WorkloadSpec, model: ConsistencyModel, scale: usize, see
     let traces = w.generate_cached(n_cores, scale, seed);
     let mut sim = Multicore::new(cfg, traces);
     let budget = (scale as u64).saturating_mul(2_000).max(10_000_000);
+    sim.run(budget)
+        .unwrap_or_else(|e| panic!("{} under {model}: {e}", w.name))
+}
+
+/// Like [`run_workload`], but honoring the shared CLI overrides: the
+/// `--cores` core count (suite default when absent) and the
+/// `--topology` / `--engine` axes via [`Opts::apply_to`]. The sweep
+/// binaries route through this so a 256-core mesh cell on the parallel
+/// engine is one flag set away from any figure.
+pub fn run_workload_opts(w: &WorkloadSpec, model: ConsistencyModel, opts: &Opts) -> Report {
+    let n_cores = opts.cores.unwrap_or(match w.suite {
+        Suite::Parallel => 8,
+        Suite::Spec => 1,
+    });
+    let cfg = opts.apply_to(SimConfig::default().with_model(model).with_cores(n_cores));
+    let traces = w.generate_cached(n_cores, opts.scale, opts.seed);
+    let mut sim = Multicore::new(cfg, traces);
+    let budget = (opts.scale as u64).saturating_mul(2_000).max(10_000_000);
     sim.run(budget)
         .unwrap_or_else(|e| panic!("{} under {model}: {e}", w.name))
 }
@@ -68,7 +86,7 @@ pub fn run_workload_lockstep(
     let cfg = SimConfig::default()
         .with_model(model)
         .with_cores(n_cores)
-        .with_cycle_skip(false);
+        .with_engine(EngineMode::Lockstep);
     let traces = w.generate_cached(n_cores, scale, seed);
     let mut sim = Multicore::new(cfg, traces);
     let budget = (scale as u64).saturating_mul(2_000).max(10_000_000);
@@ -141,11 +159,12 @@ pub fn run_workload_profiled(
 }
 
 /// Runs one workload under every model, returning reports in
-/// [`ConsistencyModel::ALL`] order.
-pub fn run_all_models(w: &WorkloadSpec, scale: usize, seed: u64) -> Vec<Report> {
+/// [`ConsistencyModel::ALL`] order. Honors the shared `--cores` /
+/// `--topology` / `--engine` overrides in `opts`.
+pub fn run_all_models(w: &WorkloadSpec, opts: &Opts) -> Vec<Report> {
     ConsistencyModel::ALL
         .iter()
-        .map(|m| run_workload(w, *m, scale, seed))
+        .map(|m| run_workload_opts(w, *m, opts))
         .collect()
 }
 
@@ -248,7 +267,12 @@ mod tests {
     #[test]
     fn normalized_times_shape() {
         let w = sa_workloads::by_name("557.xz_2").unwrap();
-        let reports = run_all_models(&w, 300, 1);
+        let opts = Opts {
+            scale: 300,
+            seed: 1,
+            ..Opts::default()
+        };
+        let reports = run_all_models(&w, &opts);
         assert_eq!(reports.len(), 5);
         let norm = normalized_times(&reports);
         assert_eq!(norm.len(), 4);

@@ -7,7 +7,7 @@ use crate::network::Topology;
 /// messages [`MemConfig::validate`] historically produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemConfigError {
-    /// `n_cores` outside `1..=64`.
+    /// `n_cores` outside `1..=`[`sa_isa::MAX_CORES`].
     CoreCountUnsupported,
     /// `l3_banks == 0`.
     NoL3Banks,
@@ -22,7 +22,9 @@ pub enum MemConfigError {
 impl std::fmt::Display for MemConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MemConfigError::CoreCountUnsupported => write!(f, "1..=64 cores supported"),
+            MemConfigError::CoreCountUnsupported => {
+                write!(f, "1..={} cores supported", sa_isa::MAX_CORES)
+            }
             MemConfigError::NoL3Banks => write!(f, "need at least one L3 bank"),
             MemConfigError::NoMshrs => write!(f, "need at least one MSHR"),
             MemConfigError::CacheTooSmall(what) => {
@@ -121,7 +123,7 @@ impl MemConfig {
     /// Checks invariants the controllers rely on, returning the first
     /// violation as a typed error.
     pub fn check(&self) -> Result<(), MemConfigError> {
-        if self.n_cores == 0 || self.n_cores > 64 {
+        if self.n_cores == 0 || self.n_cores > sa_isa::MAX_CORES {
             return Err(MemConfigError::CoreCountUnsupported);
         }
         if self.l3_banks == 0 {
@@ -203,9 +205,10 @@ mod tests {
             c.check().unwrap_err()
         };
         assert_eq!(
-            bad(|c| c.n_cores = 65),
+            bad(|c| c.n_cores = sa_isa::MAX_CORES + 1),
             MemConfigError::CoreCountUnsupported
         );
+        assert!(MemConfig::with_cores(sa_isa::MAX_CORES).check().is_ok());
         assert_eq!(bad(|c| c.l3_banks = 0), MemConfigError::NoL3Banks);
         assert_eq!(bad(|c| c.mshrs = 0), MemConfigError::NoMshrs);
         assert_eq!(

@@ -17,11 +17,128 @@ use crate::cache::CacheArray;
 use crate::memsys::Action;
 use crate::msg::{Msg, NodeId};
 
+/// A set of sharer cores. Machines up to 64 cores (the common case, and
+/// everything the paper measures) stay on an inline bit mask; wider
+/// machines spill to a boxed multi-word mask allocated only for lines
+/// that actually gain a sharer beyond core 63.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharerSet {
+    /// Cores 0..64 as an inline bit mask.
+    Small(u64),
+    /// Multi-word bit mask for machines wider than 64 cores.
+    Big(Box<[u64]>),
+}
+
+impl SharerSet {
+    /// The empty set.
+    pub fn empty() -> SharerSet {
+        SharerSet::Small(0)
+    }
+
+    /// The set containing exactly `core`.
+    pub fn singleton(core: CoreId) -> SharerSet {
+        let mut s = SharerSet::empty();
+        s.insert(core);
+        s
+    }
+
+    /// Adds `core` to the set.
+    pub fn insert(&mut self, core: CoreId) {
+        let i = core.index();
+        match self {
+            SharerSet::Small(mask) if i < 64 => *mask |= 1 << i,
+            SharerSet::Small(mask) => {
+                let mut words = vec![0u64; i / 64 + 1].into_boxed_slice();
+                words[0] = *mask;
+                words[i / 64] |= 1 << (i % 64);
+                *self = SharerSet::Big(words);
+            }
+            SharerSet::Big(words) => {
+                if i / 64 >= words.len() {
+                    let mut grown = vec![0u64; i / 64 + 1];
+                    grown[..words.len()].copy_from_slice(words);
+                    *words = grown.into_boxed_slice();
+                }
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
+
+    /// Removes `core` from the set.
+    pub fn remove(&mut self, core: CoreId) {
+        let i = core.index();
+        match self {
+            SharerSet::Small(mask) => {
+                if i < 64 {
+                    *mask &= !(1 << i);
+                }
+            }
+            SharerSet::Big(words) => {
+                if let Some(w) = words.get_mut(i / 64) {
+                    *w &= !(1 << (i % 64));
+                }
+            }
+        }
+    }
+
+    /// `true` when `core` is in the set.
+    pub fn contains(&self, core: CoreId) -> bool {
+        let i = core.index();
+        match self {
+            SharerSet::Small(mask) => i < 64 && mask & (1 << i) != 0,
+            SharerSet::Big(words) => words.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0),
+        }
+    }
+
+    /// `true` when no core is in the set.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SharerSet::Small(mask) => *mask == 0,
+            SharerSet::Big(words) => words.iter().all(|w| *w == 0),
+        }
+    }
+
+    /// Number of cores in the set.
+    pub fn count(&self) -> u32 {
+        match self {
+            SharerSet::Small(mask) => mask.count_ones(),
+            SharerSet::Big(words) => words.iter().map(|w| w.count_ones()).sum(),
+        }
+    }
+
+    /// The member cores in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        let words: &[u64] = match self {
+            SharerSet::Small(mask) => std::slice::from_ref(mask),
+            SharerSet::Big(words) => words,
+        };
+        words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(CoreId::from_index(wi * 64 + bit))
+            })
+        })
+    }
+
+    /// The low 64 cores as a bit mask (test observability).
+    pub fn mask64(&self) -> u64 {
+        match self {
+            SharerSet::Small(mask) => *mask,
+            SharerSet::Big(words) => words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
 /// Stable (non-transient) directory state for a line. Absent = Uncached.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum DirState {
-    /// Read-only copies at the cores set in the bit mask.
-    Shared(u64),
+    /// Read-only copies at the cores in the set.
+    Shared(SharerSet),
     /// Exclusive/modified copy at one core.
     Owned(CoreId),
 }
@@ -75,7 +192,7 @@ pub struct DirBank {
 impl DirBank {
     /// Creates bank `id` with an L3 data array of `l3_bytes`/`l3_assoc`.
     pub fn new(
-        id: u8,
+        id: u16,
         l3_bytes: usize,
         l3_assoc: usize,
         l3_latency: u64,
@@ -151,19 +268,21 @@ impl DirBank {
 
     fn process_gets(&mut self, line: Line, req: CoreId, now: Cycle, out: &mut Vec<Action>) {
         self.stats.gets += 1;
-        match self.state.get(&line).copied() {
+        match self.state.get(&line) {
             None => {
                 let lat = self.data_latency(line);
                 self.state.insert(line, DirState::Owned(req));
                 self.send(NodeId::Core(req), Msg::DataE { line }, now + lat, out);
             }
-            Some(DirState::Shared(mask)) => {
+            Some(DirState::Shared(sharers)) => {
+                let mut sharers = sharers.clone();
                 let lat = self.data_latency(line);
-                self.state
-                    .insert(line, DirState::Shared(mask | (1 << req.0)));
+                sharers.insert(req);
+                self.state.insert(line, DirState::Shared(sharers));
                 self.send(NodeId::Core(req), Msg::DataS { line }, now + lat, out);
             }
             Some(DirState::Owned(owner)) => {
+                let owner = *owner;
                 debug_assert_ne!(owner, req, "owner re-requesting S");
                 self.busy.insert(line, Txn::FetchForS { req });
                 self.send(NodeId::Core(owner), Msg::FetchS { line }, now, out);
@@ -173,16 +292,17 @@ impl DirBank {
 
     fn process_getm(&mut self, line: Line, req: CoreId, now: Cycle, out: &mut Vec<Action>) {
         self.stats.getm += 1;
-        match self.state.get(&line).copied() {
+        match self.state.get(&line) {
             None => {
                 let lat = self.data_latency(line);
                 self.state.insert(line, DirState::Owned(req));
                 self.send(NodeId::Core(req), Msg::GrantM { line }, now + lat, out);
             }
-            Some(DirState::Shared(mask)) => {
-                let others = mask & !(1u64 << req.0);
-                let need_data = mask & (1u64 << req.0) == 0;
-                if others == 0 {
+            Some(DirState::Shared(sharers)) => {
+                let mut others = sharers.clone();
+                let need_data = !others.contains(req);
+                others.remove(req);
+                if others.is_empty() {
                     // Upgrade with no other sharers (or sole cold GetM).
                     let lat = if need_data {
                         self.data_latency(line)
@@ -192,18 +312,10 @@ impl DirBank {
                     self.state.insert(line, DirState::Owned(req));
                     self.send(NodeId::Core(req), Msg::GrantM { line }, now + lat, out);
                 } else {
-                    let mut pending = 0;
-                    for c in 0..64u8 {
-                        if others & (1 << c) != 0 {
-                            pending += 1;
-                            self.stats.invs_sent += 1;
-                            self.send(
-                                NodeId::Core(CoreId(c)),
-                                Msg::Inv { line, by: req },
-                                now,
-                                out,
-                            );
-                        }
+                    let pending = others.count();
+                    for c in others.iter() {
+                        self.stats.invs_sent += 1;
+                        self.send(NodeId::Core(c), Msg::Inv { line, by: req }, now, out);
                     }
                     self.busy.insert(
                         line,
@@ -216,6 +328,7 @@ impl DirBank {
                 }
             }
             Some(DirState::Owned(owner)) => {
+                let owner = *owner;
                 debug_assert_ne!(owner, req, "owner re-requesting M");
                 self.busy.insert(line, Txn::FetchForM { req });
                 self.send(
@@ -229,7 +342,7 @@ impl DirBank {
     }
 
     fn process_putm(&mut self, line: Line, from: CoreId, now: Cycle, out: &mut Vec<Action>) {
-        let stale = self.state.get(&line).copied() != Some(DirState::Owned(from));
+        let stale = self.state.get(&line) != Some(&DirState::Owned(from));
         if !stale {
             self.stats.writebacks += 1;
             self.state.remove(&line);
@@ -278,11 +391,11 @@ impl DirBank {
                     Some(DirState::Owned(o)) => *o,
                     other => unreachable!("FetchForS on {other:?}"),
                 };
-                let mut mask = 1u64 << req.0;
+                let mut sharers = SharerSet::singleton(req);
                 if retained {
-                    mask |= 1u64 << old_owner.0;
+                    sharers.insert(old_owner);
                 }
-                self.state.insert(line, DirState::Shared(mask));
+                self.state.insert(line, DirState::Shared(sharers));
                 self.send(NodeId::Core(req), Msg::DataS { line }, now, out);
             }
             Some(Txn::FetchForM { req }) => {
@@ -314,12 +427,12 @@ impl DirBank {
         }
     }
 
-    /// Directory's sharer mask for `line`, for tests.
+    /// Directory's sharer mask for `line` (low 64 cores), for tests.
     pub fn sharers_of(&self, line: Line) -> u64 {
         match self.state.get(&line) {
-            Some(DirState::Shared(m)) => *m,
-            Some(DirState::Owned(o)) => 1u64 << o.0,
-            None => 0,
+            Some(DirState::Shared(s)) => s.mask64(),
+            Some(DirState::Owned(o)) if o.index() < 64 => 1u64 << o.index(),
+            _ => 0,
         }
     }
 

@@ -9,6 +9,19 @@
 //! cycle. Entries carry their absolute cycle, so a slot shared by
 //! several cycles (after the cursor moved back for a past-relative
 //! schedule) is disambiguated by tag, not by lap arithmetic.
+//!
+//! ## Canonical ordering
+//!
+//! Events pop in `(cycle, origin, seq)` order. `origin` is the linear
+//! index of the node that *emitted* the event (cores first, then
+//! directory banks — the same placement [`crate::Topology`] uses) and
+//! `seq` is a per-queue monotone counter. Because a node's emissions are
+//! themselves deterministic, this key is reproducible no matter how the
+//! nodes are partitioned across threads: the parallel engine's shards
+//! stamp events with the same `(cycle, origin, seq)` keys the serial
+//! engine would, and [`EventQueue::inject`] lets a shard enqueue a
+//! remote shard's event under its original key. Same-key collisions are
+//! impossible — one origin's events always come from one counter.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -23,12 +36,13 @@ const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 #[derive(Debug)]
 struct Slotted<E> {
     cycle: Cycle,
+    origin: u32,
     seq: u64,
     payload: E,
 }
 
-/// A time-ordered event queue with deterministic FIFO tie-breaking for
-/// events scheduled at the same cycle.
+/// A time-ordered event queue with deterministic `(origin, seq)`
+/// tie-breaking for events scheduled at the same cycle.
 ///
 /// ```
 /// use sa_coherence::event::EventQueue;
@@ -49,7 +63,7 @@ pub struct EventQueue<E> {
     cursor: Cycle,
     wheel_len: usize,
     /// Events scheduled at or beyond `cursor + WHEEL_SLOTS`.
-    overflow: BTreeMap<Cycle, VecDeque<(u64, E)>>,
+    overflow: BTreeMap<Cycle, Vec<(u32, u64, E)>>,
     overflow_len: usize,
     seq: u64,
 }
@@ -73,11 +87,46 @@ impl<E> EventQueue<E> {
         EventQueue::default()
     }
 
-    /// Schedules `payload` at `cycle`. Events at equal cycles pop in
-    /// schedule order.
+    /// Schedules `payload` at `cycle` from origin 0. Events at equal
+    /// cycles and origins pop in schedule order.
     pub fn schedule(&mut self, cycle: Cycle, payload: E) {
+        self.schedule_from(cycle, 0, payload);
+    }
+
+    /// Schedules `payload` at `cycle`, stamped with the emitting node's
+    /// linear index so same-cycle events pop in `(origin, seq)` order.
+    pub fn schedule_from(&mut self, cycle: Cycle, origin: u32, payload: E) {
         let seq = self.seq;
         self.seq += 1;
+        self.insert(cycle, origin, seq, payload);
+    }
+
+    /// Enqueues an event under an explicit `(origin, seq)` key minted by
+    /// another queue — the parallel engine's cross-shard delivery path.
+    /// The local counter is bumped past `seq` so later local emissions
+    /// never sort before an already-injected event of the same origin.
+    pub fn inject(&mut self, cycle: Cycle, origin: u32, seq: u64, payload: E) {
+        self.seq = self.seq.max(seq + 1);
+        self.insert(cycle, origin, seq, payload);
+    }
+
+    /// The key the next locally-scheduled event would get; paired with
+    /// [`EventQueue::inject`] to relay an event queue-to-queue.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Consumes and returns the next local seq without enqueuing
+    /// anything — used when an emission is diverted to another queue (a
+    /// cross-shard outbox) but must keep its place in this origin's
+    /// emission order.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn insert(&mut self, cycle: Cycle, origin: u32, seq: u64, payload: E) {
         if cycle < self.cursor {
             // Scheduling "in the past" relative to the scan cursor (a
             // controller reacting at the cycle currently being drained):
@@ -87,6 +136,7 @@ impl<E> EventQueue<E> {
         if cycle - self.cursor < WHEEL_SLOTS as u64 {
             self.slots[(cycle & WHEEL_MASK) as usize].push_back(Slotted {
                 cycle,
+                origin,
                 seq,
                 payload,
             });
@@ -95,18 +145,35 @@ impl<E> EventQueue<E> {
             self.overflow
                 .entry(cycle)
                 .or_default()
-                .push_back((seq, payload));
+                .push((origin, seq, payload));
             self.overflow_len += 1;
         }
     }
 
-    /// Position of the earliest entry for exactly `cycle` in its slot
-    /// (lowest seq: pushes arrive in seq order, so the first tag match
-    /// is it).
+    /// Position of the `(origin, seq)`-minimal entry for exactly `cycle`
+    /// in its slot.
     fn slot_front(&self, cycle: Cycle) -> Option<usize> {
-        self.slots[(cycle & WHEEL_MASK) as usize]
-            .iter()
-            .position(|e| e.cycle == cycle)
+        let slot = &self.slots[(cycle & WHEEL_MASK) as usize];
+        let mut best: Option<(u32, u64, usize)> = None;
+        for (i, e) in slot.iter().enumerate() {
+            if e.cycle == cycle && best.is_none_or(|(o, s, _)| (e.origin, e.seq) < (o, s)) {
+                best = Some((e.origin, e.seq, i));
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Position of the `(origin, seq)`-minimal entry in an overflow
+    /// bucket.
+    fn bucket_front(bucket: &[(u32, u64, E)]) -> usize {
+        let mut best = 0;
+        for (i, e) in bucket.iter().enumerate().skip(1) {
+            let (bo, bs, _) = &bucket[best];
+            if (e.0, e.1) < (*bo, *bs) {
+                best = i;
+            }
+        }
+        best
     }
 
     /// Advances `cursor` to the first cycle `<= until` holding a wheel
@@ -128,6 +195,12 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event whose cycle is `<= until`, if any.
     pub fn pop_until(&mut self, until: Cycle) -> Option<(Cycle, E)> {
+        self.pop_until_keyed(until).map(|(c, _, _, e)| (c, e))
+    }
+
+    /// [`EventQueue::pop_until`] exposing the popped event's full
+    /// canonical key `(cycle, origin, seq)`.
+    pub fn pop_until_keyed(&mut self, until: Cycle) -> Option<(Cycle, u32, u64, E)> {
         let wheel = self.scan_wheel(until);
         let of = self.overflow.keys().next().copied().filter(|&c| c <= until);
         match (wheel, of) {
@@ -141,13 +214,15 @@ impl<E> EventQueue<E> {
                     Some(self.pop_overflow(o))
                 } else {
                     // Same cycle in both stores (possible after a cursor
-                    // move-back): FIFO order decides.
-                    let wseq = {
+                    // move-back): the canonical key decides.
+                    let wkey = {
                         let i = self.slot_front(w).expect("scanned entry");
-                        self.slots[(w & WHEEL_MASK) as usize][i].seq
+                        let e = &self.slots[(w & WHEEL_MASK) as usize][i];
+                        (e.origin, e.seq)
                     };
-                    let oseq = self.overflow[&o].front().expect("non-empty bucket").0;
-                    if wseq < oseq {
+                    let bucket = &self.overflow[&o];
+                    let b = &bucket[Self::bucket_front(bucket)];
+                    if wkey < (b.0, b.1) {
                         Some(self.pop_wheel(w))
                     } else {
                         Some(self.pop_overflow(o))
@@ -157,23 +232,24 @@ impl<E> EventQueue<E> {
         }
     }
 
-    fn pop_wheel(&mut self, cycle: Cycle) -> (Cycle, E) {
+    fn pop_wheel(&mut self, cycle: Cycle) -> (Cycle, u32, u64, E) {
         let i = self.slot_front(cycle).expect("entry present");
         let e = self.slots[(cycle & WHEEL_MASK) as usize]
             .remove(i)
             .expect("in-bounds index");
         self.wheel_len -= 1;
-        (e.cycle, e.payload)
+        (e.cycle, e.origin, e.seq, e.payload)
     }
 
-    fn pop_overflow(&mut self, cycle: Cycle) -> (Cycle, E) {
+    fn pop_overflow(&mut self, cycle: Cycle) -> (Cycle, u32, u64, E) {
         let bucket = self.overflow.get_mut(&cycle).expect("bucket present");
-        let (_, payload) = bucket.pop_front().expect("non-empty bucket");
+        let i = Self::bucket_front(bucket);
+        let (origin, seq, payload) = bucket.remove(i);
         if bucket.is_empty() {
             self.overflow.remove(&cycle);
         }
         self.overflow_len -= 1;
-        (cycle, payload)
+        (cycle, origin, seq, payload)
     }
 
     /// The cycle of the earliest pending event.
@@ -223,6 +299,37 @@ mod tests {
             out.push(p);
         }
         assert_eq!(out, vec![3, 1, 2, 4]);
+    }
+
+    #[test]
+    fn same_cycle_orders_by_origin_before_seq() {
+        let mut q = EventQueue::new();
+        q.schedule_from(10, 3, "late-origin, early seq");
+        q.schedule_from(10, 1, "mid");
+        q.schedule_from(10, 0, "first");
+        q.schedule_from(10, 1, "mid-second");
+        let mut out = Vec::new();
+        while let Some((_, p)) = q.pop_until(u64::MAX) {
+            out.push(p);
+        }
+        assert_eq!(
+            out,
+            vec!["first", "mid", "mid-second", "late-origin, early seq"]
+        );
+    }
+
+    #[test]
+    fn inject_preserves_remote_keys() {
+        // Shard A emits (origin 2, seq 5) at cycle 10; shard B holds a
+        // local (origin 7, seq 0) at the same cycle. After injection the
+        // pop order is the canonical serial order, and B's counter jumps
+        // past the injected seq.
+        let mut q = EventQueue::new();
+        q.schedule_from(10, 7, "local");
+        q.inject(10, 2, 5, "remote");
+        assert!(q.next_seq() >= 6);
+        assert_eq!(q.pop_until(u64::MAX), Some((10, "remote")));
+        assert_eq!(q.pop_until(u64::MAX), Some((10, "local")));
     }
 
     #[test]
@@ -288,22 +395,25 @@ mod tests {
     }
 
     #[test]
-    fn fifo_preserved_between_wheel_and_overflow() {
+    fn canonical_order_preserved_between_wheel_and_overflow() {
         let mut q = EventQueue::new();
         let c = 2 * WHEEL_SLOTS as u64;
-        q.schedule(c, "first"); // beyond horizon: overflow
+        q.schedule_from(c, 1, "origin1"); // beyond horizon: overflow
         assert!(q.pop_until(c - 1).is_none()); // cursor reaches c
-        q.schedule(c, "second"); // now within horizon: wheel
-        assert_eq!(q.pop_until(c), Some((c, "first")));
-        assert_eq!(q.pop_until(c), Some((c, "second")));
+        q.schedule_from(c, 0, "origin0"); // now within horizon: wheel
+        q.schedule_from(c, 2, "origin2"); // wheel, later origin
+        assert_eq!(q.pop_until(c), Some((c, "origin0")));
+        assert_eq!(q.pop_until(c), Some((c, "origin1")));
+        assert_eq!(q.pop_until(c), Some((c, "origin2")));
     }
 
     #[test]
     fn randomized_matches_sorted_reference() {
         // Deterministic pseudo-random schedule/pop interleaving compared
-        // against a sorted reference implementation.
+        // against a sorted reference implementation of the canonical
+        // (cycle, origin, seq) order.
         let mut q = EventQueue::new();
-        let mut reference: Vec<(Cycle, u64, u64)> = Vec::new(); // (cycle, seq, tag)
+        let mut reference: Vec<(Cycle, u32, u64, u64)> = Vec::new(); // (cycle, origin, seq, tag)
         let mut seq = 0u64;
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut rand = move || {
@@ -319,8 +429,9 @@ mod tests {
                 0 | 1 => {
                     // Mostly near-future, occasionally far-future.
                     let delta = if r % 97 == 0 { r % 5000 } else { r % 300 };
-                    q.schedule(now + delta, i);
-                    reference.push((now + delta, seq, i));
+                    let origin = (r >> 32) as u32 % 9;
+                    q.schedule_from(now + delta, origin, i);
+                    reference.push((now + delta, origin, seq, i));
                     seq += 1;
                 }
                 _ => {
@@ -328,10 +439,10 @@ mod tests {
                     loop {
                         let got = q.pop_until(now);
                         reference.sort();
-                        let want = reference.first().filter(|&&(c, _, _)| c <= now).copied();
+                        let want = reference.first().filter(|&&(c, _, _, _)| c <= now).copied();
                         match (got, want) {
                             (None, None) => break,
-                            (Some((gc, gt)), Some((wc, _, wt))) => {
+                            (Some((gc, gt)), Some((wc, _, _, wt))) => {
                                 assert_eq!((gc, gt), (wc, wt));
                                 reference.remove(0);
                             }

@@ -52,6 +52,9 @@ pub mod private;
 pub mod stats;
 
 pub use config::{MemConfig, MemConfigError};
-pub use memsys::{MemReqId, MemorySystem, Notice, NoticeKind};
+pub use memsys::{
+    bank_shard, core_shard, shard_lookahead, MemReqId, MemorySystem, Notice, NoticeKind,
+    RemoteEvent,
+};
 pub use network::Topology;
 pub use stats::MemStats;

@@ -9,13 +9,24 @@ use crate::config::MemConfig;
 use crate::dir::DirBank;
 use crate::event::EventQueue;
 use crate::msg::{Msg, NodeId};
-use crate::network::Network;
+use crate::network::{Network, Topology};
 use crate::private::PrivateCtrl;
 use crate::stats::MemStats;
 
 /// Identifies an outstanding load or ownership request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MemReqId(pub u64);
+
+impl MemReqId {
+    /// Engine-independent id: the issuing core in the high bits, that
+    /// core's issue ordinal in the low 40. Every engine (lockstep,
+    /// event-driven, parallel shards) assigns the same id to the same
+    /// architectural request.
+    pub fn new(core: CoreId, seq: u64) -> MemReqId {
+        debug_assert!(seq < 1 << 40, "per-core request ordinal overflow");
+        MemReqId(((core.index() as u64) << 40) | seq)
+    }
+}
 
 /// What the memory system tells a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +107,104 @@ enum Ev {
     Notice { core: CoreId, kind: NoticeKind },
 }
 
+/// A protocol message crossing a shard boundary: the delivery the
+/// sending shard computed (its network owns the source-side channel)
+/// plus the canonical `(origin, seq)` key it would have carried in the
+/// serial engine. The receiving shard enqueues it with
+/// [`MemorySystem::inject_remote`], which restores exactly the key the
+/// serial queue would have used — cross-shard routing is therefore
+/// invisible to the event order.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteEvent {
+    /// Delivery cycle (network transit already accounted).
+    pub deliver: Cycle,
+    /// Linear index of the emitting node.
+    pub origin: u32,
+    /// Emission counter of the sending shard.
+    pub seq: u64,
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node (owned by the receiving shard).
+    pub to: NodeId,
+    /// The message.
+    pub msg: Msg,
+}
+
+/// Which shard owns core `i` when `n_cores` cores are split across
+/// `shards` workers: contiguous blocks, remainder spread evenly. A pure
+/// function of its arguments so every shard (and the merge step) agrees
+/// without communication.
+pub fn core_shard(i: usize, n_cores: usize, shards: usize) -> usize {
+    debug_assert!(i < n_cores && shards > 0);
+    i * shards / n_cores
+}
+
+/// Which shard owns directory bank `b`.
+///
+/// On the fully-connected fabric every placement is equidistant, so
+/// banks split into the same contiguous blocks as [`core_shard`]. On a
+/// mesh each bank goes to the shard of its nearest core (lowest core
+/// index on ties): the endpoints of a bank's tightest channels then
+/// share its shard, which stretches the shortest *cross*-shard channel
+/// — and with it the epoch length the parallel engine may use, see
+/// [`shard_lookahead`] — as far as the placement allows. A pure
+/// function of its arguments so every shard (and the merge step)
+/// agrees without communication.
+pub fn bank_shard(b: usize, cfg: &MemConfig, shards: usize) -> usize {
+    debug_assert!(b < cfg.l3_banks && shards > 0);
+    match cfg.topology {
+        Topology::FullyConnected => b * shards / cfg.l3_banks,
+        Topology::Mesh2D { .. } => {
+            let bank = NodeId::Bank(b as u16);
+            let nearest = (0..cfg.n_cores)
+                .min_by_key(|&c| {
+                    cfg.topology
+                        .hops(NodeId::Core(CoreId::from_index(c)), bank, cfg.n_cores)
+                })
+                .expect("a validated config has at least one core");
+            core_shard(nearest, cfg.n_cores, shards)
+        }
+    }
+}
+
+/// The conservative lookahead for a `shards`-way parallel run: the
+/// minimum virtual-time delivery delay of any cross-shard message.
+///
+/// Every protocol message travels core → home bank or bank → core
+/// (cores never message cores, banks never message banks), so the exact
+/// bound is the minimum over cross-shard (core, bank) pairs of
+/// `min_flits + hops × hop_latency`. [`Network::send`] can only add to
+/// that — channel backpressure and sender-side latency both push the
+/// delivery later — so an event emitted during one epoch of this length
+/// is never due before the next. On the fully-connected fabric this
+/// equals `hop_latency + min_flits` (every pair is one hop); on a mesh
+/// with the core-affine bank placement of [`bank_shard`] it is several
+/// hops more, and the epochs grow accordingly.
+pub fn shard_lookahead(cfg: &MemConfig, shards: usize) -> u64 {
+    let min_flits = cfg.ctrl_flits.min(cfg.data_flits);
+    let mut min = u64::MAX;
+    for b in 0..cfg.l3_banks {
+        let owner = bank_shard(b, cfg, shards);
+        let bank = NodeId::Bank(b as u16);
+        for c in 0..cfg.n_cores {
+            if core_shard(c, cfg.n_cores, shards) == owner {
+                continue;
+            }
+            let hops = cfg
+                .topology
+                .hops(NodeId::Core(CoreId::from_index(c)), bank, cfg.n_cores);
+            min = min.min(min_flits + hops * cfg.hop_latency);
+        }
+    }
+    if min == u64::MAX {
+        // No cross-shard channels (e.g. a single shard): any epoch
+        // length is safe; return the one-hop floor.
+        cfg.hop_latency + min_flits
+    } else {
+        min
+    }
+}
+
 /// The `sa-trace` mirror of a network node.
 fn tnode(n: NodeId) -> TraceNode {
     match n {
@@ -139,10 +248,21 @@ pub struct MemorySystem {
     cfg: MemConfig,
     q: EventQueue<Ev>,
     net: Network,
-    ctrls: Vec<PrivateCtrl>,
-    banks: Vec<DirBank>,
+    /// One slot per core; `None` for cores another shard owns. The
+    /// serial engine owns every slot.
+    ctrls: Vec<Option<PrivateCtrl>>,
+    /// One slot per bank; `None` for banks another shard owns.
+    banks: Vec<Option<DirBank>>,
     notices: Vec<Vec<Notice>>,
-    next_req: u64,
+    /// Events emitted locally but destined for a node another shard
+    /// owns; drained at epoch barriers. Always empty in the serial
+    /// engine.
+    outbox: Vec<RemoteEvent>,
+    /// Per-core request-id sequence counters. Ids are a pure function
+    /// of (core, per-core issue count) — see [`MemorySystem::fresh_req`]
+    /// — so a sharded build numbers requests identically to the serial
+    /// engine regardless of cross-shard interleaving.
+    next_req: Vec<u64>,
     /// Per-core version stamps over controller state: bumped whenever a
     /// core's private controller is mutated in a way that could change
     /// the outcome of a subsequent issue attempt (accepted issues,
@@ -160,19 +280,41 @@ impl MemorySystem {
     ///
     /// Panics if `cfg` fails [`MemConfig::validate`].
     pub fn new(cfg: MemConfig) -> MemorySystem {
+        Self::build(cfg, None)
+    }
+
+    /// Builds shard `shard` of `n_shards`: the controllers of cores in
+    /// [`core_shard`]'s block and the directory banks in
+    /// [`bank_shard`]'s block, with every other slot `None`. Events
+    /// emitted here for a remote node land in the
+    /// [outbox](Self::take_outbox) instead of the local queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MemConfig::validate`] or `n_shards == 0`.
+    pub fn new_shard(cfg: MemConfig, shard: usize, n_shards: usize) -> MemorySystem {
+        assert!(n_shards > 0 && shard < n_shards, "bad shard index");
+        Self::build(cfg, Some((shard, n_shards)))
+    }
+
+    fn build(cfg: MemConfig, shard: Option<(usize, usize)>) -> MemorySystem {
         cfg.validate();
+        let owns_core = |i: usize| shard.is_none_or(|(s, n)| core_shard(i, cfg.n_cores, n) == s);
+        let owns_bank = |b: usize| shard.is_none_or(|(s, n)| bank_shard(b, &cfg, n) == s);
         let ctrls = (0..cfg.n_cores)
-            .map(|i| PrivateCtrl::new(CoreId(i as u8), &cfg))
+            .map(|i| owns_core(i).then(|| PrivateCtrl::new(CoreId::from_index(i), &cfg)))
             .collect();
         let banks = (0..cfg.l3_banks)
             .map(|i| {
-                DirBank::new(
-                    i as u8,
-                    cfg.l3_bytes_per_bank,
-                    cfg.l3_assoc,
-                    cfg.l3_latency,
-                    cfg.mem_latency,
-                )
+                owns_bank(i).then(|| {
+                    DirBank::new(
+                        i as u16,
+                        cfg.l3_bytes_per_bank,
+                        cfg.l3_assoc,
+                        cfg.l3_latency,
+                        cfg.mem_latency,
+                    )
+                })
             })
             .collect();
         MemorySystem {
@@ -187,10 +329,40 @@ impl MemorySystem {
             ctrls,
             banks,
             notices: vec![Vec::new(); cfg.n_cores],
-            next_req: 0,
+            outbox: Vec::new(),
+            next_req: vec![0; cfg.n_cores],
             reject_epochs: vec![0; cfg.n_cores],
             cfg,
         }
+    }
+
+    /// `true` when this instance hosts `node`'s controller.
+    pub fn owns(&self, node: NodeId) -> bool {
+        match node {
+            NodeId::Core(c) => self.ctrls[c.index()].is_some(),
+            NodeId::Bank(b) => self.banks[b as usize].is_some(),
+        }
+    }
+
+    /// Canonical linear index of a node (cores first, then banks) — the
+    /// `origin` every event emitted by that node is stamped with.
+    fn origin_of(&self, node: NodeId) -> u32 {
+        match node {
+            NodeId::Core(c) => c.index() as u32,
+            NodeId::Bank(b) => (self.cfg.n_cores + b as usize) as u32,
+        }
+    }
+
+    fn ctrl(&self, core: CoreId) -> &PrivateCtrl {
+        self.ctrls[core.index()]
+            .as_ref()
+            .expect("core owned by this shard")
+    }
+
+    fn ctrl_mut(&mut self, core: CoreId) -> &mut PrivateCtrl {
+        self.ctrls[core.index()]
+            .as_mut()
+            .expect("core owned by this shard")
     }
 
     /// The configuration this system was built with.
@@ -203,9 +375,10 @@ impl MemorySystem {
         self.cfg.l1_latency
     }
 
-    fn fresh_req(&mut self) -> MemReqId {
-        let id = MemReqId(self.next_req);
-        self.next_req += 1;
+    fn fresh_req(&mut self, core: CoreId) -> MemReqId {
+        let seq = &mut self.next_req[core.index()];
+        let id = MemReqId::new(core, *seq);
+        *seq += 1;
         id
     }
 
@@ -219,8 +392,8 @@ impl MemorySystem {
         addr: Addr,
         now: Cycle,
     ) -> Option<MemReqId> {
-        let id = self.fresh_req();
-        let actions = self.ctrls[core.index()].load(id, line, pc, addr, now)?;
+        let id = self.fresh_req(core);
+        let actions = self.ctrl_mut(core).load(id, line, pc, addr, now)?;
         self.reject_epochs[core.index()] += 1;
         self.apply(actions);
         Some(id)
@@ -240,15 +413,15 @@ impl MemorySystem {
     /// paths have identical side effects — without the cache and MSHR
     /// probes.
     pub fn note_rejected_issues(&mut self, core: CoreId, n: u64) {
-        self.next_req += n;
-        self.ctrls[core.index()].note_mshr_rejects(n);
+        self.next_req[core.index()] += n;
+        self.ctrl_mut(core).note_mshr_rejects(n);
     }
 
     /// Issues an ownership request (store RFO/upgrade) for `core`.
     /// Returns `None` when the controller's MSHRs are exhausted.
     pub fn issue_ownership(&mut self, core: CoreId, line: Line, now: Cycle) -> Option<MemReqId> {
-        let id = self.fresh_req();
-        let actions = self.ctrls[core.index()].ownership(id, line, now)?;
+        let id = self.fresh_req(core);
+        let actions = self.ctrl_mut(core).ownership(id, line, now)?;
         self.reject_epochs[core.index()] += 1;
         self.apply(actions);
         Some(id)
@@ -256,27 +429,68 @@ impl MemorySystem {
 
     /// `true` when `core`'s private hierarchy owns `line` (M/E).
     pub fn has_ownership(&self, core: CoreId, line: Line) -> bool {
-        self.ctrls[core.index()].has_ownership(line)
+        self.ctrl(core).has_ownership(line)
     }
 
     /// Records the store-commit L1 write into an owned line.
     pub fn mark_dirty(&mut self, core: CoreId, line: Line) {
         self.reject_epochs[core.index()] += 1;
-        self.ctrls[core.index()].mark_dirty(line);
+        self.ctrl_mut(core).mark_dirty(line);
     }
 
     fn apply(&mut self, actions: Vec<Action>) {
         for a in actions {
             match a {
                 Action::Send { from, to, msg, at } => {
+                    // The source node is local, so its source-side
+                    // channel state is local too: delivery time is exact
+                    // even when the destination lives on another shard.
                     let deliver = self.net.send(from, to, at, msg.carries_data());
-                    self.q.schedule(deliver, Ev::Deliver { from, to, msg });
+                    let origin = self.origin_of(from);
+                    if self.owns(to) {
+                        self.q
+                            .schedule_from(deliver, origin, Ev::Deliver { from, to, msg });
+                    } else {
+                        let seq = self.q.alloc_seq();
+                        self.outbox.push(RemoteEvent {
+                            deliver,
+                            origin,
+                            seq,
+                            from,
+                            to,
+                            msg,
+                        });
+                    }
                 }
                 Action::Notice { core, at, kind } => {
-                    self.q.schedule(at, Ev::Notice { core, kind });
+                    // Notices are emitted by a core's own controller for
+                    // that same core, so they never cross shards.
+                    let origin = self.origin_of(NodeId::Core(core));
+                    self.q.schedule_from(at, origin, Ev::Notice { core, kind });
                 }
             }
         }
+    }
+
+    /// Drains the events emitted here for nodes other shards own.
+    pub fn take_outbox(&mut self) -> Vec<RemoteEvent> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Enqueues an event another shard emitted for a node this shard
+    /// owns, under its original canonical key.
+    pub fn inject_remote(&mut self, ev: RemoteEvent) {
+        debug_assert!(self.owns(ev.to), "injected event for unowned node");
+        self.q.inject(
+            ev.deliver,
+            ev.origin,
+            ev.seq,
+            Ev::Deliver {
+                from: ev.from,
+                to: ev.to,
+                msg: ev.msg,
+            },
+        );
     }
 
     /// Processes all protocol events up to and including cycle `to`,
@@ -296,14 +510,14 @@ impl MemorySystem {
     /// With the default [`NullProfiler`] every span compiles away and
     /// this *is* `advance`.
     pub fn advance_profiled<T: Tracer, P: Profiler>(&mut self, to: Cycle, tracer: &mut T) {
-        while let Some((cycle, ev)) = self.q.pop_until(to) {
+        while let Some((cycle, origin, seq, ev)) = self.q.pop_until_keyed(to) {
             match ev {
                 Ev::Deliver {
                     from,
                     to: node,
                     msg,
                 } => {
-                    tracer.emit(|| TraceEvent {
+                    tracer.emit_keyed((origin, seq), || TraceEvent {
                         cycle,
                         core: core_endpoint(from, node),
                         kind: EventKind::CohMsg {
@@ -316,12 +530,15 @@ impl MemorySystem {
                     let actions = match node {
                         NodeId::Bank(b) => {
                             let _p = P::span("directory");
-                            self.banks[b as usize].handle(msg, cycle)
+                            self.banks[b as usize]
+                                .as_mut()
+                                .expect("bank owned by this shard")
+                                .handle(msg, cycle)
                         }
                         NodeId::Core(c) => {
                             let _p = P::span("private");
                             self.reject_epochs[c.index()] += 1;
-                            self.ctrls[c.index()].handle(msg, cycle)
+                            self.ctrl_mut(c).handle(msg, cycle)
                         }
                     };
                     self.apply(actions);
@@ -352,21 +569,23 @@ impl MemorySystem {
         std::mem::swap(&mut self.notices[core.index()], buf);
     }
 
-    /// `true` when no protocol events are pending anywhere.
+    /// `true` when no protocol events are pending anywhere — including
+    /// events parked in a shard's outbox awaiting a barrier exchange.
     pub fn quiescent(&self) -> bool {
-        self.q.is_empty()
+        self.q.is_empty() && self.outbox.is_empty()
     }
 
     /// Outstanding misses (allocated MSHRs) at one core's private
     /// controller, at this instant.
     pub fn outstanding_misses_at(&self, core: CoreId) -> usize {
-        self.ctrls[core.index()].mshrs_in_use()
+        self.ctrl(core).mshrs_in_use()
     }
 
-    /// Outstanding misses (allocated MSHRs) across all private
-    /// controllers — the interval sampler's memory-pressure probe.
+    /// Outstanding misses (allocated MSHRs) across the private
+    /// controllers this instance owns — the interval sampler's
+    /// memory-pressure probe; on a shard this is the additive partial.
     pub fn outstanding_misses(&self) -> usize {
-        self.ctrls.iter().map(|c| c.mshrs_in_use()).sum()
+        self.ctrls.iter().flatten().map(|c| c.mshrs_in_use()).sum()
     }
 
     /// Cycle of the next pending protocol event, if any.
@@ -374,13 +593,45 @@ impl MemorySystem {
         self.q.next_cycle()
     }
 
-    /// Aggregated statistics snapshot.
+    /// Aggregated statistics snapshot. On a shard, slots for nodes other
+    /// shards own are zeroed; network counters cover locally-injected
+    /// traffic only. [`MemStats` merging](Self::merge_stats) rebuilds
+    /// the global snapshot from the per-shard partials.
     pub fn stats(&self) -> MemStats {
         MemStats {
-            per_core: self.ctrls.iter().map(|c| c.stats).collect(),
-            per_bank: self.banks.iter().map(|b| b.stats).collect(),
+            per_core: self
+                .ctrls
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.stats).unwrap_or_default())
+                .collect(),
+            per_bank: self
+                .banks
+                .iter()
+                .map(|b| b.as_ref().map(|b| b.stats).unwrap_or_default())
+                .collect(),
             flits_sent: self.net.flits_sent(),
             msgs_sent: self.net.msgs_sent(),
+        }
+    }
+
+    /// Assembles the global statistics snapshot from per-shard partials
+    /// (in shard order): every node slot is taken from the shard that
+    /// owns it — `cfg` pins the same ownership map the shards were built
+    /// with — network counters sum. With one shard this is the identity.
+    pub fn merge_stats(cfg: &MemConfig, partials: &[MemStats]) -> MemStats {
+        let shards = partials.len();
+        assert!(shards > 0, "need at least one partial");
+        let n_cores = partials[0].per_core.len();
+        let n_banks = partials[0].per_bank.len();
+        MemStats {
+            per_core: (0..n_cores)
+                .map(|i| partials[core_shard(i, n_cores, shards)].per_core[i])
+                .collect(),
+            per_bank: (0..n_banks)
+                .map(|b| partials[bank_shard(b, cfg, shards)].per_bank[b])
+                .collect(),
+            flits_sent: partials.iter().map(|p| p.flits_sent).sum(),
+            msgs_sent: partials.iter().map(|p| p.msgs_sent).sum(),
         }
     }
 }
@@ -546,7 +797,7 @@ mod tests {
             let mut events = Vec::new();
             for t in 0..400u64 {
                 m.advance(t, &mut NullTracer);
-                for c in 0..4u8 {
+                for c in 0..4u16 {
                     for n in m.drain_notices(CoreId(c)) {
                         events.push((c, n.at, format!("{:?}", n.kind)));
                     }
@@ -559,5 +810,71 @@ mod tests {
             events
         };
         assert_eq!(run(), run());
+    }
+
+    /// Directory banking is a pure function of the line address: the
+    /// same line always hashes to the same bank — across calls, across
+    /// independently built machines, and regardless of how the banks
+    /// are sharded — and the shard ownership of banks is a partition.
+    /// This is what lets a shard route a request home without asking
+    /// anyone: no state, no directory lookup, just the address.
+    #[test]
+    fn bank_selection_is_pure_function_of_line_address() {
+        let cfg = MemConfig::with_cores(8);
+        let n_banks = cfg.l3_banks;
+        for i in 0..4096u64 {
+            let l = line(i.wrapping_mul(0x9E37_79B9));
+            let b = l.bank(n_banks);
+            // Purity: recomputing from a fresh `Line` of the same
+            // address gives the same bank.
+            assert_eq!(Line::from_raw(l.raw()).bank(n_banks), b);
+            assert!(b < n_banks, "bank in range");
+        }
+        // Sharded builds host exactly the banks `bank_shard` assigns
+        // them, and the assignment is a partition: every bank has
+        // exactly one owner no matter the shard count.
+        for shards in [1usize, 2, 3, 4] {
+            for b in 0..n_banks {
+                let owner = bank_shard(b, &cfg, shards);
+                assert!(owner < shards);
+                for s in 0..shards {
+                    let m = MemorySystem::new_shard(cfg.clone(), s, shards);
+                    assert_eq!(
+                        m.banks[b].is_some(),
+                        s == owner,
+                        "bank {b} must live on shard {owner} of {shards}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// On a mesh, banks are owned by the shard of their nearest core,
+    /// and the lookahead is the exact shortest cross-shard channel —
+    /// several hops on a mesh, the one-hop floor on the fully-connected
+    /// fabric.
+    #[test]
+    fn mesh_bank_ownership_is_core_affine_and_stretches_lookahead() {
+        // 16 cores on a 4-wide mesh: cores fill rows 0-3, the 8 banks
+        // fill rows 4-5. With 2 shards the core rows split 0-1 / 2-3,
+        // every bank's nearest core is in row 3, so shard 1 owns all
+        // banks and the shortest cross-shard channel is a row-1 core to
+        // a row-4 bank in the same column: 3 hops.
+        let cfg = MemConfig {
+            topology: Topology::Mesh2D { width: 4 },
+            ..MemConfig::with_cores(16)
+        };
+        for b in 0..cfg.l3_banks {
+            assert_eq!(bank_shard(b, &cfg, 2), 1, "bank {b} is core-affine");
+        }
+        let min_flits = cfg.ctrl_flits.min(cfg.data_flits);
+        assert_eq!(shard_lookahead(&cfg, 2), min_flits + 3 * cfg.hop_latency);
+
+        // Fully connected: every pair is one hop, ownership stays the
+        // contiguous split, the lookahead is the floor.
+        let fc = MemConfig::with_cores(16);
+        let owners: Vec<usize> = (0..fc.l3_banks).map(|b| bank_shard(b, &fc, 2)).collect();
+        assert_eq!(owners, [0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(shard_lookahead(&fc, 2), min_flits + fc.hop_latency);
     }
 }

@@ -9,7 +9,7 @@ pub enum NodeId {
     /// Private controller of a core.
     Core(CoreId),
     /// Shared L3 bank + directory slice.
-    Bank(u8),
+    Bank(u16),
 }
 
 impl std::fmt::Display for NodeId {

@@ -29,6 +29,16 @@ pub enum Topology {
     },
 }
 
+impl std::fmt::Display for Topology {
+    /// The CLI / job-spec spelling: `fc` or `mesh:<width>`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Topology::FullyConnected => write!(f, "fc"),
+            Topology::Mesh2D { width } => write!(f, "mesh:{width}"),
+        }
+    }
+}
+
 impl Topology {
     /// Linear index of a node: cores first, then banks.
     fn index(node: NodeId, n_cores: usize) -> usize {
@@ -134,7 +144,7 @@ mod tests {
     use super::*;
     use sa_isa::CoreId;
 
-    fn core(i: u8) -> NodeId {
+    fn core(i: u16) -> NodeId {
         NodeId::Core(CoreId(i))
     }
 

@@ -115,7 +115,7 @@ impl PrivateCtrl {
     }
 
     fn home(&self, line: Line) -> NodeId {
-        NodeId::Bank(line.bank(self.n_banks) as u8)
+        NodeId::Bank(line.bank(self.n_banks) as u16)
     }
 
     fn send(&self, to: NodeId, msg: Msg, at: Cycle, out: &mut Vec<Action>) {

@@ -99,7 +99,7 @@ fn protocol_random_walk() {
         });
         let mut t = 0u64;
         for _ in 0..n {
-            let core = CoreId(rng.gen_range_u64(0, 4) as u8);
+            let core = CoreId(rng.gen_range_u64(0, 4) as u16);
             let line = Line::from_raw(rng.gen_range_u64(0, 6));
             let is_store = rng.gen_bool();
             m.advance(t, &mut NullTracer);
@@ -116,7 +116,7 @@ fn protocol_random_walk() {
         assert!(m.quiescent(), "protocol wedged");
         for l in 0..6u64 {
             let line = Line::from_raw(l);
-            let owners = (0..4u8)
+            let owners = (0..4u16)
                 .filter(|c| m.has_ownership(CoreId(*c), line))
                 .count();
             assert!(owners <= 1, "line {l} has {owners} owners");
@@ -137,10 +137,10 @@ fn loads_complete_exactly_once() {
         let mut t = 0u64;
         let mut issued = Vec::new();
         for _ in 0..n {
-            let core = rng.gen_range_u64(0, 2) as u8;
+            let core = rng.gen_range_u64(0, 2) as u16;
             let line = rng.gen_range_u64(0, 4);
             m.advance(t, &mut NullTracer);
-            for c in 0..2u8 {
+            for c in 0..2u16 {
                 let _ = m.drain_notices(CoreId(c));
             }
             if let Some(id) = m.issue_load(CoreId(core), Line::from_raw(line), 0, line * 64, t) {
@@ -150,7 +150,7 @@ fn loads_complete_exactly_once() {
         }
         m.advance(t + 100_000, &mut NullTracer);
         let mut done = std::collections::HashSet::new();
-        for c in 0..2u8 {
+        for c in 0..2u16 {
             for notice in m.drain_notices(CoreId(c)) {
                 if let NoticeKind::LoadDone { id } = notice.kind {
                     assert!(done.insert((c, id)), "duplicate completion");

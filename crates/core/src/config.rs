@@ -1,8 +1,89 @@
 //! Full-system configuration — the paper's Table III.
 
-use sa_coherence::{MemConfig, MemConfigError};
+use sa_coherence::{MemConfig, MemConfigError, Topology};
 use sa_isa::ConsistencyModel;
 use sa_ooo::{CoreConfig, CoreConfigError};
+
+/// How `Multicore::run` advances simulated time. All three engines are
+/// cycle-exact with one another (enforced by `tests/engine_equivalence`
+/// and `tests/parallel_equivalence`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Step every core every cycle — the reference engine, and the only
+    /// one that supports live tracing.
+    Lockstep,
+    /// Jump over cycles in which no core can make progress.
+    EventDriven,
+    /// Shard cores across `threads` worker threads that advance
+    /// independently inside epoch barriers bounded by the minimum
+    /// cross-shard link latency (conservative-lookahead PDES).
+    Parallel {
+        /// Number of worker threads (shards). `1` is valid and runs the
+        /// sharded engine on the calling thread.
+        threads: usize,
+    },
+}
+
+impl Default for EngineMode {
+    /// The event-driven engine: the historical `cycle_skip: true`.
+    fn default() -> EngineMode {
+        EngineMode::EventDriven
+    }
+}
+
+impl EngineMode {
+    /// Parses the CLI / job-spec syntax: `lockstep`, `event`, or
+    /// `parallel:<threads>` (`parallel` alone means one thread).
+    pub fn parse(s: &str) -> Result<EngineMode, String> {
+        match s {
+            "lockstep" => Ok(EngineMode::Lockstep),
+            "event" => Ok(EngineMode::EventDriven),
+            "parallel" => Ok(EngineMode::Parallel { threads: 1 }),
+            _ => {
+                if let Some(t) = s.strip_prefix("parallel:") {
+                    let threads: usize = t
+                        .parse()
+                        .map_err(|_| format!("bad thread count in engine spec {s:?}"))?;
+                    Ok(EngineMode::Parallel { threads })
+                } else {
+                    Err(format!(
+                        "unknown engine {s:?} (expected lockstep, event, or parallel:<threads>)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineMode::Lockstep => write!(f, "lockstep"),
+            EngineMode::EventDriven => write!(f, "event"),
+            EngineMode::Parallel { threads } => write!(f, "parallel:{threads}"),
+        }
+    }
+}
+
+/// Parses the CLI / job-spec topology syntax: `fc` (fully connected) or
+/// `mesh:<width>`.
+pub fn parse_topology(s: &str) -> Result<Topology, String> {
+    match s {
+        "fc" | "fully-connected" => Ok(Topology::FullyConnected),
+        _ => {
+            if let Some(w) = s.strip_prefix("mesh:") {
+                let width: usize = w
+                    .parse()
+                    .map_err(|_| format!("bad mesh width in topology spec {s:?}"))?;
+                Ok(Topology::Mesh2D { width })
+            } else {
+                Err(format!(
+                    "unknown topology {s:?} (expected fc or mesh:<width>)"
+                ))
+            }
+        }
+    }
+}
 
 /// Error from [`SimConfigBuilder::build`] / [`SimConfig::check`]: an
 /// inconsistent parameter combination, reported as a typed value instead
@@ -16,6 +97,18 @@ pub enum ConfigError {
     /// A nonzero sampling interval with a zero-capacity sample ring:
     /// sampling is requested but every sample would be dropped.
     ZeroSampleCapacity,
+    /// A mesh topology with zero grid columns.
+    ZeroMeshWidth,
+    /// A mesh whose core count is not an integer number of `width`-column
+    /// rows (`width` must divide `cores` so `width x height = cores`).
+    MeshNotRectangular {
+        /// Configured core count.
+        cores: usize,
+        /// Configured mesh width.
+        width: usize,
+    },
+    /// `EngineMode::Parallel` with zero worker threads.
+    ZeroEngineThreads,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -26,6 +119,14 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroSampleCapacity => {
                 write!(f, "sampling enabled with a zero-capacity sample ring")
             }
+            ConfigError::ZeroMeshWidth => write!(f, "mesh width must be positive"),
+            ConfigError::MeshNotRectangular { cores, width } => write!(
+                f,
+                "mesh width {width} does not divide {cores} cores into full rows"
+            ),
+            ConfigError::ZeroEngineThreads => {
+                write!(f, "parallel engine needs at least one thread")
+            }
         }
     }
 }
@@ -35,7 +136,7 @@ impl std::error::Error for ConfigError {
         match self {
             ConfigError::Core(e) => Some(e),
             ConfigError::Mem(e) => Some(e),
-            ConfigError::ZeroSampleCapacity => None,
+            _ => None,
         }
     }
 }
@@ -71,11 +172,10 @@ pub struct SimConfig {
     pub sample_interval: u64,
     /// Bounded capacity of the sample ring (oldest samples drop first).
     pub sample_capacity: usize,
-    /// Whether `Multicore::run` may use the event-driven engine that
-    /// jumps over cycles in which no core can make progress. Cycle-exact
-    /// with the lockstep path (enforced by `tests/engine_equivalence`);
-    /// disable to force per-cycle lockstep stepping.
-    pub cycle_skip: bool,
+    /// Which engine `Multicore::run` drives the simulation with. All
+    /// modes are cycle-exact with one another (enforced by
+    /// `tests/engine_equivalence` and `tests/parallel_equivalence`).
+    pub engine: EngineMode,
 }
 
 impl Default for SimConfig {
@@ -86,7 +186,7 @@ impl Default for SimConfig {
             model: ConsistencyModel::X86,
             sample_interval: 10_000,
             sample_capacity: 4096,
-            cycle_skip: true,
+            engine: EngineMode::EventDriven,
         }
     }
 }
@@ -138,9 +238,27 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the interconnect topology.
+    pub fn topology(mut self, topology: Topology) -> SimConfigBuilder {
+        self.cfg.mem.topology = topology;
+        self
+    }
+
+    /// Sets the simulation engine.
+    pub fn engine(mut self, engine: EngineMode) -> SimConfigBuilder {
+        self.cfg.engine = engine;
+        self
+    }
+
     /// Enables or disables the event-driven engine's cycle skipping.
+    #[deprecated(note = "use `engine(EngineMode::...)`; `true` maps to \
+                         EventDriven and `false` to Lockstep")]
     pub fn cycle_skip(mut self, on: bool) -> SimConfigBuilder {
-        self.cfg.cycle_skip = on;
+        self.cfg.engine = if on {
+            EngineMode::EventDriven
+        } else {
+            EngineMode::Lockstep
+        };
         self
     }
 
@@ -181,9 +299,27 @@ impl SimConfig {
         self
     }
 
+    /// Sets the interconnect topology.
+    pub fn with_topology(mut self, topology: Topology) -> SimConfig {
+        self.mem.topology = topology;
+        self
+    }
+
+    /// Sets the simulation engine.
+    pub fn with_engine(mut self, engine: EngineMode) -> SimConfig {
+        self.engine = engine;
+        self
+    }
+
     /// Enables or disables the event-driven engine's cycle skipping.
+    #[deprecated(note = "use `with_engine(EngineMode::...)`; `true` maps \
+                         to EventDriven and `false` to Lockstep")]
     pub fn with_cycle_skip(mut self, on: bool) -> SimConfig {
-        self.cycle_skip = on;
+        self.engine = if on {
+            EngineMode::EventDriven
+        } else {
+            EngineMode::Lockstep
+        };
         self
     }
 
@@ -199,6 +335,20 @@ impl SimConfig {
         self.mem.check()?;
         if self.sample_interval > 0 && self.sample_capacity == 0 {
             return Err(ConfigError::ZeroSampleCapacity);
+        }
+        if let Topology::Mesh2D { width } = self.mem.topology {
+            if width == 0 {
+                return Err(ConfigError::ZeroMeshWidth);
+            }
+            if !self.mem.n_cores.is_multiple_of(width) {
+                return Err(ConfigError::MeshNotRectangular {
+                    cores: self.mem.n_cores,
+                    width,
+                });
+            }
+        }
+        if let EngineMode::Parallel { threads: 0 } = self.engine {
+            return Err(ConfigError::ZeroEngineThreads);
         }
         Ok(())
     }
@@ -266,7 +416,16 @@ impl SimConfig {
             m.mem_latency
         ));
         s.push_str("Network\n");
-        s.push_str("  Topology                    Fully connected\n");
+        match m.topology {
+            Topology::FullyConnected => {
+                s.push_str("  Topology                    Fully connected\n");
+            }
+            Topology::Mesh2D { width } => {
+                s.push_str(&format!(
+                    "  Topology                    2D mesh, {width} columns\n"
+                ));
+            }
+        }
         s.push_str(&format!(
             "  Data / Control msg size     {} / {} flits\n",
             m.data_flits, m.ctrl_flits
@@ -309,19 +468,64 @@ mod tests {
             .model(ConsistencyModel::Ibm370SlfSos)
             .cores(4)
             .sample_interval(0)
-            .cycle_skip(false)
+            .engine(EngineMode::Lockstep)
             .build()
             .expect("valid config");
         assert_eq!(cfg.model, ConsistencyModel::Ibm370SlfSos);
         assert_eq!(cfg.n_cores(), 4);
-        assert!(!cfg.cycle_skip);
+        assert_eq!(cfg.engine, EngineMode::Lockstep);
         // The chainable wrappers and the builder agree.
         let legacy = SimConfig::default()
             .with_model(ConsistencyModel::Ibm370SlfSos)
             .with_cores(4)
             .with_sample_interval(0)
-            .with_cycle_skip(false);
+            .with_engine(EngineMode::Lockstep);
         assert_eq!(cfg, legacy);
+    }
+
+    #[test]
+    fn topology_and_engine_are_builder_axes() {
+        let cfg = SimConfig::builder()
+            .cores(64)
+            .topology(Topology::Mesh2D { width: 8 })
+            .engine(EngineMode::Parallel { threads: 4 })
+            .build()
+            .expect("64-core mesh cell");
+        assert_eq!(cfg.mem.topology, Topology::Mesh2D { width: 8 });
+        assert_eq!(cfg.engine, EngineMode::Parallel { threads: 4 });
+        assert!(cfg.render_table3().contains("2D mesh, 8 columns"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn cycle_skip_shim_maps_onto_engine_modes() {
+        let on = SimConfig::builder().cycle_skip(true).build().unwrap();
+        assert_eq!(on.engine, EngineMode::EventDriven);
+        let off = SimConfig::default().with_cycle_skip(false);
+        assert_eq!(off.engine, EngineMode::Lockstep);
+    }
+
+    #[test]
+    fn engine_and_topology_specs_parse() {
+        assert_eq!(EngineMode::parse("lockstep"), Ok(EngineMode::Lockstep));
+        assert_eq!(EngineMode::parse("event"), Ok(EngineMode::EventDriven));
+        assert_eq!(
+            EngineMode::parse("parallel:4"),
+            Ok(EngineMode::Parallel { threads: 4 })
+        );
+        assert_eq!(
+            EngineMode::parse("parallel"),
+            Ok(EngineMode::Parallel { threads: 1 })
+        );
+        assert!(EngineMode::parse("warp").is_err());
+        assert_eq!(
+            EngineMode::Parallel { threads: 4 }.to_string(),
+            "parallel:4"
+        );
+        assert_eq!(parse_topology("fc"), Ok(Topology::FullyConnected));
+        assert_eq!(parse_topology("mesh:8"), Ok(Topology::Mesh2D { width: 8 }));
+        assert!(parse_topology("torus:4").is_err());
+        assert!(parse_topology("mesh:x").is_err());
     }
 
     #[test]
@@ -338,10 +542,17 @@ mod tests {
             ConfigError::Core(CoreConfigError::ZeroWidth),
             "zero-width core"
         );
-        let too_many = SimConfig::builder().cores(65).build().unwrap_err();
+        let too_many = SimConfig::builder()
+            .cores(sa_isa::MAX_CORES + 1)
+            .build()
+            .unwrap_err();
         assert_eq!(
             too_many,
             ConfigError::Mem(MemConfigError::CoreCountUnsupported)
+        );
+        assert!(
+            SimConfig::builder().cores(1024).build().is_ok(),
+            "the cap is now topology feasibility, not 64 cores"
         );
         let bad_sampler = SimConfig::builder()
             .sample_interval(100)
@@ -350,6 +561,26 @@ mod tests {
             .unwrap_err();
         assert_eq!(bad_sampler, ConfigError::ZeroSampleCapacity);
         assert!(zero_width.to_string().contains("width must be positive"));
+        let ragged = SimConfig::builder()
+            .cores(8)
+            .topology(Topology::Mesh2D { width: 3 })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            ragged,
+            ConfigError::MeshNotRectangular { cores: 8, width: 3 }
+        );
+        assert!(ragged.to_string().contains("does not divide"));
+        let flat = SimConfig::builder()
+            .topology(Topology::Mesh2D { width: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(flat, ConfigError::ZeroMeshWidth);
+        let idle = SimConfig::builder()
+            .engine(EngineMode::Parallel { threads: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(idle, ConfigError::ZeroEngineThreads);
     }
 
     #[test]

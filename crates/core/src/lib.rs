@@ -37,9 +37,10 @@ pub mod config;
 pub mod multicore;
 pub mod report;
 
-pub use config::{ConfigError, SimConfig, SimConfigBuilder};
+pub use config::{parse_topology, ConfigError, EngineMode, SimConfig, SimConfigBuilder};
 pub use multicore::{Multicore, RunError};
 pub use report::{Report, StallBreakdown};
+pub use sa_coherence::Topology;
 
 // Re-export the component crates so downstream users need one dependency.
 pub use sa_coherence as coherence;

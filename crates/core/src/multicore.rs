@@ -1,16 +1,22 @@
 //! The assembled multicore: N out-of-order cores over one coherent memory
 //! system and one global value image.
 
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 
-use sa_coherence::{MemReqId, MemorySystem, Notice};
-use sa_isa::{Addr, CoreId, Cycle, Line, Trace, Value, ValueMemory};
+use sa_coherence::msg::NodeId;
+use sa_coherence::{
+    bank_shard, core_shard, shard_lookahead, MemReqId, MemStats, MemorySystem, Notice, RemoteEvent,
+};
+use sa_isa::{Addr, CoreId, Cycle, Line, StripedValueMemory, Trace, Value, ValueMemory};
 use sa_metrics::{SampleInput, Sampler};
 use sa_ooo::{Core, LoadStorePort};
 use sa_profile::{NullProfiler, Profiler};
-use sa_trace::{NullTracer, Tracer};
+use sa_trace::{NullTracer, TraceEvent, Tracer};
 
-use crate::config::SimConfig;
+use crate::config::{EngineMode, SimConfig};
 use crate::report::Report;
 
 /// Cycles without a single retired instruction machine-wide before a run
@@ -110,6 +116,11 @@ pub struct Multicore<T: Tracer = NullTracer, P: Profiler = NullProfiler> {
     /// Reusable buffer the per-cycle loop drains notices into, so the
     /// hot path never allocates.
     notice_scratch: Vec<Notice>,
+    /// Global memory-system statistics assembled from shard partials by
+    /// a parallel run; `None` until one completes. `self.mem` is not
+    /// advanced by the parallel engine, so [`Multicore::report`] prefers
+    /// this snapshot when present.
+    parallel_mem_stats: Option<MemStats>,
     /// The profiler is stateless (spans land in thread-local storage);
     /// only its type travels with the machine.
     _profiler: PhantomData<P>,
@@ -160,7 +171,7 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
         let cores = traces
             .into_iter()
             .enumerate()
-            .map(|(i, t)| Core::new(CoreId(i as u8), cfg.core.clone(), cfg.model, t))
+            .map(|(i, t)| Core::new(CoreId::from_index(i), cfg.core.clone(), cfg.model, t))
             .collect();
         Multicore {
             mem: MemorySystem::new(cfg.mem.clone()),
@@ -171,6 +182,7 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
             cfg,
             tracer,
             notice_scratch: Vec::new(),
+            parallel_mem_stats: None,
             _profiler: PhantomData,
         }
     }
@@ -231,7 +243,7 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
         }
         let mut retired = 0;
         for i in 0..self.cores.len() {
-            let id = CoreId(i as u8);
+            let id = CoreId::from_index(i);
             self.notice_scratch.clear();
             if self.mem.has_notices(id) {
                 self.mem.take_notices_into(id, &mut self.notice_scratch);
@@ -244,7 +256,7 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
                 core: id,
             };
             let _p = P::span("tick");
-            let r = self.cores[i].tick_profiled::<_, T, P>(
+            let r = self.cores[i].tick_profiled::<_, _, T, P>(
                 self.cycle,
                 &mut port,
                 &mut self.valmem,
@@ -283,22 +295,24 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
 
     /// Runs until every core finishes or `max_cycles` elapse.
     ///
-    /// Dispatches to the event-driven engine, which jumps over cycles in
-    /// which no core can make progress, unless a real tracer is attached
-    /// (tracers want the per-cycle event stream) or
-    /// [`SimConfig::cycle_skip`] is off. Both engines are cycle-exact
-    /// with each other: identical final cycle counts, statistics and
-    /// memory images (enforced by `tests/engine_equivalence`).
+    /// Dispatches on [`SimConfig::engine`]. A real tracer forces the
+    /// lockstep engine on the serial paths (tracers want the per-cycle
+    /// event stream); the parallel engine collects per-shard keyed
+    /// streams and merges them back into exactly the lockstep emission
+    /// order. All engines are cycle-exact with one another: identical
+    /// final cycle counts, statistics and memory images (enforced by
+    /// `tests/engine_equivalence` and `tests/parallel_equivalence`).
     ///
     /// # Errors
     ///
     /// [`RunError::CycleLimit`] when the budget runs out;
     /// [`RunError::NoProgress`] when the machine wedges (a model bug).
     pub fn run(&mut self, max_cycles: Cycle) -> Result<Report, RunError> {
-        if T::ENABLED || !self.cfg.cycle_skip {
-            self.run_lockstep(max_cycles)
-        } else {
-            self.run_event(max_cycles)
+        match self.cfg.engine {
+            EngineMode::Parallel { threads } => self.run_parallel(threads, max_cycles),
+            _ if T::ENABLED => self.run_lockstep(max_cycles),
+            EngineMode::Lockstep => self.run_lockstep(max_cycles),
+            EngineMode::EventDriven => self.run_event(max_cycles),
         }
     }
 
@@ -355,7 +369,7 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
             let mut retired = 0u64;
             let mut any_active = false;
             for i in 0..n {
-                let id = CoreId(i as u8);
+                let id = CoreId::from_index(i);
                 self.notice_scratch.clear();
                 if self.mem.has_notices(id) {
                     self.mem.take_notices_into(id, &mut self.notice_scratch);
@@ -379,7 +393,7 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
                     core: id,
                 };
                 let _p = P::span("tick");
-                let r = self.cores[i].tick_profiled::<_, T, P>(
+                let r = self.cores[i].tick_profiled::<_, _, T, P>(
                     self.cycle,
                     &mut port,
                     &mut self.valmem,
@@ -446,6 +460,203 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
         Ok(self.report())
     }
 
+    /// The parallel engine: conservative-lookahead PDES.
+    ///
+    /// Cores and their private cache controllers — plus the directory
+    /// banks they co-own — are partitioned across `threads` worker
+    /// shards ([`sa_coherence::core_shard`] / [`sa_coherence::bank_shard`]).
+    /// Each shard advances its slice of the machine independently inside
+    /// *epochs* of `L` cycles, where `L` is the exact minimum cross-shard
+    /// delivery delay ([`sa_coherence::shard_lookahead`]): every
+    /// cross-shard message takes at least `L` cycles of virtual time, so
+    /// an event sent during epoch `k` can only be due in epoch `k + 1`
+    /// or later, and exchanging cross-shard deliveries at the epoch
+    /// barrier is always in time. On the fully-connected fabric `L` is
+    /// the one-hop floor `hop_latency + min(ctrl_flits, data_flits)`; on
+    /// a mesh the core-affine bank ownership of
+    /// [`sa_coherence::bank_shard`] pushes the shortest cross-shard
+    /// channel several hops out, so the epochs — and the stretch of
+    /// cache-hot, barrier-free simulation per shard — grow with it. Within an epoch each shard runs the
+    /// serial event engine verbatim over its local cores (or lockstep when
+    /// a tracer is attached), so the interleaving every core observes is
+    /// *identical* to the serial engines' — the parallel run is bit-exact,
+    /// not approximately equal.
+    ///
+    /// Termination: each shard publishes its local finish cycle at the
+    /// barrier; once every shard has finished, the global finish cycle is
+    /// the maximum vote, and one final catch-up pass (bounded by that
+    /// cycle) drains the remaining notice ticks — any message sent during
+    /// it would be due strictly after the finish cycle and is dropped, so
+    /// no further epoch is needed.
+    ///
+    /// Degenerate configurations (`threads < 2`, a resumed run, or a
+    /// zero lookahead) fall back to the serial engines, which are
+    /// bit-exact by the same invariant.
+    fn run_parallel(&mut self, threads: usize, max_cycles: Cycle) -> Result<Report, RunError> {
+        let threads = threads.clamp(1, self.cores.len().max(1));
+        let lookahead = shard_lookahead(&self.cfg.mem, threads);
+        if self.finished() {
+            return Ok(self.report());
+        }
+        if max_cycles == 0 {
+            return Err(RunError::CycleLimit { limit: 0 });
+        }
+        if threads < 2 || lookahead < 1 || self.cycle != 0 {
+            return if T::ENABLED {
+                self.run_lockstep(max_cycles)
+            } else {
+                self.run_event(max_cycles)
+            };
+        }
+        if T::ENABLED {
+            self.run_parallel_impl::<KeyedCollector>(threads, max_cycles, lookahead)
+        } else {
+            self.run_parallel_impl::<NullTracer>(threads, max_cycles, lookahead)
+        }
+    }
+
+    /// Body of the parallel engine, monomorphized over the shard-local
+    /// collector `C`: [`NullTracer`] for untraced runs (shards use the
+    /// event-driven loop), [`KeyedCollector`] when a real tracer is
+    /// attached (shards run lockstep within epochs and record keyed
+    /// events for the deterministic merge).
+    fn run_parallel_impl<C: ShardCollector>(
+        &mut self,
+        threads: usize,
+        max_cycles: Cycle,
+        lookahead: Cycle,
+    ) -> Result<Report, RunError> {
+        let _engine = P::span("parallel");
+        let n_cores = self.cores.len();
+        let n_banks = self.cfg.mem.l3_banks;
+        let interval = self.cfg.sample_interval;
+
+        // The bank ownership map, computed once and shared read-only:
+        // shard workers route outbox events with it, and it is the same
+        // map `MemorySystem::new_shard` builds each shard from.
+        let bank_owner: Vec<usize> = (0..n_banks)
+            .map(|b| bank_shard(b, &self.cfg.mem, threads))
+            .collect();
+
+        // Partition the cores (with their global indices) across shards.
+        let mut pool: Vec<Option<Core>> = std::mem::take(&mut self.cores)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let shards: Vec<EngineShard<C>> = (0..threads)
+            .map(|s| {
+                let cores: Vec<(usize, Core)> = (0..n_cores)
+                    .filter(|&i| core_shard(i, n_cores, threads) == s)
+                    .map(|i| (i, pool[i].take().expect("each core owned by one shard")))
+                    .collect();
+                let k = cores.len();
+                EngineShard {
+                    id: s,
+                    cores,
+                    mem: MemorySystem::new_shard(self.cfg.mem.clone(), s, threads),
+                    collector: C::default(),
+                    cur: 0,
+                    active: vec![true; k],
+                    wake: vec![None; k],
+                    scratch: Vec::new(),
+                    finished_at: None,
+                    samples: Vec::new(),
+                    last_retire: 0,
+                    limit_hit: false,
+                    error: None,
+                }
+            })
+            .collect();
+
+        // The shared value image: striped mutexes make it Sync, and the
+        // lookahead bound makes the ordering exact — two conflicting
+        // accesses from different shards are separated by at least one
+        // protocol round-trip (>= 2L virtual cycles), hence by at least
+        // one epoch barrier in real time.
+        let striped = StripedValueMemory::from_value_memory(std::mem::replace(
+            &mut self.valmem,
+            ValueMemory::new(),
+        ));
+        let sync = ShardSync {
+            barrier: Barrier::new(threads),
+            finished: (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            retire: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            limit: AtomicBool::new(false),
+            inboxes: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
+        };
+
+        let results: Vec<EngineShard<C>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|st| {
+                    let sync = &sync;
+                    let striped = &striped;
+                    let bank_owner = &bank_owner;
+                    scope.spawn(move || {
+                        shard_worker::<C, P>(
+                            st,
+                            sync,
+                            striped,
+                            interval,
+                            max_cycles,
+                            lookahead,
+                            (n_cores, threads),
+                            bank_owner,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Reassemble the machine: cores back in index order, the value
+        // image back to its plain form, the clock to the global finish.
+        let mut back: Vec<Option<Core>> = (0..n_cores).map(|_| None).collect();
+        let mut partials: Vec<MemStats> = Vec::with_capacity(threads);
+        let mut entries: Vec<TraceEntry> = Vec::new();
+        let mut sample_acc: BTreeMap<Cycle, SampleInput> = BTreeMap::new();
+        let mut error = None;
+        let mut final_cycle = 0;
+        for st in results {
+            for (gi, core) in st.cores {
+                back[gi] = Some(core);
+            }
+            final_cycle = final_cycle.max(st.cur);
+            if st.error.is_some() {
+                error = st.error;
+            }
+            partials.push(st.mem.stats());
+            for (c, input) in st.samples {
+                add_sample(sample_acc.entry(c).or_default(), &input);
+            }
+            entries.extend(st.collector.into_entries());
+        }
+        self.cores = back
+            .into_iter()
+            .map(|c| c.expect("every core returned by its shard"))
+            .collect();
+        self.valmem = striped.into_value_memory();
+        self.cycle = final_cycle;
+        if let Some(e) = error {
+            return Err(e);
+        }
+
+        self.parallel_mem_stats = Some(MemorySystem::merge_stats(&self.cfg.mem, &partials));
+        for (c, input) in sample_acc {
+            self.sampler.record(c, input);
+        }
+        // Replay the merged event stream in canonical order — exactly the
+        // sequence the serial lockstep engine would have emitted.
+        entries.sort_by_key(|e| (e.cycle, e.phase, e.origin, e.seq));
+        for e in entries {
+            self.tracer.record(e.ev);
+        }
+        Ok(self.report())
+    }
+
     /// Snapshot of all statistics.
     pub fn report(&self) -> Report {
         Report {
@@ -456,9 +667,374 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
             metrics: self.cores.iter().map(|c| c.metrics().clone()).collect(),
             samples: self.sampler.to_vec(),
             sample_interval: self.sampler.interval(),
-            mem: self.mem.stats(),
+            mem: self
+                .parallel_mem_stats
+                .clone()
+                .unwrap_or_else(|| self.mem.stats()),
             forensics: None,
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel-engine machinery
+// ---------------------------------------------------------------------
+
+/// One trace event captured by a shard together with its canonical merge
+/// key. `phase` orders same-cycle protocol deliveries (0) before core
+/// ticks (1), matching the serial engines' within-cycle order: the memory
+/// system is always pumped before any core ticks.
+struct TraceEntry {
+    cycle: Cycle,
+    phase: u8,
+    origin: u32,
+    seq: u64,
+    ev: TraceEvent,
+}
+
+/// A tracer a shard worker can own: collects the shard's events with
+/// their canonical keys so the main thread can merge the per-shard
+/// streams back into exactly the serial emission order.
+trait ShardCollector: Tracer + Send + Default {
+    fn into_entries(self) -> Vec<TraceEntry>;
+}
+
+impl ShardCollector for NullTracer {
+    fn into_entries(self) -> Vec<TraceEntry> {
+        Vec::new()
+    }
+}
+
+/// The collector used when a real tracer is attached: protocol events
+/// keep the memory system's `(origin, seq)` pop key ([`Tracer::emit_keyed`]);
+/// tick-side events are keyed by the emitting core and a per-shard
+/// sequence number — cores belong to exactly one shard, so within-core
+/// emission order is total, and distinct cores never tie (distinct
+/// origins).
+#[derive(Default)]
+struct KeyedCollector {
+    entries: Vec<TraceEntry>,
+    tick_seq: u64,
+}
+
+impl Tracer for KeyedCollector {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, ev: TraceEvent) {
+        let key = (ev.cycle, ev.core.index() as u32, self.tick_seq);
+        self.tick_seq += 1;
+        self.entries.push(TraceEntry {
+            cycle: key.0,
+            phase: 1,
+            origin: key.1,
+            seq: key.2,
+            ev,
+        });
+    }
+
+    fn emit_keyed(&mut self, key: (u32, u64), f: impl FnOnce() -> TraceEvent) {
+        let ev = f();
+        self.entries.push(TraceEntry {
+            cycle: ev.cycle,
+            phase: 0,
+            origin: key.0,
+            seq: key.1,
+            ev,
+        });
+    }
+}
+
+impl ShardCollector for KeyedCollector {
+    fn into_entries(self) -> Vec<TraceEntry> {
+        self.entries
+    }
+}
+
+/// One worker's slice of the machine: the cores it owns (tagged with
+/// their global index), the memory-system shard hosting their private
+/// controllers and this shard's directory banks, plus the run state the
+/// serial event engine keeps globally.
+struct EngineShard<C> {
+    id: usize,
+    cores: Vec<(usize, Core)>,
+    mem: MemorySystem,
+    collector: C,
+    /// This shard's virtual clock (next cycle to simulate).
+    cur: Cycle,
+    active: Vec<bool>,
+    wake: Vec<Option<Cycle>>,
+    scratch: Vec<Notice>,
+    /// `Some(f)` once every local core has finished; `f` is one past the
+    /// cycle of the finishing tick — this shard's vote for the global
+    /// finish cycle.
+    finished_at: Option<Cycle>,
+    /// Local-core partial sampler inputs at each interval boundary.
+    samples: Vec<(Cycle, SampleInput)>,
+    /// Cycle just after the last local retirement (watchdog input).
+    last_retire: Cycle,
+    limit_hit: bool,
+    error: Option<RunError>,
+}
+
+/// Shared epoch-barrier state. Shards publish their flags *before* the
+/// barrier and read everyone's *after* it, so all shards compute the
+/// same global decision (finish / cycle-limit / watchdog) from the same
+/// data every epoch.
+struct ShardSync {
+    barrier: Barrier,
+    /// Per-shard local finish vote (`u64::MAX` = still running).
+    finished: Vec<AtomicU64>,
+    /// Per-shard last-retirement cycle (global watchdog input).
+    retire: Vec<AtomicU64>,
+    limit: AtomicBool,
+    /// Per-destination-shard cross-shard event deliveries.
+    inboxes: Vec<Mutex<Vec<RemoteEvent>>>,
+}
+
+/// Sums a shard's instantaneous local snapshot into a partial
+/// [`SampleInput`]. Every field is additive across shards, so summing
+/// the partials at one boundary reproduces the serial global sample.
+fn partial_input(cores: &[(usize, Core)], mem: &MemorySystem) -> SampleInput {
+    let mut input = SampleInput {
+        n_cores: cores.len() as u64,
+        outstanding_misses: mem.outstanding_misses() as u64,
+        ..SampleInput::default()
+    };
+    for (_, c) in cores {
+        let (rob, lq, sq) = c.occupancy();
+        input.rob += rob as u64;
+        input.lq += lq as u64;
+        input.sq += sq as u64;
+        input.sb += c.sb_depth() as u64;
+        let s = c.stats();
+        input.retired += s.retired_instrs;
+        input.gate_closed_cycles += s.gate_closed_cycles;
+        input.squashes += s.squashes.iter().sum::<u64>();
+    }
+    input
+}
+
+fn add_sample(acc: &mut SampleInput, p: &SampleInput) {
+    acc.n_cores += p.n_cores;
+    acc.outstanding_misses += p.outstanding_misses;
+    acc.rob += p.rob;
+    acc.lq += p.lq;
+    acc.sq += p.sq;
+    acc.sb += p.sb;
+    acc.retired += p.retired;
+    acc.gate_closed_cycles += p.gate_closed_cycles;
+    acc.squashes += p.squashes;
+}
+
+/// Advances one shard from `st.cur` through `bound` (inclusive), running
+/// the serial event engine's per-cycle body over the local cores — or
+/// the lockstep body when `lockstep` is set (every unfinished core ticks
+/// every cycle, as the traced serial engine does). With `early_stop`,
+/// returns as soon as the last local core finishes, recording the
+/// shard's finish vote.
+fn run_span<C: Tracer, P: Profiler>(
+    st: &mut EngineShard<C>,
+    bound: Cycle,
+    early_stop: bool,
+    lockstep: bool,
+    interval: u64,
+    valmem: &StripedValueMemory,
+) {
+    let EngineShard {
+        cores,
+        mem,
+        collector,
+        cur,
+        active,
+        wake,
+        scratch,
+        finished_at,
+        samples,
+        last_retire,
+        ..
+    } = st;
+    while *cur <= bound {
+        mem.advance_profiled::<C, P>(*cur, collector);
+        let mut retired = 0u64;
+        let mut any_active = false;
+        for k in 0..cores.len() {
+            let (gi, core) = &mut cores[k];
+            let id = CoreId::from_index(*gi);
+            scratch.clear();
+            if mem.has_notices(id) {
+                mem.take_notices_into(id, scratch);
+            }
+            let due =
+                lockstep || active[k] || !scratch.is_empty() || wake[k].is_some_and(|w| w <= *cur);
+            if !due {
+                if !core.finished() {
+                    core.apply_idle_cycles(1);
+                }
+                continue;
+            }
+            if core.finished() && scratch.is_empty() {
+                active[k] = false;
+                wake[k] = None;
+                continue;
+            }
+            let mut port = PortView {
+                mem: &mut *mem,
+                core: id,
+            };
+            let mut vm = valmem;
+            let r = core.tick_profiled::<_, _, C, P>(*cur, &mut port, &mut vm, scratch, collector);
+            retired += r.retired;
+            if !lockstep {
+                if r.progress {
+                    active[k] = true;
+                    any_active = true;
+                } else {
+                    active[k] = false;
+                    wake[k] = core.next_timed_wakeup(*cur);
+                }
+            }
+        }
+        *cur += 1;
+        if interval != 0 && cur.is_multiple_of(interval) {
+            samples.push((*cur, partial_input(cores, mem)));
+        }
+        if retired > 0 {
+            *last_retire = *cur;
+        }
+        if early_stop && cores.iter().all(|(_, c)| c.finished()) {
+            *finished_at = Some(*cur);
+            return;
+        }
+        if lockstep || any_active {
+            continue;
+        }
+        // Local slice asleep: jump to the next interesting local cycle.
+        // The span bound subsumes the serial engine's budget clamp; the
+        // watchdog fires at barrier granularity instead.
+        let mut next = Cycle::MAX;
+        if let Some(c) = mem.next_event_cycle() {
+            next = next.min(c);
+        }
+        for w in wake.iter().flatten() {
+            next = next.min(*w);
+        }
+        next = next.min(bound + 1);
+        if let Some(intervals_done) = cur.checked_div(interval) {
+            next = next.min((intervals_done + 1) * interval);
+        }
+        if next <= *cur {
+            continue;
+        }
+        let skipped = next - *cur;
+        for (_, c) in cores.iter_mut() {
+            if !c.finished() {
+                c.apply_idle_cycles(skipped);
+            }
+        }
+        *cur = next;
+        if interval != 0 && cur.is_multiple_of(interval) {
+            samples.push((*cur, partial_input(cores, mem)));
+        }
+    }
+}
+
+/// One worker's epoch loop. Every epoch: advance the local slice to the
+/// epoch boundary (phase 1, stopping early on local finish), synchronize
+/// and decide globally (barrier A), catch up locally-finished shards
+/// (phase 2), then trade cross-shard deliveries (barrier B). All control
+/// decisions are computed by every shard from identically-published
+/// flags, so the shards always take the same branch — no coordinator.
+#[allow(clippy::too_many_arguments)]
+fn shard_worker<C: ShardCollector, P: Profiler>(
+    mut st: EngineShard<C>,
+    sync: &ShardSync,
+    valmem: &StripedValueMemory,
+    interval: u64,
+    max_cycles: Cycle,
+    lookahead: Cycle,
+    geometry: (usize, usize),
+    bank_owner: &[usize],
+) -> EngineShard<C> {
+    let _span = P::span("shard");
+    let (n_cores, n_shards) = geometry;
+    let lockstep = C::ENABLED;
+    let mut epoch_start: Cycle = 0;
+    loop {
+        let epoch_end = epoch_start + lookahead - 1;
+        // Phase 1: simulate this epoch locally (cross-shard sends pile up
+        // in the outbox; nothing sent this epoch is due before the next).
+        if st.finished_at.is_none() {
+            run_span::<C, P>(
+                &mut st,
+                epoch_end.min(max_cycles - 1),
+                true,
+                lockstep,
+                interval,
+                valmem,
+            );
+            if st.finished_at.is_none() && st.cur >= max_cycles {
+                st.limit_hit = true;
+            }
+        }
+        // Barrier A: publish flags, then read everyone's and decide.
+        sync.finished[st.id].store(st.finished_at.unwrap_or(u64::MAX), Ordering::SeqCst);
+        sync.retire[st.id].store(st.last_retire, Ordering::SeqCst);
+        if st.limit_hit {
+            sync.limit.store(true, Ordering::SeqCst);
+        }
+        sync.barrier.wait();
+        if sync.limit.load(Ordering::SeqCst) {
+            st.error = Some(RunError::CycleLimit { limit: max_cycles });
+            return st;
+        }
+        let mut all_finished = true;
+        let mut finish = 0u64;
+        for f in &sync.finished {
+            let v = f.load(Ordering::SeqCst);
+            all_finished &= v != u64::MAX;
+            if v != u64::MAX {
+                finish = finish.max(v);
+            }
+        }
+        if all_finished {
+            // Drain remaining notice ticks up to the global finish; any
+            // message sent here would be due strictly after it.
+            if finish > 0 {
+                run_span::<C, P>(&mut st, finish - 1, false, lockstep, interval, valmem);
+            }
+            st.cur = finish;
+            return st;
+        }
+        let global_retire = sync
+            .retire
+            .iter()
+            .map(|r| r.load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0);
+        if (epoch_end + 1).saturating_sub(global_retire) > WATCHDOG {
+            st.error = Some(RunError::NoProgress {
+                since: global_retire,
+            });
+            return st;
+        }
+        // Phase 2: a shard that finished mid-epoch still owes the rest of
+        // the epoch to its queue (notice ticks on finished cores).
+        run_span::<C, P>(&mut st, epoch_end, false, lockstep, interval, valmem);
+        // Barrier B: trade cross-shard deliveries for the next epoch.
+        for ev in st.mem.take_outbox() {
+            let dest = match ev.to {
+                NodeId::Core(c) => core_shard(c.index(), n_cores, n_shards),
+                NodeId::Bank(b) => bank_owner[b as usize],
+            };
+            sync.inboxes[dest].lock().expect("inbox lock").push(ev);
+        }
+        sync.barrier.wait();
+        let incoming: Vec<RemoteEvent> =
+            std::mem::take(&mut *sync.inboxes[st.id].lock().expect("inbox lock"));
+        for ev in incoming {
+            st.mem.inject_remote(ev);
+        }
+        epoch_start += lookahead;
     }
 }
 

@@ -38,7 +38,7 @@ pub(crate) struct EpisodeSlot {
     pub squashes: u64,
     pub squashed_uops: u64,
     pub squash_cycles: u64,
-    pub first_blame: Option<u8>,
+    pub first_blame: Option<u16>,
     pub first_blame_line: Option<Addr>,
     in_use: bool,
 }

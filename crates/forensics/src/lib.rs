@@ -91,7 +91,7 @@ impl EpisodeEnd {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GateEpisode {
     /// The core whose gate closed.
-    pub core: u8,
+    pub core: u16,
     /// Key of the forwarding store, locked into the gate.
     pub key: GateKey,
     /// The forwarding store's byte address (joined from its `SbEnter`).
@@ -115,7 +115,7 @@ pub struct GateEpisode {
     /// the episode still accrue here — the cause lies inside it).
     pub squash_cycles: u64,
     /// Blaming core of the first squash (`None` = local cause).
-    pub first_blame: Option<u8>,
+    pub first_blame: Option<u16>,
     /// Triggering line of the first squash.
     pub first_blame_line: Option<Addr>,
 }
@@ -147,7 +147,7 @@ struct LineStats {
 #[derive(Debug, Clone, Copy)]
 struct RefillWindow {
     since: Cycle,
-    by: Option<u8>,
+    by: Option<u16>,
     line: Option<Addr>,
     cause: SquashKind,
     /// `closed_at` of the episode the squash landed in, if one was open.
@@ -191,7 +191,7 @@ pub struct Forensics {
     hotspots: FastMap<Addr, LineStats>,
     hotspot_dropped: u64,
     /// Folded cause chains `(victim, cause, blame, line)` → cycles.
-    folded: FastMap<(u8, SquashKind, Option<u8>, Option<Addr>), u64>,
+    folded: FastMap<(u16, SquashKind, Option<u16>, Option<Addr>), u64>,
     folded_dropped: u64,
     episode_len_hist: [u64; HIST_BUCKETS],
     squash_cost_hist: [u64; HIST_BUCKETS],
@@ -264,7 +264,7 @@ impl Forensics {
             }
             _ => {}
         }
-        let chain = (core as u8, w.cause, w.by, w.line);
+        let chain = (core as u16, w.cause, w.by, w.line);
         if self.folded.len() < FOLDED_CAP || self.folded.contains_key(&chain) {
             *self.folded.entry(chain).or_insert(0) += cost;
         } else {
@@ -290,7 +290,7 @@ impl Forensics {
         let s = *self.pool.get(idx);
         self.pool.release(idx);
         self.finish_episode(GateEpisode {
-            core: core as u8,
+            core: core as u16,
             key: s.key,
             store_addr: s.store_addr,
             rob: s.rob,
@@ -443,7 +443,7 @@ mod tests {
     use sa_isa::CoreId;
     use sa_trace::UopKind;
 
-    fn ev(core: u8, cycle: Cycle, kind: EventKind) -> TraceEvent {
+    fn ev(core: u16, cycle: Cycle, kind: EventKind) -> TraceEvent {
         TraceEvent {
             cycle,
             core: CoreId(core),
@@ -694,7 +694,7 @@ mod tests {
     fn episode_arena_recycles_slots() {
         let mut f = Forensics::new(2);
         for i in 0..500u64 {
-            let core = (i % 2) as u8;
+            let core = (i % 2) as u16;
             let t = i * 100;
             f.record(ev(
                 core,

@@ -95,11 +95,11 @@ pub struct Hotspot {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoldedChain {
     /// Victim core.
-    pub victim: u8,
+    pub victim: u16,
     /// Squash cause.
     pub cause: SquashKind,
     /// Blaming core (`None` = local).
-    pub by: Option<u8>,
+    pub by: Option<u16>,
     /// Triggering line, when known.
     pub line: Option<u64>,
     /// Refill cycles on this chain.
@@ -190,7 +190,7 @@ pub(crate) fn build(f: crate::Forensics) -> Summary {
     }
 }
 
-fn blame_label(by: Option<u8>) -> String {
+fn blame_label(by: Option<u16>) -> String {
     by.map_or_else(|| "local".to_string(), |c| format!("core{c}"))
 }
 
@@ -266,7 +266,7 @@ impl Summary {
                     continue;
                 }
                 let v = format!("{victim}");
-                let b = blame_label(by.map(|j| j as u8));
+                let b = blame_label(by.map(|j| j as u16));
                 let l = [("victim", v.as_str()), ("by", b.as_str())];
                 reg.counter(
                     "sa_forensics_blame_cycles_total",
@@ -547,7 +547,7 @@ mod tests {
             slot: 0,
             sorting: false,
         };
-        let mut rec = |core: u8, cycle: u64, kind: EventKind| {
+        let mut rec = |core: u16, cycle: u64, kind: EventKind| {
             f.record(TraceEvent {
                 cycle,
                 core: CoreId(core),

@@ -38,7 +38,7 @@ pub use addr::{Addr, Line, LINE_BYTES, LINE_SHIFT};
 pub use hash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use instr::{AluEval, ExecUnit, Instr, Op, StoreOperand};
 pub use interp::{interpret, ArchState};
-pub use mem::ValueMemory;
+pub use mem::{StripedValueMemory, ValueImage, ValueMemory};
 pub use model::ConsistencyModel;
 pub use reg::{Reg, NUM_REGS};
 pub use trace::{Pc, Trace, TraceBuilder};
@@ -50,14 +50,33 @@ pub type Cycle = u64;
 pub type Value = u64;
 
 /// Identifies one core of the simulated multicore (0-based).
+///
+/// `u16`-wide: the simulator scales to [`MAX_CORES`] cores (the paper's
+/// Table III stops at 8; the scale-out engine runs mesh cells up to
+/// 1024).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct CoreId(pub u8);
+pub struct CoreId(pub u16);
+
+/// Hard upper bound on the simulated core count, enforced by
+/// configuration validation.
+pub const MAX_CORES: usize = 1024;
 
 impl CoreId {
     /// Index form, for direct use with `Vec` storage.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The id for core index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= MAX_CORES`.
+    #[inline]
+    pub fn from_index(i: usize) -> CoreId {
+        assert!(i < MAX_CORES, "core index {i} out of range");
+        CoreId(i as u16)
     }
 }
 

@@ -20,7 +20,7 @@ use crate::{Addr, Value};
 
 /// The global functional memory image (8-byte granularity with sub-word
 /// masking), updated at store-commit instants.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ValueMemory {
     words: FastMap<Addr, Value>,
 }
@@ -72,6 +72,128 @@ impl ValueMemory {
     /// Number of distinct 8-byte words ever written.
     pub fn words_written(&self) -> usize {
         self.words.len()
+    }
+}
+
+/// The value-image access interface the core pipeline is generic over.
+///
+/// The serial engines hand each core `&mut ValueMemory` directly; the
+/// parallel engine hands every shard a [`StripedValueMemory`] reference
+/// whose word-striped locks make concurrent access sound. Which
+/// implementation a load observes is timing-invisible: the coherence
+/// protocol separates conflicting same-address accesses by at least one
+/// cross-shard message latency, so both images always return the same
+/// value at the same simulated cycle.
+pub trait ValueImage {
+    /// Reads `size` bytes at `addr` (zero-extended).
+    fn read(&self, addr: Addr, size: u8) -> Value;
+    /// Writes `size` bytes of `value` at `addr`.
+    fn write(&mut self, addr: Addr, size: u8, value: Value);
+}
+
+impl ValueImage for ValueMemory {
+    #[inline]
+    fn read(&self, addr: Addr, size: u8) -> Value {
+        ValueMemory::read(self, addr, size)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, size: u8, value: Value) {
+        ValueMemory::write(self, addr, size, value)
+    }
+}
+
+/// Number of lock stripes in a [`StripedValueMemory`]; power of two so
+/// the stripe index is a mask of the word-address hash.
+const VALUE_STRIPES: usize = 64;
+
+/// A [`ValueMemory`] split into independently locked word stripes so
+/// shards of the parallel engine can read and write concurrently.
+///
+/// Correctness does not rely on lock ordering: the simulated coherence
+/// protocol guarantees that two accesses to the *same word* from
+/// different shards are separated by a cross-shard message (and hence an
+/// epoch barrier), so each lock only ever arbitrates host-level access
+/// to *different* words sharing a stripe — never a simulated race.
+#[derive(Debug)]
+pub struct StripedValueMemory {
+    stripes: Vec<std::sync::Mutex<FastMap<Addr, Value>>>,
+}
+
+impl StripedValueMemory {
+    fn stripe_of(word: Addr) -> usize {
+        // Words are 8-byte aligned; drop the alignment zeros first.
+        ((word >> 3) as usize) & (VALUE_STRIPES - 1)
+    }
+
+    /// Splits `mem` (e.g. a poked pre-run image) into stripes.
+    pub fn from_value_memory(mem: ValueMemory) -> StripedValueMemory {
+        let mut stripes: Vec<FastMap<Addr, Value>> =
+            (0..VALUE_STRIPES).map(|_| FastMap::default()).collect();
+        for (addr, value) in mem.words {
+            stripes[Self::stripe_of(addr)].insert(addr, value);
+        }
+        StripedValueMemory {
+            stripes: stripes.into_iter().map(std::sync::Mutex::new).collect(),
+        }
+    }
+
+    /// Collapses the stripes back into one [`ValueMemory`] (the final
+    /// image a litmus checker inspects).
+    pub fn into_value_memory(self) -> ValueMemory {
+        let mut words = FastMap::default();
+        for stripe in self.stripes {
+            for (addr, value) in stripe.into_inner().expect("no poisoned stripes") {
+                words.insert(addr, value);
+            }
+        }
+        ValueMemory { words }
+    }
+
+    /// Reads `size` bytes at `addr` (zero-extended), locking one stripe.
+    pub fn read(&self, addr: Addr, size: u8) -> Value {
+        assert_eq!(addr % u64::from(size), 0, "misaligned read at {addr:#x}");
+        let word_addr = addr & !7;
+        let stripe = self.stripes[Self::stripe_of(word_addr)]
+            .lock()
+            .expect("no poisoned stripes");
+        let word = stripe.get(&word_addr).copied().unwrap_or(0);
+        if size == 8 {
+            return word;
+        }
+        let shift = (addr & 7) * 8;
+        let mask = (1u64 << (u64::from(size) * 8)) - 1;
+        (word >> shift) & mask
+    }
+
+    /// Writes `size` bytes of `value` at `addr`; the sub-word
+    /// read-modify-write happens under the stripe lock.
+    pub fn write(&self, addr: Addr, size: u8, value: Value) {
+        assert_eq!(addr % u64::from(size), 0, "misaligned write at {addr:#x}");
+        let word_addr = addr & !7;
+        let mut stripe = self.stripes[Self::stripe_of(word_addr)]
+            .lock()
+            .expect("no poisoned stripes");
+        let slot = stripe.entry(word_addr).or_insert(0);
+        if size == 8 {
+            *slot = value;
+            return;
+        }
+        let shift = (addr & 7) * 8;
+        let mask = ((1u64 << (u64::from(size) * 8)) - 1) << shift;
+        *slot = (*slot & !mask) | ((value << shift) & mask);
+    }
+}
+
+impl ValueImage for &StripedValueMemory {
+    #[inline]
+    fn read(&self, addr: Addr, size: u8) -> Value {
+        StripedValueMemory::read(self, addr, size)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, size: u8, value: Value) {
+        StripedValueMemory::write(self, addr, size, value)
     }
 }
 

@@ -35,7 +35,7 @@ use std::collections::{BTreeSet, BinaryHeap};
 use sa_coherence::{MemReqId, Notice, NoticeKind};
 use sa_isa::{
     ConsistencyModel, CoreId, Cycle, FastMap, Line, Op, Reg, StoreOperand, Trace, Value,
-    ValueMemory, NUM_REGS,
+    ValueImage, NUM_REGS,
 };
 use sa_metrics::{CoreMetrics, CpiCategory};
 use sa_profile::{NullProfiler, Profiler};
@@ -302,15 +302,15 @@ impl Core {
     /// `Tracer::ENABLED` is a compile-time constant, so every emission
     /// site — including the closure building the event — monomorphizes
     /// to dead code and the pipeline is exactly the untraced one.
-    pub fn tick<M: LoadStorePort, T: Tracer>(
+    pub fn tick<M: LoadStorePort, V: ValueImage, T: Tracer>(
         &mut self,
         now: Cycle,
         mem: &mut M,
-        valmem: &mut ValueMemory,
+        valmem: &mut V,
         notices: &[Notice],
         tracer: &mut T,
     ) -> TickResult {
-        self.tick_profiled::<M, T, NullProfiler>(now, mem, valmem, notices, tracer)
+        self.tick_profiled::<M, V, T, NullProfiler>(now, mem, valmem, notices, tracer)
     }
 
     /// [`Core::tick`] with host-side phase profiling: each pipeline phase
@@ -319,11 +319,11 @@ impl Core {
     /// With the default [`NullProfiler`] every span compiles away and
     /// this *is* `tick` — same monomorphization discipline as the
     /// [`Tracer`].
-    pub fn tick_profiled<M: LoadStorePort, T: Tracer, P: Profiler>(
+    pub fn tick_profiled<M: LoadStorePort, V: ValueImage, T: Tracer, P: Profiler>(
         &mut self,
         now: Cycle,
         mem: &mut M,
-        valmem: &mut ValueMemory,
+        valmem: &mut V,
         notices: &[Notice],
         tracer: &mut T,
     ) -> TickResult {
@@ -443,10 +443,10 @@ impl Core {
     // Phase 1: memory notices
     // ------------------------------------------------------------------
 
-    fn process_notices<T: Tracer>(
+    fn process_notices<V: ValueImage, T: Tracer>(
         &mut self,
         now: Cycle,
-        valmem: &ValueMemory,
+        valmem: &V,
         notices: &[Notice],
         tracer: &mut T,
     ) {
@@ -519,11 +519,11 @@ impl Core {
         }
     }
 
-    fn perform_from_memory<T: Tracer>(
+    fn perform_from_memory<V: ValueImage, T: Tracer>(
         &mut self,
         lqi: LqIdx,
         now: Cycle,
-        valmem: &ValueMemory,
+        valmem: &V,
         tracer: &mut T,
     ) {
         self.progress = true;
@@ -646,11 +646,11 @@ impl Core {
     // Phase 2: store-buffer drain
     // ------------------------------------------------------------------
 
-    fn drain_stores<M: LoadStorePort, T: Tracer>(
+    fn drain_stores<M: LoadStorePort, V: ValueImage, T: Tracer>(
         &mut self,
         now: Cycle,
         mem: &mut M,
-        valmem: &mut ValueMemory,
+        valmem: &mut V,
         tracer: &mut T,
     ) {
         if self.sq.is_empty() {

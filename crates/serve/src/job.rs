@@ -18,6 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use sa_isa::ConsistencyModel;
 use sa_litmus::{parse_threads, suite, LitmusTest};
 use sa_metrics::JsonValue;
+use sa_sim::{parse_topology, EngineMode, Topology};
 
 /// Parsed litmus-job parameters.
 #[derive(Debug, Clone)]
@@ -47,6 +48,15 @@ pub struct WorkloadJob {
     pub scale: usize,
     /// Workload generation seed.
     pub seed: u64,
+    /// Core-count override; `None` uses the suite default (8 parallel /
+    /// 1 SPEC).
+    pub cores: Option<usize>,
+    /// Interconnect override (`"fc"` / `"mesh:<w>"`); `None` keeps the
+    /// config default.
+    pub topology: Option<Topology>,
+    /// Engine override (`"lockstep"` / `"event"` / `"parallel:<t>"`);
+    /// `None` keeps the config default.
+    pub engine: Option<EngineMode>,
 }
 
 /// One unit of queued work.
@@ -73,7 +83,8 @@ impl JobSpec {
     /// {"kind":"litmus","threads":["st x,1; ld x; ld y","st y,2; st x,2"],
     ///  "name":"mine","models":["x86"],"check":true,"pads":[[0,0]]}
     /// {"kind":"litmus","suite":"n6"}
-    /// {"kind":"workload","workload":"barnes","model":"x86","scale":300,"seed":1}
+    /// {"kind":"workload","workload":"barnes","model":"x86","scale":300,"seed":1,
+    ///  "cores":64,"topology":"mesh:8","engine":"parallel:4"}
     /// ```
     pub fn parse(body: &str) -> Result<JobSpec, String> {
         let v = JsonValue::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -187,11 +198,57 @@ impl JobSpec {
             .map(|s| s.as_u64().ok_or("\"seed\" must be an integer"))
             .transpose()?
             .unwrap_or(1);
+        let cores = v
+            .get("cores")
+            .map(|c| c.as_u64().ok_or("\"cores\" must be an integer"))
+            .transpose()?
+            .map(|c| c as usize);
+        if let Some(c) = cores {
+            if c == 0 || c > sa_isa::MAX_CORES {
+                return Err(format!("\"cores\" must be in 1..={}", sa_isa::MAX_CORES));
+            }
+        }
+        let topology = v
+            .get("topology")
+            .map(|t| {
+                t.as_str()
+                    .ok_or("\"topology\" must be a string".to_string())
+                    .and_then(parse_topology)
+            })
+            .transpose()?;
+        let engine = v
+            .get("engine")
+            .map(|e| {
+                e.as_str()
+                    .ok_or("\"engine\" must be a string".to_string())
+                    .and_then(EngineMode::parse)
+            })
+            .transpose()?;
+        // A mesh must tile the effective core count; reject bad grids
+        // here so submitters get a 400 instead of a failed job.
+        let spec = sa_workloads::by_name(workload).expect("validated above");
+        let effective = cores.unwrap_or(match spec.suite {
+            sa_workloads::Suite::Parallel => 8,
+            sa_workloads::Suite::Spec => 1,
+        });
+        if let Some(Topology::Mesh2D { width }) = topology {
+            if width == 0 || effective % width != 0 {
+                return Err(format!(
+                    "mesh width {width} does not tile {effective} cores"
+                ));
+            }
+        }
+        if let Some(EngineMode::Parallel { threads: 0 }) = engine {
+            return Err("\"engine\" parallel needs at least one thread".to_string());
+        }
         Ok(JobSpec::Workload(WorkloadJob {
             workload: workload.to_string(),
             model,
             scale: scale as usize,
             seed,
+            cores,
+            topology,
+            engine,
         }))
     }
 }
@@ -458,6 +515,62 @@ mod tests {
         assert_eq!(w.workload, "barnes");
         assert_eq!(w.model, ConsistencyModel::X86);
         assert_eq!(w.scale, 200);
+        assert_eq!(w.cores, None, "suite default when unset");
+        assert_eq!(w.topology, None);
+        assert_eq!(w.engine, None);
+    }
+
+    #[test]
+    fn parses_workload_scale_out_fields() {
+        let spec = JobSpec::parse(
+            r#"{"kind":"workload","workload":"radix","cores":64,
+                "topology":"mesh:8","engine":"parallel:4"}"#,
+        )
+        .unwrap();
+        let JobSpec::Workload(w) = spec else {
+            panic!("wrong kind")
+        };
+        assert_eq!(w.cores, Some(64));
+        assert_eq!(w.topology, Some(Topology::Mesh2D { width: 8 }));
+        assert_eq!(w.engine, Some(EngineMode::Parallel { threads: 4 }));
+    }
+
+    #[test]
+    fn rejects_bad_scale_out_specs() {
+        for (body, needle) in [
+            (
+                r#"{"kind":"workload","workload":"barnes","cores":0}"#,
+                "cores",
+            ),
+            (
+                r#"{"kind":"workload","workload":"barnes","cores":2000}"#,
+                "cores",
+            ),
+            (
+                r#"{"kind":"workload","workload":"barnes","topology":"ring"}"#,
+                "topology",
+            ),
+            (
+                // barnes defaults to 8 cores; a 3-wide mesh cannot tile it.
+                r#"{"kind":"workload","workload":"barnes","topology":"mesh:3"}"#,
+                "does not tile",
+            ),
+            (
+                r#"{"kind":"workload","workload":"barnes","cores":16,"topology":"mesh:5"}"#,
+                "does not tile",
+            ),
+            (
+                r#"{"kind":"workload","workload":"barnes","engine":"warp"}"#,
+                "engine",
+            ),
+            (
+                r#"{"kind":"workload","workload":"barnes","engine":"parallel:0"}"#,
+                "at least one thread",
+            ),
+        ] {
+            let err = JobSpec::parse(body).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
     }
 
     #[test]

@@ -888,13 +888,21 @@ fn run_litmus(shared: &Shared, id: u64, l: &LitmusJob) -> (String, bool) {
 
 fn run_workload(shared: &Shared, id: u64, w: &WorkloadJob) -> String {
     let spec = sa_workloads::by_name(&w.workload).expect("workload validated at parse");
-    let n_cores = match spec.suite {
+    let n_cores = w.cores.unwrap_or(match spec.suite {
         WorkloadSuite::Parallel => 8,
         WorkloadSuite::Spec => 1,
-    };
-    let cfg = sa_sim::SimConfig::default()
+    });
+    let mut cfg = sa_sim::SimConfig::default()
         .with_model(w.model)
         .with_cores(n_cores);
+    if let Some(t) = w.topology {
+        cfg = cfg.with_topology(t);
+    }
+    if let Some(e) = w.engine {
+        cfg = cfg.with_engine(e);
+    }
+    let topology_str = cfg.mem.topology.to_string();
+    let engine_str = cfg.engine.to_string();
     progress(shared, id, "generate");
     let traces = {
         let _p = WallProfiler::span("generate");
@@ -917,6 +925,9 @@ fn run_workload(shared: &Shared, id: u64, w: &WorkloadJob) -> String {
         .field_str("model", w.model.label())
         .field_uint("scale", w.scale as u64)
         .field_uint("seed", w.seed)
+        .field_uint("cores", n_cores as u64)
+        .field_str("topology", &topology_str)
+        .field_str("engine", &engine_str)
         .field_uint("cycles", report.cycles)
         .field_uint("retired_instrs", report.total().retired_instrs)
         .field_float("ipc", report.ipc())

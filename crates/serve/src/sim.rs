@@ -33,7 +33,10 @@ pub fn run_on_sim(
     let regs = (0..test.threads.len())
         .map(|t| {
             (0..desugared.loads_in(t))
-                .map(|slot| sim.core(CoreId(t as u8)).arch_reg(Reg::new(slot as u8)))
+                .map(|slot| {
+                    sim.core(CoreId::from_index(t))
+                        .arch_reg(Reg::new(slot as u8))
+                })
                 .collect()
         })
         .collect();

@@ -76,7 +76,7 @@ impl Json {
     }
 }
 
-fn meta_thread(json: &mut Json, pid: u8, tid: u32, name: &str) {
+fn meta_thread(json: &mut Json, pid: u16, tid: u32, name: &str) {
     json.push(format!(
         "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
          \"args\":{{\"name\":\"{}\"}}}}",
@@ -176,11 +176,11 @@ pub fn export_chrome_host_spans(spans: &[HostSpan]) -> String {
 /// sink in this crate records naturally.
 pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
     let mut json = Json::new();
-    let mut named: Vec<u8> = Vec::new();
-    let mut open_uops: BTreeMap<(u8, u64), OpenUop> = BTreeMap::new();
-    let mut open_gate: BTreeMap<u8, (u64, Option<String>)> = BTreeMap::new();
-    let mut open_sb: BTreeMap<(u8, String), (u64, u64)> = BTreeMap::new();
-    let mut open_mem: BTreeMap<(u8, u64), (u64, bool, u64)> = BTreeMap::new();
+    let mut named: Vec<u16> = Vec::new();
+    let mut open_uops: BTreeMap<(u16, u64), OpenUop> = BTreeMap::new();
+    let mut open_gate: BTreeMap<u16, (u64, Option<String>)> = BTreeMap::new();
+    let mut open_sb: BTreeMap<(u16, String), (u64, u64)> = BTreeMap::new();
+    let mut open_mem: BTreeMap<(u16, u64), (u64, bool, u64)> = BTreeMap::new();
 
     for ev in events {
         let pid = ev.core.0;
@@ -255,7 +255,7 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                      \"args\":{{\"from_rob\":{from_rob},\"uops\":{uops}{blame}}}}}",
                     cause.label()
                 ));
-                let squashed: Vec<(u8, u64)> = open_uops
+                let squashed: Vec<(u16, u64)> = open_uops
                     .range((pid, from_rob)..(pid, u64::MAX))
                     .map(|(k, _)| *k)
                     .collect();
@@ -369,7 +369,7 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
 
     // Close whatever is still in flight at the last stamped cycle.
     let end = events.last().map_or(0, |e| e.cycle) + 1;
-    let leftover: Vec<(u8, u64)> = open_uops.keys().copied().collect();
+    let leftover: Vec<(u16, u64)> = open_uops.keys().copied().collect();
     for k in leftover {
         let u = open_uops.remove(&k).expect("listed key");
         close_uop(&mut json, CoreId(k.0), k.1, &u, end, false);
@@ -382,7 +382,7 @@ mod tests {
     use super::*;
     use crate::event::{GateKey, SquashKind, UopKind};
 
-    fn ev(core: u8, cycle: u64, kind: EventKind) -> TraceEvent {
+    fn ev(core: u16, cycle: u64, kind: EventKind) -> TraceEvent {
         TraceEvent {
             cycle,
             core: CoreId(core),

@@ -98,9 +98,9 @@ pub enum GateOpenReason {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceNode {
     /// A core's private cache controller.
-    Core(u8),
+    Core(u16),
     /// A shared L3 / directory bank.
-    Bank(u8),
+    Bank(u16),
 }
 
 impl std::fmt::Display for TraceNode {
@@ -165,7 +165,7 @@ pub enum EventKind {
         /// The remote core blamed for the squash: the requester behind the
         /// invalidation that snooped the victim load. `None` for local
         /// causes (capacity eviction, mem-order misspeculation).
-        by: Option<u8>,
+        by: Option<u16>,
         /// Line base address of the triggering invalidation/eviction, or
         /// the victim load's line for mem-order squashes when known.
         line: Option<Addr>,

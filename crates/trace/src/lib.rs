@@ -83,6 +83,18 @@ pub trait Tracer {
             self.record(f());
         }
     }
+
+    /// Emission hook carrying the memory system's canonical event key
+    /// `(origin, seq)` — the total order same-cycle protocol deliveries
+    /// pop in. Ordinary sinks ignore the key (the default forwards to
+    /// [`Tracer::emit`]); the parallel engine's shard collectors keep it
+    /// so independently-recorded shard streams can be merged back into
+    /// exactly the serial emission order.
+    #[inline(always)]
+    fn emit_keyed(&mut self, key: (u32, u64), f: impl FnOnce() -> TraceEvent) {
+        let _ = key;
+        self.emit(f);
+    }
 }
 
 /// The disabled tracer: a zero-sized sink whose hooks compile away.

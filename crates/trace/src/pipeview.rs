@@ -30,11 +30,11 @@ struct Row {
 /// Renders the per-instruction pipeline view of `events`.
 pub fn render_pipeview(events: &[TraceEvent]) -> String {
     // (core, rob) -> row; BTreeMap keeps output ordered by core then age.
-    let mut rows: BTreeMap<(u8, u64), Row> = BTreeMap::new();
+    let mut rows: BTreeMap<(u16, u64), Row> = BTreeMap::new();
     let mut gates: Vec<String> = Vec::new();
-    let mut open_gate: BTreeMap<u8, (u64, String)> = BTreeMap::new();
+    let mut open_gate: BTreeMap<u16, (u64, String)> = BTreeMap::new();
     let mut sb: Vec<String> = Vec::new();
-    let mut open_sb: BTreeMap<(u8, String), (u64, u64)> = BTreeMap::new();
+    let mut open_sb: BTreeMap<(u16, String), (u64, u64)> = BTreeMap::new();
 
     for ev in events {
         let pid = ev.core.0;
@@ -185,7 +185,7 @@ mod tests {
     use crate::event::{GateKey, SquashKind, UopKind};
     use sa_isa::CoreId;
 
-    fn ev(core: u8, cycle: u64, kind: EventKind) -> TraceEvent {
+    fn ev(core: u16, cycle: u64, kind: EventKind) -> TraceEvent {
         TraceEvent {
             cycle,
             core: CoreId(core),

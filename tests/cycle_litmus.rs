@@ -22,7 +22,10 @@ fn run_cycle_level(test: &LitmusTest, model: ConsistencyModel, pads: &[usize]) -
     let regs = (0..test.threads.len())
         .map(|t| {
             (0..test.loads_in(t))
-                .map(|slot| sim.core(CoreId(t as u8)).arch_reg(Reg::new(slot as u8)))
+                .map(|slot| {
+                    sim.core(CoreId::from_index(t))
+                        .arch_reg(Reg::new(slot as u8))
+                })
                 .collect()
         })
         .collect();

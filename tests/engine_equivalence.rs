@@ -8,13 +8,16 @@
 
 use sa_isa::{ConsistencyModel, CoreId, Reg, Trace};
 use sa_litmus::{suite, LitmusTest};
-use sa_sim::{Multicore, Report, SimConfig};
+use sa_sim::{EngineMode, Multicore, Report, SimConfig};
 
 /// Runs the same machine twice — event-driven and lockstep — and
 /// returns both simulators after asserting the reports are identical.
 fn run_both(cfg: SimConfig, traces: Vec<Trace>, label: &str) -> (Multicore, Multicore) {
-    let mut skip = Multicore::new(cfg.clone().with_cycle_skip(true), traces.clone());
-    let mut lock = Multicore::new(cfg.with_cycle_skip(false), traces);
+    let mut skip = Multicore::new(
+        cfg.clone().with_engine(EngineMode::EventDriven),
+        traces.clone(),
+    );
+    let mut lock = Multicore::new(cfg.with_engine(EngineMode::Lockstep), traces);
     let rs: Report = skip.run(u64::MAX).expect("event engine completes");
     let rl: Report = lock.run(u64::MAX).expect("lockstep engine completes");
     assert_eq!(rs.cycles, rl.cycles, "{label}: final cycle counts differ");
@@ -46,8 +49,8 @@ fn litmus_outcomes_and_reports_match() {
                     for slot in 0..ct.test.loads_in(t) {
                         let r = Reg::new(slot as u8);
                         assert_eq!(
-                            skip.core(CoreId(t as u8)).arch_reg(r),
-                            lock.core(CoreId(t as u8)).arch_reg(r),
+                            skip.core(CoreId::from_index(t)).arch_reg(r),
+                            lock.core(CoreId::from_index(t)).arch_reg(r),
                             "{label}: thread {t} r{slot}"
                         );
                     }
@@ -77,8 +80,11 @@ fn sampler_series_identical_under_skipping() {
             .with_cores(8)
             .with_sample_interval(64);
         let traces = w.generate(8, 1_500, 99);
-        let mut skip = Multicore::new(cfg.clone().with_cycle_skip(true), traces.clone());
-        let mut lock = Multicore::new(cfg.with_cycle_skip(false), traces);
+        let mut skip = Multicore::new(
+            cfg.clone().with_engine(EngineMode::EventDriven),
+            traces.clone(),
+        );
+        let mut lock = Multicore::new(cfg.with_engine(EngineMode::Lockstep), traces);
         let rs = skip.run(u64::MAX).expect("completes");
         let rl = lock.run(u64::MAX).expect("completes");
         assert!(

@@ -119,6 +119,56 @@ fn n6_over_http_matches_golden_and_renamed_resubmit_hits_cache() {
     assert_eq!(report.cache, (1, 1, 1));
 }
 
+/// A workload job carrying the scale-out axes — core-count override,
+/// mesh topology, parallel engine — runs over the wire, and its result
+/// document echoes the effective configuration. The same job re-run on
+/// the serial engine returns the identical cycle count (the bit-exact
+/// contract, observed end-to-end through the service).
+#[test]
+fn workload_scale_out_axes_round_trip_over_http() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let client = ServeClient::new(server.port());
+
+    let run = |spec: &str| -> JsonValue {
+        let id = client.submit(spec).expect("submit").expect("202");
+        let v = client.wait(id, Duration::from_secs(60)).expect("wait");
+        assert_eq!(
+            v.get("status").and_then(|s| s.as_str()),
+            Some("done"),
+            "{v:?}"
+        );
+        v.get("result").expect("result document").clone()
+    };
+
+    let par = run(
+        r#"{"kind":"workload","workload":"dedup","scale":120,"seed":3,
+            "cores":16,"topology":"mesh:4","engine":"parallel:2"}"#,
+    );
+    assert_eq!(par.get("cores").and_then(JsonValue::as_u64), Some(16));
+    assert_eq!(par.get("topology").and_then(|t| t.as_str()), Some("mesh:4"));
+    assert_eq!(
+        par.get("engine").and_then(|e| e.as_str()),
+        Some("parallel:2")
+    );
+    let ser = run(
+        r#"{"kind":"workload","workload":"dedup","scale":120,"seed":3,
+            "cores":16,"topology":"mesh:4","engine":"event"}"#,
+    );
+    assert_eq!(ser.get("engine").and_then(|e| e.as_str()), Some("event"));
+    assert_eq!(
+        par.get("cycles").and_then(JsonValue::as_u64),
+        ser.get("cycles").and_then(JsonValue::as_u64),
+        "sharded and serial runs of the same job must agree cycle-for-cycle"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
 /// ≥200 concurrent mixed submissions against a 4-worker pool with a
 /// small queue: overflow must get 429 (bounded memory), nothing may
 /// deadlock, and every accepted job must reach a terminal status.
