@@ -1,9 +1,12 @@
 //! Many-core scaling sweep: {8, 64, 128, 256} cores × {fully-connected,
 //! 2D mesh} × {single-threaded event-driven, multi-threaded parallel}
 //! over a pinned workload trio, writing `BENCH_scale.json` (schema
-//! `sa-bench-scale-v1`) with per-cell simulation throughput
-//! (sim-cycles per host-second) and the parallel engine's speedup over
-//! the serial event-driven run of the same cell.
+//! `sa-bench-scale-v2`) with per-cell simulation throughput
+//! (sim-cycles per host-second), the parallel engine's speedup over the
+//! serial event-driven run of the same cell, and — new in v2 — the
+//! sa-scalescope breakdown of where the parallel arm's wall time went
+//! (work vs barrier wait vs event exchange), so a slow cell carries its
+//! own diagnosis.
 //!
 //! Every cell is run on both engines and the sweep *asserts* they agree
 //! on the final cycle count — the bit-exact contract checked end-to-end
@@ -20,14 +23,19 @@
 //! 256-core mesh cell even with zero real concurrency; hosts with ≥
 //! `--threads` free CPUs see the shard concurrency on top. The
 //! artifact records `host_parallelism` so a committed baseline states
-//! which regime it measured, and `--min-speedup X` turns the
-//! 256-core-mesh speedup into a gate for CI hosts.
+//! which regime it measured, every cell where the parallel arm lost to
+//! the serial one is flagged `below_unity` (and listed in the closing
+//! `below_unity_cells`), and `--min-speedup X` turns the 256-core-mesh
+//! speedup into a gate for CI hosts.
 //!
 //! Usage: `scale [--scale N] [--seed N] [--only NAME] [--threads N]
-//! [--repeat N] [--min-speedup X] [--out PATH]`
-//! (default scale 200, default output `BENCH_scale.json`). The one
-//! stdout line is the 256-core mesh speedup, for shell pipelines and CI
-//! logs; everything else goes to stderr or the JSON.
+//! [--repeat N] [--min-speedup X] [--explain] [--epoch-trace PATH]
+//! [--out PATH]` (default scale 200, default output `BENCH_scale.json`).
+//! `--explain` prints each cell's work/wait/exchange split and critical
+//! shard to stderr; `--epoch-trace` writes the headline cell's per-epoch
+//! lane as Chrome trace JSON for Perfetto. The one stdout line is the
+//! 256-core mesh speedup, for shell pipelines and CI logs; everything
+//! else goes to stderr or the JSON.
 
 use std::process::exit;
 
@@ -35,7 +43,8 @@ use sa_bench::cli::{self, Arity, Flag, Spec};
 use sa_bench::harness;
 use sa_metrics::JsonWriter;
 use sa_sim::report::geomean;
-use sa_sim::{EngineMode, Multicore, Report, SimConfig, Topology};
+use sa_sim::{EngineMode, Multicore, ParallelScope, Report, SimConfig, Topology};
+use sa_trace::export_chrome_epoch_lanes;
 
 /// The pinned trio: the radix sort whose invalidation storms motivate
 /// the many-core study, a pipeline-parallel encoder, and an N-body tree
@@ -57,7 +66,23 @@ fn mesh_width(n: usize) -> usize {
 struct EngineRun {
     label: String,
     report: Report,
+    /// sa-scalescope telemetry — `Some` only for the parallel arm.
+    scope: Option<ParallelScope>,
     host_seconds: f64,
+}
+
+/// The shard that most often made everyone else wait at barrier A.
+fn critical_shard(scope: &ParallelScope) -> (usize, f64) {
+    let total: u64 = scope.per_shard.iter().map(|s| s.last_arriver_a).sum();
+    let worst = scope
+        .per_shard
+        .iter()
+        .max_by_key(|s| s.last_arriver_a)
+        .expect("parallel runs have shards");
+    (
+        worst.shard,
+        worst.last_arriver_a as f64 / total.max(1) as f64,
+    )
 }
 
 fn main() {
@@ -77,6 +102,16 @@ fn main() {
             arity: Arity::One,
             help: "exit 1 unless the 256-core mesh parallel speedup reaches this",
         },
+        Flag {
+            name: "--explain",
+            arity: Arity::Switch,
+            help: "print each cell's work/wait/exchange breakdown to stderr",
+        },
+        Flag {
+            name: "--epoch-trace",
+            arity: Arity::One,
+            help: "write the headline cell's epoch/barrier lane as Chrome trace JSON",
+        },
     ];
     let args = cli::parse(&Spec {
         default_scale: Some(200),
@@ -92,6 +127,8 @@ fn main() {
     let threads: usize = args.parsed("--threads").unwrap_or(4).max(2);
     let repeat: usize = args.parsed("--repeat").unwrap_or(1).max(1);
     let min_speedup: Option<f64> = args.parsed("--min-speedup");
+    let explain = args.switch("--explain");
+    let epoch_trace: Option<String> = args.value("--epoch-trace").map(str::to_string);
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -108,18 +145,21 @@ fn main() {
     };
 
     let mut j = JsonWriter::new();
-    cli::schema_header(&mut j, "sa-bench-scale-v1", &opts)
+    cli::schema_header(&mut j, "sa-bench-scale-v2", &opts)
         .field_uint("threads", threads as u64)
         .field_uint("repeat", repeat as u64)
         .field_uint("host_parallelism", host_parallelism as u64)
         .key("cells")
         .begin_array();
 
-    // The headline cell and the throughput pools for the closing
-    // geomeans.
+    // The headline cell, the throughput pools for the closing geomeans,
+    // and the v2 accounting: per-cell speedups and the below-unity roll.
     let mut speedup_256_mesh: Option<f64> = None;
+    let mut headline_scope: Option<ParallelScope> = None;
     let mut event_rates: Vec<f64> = Vec::new();
     let mut parallel_rates: Vec<f64> = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut below_unity: Vec<String> = Vec::new();
 
     for name in &workloads {
         let w = sa_workloads::by_name(name).unwrap_or_else(|| panic!("unpinned workload {name}"));
@@ -133,7 +173,7 @@ fn main() {
             ] {
                 let budget = (opts.scale as u64).saturating_mul(2_000).max(10_000_000);
                 let run = |engine: EngineMode| -> EngineRun {
-                    let mut best: Option<(Report, f64)> = None;
+                    let mut best: Option<(Multicore, f64)> = None;
                     for _ in 0..repeat {
                         let cfg = SimConfig::default()
                             .with_cores(n_cores)
@@ -144,16 +184,17 @@ fn main() {
                             sim.run(budget).unwrap_or_else(|e| {
                                 panic!("{name} x{n_cores} {topo} {engine}: {e}")
                             });
-                            sim.report()
+                            sim
                         });
                         if best.as_ref().is_none_or(|b| sample.1 < b.1) {
                             best = Some(sample);
                         }
                     }
-                    let (report, host_seconds) = best.expect("repeat >= 1");
+                    let (sim, host_seconds) = best.expect("repeat >= 1");
                     EngineRun {
                         label: engine.to_string(),
-                        report,
+                        report: sim.report(),
+                        scope: sim.scalescope().cloned(),
                         host_seconds,
                     }
                 };
@@ -171,14 +212,21 @@ fn main() {
                     "{name} x{n_cores} {topo}: engines disagree on the report"
                 );
                 let speedup = serial.host_seconds / parallel.host_seconds.max(1e-12);
+                speedups.push(speedup);
+                let cell_name = format!("{name}/x{n_cores}/{topo}");
+                if speedup < 1.0 {
+                    below_unity.push(cell_name.clone());
+                }
                 if n_cores == 256 && matches!(topo, Topology::Mesh2D { .. }) && *name == "radix" {
                     speedup_256_mesh = Some(speedup);
+                    headline_scope = parallel.scope.clone();
                 }
                 j.begin_object()
                     .field_str("workload", name)
                     .field_uint("cores", n_cores as u64)
                     .field_str("topology", &topo.to_string())
                     .field_uint("cycles", serial.report.cycles)
+                    .field_bool("below_unity", speedup < 1.0)
                     .key("engines")
                     .begin_array();
                 for (r, sp) in [(&serial, 1.0), (&parallel, speedup)] {
@@ -187,8 +235,18 @@ fn main() {
                         .field_str("engine", &r.label)
                         .field_float("host_seconds", r.host_seconds)
                         .field_float("sim_cycles_per_host_sec", rate)
-                        .field_float("parallel_speedup", sp)
-                        .end_object();
+                        .field_float("parallel_speedup", sp);
+                    if let Some(scope) = &r.scope {
+                        let (work, wait, exchange) = scope.fractions();
+                        j.field_float("work_frac", work)
+                            .field_float("wait_frac", wait)
+                            .field_float("exchange_frac", exchange)
+                            .field_float("coverage", scope.coverage())
+                            .field_uint("epochs", scope.epochs)
+                            .field_uint("lookahead", scope.lookahead)
+                            .field_uint("events_exchanged", scope.events_exchanged());
+                    }
+                    j.end_object();
                 }
                 j.end_array().end_object();
                 event_rates.push(serial.report.cycles as f64 / serial.host_seconds.max(1e-12));
@@ -201,12 +259,36 @@ fn main() {
                     se = serial.host_seconds,
                     sp = parallel.host_seconds,
                 );
+                if explain {
+                    if let Some(scope) = &parallel.scope {
+                        let (work, wait, exchange) = scope.fractions();
+                        let (shard, share) = critical_shard(scope);
+                        eprintln!(
+                            "         └ work {:5.1}%  barrier-wait {:5.1}%  exchange {:4.1}%  \
+                             L={} epochs={} events={}  critical shard {shard} \
+                             ({:.0}% of barrier-A last-arrivals)",
+                            work * 100.0,
+                            wait * 100.0,
+                            exchange * 100.0,
+                            scope.lookahead,
+                            scope.epochs,
+                            scope.events_exchanged(),
+                            share * 100.0,
+                        );
+                    }
+                }
             }
         }
     }
     j.end_array()
         .field_float("geomean_event_cycles_per_sec", geomean(&event_rates))
-        .field_float("geomean_parallel_cycles_per_sec", geomean(&parallel_rates));
+        .field_float("geomean_parallel_cycles_per_sec", geomean(&parallel_rates))
+        .field_float("geomean_speedup", geomean(&speedups));
+    j.key("below_unity_cells").begin_array();
+    for cell in &below_unity {
+        j.string(cell);
+    }
+    j.end_array();
     if let Some(s) = speedup_256_mesh {
         j.field_float("speedup_256_mesh", s);
     }
@@ -216,6 +298,31 @@ fn main() {
     std::fs::write(&out_path, format!("{body}\n"))
         .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+    if !below_unity.is_empty() {
+        eprintln!(
+            "scale: {} of {} cells below unity speedup: {}",
+            below_unity.len(),
+            speedups.len(),
+            below_unity.join(", ")
+        );
+    }
+
+    if let Some(path) = epoch_trace {
+        match &headline_scope {
+            Some(scope) => {
+                let json = export_chrome_epoch_lanes(&scope.epoch_spans());
+                std::fs::write(&path, json)
+                    .unwrap_or_else(|e| panic!("writing epoch trace {path}: {e}"));
+                eprintln!("wrote epoch lane trace {path} (load in ui.perfetto.dev)");
+            }
+            None => {
+                eprintln!(
+                    "scale: --epoch-trace set but the 256-core mesh radix cell was not swept"
+                );
+                exit(1);
+            }
+        }
+    }
 
     match speedup_256_mesh {
         Some(s) => {

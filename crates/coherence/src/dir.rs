@@ -16,6 +16,7 @@ use sa_isa::{CoreId, Cycle, Line};
 use crate::cache::CacheArray;
 use crate::memsys::Action;
 use crate::msg::{Msg, NodeId};
+use crate::noc::BankScope;
 
 /// A set of sharer cores. Machines up to 64 cores (the common case, and
 /// everything the paper measures) stay on an inline bit mask; wider
@@ -187,6 +188,10 @@ pub struct DirBank {
     mem_latency: u64,
     /// Public counters.
     pub stats: BankStats,
+    /// Scalescope-side occupancy/reject/storm instrument. Kept out of
+    /// [`BankStats`] so the `MemStats` snapshot inside `Report` — and
+    /// the engine-equivalence assertions over it — are unchanged.
+    pub scope: BankScope,
 }
 
 impl DirBank {
@@ -207,6 +212,7 @@ impl DirBank {
             l3_latency,
             mem_latency,
             stats: BankStats::default(),
+            scope: BankScope::new(id),
         }
     }
 
@@ -240,6 +246,7 @@ impl DirBank {
             Msg::GetS { line, .. } | Msg::GetM { line, .. } | Msg::PutM { line, .. } => {
                 if self.busy.contains_key(&line) {
                     self.stats.deferred += 1;
+                    self.scope.reject();
                     self.deferred.entry(line).or_default().push_back(msg);
                 } else {
                     self.process_request(msg, now, &mut out);
@@ -284,6 +291,7 @@ impl DirBank {
             Some(DirState::Owned(owner)) => {
                 let owner = *owner;
                 debug_assert_ne!(owner, req, "owner re-requesting S");
+                self.scope.txn_open(line, now);
                 self.busy.insert(line, Txn::FetchForS { req });
                 self.send(NodeId::Core(owner), Msg::FetchS { line }, now, out);
             }
@@ -313,10 +321,12 @@ impl DirBank {
                     self.send(NodeId::Core(req), Msg::GrantM { line }, now + lat, out);
                 } else {
                     let pending = others.count();
+                    self.scope.invalidation(line, pending as u64, now);
                     for c in others.iter() {
                         self.stats.invs_sent += 1;
                         self.send(NodeId::Core(c), Msg::Inv { line, by: req }, now, out);
                     }
+                    self.scope.txn_open(line, now);
                     self.busy.insert(
                         line,
                         Txn::CollectAcks {
@@ -330,6 +340,7 @@ impl DirBank {
             Some(DirState::Owned(owner)) => {
                 let owner = *owner;
                 debug_assert_ne!(owner, req, "owner re-requesting M");
+                self.scope.txn_open(line, now);
                 self.busy.insert(line, Txn::FetchForM { req });
                 self.send(
                     NodeId::Core(owner),
@@ -363,6 +374,7 @@ impl DirBank {
             let Some(Txn::CollectAcks { req, need_data, .. }) = self.busy.remove(&line) else {
                 unreachable!("checked above");
             };
+            self.scope.txn_close(line, now);
             let lat = if need_data {
                 self.data_latency(line)
             } else {
@@ -387,6 +399,7 @@ impl DirBank {
         }
         match self.busy.remove(&line) {
             Some(Txn::FetchForS { req }) => {
+                self.scope.txn_close(line, now);
                 let old_owner = match self.state.get(&line) {
                     Some(DirState::Owned(o)) => *o,
                     other => unreachable!("FetchForS on {other:?}"),
@@ -399,6 +412,7 @@ impl DirBank {
                 self.send(NodeId::Core(req), Msg::DataS { line }, now, out);
             }
             Some(Txn::FetchForM { req }) => {
+                self.scope.txn_close(line, now);
                 self.state.insert(line, DirState::Owned(req));
                 self.send(NodeId::Core(req), Msg::GrantM { line }, now, out);
             }

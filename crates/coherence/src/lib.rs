@@ -47,6 +47,7 @@ pub mod event;
 pub mod memsys;
 pub mod msg;
 pub mod network;
+pub mod noc;
 pub mod prefetch;
 pub mod private;
 pub mod stats;
@@ -57,4 +58,5 @@ pub use memsys::{
     RemoteEvent,
 };
 pub use network::Topology;
+pub use noc::{BankNoc, LinkRecord, NocStats, StormRecord};
 pub use stats::MemStats;

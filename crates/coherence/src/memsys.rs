@@ -614,6 +614,41 @@ impl MemorySystem {
         }
     }
 
+    /// The scalescope NoC snapshot: link matrix and latency histogram
+    /// from the network, occupancy/reject counters and storm records
+    /// from the directory banks this instance owns. On a shard this is
+    /// a partial exactly like [`Self::stats`]; partials combine with
+    /// [`crate::NocStats::merge`] into the snapshot the serial engine
+    /// would have produced (links and banks are shard-disjoint and the
+    /// storm ranking order is total).
+    pub fn noc_stats(&self) -> crate::NocStats {
+        let mut storms = Vec::new();
+        let mut storms_dropped = 0;
+        let banks = self
+            .banks
+            .iter()
+            .map(|b| match b {
+                Some(b) => {
+                    let (s, d) = b.scope.storm_snapshot();
+                    storms.extend(s);
+                    storms_dropped += d;
+                    b.scope.counters()
+                }
+                None => crate::BankNoc::default(),
+            })
+            .collect();
+        let mut out = crate::NocStats {
+            n_cores: self.cfg.n_cores,
+            links: self.net.links(),
+            latency: self.net.latency_hist().clone(),
+            banks,
+            storms,
+            storms_dropped,
+        };
+        out.rank_storms();
+        out
+    }
+
     /// Assembles the global statistics snapshot from per-shard partials
     /// (in shard order): every node slot is taken from the shard that
     /// owns it — `cfg` pins the same ownership map the shards were built

@@ -13,8 +13,10 @@
 //! source-destination pair always takes the same path.
 
 use sa_isa::{Cycle, FastMap};
+use sa_metrics::Log2Hist;
 
 use crate::msg::NodeId;
+use crate::noc::{LinkRecord, NocStats};
 
 /// Interconnect topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +66,16 @@ impl Topology {
     }
 }
 
+/// Per-channel state: the FIFO serialization point plus the
+/// scalescope link counters. Widening the existing map value keeps the
+/// per-link matrix at zero extra hash lookups per send.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelState {
+    busy_until: Cycle,
+    flits: u64,
+    msgs: u64,
+}
+
 /// Computes message delivery times over the fabric.
 #[derive(Debug)]
 pub struct Network {
@@ -72,7 +84,8 @@ pub struct Network {
     ctrl_flits: u64,
     topology: Topology,
     n_cores: usize,
-    channel_busy_until: FastMap<(NodeId, NodeId), Cycle>,
+    channels: FastMap<(NodeId, NodeId), ChannelState>,
+    latency: Log2Hist,
     flits_sent: u64,
     msgs_sent: u64,
 }
@@ -105,7 +118,8 @@ impl Network {
             ctrl_flits,
             topology,
             n_cores,
-            channel_busy_until: FastMap::default(),
+            channels: FastMap::default(),
+            latency: Log2Hist::new(),
             flits_sent: 0,
             msgs_sent: 0,
         }
@@ -120,12 +134,16 @@ impl Network {
             self.ctrl_flits
         };
         let hops = self.topology.hops(src, dst, self.n_cores);
-        let chan = self.channel_busy_until.entry((src, dst)).or_insert(0);
-        let start = now.max(*chan);
-        *chan = start + flits;
+        let chan = self.channels.entry((src, dst)).or_default();
+        let start = now.max(chan.busy_until);
+        chan.busy_until = start + flits;
+        chan.flits += flits;
+        chan.msgs += 1;
         self.flits_sent += flits;
         self.msgs_sent += 1;
-        start + flits + hops * self.hop_latency
+        let deliver = start + flits + hops * self.hop_latency;
+        self.latency.observe(deliver - now);
+        deliver
     }
 
     /// Total flits injected so far.
@@ -136,6 +154,28 @@ impl Network {
     /// Total messages injected so far.
     pub fn msgs_sent(&self) -> u64 {
         self.msgs_sent
+    }
+
+    /// The heatmap-ready link matrix: one record per used (src, dst)
+    /// channel, sorted by linear node index (cores then banks).
+    pub fn links(&self) -> Vec<LinkRecord> {
+        let mut out: Vec<LinkRecord> = self
+            .channels
+            .iter()
+            .map(|((src, dst), c)| LinkRecord {
+                src: NocStats::node_index(*src, self.n_cores),
+                dst: NocStats::node_index(*dst, self.n_cores),
+                flits: c.flits,
+                msgs: c.msgs,
+            })
+            .collect();
+        out.sort_by_key(|l| (l.src, l.dst));
+        out
+    }
+
+    /// Injection-to-delivery latency distribution, per message.
+    pub fn latency_hist(&self) -> &Log2Hist {
+        &self.latency
     }
 }
 
@@ -209,5 +249,27 @@ mod tests {
         n.send(core(0), core(1), 0, false);
         assert_eq!(n.flits_sent(), 6);
         assert_eq!(n.msgs_sent(), 2);
+    }
+
+    #[test]
+    fn link_matrix_tracks_per_channel_traffic() {
+        let mut n = Network::with_topology(6, 5, 1, Topology::FullyConnected, 4);
+        n.send(core(0), NodeId::Bank(0), 0, true); // data: 5 flits
+        n.send(core(0), NodeId::Bank(0), 0, false); // ctrl: +1 flit, same channel
+        n.send(core(2), NodeId::Bank(1), 0, false);
+        let links = n.links();
+        assert_eq!(links.len(), 2);
+        // Channels sort by linear (src, dst): core 0 -> bank 0 is (0, 4).
+        assert_eq!((links[0].src, links[0].dst), (0, 4));
+        assert_eq!(links[0].flits, 6);
+        assert_eq!(links[0].msgs, 2);
+        assert_eq!((links[1].src, links[1].dst), (2, 5));
+        // The matrix totals reconcile with the aggregate counters.
+        assert_eq!(links.iter().map(|l| l.flits).sum::<u64>(), n.flits_sent());
+        assert_eq!(links.iter().map(|l| l.msgs).sum::<u64>(), n.msgs_sent());
+        // Every send observed one latency sample.
+        assert_eq!(n.latency_hist().count(), 3);
+        // First data send on an idle channel: 5 flits + 6 hop = 11.
+        assert_eq!(n.latency_hist().sum(), 11 + 12 + 7);
     }
 }

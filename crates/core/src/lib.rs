@@ -36,11 +36,13 @@
 pub mod config;
 pub mod multicore;
 pub mod report;
+pub mod scalescope;
 
 pub use config::{parse_topology, ConfigError, EngineMode, SimConfig, SimConfigBuilder};
 pub use multicore::{Multicore, RunError};
 pub use report::{Report, StallBreakdown};
-pub use sa_coherence::Topology;
+pub use sa_coherence::{NocStats, Topology};
+pub use scalescope::{EpochSlice, ParallelScope, ShardScope};
 
 // Re-export the component crates so downstream users need one dependency.
 pub use sa_coherence as coherence;

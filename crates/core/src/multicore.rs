@@ -3,12 +3,14 @@
 
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 use sa_coherence::msg::NodeId;
 use sa_coherence::{
-    bank_shard, core_shard, shard_lookahead, MemReqId, MemStats, MemorySystem, Notice, RemoteEvent,
+    bank_shard, core_shard, shard_lookahead, MemReqId, MemStats, MemorySystem, NocStats, Notice,
+    RemoteEvent,
 };
 use sa_isa::{Addr, CoreId, Cycle, Line, StripedValueMemory, Trace, Value, ValueMemory};
 use sa_metrics::{SampleInput, Sampler};
@@ -18,6 +20,7 @@ use sa_trace::{NullTracer, TraceEvent, Tracer};
 
 use crate::config::{EngineMode, SimConfig};
 use crate::report::Report;
+use crate::scalescope::{EpochSlice, ParallelScope, ShardScope};
 
 /// Cycles without a single retired instruction machine-wide before a run
 /// is declared wedged.
@@ -121,6 +124,15 @@ pub struct Multicore<T: Tracer = NullTracer, P: Profiler = NullProfiler> {
     /// advanced by the parallel engine, so [`Multicore::report`] prefers
     /// this snapshot when present.
     parallel_mem_stats: Option<MemStats>,
+    /// Epoch/barrier telemetry of the last parallel run (sa-scalescope).
+    /// Stored outside [`Report`] — the engine-equivalence assertions
+    /// compare reports, and host-time telemetry must never enter them.
+    /// `None` after serial runs: the telemetry is not allocated at all
+    /// when the parallel engine is off.
+    parallel_scope: Option<ParallelScope>,
+    /// NoC snapshot merged from shard partials by a parallel run, for
+    /// the same reason [`Multicore::noc_stats`] prefers it when present.
+    parallel_noc: Option<NocStats>,
     /// The profiler is stateless (spans land in thread-local storage);
     /// only its type travels with the machine.
     _profiler: PhantomData<P>,
@@ -183,6 +195,8 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
             tracer,
             notice_scratch: Vec::new(),
             parallel_mem_stats: None,
+            parallel_scope: None,
+            parallel_noc: None,
             _profiler: PhantomData,
         }
     }
@@ -564,6 +578,10 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
                     last_retire: 0,
                     limit_hit: false,
                     error: None,
+                    scope: ShardScope {
+                        shard: s,
+                        ..ShardScope::default()
+                    },
                 }
             })
             .collect();
@@ -583,8 +601,11 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
             retire: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             limit: AtomicBool::new(false),
             inboxes: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
+            arrivals_a: AtomicUsize::new(0),
+            arrivals_b: AtomicUsize::new(0),
         };
 
+        let region_start = Instant::now();
         let results: Vec<EngineShard<C>> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .into_iter()
@@ -612,6 +633,8 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
                 .collect()
         });
 
+        let wall_ns = region_start.elapsed().as_nanos() as u64;
+
         // Reassemble the machine: cores back in index order, the value
         // image back to its plain form, the clock to the global finish.
         let mut back: Vec<Option<Core>> = (0..n_cores).map(|_| None).collect();
@@ -620,6 +643,15 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
         let mut sample_acc: BTreeMap<Cycle, SampleInput> = BTreeMap::new();
         let mut error = None;
         let mut final_cycle = 0;
+        let mut scope = ParallelScope {
+            threads,
+            lookahead,
+            topology: self.cfg.mem.topology.to_string(),
+            wall_ns,
+            epochs: 0,
+            per_shard: Vec::with_capacity(threads),
+        };
+        let mut noc = NocStats::default();
         for st in results {
             for (gi, core) in st.cores {
                 back[gi] = Some(core);
@@ -629,11 +661,21 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
                 error = st.error;
             }
             partials.push(st.mem.stats());
+            noc.merge(&st.mem.noc_stats());
             for (c, input) in st.samples {
                 add_sample(sample_acc.entry(c).or_default(), &input);
             }
             entries.extend(st.collector.into_entries());
+            scope.epochs = scope.epochs.max(st.scope.epochs);
+            scope.per_shard.push(st.scope);
         }
+        // Publish the phase totals as sa-profile span-tree children of
+        // the open "parallel" span (no-ops under the null profiler).
+        P::sample_ns("shard-work", scope.work_ns());
+        P::sample_ns("barrier-wait", scope.wait_ns());
+        P::sample_ns("exchange", scope.exchange_ns());
+        self.parallel_scope = Some(scope);
+        self.parallel_noc = Some(noc);
         self.cores = back
             .into_iter()
             .map(|c| c.expect("every core returned by its shard"))
@@ -655,6 +697,24 @@ impl<T: Tracer, P: Profiler> Multicore<T, P> {
             self.tracer.record(e.ev);
         }
         Ok(self.report())
+    }
+
+    /// Epoch/barrier telemetry of the last parallel run, or `None` when
+    /// no parallel run completed (the zero-cost-when-off guarantee:
+    /// serial engines never construct it).
+    pub fn scalescope(&self) -> Option<&ParallelScope> {
+        self.parallel_scope.as_ref()
+    }
+
+    /// The NoC snapshot: link-utilization matrix, message-latency
+    /// histogram, per-bank occupancy and invalidation storms. After a
+    /// parallel run this is the shard-merged snapshot; otherwise it is
+    /// read straight off the serial memory system. The two agree —
+    /// every field is a pure function of the bit-exact simulation.
+    pub fn noc_stats(&self) -> NocStats {
+        self.parallel_noc
+            .clone()
+            .unwrap_or_else(|| self.mem.noc_stats())
     }
 
     /// Snapshot of all statistics.
@@ -774,6 +834,8 @@ struct EngineShard<C> {
     last_retire: Cycle,
     limit_hit: bool,
     error: Option<RunError>,
+    /// sa-scalescope telemetry accumulated by the worker loop.
+    scope: ShardScope,
 }
 
 /// Shared epoch-barrier state. Shards publish their flags *before* the
@@ -789,6 +851,20 @@ struct ShardSync {
     limit: AtomicBool,
     /// Per-destination-shard cross-shard event deliveries.
     inboxes: Vec<Mutex<Vec<RemoteEvent>>>,
+    /// Monotonic arrival counters for last-arriver attribution, one per
+    /// barrier (A = publish/decide, B = delivery).
+    arrivals_a: AtomicUsize,
+    arrivals_b: AtomicUsize,
+}
+
+/// Ticks an arrival counter just before a barrier wait and reports
+/// whether this thread completed the crossing (arrived last). Safe
+/// because a thread cannot increment for crossing `k + 1` until every
+/// thread has passed crossing `k`, so per crossing the counter runs
+/// from `k * threads` to `(k + 1) * threads - 1` — the thread that
+/// draws the final value is the one everyone else was waiting for.
+fn arrive_last(counter: &AtomicUsize, threads: usize) -> bool {
+    counter.fetch_add(1, Ordering::SeqCst) % threads == threads - 1
 }
 
 /// Sums a shard's instantaneous local snapshot into a partial
@@ -961,8 +1037,11 @@ fn shard_worker<C: ShardCollector, P: Profiler>(
     let mut epoch_start: Cycle = 0;
     loop {
         let epoch_end = epoch_start + lookahead - 1;
+        let epoch_cur0 = st.cur;
+        let mut slice = EpochSlice::default();
         // Phase 1: simulate this epoch locally (cross-shard sends pile up
         // in the outbox; nothing sent this epoch is due before the next).
+        let t_work = Instant::now();
         if st.finished_at.is_none() {
             run_span::<C, P>(
                 &mut st,
@@ -976,15 +1055,23 @@ fn shard_worker<C: ShardCollector, P: Profiler>(
                 st.limit_hit = true;
             }
         }
+        slice.work_ns = t_work.elapsed().as_nanos() as u64;
         // Barrier A: publish flags, then read everyone's and decide.
         sync.finished[st.id].store(st.finished_at.unwrap_or(u64::MAX), Ordering::SeqCst);
         sync.retire[st.id].store(st.last_retire, Ordering::SeqCst);
         if st.limit_hit {
             sync.limit.store(true, Ordering::SeqCst);
         }
+        let t_wait = Instant::now();
+        if arrive_last(&sync.arrivals_a, n_shards) {
+            st.scope.last_arriver_a += 1;
+        }
         sync.barrier.wait();
+        slice.wait_a_ns = t_wait.elapsed().as_nanos() as u64;
+        st.scope.epochs += 1;
         if sync.limit.load(Ordering::SeqCst) {
             st.error = Some(RunError::CycleLimit { limit: max_cycles });
+            finish_epoch(&mut st, slice, epoch_cur0);
             return st;
         }
         let mut all_finished = true;
@@ -999,10 +1086,13 @@ fn shard_worker<C: ShardCollector, P: Profiler>(
         if all_finished {
             // Drain remaining notice ticks up to the global finish; any
             // message sent here would be due strictly after it.
+            let t_drain = Instant::now();
             if finish > 0 {
                 run_span::<C, P>(&mut st, finish - 1, false, lockstep, interval, valmem);
             }
             st.cur = finish;
+            slice.work_ns += t_drain.elapsed().as_nanos() as u64;
+            finish_epoch(&mut st, slice, epoch_cur0);
             return st;
         }
         let global_retire = sync
@@ -1015,27 +1105,55 @@ fn shard_worker<C: ShardCollector, P: Profiler>(
             st.error = Some(RunError::NoProgress {
                 since: global_retire,
             });
+            finish_epoch(&mut st, slice, epoch_cur0);
             return st;
         }
         // Phase 2: a shard that finished mid-epoch still owes the rest of
         // the epoch to its queue (notice ticks on finished cores).
+        let t_phase2 = Instant::now();
         run_span::<C, P>(&mut st, epoch_end, false, lockstep, interval, valmem);
+        slice.work_ns += t_phase2.elapsed().as_nanos() as u64;
         // Barrier B: trade cross-shard deliveries for the next epoch.
-        for ev in st.mem.take_outbox() {
+        let t_route = Instant::now();
+        let outbox = st.mem.take_outbox();
+        st.scope.events_out += outbox.len() as u64;
+        st.scope.exchange_events.observe(outbox.len() as u64);
+        for ev in outbox {
             let dest = match ev.to {
                 NodeId::Core(c) => core_shard(c.index(), n_cores, n_shards),
                 NodeId::Bank(b) => bank_owner[b as usize],
             };
             sync.inboxes[dest].lock().expect("inbox lock").push(ev);
         }
+        slice.exchange_ns = t_route.elapsed().as_nanos() as u64;
+        let t_wait_b = Instant::now();
+        if arrive_last(&sync.arrivals_b, n_shards) {
+            st.scope.last_arriver_b += 1;
+        }
         sync.barrier.wait();
+        slice.wait_b_ns = t_wait_b.elapsed().as_nanos() as u64;
+        st.scope.epochs_exchanged += 1;
+        let t_inject = Instant::now();
         let incoming: Vec<RemoteEvent> =
             std::mem::take(&mut *sync.inboxes[st.id].lock().expect("inbox lock"));
+        st.scope.events_in += incoming.len() as u64;
         for ev in incoming {
             st.mem.inject_remote(ev);
         }
+        slice.exchange_ns += t_inject.elapsed().as_nanos() as u64;
+        finish_epoch(&mut st, slice, epoch_cur0);
         epoch_start += lookahead;
     }
+}
+
+/// Books one epoch into the shard's telemetry: the virtual cycles this
+/// epoch advanced plus its host-ns phase slice. Also called on the
+/// early-return paths (limit, watchdog, global finish) so the partial
+/// epoch's time is still accounted.
+fn finish_epoch<C>(st: &mut EngineShard<C>, slice: EpochSlice, epoch_cur0: Cycle) {
+    let cycles = st.cur - epoch_cur0;
+    st.scope.sim_cycles += cycles;
+    st.scope.record_epoch(slice, cycles);
 }
 
 #[cfg(test)]

@@ -146,6 +146,11 @@ impl JsonWriter {
         self.key(k).float(v)
     }
 
+    /// Convenience: `key` + boolean value.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k).boolean(v)
+    }
+
     /// Finishes the document.
     ///
     /// # Panics

@@ -155,6 +155,9 @@ struct Shared {
     coverage: Mutex<crate::coverage::Coverage>,
     corpus: Mutex<HashSet<Vec<Vec<LOp>>>>,
     counters: Counters,
+    /// sa-scalescope telemetry of the most recent parallel-engine
+    /// workload job, surfaced as `sa_parallel_*` on `/metrics`.
+    parallel_scope: Mutex<Option<sa_sim::ParallelScope>>,
     latest_triage: Mutex<String>,
     farm_threads: Mutex<Vec<JoinHandle<()>>>,
     shutdown: AtomicBool,
@@ -204,6 +207,7 @@ impl Server {
             coverage: Mutex::new(crate::coverage::Coverage::new()),
             corpus: Mutex::new(HashSet::new()),
             counters: Counters::default(),
+            parallel_scope: Mutex::new(None),
             latest_triage: Mutex::new(String::new()),
             farm_threads: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
@@ -930,8 +934,19 @@ fn run_workload(shared: &Shared, id: u64, w: &WorkloadJob) -> String {
         .field_str("engine", &engine_str)
         .field_uint("cycles", report.cycles)
         .field_uint("retired_instrs", report.total().retired_instrs)
-        .field_float("ipc", report.ipc())
-        .end_object();
+        .field_float("ipc", report.ipc());
+    if let Some(scope) = sim.scalescope() {
+        // Parallel-engine jobs carry their epoch/barrier breakdown in
+        // the result and refresh the `/metrics` sa_parallel_* families.
+        let (work, wait, exchange) = scope.fractions();
+        j.field_uint("parallel_epochs", scope.epochs)
+            .field_uint("parallel_lookahead", scope.lookahead)
+            .field_float("parallel_work_frac", work)
+            .field_float("parallel_wait_frac", wait)
+            .field_float("parallel_exchange_frac", exchange);
+        *shared.parallel_scope.lock().expect("parallel scope") = Some(scope.clone());
+    }
+    j.end_object();
     j.finish()
 }
 
@@ -1131,6 +1146,14 @@ fn metrics_text(shared: &Shared) -> String {
                 h,
             );
         }
+    }
+    if let Some(scope) = shared
+        .parallel_scope
+        .lock()
+        .expect("parallel scope")
+        .as_ref()
+    {
+        scope.register(&mut reg);
     }
     let profile = sa_profile::harvest();
     let mut stack: Vec<(usize, String)> = profile
